@@ -1,0 +1,70 @@
+//! Criterion micro-benchmarks for the simulated runtime: collective
+//! operations and the distributed zero-row filter, across rank counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use gas_dstsim::Runtime;
+use gas_sparse::dist::filter::dist_row_filter;
+
+fn bench_allreduce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allreduce");
+    group.sample_size(10);
+    for ranks in [2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(ranks), &ranks, |b, &p| {
+            b.iter(|| {
+                let out = Runtime::new(p)
+                    .run(|ctx| {
+                        let data = vec![ctx.rank() as u64; 4096];
+                        ctx.world().allreduce_sum(&data).unwrap()
+                    })
+                    .unwrap();
+                black_box(out.results.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_alltoallv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alltoallv");
+    group.sample_size(10);
+    for ranks in [2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(ranks), &ranks, |b, &p| {
+            b.iter(|| {
+                let out = Runtime::new(p)
+                    .run(|ctx| {
+                        let bufs: Vec<Vec<u64>> =
+                            (0..ctx.nranks()).map(|d| vec![d as u64; 1024]).collect();
+                        ctx.world().alltoallv(bufs).unwrap()
+                    })
+                    .unwrap();
+                black_box(out.results.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_dist_filter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dist_row_filter");
+    group.sample_size(10);
+    for ranks in [2usize, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(ranks), &ranks, |b, &p| {
+            b.iter(|| {
+                let out = Runtime::new(p)
+                    .run(|ctx| {
+                        let local: Vec<usize> =
+                            (0..5_000).map(|i| (i * 37 + ctx.rank() * 13) % 200_000).collect();
+                        dist_row_filter(ctx.world(), 200_000, &local).unwrap().num_nonzero_rows()
+                    })
+                    .unwrap();
+                black_box(out.results[0])
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_allreduce, bench_alltoallv, bench_dist_filter);
+criterion_main!(benches);

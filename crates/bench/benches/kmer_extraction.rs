@@ -1,0 +1,76 @@
+//! Criterion micro-benchmarks for the GenomeAtScale preprocessing
+//! front-end: k-mer extraction (forward and canonical), read thresholding
+//! and FASTA parsing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use gas_genomics::fasta::FastaReader;
+use gas_genomics::kmer::KmerExtractor;
+use gas_genomics::sample::KmerSample;
+use gas_genomics::synth::{random_genome, simulate_reads};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_kmer_extraction(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let genome = random_genome(500_000, &mut rng);
+    let mut group = c.benchmark_group("kmer_extraction");
+    group.sample_size(10);
+    for k in [19usize, 31] {
+        let forward = KmerExtractor::new_forward(k).unwrap();
+        let canonical = KmerExtractor::new(k).unwrap();
+        group.bench_with_input(BenchmarkId::new("forward", k), &k, |b, _| {
+            b.iter(|| black_box(forward.extract(black_box(&genome))))
+        });
+        group.bench_with_input(BenchmarkId::new("canonical", k), &k, |b, _| {
+            b.iter(|| black_box(canonical.extract(black_box(&genome))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_read_thresholding(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let genome = random_genome(100_000, &mut rng);
+    let reads = simulate_reads(&genome, 150, 5.0, 0.01, &mut rng).unwrap();
+    let extractor = KmerExtractor::new(21).unwrap();
+    let mut group = c.benchmark_group("sample_building");
+    group.sample_size(10);
+    group.bench_function("from_reads_with_threshold", |b| {
+        b.iter(|| {
+            black_box(KmerSample::from_reads_with_threshold(
+                "s",
+                reads.iter().map(|r| r.as_slice()),
+                &extractor,
+                2,
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn bench_fasta_parsing(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut text = String::new();
+    for i in 0..50 {
+        text.push_str(&format!(">contig_{i}\n"));
+        let g = random_genome(10_000, &mut rng);
+        for chunk in g.chunks(70) {
+            text.push_str(std::str::from_utf8(chunk).unwrap());
+            text.push('\n');
+        }
+    }
+    let mut group = c.benchmark_group("fasta");
+    group.sample_size(10);
+    group.bench_function("parse_multifasta", |b| {
+        b.iter(|| {
+            let reader = FastaReader::new(std::io::Cursor::new(black_box(text.as_bytes())));
+            black_box(reader.read_all().unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kmer_extraction, bench_read_thresholding, bench_fasta_parsing);
+criterion_main!(benches);

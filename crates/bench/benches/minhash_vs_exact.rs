@@ -1,0 +1,49 @@
+//! Criterion micro-benchmarks comparing the cost of exact all-pairs
+//! Jaccard with MinHash sketching at several sketch sizes (the accuracy
+//! side of this trade-off is quantified by the `minhash_accuracy`
+//! experiment binary).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use gas_core::indicator::SampleCollection;
+use gas_core::jaccard::jaccard_exact_pairwise;
+use gas_core::minhash::MinHasher;
+use gas_genomics::datasets::DatasetSpec;
+
+fn collection() -> SampleCollection {
+    let samples = DatasetSpec::explicit(100_000, 48, 2e-3, 8).generate().unwrap();
+    SampleCollection::from_sorted_sets(samples).unwrap()
+}
+
+fn bench_exact_vs_minhash(c: &mut Criterion) {
+    let collection = collection();
+    let mut group = c.benchmark_group("all_pairs_similarity");
+    group.sample_size(10);
+    group.bench_function("exact_pairwise", |b| {
+        b.iter(|| black_box(jaccard_exact_pairwise(black_box(&collection))))
+    });
+    for sketch in [128usize, 1024] {
+        let hasher = MinHasher::new(sketch).unwrap();
+        group.bench_with_input(BenchmarkId::new("minhash", sketch), &sketch, |b, _| {
+            b.iter(|| black_box(hasher.approximate_similarity(black_box(&collection))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sketching_only(c: &mut Criterion) {
+    let collection = collection();
+    let mut group = c.benchmark_group("sketch_construction");
+    group.sample_size(10);
+    for sketch in [128usize, 1024, 8192] {
+        let hasher = MinHasher::new(sketch).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(sketch), &sketch, |b, _| {
+            b.iter(|| black_box(hasher.sketch_collection(black_box(&collection))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exact_vs_minhash, bench_sketching_only);
+criterion_main!(benches);

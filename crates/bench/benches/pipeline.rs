@@ -1,0 +1,63 @@
+//! Criterion benchmarks of the end-to-end SimilarityAtScale pipeline:
+//! shared-memory driver across batch counts, the simulated-distributed
+//! driver across rank counts, and the allreduce baseline for contrast.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use gas_core::algorithm::{similarity_at_scale, similarity_at_scale_distributed};
+use gas_core::baselines::allreduce_jaccard_distributed;
+use gas_core::config::SimilarityConfig;
+use gas_core::indicator::SampleCollection;
+use gas_dstsim::machine::Machine;
+use gas_genomics::datasets::DatasetSpec;
+
+fn collection() -> SampleCollection {
+    let samples = DatasetSpec::explicit(50_000, 32, 2e-3, 4).generate().unwrap();
+    SampleCollection::from_sorted_sets(samples).unwrap()
+}
+
+fn bench_shared_memory(c: &mut Criterion) {
+    let collection = collection();
+    let mut group = c.benchmark_group("shared_memory_driver");
+    group.sample_size(10);
+    for batches in [1usize, 4, 16] {
+        let config = SimilarityConfig::with_batches(batches);
+        group.bench_with_input(BenchmarkId::from_parameter(batches), &batches, |b, _| {
+            b.iter(|| black_box(similarity_at_scale(black_box(&collection), &config).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_distributed(c: &mut Criterion) {
+    let collection = collection();
+    let machine = Machine::laptop();
+    let config = SimilarityConfig::with_batches(2);
+    let mut group = c.benchmark_group("distributed_driver");
+    group.sample_size(10);
+    for ranks in [1usize, 4, 9] {
+        group.bench_with_input(BenchmarkId::new("similarity_at_scale", ranks), &ranks, |b, &p| {
+            b.iter(|| {
+                black_box(
+                    similarity_at_scale_distributed(black_box(&collection), &config, p, &machine)
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    for ranks in [4usize] {
+        group.bench_with_input(BenchmarkId::new("allreduce_baseline", ranks), &ranks, |b, &p| {
+            b.iter(|| {
+                black_box(
+                    allreduce_jaccard_distributed(black_box(&collection), &config, p, &machine)
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_shared_memory, bench_distributed);
+criterion_main!(benches);

@@ -1,0 +1,111 @@
+//! Criterion micro-benchmarks for the local `AᵀA` kernels: plus-times on
+//! boolean CSR, popcount-AND on bit-packed words, sequential vs
+//! Rayon-parallel, and the effect of the zero-row filter + masking
+//! (the paper's Section III-B design choices).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use gas_core::filter::{apply_filter, batch_row_filter};
+use gas_genomics::synth::bernoulli_columns;
+use gas_sparse::bitmat::BitMatrix;
+use gas_sparse::coo::CooMatrix;
+use gas_sparse::semiring::{PlusTimes, PopcountAnd};
+use gas_sparse::spgemm::{ata_dense, ata_dense_parallel};
+
+fn build_columns(m: usize, n: usize, density: f64) -> Vec<Vec<usize>> {
+    bernoulli_columns(m, n, density, 42).expect("valid density")
+}
+
+fn boolean_matrix(m: usize, columns: &[Vec<usize>]) -> CooMatrix<u64> {
+    let mut coo = CooMatrix::new(m, columns.len());
+    for (j, col) in columns.iter().enumerate() {
+        for &r in col {
+            coo.push(r, j, 1).unwrap();
+        }
+    }
+    coo
+}
+
+fn bench_ata_kernels(c: &mut Criterion) {
+    let m = 50_000;
+    let n = 64;
+    let density = 5e-3;
+    let columns = build_columns(m, n, density);
+    let coo = boolean_matrix(m, &columns);
+    let csr = coo.to_csr();
+    let csc = coo.to_csc();
+
+    // Filtered + masked representation (the paper's default path).
+    let filter = batch_row_filter(m, &columns);
+    let filtered = apply_filter(&columns, &filter);
+    let packed = BitMatrix::from_columns(filter.num_nonzero_rows(), &filtered).unwrap();
+    let packed_csr = packed.to_csr();
+
+    let mut group = c.benchmark_group("ata_kernels");
+    group.sample_size(10);
+    group.bench_function("boolean_plus_times_sequential", |b| {
+        b.iter(|| black_box(ata_dense::<PlusTimes<u64>>(black_box(&csr))))
+    });
+    group.bench_function("boolean_plus_times_parallel", |b| {
+        b.iter(|| {
+            black_box(ata_dense_parallel::<PlusTimes<u64>>(black_box(&csc), black_box(&csr)))
+        })
+    });
+    group.bench_function("masked_popcount_parallel", |b| {
+        b.iter(|| {
+            black_box(ata_dense_parallel::<PopcountAnd>(
+                black_box(packed.as_csc()),
+                black_box(&packed_csr),
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn bench_preprocessing(c: &mut Criterion) {
+    let m = 200_000;
+    let n = 32;
+    let columns = build_columns(m, n, 1e-3);
+    let mut group = c.benchmark_group("preprocessing");
+    group.sample_size(10);
+    group.bench_function("zero_row_filter", |b| {
+        b.iter(|| black_box(batch_row_filter(m, black_box(&columns))))
+    });
+    let filter = batch_row_filter(m, &columns);
+    let filtered = apply_filter(&columns, &filter);
+    group.bench_function("bitmask_packing", |b| {
+        b.iter(|| {
+            black_box(
+                BitMatrix::from_columns(filter.num_nonzero_rows(), black_box(&filtered)).unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_density_sweep(c: &mut Criterion) {
+    let m = 50_000;
+    let n = 32;
+    let mut group = c.benchmark_group("ata_density_sweep");
+    group.sample_size(10);
+    for density in [1e-4, 1e-3, 1e-2] {
+        let columns = build_columns(m, n, density);
+        let filter = batch_row_filter(m, &columns);
+        let filtered = apply_filter(&columns, &filter);
+        let packed = BitMatrix::from_columns(filter.num_nonzero_rows(), &filtered).unwrap();
+        let packed_csr = packed.to_csr();
+        group.bench_with_input(BenchmarkId::from_parameter(format!("{density:.0e}")), &density, |b, _| {
+            b.iter(|| {
+                black_box(ata_dense_parallel::<PopcountAnd>(
+                    black_box(packed.as_csc()),
+                    black_box(&packed_csr),
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ata_kernels, bench_preprocessing, bench_density_sweep);
+criterion_main!(benches);

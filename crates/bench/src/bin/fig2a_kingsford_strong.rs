@@ -1,0 +1,57 @@
+//! Figure 2a — Kingsford dataset, strong scaling.
+//!
+//! Paper protocol: the Kingsford/BBB indicator matrix is fixed; node
+//! counts sweep 1 → 256 (32 → 8192 cores); the batch size doubles with the
+//! node count (so the batch count halves, from 8192 at one node to 32 at
+//! 256 nodes); the plotted quantity is the projected total time
+//! (time/batch × #batches), which drops from ~20 h to well under an hour
+//! with a sweet spot around 32 nodes.
+//!
+//! This reproduction runs a scaled-down Kingsford-like workload (same
+//! density and sample-count proportions; see DESIGN.md) under the
+//! simulated runtime and prints the same series: batches, time/batch
+//! (measured and BSP-modeled at 32 ranks/node), and the projected total.
+
+use gas_bench::report::Table;
+use gas_bench::scaling::{strong_scaling, ScalingPoint, ScalingSpec};
+use gas_bench::workloads::kingsford_collection;
+
+fn main() {
+    let collection = kingsford_collection(0.2);
+    println!(
+        "Kingsford-like workload: n = {} samples, m = {} attributes, nnz = {}, density = {:.2e}",
+        collection.n(),
+        collection.m(),
+        collection.nnz(),
+        collection.density()
+    );
+    let mut spec = ScalingSpec::new(
+        "Figure 2a: Kingsford strong scaling",
+        vec![1, 2, 4, 8, 16, 32, 64, 128, 256],
+        64,
+    );
+    spec.replication = 1;
+    let points = strong_scaling(&collection, &spec);
+
+    let mut table = Table::new(&spec.name, &ScalingPoint::headers());
+    for p in &points {
+        table.push_row(p.row());
+    }
+    table.print();
+    let path = table
+        .write_csv(gas_bench::report::results_dir(), "fig2a_kingsford_strong")
+        .expect("write CSV");
+    println!("CSV written to {}", path.display());
+
+    // Qualitative check mirrored from the paper: projected total time
+    // decreases as nodes are added (batch count shrinks while per-batch
+    // time stays roughly flat).
+    let first = points.first().expect("at least one point");
+    let last = points.last().expect("at least one point");
+    println!(
+        "\nProjected total time: {:.2}x reduction from {} node(s) to {} nodes (paper: ~20h -> <1h).",
+        first.projected_total_seconds / last.projected_total_seconds.max(1e-9),
+        first.nodes,
+        last.nodes
+    );
+}

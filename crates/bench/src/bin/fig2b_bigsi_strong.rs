@@ -1,0 +1,60 @@
+//! Figure 2b — BIGSI dataset, strong scaling.
+//!
+//! Paper protocol: the BIGSI workload (446,506 samples) needs at least 64
+//! nodes just to hold `A`, `B`, `C`; node counts sweep 128 → 1024; the
+//! batch size doubles with the node count (16384 batches at 128 nodes down
+//! to 2048 at 1024); per-batch time stays roughly constant (~37–44 s), so
+//! the projected completion time falls from ~7 days to ~1 day at 1024
+//! nodes.
+//!
+//! The reproduction runs a scaled-down BIGSI-like workload (same sample
+//! proportions, per-sample k-mer counts and heavy per-column skew; see
+//! DESIGN.md) and prints the same series.
+
+use gas_bench::report::Table;
+use gas_bench::scaling::{strong_scaling, ScalingPoint, ScalingSpec};
+use gas_bench::workloads::bigsi_collection;
+
+fn main() {
+    let collection = bigsi_collection(0.002);
+    println!(
+        "BIGSI-like workload: n = {} samples, m = {} attributes, nnz = {}, density = {:.2e}",
+        collection.n(),
+        collection.m(),
+        collection.nnz(),
+        collection.density()
+    );
+    let mut spec = ScalingSpec::new(
+        "Figure 2b: BIGSI strong scaling",
+        vec![128, 256, 512, 1024],
+        128,
+    );
+    spec.replication = 1;
+    let points = strong_scaling(&collection, &spec);
+
+    let mut table = Table::new(&spec.name, &ScalingPoint::headers());
+    for p in &points {
+        table.push_row(p.row());
+    }
+    table.print();
+    let path = table
+        .write_csv(gas_bench::report::results_dir(), "fig2b_bigsi_strong")
+        .expect("write CSV");
+    println!("CSV written to {}", path.display());
+
+    let first = points.first().expect("at least one point");
+    let last = points.last().expect("at least one point");
+    println!(
+        "\nProjected total time falls {:.2}x from {} to {} nodes (paper: ~7 days at 128 nodes -> ~1 day at 1024 nodes).",
+        first.projected_total_seconds / last.projected_total_seconds.max(1e-9),
+        first.nodes,
+        last.nodes
+    );
+    println!(
+        "Measured per-batch times on the capped simulation grow with the batch size ({:?}) because the \
+         simulated rank count is fixed; on the real machine the rank count grows with the batch size, \
+         keeping the per-batch time in a narrow band (paper: 37.3s - 43.9s). The projection column \
+         therefore applies the paper's constant-per-batch protocol from the reference point.",
+        points.iter().map(|p| format!("{:.3}s", p.measured_batch_seconds)).collect::<Vec<_>>()
+    );
+}

@@ -1,0 +1,66 @@
+//! Figure 2d — BIGSI dataset, batch-size sensitivity.
+//!
+//! Paper protocol: 128 nodes, fixed BIGSI workload, batch count sweeps
+//! 16384 → 262144. As in Figure 2c, per-batch time falls with smaller
+//! batches (39.78 s → 24.14 s) but the projected total time grows
+//! (~1 week → ~5 months), so the largest batch that fits memory is best.
+
+use gas_bench::report::{format_seconds, Table};
+use gas_bench::scaling::default_sim_rank_cap;
+use gas_bench::workloads::bigsi_collection;
+use gas_core::algorithm::similarity_at_scale_distributed;
+use gas_core::config::SimilarityConfig;
+use gas_dstsim::machine::Machine;
+
+fn main() {
+    let collection = bigsi_collection(0.002);
+    let nodes = 128usize;
+    let sim_ranks = default_sim_rank_cap().min(nodes);
+    let machine = Machine::stampede2_knl();
+    println!(
+        "BIGSI-like workload: n = {}, nnz = {}; {} paper nodes, {} simulated ranks",
+        collection.n(),
+        collection.nnz(),
+        nodes,
+        sim_ranks
+    );
+
+    let mut table = Table::new(
+        "Figure 2d: BIGSI batch-size sensitivity (128 nodes)",
+        &["batches", "s_per_batch_meas", "projected_total", "bytes_per_rank"],
+    );
+    let batch_counts = [4usize, 8, 16, 32, 64, 128];
+    let mut rows = Vec::new();
+    for &batches in &batch_counts {
+        let config = SimilarityConfig::with_batches(batches);
+        let summary =
+            similarity_at_scale_distributed(&collection, &config, sim_ranks, &machine)
+                .expect("simulated run succeeds");
+        let per_batch = summary.mean_batch_seconds();
+        let total = per_batch * batches as f64;
+        rows.push((batches, per_batch, total));
+        table.push_row(vec![
+            batches.to_string(),
+            format!("{per_batch:.4}"),
+            format_seconds(total),
+            (summary.aggregate.total_bytes_sent / summary.nranks as u64).to_string(),
+        ]);
+    }
+    table.print();
+    let path = table
+        .write_csv(gas_bench::report::results_dir(), "fig2d_bigsi_sensitivity")
+        .expect("write CSV");
+    println!("CSV written to {}", path.display());
+
+    let (first, last) = (rows.first().unwrap(), rows.last().unwrap());
+    println!(
+        "\nPer-batch time shrinks {:.2}x as batches go {} -> {} (paper: 39.8s -> 24.1s),",
+        first.1 / last.1.max(1e-12),
+        first.0,
+        last.0
+    );
+    println!(
+        "but the projected total grows {:.2}x (paper: ~1 week -> ~5 months).",
+        last.2 / first.2.max(1e-12)
+    );
+}

@@ -1,0 +1,126 @@
+//! Table II — comparison of alignment-free similarity tools.
+//!
+//! The paper's Table II contrasts DSM (exact, single node), Mash
+//! (MinHash, single node), Libra (cosine, 10 nodes) and GenomeAtScale
+//! (exact Jaccard, 1024 nodes) on problem size and parallelism. The
+//! external tools cannot be rerun here, so this experiment compares the
+//! corresponding *algorithm classes* implemented in this repository on one
+//! common corpus:
+//!
+//! * exact single-node Jaccard (sequential and Rayon-parallel) — the DSM
+//!   stand-in,
+//! * MinHash sketching (Mash stand-in) — approximate, with its error
+//!   reported,
+//! * the allreduce-style distributed scheme — the MapReduce-era baseline,
+//! * SimilarityAtScale (this paper) — exact and distributed.
+
+use std::time::Instant;
+
+use gas_bench::report::{format_seconds, Table};
+use gas_bench::scaling::default_sim_rank_cap;
+use gas_bench::workloads::kingsford_collection;
+use gas_core::algorithm::similarity_at_scale_distributed;
+use gas_core::baselines::{allreduce_jaccard_distributed, exact_pairwise_parallel};
+use gas_core::config::SimilarityConfig;
+use gas_core::jaccard::jaccard_exact_pairwise;
+use gas_core::minhash::MinHasher;
+use gas_dstsim::machine::Machine;
+
+fn main() {
+    let collection = kingsford_collection(0.05);
+    let machine = Machine::stampede2_knl();
+    let sim_ranks = default_sim_rank_cap();
+    println!(
+        "Common corpus: n = {} samples, nnz = {}, density = {:.2e}\n",
+        collection.n(),
+        collection.nnz(),
+        collection.density()
+    );
+
+    let mut table = Table::new(
+        "Table II analogue: tool-class comparison on a common corpus",
+        &["tool_class", "paper_counterpart", "ranks", "similarity", "time", "max_abs_error"],
+    );
+
+    // Reference for error measurement.
+    let t0 = Instant::now();
+    let exact = jaccard_exact_pairwise(&collection);
+    let exact_time = t0.elapsed().as_secs_f64();
+    table.push_row(vec![
+        "exact single-thread".into(),
+        "DSM-like".into(),
+        "1".into(),
+        "Jaccard (exact)".into(),
+        format_seconds(exact_time),
+        "0".into(),
+    ]);
+
+    let t0 = Instant::now();
+    let parallel = exact_pairwise_parallel(&collection);
+    let par_time = t0.elapsed().as_secs_f64();
+    table.push_row(vec![
+        "exact single-node (Rayon)".into(),
+        "DSM-like".into(),
+        "1".into(),
+        "Jaccard (exact)".into(),
+        format_seconds(par_time),
+        format!("{:.1e}", exact.max_similarity_diff(&parallel).unwrap()),
+    ]);
+
+    for sketch_size in [128usize, 1024] {
+        let t0 = Instant::now();
+        let approx = MinHasher::new(sketch_size).unwrap().approximate_similarity(&collection);
+        let mh_time = t0.elapsed().as_secs_f64();
+        let err = exact.similarity().max_abs_diff(&approx).unwrap();
+        table.push_row(vec![
+            format!("MinHash sketch s={sketch_size}"),
+            "Mash-like".into(),
+            "1".into(),
+            "Jaccard (approx.)".into(),
+            format_seconds(mh_time),
+            format!("{err:.3}"),
+        ]);
+    }
+
+    let config = SimilarityConfig::with_batches(4);
+    let t0 = Instant::now();
+    let allreduce =
+        allreduce_jaccard_distributed(&collection, &config, sim_ranks, &machine).unwrap();
+    let allreduce_time = t0.elapsed().as_secs_f64();
+    table.push_row(vec![
+        "allreduce-distributed".into(),
+        "MapReduce-era schemes".into(),
+        sim_ranks.to_string(),
+        "Jaccard (exact)".into(),
+        format_seconds(allreduce_time),
+        format!("{:.1e}", exact.max_similarity_diff(&allreduce.result).unwrap()),
+    ]);
+
+    let t0 = Instant::now();
+    let ours = similarity_at_scale_distributed(&collection, &config, sim_ranks, &machine).unwrap();
+    let ours_time = t0.elapsed().as_secs_f64();
+    table.push_row(vec![
+        "SimilarityAtScale (this paper)".into(),
+        "GenomeAtScale".into(),
+        sim_ranks.to_string(),
+        "Jaccard (exact)".into(),
+        format_seconds(ours_time),
+        format!("{:.1e}", exact.max_similarity_diff(&ours.result).unwrap()),
+    ]);
+
+    table.print();
+    let path = table
+        .write_csv(gas_bench::report::results_dir(), "table2_tool_comparison")
+        .expect("write CSV");
+    println!("CSV written to {}", path.display());
+
+    println!(
+        "\nCommunication volume: SimilarityAtScale moved {} bytes/rank vs {} bytes/rank for the allreduce scheme.",
+        ours.aggregate.total_bytes_sent / ours.nranks as u64,
+        allreduce.aggregate.total_bytes_sent / allreduce.nranks as u64
+    );
+    println!(
+        "Paper context (Table II): GenomeAtScale handles 446,506 samples / 170 TB on 1024 nodes — \
+         orders of magnitude beyond the single-node exact (DSM: 435 samples) and sketching (Mash: 54,118 samples) tools."
+    );
+}

@@ -1,0 +1,148 @@
+//! Table printing and CSV output for the experiment binaries.
+
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+
+/// A simple experiment-result table: a title, column headers and string
+/// rows. Printed to stdout in aligned columns and written to
+/// `results/<name>.csv`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    /// Human-readable table title (printed above the rows).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (each the same length as `headers`).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header count).
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row has {} cells for {} headers",
+            row.len(),
+            self.headers.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// Render the table as aligned text.
+    pub fn to_text(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Print the table to stdout.
+    pub fn print(&self) {
+        println!("{}", self.to_text());
+    }
+
+    /// Write the table as CSV to `dir/<name>.csv`, creating the directory
+    /// if needed. Returns the path written.
+    pub fn write_csv(&self, dir: impl AsRef<Path>, name: &str) -> std::io::Result<std::path::PathBuf> {
+        let dir = dir.as_ref();
+        fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{name}.csv"));
+        let mut f = fs::File::create(&path)?;
+        writeln!(f, "{}", self.headers.join(","))?;
+        for row in &self.rows {
+            writeln!(f, "{}", row.join(","))?;
+        }
+        Ok(path)
+    }
+}
+
+/// Format seconds compactly: milliseconds below one second, otherwise
+/// seconds / minutes / hours / days as appropriate.
+pub fn format_seconds(s: f64) -> String {
+    if s < 1.0 {
+        format!("{:.1} ms", s * 1e3)
+    } else if s < 120.0 {
+        format!("{s:.2} s")
+    } else if s < 7200.0 {
+        format!("{:.2} min", s / 60.0)
+    } else if s < 48.0 * 3600.0 {
+        format!("{:.2} h", s / 3600.0)
+    } else {
+        format!("{:.2} d", s / 86400.0)
+    }
+}
+
+/// Default results directory (relative to the workspace root when run via
+/// `cargo run`).
+pub fn results_dir() -> std::path::PathBuf {
+    std::path::PathBuf::from("results")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_and_writes_csv() {
+        let mut t = Table::new("demo", &["nodes", "time"]);
+        t.push_row(vec!["1".into(), "10.0".into()]);
+        t.push_row(vec!["2".into(), "5.5".into()]);
+        let text = t.to_text();
+        assert!(text.contains("demo"));
+        assert!(text.contains("nodes"));
+        assert!(text.contains("5.5"));
+        let dir = std::env::temp_dir().join("gas_bench_report_test");
+        let path = t.write_csv(&dir, "demo").unwrap();
+        let contents = std::fs::read_to_string(path).unwrap();
+        assert!(contents.starts_with("nodes,time\n"));
+        assert!(contents.contains("2,5.5"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_row_panics() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.push_row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn seconds_formatting_covers_ranges() {
+        assert!(format_seconds(0.01).ends_with("ms"));
+        assert!(format_seconds(5.0).ends_with(" s"));
+        assert!(format_seconds(600.0).ends_with("min"));
+        assert!(format_seconds(10_000.0).ends_with(" h"));
+        assert!(format_seconds(500_000.0).ends_with(" d"));
+    }
+}

@@ -1,0 +1,132 @@
+//! Document-similarity framing (Sections II-G, III-D, Table III).
+//!
+//! In information retrieval the Jaccard similarity compares the word (or
+//! word-shingle) sets of documents. This module turns text into the
+//! sorted `u64` sets the SimilarityAtScale pipeline consumes: each
+//! distinct token (or w-token shingle) is hashed to an attribute id.
+
+use crate::error::{ClusterError, ClusterResult};
+
+/// 64-bit FNV-1a hash of a byte string (stable across runs — attribute
+/// ids must be identical for identical tokens).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Tokenize text into lower-case alphanumeric words.
+pub fn tokenize(text: &str) -> Vec<String> {
+    text.split(|c: char| !c.is_alphanumeric())
+        .filter(|t| !t.is_empty())
+        .map(|t| t.to_lowercase())
+        .collect()
+}
+
+/// Convert a document into the sorted set of hashed word ids.
+pub fn document_word_set(text: &str) -> Vec<u64> {
+    let mut ids: Vec<u64> = tokenize(text).iter().map(|t| fnv1a(t.as_bytes())).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    ids
+}
+
+/// Convert a document into the sorted set of hashed `w`-word shingles
+/// (contiguous windows of `w` tokens), the standard near-duplicate /
+/// plagiarism-detection representation.
+pub fn document_shingle_set(text: &str, w: usize) -> ClusterResult<Vec<u64>> {
+    if w == 0 {
+        return Err(ClusterError::InvalidParameter("shingle width must be positive".to_string()));
+    }
+    let tokens = tokenize(text);
+    if tokens.len() < w {
+        return Ok(Vec::new());
+    }
+    let mut ids: Vec<u64> =
+        tokens.windows(w).map(|win| fnv1a(win.join(" ").as_bytes())).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    Ok(ids)
+}
+
+/// Direct Jaccard similarity of two documents' word sets (reference
+/// helper for tests and small examples).
+pub fn document_similarity(a: &str, b: &str) -> f64 {
+    let sa = document_word_set(a);
+    let sb = document_word_set(b);
+    let (mut i, mut j, mut inter) = (0usize, 0usize, 0usize);
+    while i < sa.len() && j < sb.len() {
+        match sa[i].cmp(&sb[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                inter += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    let union = sa.len() + sb.len() - inter;
+    if union == 0 {
+        1.0
+    } else {
+        inter as f64 / union as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenize_normalizes_case_and_punctuation() {
+        assert_eq!(tokenize("Hello, WORLD! hello?"), vec!["hello", "world", "hello"]);
+        assert!(tokenize("...!!!").is_empty());
+        assert_eq!(tokenize("a1 b2"), vec!["a1", "b2"]);
+    }
+
+    #[test]
+    fn fnv_is_stable_and_distinguishes_strings() {
+        assert_eq!(fnv1a(b"abc"), fnv1a(b"abc"));
+        assert_ne!(fnv1a(b"abc"), fnv1a(b"abd"));
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+    }
+
+    #[test]
+    fn word_sets_dedup_and_sort() {
+        let s = document_word_set("the cat and the dog and the cat");
+        assert_eq!(s.len(), 4);
+        assert!(s.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn identical_documents_have_similarity_one() {
+        assert_eq!(document_similarity("a b c", "c b a"), 1.0);
+        assert_eq!(document_similarity("", ""), 1.0);
+        assert_eq!(document_similarity("a b", "c d"), 0.0);
+    }
+
+    #[test]
+    fn related_documents_score_between_zero_and_one() {
+        let s = document_similarity("the quick brown fox", "the quick red fox");
+        assert!((s - 3.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shingles_capture_word_order() {
+        let a = document_shingle_set("to be or not to be", 2).unwrap();
+        let b = document_shingle_set("be to not or be to", 2).unwrap();
+        // Same word sets, different order: shingle sets differ.
+        assert_ne!(a, b);
+        assert!(document_shingle_set("one two", 3).unwrap().is_empty());
+        assert!(document_shingle_set("x", 0).is_err());
+        // Width-1 shingles equal the word set.
+        assert_eq!(
+            document_shingle_set("cat dog cat", 1).unwrap().len(),
+            document_word_set("cat dog cat").len()
+        );
+    }
+}

@@ -1,0 +1,99 @@
+//! Error types for the downstream-application crate.
+
+use std::fmt;
+
+/// Result alias for clustering operations.
+pub type ClusterResult<T> = Result<T, ClusterError>;
+
+/// Errors produced by clustering / tree-building routines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterError {
+    /// A distance matrix was not square, not symmetric, or had a bad size.
+    InvalidDistanceMatrix(String),
+    /// A parameter (k, number of clusters, ...) is out of range.
+    InvalidParameter(String),
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::InvalidDistanceMatrix(msg) => {
+                write!(f, "invalid distance matrix: {msg}")
+            }
+            ClusterError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+/// Validate that a matrix is a usable distance matrix: square, zero
+/// diagonal (within tolerance) and symmetric (within tolerance).
+pub fn validate_distance_matrix(
+    d: &gas_sparse::dense::DenseMatrix<f64>,
+) -> ClusterResult<()> {
+    if d.nrows() != d.ncols() {
+        return Err(ClusterError::InvalidDistanceMatrix(format!(
+            "matrix is {}x{}, expected square",
+            d.nrows(),
+            d.ncols()
+        )));
+    }
+    if d.nrows() == 0 {
+        return Err(ClusterError::InvalidDistanceMatrix("matrix is empty".to_string()));
+    }
+    for i in 0..d.nrows() {
+        if d.get(i, i).abs() > 1e-9 {
+            return Err(ClusterError::InvalidDistanceMatrix(format!(
+                "diagonal entry ({i}, {i}) = {} is not zero",
+                d.get(i, i)
+            )));
+        }
+        for j in 0..d.ncols() {
+            if (d.get(i, j) - d.get(j, i)).abs() > 1e-9 {
+                return Err(ClusterError::InvalidDistanceMatrix(format!(
+                    "asymmetric at ({i}, {j})"
+                )));
+            }
+            if d.get(i, j) < 0.0 {
+                return Err(ClusterError::InvalidDistanceMatrix(format!(
+                    "negative distance at ({i}, {j})"
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gas_sparse::dense::DenseMatrix;
+
+    #[test]
+    fn accepts_valid_distance_matrix() {
+        let d =
+            DenseMatrix::from_vec(2, 2, vec![0.0, 0.5, 0.5, 0.0]).unwrap();
+        assert!(validate_distance_matrix(&d).is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_matrices() {
+        let non_square = DenseMatrix::<f64>::zeros(2, 3);
+        assert!(validate_distance_matrix(&non_square).is_err());
+        let empty = DenseMatrix::<f64>::zeros(0, 0);
+        assert!(validate_distance_matrix(&empty).is_err());
+        let bad_diag = DenseMatrix::from_vec(2, 2, vec![0.1, 0.5, 0.5, 0.0]).unwrap();
+        assert!(validate_distance_matrix(&bad_diag).is_err());
+        let asym = DenseMatrix::from_vec(2, 2, vec![0.0, 0.5, 0.4, 0.0]).unwrap();
+        assert!(validate_distance_matrix(&asym).is_err());
+        let neg = DenseMatrix::from_vec(2, 2, vec![0.0, -0.5, -0.5, 0.0]).unwrap();
+        assert!(validate_distance_matrix(&neg).is_err());
+    }
+
+    #[test]
+    fn display_messages() {
+        assert!(ClusterError::InvalidParameter("k = 0".into()).to_string().contains("k = 0"));
+        assert!(ClusterError::InvalidDistanceMatrix("x".into()).to_string().contains("x"));
+    }
+}

@@ -1,0 +1,267 @@
+//! Agglomerative hierarchical clustering over a distance matrix.
+//!
+//! The Jaccard distance is a metric, so it plugs directly into standard
+//! hierarchical clustering (Section II-C). Average linkage over a Jaccard
+//! distance matrix is the classic way to group sequencing samples before
+//! joint analysis (Fig. 1, step 7).
+
+use gas_sparse::dense::DenseMatrix;
+use serde::{Deserialize, Serialize};
+
+use crate::error::{validate_distance_matrix, ClusterError, ClusterResult};
+
+/// Linkage criterion for merging clusters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Linkage {
+    /// Minimum pairwise distance between members.
+    Single,
+    /// Maximum pairwise distance between members.
+    Complete,
+    /// Unweighted average pairwise distance (UPGMA).
+    Average,
+}
+
+/// One merge step of the dendrogram: clusters `a` and `b` (indices into
+/// the node numbering where leaves are `0..n` and the i-th merge creates
+/// node `n + i`) joined at the given linkage distance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Merge {
+    /// First merged node id.
+    pub a: usize,
+    /// Second merged node id.
+    pub b: usize,
+    /// Linkage distance at which the merge happened.
+    pub distance: f64,
+    /// Number of leaves under the new node.
+    pub size: usize,
+}
+
+/// The result of hierarchical clustering: a sequence of `n − 1` merges.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dendrogram {
+    n_leaves: usize,
+    merges: Vec<Merge>,
+}
+
+impl Dendrogram {
+    /// Number of observations (leaves).
+    pub fn n_leaves(&self) -> usize {
+        self.n_leaves
+    }
+
+    /// The merge steps in the order they happened.
+    pub fn merges(&self) -> &[Merge] {
+        &self.merges
+    }
+
+    /// Cut the dendrogram into `k` clusters and return a cluster label per
+    /// leaf (labels are `0..k` in order of first appearance).
+    pub fn cut(&self, k: usize) -> ClusterResult<Vec<usize>> {
+        let n = self.n_leaves;
+        if k == 0 || k > n {
+            return Err(ClusterError::InvalidParameter(format!(
+                "cannot cut {n} leaves into {k} clusters"
+            )));
+        }
+        // Apply the first n - k merges with a union-find structure.
+        let mut parent: Vec<usize> = (0..2 * n - 1).map(|_| usize::MAX).collect();
+        fn find(parent: &[usize], mut x: usize) -> usize {
+            while parent[x] != usize::MAX {
+                x = parent[x];
+            }
+            x
+        }
+        for (i, m) in self.merges.iter().take(n - k).enumerate() {
+            let new_node = n + i;
+            let root_a = find(&parent, m.a);
+            parent[root_a] = new_node;
+            let root_b = find(&parent, m.b);
+            parent[root_b] = new_node;
+        }
+        let mut labels = vec![usize::MAX; n];
+        let mut next = 0usize;
+        let mut root_label: std::collections::HashMap<usize, usize> = Default::default();
+        for leaf in 0..n {
+            let root = find(&parent, leaf);
+            let label = *root_label.entry(root).or_insert_with(|| {
+                let l = next;
+                next += 1;
+                l
+            });
+            labels[leaf] = label;
+        }
+        Ok(labels)
+    }
+
+    /// The distance at which the last merge happened (the tree height).
+    pub fn height(&self) -> f64 {
+        self.merges.last().map(|m| m.distance).unwrap_or(0.0)
+    }
+}
+
+/// Cluster the observations described by the symmetric distance matrix
+/// `dist` with the given linkage. Runs in `O(n³)` time which is ample for
+/// the sample counts a distance matrix can hold in memory.
+pub fn hierarchical_cluster(
+    dist: &DenseMatrix<f64>,
+    linkage: Linkage,
+) -> ClusterResult<Dendrogram> {
+    validate_distance_matrix(dist)?;
+    let n = dist.nrows();
+    // Active cluster state: node id, member leaves, and a working
+    // distance row to all other active clusters.
+    let mut active: Vec<usize> = (0..n).collect(); // node ids
+    let mut members: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
+    let mut d: Vec<Vec<f64>> = (0..n).map(|i| dist.row(i).to_vec()).collect();
+    let mut merges = Vec::with_capacity(n.saturating_sub(1));
+    let mut next_node = n;
+
+    while active.len() > 1 {
+        // Find the closest pair of active clusters.
+        let (mut bi, mut bj, mut best) = (0usize, 1usize, f64::INFINITY);
+        for i in 0..active.len() {
+            for j in (i + 1)..active.len() {
+                if d[i][j] < best {
+                    best = d[i][j];
+                    bi = i;
+                    bj = j;
+                }
+            }
+        }
+        let (lo, hi) = (bi.min(bj), bi.max(bj));
+        let new_members: Vec<usize> =
+            members[lo].iter().chain(members[hi].iter()).copied().collect();
+        merges.push(Merge {
+            a: active[lo],
+            b: active[hi],
+            distance: best,
+            size: new_members.len(),
+        });
+        // Compute distances of the merged cluster to the remaining ones.
+        let size_lo = members[lo].len() as f64;
+        let size_hi = members[hi].len() as f64;
+        let mut new_row = Vec::with_capacity(active.len() - 1);
+        for k in 0..active.len() {
+            if k == lo || k == hi {
+                continue;
+            }
+            let v = match linkage {
+                Linkage::Single => d[lo][k].min(d[hi][k]),
+                Linkage::Complete => d[lo][k].max(d[hi][k]),
+                Linkage::Average => {
+                    (size_lo * d[lo][k] + size_hi * d[hi][k]) / (size_lo + size_hi)
+                }
+            };
+            new_row.push(v);
+        }
+        // Remove hi then lo (hi > lo) from all state, then append the new
+        // cluster.
+        for row in d.iter_mut() {
+            row.remove(hi);
+            row.remove(lo);
+        }
+        d.remove(hi);
+        d.remove(lo);
+        active.remove(hi);
+        active.remove(lo);
+        members.remove(hi);
+        members.remove(lo);
+        for (row, &v) in d.iter_mut().zip(new_row.iter()) {
+            row.push(v);
+        }
+        let mut full_new_row = new_row;
+        full_new_row.push(0.0);
+        d.push(full_new_row);
+        active.push(next_node);
+        members.push(new_members);
+        next_node += 1;
+    }
+    Ok(Dendrogram { n_leaves: n, merges })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two tight groups {0,1} and {2,3}, far apart.
+    fn two_groups() -> DenseMatrix<f64> {
+        DenseMatrix::from_vec(
+            4,
+            4,
+            vec![
+                0.0, 0.1, 0.9, 0.8, //
+                0.1, 0.0, 0.85, 0.9, //
+                0.9, 0.85, 0.0, 0.05, //
+                0.8, 0.9, 0.05, 0.0,
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn merges_have_monotone_sizes_and_count() {
+        let dend = hierarchical_cluster(&two_groups(), Linkage::Average).unwrap();
+        assert_eq!(dend.n_leaves(), 4);
+        assert_eq!(dend.merges().len(), 3);
+        assert_eq!(dend.merges().last().unwrap().size, 4);
+        assert!(dend.height() > 0.0);
+    }
+
+    #[test]
+    fn cut_recovers_the_two_groups() {
+        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average] {
+            let dend = hierarchical_cluster(&two_groups(), linkage).unwrap();
+            let labels = dend.cut(2).unwrap();
+            assert_eq!(labels[0], labels[1], "{linkage:?}");
+            assert_eq!(labels[2], labels[3], "{linkage:?}");
+            assert_ne!(labels[0], labels[2], "{linkage:?}");
+        }
+    }
+
+    #[test]
+    fn cut_extremes() {
+        let dend = hierarchical_cluster(&two_groups(), Linkage::Average).unwrap();
+        let all_separate = dend.cut(4).unwrap();
+        assert_eq!(all_separate, vec![0, 1, 2, 3]);
+        let all_together = dend.cut(1).unwrap();
+        assert!(all_together.iter().all(|&l| l == 0));
+        assert!(dend.cut(0).is_err());
+        assert!(dend.cut(5).is_err());
+    }
+
+    #[test]
+    fn single_observation() {
+        let d = DenseMatrix::from_vec(1, 1, vec![0.0]).unwrap();
+        let dend = hierarchical_cluster(&d, Linkage::Single).unwrap();
+        assert_eq!(dend.merges().len(), 0);
+        assert_eq!(dend.cut(1).unwrap(), vec![0]);
+        assert_eq!(dend.height(), 0.0);
+    }
+
+    #[test]
+    fn linkages_differ_on_chained_data() {
+        // A chain 0 - 1 - 2 - 3 where single linkage merges everything at
+        // 0.3 but complete linkage sees larger inter-cluster distances.
+        let d = DenseMatrix::from_vec(
+            4,
+            4,
+            vec![
+                0.0, 0.3, 0.6, 0.9, //
+                0.3, 0.0, 0.3, 0.6, //
+                0.6, 0.3, 0.0, 0.3, //
+                0.9, 0.6, 0.3, 0.0,
+            ],
+        )
+        .unwrap();
+        let single = hierarchical_cluster(&d, Linkage::Single).unwrap();
+        let complete = hierarchical_cluster(&d, Linkage::Complete).unwrap();
+        assert!(single.height() < complete.height());
+        assert!((single.height() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_matrices_are_rejected() {
+        let bad = DenseMatrix::<f64>::zeros(2, 3);
+        assert!(hierarchical_cluster(&bad, Linkage::Average).is_err());
+    }
+}

@@ -1,0 +1,193 @@
+//! k-medoids clustering over a precomputed distance matrix.
+//!
+//! Section II-C notes that the Jaccard distance can drive centroid-style
+//! clustering of categorical data. With sets there is no meaningful
+//! centroid, so the standard choice is k-medoids (PAM): cluster centers
+//! are actual samples and only the distance matrix is needed.
+
+use gas_sparse::dense::DenseMatrix;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::error::{validate_distance_matrix, ClusterError, ClusterResult};
+
+/// Result of a k-medoids run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KMedoidsResult {
+    /// Indices of the chosen medoid samples (length `k`).
+    pub medoids: Vec<usize>,
+    /// Cluster assignment of each sample (values in `0..k`).
+    pub assignments: Vec<usize>,
+    /// Total within-cluster distance (the PAM objective).
+    pub total_cost: f64,
+    /// Number of improvement sweeps performed.
+    pub iterations: usize,
+}
+
+/// Run k-medoids (a PAM-style alternating refinement) on the symmetric
+/// distance matrix `dist`.
+pub fn k_medoids(
+    dist: &DenseMatrix<f64>,
+    k: usize,
+    max_iterations: usize,
+    seed: u64,
+) -> ClusterResult<KMedoidsResult> {
+    validate_distance_matrix(dist)?;
+    let n = dist.nrows();
+    if k == 0 || k > n {
+        return Err(ClusterError::InvalidParameter(format!(
+            "k = {k} is invalid for {n} samples"
+        )));
+    }
+    // Farthest-point initialization: a random first medoid, then greedily
+    // add the sample farthest from the already-chosen medoids. This seeds
+    // one medoid per well-separated group, which random seeding does not
+    // guarantee.
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(&mut rng);
+    let mut medoids: Vec<usize> = vec![order[0]];
+    while medoids.len() < k {
+        let next = (0..n)
+            .filter(|i| !medoids.contains(i))
+            .max_by(|&a, &b| {
+                let da = medoids.iter().map(|&m| dist.get(a, m)).fold(f64::INFINITY, f64::min);
+                let db = medoids.iter().map(|&m| dist.get(b, m)).fold(f64::INFINITY, f64::min);
+                da.partial_cmp(&db).expect("distances are finite")
+            })
+            .expect("fewer medoids than samples");
+        medoids.push(next);
+    }
+
+    let assign = |medoids: &[usize]| -> (Vec<usize>, f64) {
+        let mut assignments = vec![0usize; n];
+        let mut cost = 0.0;
+        for i in 0..n {
+            let (best_c, best_d) = medoids
+                .iter()
+                .enumerate()
+                .map(|(c, &m)| (c, dist.get(i, m)))
+                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("distances are finite"))
+                .expect("k >= 1");
+            assignments[i] = best_c;
+            cost += best_d;
+        }
+        (assignments, cost)
+    };
+
+    let (mut assignments, mut total_cost) = assign(&medoids);
+    let mut iterations = 0;
+    for _ in 0..max_iterations {
+        iterations += 1;
+        let mut improved = false;
+        // For each cluster, move its medoid to the member minimizing the
+        // within-cluster distance sum.
+        for c in 0..k {
+            let members: Vec<usize> =
+                (0..n).filter(|&i| assignments[i] == c).collect();
+            if members.is_empty() {
+                continue;
+            }
+            let best = members
+                .iter()
+                .map(|&cand| {
+                    let cost: f64 = members.iter().map(|&m| dist.get(cand, m)).sum();
+                    (cand, cost)
+                })
+                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+                .expect("non-empty cluster");
+            if best.0 != medoids[c] {
+                medoids[c] = best.0;
+                improved = true;
+            }
+        }
+        let (new_assignments, new_cost) = assign(&medoids);
+        if new_cost + 1e-12 < total_cost {
+            improved = true;
+        }
+        assignments = new_assignments;
+        total_cost = new_cost;
+        if !improved {
+            break;
+        }
+    }
+    Ok(KMedoidsResult { medoids, assignments, total_cost, iterations })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three well-separated groups of three samples each.
+    fn three_groups() -> DenseMatrix<f64> {
+        let n = 9;
+        let mut d = DenseMatrix::<f64>::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let same_group = i / 3 == j / 3;
+                d.set(i, j, if same_group { 0.05 } else { 0.9 });
+            }
+        }
+        d
+    }
+
+    #[test]
+    fn recovers_well_separated_groups() {
+        let r = k_medoids(&three_groups(), 3, 20, 1).unwrap();
+        assert_eq!(r.medoids.len(), 3);
+        assert_eq!(r.assignments.len(), 9);
+        for g in 0..3 {
+            let labels: Vec<usize> =
+                (g * 3..g * 3 + 3).map(|i| r.assignments[i]).collect();
+            assert!(labels.iter().all(|&l| l == labels[0]), "group {g}: {labels:?}");
+        }
+        // All three groups get distinct labels.
+        let mut distinct: Vec<usize> = r.assignments.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert_eq!(distinct.len(), 3);
+        // Cost of a perfect clustering: each member at distance <= 0.05*2 from medoid.
+        assert!(r.total_cost < 1.0);
+        assert!(r.iterations >= 1);
+    }
+
+    #[test]
+    fn k_equal_n_gives_zero_cost() {
+        let d = three_groups();
+        let r = k_medoids(&d, 9, 10, 3).unwrap();
+        assert!(r.total_cost < 1e-12);
+        let mut m = r.medoids.clone();
+        m.sort_unstable();
+        m.dedup();
+        assert_eq!(m.len(), 9);
+    }
+
+    #[test]
+    fn k_one_selects_a_central_medoid() {
+        let r = k_medoids(&three_groups(), 1, 10, 5).unwrap();
+        assert_eq!(r.medoids.len(), 1);
+        assert!(r.assignments.iter().all(|&a| a == 0));
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let d = three_groups();
+        let a = k_medoids(&d, 3, 20, 7).unwrap();
+        let b = k_medoids(&d, 3, 20, 7).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        let d = three_groups();
+        assert!(k_medoids(&d, 0, 10, 1).is_err());
+        assert!(k_medoids(&d, 10, 10, 1).is_err());
+        let bad = DenseMatrix::<f64>::zeros(2, 3);
+        assert!(k_medoids(&bad, 1, 10, 1).is_err());
+    }
+}

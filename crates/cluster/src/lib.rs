@@ -1,0 +1,33 @@
+//! # gas-cluster — downstream consumers of Jaccard distance matrices
+//!
+//! The paper motivates exact all-pairs Jaccard matrices by what is built
+//! on top of them (Sections II-B through II-G and Fig. 1, steps 7–9):
+//! clustering samples, constructing phylogenetic/guide trees, detecting
+//! anomalous samples, and re-using the same machinery for graph-vertex and
+//! document similarity. This crate implements those downstream
+//! applications so the examples and experiments can run the full pipeline
+//! end-to-end:
+//!
+//! * [`hierarchical`] — agglomerative clustering (single / complete /
+//!   average-UPGMA linkage) over a distance matrix;
+//! * [`nj`] — neighbor-joining tree construction with Newick output (the
+//!   guide trees used for multiple sequence alignment);
+//! * [`kmedoids`] — k-medoids partitioning (the k-means-style use of the
+//!   Jaccard distance on categorical data);
+//! * [`outlier`] — proximity-based anomaly detection;
+//! * [`graph`] — the vertex-neighborhood framing of Table III;
+//! * [`documents`] — the word-set framing of Table III.
+
+pub mod documents;
+pub mod error;
+pub mod graph;
+pub mod hierarchical;
+pub mod kmedoids;
+pub mod nj;
+pub mod outlier;
+
+pub use error::{ClusterError, ClusterResult};
+pub use hierarchical::{hierarchical_cluster, Dendrogram, Linkage};
+pub use kmedoids::k_medoids;
+pub use nj::{neighbor_joining, PhyloTree};
+pub use outlier::knn_outlier_scores;

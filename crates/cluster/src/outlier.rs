@@ -1,0 +1,120 @@
+//! Proximity-based anomaly detection (Section II-D).
+//!
+//! With a Jaccard distance matrix in hand, a sample is anomalous when it
+//! is far from everything else — e.g. a contaminated or mislabeled
+//! sequencing experiment. The classic proximity-based score is the mean
+//! distance to the k nearest neighbors.
+
+use gas_sparse::dense::DenseMatrix;
+
+use crate::error::{validate_distance_matrix, ClusterError, ClusterResult};
+
+/// Mean distance of each sample to its `k` nearest neighbors (excluding
+/// itself). Larger scores indicate more anomalous samples.
+pub fn knn_outlier_scores(dist: &DenseMatrix<f64>, k: usize) -> ClusterResult<Vec<f64>> {
+    validate_distance_matrix(dist)?;
+    let n = dist.nrows();
+    if k == 0 || k >= n {
+        return Err(ClusterError::InvalidParameter(format!(
+            "k = {k} is invalid for {n} samples (need 1 <= k < n)"
+        )));
+    }
+    let mut scores = Vec::with_capacity(n);
+    let mut row: Vec<f64> = Vec::with_capacity(n - 1);
+    for i in 0..n {
+        row.clear();
+        for j in 0..n {
+            if j != i {
+                row.push(dist.get(i, j));
+            }
+        }
+        row.sort_by(|a, b| a.partial_cmp(b).expect("distances are finite"));
+        scores.push(row[..k].iter().sum::<f64>() / k as f64);
+    }
+    Ok(scores)
+}
+
+/// Indices of samples whose score exceeds `mean + n_sigmas · stddev` of
+/// the score distribution.
+pub fn detect_outliers(
+    dist: &DenseMatrix<f64>,
+    k: usize,
+    n_sigmas: f64,
+) -> ClusterResult<Vec<usize>> {
+    let scores = knn_outlier_scores(dist, k)?;
+    let n = scores.len() as f64;
+    let mean = scores.iter().sum::<f64>() / n;
+    let var = scores.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n;
+    let threshold = mean + n_sigmas * var.sqrt();
+    Ok(scores
+        .iter()
+        .enumerate()
+        .filter(|(_, &s)| s > threshold)
+        .map(|(i, _)| i)
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Five similar samples plus one far-away outlier (index 5).
+    fn with_outlier() -> DenseMatrix<f64> {
+        let n = 6;
+        let mut d = DenseMatrix::<f64>::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let far = i == 5 || j == 5;
+                d.set(i, j, if far { 0.95 } else { 0.1 });
+            }
+        }
+        d
+    }
+
+    #[test]
+    fn outlier_has_the_largest_score() {
+        let scores = knn_outlier_scores(&with_outlier(), 3).unwrap();
+        let max_idx = scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(max_idx, 5);
+        assert!(scores[5] > 3.0 * scores[0]);
+    }
+
+    #[test]
+    fn detect_outliers_flags_only_the_outlier() {
+        let flagged = detect_outliers(&with_outlier(), 3, 1.5).unwrap();
+        assert_eq!(flagged, vec![5]);
+    }
+
+    #[test]
+    fn homogeneous_data_has_no_outliers() {
+        let n = 5;
+        let mut d = DenseMatrix::<f64>::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    d.set(i, j, 0.5);
+                }
+            }
+        }
+        assert!(detect_outliers(&d, 2, 2.0).unwrap().is_empty());
+        let scores = knn_outlier_scores(&d, 2).unwrap();
+        assert!(scores.iter().all(|&s| (s - 0.5).abs() < 1e-12));
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        let d = with_outlier();
+        assert!(knn_outlier_scores(&d, 0).is_err());
+        assert!(knn_outlier_scores(&d, 6).is_err());
+        let bad = DenseMatrix::<f64>::zeros(2, 3);
+        assert!(knn_outlier_scores(&bad, 1).is_err());
+    }
+}

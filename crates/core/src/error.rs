@@ -1,0 +1,81 @@
+//! Error types for the SimilarityAtScale core crate.
+
+use std::fmt;
+
+/// Result alias for core-algorithm operations.
+pub type CoreResult<T> = Result<T, CoreError>;
+
+/// Errors produced by the SimilarityAtScale pipeline.
+#[derive(Debug)]
+pub enum CoreError {
+    /// The sample collection is malformed (unsorted values, empty, ...).
+    InvalidInput(String),
+    /// The configuration is unusable (zero batches, zero ranks, ...).
+    InvalidConfig(String),
+    /// An error from the sparse linear-algebra layer.
+    Sparse(gas_sparse::SparseError),
+    /// An error from the simulated distributed runtime.
+    Sim(gas_dstsim::SimError),
+    /// An error from the genomics layer.
+    Genomics(gas_genomics::GenomicsError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+            CoreError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            CoreError::Sparse(e) => write!(f, "sparse algebra error: {e}"),
+            CoreError::Sim(e) => write!(f, "distributed runtime error: {e}"),
+            CoreError::Genomics(e) => write!(f, "genomics error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Sparse(e) => Some(e),
+            CoreError::Sim(e) => Some(e),
+            CoreError::Genomics(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<gas_sparse::SparseError> for CoreError {
+    fn from(e: gas_sparse::SparseError) -> Self {
+        CoreError::Sparse(e)
+    }
+}
+
+impl From<gas_dstsim::SimError> for CoreError {
+    fn from(e: gas_dstsim::SimError) -> Self {
+        CoreError::Sim(e)
+    }
+}
+
+impl From<gas_genomics::GenomicsError> for CoreError {
+    fn from(e: gas_genomics::GenomicsError) -> Self {
+        CoreError::Genomics(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        let e = CoreError::InvalidInput("unsorted".into());
+        assert!(e.to_string().contains("unsorted"));
+        let e = CoreError::InvalidConfig("zero batches".into());
+        assert!(e.to_string().contains("zero batches"));
+        let e: CoreError = gas_sparse::SparseError::ShapeMismatch { context: "x".into() }.into();
+        assert!(e.to_string().contains("sparse"));
+        let e: CoreError = gas_dstsim::SimError::InvalidWorldSize(0).into();
+        assert!(e.to_string().contains("runtime"));
+        let e: CoreError = gas_genomics::GenomicsError::InvalidK(99).into();
+        assert!(e.to_string().contains("99"));
+    }
+}

@@ -1,0 +1,80 @@
+//! Zero-row filtering of a batch (Eqs. 5–6).
+//!
+//! Genomic indicator matrices are hypersparse: within a batch of `m̃`
+//! rows, the overwhelming majority have no entry in any sample. Before
+//! bit-packing, SimilarityAtScale builds a filter vector `f^(l)` marking
+//! the rows that appear in at least one sample and renumbers the
+//! surviving rows contiguously via a prefix sum. This module provides the
+//! shared-memory filter; the distributed variant (built on the simulated
+//! runtime's collectives) lives in `gas_sparse::dist::filter`.
+
+pub use gas_sparse::dist::filter::RowFilter;
+
+/// Build the zero-row filter of a batch from its per-sample column lists
+/// (batch-local row indices).
+pub fn batch_row_filter(batch_rows: usize, columns: &[Vec<usize>]) -> RowFilter {
+    let mut rows: Vec<usize> = columns.iter().flatten().copied().collect();
+    rows.sort_unstable();
+    rows.dedup();
+    RowFilter::from_local(batch_rows, rows)
+}
+
+/// Apply a filter to the batch columns: every surviving row index is
+/// replaced by its compacted index; rows removed by the filter are
+/// dropped (they cannot occur if the filter was built from the same
+/// columns, but an externally supplied filter may be narrower).
+pub fn apply_filter(columns: &[Vec<usize>], filter: &RowFilter) -> Vec<Vec<usize>> {
+    columns
+        .iter()
+        .map(|col| col.iter().filter_map(|&r| filter.compacted_index(r)).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filter_collects_union_of_rows() {
+        let columns = vec![vec![2, 900], vec![2, 7], vec![]];
+        let f = batch_row_filter(1000, &columns);
+        assert_eq!(f.nonzero_rows(), &[2, 7, 900]);
+        assert_eq!(f.num_nonzero_rows(), 3);
+        assert!((f.removed_fraction() - 0.997).abs() < 1e-9);
+    }
+
+    #[test]
+    fn apply_filter_renumbers_contiguously() {
+        let columns = vec![vec![2, 900], vec![2, 7], vec![]];
+        let f = batch_row_filter(1000, &columns);
+        let filtered = apply_filter(&columns, &f);
+        assert_eq!(filtered[0], vec![0, 2]);
+        assert_eq!(filtered[1], vec![0, 1]);
+        assert!(filtered[2].is_empty());
+    }
+
+    #[test]
+    fn filtering_preserves_per_column_counts() {
+        let columns = vec![vec![10, 20, 30], vec![20, 40], vec![999]];
+        let f = batch_row_filter(1000, &columns);
+        let filtered = apply_filter(&columns, &f);
+        for (orig, filt) in columns.iter().zip(filtered.iter()) {
+            assert_eq!(orig.len(), filt.len());
+        }
+    }
+
+    #[test]
+    fn narrower_external_filter_drops_rows() {
+        let columns = vec![vec![1, 5, 9]];
+        let narrow = RowFilter::from_local(10, vec![5]);
+        let filtered = apply_filter(&columns, &narrow);
+        assert_eq!(filtered[0], vec![0]);
+    }
+
+    #[test]
+    fn empty_batch_yields_empty_filter() {
+        let f = batch_row_filter(100, &[vec![], vec![]]);
+        assert_eq!(f.num_nonzero_rows(), 0);
+        assert_eq!(apply_filter(&[vec![], vec![]], &f), vec![vec![], vec![]]);
+    }
+}

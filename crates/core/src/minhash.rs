@@ -1,0 +1,270 @@
+//! MinHash (bottom-k) sketching — the Mash-style baseline.
+//!
+//! The paper motivates exact distributed Jaccard by noting that MinHash
+//! approximations (Mash) "often lead to inaccurate approximations of d_J
+//! for highly similar pairs of sequence sets, and tend to be ineffective
+//! for computation of a distance between highly dissimilar sets unless
+//! very large sketch sizes are used" (Section I). This module implements
+//! the bottom-k MinHash sketch and the Mash distance estimator so the
+//! reproduction can quantify that accuracy/size trade-off (Table II
+//! context and the `minhash_accuracy` experiment).
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{CoreError, CoreResult};
+use crate::indicator::SampleCollection;
+use gas_sparse::dense::DenseMatrix;
+
+/// 64-bit finalizer used as the sketch hash (splitmix64).
+#[inline]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A bottom-k MinHash sketch: the `k` smallest hash values of a set.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MinHashSketch {
+    hashes: Vec<u64>,
+    sketch_size: usize,
+    set_size: usize,
+}
+
+impl MinHashSketch {
+    /// The sorted bottom-k hash values.
+    pub fn hashes(&self) -> &[u64] {
+        &self.hashes
+    }
+
+    /// Configured sketch size `s`.
+    pub fn sketch_size(&self) -> usize {
+        self.sketch_size
+    }
+
+    /// Size of the original set.
+    pub fn set_size(&self) -> usize {
+        self.set_size
+    }
+
+    /// Estimate `J(A, B)` with the bottom-k estimator: take the `s`
+    /// smallest values of the union of the two sketches and count how many
+    /// appear in both (the Mash estimator).
+    pub fn jaccard_estimate(&self, other: &MinHashSketch) -> f64 {
+        if self.hashes.is_empty() && other.hashes.is_empty() {
+            return 1.0;
+        }
+        let s = self.sketch_size.min(other.sketch_size);
+        // Merge the two sorted lists keeping the s smallest distinct values.
+        let mut shared = 0usize;
+        let mut taken = 0usize;
+        let (mut i, mut j) = (0usize, 0usize);
+        while taken < s && (i < self.hashes.len() || j < other.hashes.len()) {
+            let a = self.hashes.get(i).copied();
+            let b = other.hashes.get(j).copied();
+            match (a, b) {
+                (Some(x), Some(y)) if x == y => {
+                    shared += 1;
+                    i += 1;
+                    j += 1;
+                }
+                (Some(x), Some(y)) if x < y => i += 1,
+                (Some(_), Some(_)) => j += 1,
+                (Some(_), None) => i += 1,
+                (None, Some(_)) => j += 1,
+                (None, None) => break,
+            }
+            taken += 1;
+        }
+        if taken == 0 {
+            return 0.0;
+        }
+        shared as f64 / taken as f64
+    }
+
+    /// The Mash distance `-ln(2j / (1 + j)) / k` for k-mer length `k`,
+    /// clamped to `[0, 1]`; `j = 0` maps to distance 1.
+    pub fn mash_distance(&self, other: &MinHashSketch, k: usize) -> f64 {
+        let j = self.jaccard_estimate(other);
+        if j <= 0.0 {
+            return 1.0;
+        }
+        (-(2.0 * j / (1.0 + j)).ln() / k as f64).clamp(0.0, 1.0)
+    }
+}
+
+/// Builds MinHash sketches with a fixed sketch size and hash seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MinHasher {
+    sketch_size: usize,
+    seed: u64,
+}
+
+impl MinHasher {
+    /// Create a sketcher with the given sketch size (Mash defaults to
+    /// 1,000; the paper argues much larger sizes are needed for accuracy).
+    pub fn new(sketch_size: usize) -> CoreResult<Self> {
+        if sketch_size == 0 {
+            return Err(CoreError::InvalidConfig("sketch size must be positive".to_string()));
+        }
+        Ok(MinHasher { sketch_size, seed: 0x6D61_7368 })
+    }
+
+    /// Use a specific hash seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sketch size `s`.
+    pub fn sketch_size(&self) -> usize {
+        self.sketch_size
+    }
+
+    /// Sketch a set of values (k-mer codes).
+    pub fn sketch(&self, values: &[u64]) -> MinHashSketch {
+        // Mix the seed through the finalizer first so that nearby seeds
+        // produce unrelated hash functions.
+        let seed = splitmix64(self.seed);
+        let mut hashes: Vec<u64> = values.iter().map(|&v| splitmix64(v ^ seed)).collect();
+        hashes.sort_unstable();
+        hashes.dedup();
+        hashes.truncate(self.sketch_size);
+        MinHashSketch { hashes, sketch_size: self.sketch_size, set_size: values.len() }
+    }
+
+    /// Sketch every sample of a collection.
+    pub fn sketch_collection(&self, collection: &SampleCollection) -> Vec<MinHashSketch> {
+        (0..collection.n()).map(|i| self.sketch(collection.sample(i))).collect()
+    }
+
+    /// All-pairs estimated Jaccard similarity matrix from sketches — the
+    /// Mash-style approximate counterpart of SimilarityAtScale's exact
+    /// matrix.
+    pub fn approximate_similarity(&self, collection: &SampleCollection) -> DenseMatrix<f64> {
+        let sketches = self.sketch_collection(collection);
+        let n = sketches.len();
+        let mut s = DenseMatrix::<f64>::zeros(n, n);
+        for i in 0..n {
+            s.set(i, i, 1.0);
+            for j in (i + 1)..n {
+                let est = sketches[i].jaccard_estimate(&sketches[j]);
+                s.set(i, j, est);
+                s.set(j, i, est);
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jaccard::jaccard_exact_pairwise;
+
+    fn overlapping_sets(size: usize, overlap: usize) -> (Vec<u64>, Vec<u64>) {
+        let a: Vec<u64> = (0..size as u64).collect();
+        let b: Vec<u64> = (size as u64 - overlap as u64..2 * size as u64 - overlap as u64).collect();
+        (a, b)
+    }
+
+    #[test]
+    fn splitmix_is_deterministic_and_spreads_bits() {
+        assert_eq!(splitmix64(1), splitmix64(1));
+        assert_ne!(splitmix64(1), splitmix64(2));
+        // Low-entropy inputs produce well-spread outputs.
+        let outputs: Vec<u64> = (0..100).map(splitmix64).collect();
+        let high_bits_set = outputs.iter().filter(|&&v| v >> 63 == 1).count();
+        assert!(high_bits_set > 20 && high_bits_set < 80);
+    }
+
+    #[test]
+    fn identical_sets_estimate_one() {
+        let hasher = MinHasher::new(64).unwrap();
+        let s = hasher.sketch(&(0..1000u64).collect::<Vec<_>>());
+        assert_eq!(s.jaccard_estimate(&s), 1.0);
+        assert_eq!(s.mash_distance(&s, 21), 0.0);
+        assert_eq!(s.sketch_size(), 64);
+        assert_eq!(s.set_size(), 1000);
+        assert_eq!(s.hashes().len(), 64);
+    }
+
+    #[test]
+    fn disjoint_sets_estimate_zero() {
+        let hasher = MinHasher::new(128).unwrap();
+        let a = hasher.sketch(&(0..1000u64).collect::<Vec<_>>());
+        let b = hasher.sketch(&(10_000..11_000u64).collect::<Vec<_>>());
+        assert_eq!(a.jaccard_estimate(&b), 0.0);
+        assert_eq!(a.mash_distance(&b, 21), 1.0);
+    }
+
+    #[test]
+    fn estimate_improves_with_sketch_size() {
+        // True J = 0.5 (overlap of 2/3 of each set of 30k elements).
+        let (a, b) = overlapping_sets(30_000, 20_000);
+        let true_j = 20_000.0 / 40_000.0;
+        let mut errors = Vec::new();
+        for s in [16usize, 256, 4096] {
+            let hasher = MinHasher::new(s).unwrap();
+            let est = hasher.sketch(&a).jaccard_estimate(&hasher.sketch(&b));
+            errors.push((est - true_j).abs());
+        }
+        // Larger sketches give (weakly) better estimates.
+        assert!(errors[2] <= errors[0] + 0.02, "errors: {errors:?}");
+        assert!(errors[2] < 0.05);
+    }
+
+    #[test]
+    fn small_sketches_are_unreliable_for_similar_pairs() {
+        // Two nearly identical sets (J ≈ 0.999): a small sketch cannot
+        // distinguish them from identical — the paper's motivating issue.
+        let a: Vec<u64> = (0..50_000u64).collect();
+        let b: Vec<u64> = (0..50_000u64).map(|v| if v == 0 { 1_000_000 } else { v }).collect();
+        let small = MinHasher::new(16).unwrap();
+        let est = small.sketch(&a).jaccard_estimate(&small.sketch(&b));
+        // The estimate quantizes to multiples of 1/16 and typically reads
+        // exactly 1.0, hiding the difference.
+        assert!(est >= 1.0 - 1.0 / 16.0);
+    }
+
+    #[test]
+    fn empty_sets_behave() {
+        let hasher = MinHasher::new(8).unwrap();
+        let e = hasher.sketch(&[]);
+        let f = hasher.sketch(&[1, 2, 3]);
+        assert_eq!(e.jaccard_estimate(&e), 1.0);
+        assert_eq!(e.jaccard_estimate(&f), 0.0);
+    }
+
+    #[test]
+    fn invalid_sketch_size_rejected() {
+        assert!(MinHasher::new(0).is_err());
+    }
+
+    #[test]
+    fn approximate_similarity_is_close_to_exact_for_large_sketches() {
+        let collection = SampleCollection::from_sorted_sets(vec![
+            (0..2000u64).collect(),
+            (1000..3000u64).collect(),
+            (5000..6000u64).collect(),
+        ])
+        .unwrap();
+        let exact = jaccard_exact_pairwise(&collection);
+        let approx = MinHasher::new(512).unwrap().approximate_similarity(&collection);
+        let max_err = exact.similarity().max_abs_diff(&approx).unwrap();
+        assert!(max_err < 0.1, "max error {max_err}");
+        assert!(approx.is_symmetric(0.0));
+    }
+
+    #[test]
+    fn seeded_hashers_differ_but_are_internally_consistent() {
+        let a = MinHasher::new(32).unwrap().with_seed(1);
+        let b = MinHasher::new(32).unwrap().with_seed(2);
+        let values: Vec<u64> = (0..1000).collect();
+        assert_ne!(a.sketch(&values).hashes(), b.sketch(&values).hashes());
+        assert_eq!(a.sketch(&values), a.sketch(&values));
+        assert_eq!(a.sketch_size(), 32);
+    }
+}

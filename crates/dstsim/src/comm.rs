@@ -1,0 +1,350 @@
+//! Point-to-point messaging between simulated ranks.
+//!
+//! Ranks run as threads but are only allowed to exchange data through a
+//! [`Communicator`], mirroring the discipline of a distributed-memory
+//! (MPI) program. Every message is charged to the sending and receiving
+//! rank's [`CostTracker`](crate::cost::CostTracker) so that the BSP cost
+//! model sees the same traffic a real MPI run would produce.
+//!
+//! Messages carry owned Rust values (no serialization is performed — the
+//! simulator runs in one process), but the number of bytes a message
+//! *would* occupy on the wire is computed through the [`Msg`] trait.
+
+use std::any::Any;
+use std::cell::{Cell, RefCell};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::rc::Rc;
+use std::sync::Arc;
+
+use crossbeam::channel::{Receiver, Sender};
+
+use crate::cost::CostTracker;
+use crate::error::{SimError, SimResult};
+
+/// Trait for values that can be sent between ranks.
+///
+/// `nbytes` reports the wire size of the value; it is used purely for cost
+/// accounting (α–β–γ model), the value itself is moved by ownership.
+pub trait Msg: Send + 'static {
+    /// Number of bytes this value would occupy on the network.
+    fn nbytes(&self) -> usize;
+}
+
+macro_rules! impl_msg_primitive {
+    ($($t:ty),*) => {
+        $(impl Msg for $t {
+            fn nbytes(&self) -> usize { std::mem::size_of::<$t>() }
+        })*
+    };
+}
+
+impl_msg_primitive!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, bool, char);
+
+impl Msg for () {
+    fn nbytes(&self) -> usize {
+        0
+    }
+}
+
+impl Msg for String {
+    fn nbytes(&self) -> usize {
+        self.len()
+    }
+}
+
+impl<T: Msg> Msg for Vec<T> {
+    fn nbytes(&self) -> usize {
+        self.iter().map(Msg::nbytes).sum()
+    }
+}
+
+impl<T: Msg> Msg for Option<T> {
+    fn nbytes(&self) -> usize {
+        1 + self.as_ref().map(Msg::nbytes).unwrap_or(0)
+    }
+}
+
+impl<T: Msg> Msg for Box<T> {
+    fn nbytes(&self) -> usize {
+        (**self).nbytes()
+    }
+}
+
+impl<A: Msg, B: Msg> Msg for (A, B) {
+    fn nbytes(&self) -> usize {
+        self.0.nbytes() + self.1.nbytes()
+    }
+}
+
+impl<A: Msg, B: Msg, C: Msg> Msg for (A, B, C) {
+    fn nbytes(&self) -> usize {
+        self.0.nbytes() + self.1.nbytes() + self.2.nbytes()
+    }
+}
+
+impl<A: Msg, B: Msg, C: Msg, D: Msg> Msg for (A, B, C, D) {
+    fn nbytes(&self) -> usize {
+        self.0.nbytes() + self.1.nbytes() + self.2.nbytes() + self.3.nbytes()
+    }
+}
+
+/// A message in flight between two ranks.
+pub(crate) struct Envelope {
+    /// World rank of the sender.
+    pub src_world: usize,
+    /// Communicator the message was sent on.
+    pub comm_id: u64,
+    /// User or collective tag.
+    pub tag: u64,
+    /// Wire size in bytes (for cost accounting on the receiver side).
+    pub bytes: usize,
+    /// The value itself.
+    pub payload: Box<dyn Any + Send>,
+}
+
+/// The shared "network": one inbound channel per world rank.
+pub(crate) struct Fabric {
+    pub senders: Vec<Sender<Envelope>>,
+}
+
+/// Per-rank inbound mailbox: the channel receiver plus a buffer of
+/// messages that arrived out of matching order.
+pub(crate) struct Mailbox {
+    pub rx: Receiver<Envelope>,
+    pub pending: Vec<Envelope>,
+}
+
+impl Mailbox {
+    fn take_matching(&mut self, src_world: usize, comm_id: u64, tag: u64) -> Option<Envelope> {
+        let idx = self
+            .pending
+            .iter()
+            .position(|e| e.src_world == src_world && e.comm_id == comm_id && e.tag == tag)?;
+        Some(self.pending.swap_remove(idx))
+    }
+}
+
+/// Identifier of the world communicator.
+pub(crate) const WORLD_COMM_ID: u64 = 0;
+/// Tag bit reserved for collective-internal messages.
+pub(crate) const COLLECTIVE_TAG_BIT: u64 = 1 << 63;
+
+fn derive_comm_id(parent: u64, split_seq: u64, color: u64) -> u64 {
+    let mut h = DefaultHasher::new();
+    (parent, split_seq, color).hash(&mut h);
+    // Never collide with the world communicator id.
+    h.finish() | 1
+}
+
+/// An MPI-style communicator: an ordered group of ranks that can exchange
+/// point-to-point messages and participate in collectives.
+///
+/// A `Communicator` is a per-rank handle; it is cheap to clone and is not
+/// `Send` (it never needs to leave its rank's thread).
+pub struct Communicator {
+    comm_id: u64,
+    /// World ranks of the members, indexed by local rank.
+    members: Arc<Vec<usize>>,
+    /// This rank's index within `members`.
+    my_local: usize,
+    fabric: Arc<Fabric>,
+    mailbox: Rc<RefCell<Mailbox>>,
+    cost: Rc<RefCell<CostTracker>>,
+    coll_seq: Rc<Cell<u64>>,
+    split_seq: Rc<Cell<u64>>,
+}
+
+impl Communicator {
+    pub(crate) fn world(
+        world_rank: usize,
+        world_size: usize,
+        fabric: Arc<Fabric>,
+        mailbox: Rc<RefCell<Mailbox>>,
+        cost: Rc<RefCell<CostTracker>>,
+    ) -> Self {
+        Communicator {
+            comm_id: WORLD_COMM_ID,
+            members: Arc::new((0..world_size).collect()),
+            my_local: world_rank,
+            fabric,
+            mailbox,
+            cost,
+            coll_seq: Rc::new(Cell::new(0)),
+            split_seq: Rc::new(Cell::new(0)),
+        }
+    }
+
+    /// This rank's index within the communicator.
+    pub fn rank(&self) -> usize {
+        self.my_local
+    }
+
+    /// Number of ranks in the communicator.
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    /// World rank of local rank `local`.
+    pub fn world_rank_of(&self, local: usize) -> SimResult<usize> {
+        self.members
+            .get(local)
+            .copied()
+            .ok_or(SimError::InvalidRank { rank: local, size: self.members.len() })
+    }
+
+    /// Charge `n` arithmetic operations to this rank's cost tracker.
+    pub fn add_flops(&self, n: u64) {
+        self.cost.borrow_mut().add_flops(n);
+    }
+
+    /// Charge `bytes` of local memory traffic to this rank's tracker.
+    pub fn add_mem_traffic(&self, bytes: u64) {
+        self.cost.borrow_mut().add_mem_traffic(bytes);
+    }
+
+    /// Record one superstep (global synchronization) on this rank.
+    pub fn record_superstep(&self) {
+        self.cost.borrow_mut().record_superstep();
+    }
+
+    pub(crate) fn record_collective(&self) {
+        self.cost.borrow_mut().record_collective();
+    }
+
+    /// Next collective-internal tag; all ranks of a communicator call
+    /// collectives in the same order, so the sequence stays consistent.
+    /// Each collective gets a window of 2^20 tags so multi-round
+    /// algorithms can use `tag + round` without colliding with the next
+    /// collective.
+    pub(crate) fn next_coll_tag(&self) -> u64 {
+        let seq = self.coll_seq.get();
+        self.coll_seq.set(seq + 1);
+        COLLECTIVE_TAG_BIT | (seq << 20)
+    }
+
+    /// Send `data` to local rank `dest` with `tag`.
+    ///
+    /// User tags must not set the highest bit (reserved for collectives).
+    pub fn send<T: Msg>(&self, dest: usize, tag: u64, data: T) -> SimResult<()> {
+        let dest_world = self.world_rank_of(dest)?;
+        let bytes = data.nbytes();
+        self.cost.borrow_mut().record_send(bytes);
+        let env = Envelope {
+            src_world: self.members[self.my_local],
+            comm_id: self.comm_id,
+            tag,
+            bytes,
+            payload: Box::new(data),
+        };
+        self.fabric.senders[dest_world]
+            .send(env)
+            .map_err(|_| SimError::Disconnected { src: dest })
+    }
+
+    /// Receive a `T` from local rank `src` with `tag`, blocking until the
+    /// matching message arrives.
+    pub fn recv<T: Msg>(&self, src: usize, tag: u64) -> SimResult<T> {
+        let src_world = self.world_rank_of(src)?;
+        let mut mb = self.mailbox.borrow_mut();
+        // Check the out-of-order buffer first.
+        let env = if let Some(env) = mb.take_matching(src_world, self.comm_id, tag) {
+            env
+        } else {
+            loop {
+                let env = mb.rx.recv().map_err(|_| SimError::Disconnected { src })?;
+                if env.src_world == src_world && env.comm_id == self.comm_id && env.tag == tag {
+                    break env;
+                }
+                mb.pending.push(env);
+            }
+        };
+        self.cost.borrow_mut().record_recv(env.bytes);
+        env.payload
+            .downcast::<T>()
+            .map(|b| *b)
+            .map_err(|_| SimError::TypeMismatch { src, tag })
+    }
+
+    /// Combined send to `dest` and receive from `src` (both local ranks).
+    ///
+    /// The send is posted before the receive, so exchanges along a ring or
+    /// hypercube do not deadlock (channels are unbounded).
+    pub fn sendrecv<T: Msg, U: Msg>(
+        &self,
+        dest: usize,
+        send_tag: u64,
+        data: T,
+        src: usize,
+        recv_tag: u64,
+    ) -> SimResult<U> {
+        self.send(dest, send_tag, data)?;
+        self.recv(src, recv_tag)
+    }
+
+    /// Split the communicator into disjoint sub-communicators by `color`
+    /// (MPI_Comm_split with `key = rank`). All ranks must call this with
+    /// some color; ranks with equal colors end up in the same communicator,
+    /// ordered by their rank in the parent.
+    pub fn split(&self, color: u64) -> SimResult<Communicator> {
+        // Gather (color, parent_rank) from everyone.
+        let gathered: Vec<(u64, u64)> = self.allgather(&vec![(color, self.my_local as u64)])?;
+        let split_seq = self.split_seq.get();
+        self.split_seq.set(split_seq + 1);
+        let mut members: Vec<usize> = gathered
+            .iter()
+            .filter(|(c, _)| *c == color)
+            .map(|(_, r)| self.members[*r as usize])
+            .collect();
+        members.sort_by_key(|w| {
+            self.members.iter().position(|m| m == w).expect("member must exist")
+        });
+        let my_world = self.members[self.my_local];
+        let my_local = members
+            .iter()
+            .position(|w| *w == my_world)
+            .expect("calling rank must be a member of its own color group");
+        Ok(Communicator {
+            comm_id: derive_comm_id(self.comm_id, split_seq, color),
+            members: Arc::new(members),
+            my_local,
+            fabric: Arc::clone(&self.fabric),
+            mailbox: Rc::clone(&self.mailbox),
+            cost: Rc::clone(&self.cost),
+            coll_seq: Rc::new(Cell::new(0)),
+            split_seq: Rc::new(Cell::new(0)),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn msg_nbytes_for_primitives_and_containers() {
+        assert_eq!(3u8.nbytes(), 1);
+        assert_eq!(3u64.nbytes(), 8);
+        assert_eq!(1.5f64.nbytes(), 8);
+        assert_eq!(().nbytes(), 0);
+        assert_eq!("abcd".to_string().nbytes(), 4);
+        assert_eq!(vec![1u32, 2, 3].nbytes(), 12);
+        assert_eq!((1u8, 2u64).nbytes(), 9);
+        assert_eq!((1u8, 2u64, 3u32).nbytes(), 13);
+        assert_eq!((1u8, 2u64, 3u32, 4u16).nbytes(), 15);
+        assert_eq!(Some(7u64).nbytes(), 9);
+        assert_eq!(Option::<u64>::None.nbytes(), 1);
+        assert_eq!(Box::new(5u32).nbytes(), 4);
+        assert_eq!(vec![vec![1u8, 2], vec![3u8]].nbytes(), 3);
+    }
+
+    #[test]
+    fn derive_comm_id_is_deterministic_and_nonzero() {
+        let a = derive_comm_id(0, 1, 5);
+        let b = derive_comm_id(0, 1, 5);
+        let c = derive_comm_id(0, 2, 5);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, WORLD_COMM_ID);
+    }
+}

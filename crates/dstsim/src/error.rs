@@ -1,0 +1,103 @@
+//! Error types for the distributed runtime simulator.
+
+use std::fmt;
+
+/// Result alias used throughout the simulator.
+pub type SimResult<T> = Result<T, SimError>;
+
+/// Errors produced by the simulated distributed runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A rank index was outside `0..nranks` for the communicator at hand.
+    InvalidRank {
+        /// Offending rank.
+        rank: usize,
+        /// Size of the communicator.
+        size: usize,
+    },
+    /// The requested number of ranks is zero or otherwise unusable.
+    InvalidWorldSize(usize),
+    /// A received message could not be downcast to the requested type.
+    TypeMismatch {
+        /// Source rank of the offending message.
+        src: usize,
+        /// Tag of the offending message.
+        tag: u64,
+    },
+    /// A peer disconnected (its thread terminated) while a receive was
+    /// still pending.
+    Disconnected {
+        /// Rank that was being waited on.
+        src: usize,
+    },
+    /// A processor grid could not be formed with the requested shape.
+    InvalidGrid(String),
+    /// Collective called with inconsistent arguments across ranks
+    /// (e.g. mismatched lengths where equal lengths are required).
+    CollectiveMismatch(String),
+    /// One or more ranks panicked during `Runtime::run`.
+    RankPanicked {
+        /// Rank whose closure panicked.
+        rank: usize,
+        /// Best-effort panic message.
+        message: String,
+    },
+    /// Generic configuration error (bad machine/cost-model parameters).
+    InvalidConfig(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidRank { rank, size } => {
+                write!(f, "invalid rank {rank} for communicator of size {size}")
+            }
+            SimError::InvalidWorldSize(p) => write!(f, "invalid world size {p}"),
+            SimError::TypeMismatch { src, tag } => {
+                write!(f, "message from rank {src} with tag {tag} has unexpected payload type")
+            }
+            SimError::Disconnected { src } => {
+                write!(f, "rank {src} disconnected while a receive was pending")
+            }
+            SimError::InvalidGrid(msg) => write!(f, "invalid processor grid: {msg}"),
+            SimError::CollectiveMismatch(msg) => write!(f, "collective mismatch: {msg}"),
+            SimError::RankPanicked { rank, message } => {
+                write!(f, "rank {rank} panicked: {message}")
+            }
+            SimError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = SimError::InvalidRank { rank: 9, size: 4 };
+        assert!(e.to_string().contains("invalid rank 9"));
+        let e = SimError::InvalidWorldSize(0);
+        assert!(e.to_string().contains("world size 0"));
+        let e = SimError::TypeMismatch { src: 1, tag: 7 };
+        assert!(e.to_string().contains("tag 7"));
+        let e = SimError::Disconnected { src: 3 };
+        assert!(e.to_string().contains("rank 3"));
+        let e = SimError::InvalidGrid("p=3 not square".into());
+        assert!(e.to_string().contains("not square"));
+        let e = SimError::CollectiveMismatch("len".into());
+        assert!(e.to_string().contains("len"));
+        let e = SimError::RankPanicked { rank: 2, message: "boom".into() };
+        assert!(e.to_string().contains("boom"));
+        let e = SimError::InvalidConfig("alpha < 0".into());
+        assert!(e.to_string().contains("alpha"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(SimError::InvalidWorldSize(0), SimError::InvalidWorldSize(0));
+        assert_ne!(SimError::InvalidWorldSize(0), SimError::InvalidWorldSize(1));
+    }
+}

@@ -1,0 +1,327 @@
+//! The simulated distributed runtime: spawns ranks as threads and collects
+//! per-rank results and cost reports.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::Arc;
+use std::time::Instant;
+
+use crossbeam::channel::unbounded;
+
+use crate::comm::{Communicator, Fabric, Mailbox};
+use crate::cost::{AggregateCost, CostModel, CostReport, CostTracker};
+use crate::error::{SimError, SimResult};
+use crate::machine::Machine;
+
+/// Per-rank execution context handed to the user closure by
+/// [`Runtime::run`].
+///
+/// It exposes the rank id, the world [`Communicator`] and the machine
+/// description, and forwards cost-charging helpers to the rank's tracker.
+pub struct RankCtx {
+    rank: usize,
+    nranks: usize,
+    world: Communicator,
+    machine: Machine,
+    cost: Rc<RefCell<CostTracker>>,
+}
+
+impl RankCtx {
+    /// This rank's id in the world communicator.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Total number of ranks in the run.
+    pub fn nranks(&self) -> usize {
+        self.nranks
+    }
+
+    /// The world communicator (all ranks).
+    pub fn world(&self) -> &Communicator {
+        &self.world
+    }
+
+    /// The machine description used for cost projection.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Charge `n` local arithmetic operations to this rank.
+    pub fn add_flops(&self, n: u64) {
+        self.cost.borrow_mut().add_flops(n);
+    }
+
+    /// Charge `bytes` of local streaming memory traffic to this rank.
+    pub fn add_mem_traffic(&self, bytes: u64) {
+        self.cost.borrow_mut().add_mem_traffic(bytes);
+    }
+
+    /// Record one explicit superstep boundary in the caller's algorithm.
+    pub fn record_superstep(&self) {
+        self.cost.borrow_mut().record_superstep();
+    }
+
+    /// Memory budget available to this rank (bytes), from the machine.
+    pub fn mem_per_rank(&self) -> usize {
+        self.machine.mem_per_rank()
+    }
+}
+
+/// Output of a completed [`Runtime::run`]: the per-rank return values (in
+/// rank order) and their cost reports.
+#[derive(Debug)]
+pub struct RunOutput<R> {
+    /// Value returned by each rank's closure, indexed by rank.
+    pub results: Vec<R>,
+    /// Per-rank cost counters.
+    pub reports: Vec<CostReport>,
+}
+
+impl<R> RunOutput<R> {
+    /// Aggregate communication/computation statistics over all ranks.
+    pub fn aggregate(&self) -> AggregateCost {
+        AggregateCost::from_reports(&self.reports)
+    }
+
+    /// BSP-projected execution time under `model`.
+    pub fn projected_time(&self, model: &CostModel) -> f64 {
+        model.project(&self.reports)
+    }
+
+    /// Maximum measured wall-clock time across ranks (the simulator's own
+    /// notion of elapsed time for the parallel section).
+    pub fn measured_time(&self) -> f64 {
+        self.reports.iter().map(|r| r.measured_seconds).fold(0.0, f64::max)
+    }
+}
+
+/// A simulated distributed machine runner.
+///
+/// `Runtime::new(p)` prepares a world of `p` ranks; [`Runtime::run`]
+/// executes a closure on every rank concurrently (each rank on its own OS
+/// thread) and returns their results together with cost reports.
+pub struct Runtime {
+    nranks: usize,
+    machine: Machine,
+}
+
+impl Runtime {
+    /// Create a runtime with `nranks` simulated ranks and the default
+    /// (Stampede2-like) machine model.
+    pub fn new(nranks: usize) -> Self {
+        Runtime { nranks, machine: Machine::default() }
+    }
+
+    /// Use a specific machine description for memory budgets and cost
+    /// projection.
+    pub fn with_machine(mut self, machine: Machine) -> Self {
+        self.machine = machine;
+        self
+    }
+
+    /// Number of ranks this runtime will spawn.
+    pub fn nranks(&self) -> usize {
+        self.nranks
+    }
+
+    /// The machine model in use.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Run `f` on every rank. Blocks until all ranks finish.
+    ///
+    /// The closure receives a [`RankCtx`]; its return values are collected
+    /// in rank order. If any rank panics the whole run fails with
+    /// [`SimError::RankPanicked`].
+    pub fn run<F, R>(&self, f: F) -> SimResult<RunOutput<R>>
+    where
+        F: Fn(&mut RankCtx) -> R + Send + Sync,
+        R: Send,
+    {
+        if self.nranks == 0 {
+            return Err(SimError::InvalidWorldSize(0));
+        }
+        let p = self.nranks;
+        // Build the fabric: one unbounded channel per rank.
+        let mut senders = Vec::with_capacity(p);
+        let mut receivers = Vec::with_capacity(p);
+        for _ in 0..p {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(Some(rx));
+        }
+        let fabric = Arc::new(Fabric { senders });
+        let f = &f;
+        let machine = &self.machine;
+
+        let mut slots: Vec<Option<std::thread::Result<(R, CostReport)>>> = Vec::with_capacity(p);
+        for _ in 0..p {
+            slots.push(None);
+        }
+
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(p);
+            for (rank, rx) in receivers.iter_mut().enumerate() {
+                let rx = rx.take().expect("receiver taken once");
+                let fabric = Arc::clone(&fabric);
+                handles.push(scope.spawn(move || {
+                    let cost = Rc::new(RefCell::new(CostTracker::new()));
+                    let mailbox = Rc::new(RefCell::new(Mailbox { rx, pending: Vec::new() }));
+                    let world =
+                        Communicator::world(rank, p, fabric, mailbox, Rc::clone(&cost));
+                    let mut ctx = RankCtx {
+                        rank,
+                        nranks: p,
+                        world,
+                        machine: machine.clone(),
+                        cost: Rc::clone(&cost),
+                    };
+                    let start = Instant::now();
+                    let result = f(&mut ctx);
+                    let elapsed = start.elapsed().as_secs_f64();
+                    let report = cost.borrow().report(rank, elapsed);
+                    (result, report)
+                }));
+            }
+            for (rank, handle) in handles.into_iter().enumerate() {
+                slots[rank] = Some(handle.join());
+            }
+        });
+
+        let mut results = Vec::with_capacity(p);
+        let mut reports = Vec::with_capacity(p);
+        for (rank, slot) in slots.into_iter().enumerate() {
+            match slot.expect("every rank produces a slot") {
+                Ok((r, rep)) => {
+                    results.push(r);
+                    reports.push(rep);
+                }
+                Err(payload) => {
+                    let message = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "unknown panic".to_string());
+                    return Err(SimError::RankPanicked { rank, message });
+                }
+            }
+        }
+        Ok(RunOutput { results, reports })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_returns_results_in_rank_order() {
+        let rt = Runtime::new(5);
+        let out = rt.run(|ctx| ctx.rank() * 10).unwrap();
+        assert_eq!(out.results, vec![0, 10, 20, 30, 40]);
+        assert_eq!(out.reports.len(), 5);
+        for (i, r) in out.reports.iter().enumerate() {
+            assert_eq!(r.rank, i);
+        }
+    }
+
+    #[test]
+    fn zero_ranks_is_an_error() {
+        let rt = Runtime::new(0);
+        assert_eq!(rt.run(|_| ()).unwrap_err(), SimError::InvalidWorldSize(0));
+    }
+
+    #[test]
+    fn point_to_point_ring_exchange() {
+        let p = 4;
+        let rt = Runtime::new(p);
+        let out = rt
+            .run(|ctx| {
+                let comm = ctx.world();
+                let right = (ctx.rank() + 1) % ctx.nranks();
+                let left = (ctx.rank() + ctx.nranks() - 1) % ctx.nranks();
+                let recvd: u64 = comm
+                    .sendrecv(right, 7, ctx.rank() as u64, left, 7)
+                    .unwrap();
+                recvd
+            })
+            .unwrap();
+        assert_eq!(out.results, vec![3, 0, 1, 2]);
+        // Every rank sent and received exactly one 8-byte message.
+        for r in &out.reports {
+            assert_eq!(r.msgs_sent, 1);
+            assert_eq!(r.msgs_received, 1);
+            assert_eq!(r.bytes_sent, 8);
+            assert_eq!(r.bytes_received, 8);
+        }
+    }
+
+    #[test]
+    fn panicking_rank_is_reported() {
+        let rt = Runtime::new(3);
+        let err = rt
+            .run(|ctx| {
+                if ctx.rank() == 1 {
+                    panic!("rank one failed");
+                }
+                ctx.rank()
+            })
+            .unwrap_err();
+        match err {
+            SimError::RankPanicked { rank, message } => {
+                assert_eq!(rank, 1);
+                assert!(message.contains("rank one failed"));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn flops_and_mem_traffic_are_charged() {
+        let rt = Runtime::new(2);
+        let out = rt
+            .run(|ctx| {
+                ctx.add_flops(100);
+                ctx.add_mem_traffic(4096);
+                ctx.record_superstep();
+            })
+            .unwrap();
+        for r in &out.reports {
+            assert_eq!(r.flops, 100);
+            assert_eq!(r.mem_traffic, 4096);
+            assert_eq!(r.supersteps, 1);
+        }
+        let agg = out.aggregate();
+        assert_eq!(agg.total_flops, 200);
+    }
+
+    #[test]
+    fn type_mismatch_on_recv_is_detected() {
+        let rt = Runtime::new(2);
+        let err = rt
+            .run(|ctx| {
+                let comm = ctx.world();
+                if ctx.rank() == 0 {
+                    comm.send(1, 3, 42u64).unwrap();
+                    Ok(())
+                } else {
+                    // Expect a f32 although a u64 was sent.
+                    match comm.recv::<f32>(0, 3) {
+                        Err(e) => Err(e),
+                        Ok(_) => Ok(()),
+                    }
+                }
+            })
+            .unwrap();
+        assert_eq!(err.results[1], Err(SimError::TypeMismatch { src: 0, tag: 3 }));
+    }
+
+    #[test]
+    fn mem_per_rank_comes_from_machine() {
+        let rt = Runtime::new(1).with_machine(Machine::laptop());
+        let out = rt.run(|ctx| ctx.mem_per_rank()).unwrap();
+        assert_eq!(out.results[0], Machine::laptop().mem_per_rank());
+    }
+}

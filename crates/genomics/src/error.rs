@@ -1,0 +1,71 @@
+//! Error types for sequence parsing and k-mer extraction.
+
+use std::fmt;
+
+/// Result alias for genomics operations.
+pub type GenomicsResult<T> = Result<T, GenomicsError>;
+
+/// Errors produced while reading sequence data or extracting k-mers.
+#[derive(Debug)]
+pub enum GenomicsError {
+    /// The requested k-mer length cannot be represented (must be 1..=31
+    /// for the 2-bit packing used here).
+    InvalidK(usize),
+    /// A FASTA/FASTQ record was malformed.
+    MalformedRecord {
+        /// Line number (1-based) where the problem was detected.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// An underlying I/O error.
+    Io(std::io::Error),
+    /// Invalid configuration of a generator or sample operation.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for GenomicsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GenomicsError::InvalidK(k) => {
+                write!(f, "k-mer length {k} is not supported (must be 1..=31)")
+            }
+            GenomicsError::MalformedRecord { line, message } => {
+                write!(f, "malformed record at line {line}: {message}")
+            }
+            GenomicsError::Io(e) => write!(f, "I/O error: {e}"),
+            GenomicsError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GenomicsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GenomicsError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GenomicsError {
+    fn from(e: std::io::Error) -> Self {
+        GenomicsError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(GenomicsError::InvalidK(40).to_string().contains("40"));
+        let e = GenomicsError::MalformedRecord { line: 3, message: "missing header".into() };
+        assert!(e.to_string().contains("line 3"));
+        let io: GenomicsError =
+            std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        assert!(io.to_string().contains("gone"));
+        assert!(GenomicsError::InvalidConfig("bad".into()).to_string().contains("bad"));
+    }
+}

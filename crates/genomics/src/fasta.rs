@@ -1,0 +1,357 @@
+//! FASTA and FASTQ parsing and FASTA writing.
+//!
+//! GenomeAtScale keeps compatibility with the standard bioinformatics
+//! formats so it can slot into existing pipelines (Section IV): input
+//! samples arrive as FASTA files (one or more records per sample), and
+//! raw sequencing reads may arrive as FASTQ. The readers here are
+//! line-oriented streaming parsers over any [`std::io::BufRead`] source.
+
+use std::io::{BufRead, Write};
+
+use crate::error::{GenomicsError, GenomicsResult};
+
+/// One FASTA record: an identifier, an optional description and the
+/// sequence bytes (newlines removed).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FastaRecord {
+    /// Sequence identifier (the first whitespace-delimited token of the
+    /// header line, without the leading `>`).
+    pub id: String,
+    /// The rest of the header line, if any.
+    pub description: Option<String>,
+    /// The concatenated sequence.
+    pub seq: Vec<u8>,
+}
+
+impl FastaRecord {
+    /// Create a record from an id and sequence.
+    pub fn new(id: impl Into<String>, seq: impl Into<Vec<u8>>) -> Self {
+        FastaRecord { id: id.into(), description: None, seq: seq.into() }
+    }
+
+    /// Sequence length in bases.
+    pub fn len(&self) -> usize {
+        self.seq.len()
+    }
+
+    /// True if the sequence is empty.
+    pub fn is_empty(&self) -> bool {
+        self.seq.is_empty()
+    }
+}
+
+/// Streaming FASTA reader.
+pub struct FastaReader<R: BufRead> {
+    reader: R,
+    line: String,
+    line_no: usize,
+    pending_header: Option<String>,
+    done: bool,
+}
+
+impl<R: BufRead> FastaReader<R> {
+    /// Wrap a buffered reader.
+    pub fn new(reader: R) -> Self {
+        FastaReader { reader, line: String::new(), line_no: 0, pending_header: None, done: false }
+    }
+
+    /// Read all records into a vector.
+    pub fn read_all(mut self) -> GenomicsResult<Vec<FastaRecord>> {
+        let mut out = Vec::new();
+        while let Some(rec) = self.next_record()? {
+            out.push(rec);
+        }
+        Ok(out)
+    }
+
+    fn parse_header(header: &str) -> (String, Option<String>) {
+        let body = header.trim_start_matches('>').trim_end();
+        match body.split_once(char::is_whitespace) {
+            Some((id, desc)) => (id.to_string(), Some(desc.trim().to_string())),
+            None => (body.to_string(), None),
+        }
+    }
+
+    /// Read the next record, or `None` at end of input.
+    pub fn next_record(&mut self) -> GenomicsResult<Option<FastaRecord>> {
+        if self.done {
+            return Ok(None);
+        }
+        // Find the header for this record.
+        let header = if let Some(h) = self.pending_header.take() {
+            h
+        } else {
+            loop {
+                self.line.clear();
+                self.line_no += 1;
+                if self.reader.read_line(&mut self.line)? == 0 {
+                    self.done = true;
+                    return Ok(None);
+                }
+                let trimmed = self.line.trim_end();
+                if trimmed.is_empty() {
+                    continue;
+                }
+                if let Some(stripped) = trimmed.strip_prefix('>') {
+                    break format!(">{stripped}");
+                }
+                return Err(GenomicsError::MalformedRecord {
+                    line: self.line_no,
+                    message: "sequence data before any '>' header".to_string(),
+                });
+            }
+        };
+        let (id, description) = Self::parse_header(&header);
+        if id.is_empty() {
+            return Err(GenomicsError::MalformedRecord {
+                line: self.line_no,
+                message: "empty record identifier".to_string(),
+            });
+        }
+        let mut seq = Vec::new();
+        loop {
+            self.line.clear();
+            self.line_no += 1;
+            if self.reader.read_line(&mut self.line)? == 0 {
+                self.done = true;
+                break;
+            }
+            let trimmed = self.line.trim_end();
+            if trimmed.is_empty() {
+                continue;
+            }
+            if trimmed.starts_with('>') {
+                self.pending_header = Some(trimmed.to_string());
+                break;
+            }
+            seq.extend_from_slice(trimmed.as_bytes());
+        }
+        Ok(Some(FastaRecord { id, description, seq }))
+    }
+}
+
+impl<R: BufRead> Iterator for FastaReader<R> {
+    type Item = GenomicsResult<FastaRecord>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_record().transpose()
+    }
+}
+
+/// FASTA writer with configurable line wrapping.
+pub struct FastaWriter<W: Write> {
+    writer: W,
+    wrap: usize,
+}
+
+impl<W: Write> FastaWriter<W> {
+    /// Create a writer wrapping sequences at 70 columns.
+    pub fn new(writer: W) -> Self {
+        FastaWriter { writer, wrap: 70 }
+    }
+
+    /// Set the wrap width (0 disables wrapping).
+    pub fn with_wrap(mut self, wrap: usize) -> Self {
+        self.wrap = wrap;
+        self
+    }
+
+    /// Write one record.
+    pub fn write_record(&mut self, rec: &FastaRecord) -> GenomicsResult<()> {
+        match &rec.description {
+            Some(d) => writeln!(self.writer, ">{} {}", rec.id, d)?,
+            None => writeln!(self.writer, ">{}", rec.id)?,
+        }
+        if self.wrap == 0 {
+            self.writer.write_all(&rec.seq)?;
+            writeln!(self.writer)?;
+        } else {
+            for chunk in rec.seq.chunks(self.wrap) {
+                self.writer.write_all(chunk)?;
+                writeln!(self.writer)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Flush and return the inner writer.
+    pub fn into_inner(mut self) -> GenomicsResult<W> {
+        self.writer.flush()?;
+        Ok(self.writer)
+    }
+}
+
+/// One FASTQ record (quality string retained but unused downstream).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FastqRecord {
+    /// Read identifier (without the leading `@`).
+    pub id: String,
+    /// The sequence.
+    pub seq: Vec<u8>,
+    /// Phred quality string (same length as the sequence).
+    pub qual: Vec<u8>,
+}
+
+/// Streaming FASTQ reader (the common 4-line record layout).
+pub struct FastqReader<R: BufRead> {
+    reader: R,
+    line_no: usize,
+}
+
+impl<R: BufRead> FastqReader<R> {
+    /// Wrap a buffered reader.
+    pub fn new(reader: R) -> Self {
+        FastqReader { reader, line_no: 0 }
+    }
+
+    fn read_nonempty_line(&mut self) -> GenomicsResult<Option<String>> {
+        loop {
+            let mut line = String::new();
+            self.line_no += 1;
+            if self.reader.read_line(&mut line)? == 0 {
+                return Ok(None);
+            }
+            let t = line.trim_end();
+            if !t.is_empty() {
+                return Ok(Some(t.to_string()));
+            }
+        }
+    }
+
+    /// Read the next record, or `None` at end of input.
+    pub fn next_record(&mut self) -> GenomicsResult<Option<FastqRecord>> {
+        let Some(header) = self.read_nonempty_line()? else { return Ok(None) };
+        if !header.starts_with('@') {
+            return Err(GenomicsError::MalformedRecord {
+                line: self.line_no,
+                message: "FASTQ record must start with '@'".to_string(),
+            });
+        }
+        let seq = self.read_nonempty_line()?.ok_or(GenomicsError::MalformedRecord {
+            line: self.line_no,
+            message: "missing sequence line".to_string(),
+        })?;
+        let plus = self.read_nonempty_line()?.ok_or(GenomicsError::MalformedRecord {
+            line: self.line_no,
+            message: "missing '+' separator".to_string(),
+        })?;
+        if !plus.starts_with('+') {
+            return Err(GenomicsError::MalformedRecord {
+                line: self.line_no,
+                message: "expected '+' separator".to_string(),
+            });
+        }
+        let qual = self.read_nonempty_line()?.ok_or(GenomicsError::MalformedRecord {
+            line: self.line_no,
+            message: "missing quality line".to_string(),
+        })?;
+        if qual.len() != seq.len() {
+            return Err(GenomicsError::MalformedRecord {
+                line: self.line_no,
+                message: format!(
+                    "quality length {} does not match sequence length {}",
+                    qual.len(),
+                    seq.len()
+                ),
+            });
+        }
+        let id = header.trim_start_matches('@').split_whitespace().next().unwrap_or("").to_string();
+        Ok(Some(FastqRecord { id, seq: seq.into_bytes(), qual: qual.into_bytes() }))
+    }
+}
+
+impl<R: BufRead> Iterator for FastqReader<R> {
+    type Item = GenomicsResult<FastqRecord>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_record().transpose()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parses_multi_record_multi_line_fasta() {
+        let input = ">seq1 first sample\nACGT\nACGT\n\n>seq2\nTTTT\n";
+        let records = FastaReader::new(Cursor::new(input)).read_all().unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].id, "seq1");
+        assert_eq!(records[0].description.as_deref(), Some("first sample"));
+        assert_eq!(records[0].seq, b"ACGTACGT");
+        assert_eq!(records[1].id, "seq2");
+        assert_eq!(records[1].description, None);
+        assert_eq!(records[1].len(), 4);
+        assert!(!records[1].is_empty());
+    }
+
+    #[test]
+    fn iterator_interface_yields_records() {
+        let input = ">a\nAC\n>b\nGT\n";
+        let ids: Vec<String> = FastaReader::new(Cursor::new(input))
+            .map(|r| r.unwrap().id)
+            .collect();
+        assert_eq!(ids, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn rejects_sequence_before_header_and_empty_ids() {
+        let err = FastaReader::new(Cursor::new("ACGT\n")).read_all().unwrap_err();
+        assert!(matches!(err, GenomicsError::MalformedRecord { line: 1, .. }));
+        let err = FastaReader::new(Cursor::new(">\nACGT\n")).read_all().unwrap_err();
+        assert!(matches!(err, GenomicsError::MalformedRecord { .. }));
+    }
+
+    #[test]
+    fn empty_input_yields_no_records() {
+        assert!(FastaReader::new(Cursor::new("")).read_all().unwrap().is_empty());
+        assert!(FastaReader::new(Cursor::new("\n\n")).read_all().unwrap().is_empty());
+    }
+
+    #[test]
+    fn writer_roundtrip_with_wrapping() {
+        let rec = FastaRecord {
+            id: "x".to_string(),
+            description: Some("desc".to_string()),
+            seq: b"ACGTACGTACGT".to_vec(),
+        };
+        let mut w = FastaWriter::new(Vec::new()).with_wrap(5);
+        w.write_record(&rec).unwrap();
+        let bytes = w.into_inner().unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        assert_eq!(text, ">x desc\nACGTA\nCGTAC\nGT\n");
+        let parsed = FastaReader::new(Cursor::new(text)).read_all().unwrap();
+        assert_eq!(parsed[0], rec);
+    }
+
+    #[test]
+    fn writer_without_wrapping() {
+        let rec = FastaRecord::new("y", b"ACGT".to_vec());
+        let mut w = FastaWriter::new(Vec::new()).with_wrap(0);
+        w.write_record(&rec).unwrap();
+        let text = String::from_utf8(w.into_inner().unwrap()).unwrap();
+        assert_eq!(text, ">y\nACGT\n");
+    }
+
+    #[test]
+    fn fastq_parses_and_validates() {
+        let input = "@r1 lane1\nACGT\n+\nIIII\n@r2\nGG\n+r2\nII\n";
+        let reads: Vec<FastqRecord> =
+            FastqReader::new(Cursor::new(input)).map(|r| r.unwrap()).collect();
+        assert_eq!(reads.len(), 2);
+        assert_eq!(reads[0].id, "r1");
+        assert_eq!(reads[0].seq, b"ACGT");
+        assert_eq!(reads[1].qual, b"II");
+    }
+
+    #[test]
+    fn fastq_rejects_malformed_records() {
+        assert!(FastqReader::new(Cursor::new("ACGT\n")).next_record().is_err());
+        assert!(FastqReader::new(Cursor::new("@r\nACGT\nIIII\n")).next_record().is_err());
+        let err = FastqReader::new(Cursor::new("@r\nACGT\n+\nII\n")).next_record();
+        assert!(err.is_err());
+        assert!(FastqReader::new(Cursor::new("")).next_record().unwrap().is_none());
+    }
+}

@@ -1,0 +1,283 @@
+//! Per-sample k-mer sets.
+//!
+//! GenomeAtScale represents each sequencing sample `i` as the set `X_i` of
+//! k-mers appearing in it (Section II-B). Raw high-throughput data is
+//! noisy, so rare k-mers are removed with a minimum-count threshold before
+//! the set is formed (Section V-A2 describes thresholds chosen per dataset
+//! size). The tool also produces "files with a sorted numerical
+//! representation for each data sample" (Section IV) — this module reads
+//! and writes that representation.
+
+use std::collections::HashMap;
+use std::io::{BufRead, Write};
+
+use crate::error::{GenomicsError, GenomicsResult};
+use crate::fasta::FastaRecord;
+use crate::kmer::{Kmer, KmerExtractor};
+
+/// A named data sample: a sorted, deduplicated set of k-mer codes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KmerSample {
+    name: String,
+    kmers: Vec<Kmer>,
+}
+
+impl KmerSample {
+    /// Build a sample from an already-sorted-and-unique k-mer list.
+    pub fn from_sorted_kmers(name: impl Into<String>, kmers: Vec<Kmer>) -> GenomicsResult<Self> {
+        if kmers.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(GenomicsError::InvalidConfig(
+                "k-mer list must be strictly increasing".to_string(),
+            ));
+        }
+        Ok(KmerSample { name: name.into(), kmers })
+    }
+
+    /// Build a sample from arbitrary k-mer codes (sorted and deduplicated
+    /// internally).
+    pub fn from_kmers(name: impl Into<String>, mut kmers: Vec<Kmer>) -> Self {
+        kmers.sort_unstable();
+        kmers.dedup();
+        KmerSample { name: name.into(), kmers }
+    }
+
+    /// Extract the sample from a single sequence.
+    pub fn from_sequence(name: impl Into<String>, seq: &[u8], extractor: &KmerExtractor) -> Self {
+        KmerSample::from_kmers(name, extractor.extract(seq))
+    }
+
+    /// Extract the sample from several sequences (e.g. all reads or
+    /// contigs of one experiment).
+    pub fn from_sequences<'a>(
+        name: impl Into<String>,
+        seqs: impl IntoIterator<Item = &'a [u8]>,
+        extractor: &KmerExtractor,
+    ) -> Self {
+        let mut all = Vec::new();
+        for s in seqs {
+            extractor.extract_into(s, &mut all);
+        }
+        KmerSample::from_kmers(name, all)
+    }
+
+    /// Extract the sample from FASTA records.
+    pub fn from_fasta_records(
+        name: impl Into<String>,
+        records: &[FastaRecord],
+        extractor: &KmerExtractor,
+    ) -> Self {
+        KmerSample::from_sequences(name, records.iter().map(|r| r.seq.as_slice()), extractor)
+    }
+
+    /// Extract the sample from noisy reads, keeping only k-mers observed
+    /// at least `min_count` times (the rare-k-mer / noise filter applied
+    /// to the Kingsford and BIGSI data).
+    pub fn from_reads_with_threshold<'a>(
+        name: impl Into<String>,
+        reads: impl IntoIterator<Item = &'a [u8]>,
+        extractor: &KmerExtractor,
+        min_count: usize,
+    ) -> Self {
+        let mut counts: HashMap<Kmer, usize> = HashMap::new();
+        let mut buf = Vec::new();
+        for r in reads {
+            buf.clear();
+            extractor.extract_into(r, &mut buf);
+            for &k in &buf {
+                *counts.entry(k).or_insert(0) += 1;
+            }
+        }
+        let kept: Vec<Kmer> =
+            counts.into_iter().filter(|&(_, c)| c >= min_count).map(|(k, _)| k).collect();
+        KmerSample::from_kmers(name, kept)
+    }
+
+    /// Sample name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The sorted distinct k-mer codes.
+    pub fn kmers(&self) -> &[Kmer] {
+        &self.kmers
+    }
+
+    /// Number of distinct k-mers, `|X_i|`.
+    pub fn len(&self) -> usize {
+        self.kmers.len()
+    }
+
+    /// True if the sample contains no k-mers.
+    pub fn is_empty(&self) -> bool {
+        self.kmers.is_empty()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, kmer: Kmer) -> bool {
+        self.kmers.binary_search(&kmer).is_ok()
+    }
+
+    /// `|X_i ∩ X_j|` by merging the two sorted lists.
+    pub fn intersection_size(&self, other: &KmerSample) -> usize {
+        let (mut i, mut j, mut count) = (0usize, 0usize, 0usize);
+        while i < self.kmers.len() && j < other.kmers.len() {
+            match self.kmers[i].cmp(&other.kmers[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    count += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        count
+    }
+
+    /// `|X_i ∪ X_j|`.
+    pub fn union_size(&self, other: &KmerSample) -> usize {
+        self.len() + other.len() - self.intersection_size(other)
+    }
+
+    /// Exact Jaccard similarity `J(X_i, X_j)`; two empty sets have
+    /// similarity 1 by the paper's convention.
+    pub fn jaccard(&self, other: &KmerSample) -> f64 {
+        let union = self.union_size(other);
+        if union == 0 {
+            return 1.0;
+        }
+        self.intersection_size(other) as f64 / union as f64
+    }
+
+    /// Exact Jaccard distance `d_J = 1 − J`.
+    pub fn jaccard_distance(&self, other: &KmerSample) -> f64 {
+        1.0 - self.jaccard(other)
+    }
+
+    /// Write the sorted numerical representation: one decimal k-mer code
+    /// per line (the file format GenomeAtScale's preprocessing emits).
+    pub fn write_sorted(&self, mut w: impl Write) -> GenomicsResult<()> {
+        for k in &self.kmers {
+            writeln!(w, "{k}")?;
+        }
+        Ok(())
+    }
+
+    /// Read a sorted numerical representation produced by
+    /// [`KmerSample::write_sorted`].
+    pub fn read_sorted(name: impl Into<String>, r: impl BufRead) -> GenomicsResult<Self> {
+        let mut kmers = Vec::new();
+        for (idx, line) in r.lines().enumerate() {
+            let line = line?;
+            let t = line.trim();
+            if t.is_empty() {
+                continue;
+            }
+            let v: u64 = t.parse().map_err(|_| GenomicsError::MalformedRecord {
+                line: idx + 1,
+                message: format!("'{t}' is not an unsigned integer"),
+            })?;
+            kmers.push(v);
+        }
+        Ok(KmerSample::from_kmers(name, kmers))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ex() -> KmerExtractor {
+        KmerExtractor::new_forward(3).unwrap()
+    }
+
+    #[test]
+    fn from_kmers_sorts_and_dedups() {
+        let s = KmerSample::from_kmers("s", vec![5, 1, 5, 3]);
+        assert_eq!(s.kmers(), &[1, 3, 5]);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        assert!(s.contains(3));
+        assert!(!s.contains(2));
+    }
+
+    #[test]
+    fn from_sorted_kmers_validates_order() {
+        assert!(KmerSample::from_sorted_kmers("a", vec![1, 2, 3]).is_ok());
+        assert!(KmerSample::from_sorted_kmers("a", vec![1, 1]).is_err());
+        assert!(KmerSample::from_sorted_kmers("a", vec![2, 1]).is_err());
+    }
+
+    #[test]
+    fn set_operations_match_brute_force() {
+        let a = KmerSample::from_kmers("a", vec![1, 2, 3, 4, 5]);
+        let b = KmerSample::from_kmers("b", vec![4, 5, 6, 7]);
+        assert_eq!(a.intersection_size(&b), 2);
+        assert_eq!(a.union_size(&b), 7);
+        assert!((a.jaccard(&b) - 2.0 / 7.0).abs() < 1e-12);
+        assert!((a.jaccard_distance(&b) - 5.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_sets_have_similarity_one() {
+        let a = KmerSample::from_kmers("a", vec![]);
+        let b = KmerSample::from_kmers("b", vec![]);
+        assert!(a.is_empty());
+        assert_eq!(a.jaccard(&b), 1.0);
+        let c = KmerSample::from_kmers("c", vec![1]);
+        assert_eq!(a.jaccard(&c), 0.0);
+    }
+
+    #[test]
+    fn identical_samples_have_similarity_one() {
+        let a = KmerSample::from_sequence("a", b"ACGTACGTAA", &ex());
+        assert_eq!(a.jaccard(&a), 1.0);
+        assert_eq!(a.jaccard_distance(&a), 0.0);
+    }
+
+    #[test]
+    fn from_sequences_merges_reads() {
+        let reads: Vec<&[u8]> = vec![b"ACGTT", b"TTTAC"];
+        let merged = KmerSample::from_sequences("m", reads.iter().copied(), &ex());
+        let separate_a = KmerSample::from_sequence("a", b"ACGTT", &ex());
+        let separate_b = KmerSample::from_sequence("b", b"TTTAC", &ex());
+        assert_eq!(merged.len(), separate_a.union_size(&separate_b));
+    }
+
+    #[test]
+    fn threshold_removes_rare_kmers() {
+        // "ACG" appears in both reads, everything else once.
+        let reads: Vec<&[u8]> = vec![b"ACGT", b"AACG"];
+        let no_threshold =
+            KmerSample::from_reads_with_threshold("s", reads.iter().copied(), &ex(), 1);
+        let thresholded =
+            KmerSample::from_reads_with_threshold("s", reads.iter().copied(), &ex(), 2);
+        assert!(thresholded.len() < no_threshold.len());
+        assert_eq!(thresholded.len(), 1);
+    }
+
+    #[test]
+    fn sorted_representation_roundtrip() {
+        let s = KmerSample::from_kmers("s", vec![10, 7, 99999999999]);
+        let mut buf = Vec::new();
+        s.write_sorted(&mut buf).unwrap();
+        let parsed = KmerSample::read_sorted("s", std::io::Cursor::new(buf)).unwrap();
+        assert_eq!(parsed, s);
+    }
+
+    #[test]
+    fn read_sorted_rejects_garbage() {
+        let err = KmerSample::read_sorted("s", std::io::Cursor::new("12\nnot-a-number\n"));
+        assert!(err.is_err());
+        let ok = KmerSample::read_sorted("s", std::io::Cursor::new("\n\n3\n")).unwrap();
+        assert_eq!(ok.kmers(), &[3]);
+    }
+
+    #[test]
+    fn from_fasta_records_uses_all_records() {
+        let recs = vec![FastaRecord::new("r1", b"ACGT".to_vec()), FastaRecord::new("r2", b"GGGG".to_vec())];
+        let s = KmerSample::from_fasta_records("sample", &recs, &ex());
+        assert!(s.len() >= 2);
+        assert_eq!(s.name(), "sample");
+    }
+}

@@ -1,0 +1,299 @@
+//! Synthetic sequence and indicator-matrix generators.
+//!
+//! The paper evaluates on (a) real datasets we cannot redistribute here
+//! and (b) synthetic indicator matrices "where each element of the
+//! indicator matrix A is present with a specified probability p"
+//! (Section V-A3). This module provides both kinds of synthetic input:
+//!
+//! * genuinely correlated genomes — a random reference, mutated
+//!   derivatives at a controlled substitution rate, and simulated short
+//!   reads — so Jaccard values are biologically meaningful (used by the
+//!   accuracy experiments and the examples);
+//! * Bernoulli indicator matrices with uniform or skewed per-column
+//!   density (the paper's synthetic performance workloads; the skewed
+//!   variant models the BIGSI dataset's highly variable column density).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::error::{GenomicsError, GenomicsResult};
+
+const BASES: [u8; 4] = [b'A', b'C', b'G', b'T'];
+
+/// Generate a uniformly random genome of `len` bases.
+pub fn random_genome(len: usize, rng: &mut StdRng) -> Vec<u8> {
+    (0..len).map(|_| BASES[rng.random_range(0..4)]).collect()
+}
+
+/// Apply substitutions to a sequence at the given per-base rate, returning
+/// the mutated copy. Substitutions always change the base.
+pub fn mutate(seq: &[u8], substitution_rate: f64, rng: &mut StdRng) -> Vec<u8> {
+    seq.iter()
+        .map(|&b| {
+            if rng.random_bool(substitution_rate.clamp(0.0, 1.0)) {
+                let current = BASES.iter().position(|&x| x == b).unwrap_or(0);
+                BASES[(current + rng.random_range(1..4)) % 4]
+            } else {
+                b
+            }
+        })
+        .collect()
+}
+
+/// Simulate error-free or error-prone short reads from a genome.
+///
+/// `coverage` is the expected number of times each base is covered;
+/// `error_rate` is the per-base sequencing error probability.
+pub fn simulate_reads(
+    genome: &[u8],
+    read_len: usize,
+    coverage: f64,
+    error_rate: f64,
+    rng: &mut StdRng,
+) -> GenomicsResult<Vec<Vec<u8>>> {
+    if read_len == 0 || read_len > genome.len() {
+        return Err(GenomicsError::InvalidConfig(format!(
+            "read length {read_len} invalid for a genome of {} bases",
+            genome.len()
+        )));
+    }
+    if coverage <= 0.0 {
+        return Err(GenomicsError::InvalidConfig("coverage must be positive".to_string()));
+    }
+    let n_reads = ((genome.len() as f64 * coverage) / read_len as f64).ceil() as usize;
+    let mut reads = Vec::with_capacity(n_reads);
+    for _ in 0..n_reads {
+        let start = rng.random_range(0..=genome.len() - read_len);
+        let mut read = genome[start..start + read_len].to_vec();
+        if error_rate > 0.0 {
+            read = mutate(&read, error_rate, rng);
+        }
+        reads.push(read);
+    }
+    Ok(reads)
+}
+
+/// Expected Jaccard similarity of the k-mer sets of a genome and a mutated
+/// copy with per-base substitution rate `d` (the Mash model): a k-mer
+/// survives unmutated with probability `(1 − d)^k`, and
+/// `J ≈ s / (2 − s)` where `s = (1 − d)^k`.
+pub fn expected_jaccard(k: usize, substitution_rate: f64) -> f64 {
+    let s = (1.0 - substitution_rate).powi(k as i32);
+    s / (2.0 - s)
+}
+
+/// Generate the paper's synthetic indicator matrix: `n` columns over `m`
+/// possible rows, each (row, column) entry present independently with
+/// probability `density`. Returns, for each column, the sorted list of
+/// present row indices.
+pub fn bernoulli_columns(
+    m: usize,
+    n: usize,
+    density: f64,
+    seed: u64,
+) -> GenomicsResult<Vec<Vec<usize>>> {
+    if !(0.0..=1.0).contains(&density) {
+        return Err(GenomicsError::InvalidConfig(format!("density {density} outside [0, 1]")));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let expected = (m as f64 * density).ceil() as usize + 1;
+    Ok((0..n)
+        .map(|_| {
+            // Sample the gaps geometrically instead of testing every row —
+            // equivalent to m Bernoulli trials but O(nnz).
+            let mut rows = Vec::with_capacity(expected);
+            if density <= 0.0 {
+                return rows;
+            }
+            if density >= 1.0 {
+                return (0..m).collect();
+            }
+            let mut r = 0usize;
+            loop {
+                let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+                let gap = (u.ln() / (1.0 - density).ln()).floor() as usize;
+                r = match r.checked_add(gap) {
+                    Some(v) => v,
+                    None => break,
+                };
+                if r >= m {
+                    break;
+                }
+                rows.push(r);
+                r += 1;
+            }
+            rows
+        })
+        .collect())
+}
+
+/// Generate an indicator matrix with *skewed* per-column density: column
+/// densities are log-uniformly distributed between `min_density` and
+/// `max_density`. This models the BIGSI dataset's "high variability of
+/// density across different columns" (Section V-B).
+pub fn skewed_columns(
+    m: usize,
+    n: usize,
+    min_density: f64,
+    max_density: f64,
+    seed: u64,
+) -> GenomicsResult<Vec<Vec<usize>>> {
+    if min_density <= 0.0 || max_density > 1.0 || min_density > max_density {
+        return Err(GenomicsError::InvalidConfig(format!(
+            "invalid density range [{min_density}, {max_density}]"
+        )));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut columns = Vec::with_capacity(n);
+    for j in 0..n {
+        let t: f64 = rng.random();
+        let density = (min_density.ln() + t * (max_density.ln() - min_density.ln())).exp();
+        let col = bernoulli_columns(m, 1, density, seed ^ (j as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))?
+            .pop()
+            .expect("one column requested");
+        columns.push(col);
+    }
+    Ok(columns)
+}
+
+/// A family of related genomes: one ancestor and `n − 1` mutated
+/// descendants with per-genome substitution rates, useful for clustering
+/// and accuracy experiments where the true relationships are known.
+pub fn genome_family(
+    genome_len: usize,
+    rates: &[f64],
+    seed: u64,
+) -> GenomicsResult<Vec<Vec<u8>>> {
+    if genome_len == 0 {
+        return Err(GenomicsError::InvalidConfig("genome length must be positive".to_string()));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ancestor = random_genome(genome_len, &mut rng);
+    let mut family = vec![ancestor.clone()];
+    for &rate in rates {
+        family.push(mutate(&ancestor, rate, &mut rng));
+    }
+    Ok(family)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kmer::KmerExtractor;
+    use crate::sample::KmerSample;
+
+    #[test]
+    fn random_genome_uses_only_acgt() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = random_genome(1000, &mut rng);
+        assert_eq!(g.len(), 1000);
+        assert!(g.iter().all(|b| BASES.contains(b)));
+    }
+
+    #[test]
+    fn mutate_changes_roughly_rate_fraction() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = random_genome(20_000, &mut rng);
+        let m = mutate(&g, 0.1, &mut rng);
+        let diff = g.iter().zip(m.iter()).filter(|(a, b)| a != b).count();
+        let frac = diff as f64 / g.len() as f64;
+        assert!((frac - 0.1).abs() < 0.02, "observed substitution rate {frac}");
+        // Zero rate changes nothing.
+        assert_eq!(mutate(&g, 0.0, &mut rng), g);
+    }
+
+    #[test]
+    fn simulate_reads_covers_genome() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = random_genome(2_000, &mut rng);
+        let reads = simulate_reads(&g, 100, 5.0, 0.0, &mut rng).unwrap();
+        assert_eq!(reads.len(), 100);
+        assert!(reads.iter().all(|r| r.len() == 100));
+        assert!(simulate_reads(&g, 0, 5.0, 0.0, &mut rng).is_err());
+        assert!(simulate_reads(&g, 5000, 5.0, 0.0, &mut rng).is_err());
+        assert!(simulate_reads(&g, 100, 0.0, 0.0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn expected_jaccard_matches_measured_jaccard() {
+        // Mutate a genome at 1% and check the k-mer Jaccard is near the
+        // Mash-model prediction.
+        let mut rng = StdRng::seed_from_u64(4);
+        let k = 15;
+        let g = random_genome(200_000, &mut rng);
+        let m = mutate(&g, 0.01, &mut rng);
+        let ex = KmerExtractor::new(k).unwrap();
+        let a = KmerSample::from_sequence("a", &g, &ex);
+        let b = KmerSample::from_sequence("b", &m, &ex);
+        let measured = a.jaccard(&b);
+        let predicted = expected_jaccard(k, 0.01);
+        assert!(
+            (measured - predicted).abs() < 0.05,
+            "measured {measured}, predicted {predicted}"
+        );
+    }
+
+    #[test]
+    fn expected_jaccard_monotone_in_divergence() {
+        assert!(expected_jaccard(21, 0.001) > expected_jaccard(21, 0.01));
+        assert!(expected_jaccard(21, 0.01) > expected_jaccard(21, 0.1));
+        assert!((expected_jaccard(21, 0.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bernoulli_columns_have_expected_density() {
+        let m = 100_000;
+        let cols = bernoulli_columns(m, 20, 0.01, 7).unwrap();
+        assert_eq!(cols.len(), 20);
+        let total: usize = cols.iter().map(|c| c.len()).sum();
+        let density = total as f64 / (m as f64 * 20.0);
+        assert!((density - 0.01).abs() < 0.002, "density {density}");
+        for c in &cols {
+            assert!(c.windows(2).all(|w| w[0] < w[1]));
+            assert!(c.iter().all(|&r| r < m));
+        }
+    }
+
+    #[test]
+    fn bernoulli_density_edge_cases() {
+        assert!(bernoulli_columns(10, 2, -0.1, 1).is_err());
+        assert!(bernoulli_columns(10, 2, 1.5, 1).is_err());
+        let empty = bernoulli_columns(10, 2, 0.0, 1).unwrap();
+        assert!(empty.iter().all(|c| c.is_empty()));
+        let full = bernoulli_columns(10, 2, 1.0, 1).unwrap();
+        assert!(full.iter().all(|c| c.len() == 10));
+    }
+
+    #[test]
+    fn bernoulli_is_deterministic_per_seed() {
+        let a = bernoulli_columns(1000, 5, 0.05, 42).unwrap();
+        let b = bernoulli_columns(1000, 5, 0.05, 42).unwrap();
+        let c = bernoulli_columns(1000, 5, 0.05, 43).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn skewed_columns_vary_in_density() {
+        let cols = skewed_columns(50_000, 30, 1e-4, 1e-1, 11).unwrap();
+        let sizes: Vec<usize> = cols.iter().map(|c| c.len()).collect();
+        let max = *sizes.iter().max().unwrap();
+        let min = *sizes.iter().min().unwrap();
+        assert!(max > 10 * (min + 1), "expected skew, got min={min} max={max}");
+        assert!(skewed_columns(100, 2, 0.0, 0.5, 1).is_err());
+        assert!(skewed_columns(100, 2, 0.5, 0.1, 1).is_err());
+    }
+
+    #[test]
+    fn genome_family_sizes_and_determinism() {
+        let fam = genome_family(500, &[0.01, 0.1], 9).unwrap();
+        assert_eq!(fam.len(), 3);
+        assert!(fam.iter().all(|g| g.len() == 500));
+        let fam2 = genome_family(500, &[0.01, 0.1], 9).unwrap();
+        assert_eq!(fam, fam2);
+        assert!(genome_family(0, &[0.1], 9).is_err());
+        // Closer mutation rate -> more similar to ancestor.
+        let diff = |a: &[u8], b: &[u8]| a.iter().zip(b).filter(|(x, y)| x != y).count();
+        assert!(diff(&fam[0], &fam[1]) < diff(&fam[0], &fam[2]));
+    }
+}

@@ -1,0 +1,219 @@
+//! Coordinate-format (COO) sparse matrices.
+//!
+//! COO is the construction format: the preprocessing stages of
+//! SimilarityAtScale generate `(row, column, value)` triples — k-mer
+//! presence bits, filtered row indices, bit-packed words — which are then
+//! converted to CSR/CSC for the compute kernels, mirroring how the
+//! Cyclops `write()` primitive assembles distributed tensors from
+//! per-process triples.
+
+use serde::{Deserialize, Serialize};
+
+use crate::csc::CscMatrix;
+use crate::csr::CsrMatrix;
+use crate::error::{SparseError, SparseResult};
+
+/// A sparse matrix stored as unsorted `(row, col, value)` triples.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CooMatrix<T> {
+    nrows: usize,
+    ncols: usize,
+    rows: Vec<usize>,
+    cols: Vec<usize>,
+    vals: Vec<T>,
+}
+
+impl<T: Copy> CooMatrix<T> {
+    /// Create an empty `nrows × ncols` COO matrix.
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        CooMatrix { nrows, ncols, rows: Vec::new(), cols: Vec::new(), vals: Vec::new() }
+    }
+
+    /// Create an empty matrix with preallocated capacity for `cap` entries.
+    pub fn with_capacity(nrows: usize, ncols: usize, cap: usize) -> Self {
+        CooMatrix {
+            nrows,
+            ncols,
+            rows: Vec::with_capacity(cap),
+            cols: Vec::with_capacity(cap),
+            vals: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored entries (duplicates counted separately).
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Append an entry.
+    pub fn push(&mut self, row: usize, col: usize, val: T) -> SparseResult<()> {
+        if row >= self.nrows || col >= self.ncols {
+            return Err(SparseError::IndexOutOfBounds {
+                row,
+                col,
+                nrows: self.nrows,
+                ncols: self.ncols,
+            });
+        }
+        self.rows.push(row);
+        self.cols.push(col);
+        self.vals.push(val);
+        Ok(())
+    }
+
+    /// Build from parallel triple arrays.
+    pub fn from_triples(
+        nrows: usize,
+        ncols: usize,
+        triples: impl IntoIterator<Item = (usize, usize, T)>,
+    ) -> SparseResult<Self> {
+        let mut m = CooMatrix::new(nrows, ncols);
+        for (r, c, v) in triples {
+            m.push(r, c, v)?;
+        }
+        Ok(m)
+    }
+
+    /// Iterate over stored entries.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, T)> + '_ {
+        self.rows
+            .iter()
+            .zip(self.cols.iter())
+            .zip(self.vals.iter())
+            .map(|((&r, &c), &v)| (r, c, v))
+    }
+
+    /// Convert to CSR, summing duplicate entries with `combine`.
+    pub fn to_csr_with(&self, combine: impl Fn(T, T) -> T) -> CsrMatrix<T> {
+        // Counting sort by row, then sort each row segment by column.
+        let mut row_counts = vec![0usize; self.nrows + 1];
+        for &r in &self.rows {
+            row_counts[r + 1] += 1;
+        }
+        for i in 0..self.nrows {
+            row_counts[i + 1] += row_counts[i];
+        }
+        let mut order: Vec<usize> = (0..self.nnz()).collect();
+        order.sort_unstable_by_key(|&k| (self.rows[k], self.cols[k]));
+
+        let mut indptr = vec![0usize; self.nrows + 1];
+        let mut indices = Vec::with_capacity(self.nnz());
+        let mut data: Vec<T> = Vec::with_capacity(self.nnz());
+        let mut last: Option<(usize, usize)> = None;
+        for &k in &order {
+            let (r, c, v) = (self.rows[k], self.cols[k], self.vals[k]);
+            if last == Some((r, c)) {
+                let d = data.last_mut().expect("duplicate follows an entry");
+                *d = combine(*d, v);
+            } else {
+                indices.push(c);
+                data.push(v);
+                indptr[r + 1] += 1;
+                last = Some((r, c));
+            }
+        }
+        for i in 0..self.nrows {
+            indptr[i + 1] += indptr[i];
+        }
+        CsrMatrix::from_raw_parts(self.nrows, self.ncols, indptr, indices, data)
+            .expect("COO conversion produces consistent CSR")
+    }
+
+    /// Convert to CSC, summing duplicate entries with `combine`.
+    pub fn to_csc_with(&self, combine: impl Fn(T, T) -> T) -> CscMatrix<T> {
+        let transposed = CooMatrix {
+            nrows: self.ncols,
+            ncols: self.nrows,
+            rows: self.cols.clone(),
+            cols: self.rows.clone(),
+            vals: self.vals.clone(),
+        };
+        let csr_t = transposed.to_csr_with(combine);
+        CscMatrix::from_transposed_csr(csr_t)
+    }
+}
+
+impl<T: Copy + std::ops::Add<Output = T>> CooMatrix<T> {
+    /// Convert to CSR, summing duplicates with `+`.
+    pub fn to_csr(&self) -> CsrMatrix<T> {
+        self.to_csr_with(|a, b| a + b)
+    }
+
+    /// Convert to CSC, summing duplicates with `+`.
+    pub fn to_csc(&self) -> CscMatrix<T> {
+        self.to_csc_with(|a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_validates_bounds() {
+        let mut m = CooMatrix::<u32>::new(2, 2);
+        assert!(m.push(0, 0, 1).is_ok());
+        assert!(m.push(2, 0, 1).is_err());
+        assert!(m.push(0, 2, 1).is_err());
+        assert_eq!(m.nnz(), 1);
+    }
+
+    #[test]
+    fn to_csr_sorts_and_merges_duplicates() {
+        let m = CooMatrix::from_triples(
+            3,
+            3,
+            vec![(2, 1, 1u32), (0, 2, 5), (0, 0, 1), (2, 1, 3), (1, 1, 2)],
+        )
+        .unwrap();
+        let csr = m.to_csr();
+        assert_eq!(csr.nnz(), 4);
+        assert_eq!(csr.row(0).collect::<Vec<_>>(), vec![(0, 1), (2, 5)]);
+        assert_eq!(csr.row(1).collect::<Vec<_>>(), vec![(1, 2)]);
+        assert_eq!(csr.row(2).collect::<Vec<_>>(), vec![(1, 4)]);
+    }
+
+    #[test]
+    fn to_csc_groups_by_column() {
+        let m = CooMatrix::from_triples(3, 2, vec![(0, 0, 1u64), (2, 0, 2), (1, 1, 3)]).unwrap();
+        let csc = m.to_csc();
+        assert_eq!(csc.col(0).collect::<Vec<_>>(), vec![(0, 1), (2, 2)]);
+        assert_eq!(csc.col(1).collect::<Vec<_>>(), vec![(1, 3)]);
+    }
+
+    #[test]
+    fn custom_combine_uses_max() {
+        let m =
+            CooMatrix::from_triples(1, 1, vec![(0, 0, 3u32), (0, 0, 7), (0, 0, 5)]).unwrap();
+        let csr = m.to_csr_with(|a, b| a.max(b));
+        assert_eq!(csr.row(0).collect::<Vec<_>>(), vec![(0, 7)]);
+    }
+
+    #[test]
+    fn iter_yields_all_entries() {
+        let m = CooMatrix::from_triples(2, 2, vec![(0, 1, 9u8), (1, 0, 8)]).unwrap();
+        let collected: Vec<_> = m.iter().collect();
+        assert_eq!(collected, vec![(0, 1, 9), (1, 0, 8)]);
+    }
+
+    #[test]
+    fn empty_matrix_converts_cleanly() {
+        let m = CooMatrix::<u64>::new(4, 3);
+        let csr = m.to_csr();
+        assert_eq!(csr.nnz(), 0);
+        assert_eq!(csr.nrows(), 4);
+        let csc = m.to_csc();
+        assert_eq!(csc.nnz(), 0);
+        assert_eq!(csc.ncols(), 3);
+    }
+}

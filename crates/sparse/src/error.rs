@@ -1,0 +1,76 @@
+//! Error types for the sparse linear-algebra crate.
+
+use std::fmt;
+
+/// Result alias for sparse-matrix operations.
+pub type SparseResult<T> = Result<T, SparseError>;
+
+/// Errors produced by sparse-matrix construction and kernels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SparseError {
+    /// An entry was outside the matrix bounds.
+    IndexOutOfBounds {
+        /// Row of the offending entry.
+        row: usize,
+        /// Column of the offending entry.
+        col: usize,
+        /// Number of rows of the matrix.
+        nrows: usize,
+        /// Number of columns of the matrix.
+        ncols: usize,
+    },
+    /// Two operands have incompatible shapes for the requested operation.
+    ShapeMismatch {
+        /// Human-readable description of the mismatch.
+        context: String,
+    },
+    /// A distributed operation was invoked with an invalid grid or
+    /// distribution.
+    InvalidDistribution(String),
+    /// An underlying communication error from the simulated runtime.
+    Comm(String),
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::IndexOutOfBounds { row, col, nrows, ncols } => write!(
+                f,
+                "entry ({row}, {col}) is outside a {nrows}x{ncols} matrix"
+            ),
+            SparseError::ShapeMismatch { context } => write!(f, "shape mismatch: {context}"),
+            SparseError::InvalidDistribution(msg) => write!(f, "invalid distribution: {msg}"),
+            SparseError::Comm(msg) => write!(f, "communication error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SparseError {}
+
+impl From<gas_dstsim::SimError> for SparseError {
+    fn from(e: gas_dstsim::SimError) -> Self {
+        SparseError::Comm(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SparseError::IndexOutOfBounds { row: 5, col: 6, nrows: 2, ncols: 3 };
+        assert!(e.to_string().contains("(5, 6)"));
+        assert!(e.to_string().contains("2x3"));
+        let e = SparseError::ShapeMismatch { context: "a.cols != b.rows".into() };
+        assert!(e.to_string().contains("a.cols"));
+        let e = SparseError::InvalidDistribution("empty grid".into());
+        assert!(e.to_string().contains("empty grid"));
+    }
+
+    #[test]
+    fn sim_errors_convert() {
+        let e: SparseError = gas_dstsim::SimError::InvalidWorldSize(0).into();
+        assert!(matches!(e, SparseError::Comm(_)));
+    }
+}

@@ -1,0 +1,349 @@
+//! Local sparse matrix–matrix multiplication kernels.
+//!
+//! The computational core of SimilarityAtScale is `B = AᵀA` where `A` is a
+//! hypersparse batch of the indicator matrix and the output is dense
+//! (Section III-A). After masking, the product runs over the popcount-AND
+//! semiring on 64-bit words (Eq. 7). This module provides:
+//!
+//! * [`ata_dense`] — row-wise (Gustavson) `AᵀA` with a dense accumulator;
+//! * [`ata_dense_parallel`] — the same product parallelized over output
+//!   rows with Rayon (the on-node parallelism of a rank);
+//! * [`atb_block_dense`] — the `C += AᵀB` block kernel used by the
+//!   distributed SUMMA/2.5D algorithm;
+//! * [`spgemm_csr`] — a general-purpose Gustavson SpGEMM with sparse
+//!   output, used by the graph-framing applications and as a reference.
+
+use rayon::prelude::*;
+
+use crate::csc::CscMatrix;
+use crate::csr::CsrMatrix;
+use crate::dense::DenseMatrix;
+use crate::error::{SparseError, SparseResult};
+use crate::semiring::Semiring;
+
+/// Compute the dense matrix `B = AᵀA` over semiring `S`, where `A` is
+/// given in CSR form with `m` rows (attributes) and `n` columns (samples).
+///
+/// Gustavson-style: for every row `k` of `A`, every pair of entries
+/// `(i, a_ki)`, `(j, a_kj)` contributes `mul(a_ki, a_kj)` to `B[i][j]`.
+/// The cost is `Σ_k nnz(row k)²` multiplications, matching the paper's
+/// observation that dense rows are what make the product expensive.
+pub fn ata_dense<S>(a: &CsrMatrix<S::Left>) -> DenseMatrix<S::Out>
+where
+    S: Semiring,
+    S::Left: Copy,
+    S::Right: Copy + From<S::Left>,
+    S::Out: Copy + Default,
+{
+    let n = a.ncols();
+    let mut out = DenseMatrix::<S::Out>::zeros(n, n);
+    let mut row_entries: Vec<(usize, S::Left)> = Vec::new();
+    for k in 0..a.nrows() {
+        row_entries.clear();
+        row_entries.extend(a.row(k));
+        for &(i, vi) in &row_entries {
+            let out_row = out.row_mut(i);
+            for &(j, vj) in &row_entries {
+                out_row[j] = S::add(out_row[j], S::mul(vi, S::Right::from(vj)));
+            }
+        }
+    }
+    out
+}
+
+/// Parallel `B = AᵀA` over semiring `S`.
+///
+/// Requires both the CSC view (to enumerate the rows present in each
+/// sample/column) and the CSR view (to enumerate the samples present in
+/// each row). Output rows are computed independently — thread `i` owns
+/// `B[i][:]` — so the parallelism is free of write conflicts while doing
+/// the same `Σ_k nnz(row k)²` work as the sequential kernel.
+pub fn ata_dense_parallel<S>(
+    a_csc: &CscMatrix<S::Left>,
+    a_csr: &CsrMatrix<S::Right>,
+) -> SparseResult<DenseMatrix<S::Out>>
+where
+    S: Semiring,
+    S::Left: Copy + Sync + Send,
+    S::Right: Copy + Sync + Send,
+    S::Out: Copy + Default + Sync + Send,
+{
+    if a_csc.nrows() != a_csr.nrows() || a_csc.ncols() != a_csr.ncols() {
+        return Err(SparseError::ShapeMismatch {
+            context: format!(
+                "CSC view is {}x{} but CSR view is {}x{}",
+                a_csc.nrows(),
+                a_csc.ncols(),
+                a_csr.nrows(),
+                a_csr.ncols()
+            ),
+        });
+    }
+    let n = a_csc.ncols();
+    let rows: Vec<Vec<S::Out>> = (0..n)
+        .into_par_iter()
+        .map(|i| {
+            let mut out_row = vec![S::zero(); n];
+            for (k, vi) in a_csc.col(i) {
+                for (j, vj) in a_csr.row(k) {
+                    out_row[j] = S::add(out_row[j], S::mul(vi, vj));
+                }
+            }
+            out_row
+        })
+        .collect();
+    let mut flat = Vec::with_capacity(n * n);
+    for r in rows {
+        flat.extend(r);
+    }
+    DenseMatrix::from_vec(n, n, flat)
+}
+
+/// Accumulate `out += AᵀB` over semiring `S`, where `A` (CSC, `m × na`)
+/// and `B` (CSR, `m × nb`) share the same row dimension and `out` is the
+/// dense `na × nb` block. This is the local kernel executed at every step
+/// of the distributed SUMMA/2.5D product.
+pub fn atb_block_dense<S>(
+    a_csc: &CscMatrix<S::Left>,
+    b_csr: &CsrMatrix<S::Right>,
+    out: &mut DenseMatrix<S::Out>,
+) -> SparseResult<u64>
+where
+    S: Semiring,
+    S::Left: Copy,
+    S::Right: Copy,
+    S::Out: Copy + Default,
+{
+    if a_csc.nrows() != b_csr.nrows() {
+        return Err(SparseError::ShapeMismatch {
+            context: format!(
+                "AᵀB with A having {} rows and B having {} rows",
+                a_csc.nrows(),
+                b_csr.nrows()
+            ),
+        });
+    }
+    if out.nrows() != a_csc.ncols() || out.ncols() != b_csr.ncols() {
+        return Err(SparseError::ShapeMismatch {
+            context: format!(
+                "output block is {}x{} but AᵀB is {}x{}",
+                out.nrows(),
+                out.ncols(),
+                a_csc.ncols(),
+                b_csr.ncols()
+            ),
+        });
+    }
+    let mut ops = 0u64;
+    for i in 0..a_csc.ncols() {
+        let out_row = out.row_mut(i);
+        for (k, va) in a_csc.col(i) {
+            for (j, vb) in b_csr.row(k) {
+                out_row[j] = S::add(out_row[j], S::mul(va, vb));
+                ops += 1;
+            }
+        }
+    }
+    Ok(ops)
+}
+
+/// General sparse × sparse multiplication `C = A · B` over semiring `S`
+/// with sparse (CSR) output, using Gustavson's algorithm with a dense
+/// accumulator per row.
+///
+/// Entries whose accumulated value equals `S::zero()` are dropped when
+/// `S::Out: PartialEq`.
+pub fn spgemm_csr<S>(
+    a: &CsrMatrix<S::Left>,
+    b: &CsrMatrix<S::Right>,
+) -> SparseResult<CsrMatrix<S::Out>>
+where
+    S: Semiring,
+    S::Left: Copy,
+    S::Right: Copy,
+    S::Out: Copy + Default + PartialEq,
+{
+    if a.ncols() != b.nrows() {
+        return Err(SparseError::ShapeMismatch {
+            context: format!(
+                "A is {}x{} but B is {}x{}",
+                a.nrows(),
+                a.ncols(),
+                b.nrows(),
+                b.ncols()
+            ),
+        });
+    }
+    let n_out = b.ncols();
+    let mut indptr = Vec::with_capacity(a.nrows() + 1);
+    indptr.push(0usize);
+    let mut indices = Vec::new();
+    let mut data = Vec::new();
+    let mut acc: Vec<S::Out> = vec![S::zero(); n_out];
+    let mut touched: Vec<usize> = Vec::new();
+    for i in 0..a.nrows() {
+        touched.clear();
+        for (k, va) in a.row(i) {
+            for (j, vb) in b.row(k) {
+                if acc[j] == S::zero() && !touched.contains(&j) {
+                    touched.push(j);
+                }
+                acc[j] = S::add(acc[j], S::mul(va, vb));
+            }
+        }
+        touched.sort_unstable();
+        for &j in &touched {
+            if acc[j] != S::zero() {
+                indices.push(j);
+                data.push(acc[j]);
+            }
+            acc[j] = S::zero();
+        }
+        indptr.push(indices.len());
+    }
+    CsrMatrix::from_raw_parts(a.nrows(), n_out, indptr, indices, data)
+}
+
+/// Number of scalar multiply-accumulate operations `AᵀA` performs, i.e.
+/// `Σ_k nnz(row k)²`. Used by the cost model to charge γ-flops.
+pub fn ata_flops<T: Copy>(a: &CsrMatrix<T>) -> u64 {
+    (0..a.nrows()).map(|k| (a.row_nnz(k) as u64).pow(2)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitmat::BitMatrix;
+    use crate::coo::CooMatrix;
+    use crate::semiring::{PlusTimes, PopcountAnd};
+
+    /// Indicator matrix for samples {0,1,2}, {1,2,3}, {5} over 6 attributes.
+    fn indicator() -> CooMatrix<u64> {
+        let mut m = CooMatrix::new(6, 3);
+        for r in [0usize, 1, 2] {
+            m.push(r, 0, 1).unwrap();
+        }
+        for r in [1usize, 2, 3] {
+            m.push(r, 1, 1).unwrap();
+        }
+        m.push(5, 2, 1).unwrap();
+        m
+    }
+
+    #[test]
+    fn ata_dense_counts_intersections() {
+        let b = ata_dense::<PlusTimes<u64>>(&indicator().to_csr());
+        assert_eq!(b.get(0, 0), 3);
+        assert_eq!(b.get(1, 1), 3);
+        assert_eq!(b.get(2, 2), 1);
+        assert_eq!(b.get(0, 1), 2);
+        assert_eq!(b.get(1, 0), 2);
+        assert_eq!(b.get(0, 2), 0);
+    }
+
+    #[test]
+    fn parallel_ata_matches_sequential() {
+        let coo = indicator();
+        let seq = ata_dense::<PlusTimes<u64>>(&coo.to_csr());
+        let par =
+            ata_dense_parallel::<PlusTimes<u64>>(&coo.to_csc(), &coo.to_csr()).unwrap();
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn parallel_ata_rejects_mismatched_views() {
+        let coo = indicator();
+        let other = CooMatrix::<u64>::new(4, 3).to_csr();
+        assert!(ata_dense_parallel::<PlusTimes<u64>>(&coo.to_csc(), &other).is_err());
+    }
+
+    #[test]
+    fn popcount_ata_on_bitpacked_matches_boolean_ata() {
+        // Pack the same indicator matrix and verify the popcount-AND
+        // product equals the plus-times product on the unpacked matrix.
+        let coo = indicator();
+        let expected = ata_dense::<PlusTimes<u64>>(&coo.to_csr());
+        let bm = BitMatrix::from_columns(6, &[vec![0, 1, 2], vec![1, 2, 3], vec![5]]).unwrap();
+        let packed =
+            ata_dense_parallel::<PopcountAnd>(bm.as_csc(), &bm.to_csr()).unwrap();
+        assert_eq!(expected, packed);
+    }
+
+    #[test]
+    fn atb_block_accumulates_and_counts_ops() {
+        let coo = indicator();
+        let csc = coo.to_csc();
+        let csr = coo.to_csr();
+        let mut out = DenseMatrix::<u64>::zeros(3, 3);
+        let ops1 = atb_block_dense::<PlusTimes<u64>>(&csc, &csr, &mut out).unwrap();
+        assert!(ops1 > 0);
+        let expected = ata_dense::<PlusTimes<u64>>(&csr);
+        assert_eq!(out, expected);
+        // Accumulating again doubles every entry.
+        atb_block_dense::<PlusTimes<u64>>(&csc, &csr, &mut out).unwrap();
+        assert_eq!(out.get(0, 1), 2 * expected.get(0, 1));
+    }
+
+    #[test]
+    fn atb_block_validates_shapes() {
+        let coo = indicator();
+        let csc = coo.to_csc();
+        let csr = coo.to_csr();
+        let mut wrong_out = DenseMatrix::<u64>::zeros(2, 3);
+        assert!(atb_block_dense::<PlusTimes<u64>>(&csc, &csr, &mut wrong_out).is_err());
+        let short = CooMatrix::<u64>::new(4, 3).to_csr();
+        let mut out = DenseMatrix::<u64>::zeros(3, 3);
+        assert!(atb_block_dense::<PlusTimes<u64>>(&csc, &short, &mut out).is_err());
+    }
+
+    #[test]
+    fn spgemm_csr_matches_dense_reference() {
+        // A = [[1,2],[0,3]], B = [[4,0],[5,6]] -> C = [[14,12],[15,18]]
+        let a = CooMatrix::from_triples(2, 2, vec![(0, 0, 1u64), (0, 1, 2), (1, 1, 3)])
+            .unwrap()
+            .to_csr();
+        let b = CooMatrix::from_triples(2, 2, vec![(0, 0, 4u64), (1, 0, 5), (1, 1, 6)])
+            .unwrap()
+            .to_csr();
+        let c = spgemm_csr::<PlusTimes<u64>>(&a, &b).unwrap();
+        let d = c.to_dense();
+        assert_eq!(d.get(0, 0), 14);
+        assert_eq!(d.get(0, 1), 12);
+        assert_eq!(d.get(1, 0), 15);
+        assert_eq!(d.get(1, 1), 18);
+    }
+
+    #[test]
+    fn spgemm_csr_rejects_mismatched_inner_dims() {
+        let a = CooMatrix::<u64>::new(2, 3).to_csr();
+        let b = CooMatrix::<u64>::new(2, 2).to_csr();
+        assert!(spgemm_csr::<PlusTimes<u64>>(&a, &b).is_err());
+    }
+
+    #[test]
+    fn spgemm_drops_explicit_zero_results() {
+        // Over i64, 1*1 + (-1)*1 = 0 should not be stored.
+        let a = CooMatrix::from_triples(1, 2, vec![(0, 0, 1i64), (0, 1, -1)]).unwrap().to_csr();
+        let b = CooMatrix::from_triples(2, 1, vec![(0, 0, 1i64), (1, 0, 1)]).unwrap().to_csr();
+        let c = spgemm_csr::<PlusTimes<i64>>(&a, &b).unwrap();
+        assert_eq!(c.nnz(), 0);
+    }
+
+    #[test]
+    fn ata_flops_is_sum_of_squared_row_counts() {
+        let csr = indicator().to_csr();
+        // Row nnz: row0:1, row1:2, row2:2, row3:1, row4:0, row5:1.
+        assert_eq!(ata_flops(&csr), 1 + 4 + 4 + 1 + 0 + 1);
+    }
+
+    #[test]
+    fn empty_inputs_produce_zero_outputs() {
+        let empty = CooMatrix::<u64>::new(5, 3);
+        let b = ata_dense::<PlusTimes<u64>>(&empty.to_csr());
+        assert_eq!(b.count_nonzero(), 0);
+        let par =
+            ata_dense_parallel::<PlusTimes<u64>>(&empty.to_csc(), &empty.to_csr()).unwrap();
+        assert_eq!(par.count_nonzero(), 0);
+        assert_eq!(ata_flops(&empty.to_csr()), 0);
+    }
+}

@@ -1,0 +1,96 @@
+//! Metagenome clustering: the full Figure-1 pipeline on synthetic genomes.
+//!
+//! A family of related genomes is simulated (an ancestor plus derivatives
+//! at increasing mutation rates, in two clades), short reads are drawn
+//! from each, rare k-mers are filtered out, SimilarityAtScale produces the
+//! all-pairs distance matrix, and the downstream steps of the paper's
+//! Figure 1 run on top: hierarchical clustering, a neighbor-joining guide
+//! tree (Newick), and proximity-based outlier detection.
+//!
+//! Run with: `cargo run --release --example metagenome_clustering`
+
+use genomeatscale::cluster::hierarchical::{hierarchical_cluster, Linkage};
+use genomeatscale::cluster::nj::neighbor_joining;
+use genomeatscale::cluster::outlier::knn_outlier_scores;
+use genomeatscale::genomics::synth::{mutate, random_genome, simulate_reads};
+use genomeatscale::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2020);
+    let genome_len = 60_000;
+    let k = 21;
+    let extractor = KmerExtractor::new(k).expect("valid k");
+
+    // Two clades descended from two ancestors, plus one unrelated outlier.
+    let clade_a_root = random_genome(genome_len, &mut rng);
+    let clade_b_root = random_genome(genome_len, &mut rng);
+    let genomes: Vec<(String, Vec<u8>)> = vec![
+        ("cladeA_0".to_string(), clade_a_root.clone()),
+        ("cladeA_1".to_string(), mutate(&clade_a_root, 0.01, &mut rng)),
+        ("cladeA_2".to_string(), mutate(&clade_a_root, 0.03, &mut rng)),
+        ("cladeB_0".to_string(), clade_b_root.clone()),
+        ("cladeB_1".to_string(), mutate(&clade_b_root, 0.02, &mut rng)),
+        ("outlier".to_string(), random_genome(genome_len, &mut rng)),
+    ];
+
+    // Sequence each genome into error-prone short reads and build the
+    // thresholded k-mer samples (the noise filter of Section V-A2).
+    let samples: Vec<KmerSample> = genomes
+        .iter()
+        .map(|(name, g)| {
+            let reads = simulate_reads(g, 150, 4.0, 0.002, &mut rng).expect("valid read spec");
+            KmerSample::from_reads_with_threshold(
+                name.clone(),
+                reads.iter().map(|r| r.as_slice()),
+                &extractor,
+                2,
+            )
+        })
+        .collect();
+    for s in &samples {
+        println!("{}: {} distinct {k}-mers after thresholding", s.name(), s.len());
+    }
+
+    // All-pairs Jaccard with SimilarityAtScale (4 batches to exercise the
+    // batched path).
+    let collection = SampleCollection::from_kmer_samples(&samples).expect("valid samples");
+    let result = similarity_at_scale(&collection, &SimilarityConfig::with_batches(4))
+        .expect("run succeeds");
+    let distances = result.distance();
+
+    println!("\nJaccard distance matrix:");
+    for i in 0..collection.n() {
+        for j in 0..collection.n() {
+            print!("{:>8.3}", distances.get(i, j));
+        }
+        println!("   {}", collection.names()[i]);
+    }
+
+    // Downstream step 7: hierarchical clustering into three groups.
+    let dendrogram =
+        hierarchical_cluster(&distances, Linkage::Average).expect("valid distance matrix");
+    let labels = dendrogram.cut(3).expect("3 clusters");
+    println!("\nAverage-linkage clusters (k = 3):");
+    for (name, label) in collection.names().iter().zip(&labels) {
+        println!("  {name} -> cluster {label}");
+    }
+    assert_eq!(labels[0], labels[1]);
+    assert_eq!(labels[3], labels[4]);
+    assert_ne!(labels[0], labels[3]);
+
+    // Downstream step 9: a neighbor-joining guide tree.
+    let tree = neighbor_joining(&distances, collection.names()).expect("valid inputs");
+    println!("\nNeighbor-joining guide tree (Newick):\n{}", tree.newick());
+
+    // Anomaly detection: the unrelated genome has the largest kNN score.
+    let scores = knn_outlier_scores(&distances, 2).expect("valid k");
+    let (worst, score) = scores
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .unwrap();
+    println!("\nMost anomalous sample: {} (kNN distance {:.3})", collection.names()[worst], score);
+    assert_eq!(collection.names()[worst], "outlier");
+}

@@ -1,0 +1,52 @@
+//! MinHash vs exact Jaccard: the accuracy trade-off that motivates the
+//! paper.
+//!
+//! Pairs of genomes are generated at controlled divergences; for each pair
+//! the exact Jaccard similarity (what SimilarityAtScale computes) is
+//! compared with MinHash estimates at several sketch sizes, together with
+//! the Mash-distance each would imply.
+//!
+//! Run with: `cargo run --release --example minhash_vs_exact`
+
+use genomeatscale::core::minhash::MinHasher;
+use genomeatscale::genomics::synth::{expected_jaccard, mutate, random_genome};
+use genomeatscale::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let k = 21;
+    let extractor = KmerExtractor::new(k).expect("valid k");
+    let genome = random_genome(150_000, &mut rng);
+    let sketch_sizes = [64usize, 512, 4096];
+
+    println!(
+        "{:>10} {:>14} {:>14} {:>12} {:>12} {:>12}",
+        "divergence", "model J", "exact J", "s=64", "s=512", "s=4096"
+    );
+    for divergence in [0.001f64, 0.01, 0.05, 0.15, 0.30] {
+        let variant = mutate(&genome, divergence, &mut rng);
+        let a = KmerSample::from_sequence("a", &genome, &extractor);
+        let b = KmerSample::from_sequence("b", &variant, &extractor);
+        let exact = a.jaccard(&b);
+        let model = expected_jaccard(k, divergence);
+        let mut estimates = Vec::new();
+        for &s in &sketch_sizes {
+            let hasher = MinHasher::new(s).expect("valid sketch size");
+            let est = hasher.sketch(a.kmers()).jaccard_estimate(&hasher.sketch(b.kmers()));
+            estimates.push(est);
+        }
+        println!(
+            "{divergence:>10.3} {model:>14.4} {exact:>14.4} {:>12.4} {:>12.4} {:>12.4}",
+            estimates[0], estimates[1], estimates[2]
+        );
+    }
+
+    println!(
+        "\nReading the table: small sketches quantize coarsely — near-identical pairs often \
+         read exactly 1.0 and distant pairs often read 0.0 — while the exact computation (and \
+         larger sketches) resolve both regimes. This is the accuracy gap SimilarityAtScale closes \
+         by making the exact computation scale to thousands of nodes."
+    );
+}

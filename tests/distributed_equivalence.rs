@@ -1,0 +1,127 @@
+//! Integration tests of the simulated-distributed driver: for every rank
+//! count, batch count and replication factor, the distributed result must
+//! equal the shared-memory result and the brute-force reference bit for
+//! bit, and the communication counters must behave as the paper's
+//! analysis predicts.
+
+use genomeatscale::core::algorithm::{
+    similarity_at_scale, similarity_at_scale_distributed,
+};
+use genomeatscale::core::baselines::allreduce_jaccard_distributed;
+use genomeatscale::genomics::datasets::DatasetSpec;
+use genomeatscale::prelude::*;
+
+fn workload(seed: u64, n: usize) -> SampleCollection {
+    let samples = DatasetSpec::explicit(6_000, n, 0.015, seed).generate().unwrap();
+    SampleCollection::from_sorted_sets(samples).unwrap()
+}
+
+#[test]
+fn distributed_equals_shared_memory_across_configurations() {
+    let collection = workload(1, 14);
+    let reference = jaccard_exact_pairwise(&collection);
+    for ranks in [1usize, 2, 5, 8, 12] {
+        for batches in [1usize, 4] {
+            for replication in [1usize, 2] {
+                let config =
+                    SimilarityConfig::with_batches(batches).with_replication(replication);
+                let shared = similarity_at_scale(&collection, &config).unwrap();
+                let distributed = similarity_at_scale_distributed(
+                    &collection,
+                    &config,
+                    ranks,
+                    &Machine::laptop(),
+                )
+                .unwrap();
+                assert_eq!(
+                    shared.intersections(),
+                    reference.intersections(),
+                    "shared-memory mismatch (batches={batches})"
+                );
+                assert_eq!(
+                    distributed.result.intersections(),
+                    reference.intersections(),
+                    "distributed mismatch (ranks={ranks}, batches={batches}, c={replication})"
+                );
+                assert_eq!(distributed.result.cardinalities(), reference.cardinalities());
+            }
+        }
+    }
+}
+
+#[test]
+fn skewed_bigsi_like_data_is_handled_exactly() {
+    let spec = DatasetSpec::bigsi_like(0.0002).with_seed(9);
+    let samples = spec.generate().unwrap();
+    let collection = SampleCollection::from_sorted_sets(samples).unwrap();
+    let reference = jaccard_exact_pairwise(&collection);
+    let distributed = similarity_at_scale_distributed(
+        &collection,
+        &SimilarityConfig::with_batches(3),
+        6,
+        &Machine::laptop(),
+    )
+    .unwrap();
+    assert_eq!(distributed.result.intersections(), reference.intersections());
+    assert!(distributed.result.similarity().is_symmetric(1e-12));
+}
+
+#[test]
+fn communication_per_rank_decreases_with_more_ranks() {
+    // The replicated filter vector is a constant per-rank overhead (the
+    // paper's implementation collects `f` on all processors), so this
+    // check isolates the matrix-product communication by disabling the
+    // filter: the SUMMA broadcast volume per rank must shrink as the grid
+    // grows.
+    let collection = workload(2, 64);
+    let config = SimilarityConfig {
+        use_zero_row_filter: false,
+        ..SimilarityConfig::with_batches(2)
+    };
+    let mut per_rank = Vec::new();
+    for ranks in [4usize, 16] {
+        let summary =
+            similarity_at_scale_distributed(&collection, &config, ranks, &Machine::laptop())
+                .unwrap();
+        per_rank.push(summary.aggregate.total_bytes_sent / ranks as u64);
+    }
+    assert!(
+        per_rank[1] < per_rank[0],
+        "per-rank product communication should shrink with more ranks: {per_rank:?}"
+    );
+}
+
+#[test]
+fn allreduce_baseline_matches_results_but_not_communication() {
+    let collection = workload(3, 100);
+    let config = SimilarityConfig::with_batches(3);
+    let ranks = 4;
+    let ours =
+        similarity_at_scale_distributed(&collection, &config, ranks, &Machine::laptop()).unwrap();
+    let baseline =
+        allreduce_jaccard_distributed(&collection, &config, ranks, &Machine::laptop()).unwrap();
+    assert_eq!(ours.result.intersections(), baseline.result.intersections());
+    assert!(
+        baseline.aggregate.total_bytes_sent > ours.aggregate.total_bytes_sent,
+        "the allreduce pattern must move more data ({} vs {})",
+        baseline.aggregate.total_bytes_sent,
+        ours.aggregate.total_bytes_sent
+    );
+}
+
+#[test]
+fn cost_projection_is_positive_and_scales_with_problem_size() {
+    let small = workload(4, 8);
+    let large = workload(4, 32);
+    let machine = Machine::stampede2_knl();
+    let model = machine.cost_model().unwrap();
+    let config = SimilarityConfig::default();
+    let t_small = similarity_at_scale_distributed(&small, &config, 4, &machine)
+        .unwrap()
+        .projected_time(&model);
+    let t_large = similarity_at_scale_distributed(&large, &config, 4, &machine)
+        .unwrap()
+        .projected_time(&model);
+    assert!(t_small > 0.0);
+    assert!(t_large > t_small, "larger problems must project to longer times");
+}

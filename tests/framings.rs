@@ -1,0 +1,106 @@
+//! Integration tests of the non-genomic framings of Table III: the same
+//! SimilarityAtScale pipeline computes vertex similarities from graph
+//! neighborhoods and document similarities from word sets.
+
+use genomeatscale::cluster::documents::{document_similarity, document_word_set};
+use genomeatscale::cluster::graph::AdjacencyGraph;
+use genomeatscale::prelude::*;
+
+#[test]
+fn graph_vertex_similarity_via_the_pipeline_matches_direct_computation() {
+    // A small social-network-like graph.
+    let graph = AdjacencyGraph::from_edges(
+        8,
+        &[
+            (0, 1),
+            (0, 2),
+            (1, 2),
+            (1, 3),
+            (2, 3),
+            (3, 4),
+            (4, 5),
+            (4, 6),
+            (5, 6),
+            (5, 7),
+            (6, 7),
+        ],
+    )
+    .unwrap();
+    let collection = SampleCollection::from_sorted_sets(graph.neighborhood_sets()).unwrap();
+    let result = similarity_at_scale(&collection, &SimilarityConfig::with_batches(2)).unwrap();
+    let s = result.similarity();
+    for u in 0..graph.n() {
+        for v in 0..graph.n() {
+            let direct = graph.vertex_similarity(u, v);
+            assert!(
+                (s.get(u, v) - direct).abs() < 1e-12,
+                "vertex pair ({u}, {v}): pipeline {} vs direct {direct}",
+                s.get(u, v)
+            );
+        }
+    }
+    // Vertices in the same triangle are more similar than across the
+    // bridge.
+    assert!(s.get(0, 1) > s.get(0, 5));
+}
+
+#[test]
+fn document_similarity_via_the_pipeline_matches_direct_computation() {
+    let docs = [
+        "the quick brown fox jumps over the lazy dog",
+        "the quick brown fox leaps over a lazy dog",
+        "sparse matrices enable communication efficient jaccard similarity",
+        "communication efficient sparse matrix multiplication at scale",
+        "completely unrelated text about cooking pasta with tomatoes",
+    ];
+    let sets: Vec<Vec<u64>> = docs.iter().map(|d| document_word_set(d)).collect();
+    let collection = SampleCollection::from_sorted_sets(sets).unwrap();
+    let result = similarity_at_scale(&collection, &SimilarityConfig::default()).unwrap();
+    let s = result.similarity();
+    for i in 0..docs.len() {
+        for j in 0..docs.len() {
+            let direct = document_similarity(docs[i], docs[j]);
+            assert!(
+                (s.get(i, j) - direct).abs() < 1e-12,
+                "documents ({i}, {j}): pipeline {} vs direct {direct}",
+                s.get(i, j)
+            );
+        }
+    }
+    // The two fox sentences are the most similar off-diagonal pair.
+    let mut best = (0, 0, 0.0);
+    for i in 0..docs.len() {
+        for j in 0..docs.len() {
+            if i != j && s.get(i, j) > best.2 {
+                best = (i, j, s.get(i, j));
+            }
+        }
+    }
+    assert!((best.0, best.1) == (0, 1) || (best.0, best.1) == (1, 0));
+    // The technical documents are closer to each other than to cooking.
+    assert!(s.get(2, 3) > s.get(2, 4));
+}
+
+#[test]
+fn clustering_of_graph_vertices_follows_communities() {
+    use genomeatscale::cluster::hierarchical::{hierarchical_cluster, Linkage};
+    // Two 4-cliques joined by one edge.
+    let mut edges = Vec::new();
+    for a in 0..4usize {
+        for b in (a + 1)..4 {
+            edges.push((a, b));
+            edges.push((a + 4, b + 4));
+        }
+    }
+    edges.push((3, 4));
+    let graph = AdjacencyGraph::from_edges(8, &edges).unwrap();
+    let collection = SampleCollection::from_sorted_sets(graph.neighborhood_sets()).unwrap();
+    let distances =
+        similarity_at_scale(&collection, &SimilarityConfig::default()).unwrap().distance();
+    let labels = hierarchical_cluster(&distances, Linkage::Average).unwrap().cut(2).unwrap();
+    assert_eq!(labels[0], labels[1]);
+    assert_eq!(labels[0], labels[2]);
+    assert_eq!(labels[5], labels[6]);
+    assert_eq!(labels[5], labels[7]);
+    assert_ne!(labels[0], labels[5]);
+}

@@ -1,0 +1,130 @@
+//! Property-based tests of the core invariants:
+//!
+//! * the similarity matrix is independent of batching, filtering and
+//!   masking choices (Eqs. 3–7 are exact transformations);
+//! * similarity matrices are symmetric, have unit diagonal and values in
+//!   `[0, 1]`;
+//! * the Jaccard distance satisfies the triangle inequality (it is a
+//!   metric);
+//! * the algebraic formulation agrees with the direct set computation;
+//! * MinHash estimates stay within `[0, 1]` and are exact for identical
+//!   sets.
+
+use genomeatscale::core::algorithm::similarity_at_scale;
+use genomeatscale::core::config::SimilarityConfig;
+use genomeatscale::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy: a small collection of samples over a bounded attribute
+/// universe (values < 512), possibly with empty and duplicate-free sets.
+fn collections() -> impl Strategy<Value = Vec<Vec<u64>>> {
+    prop::collection::vec(
+        prop::collection::btree_set(0u64..512, 0..60)
+            .prop_map(|s| s.into_iter().collect::<Vec<u64>>()),
+        2..8,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn batching_filtering_and_masking_do_not_change_results(
+        samples in collections(),
+        batches in 1usize..6,
+        use_filter in any::<bool>(),
+        use_mask in any::<bool>(),
+    ) {
+        let collection = SampleCollection::from_sorted_sets(samples).unwrap();
+        let reference = jaccard_exact_pairwise(&collection);
+        let config = SimilarityConfig {
+            use_zero_row_filter: use_filter,
+            use_bitmask: use_mask,
+            ..SimilarityConfig::with_batches(batches)
+        };
+        let result = similarity_at_scale(&collection, &config).unwrap();
+        prop_assert_eq!(result.intersections(), reference.intersections());
+        prop_assert_eq!(result.cardinalities(), reference.cardinalities());
+    }
+
+    #[test]
+    fn similarity_matrices_are_well_formed(samples in collections()) {
+        let collection = SampleCollection::from_sorted_sets(samples).unwrap();
+        let result = similarity_at_scale(&collection, &SimilarityConfig::default()).unwrap();
+        let s = result.similarity();
+        let n = collection.n();
+        for i in 0..n {
+            prop_assert!((s.get(i, i) - 1.0).abs() < 1e-12, "diagonal must be 1");
+            for j in 0..n {
+                prop_assert!(s.get(i, j) >= 0.0 && s.get(i, j) <= 1.0);
+                prop_assert!((s.get(i, j) - s.get(j, i)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn jaccard_distance_satisfies_the_triangle_inequality(samples in collections()) {
+        let collection = SampleCollection::from_sorted_sets(samples).unwrap();
+        let d = similarity_at_scale(&collection, &SimilarityConfig::default())
+            .unwrap()
+            .distance();
+        let n = collection.n();
+        for i in 0..n {
+            for j in 0..n {
+                for k in 0..n {
+                    prop_assert!(
+                        d.get(i, j) <= d.get(i, k) + d.get(k, j) + 1e-9,
+                        "triangle inequality violated at ({}, {}, {})", i, j, k
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn algebraic_formulation_matches_direct_set_computation(samples in collections()) {
+        let collection = SampleCollection::from_sorted_sets(samples.clone()).unwrap();
+        let result = similarity_at_scale(&collection, &SimilarityConfig::with_batches(2)).unwrap();
+        for i in 0..samples.len() {
+            for j in 0..samples.len() {
+                let inter = samples[i].iter().filter(|v| samples[j].contains(v)).count();
+                let union = samples[i].len() + samples[j].len() - inter;
+                let expected = if union == 0 { 1.0 } else { inter as f64 / union as f64 };
+                prop_assert!((result.similarity().get(i, j) - expected).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn minhash_estimates_are_bounded_and_exact_on_identity(
+        set in prop::collection::btree_set(0u64..100_000, 1..400),
+        sketch_size in 8usize..256,
+    ) {
+        let values: Vec<u64> = set.into_iter().collect();
+        let hasher = MinHasher::new(sketch_size).unwrap();
+        let sketch = hasher.sketch(&values);
+        prop_assert_eq!(sketch.jaccard_estimate(&sketch), 1.0);
+        let other = hasher.sketch(&values.iter().map(|v| v + 1_000_000).collect::<Vec<_>>());
+        let est = sketch.jaccard_estimate(&other);
+        prop_assert!((0.0..=1.0).contains(&est));
+    }
+
+    #[test]
+    fn sample_collection_statistics_are_consistent(samples in collections()) {
+        let collection = SampleCollection::from_sorted_sets(samples.clone()).unwrap();
+        let nnz: u64 = samples.iter().map(|s| s.len() as u64).sum();
+        prop_assert_eq!(collection.nnz(), nnz);
+        prop_assert_eq!(collection.n(), samples.len());
+        let card = collection.cardinalities();
+        for (i, s) in samples.iter().enumerate() {
+            prop_assert_eq!(card[i], s.len() as u64);
+        }
+        // Batches tile the nonzeros exactly.
+        let m = collection.m();
+        let third = (m / 3).max(1);
+        let total = collection.batch_nnz(0, third)
+            + collection.batch_nnz(third, 2 * third)
+            + collection.batch_nnz(2 * third, m);
+        prop_assert_eq!(total, nnz);
+    }
+}
