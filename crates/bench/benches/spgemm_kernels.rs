@@ -48,9 +48,7 @@ fn bench_ata_kernels(c: &mut Criterion) {
         b.iter(|| black_box(ata_dense::<PlusTimes<u64>>(black_box(&csr))))
     });
     group.bench_function("boolean_plus_times_parallel", |b| {
-        b.iter(|| {
-            black_box(ata_dense_parallel::<PlusTimes<u64>>(black_box(&csc), black_box(&csr)))
-        })
+        b.iter(|| black_box(ata_dense_parallel::<PlusTimes<u64>>(black_box(&csc), black_box(&csr))))
     });
     group.bench_function("masked_popcount_parallel", |b| {
         b.iter(|| {
@@ -95,14 +93,18 @@ fn bench_density_sweep(c: &mut Criterion) {
         let filtered = apply_filter(&columns, &filter);
         let packed = BitMatrix::from_columns(filter.num_nonzero_rows(), &filtered).unwrap();
         let packed_csr = packed.to_csr();
-        group.bench_with_input(BenchmarkId::from_parameter(format!("{density:.0e}")), &density, |b, _| {
-            b.iter(|| {
-                black_box(ata_dense_parallel::<PopcountAnd>(
-                    black_box(packed.as_csc()),
-                    black_box(&packed_csr),
-                ))
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{density:.0e}")),
+            &density,
+            |b, _| {
+                b.iter(|| {
+                    black_box(ata_dense_parallel::<PopcountAnd>(
+                        black_box(packed.as_csc()),
+                        black_box(&packed_csr),
+                    ))
+                })
+            },
+        );
     }
     group.finish();
 }

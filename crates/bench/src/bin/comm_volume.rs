@@ -31,8 +31,7 @@ fn main() {
     );
     for &ranks in &[2usize, 4, 8, 16] {
         let config = SimilarityConfig::with_batches(batches);
-        let ours =
-            similarity_at_scale_distributed(&collection, &config, ranks, &machine).unwrap();
+        let ours = similarity_at_scale_distributed(&collection, &config, ranks, &machine).unwrap();
         let baseline =
             allreduce_jaccard_distributed(&collection, &config, ranks, &machine).unwrap();
         assert_eq!(
@@ -50,9 +49,7 @@ fn main() {
         ]);
     }
     table.print();
-    let path = table
-        .write_csv(gas_bench::report::results_dir(), "comm_volume")
-        .expect("write CSV");
+    let path = table.write_csv(gas_bench::report::results_dir(), "comm_volume").expect("write CSV");
     println!("CSV written to {}", path.display());
     println!(
         "\nExpected shape: the allreduce baseline moves a growing multiple of SimilarityAtScale's \

@@ -48,9 +48,7 @@ fn main() {
         ]);
     }
     table.print();
-    table
-        .write_csv(gas_bench::report::results_dir(), "cost_model_scaling")
-        .expect("write CSV");
+    table.write_csv(gas_bench::report::results_dir(), "cost_model_scaling").expect("write CSV");
 
     // Cross-check: measured communication per rank on the simulator drops
     // as ranks are added, consistent with the z/sqrt(cp) + c n^2/p term.
@@ -62,12 +60,10 @@ fn main() {
     for &ranks in &[4usize, 9, 16] {
         // The replicated filter vector is a constant per-rank overhead, so
         // the cross-check isolates the product traffic by disabling it.
-        let config = SimilarityConfig {
-            use_zero_row_filter: false,
-            ..SimilarityConfig::with_batches(2)
-        };
-        let summary = similarity_at_scale_distributed(&collection, &config, ranks, &machine)
-            .unwrap();
+        let config =
+            SimilarityConfig { use_zero_row_filter: false, ..SimilarityConfig::with_batches(2) };
+        let summary =
+            similarity_at_scale_distributed(&collection, &config, ranks, &machine).unwrap();
         let z = collection.nnz() as f64;
         let n = collection.n() as f64;
         let words = z / (ranks as f64).sqrt() + n * n / ranks as f64 + ranks as f64;
@@ -78,9 +74,7 @@ fn main() {
         ]);
     }
     check.print();
-    check
-        .write_csv(gas_bench::report::results_dir(), "cost_model_crosscheck")
-        .expect("write CSV");
+    check.write_csv(gas_bench::report::results_dir(), "cost_model_crosscheck").expect("write CSV");
     println!(
         "\nExpected shape: the analytic total cost falls ~proportionally with node count \
          (E_p stays O(1)), and the measured per-rank traffic follows the model's downward trend."

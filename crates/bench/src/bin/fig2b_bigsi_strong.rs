@@ -24,11 +24,8 @@ fn main() {
         collection.nnz(),
         collection.density()
     );
-    let mut spec = ScalingSpec::new(
-        "Figure 2b: BIGSI strong scaling",
-        vec![128, 256, 512, 1024],
-        128,
-    );
+    let mut spec =
+        ScalingSpec::new("Figure 2b: BIGSI strong scaling", vec![128, 256, 512, 1024], 128);
     spec.replication = 1;
     let points = strong_scaling(&collection, &spec);
 
@@ -37,9 +34,8 @@ fn main() {
         table.push_row(p.row());
     }
     table.print();
-    let path = table
-        .write_csv(gas_bench::report::results_dir(), "fig2b_bigsi_strong")
-        .expect("write CSV");
+    let path =
+        table.write_csv(gas_bench::report::results_dir(), "fig2b_bigsi_strong").expect("write CSV");
     println!("CSV written to {}", path.display());
 
     let first = points.first().expect("at least one point");

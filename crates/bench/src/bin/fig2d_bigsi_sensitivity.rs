@@ -33,9 +33,8 @@ fn main() {
     let mut rows = Vec::new();
     for &batches in &batch_counts {
         let config = SimilarityConfig::with_batches(batches);
-        let summary =
-            similarity_at_scale_distributed(&collection, &config, sim_ranks, &machine)
-                .expect("simulated run succeeds");
+        let summary = similarity_at_scale_distributed(&collection, &config, sim_ranks, &machine)
+            .expect("simulated run succeeds");
         let per_batch = summary.mean_batch_seconds();
         let total = per_batch * batches as f64;
         rows.push((batches, per_batch, total));

@@ -42,9 +42,8 @@ fn main() {
         // overhead without adding parallelism).
         let batches = 1usize;
         let config = SimilarityConfig::with_batches(batches);
-        let summary =
-            similarity_at_scale_distributed(&collection, &config, sim_ranks, &machine)
-                .expect("simulated run succeeds");
+        let summary = similarity_at_scale_distributed(&collection, &config, sim_ranks, &machine)
+            .expect("simulated run succeeds");
         let per_batch = summary.mean_batch_seconds();
         let total = summary.measured_seconds;
         totals.push((nodes, total));
@@ -65,10 +64,7 @@ fn main() {
 
     let host_cores = std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1);
     let first = totals.first().unwrap();
-    let best = totals
-        .iter()
-        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
-        .unwrap();
+    let best = totals.iter().min_by(|a, b| a.1.partial_cmp(&b.1).unwrap()).unwrap();
     println!(
         "\nBest measured total: {:.3}s at {} simulated node(s) vs {:.3}s at 1 node; the host exposes {} CPU core(s), \
          so measured wall-clock can only improve while simulated ranks <= host cores (paper: total time decreases \

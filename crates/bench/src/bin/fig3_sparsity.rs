@@ -55,9 +55,8 @@ fn main() {
         ]);
     }
     table.print();
-    let path = table
-        .write_csv(gas_bench::report::results_dir(), "fig3_sparsity")
-        .expect("write CSV");
+    let path =
+        table.write_csv(gas_bench::report::results_dir(), "fig3_sparsity").expect("write CSV");
     println!("CSV written to {}", path.display());
 
     let (first, last) = (series.first().unwrap(), series.last().unwrap());

@@ -54,9 +54,8 @@ fn main() {
         }
     }
     table.print();
-    let path = table
-        .write_csv(gas_bench::report::results_dir(), "mcdram_study")
-        .expect("write CSV");
+    let path =
+        table.write_csv(gas_bench::report::results_dir(), "mcdram_study").expect("write CSV");
     println!("CSV written to {}", path.display());
     println!(
         "\nPaper: 9.26s vs 9.33s (4 nodes) and 7.69s vs 8.01s (32 nodes) — a few percent. \

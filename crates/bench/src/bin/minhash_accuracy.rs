@@ -45,9 +45,8 @@ fn main() {
         table.push_row(row);
     }
     table.print();
-    let path = table
-        .write_csv(gas_bench::report::results_dir(), "minhash_accuracy")
-        .expect("write CSV");
+    let path =
+        table.write_csv(gas_bench::report::results_dir(), "minhash_accuracy").expect("write CSV");
     println!("CSV written to {}", path.display());
     println!(
         "\nExpected shape: errors shrink with sketch size, but small sketches misjudge both \

@@ -54,9 +54,7 @@ fn main() {
         format!("{:+.1}%", 100.0 * (projected - measured) / measured.max(1e-12)),
     ]);
     table.print();
-    table
-        .write_csv(gas_bench::report::results_dir(), "projection_validation")
-        .expect("write CSV");
+    table.write_csv(gas_bench::report::results_dir(), "projection_validation").expect("write CSV");
     println!(
         "\nExpected shape: the projection lands within a few tens of percent of the measured total, \
          as in the paper's 0.42 h vs 0.38 h check."

@@ -75,7 +75,11 @@ impl Table {
 
     /// Write the table as CSV to `dir/<name>.csv`, creating the directory
     /// if needed. Returns the path written.
-    pub fn write_csv(&self, dir: impl AsRef<Path>, name: &str) -> std::io::Result<std::path::PathBuf> {
+    pub fn write_csv(
+        &self,
+        dir: impl AsRef<Path>,
+        name: &str,
+    ) -> std::io::Result<std::path::PathBuf> {
         let dir = dir.as_ref();
         fs::create_dir_all(dir)?;
         let path = dir.join(format!("{name}.csv"));

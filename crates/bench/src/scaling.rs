@@ -127,8 +127,7 @@ pub fn strong_scaling(collection: &SampleCollection, spec: &ScalingSpec) -> Vec<
         // MPI ranks + threads that share a physical node.
         let sim_ranks = spec.sim_rank_cap.min(nodes).max(1);
         // Batch size doubles with node count -> batch count halves.
-        let batches =
-            (spec.batches_at_base * spec.base_nodes / nodes.max(1)).max(1);
+        let batches = (spec.batches_at_base * spec.base_nodes / nodes.max(1)).max(1);
         let config = SimilarityConfig::with_batches(batches).with_replication(spec.replication);
         let summary =
             similarity_at_scale_distributed(collection, &config, sim_ranks, &spec.machine)
@@ -149,8 +148,7 @@ pub fn strong_scaling(collection: &SampleCollection, spec: &ScalingSpec) -> Vec<
         let modeled_batch_seconds = paper_model
             .batch_cost(z_total / batches as f64, &input, flops_total / batches as f64)
             .unwrap_or(f64::NAN);
-        let comm_bytes_per_rank =
-            summary.aggregate.total_bytes_sent / summary.nranks.max(1) as u64;
+        let comm_bytes_per_rank = summary.aggregate.total_bytes_sent / summary.nranks.max(1) as u64;
         // Per the paper's protocol, the batch size grows with the node
         // count so the per-batch time stays (approximately) constant; use
         // the reference point's measured per-batch time for the total

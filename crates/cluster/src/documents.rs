@@ -45,8 +45,7 @@ pub fn document_shingle_set(text: &str, w: usize) -> ClusterResult<Vec<u64>> {
     if tokens.len() < w {
         return Ok(Vec::new());
     }
-    let mut ids: Vec<u64> =
-        tokens.windows(w).map(|win| fnv1a(win.join(" ").as_bytes())).collect();
+    let mut ids: Vec<u64> = tokens.windows(w).map(|win| fnv1a(win.join(" ").as_bytes())).collect();
     ids.sort_unstable();
     ids.dedup();
     Ok(ids)

@@ -29,9 +29,7 @@ impl std::error::Error for ClusterError {}
 
 /// Validate that a matrix is a usable distance matrix: square, zero
 /// diagonal (within tolerance) and symmetric (within tolerance).
-pub fn validate_distance_matrix(
-    d: &gas_sparse::dense::DenseMatrix<f64>,
-) -> ClusterResult<()> {
+pub fn validate_distance_matrix(d: &gas_sparse::dense::DenseMatrix<f64>) -> ClusterResult<()> {
     if d.nrows() != d.ncols() {
         return Err(ClusterError::InvalidDistanceMatrix(format!(
             "matrix is {}x{}, expected square",
@@ -72,8 +70,7 @@ mod tests {
 
     #[test]
     fn accepts_valid_distance_matrix() {
-        let d =
-            DenseMatrix::from_vec(2, 2, vec![0.0, 0.5, 0.5, 0.0]).unwrap();
+        let d = DenseMatrix::from_vec(2, 2, vec![0.0, 0.5, 0.5, 0.0]).unwrap();
         assert!(validate_distance_matrix(&d).is_ok());
     }
 

@@ -129,7 +129,7 @@ impl AdjacencyGraph {
         let mut scores = Vec::new();
         for u in 0..n {
             for v in (u + 1)..n {
-                if !self.adj[u].binary_search(&v).is_ok() {
+                if self.adj[u].binary_search(&v).is_err() {
                     let s = self.vertex_similarity(u, v);
                     if s > 0.0 {
                         scores.push((u, v, s));
@@ -148,11 +148,8 @@ mod tests {
 
     /// Two triangles {0,1,2} and {3,4,5} joined by the edge (2,3).
     fn two_triangles() -> AdjacencyGraph {
-        AdjacencyGraph::from_edges(
-            6,
-            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
-        )
-        .unwrap()
+        AdjacencyGraph::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)])
+            .unwrap()
     }
 
     #[test]

@@ -81,14 +81,14 @@ impl Dendrogram {
         let mut labels = vec![usize::MAX; n];
         let mut next = 0usize;
         let mut root_label: std::collections::HashMap<usize, usize> = Default::default();
-        for leaf in 0..n {
+        for (leaf, slot) in labels.iter_mut().enumerate() {
             let root = find(&parent, leaf);
             let label = *root_label.entry(root).or_insert_with(|| {
                 let l = next;
                 next += 1;
                 l
             });
-            labels[leaf] = label;
+            *slot = label;
         }
         Ok(labels)
     }
@@ -119,6 +119,7 @@ pub fn hierarchical_cluster(
     while active.len() > 1 {
         // Find the closest pair of active clusters.
         let (mut bi, mut bj, mut best) = (0usize, 1usize, f64::INFINITY);
+        #[allow(clippy::needless_range_loop)] // triangular sweep over a symmetric matrix
         for i in 0..active.len() {
             for j in (i + 1)..active.len() {
                 if d[i][j] < best {
@@ -141,6 +142,7 @@ pub fn hierarchical_cluster(
         let size_lo = members[lo].len() as f64;
         let size_hi = members[hi].len() as f64;
         let mut new_row = Vec::with_capacity(active.len() - 1);
+        #[allow(clippy::needless_range_loop)] // k indexes both rows and columns of d
         for k in 0..active.len() {
             if k == lo || k == hi {
                 continue;
@@ -148,9 +150,7 @@ pub fn hierarchical_cluster(
             let v = match linkage {
                 Linkage::Single => d[lo][k].min(d[hi][k]),
                 Linkage::Complete => d[lo][k].max(d[hi][k]),
-                Linkage::Average => {
-                    (size_lo * d[lo][k] + size_hi * d[hi][k]) / (size_lo + size_hi)
-                }
+                Linkage::Average => (size_lo * d[lo][k] + size_hi * d[hi][k]) / (size_lo + size_hi),
             };
             new_row.push(v);
         }

@@ -37,9 +37,7 @@ pub fn k_medoids(
     validate_distance_matrix(dist)?;
     let n = dist.nrows();
     if k == 0 || k > n {
-        return Err(ClusterError::InvalidParameter(format!(
-            "k = {k} is invalid for {n} samples"
-        )));
+        return Err(ClusterError::InvalidParameter(format!("k = {k} is invalid for {n} samples")));
     }
     // Farthest-point initialization: a random first medoid, then greedily
     // add the sample farthest from the already-chosen medoids. This seeds
@@ -64,14 +62,14 @@ pub fn k_medoids(
     let assign = |medoids: &[usize]| -> (Vec<usize>, f64) {
         let mut assignments = vec![0usize; n];
         let mut cost = 0.0;
-        for i in 0..n {
+        for (i, slot) in assignments.iter_mut().enumerate() {
             let (best_c, best_d) = medoids
                 .iter()
                 .enumerate()
                 .map(|(c, &m)| (c, dist.get(i, m)))
                 .min_by(|a, b| a.1.partial_cmp(&b.1).expect("distances are finite"))
                 .expect("k >= 1");
-            assignments[i] = best_c;
+            *slot = best_c;
             cost += best_d;
         }
         (assignments, cost)
@@ -84,9 +82,8 @@ pub fn k_medoids(
         let mut improved = false;
         // For each cluster, move its medoid to the member minimizing the
         // within-cluster distance sum.
-        for c in 0..k {
-            let members: Vec<usize> =
-                (0..n).filter(|&i| assignments[i] == c).collect();
+        for (c, medoid) in medoids.iter_mut().enumerate() {
+            let members: Vec<usize> = (0..n).filter(|&i| assignments[i] == c).collect();
             if members.is_empty() {
                 continue;
             }
@@ -98,8 +95,8 @@ pub fn k_medoids(
                 })
                 .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
                 .expect("non-empty cluster");
-            if best.0 != medoids[c] {
-                medoids[c] = best.0;
+            if best.0 != *medoid {
+                *medoid = best.0;
                 improved = true;
             }
         }
@@ -142,8 +139,7 @@ mod tests {
         assert_eq!(r.medoids.len(), 3);
         assert_eq!(r.assignments.len(), 9);
         for g in 0..3 {
-            let labels: Vec<usize> =
-                (g * 3..g * 3 + 3).map(|i| r.assignments[i]).collect();
+            let labels: Vec<usize> = (g * 3..g * 3 + 3).map(|i| r.assignments[i]).collect();
             assert!(labels.iter().all(|&l| l == labels[0]), "group {g}: {labels:?}");
         }
         // All three groups get distinct labels.

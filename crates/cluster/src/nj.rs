@@ -54,7 +54,9 @@ impl TreeNode {
 
     fn newick_into(&self, out: &mut String) {
         match self {
-            TreeNode::Leaf { name, .. } => out.push_str(&name.replace([' ', '(', ')', ',', ':'], "_")),
+            TreeNode::Leaf { name, .. } => {
+                out.push_str(&name.replace([' ', '(', ')', ',', ':'], "_"))
+            }
             TreeNode::Internal { left, right } => {
                 out.push('(');
                 left.0.newick_into(out);
@@ -119,9 +121,8 @@ pub fn neighbor_joining(dist: &DenseMatrix<f64>, names: &[String]) -> ClusterRes
         return Ok(PhyloTree { root: TreeNode::Leaf { index: 0, name: names[0].clone() } });
     }
     // Active node list and working distance matrix.
-    let mut nodes: Vec<TreeNode> = (0..n)
-        .map(|i| TreeNode::Leaf { index: i, name: names[i].clone() })
-        .collect();
+    let mut nodes: Vec<TreeNode> =
+        (0..n).map(|i| TreeNode::Leaf { index: i, name: names[i].clone() }).collect();
     let mut d: Vec<Vec<f64>> = (0..n).map(|i| dist.row(i).to_vec()).collect();
 
     while nodes.len() > 2 {
@@ -146,6 +147,7 @@ pub fn neighbor_joining(dist: &DenseMatrix<f64>, names: &[String]) -> ClusterRes
         let lj = dij - li;
         // Distances from the new node to the remaining nodes.
         let mut new_dists = Vec::with_capacity(r - 2);
+        #[allow(clippy::needless_range_loop)] // k indexes two rows of d simultaneously
         for k in 0..r {
             if k == bi || k == bj {
                 continue;

@@ -46,12 +46,7 @@ pub fn detect_outliers(
     let mean = scores.iter().sum::<f64>() / n;
     let var = scores.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n;
     let threshold = mean + n_sigmas * var.sqrt();
-    Ok(scores
-        .iter()
-        .enumerate()
-        .filter(|(_, &s)| s > threshold)
-        .map(|(i, _)| i)
-        .collect())
+    Ok(scores.iter().enumerate().filter(|(_, &s)| s > threshold).map(|(i, _)| i).collect())
 }
 
 #[cfg(test)]
@@ -77,12 +72,8 @@ mod tests {
     #[test]
     fn outlier_has_the_largest_score() {
         let scores = knn_outlier_scores(&with_outlier(), 3).unwrap();
-        let max_idx = scores
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .unwrap()
-            .0;
+        let max_idx =
+            scores.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
         assert_eq!(max_idx, 5);
         assert!(scores[5] > 3.0 * scores[0]);
     }

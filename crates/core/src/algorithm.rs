@@ -107,9 +107,7 @@ pub fn similarity_at_scale_with_stats(
             PreparedBatch::Masked(bm) => {
                 ata_dense_parallel::<PopcountAnd>(bm.as_csc(), &bm.to_csr())?
             }
-            PreparedBatch::Unmasked { csc, csr } => {
-                ata_dense_parallel::<PlusTimes<u64>>(csc, csr)?
-            }
+            PreparedBatch::Unmasked { csc, csr } => ata_dense_parallel::<PlusTimes<u64>>(csc, csr)?,
         };
         b.add_assign(&partial)?;
         batches.push(BatchStats {
@@ -181,10 +179,7 @@ pub fn similarity_at_scale_distributed(
     let use_filter = config.use_zero_row_filter;
     let replication = config.replication;
 
-    type RankOutput = Result<
-        (Option<DenseMatrix<u64>>, Vec<u64>, Vec<f64>),
-        CoreError,
-    >;
+    type RankOutput = Result<(Option<DenseMatrix<u64>>, Vec<u64>, Vec<f64>), CoreError>;
 
     let out = runtime.run(move |ctx| -> RankOutput {
         let world = ctx.world();
@@ -200,24 +195,22 @@ pub fn similarity_at_scale_distributed(
             let columns = collection.batch_columns(lo, hi, &my_cols);
             // Only one rank per column block (the "primary reader")
             // contributes row indices to the distributed filter; the other
-            // ranks sharing the block receive the filter collectively.
-            let local_rows: Vec<usize> = if ata.is_primary_reader() {
-                columns.iter().flatten().copied().collect()
+            // ranks sharing the block receive the filter collectively. With
+            // the filter disabled the batch is packed as-is.
+            let (nrows, filtered) = if use_filter {
+                let local_rows: Vec<usize> = if ata.is_primary_reader() {
+                    columns.iter().flatten().copied().collect()
+                } else {
+                    Vec::new()
+                };
+                ctx.add_mem_traffic((local_rows.len() * std::mem::size_of::<u64>()) as u64);
+                // Distributed zero-row filter (collective over all ranks).
+                let filter = dist_row_filter(world, batch_rows, &local_rows)?;
+                (filter.num_nonzero_rows(), apply_filter(&columns, &filter))
             } else {
-                Vec::new()
+                (batch_rows, columns)
             };
-            ctx.add_mem_traffic((local_rows.len() * std::mem::size_of::<u64>()) as u64);
-            // Distributed zero-row filter (collective over all ranks).
-            let filter = if use_filter {
-                dist_row_filter(world, batch_rows, &local_rows)?
-            } else {
-                gas_sparse::dist::filter::RowFilter::from_local(
-                    batch_rows,
-                    (0..batch_rows).collect(),
-                )
-            };
-            let filtered = apply_filter(&columns, &filter);
-            let packed = BitMatrix::from_columns(filter.num_nonzero_rows(), &filtered)?;
+            let packed = BitMatrix::from_columns(nrows, &filtered)?;
             let chunk = ata.my_chunk(packed.word_rows());
             let block = packed.select_word_rows(chunk)?;
             ata.accumulate_batch(&block, &mut acc, &mut card)?;
@@ -275,8 +268,7 @@ mod tests {
         let c = small_collection();
         let exact = jaccard_exact_pairwise(&c);
         for batches in [1usize, 3, 7] {
-            let r =
-                similarity_at_scale(&c, &SimilarityConfig::with_batches(batches)).unwrap();
+            let r = similarity_at_scale(&c, &SimilarityConfig::with_batches(batches)).unwrap();
             assert_eq!(r.intersections(), exact.intersections(), "batches = {batches}");
             assert_eq!(r.cardinalities(), exact.cardinalities());
             assert!(r.max_similarity_diff(&exact).unwrap() < 1e-12);
@@ -294,11 +286,7 @@ mod tests {
                 ..SimilarityConfig::with_batches(2)
             };
             let r = similarity_at_scale(&c, &config).unwrap();
-            assert_eq!(
-                r.intersections(),
-                reference.intersections(),
-                "filter={filter} mask={mask}"
-            );
+            assert_eq!(r.intersections(), reference.intersections(), "filter={filter} mask={mask}");
         }
     }
 
@@ -343,11 +331,7 @@ mod tests {
                 &Machine::laptop(),
             )
             .unwrap();
-            assert_eq!(
-                summary.result.intersections(),
-                exact.intersections(),
-                "nranks = {nranks}"
-            );
+            assert_eq!(summary.result.intersections(), exact.intersections(), "nranks = {nranks}");
             assert_eq!(summary.result.cardinalities(), exact.cardinalities());
             assert_eq!(summary.batch_seconds.len(), 3);
             assert_eq!(summary.nranks, nranks);

@@ -52,8 +52,8 @@ pub fn exact_pairwise_parallel(collection: &SampleCollection) -> SimilarityResul
         .into_par_iter()
         .map(|i| {
             let mut row = vec![0u64; n];
-            for j in 0..n {
-                row[j] = if i == j {
+            for (j, slot) in row.iter_mut().enumerate() {
+                *slot = if i == j {
                     collection.sample(i).len() as u64
                 } else {
                     sorted_intersection_size(collection.sample(i), collection.sample(j))

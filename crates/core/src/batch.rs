@@ -150,8 +150,7 @@ mod tests {
         let c = collection(1000);
         let plan = BatchPlan::from_config(&SimilarityConfig::with_batches(4), &c, 1).unwrap();
         assert_eq!(plan.batch_count(), 4);
-        let plan =
-            BatchPlan::from_config(&SimilarityConfig::with_batch_rows(100), &c, 1).unwrap();
+        let plan = BatchPlan::from_config(&SimilarityConfig::with_batch_rows(100), &c, 1).unwrap();
         assert_eq!(plan.batch_rows(), 100);
     }
 
@@ -159,17 +158,14 @@ mod tests {
     fn memory_budget_scales_with_ranks() {
         let c = collection(1_000_000);
         let small =
-            BatchPlan::from_config(&SimilarityConfig::with_memory_budget(1 << 10), &c, 1)
-                .unwrap();
+            BatchPlan::from_config(&SimilarityConfig::with_memory_budget(1 << 10), &c, 1).unwrap();
         let large =
-            BatchPlan::from_config(&SimilarityConfig::with_memory_budget(1 << 10), &c, 16)
-                .unwrap();
+            BatchPlan::from_config(&SimilarityConfig::with_memory_budget(1 << 10), &c, 16).unwrap();
         assert!(large.batch_rows() >= small.batch_rows());
         assert!(small.batch_count() >= large.batch_count());
         // A huge budget collapses to a single batch.
         let one =
-            BatchPlan::from_config(&SimilarityConfig::with_memory_budget(1 << 40), &c, 1)
-                .unwrap();
+            BatchPlan::from_config(&SimilarityConfig::with_memory_budget(1 << 40), &c, 1).unwrap();
         assert_eq!(one.batch_count(), 1);
     }
 

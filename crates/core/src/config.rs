@@ -56,7 +56,10 @@ impl Default for SimilarityConfig {
 impl SimilarityConfig {
     /// Configuration with a fixed number of batches.
     pub fn with_batches(batch_count: usize) -> Self {
-        SimilarityConfig { batch_policy: BatchPolicy::FixedCount(batch_count), ..Default::default() }
+        SimilarityConfig {
+            batch_policy: BatchPolicy::FixedCount(batch_count),
+            ..Default::default()
+        }
     }
 
     /// Configuration with a fixed batch size in rows.
@@ -85,9 +88,7 @@ impl SimilarityConfig {
                 return Err(CoreError::InvalidConfig("batch rows must be positive".to_string()))
             }
             BatchPolicy::MemoryBudget(0) => {
-                return Err(CoreError::InvalidConfig(
-                    "memory budget must be positive".to_string(),
-                ))
+                return Err(CoreError::InvalidConfig("memory budget must be positive".to_string()))
             }
             _ => {}
         }
@@ -113,10 +114,7 @@ mod tests {
 
     #[test]
     fn constructors_set_policy() {
-        assert_eq!(
-            SimilarityConfig::with_batches(8).batch_policy,
-            BatchPolicy::FixedCount(8)
-        );
+        assert_eq!(SimilarityConfig::with_batches(8).batch_policy, BatchPolicy::FixedCount(8));
         assert_eq!(
             SimilarityConfig::with_batch_rows(1024).batch_policy,
             BatchPolicy::FixedRows(1024)

@@ -80,7 +80,11 @@ impl PaperCostModel {
 
     /// The simplified memory-bound per-batch cost `T̃(n, M, p)` obtained by
     /// choosing `z = Θ(M·p)` and `c = Θ(min(p, M·p/n²))`.
-    pub fn simplified_batch_cost(&self, input: &ProjectionInput, batch_flops: f64) -> CoreResult<f64> {
+    pub fn simplified_batch_cost(
+        &self,
+        input: &ProjectionInput,
+        batch_flops: f64,
+    ) -> CoreResult<f64> {
         let n = input.n_samples as f64;
         let m_words = input.mem_words_per_rank;
         let p = input.ranks as f64;
@@ -257,9 +261,7 @@ mod tests {
     fn extrapolation_reproduces_measured_time_at_identity() {
         let m = model();
         let input = base_input();
-        let t = m
-            .extrapolate_total_time(2.5, &input, input.total_flops, &input, 1.0)
-            .unwrap();
+        let t = m.extrapolate_total_time(2.5, &input, input.total_flops, &input, 1.0).unwrap();
         // Same configuration and one batch: projection equals measurement
         // (total nonzeros already equal the per-batch nonzeros here).
         assert!((t - 2.5).abs() < 1e-9);

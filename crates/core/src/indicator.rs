@@ -154,9 +154,7 @@ impl SampleCollection {
     pub fn batch_nnz(&self, lo: u64, hi: u64) -> u64 {
         self.samples
             .iter()
-            .map(|s| {
-                (s.partition_point(|&v| v < hi) - s.partition_point(|&v| v < lo)) as u64
-            })
+            .map(|s| (s.partition_point(|&v| v < hi) - s.partition_point(|&v| v < lo)) as u64)
             .sum()
     }
 }
@@ -202,9 +200,8 @@ mod tests {
         let c = collection().with_universe(1000).unwrap();
         assert_eq!(c.m(), 1000);
         assert!(collection().with_universe(10).is_err());
-        let c = collection()
-            .with_names(vec!["a".into(), "b".into(), "c".into(), "d".into()])
-            .unwrap();
+        let c =
+            collection().with_names(vec!["a".into(), "b".into(), "c".into(), "d".into()]).unwrap();
         assert_eq!(c.names()[3], "d");
         assert!(collection().with_names(vec!["a".into()]).is_err());
     }

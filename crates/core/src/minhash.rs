@@ -166,7 +166,8 @@ mod tests {
 
     fn overlapping_sets(size: usize, overlap: usize) -> (Vec<u64>, Vec<u64>) {
         let a: Vec<u64> = (0..size as u64).collect();
-        let b: Vec<u64> = (size as u64 - overlap as u64..2 * size as u64 - overlap as u64).collect();
+        let b: Vec<u64> =
+            (size as u64 - overlap as u64..2 * size as u64 - overlap as u64).collect();
         (a, b)
     }
 

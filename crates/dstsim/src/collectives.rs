@@ -184,9 +184,9 @@ impl Communicator {
         if me == root {
             let mut out: Vec<Vec<T>> = vec![Vec::new(); p];
             out[root] = data.to_vec();
-            for src in 0..p {
+            for (src, slot) in out.iter_mut().enumerate() {
                 if src != root {
-                    out[src] = self.recv(src, tag)?;
+                    *slot = self.recv(src, tag)?;
                 }
             }
             self.record_superstep();
@@ -230,7 +230,7 @@ impl Communicator {
 
     /// Allgather returning the concatenation of all contributions in rank
     /// order.
-    pub fn allgather<T: Msg + Clone>(&self, data: &Vec<T>) -> SimResult<Vec<T>> {
+    pub fn allgather<T: Msg + Clone>(&self, data: &[T]) -> SimResult<Vec<T>> {
         Ok(self.allgatherv(data)?.into_iter().flatten().collect())
     }
 
@@ -259,9 +259,9 @@ impl Communicator {
                     p
                 )));
             }
-            for dst in 0..p {
+            for (dst, buf) in data.iter_mut().enumerate() {
                 if dst != root {
-                    self.send(dst, tag, std::mem::take(&mut data[dst]))?;
+                    self.send(dst, tag, std::mem::take(buf))?;
                 }
             }
             self.record_superstep();
@@ -411,9 +411,7 @@ mod tests {
 
     #[test]
     fn bcast_invalid_root_errors() {
-        let out = Runtime::new(2)
-            .run(|ctx| ctx.world().bcast(5, Some(1u8)).is_err())
-            .unwrap();
+        let out = Runtime::new(2).run(|ctx| ctx.world().bcast(5, Some(1u8)).is_err()).unwrap();
         assert!(out.results.iter().all(|&e| e));
     }
 
@@ -507,8 +505,7 @@ mod tests {
             .run(|ctx| {
                 let me = ctx.rank();
                 // Send [me, dst] to each dst.
-                let bufs: Vec<Vec<u64>> =
-                    (0..p).map(|dst| vec![me as u64, dst as u64]).collect();
+                let bufs: Vec<Vec<u64>> = (0..p).map(|dst| vec![me as u64, dst as u64]).collect();
                 ctx.world().alltoallv(bufs).unwrap()
             })
             .unwrap();

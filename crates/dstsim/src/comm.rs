@@ -39,7 +39,9 @@ macro_rules! impl_msg_primitive {
     };
 }
 
-impl_msg_primitive!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, bool, char);
+impl_msg_primitive!(
+    u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, bool, char
+);
 
 impl Msg for () {
     fn nbytes(&self) -> usize {
@@ -237,9 +239,7 @@ impl Communicator {
             bytes,
             payload: Box::new(data),
         };
-        self.fabric.senders[dest_world]
-            .send(env)
-            .map_err(|_| SimError::Disconnected { src: dest })
+        self.fabric.senders[dest_world].send(env).map_err(|_| SimError::Disconnected { src: dest })
     }
 
     /// Receive a `T` from local rank `src` with `tag`, blocking until the
@@ -260,10 +260,7 @@ impl Communicator {
             }
         };
         self.cost.borrow_mut().record_recv(env.bytes);
-        env.payload
-            .downcast::<T>()
-            .map(|b| *b)
-            .map_err(|_| SimError::TypeMismatch { src, tag })
+        env.payload.downcast::<T>().map(|b| *b).map_err(|_| SimError::TypeMismatch { src, tag })
     }
 
     /// Combined send to `dest` and receive from `src` (both local ranks).
@@ -288,7 +285,7 @@ impl Communicator {
     /// ordered by their rank in the parent.
     pub fn split(&self, color: u64) -> SimResult<Communicator> {
         // Gather (color, parent_rank) from everyone.
-        let gathered: Vec<(u64, u64)> = self.allgather(&vec![(color, self.my_local as u64)])?;
+        let gathered: Vec<(u64, u64)> = self.allgather(&[(color, self.my_local as u64)])?;
         let split_seq = self.split_seq.get();
         self.split_seq.set(split_seq + 1);
         let mut members: Vec<usize> = gathered
@@ -296,9 +293,8 @@ impl Communicator {
             .filter(|(c, _)| *c == color)
             .map(|(_, r)| self.members[*r as usize])
             .collect();
-        members.sort_by_key(|w| {
-            self.members.iter().position(|m| m == w).expect("member must exist")
-        });
+        members
+            .sort_by_key(|w| self.members.iter().position(|m| m == w).expect("member must exist"));
         let my_world = self.members[self.my_local];
         let my_local = members
             .iter()

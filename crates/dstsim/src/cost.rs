@@ -41,7 +41,13 @@ impl CostModel {
     /// A model with all costs zero — useful in tests that only care about
     /// counters, not projections.
     pub fn zero() -> Self {
-        CostModel { alpha: 0.0, beta: 0.0, gamma: 0.0, mem_per_rank: usize::MAX, stream_bw: f64::INFINITY }
+        CostModel {
+            alpha: 0.0,
+            beta: 0.0,
+            gamma: 0.0,
+            mem_per_rank: usize::MAX,
+            stream_bw: f64::INFINITY,
+        }
     }
 
     /// Validate that parameters are non-negative and ordered sensibly.
@@ -247,10 +253,7 @@ impl AggregateCost {
             max_supersteps: reports.iter().map(|r| r.supersteps).max().unwrap_or(0),
             total_flops: reports.iter().map(|r| r.flops).sum(),
             max_flops: reports.iter().map(|r| r.flops).max().unwrap_or(0),
-            max_measured_seconds: reports
-                .iter()
-                .map(|r| r.measured_seconds)
-                .fold(0.0, f64::max),
+            max_measured_seconds: reports.iter().map(|r| r.measured_seconds).fold(0.0, f64::max),
         }
     }
 
@@ -295,14 +298,16 @@ mod tests {
 
     #[test]
     fn model_projects_superstep_time() {
-        let m = CostModel { alpha: 1.0, beta: 0.5, gamma: 0.25, mem_per_rank: 1 << 20, stream_bw: 1e9 };
+        let m =
+            CostModel { alpha: 1.0, beta: 0.5, gamma: 0.25, mem_per_rank: 1 << 20, stream_bw: 1e9 };
         let t = m.superstep_time(10, 4);
         assert!((t - (1.0 + 5.0 + 1.0)).abs() < 1e-12);
     }
 
     #[test]
     fn projection_uses_max_per_rank() {
-        let m = CostModel { alpha: 1.0, beta: 1.0, gamma: 1.0, mem_per_rank: 1 << 20, stream_bw: 1.0 };
+        let m =
+            CostModel { alpha: 1.0, beta: 1.0, gamma: 1.0, mem_per_rank: 1 << 20, stream_bw: 1.0 };
         let mut a = CostTracker::new();
         a.record_send(5);
         a.add_flops(2);

@@ -169,8 +169,7 @@ impl Runtime {
                 handles.push(scope.spawn(move || {
                     let cost = Rc::new(RefCell::new(CostTracker::new()));
                     let mailbox = Rc::new(RefCell::new(Mailbox { rx, pending: Vec::new() }));
-                    let world =
-                        Communicator::world(rank, p, fabric, mailbox, Rc::clone(&cost));
+                    let world = Communicator::world(rank, p, fabric, mailbox, Rc::clone(&cost));
                     let mut ctx = RankCtx {
                         rank,
                         nranks: p,
@@ -242,9 +241,7 @@ mod tests {
                 let comm = ctx.world();
                 let right = (ctx.rank() + 1) % ctx.nranks();
                 let left = (ctx.rank() + ctx.nranks() - 1) % ctx.nranks();
-                let recvd: u64 = comm
-                    .sendrecv(right, 7, ctx.rank() as u64, left, 7)
-                    .unwrap();
+                let recvd: u64 = comm.sendrecv(right, 7, ctx.rank() as u64, left, 7).unwrap();
                 recvd
             })
             .unwrap();

@@ -51,7 +51,7 @@ impl ProcessorGrid {
                 dims.len()
             )));
         }
-        if dims.iter().any(|&d| d == 0) {
+        if dims.contains(&0) {
             return Err(SimError::InvalidGrid("grid dimensions must be positive".to_string()));
         }
         Ok(ProcessorGrid { dims: dims.to_vec() })

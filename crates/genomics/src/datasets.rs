@@ -149,10 +149,7 @@ impl DatasetSpec {
             let max_d = (self.density * half_span).min(1.0);
             skewed_columns(self.m_attributes, self.n_samples, min_d, max_d, self.seed)?
         };
-        Ok(columns
-            .into_iter()
-            .map(|col| col.into_iter().map(|r| r as u64).collect())
-            .collect())
+        Ok(columns.into_iter().map(|col| col.into_iter().map(|r| r as u64).collect()).collect())
     }
 }
 
@@ -193,9 +190,10 @@ mod tests {
         let nnz: usize = samples.iter().map(|s| s.len()).sum();
         let density = nnz as f64 / (spec.n_samples as f64 * spec.m_attributes as f64);
         assert!((density - 0.01).abs() < 0.003, "density {density}");
-        assert!((spec.expected_nnz() - 0.01 * spec.n_samples as f64 * spec.m_attributes as f64)
-            .abs()
-            < 1.0);
+        assert!(
+            (spec.expected_nnz() - 0.01 * spec.n_samples as f64 * spec.m_attributes as f64).abs()
+                < 1.0
+        );
     }
 
     #[test]

@@ -63,8 +63,7 @@ mod tests {
         assert!(GenomicsError::InvalidK(40).to_string().contains("40"));
         let e = GenomicsError::MalformedRecord { line: 3, message: "missing header".into() };
         assert!(e.to_string().contains("line 3"));
-        let io: GenomicsError =
-            std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        let io: GenomicsError = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
         assert!(io.to_string().contains("gone"));
         assert!(GenomicsError::InvalidConfig("bad".into()).to_string().contains("bad"));
     }

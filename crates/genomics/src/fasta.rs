@@ -290,9 +290,8 @@ mod tests {
     #[test]
     fn iterator_interface_yields_records() {
         let input = ">a\nAC\n>b\nGT\n";
-        let ids: Vec<String> = FastaReader::new(Cursor::new(input))
-            .map(|r| r.unwrap().id)
-            .collect();
+        let ids: Vec<String> =
+            FastaReader::new(Cursor::new(input)).map(|r| r.unwrap().id).collect();
         assert_eq!(ids, vec!["a", "b"]);
     }
 

@@ -136,11 +136,8 @@ impl KmerExtractor {
                     current = ((current << 2) | code) & mask;
                     valid += 1;
                     if valid >= self.k {
-                        let kmer = if self.canonical {
-                            canonical(current, self.k)
-                        } else {
-                            current
-                        };
+                        let kmer =
+                            if self.canonical { canonical(current, self.k) } else { current };
                         out.push(kmer);
                     }
                 }

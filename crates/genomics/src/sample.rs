@@ -275,7 +275,10 @@ mod tests {
 
     #[test]
     fn from_fasta_records_uses_all_records() {
-        let recs = vec![FastaRecord::new("r1", b"ACGT".to_vec()), FastaRecord::new("r2", b"GGGG".to_vec())];
+        let recs = vec![
+            FastaRecord::new("r1", b"ACGT".to_vec()),
+            FastaRecord::new("r2", b"GGGG".to_vec()),
+        ];
         let s = KmerSample::from_fasta_records("sample", &recs, &ex());
         assert!(s.len() >= 2);
         assert_eq!(s.name(), "sample");

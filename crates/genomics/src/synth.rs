@@ -22,7 +22,7 @@ const BASES: [u8; 4] = [b'A', b'C', b'G', b'T'];
 
 /// Generate a uniformly random genome of `len` bases.
 pub fn random_genome(len: usize, rng: &mut StdRng) -> Vec<u8> {
-    (0..len).map(|_| BASES[rng.random_range(0..4)]).collect()
+    (0..len).map(|_| BASES[rng.random_range(0..4usize)]).collect()
 }
 
 /// Apply substitutions to a sequence at the given per-base rate, returning
@@ -32,7 +32,7 @@ pub fn mutate(seq: &[u8], substitution_rate: f64, rng: &mut StdRng) -> Vec<u8> {
         .map(|&b| {
             if rng.random_bool(substitution_rate.clamp(0.0, 1.0)) {
                 let current = BASES.iter().position(|&x| x == b).unwrap_or(0);
-                BASES[(current + rng.random_range(1..4)) % 4]
+                BASES[(current + rng.random_range(1..4usize)) % 4]
             } else {
                 b
             }
@@ -148,9 +148,14 @@ pub fn skewed_columns(
     for j in 0..n {
         let t: f64 = rng.random();
         let density = (min_density.ln() + t * (max_density.ln() - min_density.ln())).exp();
-        let col = bernoulli_columns(m, 1, density, seed ^ (j as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))?
-            .pop()
-            .expect("one column requested");
+        let col = bernoulli_columns(
+            m,
+            1,
+            density,
+            seed ^ (j as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        )?
+        .pop()
+        .expect("one column requested");
         columns.push(col);
     }
     Ok(columns)
@@ -159,11 +164,7 @@ pub fn skewed_columns(
 /// A family of related genomes: one ancestor and `n − 1` mutated
 /// descendants with per-genome substitution rates, useful for clustering
 /// and accuracy experiments where the true relationships are known.
-pub fn genome_family(
-    genome_len: usize,
-    rates: &[f64],
-    seed: u64,
-) -> GenomicsResult<Vec<Vec<u8>>> {
+pub fn genome_family(genome_len: usize, rates: &[f64], seed: u64) -> GenomicsResult<Vec<Vec<u8>>> {
     if genome_len == 0 {
         return Err(GenomicsError::InvalidConfig("genome length must be positive".to_string()));
     }
@@ -227,10 +228,7 @@ mod tests {
         let b = KmerSample::from_sequence("b", &m, &ex);
         let measured = a.jaccard(&b);
         let predicted = expected_jaccard(k, 0.01);
-        assert!(
-            (measured - predicted).abs() < 0.05,
-            "measured {measured}, predicted {predicted}"
-        );
+        assert!((measured - predicted).abs() < 0.05, "measured {measured}, predicted {predicted}");
     }
 
     #[test]

@@ -182,8 +182,7 @@ impl BitMatrix {
             }
             indptr.push(indices.len());
         }
-        let words =
-            CscMatrix::from_raw_parts(new_word_rows, self.ncols(), indptr, indices, data)?;
+        let words = CscMatrix::from_raw_parts(new_word_rows, self.ncols(), indptr, indices, data)?;
         let orig_rows =
             (new_word_rows * WORD_BITS).min(self.orig_rows.saturating_sub(range.start * WORD_BITS));
         Ok(BitMatrix { words, orig_rows })
@@ -221,13 +220,10 @@ mod tests {
 
     #[test]
     fn from_csc_bool_matches_from_columns() {
-        let csc = crate::coo::CooMatrix::from_triples(
-            130,
-            2,
-            vec![(0, 0, 1u8), (65, 0, 1), (129, 1, 1)],
-        )
-        .unwrap()
-        .to_csc();
+        let csc =
+            crate::coo::CooMatrix::from_triples(130, 2, vec![(0, 0, 1u8), (65, 0, 1), (129, 1, 1)])
+                .unwrap()
+                .to_csc();
         let bm = BitMatrix::from_csc_bool(&csc).unwrap();
         let direct = BitMatrix::from_columns(130, &[vec![0, 65], vec![129]]).unwrap();
         assert_eq!(bm, direct);

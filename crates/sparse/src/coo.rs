@@ -86,11 +86,7 @@ impl<T: Copy> CooMatrix<T> {
 
     /// Iterate over stored entries.
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize, T)> + '_ {
-        self.rows
-            .iter()
-            .zip(self.cols.iter())
-            .zip(self.vals.iter())
-            .map(|((&r, &c), &v)| (r, c, v))
+        self.rows.iter().zip(self.cols.iter()).zip(self.vals.iter()).map(|((&r, &c), &v)| (r, c, v))
     }
 
     /// Convert to CSR, summing duplicate entries with `combine`.
@@ -193,8 +189,7 @@ mod tests {
 
     #[test]
     fn custom_combine_uses_max() {
-        let m =
-            CooMatrix::from_triples(1, 1, vec![(0, 0, 3u32), (0, 0, 7), (0, 0, 5)]).unwrap();
+        let m = CooMatrix::from_triples(1, 1, vec![(0, 0, 3u32), (0, 0, 7), (0, 0, 5)]).unwrap();
         let csr = m.to_csr_with(|a, b| a.max(b));
         assert_eq!(csr.row(0).collect::<Vec<_>>(), vec![(0, 7)]);
     }

@@ -244,12 +244,15 @@ mod tests {
         assert!(
             CscMatrix::<u8>::from_raw_parts(2, 2, vec![0, 1, 1], vec![0, 1], vec![1, 1]).is_err()
         );
-        assert!(CscMatrix::<u8>::from_raw_parts(2, 2, vec![0, 1, 2], vec![0, 9], vec![1, 1])
-            .is_err());
-        assert!(CscMatrix::<u8>::from_raw_parts(2, 2, vec![0, 2, 1], vec![0, 1], vec![1, 1])
-            .is_err());
-        assert!(CscMatrix::<u8>::from_raw_parts(2, 2, vec![0, 1, 2], vec![0, 1], vec![1, 1])
-            .is_ok());
+        assert!(
+            CscMatrix::<u8>::from_raw_parts(2, 2, vec![0, 1, 2], vec![0, 9], vec![1, 1]).is_err()
+        );
+        assert!(
+            CscMatrix::<u8>::from_raw_parts(2, 2, vec![0, 2, 1], vec![0, 1], vec![1, 1]).is_err()
+        );
+        assert!(
+            CscMatrix::<u8>::from_raw_parts(2, 2, vec![0, 1, 2], vec![0, 1], vec![1, 1]).is_ok()
+        );
     }
 
     #[test]
@@ -290,9 +293,7 @@ mod tests {
 
     #[test]
     fn from_transposed_csr_reuses_layout() {
-        let csr = CooMatrix::from_triples(2, 3, vec![(0, 1, 5u32), (1, 2, 6)])
-            .unwrap()
-            .to_csr();
+        let csr = CooMatrix::from_triples(2, 3, vec![(0, 1, 5u32), (1, 2, 6)]).unwrap().to_csr();
         // csr is a 2x3 matrix; reinterpreting it as CSC of its transpose
         // gives a 3x2 matrix whose column j is csr's row j.
         let csc = CscMatrix::from_transposed_csr(csr);

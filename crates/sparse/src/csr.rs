@@ -133,8 +133,7 @@ impl<T: Copy> CsrMatrix<T> {
 
     /// Transpose into a new CSR matrix.
     pub fn transpose(&self) -> CsrMatrix<T> {
-        let mut triples: Vec<(usize, usize, T)> =
-            self.iter().map(|(r, c, v)| (c, r, v)).collect();
+        let mut triples: Vec<(usize, usize, T)> = self.iter().map(|(r, c, v)| (c, r, v)).collect();
         triples.sort_unstable_by_key(|&(r, c, _)| (r, c));
         let mut indptr = vec![0usize; self.ncols + 1];
         let mut indices = Vec::with_capacity(triples.len());
@@ -215,15 +214,16 @@ mod tests {
     #[test]
     fn raw_parts_validation() {
         assert!(CsrMatrix::<u8>::from_raw_parts(2, 2, vec![0, 1], vec![0], vec![1]).is_err());
+        assert!(CsrMatrix::<u8>::from_raw_parts(2, 2, vec![0, 1, 1], vec![0, 1], vec![1]).is_err());
         assert!(
-            CsrMatrix::<u8>::from_raw_parts(2, 2, vec![0, 1, 1], vec![0, 1], vec![1]).is_err()
+            CsrMatrix::<u8>::from_raw_parts(2, 2, vec![0, 2, 1], vec![0, 1], vec![1, 1]).is_err()
         );
-        assert!(CsrMatrix::<u8>::from_raw_parts(2, 2, vec![0, 2, 1], vec![0, 1], vec![1, 1])
-            .is_err());
-        assert!(CsrMatrix::<u8>::from_raw_parts(2, 2, vec![0, 1, 2], vec![0, 5], vec![1, 1])
-            .is_err());
-        assert!(CsrMatrix::<u8>::from_raw_parts(2, 2, vec![0, 1, 2], vec![0, 1], vec![1, 1])
-            .is_ok());
+        assert!(
+            CsrMatrix::<u8>::from_raw_parts(2, 2, vec![0, 1, 2], vec![0, 5], vec![1, 1]).is_err()
+        );
+        assert!(
+            CsrMatrix::<u8>::from_raw_parts(2, 2, vec![0, 1, 2], vec![0, 1], vec![1, 1]).is_ok()
+        );
     }
 
     #[test]

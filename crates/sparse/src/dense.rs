@@ -168,12 +168,7 @@ impl DenseMatrix<f64> {
                 context: "max_abs_diff on different shapes".to_string(),
             });
         }
-        Ok(self
-            .data
-            .iter()
-            .zip(other.data.iter())
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0, f64::max))
+        Ok(self.data.iter().zip(other.data.iter()).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max))
     }
 
     /// Check symmetry within a tolerance.

@@ -1,0 +1,14 @@
+//! Distributed sparse objects over the simulated runtime.
+//!
+//! This is the Cyclops-equivalent layer of the reproduction: the
+//! distributed zero-row [`filter`] (the `(max, ×)` accumulate-write +
+//! allgather pattern of Eqs. 5–6) and the 2.5D SUMMA `AᵀA` product
+//! ([`ata::DistAta`], Section III-C of the paper) that computes the
+//! intersection-count matrix `B` over the popcount-AND semiring on
+//! bit-packed batches.
+
+pub mod ata;
+pub mod filter;
+
+pub use ata::DistAta;
+pub use filter::{dist_row_filter, RowFilter};

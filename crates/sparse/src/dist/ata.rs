@@ -1,0 +1,469 @@
+//! Distributed `B = AᵀA` over a 2.5D processor grid (Section III-C).
+//!
+//! The paper distributes the batched popcount-AND product over a
+//! `√(p/c) × √(p/c) × c` grid: the samples (columns of `A`) are split
+//! into `√(p/c)` blocks, the packed word rows of each batch are split
+//! into `√(p/c)·c` chunks, and rank `(i, j, k)` holds the local block
+//! `A[chunk(i, k), C_j]` while accumulating the output block
+//! `B[C_i, C_j]`. Each layer `k` contracts its own chunks with a SUMMA
+//! sweep (a column broadcast for the right operand and a
+//! transpose-exchange plus row broadcast for the left operand), and the
+//! `c` layer partials are reduced over the fiber communicators at the
+//! end — the standard communication-avoiding 2.5D schedule.
+//!
+//! When `p` is not of the form `s²·c` the largest square subgrid is used
+//! and the remaining ranks stay idle for the product (they still
+//! participate in world-level collectives such as the distributed filter
+//! and the final gather), mirroring how fixed grids are carved out of
+//! arbitrary allocations in practice.
+
+use std::ops::Range;
+
+use gas_dstsim::comm::{Communicator, Msg};
+use gas_dstsim::topology::ProcessorGrid;
+
+use crate::bitmat::BitMatrix;
+use crate::csc::CscMatrix;
+use crate::dense::DenseMatrix;
+use crate::error::{SparseError, SparseResult};
+use crate::semiring::PopcountAnd;
+use crate::spgemm::atb_block_dense;
+
+/// Wire form of a bit-packed block: the raw CSC arrays of the word
+/// matrix. `nbytes` reports what the block would occupy on a real
+/// network, so the cost trackers see SUMMA's true traffic.
+#[derive(Debug, Clone)]
+struct WireBlock {
+    word_rows: u64,
+    ncols: u64,
+    indptr: Vec<u64>,
+    indices: Vec<u64>,
+    data: Vec<u64>,
+}
+
+impl Msg for WireBlock {
+    fn nbytes(&self) -> usize {
+        16 + 8 * (self.indptr.len() + self.indices.len() + self.data.len())
+    }
+}
+
+impl WireBlock {
+    fn from_bitmat(b: &BitMatrix) -> WireBlock {
+        let csc = b.as_csc();
+        WireBlock {
+            word_rows: csc.nrows() as u64,
+            ncols: csc.ncols() as u64,
+            indptr: csc.indptr().iter().map(|&v| v as u64).collect(),
+            indices: csc.indices().iter().map(|&v| v as u64).collect(),
+            data: csc.data().to_vec(),
+        }
+    }
+
+    fn to_csc(&self) -> SparseResult<CscMatrix<u64>> {
+        CscMatrix::from_raw_parts(
+            self.word_rows as usize,
+            self.ncols as usize,
+            self.indptr.iter().map(|&v| v as usize).collect(),
+            self.indices.iter().map(|&v| v as usize).collect(),
+            self.data.clone(),
+        )
+    }
+}
+
+/// Contiguous block `idx` of `0..total` split into `parts` near-equal
+/// pieces (the same arithmetic on every rank, so all ranks agree on the
+/// distribution).
+fn block_range(total: usize, parts: usize, idx: usize) -> Range<usize> {
+    (idx * total / parts)..((idx + 1) * total / parts)
+}
+
+/// Per-rank handle for the distributed `AᵀA` of one run.
+///
+/// Constructed inside a rank closure from the world communicator; owns
+/// the grid sub-communicators the SUMMA schedule needs.
+pub struct DistAta {
+    grid: ProcessorGrid,
+    /// Side of the square layer grid.
+    s: usize,
+    /// Number of replication layers actually used.
+    c: usize,
+    /// Ranks participating in the product (`s² · c`).
+    active: usize,
+    /// Number of samples (order of `B`).
+    n: usize,
+    /// Grid coordinates of this rank, `None` when idle.
+    coords: Option<[usize; 3]>,
+    row_comm: Option<Communicator>,
+    col_comm: Option<Communicator>,
+    fiber_comm: Option<Communicator>,
+    grid_comm: Option<Communicator>,
+}
+
+impl DistAta {
+    /// Set up the 2.5D distribution over `world` for an `n`-sample run
+    /// with requested replication factor `replication` (clamped to the
+    /// world size; the largest square subgrid `s²·c ≤ p` is used).
+    pub fn new(world: &Communicator, n: usize, replication: usize) -> SparseResult<DistAta> {
+        let p = world.size();
+        if replication == 0 {
+            return Err(SparseError::InvalidDistribution(
+                "replication must be at least 1".to_string(),
+            ));
+        }
+        let c = replication.min(p);
+        let layer = p / c;
+        let mut s = (layer as f64).sqrt().floor() as usize;
+        while s * s > layer {
+            s -= 1;
+        }
+        while (s + 1) * (s + 1) <= layer {
+            s += 1;
+        }
+        let s = s.max(1);
+        let active = s * s * c;
+        let grid = ProcessorGrid::explicit(&[s, s, c])?;
+        let me = world.rank();
+        let is_active = me < active;
+        // Collective over the world: actives get the grid communicator
+        // (their local ranks equal their world ranks, matching the grid
+        // numbering), idle ranks get a communicator they never use.
+        let member_comm = world.split(u64::from(!is_active))?;
+        if !is_active {
+            return Ok(DistAta {
+                grid,
+                s,
+                c,
+                active,
+                n,
+                coords: None,
+                row_comm: None,
+                col_comm: None,
+                fiber_comm: None,
+                grid_comm: None,
+            });
+        }
+        let coords = grid.coords_of(me)?;
+        let row_comm = grid.row_comm(&member_comm)?;
+        let col_comm = grid.col_comm(&member_comm)?;
+        let fiber_comm = grid.fiber_comm(&member_comm)?;
+        Ok(DistAta {
+            grid,
+            s,
+            c,
+            active,
+            n,
+            coords: Some(coords),
+            row_comm: Some(row_comm),
+            col_comm: Some(col_comm),
+            fiber_comm: Some(fiber_comm),
+            grid_comm: Some(member_comm),
+        })
+    }
+
+    /// The processor grid in use.
+    pub fn grid(&self) -> &ProcessorGrid {
+        &self.grid
+    }
+
+    /// Number of ranks participating in the product.
+    pub fn active_ranks(&self) -> usize {
+        self.active
+    }
+
+    /// Whether this rank takes part in the product.
+    pub fn is_active(&self) -> bool {
+        self.coords.is_some()
+    }
+
+    /// Whether this rank is the designated reader of its column block:
+    /// exactly one rank per column block contributes row indices to the
+    /// distributed zero-row filter.
+    pub fn is_primary_reader(&self) -> bool {
+        matches!(self.coords, Some([0, _, 0]))
+    }
+
+    /// The samples (columns of `A`) this rank reads: block `j` of the
+    /// `s`-way column partition. Idle ranks get an empty range.
+    pub fn my_col_range(&self) -> Range<usize> {
+        match self.coords {
+            Some([_, j, _]) => block_range(self.n, self.s, j),
+            None => 0..0,
+        }
+    }
+
+    /// The word-row chunk of a packed batch with `word_rows` rows this
+    /// rank keeps: chunk `k·s + i` of the `s·c`-way partition.
+    pub fn my_chunk(&self, word_rows: usize) -> Range<usize> {
+        match self.coords {
+            Some([i, _, k]) => block_range(word_rows, self.s * self.c, k * self.s + i),
+            None => 0..0,
+        }
+    }
+
+    /// Zeroed accumulator for this rank's output block `B[C_i, C_j]`.
+    pub fn new_accumulator(&self) -> DenseMatrix<u64> {
+        match self.coords {
+            Some([i, j, _]) => DenseMatrix::zeros(
+                block_range(self.n, self.s, i).len(),
+                block_range(self.n, self.s, j).len(),
+            ),
+            None => DenseMatrix::zeros(0, 0),
+        }
+    }
+
+    /// Zeroed per-sample cardinality accumulator (global length `n`).
+    pub fn new_cardinalities(&self) -> Vec<u64> {
+        vec![0u64; self.n]
+    }
+
+    /// Contract one batch: `block` is this rank's word-row chunk of its
+    /// packed column block (`A[chunk(i, k), C_j]`). Runs the SUMMA sweep
+    /// of this layer, accumulating into `acc` and adding the chunk's
+    /// column popcounts into `card`.
+    pub fn accumulate_batch(
+        &self,
+        block: &BitMatrix,
+        acc: &mut DenseMatrix<u64>,
+        card: &mut [u64],
+    ) -> SparseResult<()> {
+        let Some([i, j, k]) = self.coords else {
+            return Ok(());
+        };
+        let row_comm = self.row_comm.as_ref().expect("active rank has a row communicator");
+        let col_comm = self.col_comm.as_ref().expect("active rank has a column communicator");
+        let grid_comm = self.grid_comm.as_ref().expect("active rank has a grid communicator");
+
+        let cols = self.my_col_range();
+        if block.ncols() != cols.len() {
+            return Err(SparseError::ShapeMismatch {
+                context: format!(
+                    "batch block has {} columns but this rank owns {} samples",
+                    block.ncols(),
+                    cols.len()
+                ),
+            });
+        }
+        for (offset, count) in block.col_popcounts().into_iter().enumerate() {
+            card[cols.start + offset] += count;
+        }
+
+        let mine = WireBlock::from_bitmat(block);
+        for t in 0..self.s {
+            // Right operand A[chunk(t, k), C_j]: held by grid row t, which
+            // is local rank t of this column communicator.
+            let right = col_comm.bcast(t, (i == t).then(|| mine.clone()))?;
+            // Left operand A[chunk(t, k), C_i]: held by rank (t, i, k).
+            // Transpose-exchange to (i, t, k), then broadcast along the row.
+            if i == t && j != t {
+                let dest = self.grid.rank_of([j, t, k])?;
+                grid_comm.send(dest, t as u64, mine.clone())?;
+            }
+            let left_seed = if j == t {
+                if i == t {
+                    Some(mine.clone())
+                } else {
+                    let src = self.grid.rank_of([t, i, k])?;
+                    Some(grid_comm.recv::<WireBlock>(src, t as u64)?)
+                }
+            } else {
+                None
+            };
+            let left = row_comm.bcast(t, left_seed)?;
+            let left_csc = left.to_csc()?;
+            let right_csr = right.to_csc()?.to_csr();
+            let ops = atb_block_dense::<PopcountAnd>(&left_csc, &right_csr, acc)?;
+            grid_comm.add_flops(ops);
+        }
+        Ok(())
+    }
+
+    /// Reduce the layer partials: after the last batch, fiber-allreduce
+    /// the accumulators across the `c` layers and allreduce the
+    /// cardinalities so every participating rank holds the global
+    /// per-sample counts.
+    pub fn finalize(&self, acc: &mut DenseMatrix<u64>, card: &mut [u64]) -> SparseResult<()> {
+        if self.coords.is_none() {
+            return Ok(());
+        }
+        if self.c > 1 {
+            let fiber = self.fiber_comm.as_ref().expect("active rank has a fiber communicator");
+            let summed = fiber.allreduce_sum(acc.as_slice())?;
+            acc.as_mut_slice().copy_from_slice(&summed);
+        }
+        let grid_comm = self.grid_comm.as_ref().expect("active rank has a grid communicator");
+        let full = grid_comm.allreduce_sum(&*card)?;
+        card.copy_from_slice(&full);
+        Ok(())
+    }
+
+    /// Gather the distributed output blocks of layer 0 onto world rank 0
+    /// and assemble the full `n × n` matrix there. Collective over the
+    /// world; returns `Some(B)` on rank 0 and `None` elsewhere.
+    pub fn gather_full(
+        &self,
+        world: &Communicator,
+        acc: &DenseMatrix<u64>,
+    ) -> SparseResult<Option<DenseMatrix<u64>>> {
+        let payload: Vec<u64> = match self.coords {
+            Some([_, _, 0]) => acc.as_slice().to_vec(),
+            _ => Vec::new(),
+        };
+        let gathered = world.gatherv(0, &payload)?;
+        let Some(blocks) = gathered else {
+            return Ok(None);
+        };
+        let mut full = DenseMatrix::<u64>::zeros(self.n, self.n);
+        for (rank, data) in blocks.into_iter().enumerate() {
+            if rank >= self.active {
+                continue;
+            }
+            let [i, j, k] = self.grid.coords_of(rank)?;
+            if k != 0 {
+                continue;
+            }
+            let rows = block_range(self.n, self.s, i);
+            let cols = block_range(self.n, self.s, j);
+            if data.len() != rows.len() * cols.len() {
+                return Err(SparseError::ShapeMismatch {
+                    context: format!(
+                        "gathered block from rank {rank} has {} entries for a {}x{} block",
+                        data.len(),
+                        rows.len(),
+                        cols.len()
+                    ),
+                });
+            }
+            let width = cols.len();
+            for (bi, r) in rows.enumerate() {
+                let row = &mut full.row_mut(r)[cols.clone()];
+                row.copy_from_slice(&data[bi * width..(bi + 1) * width]);
+            }
+        }
+        Ok(Some(full))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::CsrMatrix;
+    use crate::semiring::PlusTimes;
+    use crate::spgemm::ata_dense;
+    use gas_dstsim::runtime::Runtime;
+
+    /// Column lists of a small boolean indicator matrix: 200 attribute
+    /// rows, 7 samples with overlapping supports.
+    fn columns() -> Vec<Vec<usize>> {
+        (0..7)
+            .map(|j| (0..200).filter(|r| (r * 7 + j * 3) % 13 < 2 || r % (j + 2) == 0).collect())
+            .collect()
+    }
+
+    fn reference(rows: usize, columns: &[Vec<usize>]) -> DenseMatrix<u64> {
+        let nnz = columns.iter().map(Vec::len).sum();
+        let mut coo = crate::coo::CooMatrix::<u64>::with_capacity(rows, columns.len(), nnz);
+        for (j, col) in columns.iter().enumerate() {
+            for &r in col {
+                coo.push(r, j, 1).unwrap();
+            }
+        }
+        ata_dense::<PlusTimes<u64>>(&coo.to_csr())
+    }
+
+    fn run_distributed(
+        p: usize,
+        replication: usize,
+        rows: usize,
+        columns: &[Vec<usize>],
+    ) -> (DenseMatrix<u64>, Vec<u64>, u64) {
+        let n = columns.len();
+        let out = Runtime::new(p)
+            .run(|ctx| {
+                let world = ctx.world();
+                let ata = DistAta::new(world, n, replication).unwrap();
+                let mut acc = ata.new_accumulator();
+                let mut card = ata.new_cardinalities();
+                let my_cols: Vec<usize> = ata.my_col_range().collect();
+                let local: Vec<Vec<usize>> =
+                    my_cols.iter().map(|&jj| columns[jj].clone()).collect();
+                let packed = BitMatrix::from_columns(rows, &local).unwrap();
+                let block = packed.select_word_rows(ata.my_chunk(packed.word_rows())).unwrap();
+                ata.accumulate_batch(&block, &mut acc, &mut card).unwrap();
+                ata.finalize(&mut acc, &mut card).unwrap();
+                let full = ata.gather_full(world, &acc).unwrap();
+                (full, card)
+            })
+            .unwrap();
+        let bytes = out.aggregate().total_bytes_sent;
+        let mut results = out.results;
+        let (full, card) = results.swap_remove(0);
+        (full.expect("rank 0 assembles the full matrix"), card, bytes)
+    }
+
+    #[test]
+    fn distributed_ata_matches_local_reference() {
+        let columns = columns();
+        let expected = reference(200, &columns);
+        let expected_card: Vec<u64> = columns.iter().map(|col| col.len() as u64).collect();
+        for (p, c) in [(1, 1), (2, 1), (4, 1), (6, 1), (8, 2), (9, 1), (12, 2)] {
+            let (full, card, _) = run_distributed(p, c, 200, &columns);
+            assert_eq!(full, expected, "p = {p}, c = {c}");
+            assert_eq!(card, expected_card, "p = {p}, c = {c}");
+        }
+    }
+
+    #[test]
+    fn larger_grids_move_less_data_per_rank() {
+        // Needs a workload large enough that SUMMA block traffic dominates
+        // the fixed per-rank costs (communicator splits, block headers).
+        let rows = 20_000;
+        let columns: Vec<Vec<usize>> = (0..32)
+            .map(|j| {
+                (0..rows).filter(|r| (r * 31 + j * 7) % 29 == 0 || r % (j + 11) == 0).collect()
+            })
+            .collect();
+        let (full4, _, bytes4) = run_distributed(4, 1, rows, &columns);
+        let (full16, _, bytes16) = run_distributed(16, 1, rows, &columns);
+        assert_eq!(full4, full16);
+        assert!(
+            bytes16 / 16 < bytes4 / 4,
+            "per-rank bytes should shrink: p=4 {} vs p=16 {}",
+            bytes4 / 4,
+            bytes16 / 16
+        );
+    }
+
+    #[test]
+    fn idle_ranks_are_harmless_and_reported() {
+        let out = Runtime::new(5)
+            .run(|ctx| {
+                let ata = DistAta::new(ctx.world(), 4, 1).unwrap();
+                (ata.is_active(), ata.active_ranks(), ata.my_col_range().len())
+            })
+            .unwrap();
+        // 5 ranks, c = 1 -> 2x2 grid with one idle rank.
+        for (rank, (active, nactive, ncols)) in out.results.iter().enumerate() {
+            assert_eq!(*nactive, 4);
+            assert_eq!(*active, rank < 4);
+            if !active {
+                assert_eq!(*ncols, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn wire_blocks_round_trip() {
+        let bm = BitMatrix::from_columns(130, &[vec![0, 64, 129], vec![1], vec![]]).unwrap();
+        let wire = WireBlock::from_bitmat(&bm);
+        assert!(wire.nbytes() > 0);
+        let csc = wire.to_csc().unwrap();
+        assert_eq!(&csc, bm.as_csc());
+        let _csr: CsrMatrix<u64> = csc.to_csr();
+    }
+
+    #[test]
+    fn zero_replication_is_rejected() {
+        let out = Runtime::new(2).run(|ctx| DistAta::new(ctx.world(), 4, 0).is_err()).unwrap();
+        assert!(out.results.iter().all(|&e| e));
+    }
+}

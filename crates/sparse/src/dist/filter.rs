@@ -1,0 +1,130 @@
+//! The zero-row filter vector `f^(l)` (Eqs. 5–6) and its distributed
+//! construction.
+//!
+//! Genomic indicator matrices are hypersparse: most attribute rows of a
+//! batch have no entry in any sample. The filter marks the rows that are
+//! nonzero in at least one sample and renumbers the survivors
+//! contiguously. In the paper the filter vector is built with
+//! accumulate-writes over a `(max, ×)` monoid and then "collected on all
+//! processors"; here every rank contributes the row indices it observed
+//! and an allgather makes the union available everywhere, charging the
+//! same communication volume to the cost trackers.
+
+use crate::error::SparseResult;
+use gas_dstsim::comm::Communicator;
+
+/// The compacted zero-row filter of one batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RowFilter {
+    batch_rows: usize,
+    nonzero: Vec<usize>,
+}
+
+impl RowFilter {
+    /// Build a filter from locally known nonzero rows (sorted, deduped and
+    /// clipped to the batch here).
+    pub fn from_local(batch_rows: usize, mut rows: Vec<usize>) -> Self {
+        rows.retain(|&r| r < batch_rows);
+        rows.sort_unstable();
+        rows.dedup();
+        RowFilter { batch_rows, nonzero: rows }
+    }
+
+    /// Number of rows of the unfiltered batch.
+    pub fn batch_rows(&self) -> usize {
+        self.batch_rows
+    }
+
+    /// The surviving (nonzero) rows, sorted ascending.
+    pub fn nonzero_rows(&self) -> &[usize] {
+        &self.nonzero
+    }
+
+    /// Number of surviving rows.
+    pub fn num_nonzero_rows(&self) -> usize {
+        self.nonzero.len()
+    }
+
+    /// Fraction of batch rows removed by the filter.
+    pub fn removed_fraction(&self) -> f64 {
+        if self.batch_rows == 0 {
+            return 0.0;
+        }
+        1.0 - self.nonzero.len() as f64 / self.batch_rows as f64
+    }
+
+    /// Compacted index of `row` after filtering, or `None` if the filter
+    /// removed it.
+    pub fn compacted_index(&self, row: usize) -> Option<usize> {
+        self.nonzero.binary_search(&row).ok()
+    }
+}
+
+/// Build the batch filter collectively: every rank contributes the row
+/// indices present in its local columns, the union is allgathered, and
+/// all ranks return the identical filter.
+pub fn dist_row_filter(
+    comm: &Communicator,
+    batch_rows: usize,
+    local_rows: &[usize],
+) -> SparseResult<RowFilter> {
+    let mut mine: Vec<u64> = local_rows.iter().map(|&r| r as u64).collect();
+    mine.sort_unstable();
+    mine.dedup();
+    let gathered = comm.allgatherv(&mine)?;
+    let mut all: Vec<usize> = gathered.into_iter().flatten().map(|r| r as usize).collect();
+    all.sort_unstable();
+    all.dedup();
+    // Charge the prefix-sum renumbering of the survivors.
+    comm.add_flops(all.len() as u64);
+    Ok(RowFilter::from_local(batch_rows, all))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gas_dstsim::runtime::Runtime;
+
+    #[test]
+    fn from_local_sorts_dedups_and_clips() {
+        let f = RowFilter::from_local(10, vec![7, 2, 7, 11, 0]);
+        assert_eq!(f.nonzero_rows(), &[0, 2, 7]);
+        assert_eq!(f.num_nonzero_rows(), 3);
+        assert_eq!(f.batch_rows(), 10);
+        assert!((f.removed_fraction() - 0.7).abs() < 1e-12);
+        assert_eq!(f.compacted_index(2), Some(1));
+        assert_eq!(f.compacted_index(3), None);
+    }
+
+    #[test]
+    fn empty_batch_has_zero_removed_fraction() {
+        let f = RowFilter::from_local(0, vec![]);
+        assert_eq!(f.num_nonzero_rows(), 0);
+        assert_eq!(f.removed_fraction(), 0.0);
+    }
+
+    #[test]
+    fn distributed_filter_is_the_union_on_every_rank() {
+        let out = Runtime::new(4)
+            .run(|ctx| {
+                // Rank r knows rows {r, 10 + r}.
+                let local = vec![ctx.rank(), 10 + ctx.rank()];
+                dist_row_filter(ctx.world(), 100, &local).unwrap()
+            })
+            .unwrap();
+        let expected = RowFilter::from_local(100, vec![0, 1, 2, 3, 10, 11, 12, 13]);
+        for f in &out.results {
+            assert_eq!(f, &expected);
+        }
+        // The allgather moved bytes on every rank.
+        assert!(out.aggregate().total_bytes_sent > 0);
+    }
+
+    #[test]
+    fn distributed_filter_matches_single_rank() {
+        let local: Vec<usize> = (0..50).map(|i| (i * 7) % 97).collect();
+        let single =
+            Runtime::new(1).run(|ctx| dist_row_filter(ctx.world(), 97, &local).unwrap()).unwrap();
+        assert_eq!(single.results[0], RowFilter::from_local(97, local.clone()));
+    }
+}

@@ -34,10 +34,9 @@ pub enum SparseError {
 impl fmt::Display for SparseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SparseError::IndexOutOfBounds { row, col, nrows, ncols } => write!(
-                f,
-                "entry ({row}, {col}) is outside a {nrows}x{ncols} matrix"
-            ),
+            SparseError::IndexOutOfBounds { row, col, nrows, ncols } => {
+                write!(f, "entry ({row}, {col}) is outside a {nrows}x{ncols} matrix")
+            }
             SparseError::ShapeMismatch { context } => write!(f, "shape mismatch: {context}"),
             SparseError::InvalidDistribution(msg) => write!(f, "invalid distribution: {msg}"),
             SparseError::Comm(msg) => write!(f, "communication error: {msg}"),

@@ -245,8 +245,7 @@ mod tests {
     fn parallel_ata_matches_sequential() {
         let coo = indicator();
         let seq = ata_dense::<PlusTimes<u64>>(&coo.to_csr());
-        let par =
-            ata_dense_parallel::<PlusTimes<u64>>(&coo.to_csc(), &coo.to_csr()).unwrap();
+        let par = ata_dense_parallel::<PlusTimes<u64>>(&coo.to_csc(), &coo.to_csr()).unwrap();
         assert_eq!(seq, par);
     }
 
@@ -264,8 +263,7 @@ mod tests {
         let coo = indicator();
         let expected = ata_dense::<PlusTimes<u64>>(&coo.to_csr());
         let bm = BitMatrix::from_columns(6, &[vec![0, 1, 2], vec![1, 2, 3], vec![5]]).unwrap();
-        let packed =
-            ata_dense_parallel::<PopcountAnd>(bm.as_csc(), &bm.to_csr()).unwrap();
+        let packed = ata_dense_parallel::<PopcountAnd>(bm.as_csc(), &bm.to_csr()).unwrap();
         assert_eq!(expected, packed);
     }
 
@@ -341,8 +339,7 @@ mod tests {
         let empty = CooMatrix::<u64>::new(5, 3);
         let b = ata_dense::<PlusTimes<u64>>(&empty.to_csr());
         assert_eq!(b.count_nonzero(), 0);
-        let par =
-            ata_dense_parallel::<PlusTimes<u64>>(&empty.to_csc(), &empty.to_csr()).unwrap();
+        let par = ata_dense_parallel::<PlusTimes<u64>>(&empty.to_csc(), &empty.to_csr()).unwrap();
         assert_eq!(par.count_nonzero(), 0);
         assert_eq!(ata_flops(&empty.to_csr()), 0);
     }

@@ -56,8 +56,8 @@ fn main() {
     // All-pairs Jaccard with SimilarityAtScale (4 batches to exercise the
     // batched path).
     let collection = SampleCollection::from_kmer_samples(&samples).expect("valid samples");
-    let result = similarity_at_scale(&collection, &SimilarityConfig::with_batches(4))
-        .expect("run succeeds");
+    let result =
+        similarity_at_scale(&collection, &SimilarityConfig::with_batches(4)).expect("run succeeds");
     let distances = result.distance();
 
     println!("\nJaccard distance matrix:");
@@ -86,11 +86,8 @@ fn main() {
 
     // Anomaly detection: the unrelated genome has the largest kNN score.
     let scores = knn_outlier_scores(&distances, 2).expect("valid k");
-    let (worst, score) = scores
-        .iter()
-        .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-        .unwrap();
+    let (worst, score) =
+        scores.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap();
     println!("\nMost anomalous sample: {} (kNN distance {:.3})", collection.names()[worst], score);
     assert_eq!(collection.names()[worst], "outlier");
 }

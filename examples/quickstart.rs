@@ -19,9 +19,7 @@ ACGTTGCAGGTCAAACGTTGCAGGTCAAATTTGCCGGTACCAGGTTTACGTAGCATGCAA
 >sample_c unrelated
 TTTTTTAAAACCCCGGGGATATATCGCGCGATCGATCGTAGCTAGCTAGGCCGGCCAATT
 ";
-    let records = FastaReader::new(std::io::Cursor::new(fasta))
-        .read_all()
-        .expect("FASTA parses");
+    let records = FastaReader::new(std::io::Cursor::new(fasta)).read_all().expect("FASTA parses");
     println!("Parsed {} FASTA records", records.len());
 
     // Represent each record as its canonical 11-mer set.
@@ -35,8 +33,7 @@ TTTTTTAAAACCCCGGGGATATATCGCGCGATCGATCGTAGCTAGCTAGGCCGGCCAATT
     }
 
     // Build the indicator-matrix view and run SimilarityAtScale.
-    let collection =
-        SampleCollection::from_kmer_samples(&samples).expect("samples are valid");
+    let collection = SampleCollection::from_kmer_samples(&samples).expect("samples are valid");
     let config = SimilarityConfig::with_batches(2);
     let result = similarity_at_scale(&collection, &config).expect("run succeeds");
 

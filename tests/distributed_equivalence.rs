@@ -4,9 +4,7 @@
 //! bit, and the communication counters must behave as the paper's
 //! analysis predicts.
 
-use genomeatscale::core::algorithm::{
-    similarity_at_scale, similarity_at_scale_distributed,
-};
+use genomeatscale::core::algorithm::{similarity_at_scale, similarity_at_scale_distributed};
 use genomeatscale::core::baselines::allreduce_jaccard_distributed;
 use genomeatscale::genomics::datasets::DatasetSpec;
 use genomeatscale::prelude::*;
@@ -23,8 +21,7 @@ fn distributed_equals_shared_memory_across_configurations() {
     for ranks in [1usize, 2, 5, 8, 12] {
         for batches in [1usize, 4] {
             for replication in [1usize, 2] {
-                let config =
-                    SimilarityConfig::with_batches(batches).with_replication(replication);
+                let config = SimilarityConfig::with_batches(batches).with_replication(replication);
                 let shared = similarity_at_scale(&collection, &config).unwrap();
                 let distributed = similarity_at_scale_distributed(
                     &collection,
@@ -74,10 +71,8 @@ fn communication_per_rank_decreases_with_more_ranks() {
     // filter: the SUMMA broadcast volume per rank must shrink as the grid
     // grows.
     let collection = workload(2, 64);
-    let config = SimilarityConfig {
-        use_zero_row_filter: false,
-        ..SimilarityConfig::with_batches(2)
-    };
+    let config =
+        SimilarityConfig { use_zero_row_filter: false, ..SimilarityConfig::with_batches(2) };
     let mut per_rank = Vec::new();
     for ranks in [4usize, 16] {
         let summary =

@@ -21,10 +21,7 @@ fn build_family() -> Vec<KmerSample> {
         ("b0".to_string(), root_b.clone()),
         ("b1".to_string(), mutate(&root_b, 0.02, &mut rng)),
     ];
-    genomes
-        .into_iter()
-        .map(|(name, g)| KmerSample::from_sequence(name, &g, &extractor))
-        .collect()
+    genomes.into_iter().map(|(name, g)| KmerSample::from_sequence(name, &g, &extractor)).collect()
 }
 
 #[test]
@@ -49,8 +46,7 @@ fn fasta_roundtrip_preserves_samples() {
 fn pipeline_matches_per_pair_reference_and_expected_structure() {
     let samples = build_family();
     let collection = SampleCollection::from_kmer_samples(&samples).unwrap();
-    let result =
-        similarity_at_scale(&collection, &SimilarityConfig::with_batches(3)).unwrap();
+    let result = similarity_at_scale(&collection, &SimilarityConfig::with_batches(3)).unwrap();
     let s = result.similarity();
 
     // Matrix values equal the pairwise set computation.

@@ -11,19 +11,7 @@ fn graph_vertex_similarity_via_the_pipeline_matches_direct_computation() {
     // A small social-network-like graph.
     let graph = AdjacencyGraph::from_edges(
         8,
-        &[
-            (0, 1),
-            (0, 2),
-            (1, 2),
-            (1, 3),
-            (2, 3),
-            (3, 4),
-            (4, 5),
-            (4, 6),
-            (5, 6),
-            (5, 7),
-            (6, 7),
-        ],
+        &[(0, 1), (0, 2), (1, 2), (1, 3), (2, 3), (3, 4), (4, 5), (4, 6), (5, 6), (5, 7), (6, 7)],
     )
     .unwrap();
     let collection = SampleCollection::from_sorted_sets(graph.neighborhood_sets()).unwrap();

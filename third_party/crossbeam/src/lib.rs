@@ -1,0 +1,33 @@
+//! Offline stand-in for the parts of `crossbeam` this workspace uses.
+//!
+//! Only `crossbeam::channel::{unbounded, Sender, Receiver}` is needed (the
+//! simulated runtime's message fabric), and for that usage
+//! `std::sync::mpsc` is a drop-in: senders are `Clone + Send + Sync`,
+//! each receiver is owned by exactly one rank thread, and channels are
+//! unbounded FIFO.
+
+pub mod channel {
+    //! MPSC channels with the `crossbeam::channel` construction API.
+
+    pub use std::sync::mpsc::{Receiver, RecvError, SendError, Sender};
+
+    /// Create an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::unbounded;
+
+    #[test]
+    fn channels_move_values_across_threads() {
+        let (tx, rx) = unbounded();
+        let tx2 = tx.clone();
+        std::thread::spawn(move || tx2.send(41u64).unwrap());
+        std::thread::spawn(move || tx.send(1u64).unwrap());
+        let sum: u64 = (0..2).map(|_| rx.recv().unwrap()).sum();
+        assert_eq!(sum, 42);
+    }
+}

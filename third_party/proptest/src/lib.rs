@@ -1,0 +1,286 @@
+//! Offline stand-in for the parts of `proptest` this workspace uses.
+//!
+//! Implements the `proptest!` macro, `ProptestConfig`, integer-range and
+//! collection strategies, `prop_map`, and `any::<bool>()` on top of a
+//! deterministic seeded generator. Each property runs `cases` times with
+//! inputs derived from a seed hashed from the test name, so failures are
+//! reproducible run to run. Unlike real proptest there is no shrinking:
+//! a failing case reports the assertion as-is.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::BTreeSet;
+use std::hash::{Hash, Hasher};
+use std::ops::Range;
+
+use rand::{Rng, RngCore, SeedableRng, StdRng};
+
+pub mod prelude {
+    //! Import-everything module mirroring `proptest::prelude`.
+
+    pub use crate::strategy::Strategy;
+    pub use crate::{any, prop_assert, prop_assert_eq, proptest, ProptestConfig, TestRng};
+
+    pub mod prop {
+        //! The `prop::` path familiar from real proptest.
+
+        pub use crate::collection;
+    }
+}
+
+/// Configuration of a property-test run.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property executes.
+    pub cases: u32,
+    /// Seed offset mixed into the per-test seed (0 = name-derived only).
+    pub seed: u64,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256, seed: 0 }
+    }
+}
+
+/// Deterministic generator driving the strategies of one test.
+pub struct TestRng {
+    rng: StdRng,
+}
+
+impl TestRng {
+    /// Seed from the test name (stable across runs and platforms for a
+    /// given Rust release).
+    pub fn deterministic(name: &str, config: &ProptestConfig) -> Self {
+        let mut h = DefaultHasher::new();
+        name.hash(&mut h);
+        TestRng { rng: StdRng::seed_from_u64(h.finish() ^ config.seed) }
+    }
+
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+
+    pub(crate) fn usize_in(&mut self, range: Range<usize>) -> usize {
+        self.rng.random_range(range)
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use super::TestRng;
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Generate one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values through `f`.
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let span = (self.end - self.start) as u64;
+                    self.start + (rng.next_u64() % span) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u64, u32, usize, i64, i32);
+
+    /// Strategy for `bool` (fair coin).
+    pub struct AnyBool;
+
+    impl Strategy for AnyBool {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// Types with a canonical strategy, usable through [`any`].
+pub trait Arbitrary: Sized {
+    /// The canonical strategy for this type.
+    type Strategy: strategy::Strategy<Value = Self>;
+    /// Build the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+impl Arbitrary for bool {
+    type Strategy = strategy::AnyBool;
+    fn arbitrary() -> Self::Strategy {
+        strategy::AnyBool
+    }
+}
+
+/// The canonical strategy for `T` (`any::<bool>()`, ...).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+pub mod collection {
+    //! Collection strategies (`prop::collection::{vec, btree_set}`).
+
+    use super::strategy::Strategy;
+    use super::{BTreeSet, Range, TestRng};
+
+    /// Strategy producing `Vec`s with lengths drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// A `Vec` of values from `element` with a length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.usize_in(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy producing `BTreeSet`s with target sizes drawn from `size`.
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// A `BTreeSet` of values from `element` with a size in `size` (best
+    /// effort: with a narrow element domain the set may saturate below
+    /// the requested size, as in real proptest).
+    pub fn btree_set<S>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        assert!(size.start < size.end, "empty size range");
+        BTreeSetStrategy { element, size }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let target = rng.usize_in(self.size.clone());
+            let mut out = BTreeSet::new();
+            let mut attempts = 0usize;
+            while out.len() < target && attempts < target.saturating_mul(20) + 20 {
+                out.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+/// Assertion macro (maps to `assert!`; no shrinking in this stand-in).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Equality assertion macro (maps to `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Define property tests: each `fn` runs `cases` times with fresh inputs
+/// drawn from the strategies named after `in`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)]
+     $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let mut rng = $crate::TestRng::deterministic(stringify!($name), &config);
+                for _case in 0..config.cases {
+                    $(let $arg = $crate::prelude::Strategy::generate(&($strategy), &mut rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block)*) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $($(#[$meta])* fn $name($($arg in $strategy),+) $body)*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_respect_bounds(x in 10u64..20, y in 3usize..5) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!((3..5).contains(&y));
+        }
+
+        #[test]
+        fn collections_respect_sizes(v in prop::collection::vec(0u64..100, 2..8)) {
+            prop_assert!(v.len() >= 2 && v.len() < 8);
+        }
+
+        #[test]
+        fn btree_sets_are_sorted_unique(s in prop::collection::btree_set(0u64..512, 0..60)) {
+            let v: Vec<u64> = s.into_iter().collect();
+            prop_assert!(v.windows(2).all(|w| w[0] < w[1]));
+        }
+
+        #[test]
+        fn prop_map_applies(v in prop::collection::btree_set(0u64..9, 1..4)
+            .prop_map(|s| s.into_iter().collect::<Vec<u64>>())) {
+            prop_assert!(!v.is_empty());
+            prop_assert!(v.iter().all(|&x| x < 9));
+        }
+
+        #[test]
+        fn any_bool_generates(b in any::<bool>()) {
+            prop_assert_eq!(b, b);
+        }
+    }
+}

@@ -1,0 +1,3 @@
+//! Named generator types (`rand::rngs::StdRng`).
+
+pub use crate::StdRng;

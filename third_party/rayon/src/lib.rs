@@ -1,0 +1,111 @@
+//! Offline stand-in for the parts of `rayon` this workspace uses.
+//!
+//! The kernels only use the pattern
+//! `(0..n).into_par_iter().map(f).collect::<Vec<_>>()`, so this crate
+//! provides exactly that: a parallel index-range map executed on scoped
+//! OS threads, preserving output order. Work is split into contiguous
+//! chunks, one per available core; small ranges run inline to avoid
+//! spawn overhead.
+
+use std::ops::Range;
+
+pub mod prelude {
+    //! Import-everything module mirroring `rayon::prelude`.
+
+    pub use crate::{IntoParallelIterator, ParRangeMap, ParallelRange};
+}
+
+/// Conversion into a parallel iterator (mirrors rayon's entry point).
+pub trait IntoParallelIterator {
+    /// The parallel iterator type.
+    type Iter;
+    /// Convert `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = ParallelRange;
+    fn into_par_iter(self) -> ParallelRange {
+        ParallelRange { range: self }
+    }
+}
+
+/// A parallel iterator over `Range<usize>`.
+pub struct ParallelRange {
+    range: Range<usize>,
+}
+
+impl ParallelRange {
+    /// Map each index through `f` (executed in parallel on collect).
+    pub fn map<T, F>(self, f: F) -> ParRangeMap<F>
+    where
+        F: Fn(usize) -> T + Sync,
+        T: Send,
+    {
+        ParRangeMap { range: self.range, f }
+    }
+}
+
+/// The mapped parallel range, ready to collect.
+pub struct ParRangeMap<F> {
+    range: Range<usize>,
+    f: F,
+}
+
+impl<F> ParRangeMap<F> {
+    /// Execute the map in parallel and collect results in index order.
+    pub fn collect<C, T>(self) -> C
+    where
+        F: Fn(usize) -> T + Sync,
+        T: Send,
+        C: From<Vec<T>>,
+    {
+        C::from(par_map_range(self.range, &self.f))
+    }
+}
+
+fn par_map_range<T, F>(range: Range<usize>, f: &F) -> Vec<T>
+where
+    F: Fn(usize) -> T + Sync,
+    T: Send,
+{
+    let len = range.len();
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if len < 2 || threads < 2 {
+        return range.map(f).collect();
+    }
+    let chunks = threads.min(len);
+    let chunk_len = len.div_ceil(chunks);
+    let mut out: Vec<Vec<T>> = Vec::with_capacity(chunks);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(chunks);
+        for c in 0..chunks {
+            let lo = range.start + c * chunk_len;
+            let hi = (lo + chunk_len).min(range.end);
+            handles.push(scope.spawn(move || (lo..hi).map(f).collect::<Vec<T>>()));
+        }
+        for h in handles {
+            out.push(h.join().expect("parallel map worker panicked"));
+        }
+    });
+    out.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let out: Vec<usize> = (0..1000).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(out, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_tiny_ranges_work() {
+        let out: Vec<usize> = (5..5).into_par_iter().map(|i| i * 2).collect();
+        assert!(out.is_empty());
+        let out: Vec<usize> = (3..4).into_par_iter().map(|i| i + 1).collect();
+        assert_eq!(out, vec![4]);
+    }
+}

@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the `Serialize` / `Deserialize` trait names and re-exports the
+//! no-op derive macros from the sibling `serde_derive` stub, so
+//! `#[derive(Serialize, Deserialize)]` annotations across the workspace
+//! compile without network access to crates.io. No serialization is
+//! performed anywhere yet; swapping in the real serde later requires no
+//! source changes outside `third_party/`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
