@@ -1,0 +1,36 @@
+# Local entry points that match what CI runs (.github/workflows/ci.yml).
+#
+# The root manifest is both the workspace and the `genomeatscale` facade
+# package, so a bare `cargo test` at the repo root silently runs only the
+# facade's integration suites. Always go through `make test` (or pass
+# --workspace yourself) so local coverage matches CI.
+
+.PHONY: build test lint fmt bench-smoke dist-matrix all
+
+all: lint build test
+
+build:
+	cargo build --workspace --release --locked
+
+test:
+	cargo test --workspace --locked -q
+
+lint:
+	cargo fmt --check
+	cargo clippy --workspace --all-targets --locked -- -D warnings
+
+fmt:
+	cargo fmt
+
+# The CI bench-smoke step: comm_volume on a tiny input, JSON reports
+# under results/.
+bench-smoke:
+	GAS_COMM_VOLUME_TINY=1 cargo run --release --locked -p gas-bench --bin comm_volume
+
+# One cell of the CI dist-matrix job, e.g.:
+#   make dist-matrix RANKS=8 REPLICATION=2
+RANKS ?= 4,6,8,12
+REPLICATION ?= 1,2
+dist-matrix:
+	GAS_DIST_RANKS=$(RANKS) GAS_DIST_REPLICATION=$(REPLICATION) \
+		cargo test --locked -q --test distributed_equivalence --test filter_properties

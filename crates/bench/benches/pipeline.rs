@@ -46,16 +46,15 @@ fn bench_distributed(c: &mut Criterion) {
             })
         });
     }
-    for ranks in [4usize] {
-        group.bench_with_input(BenchmarkId::new("allreduce_baseline", ranks), &ranks, |b, &p| {
-            b.iter(|| {
-                black_box(
-                    allreduce_jaccard_distributed(black_box(&collection), &config, p, &machine)
-                        .unwrap(),
-                )
-            })
-        });
-    }
+    let ranks = 4usize;
+    group.bench_with_input(BenchmarkId::new("allreduce_baseline", ranks), &ranks, |b, &p| {
+        b.iter(|| {
+            black_box(
+                allreduce_jaccard_distributed(black_box(&collection), &config, p, &machine)
+                    .unwrap(),
+            )
+        })
+    });
     group.finish();
 }
 

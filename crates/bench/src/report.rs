@@ -1,4 +1,4 @@
-//! Table printing and CSV output for the experiment binaries.
+//! Table printing and CSV/JSON output for the experiment binaries.
 
 use std::fs;
 use std::io::Write;
@@ -90,6 +90,76 @@ impl Table {
         }
         Ok(path)
     }
+
+    /// Write the table as JSON to `dir/<name>.json`, creating the
+    /// directory if needed: `{"title": ..., "rows": [{header: cell, ...}]}`.
+    /// Cells that parse as numbers are emitted as JSON numbers so the
+    /// report is machine-consumable (CI uploads these as artifacts for the
+    /// perf trajectory). Returns the path written.
+    pub fn write_json(
+        &self,
+        dir: impl AsRef<Path>,
+        name: &str,
+    ) -> std::io::Result<std::path::PathBuf> {
+        let dir = dir.as_ref();
+        fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{name}.json"));
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"title\": {},\n", json_string(&self.title)));
+        out.push_str("  \"rows\": [\n");
+        for (ri, row) in self.rows.iter().enumerate() {
+            let fields: Vec<String> = self
+                .headers
+                .iter()
+                .zip(row)
+                .map(|(h, c)| format!("{}: {}", json_string(h), json_cell(c)))
+                .collect();
+            let sep = if ri + 1 < self.rows.len() { "," } else { "" };
+            out.push_str(&format!("    {{{}}}{sep}\n", fields.join(", ")));
+        }
+        out.push_str("  ]\n}\n");
+        fs::write(&path, out)?;
+        Ok(path)
+    }
+}
+
+/// Escape a string as a JSON string literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Emit a table cell as a JSON number when it parses as one (and
+/// round-trips losslessly), otherwise as a string.
+fn json_cell(cell: &str) -> String {
+    if let Ok(v) = cell.parse::<i64>() {
+        return v.to_string();
+    }
+    if let Ok(v) = cell.parse::<u64>() {
+        return v.to_string();
+    }
+    if let Ok(v) = cell.parse::<f64>() {
+        // Only emit as a number when no precision is lost (large counters
+        // beyond 2^53 must stay exact, so fall through to a string).
+        if v.is_finite() && format!("{v}") == cell {
+            return cell.to_string();
+        }
+    }
+    json_string(cell)
 }
 
 /// Format seconds compactly: milliseconds below one second, otherwise
@@ -132,6 +202,21 @@ mod tests {
         let contents = std::fs::read_to_string(path).unwrap();
         assert!(contents.starts_with("nodes,time\n"));
         assert!(contents.contains("2,5.5"));
+    }
+
+    #[test]
+    fn table_writes_typed_json() {
+        let mut t = Table::new("demo \"quoted\"", &["ranks", "ratio", "note"]);
+        t.push_row(vec!["4".into(), "2.50x".into(), "ok".into()]);
+        t.push_row(vec!["8".into(), "3.5".into(), "line\nbreak".into()]);
+        let dir = std::env::temp_dir().join("gas_bench_report_json_test");
+        let path = t.write_json(&dir, "demo").unwrap();
+        let contents = std::fs::read_to_string(path).unwrap();
+        assert!(contents.contains("\"title\": \"demo \\\"quoted\\\"\""));
+        assert!(contents.contains("\"ranks\": 4"), "integers stay numeric: {contents}");
+        assert!(contents.contains("\"ratio\": \"2.50x\""), "suffixed cells stay strings");
+        assert!(contents.contains("\"ratio\": 3.5"), "floats stay numeric");
+        assert!(contents.contains("line\\nbreak"));
     }
 
     #[test]

@@ -8,10 +8,11 @@
 //!   with on-node threading) executes, and what the examples use.
 //! * [`similarity_at_scale_distributed`] — the simulated-distributed
 //!   driver: `p` ranks run the full pipeline over the simulated runtime —
-//!   distributed zero-row filter, per-rank bit-packed blocks, the 2.5D
-//!   SUMMA `AᵀA`, and the final layer/cardinality reductions — and the
-//!   cost trackers record the communication the paper's evaluation is
-//!   about.
+//!   the bitmap zero-row filter (an OR-allreduce of packed row bitmaps),
+//!   per-rank bit-packed operand blocks, the rectangular-grid 2.5D SUMMA
+//!   `AᵀA` (all `p` ranks active for every rank count), and the final
+//!   layer/cardinality reductions — and the cost trackers record the
+//!   communication the paper's evaluation is about.
 
 use std::time::Instant;
 
@@ -138,6 +139,11 @@ pub struct DistributedRunSummary {
     pub measured_seconds: f64,
     /// Number of ranks used.
     pub nranks: usize,
+    /// The `r × q × c` processor grid the run was distributed over.
+    pub grid_dims: [usize; 3],
+    /// Ranks that participated in the product (always `nranks` with
+    /// rectangular grids).
+    pub active_ranks: usize,
 }
 
 impl DistributedRunSummary {
@@ -157,12 +163,16 @@ impl DistributedRunSummary {
 
 /// Run SimilarityAtScale on `nranks` simulated ranks of `machine`.
 ///
-/// Every rank owns one column block of the samples and one word-row chunk
-/// of each batch (the 2.5D input distribution), participates in the
-/// distributed zero-row filter and the SUMMA product, and the result is
-/// gathered on rank 0 for return. Communication counters for all ranks
-/// are included in the summary so benchmarks can report modeled times at
-/// the paper's scales.
+/// The driver selects a rectangular `r × q × c` grid for the rank count
+/// (every rank active), and each rank reads the sample columns of its
+/// output row block `R_i` and column block `C_j` (the two SUMMA
+/// operands). Every rank contributes a packed bitmap of the batch rows it
+/// observes to the distributed zero-row filter (an OR-allreduce), packs
+/// its filtered operand blocks, and runs the SUMMA sweep — passing the
+/// filter fingerprint so the decoded-block cache can skip re-decodes
+/// across batches with identical filters. The result is gathered on rank
+/// 0 for return. Communication counters for all ranks are included in the
+/// summary so benchmarks can report modeled times at the paper's scales.
 pub fn similarity_at_scale_distributed(
     collection: &SampleCollection,
     config: &SimilarityConfig,
@@ -178,42 +188,55 @@ pub fn similarity_at_scale_distributed(
     let runtime = Runtime::new(nranks).with_machine(machine.clone());
     let use_filter = config.use_zero_row_filter;
     let replication = config.replication;
+    let grid = DistAta::select_grid(nranks, replication)?;
+    let grid_dims = [grid.rows(), grid.cols(), grid.layers()];
 
     type RankOutput = Result<(Option<DenseMatrix<u64>>, Vec<u64>, Vec<f64>), CoreError>;
 
     let out = runtime.run(move |ctx| -> RankOutput {
         let world = ctx.world();
-        let ata = DistAta::new(world, n, replication)?;
+        let mut ata = DistAta::new(world, n, replication)?;
         let mut acc = ata.new_accumulator();
         let mut card = ata.new_cardinalities();
-        let my_cols: Vec<usize> = ata.my_col_range().collect();
+        let right_cols: Vec<usize> = ata.my_col_range().collect();
+        let left_cols: Vec<usize> = ata.my_row_range().collect();
+        let same_blocks = right_cols == left_cols;
         let mut batch_seconds = Vec::with_capacity(plan.batch_count());
         for (lo, hi) in plan.iter() {
             let batch_start = Instant::now();
             let batch_rows = (hi - lo) as usize;
-            // Each rank reads the samples of its column block for this batch.
-            let columns = collection.batch_columns(lo, hi, &my_cols);
-            // Only one rank per column block (the "primary reader")
-            // contributes row indices to the distributed filter; the other
-            // ranks sharing the block receive the filter collectively. With
-            // the filter disabled the batch is packed as-is.
-            let (nrows, filtered) = if use_filter {
-                let local_rows: Vec<usize> = if ata.is_primary_reader() {
-                    columns.iter().flatten().copied().collect()
-                } else {
-                    Vec::new()
-                };
+            // Each rank reads the samples of its two operand blocks for
+            // this batch (they coincide on the diagonal of square grids).
+            let right_columns = collection.batch_columns(lo, hi, &right_cols);
+            let left_columns = if same_blocks {
+                right_columns.clone()
+            } else {
+                collection.batch_columns(lo, hi, &left_cols)
+            };
+            // Every rank accumulates the rows it observes in its column
+            // block into a packed bitmap; the OR-allreduce makes the
+            // union filter available everywhere (the paper's
+            // accumulate-write formulation). With the filter disabled the
+            // batch is packed as-is.
+            let (nrows, left_f, right_f, key) = if use_filter {
+                let local_rows: Vec<usize> = right_columns.iter().flatten().copied().collect();
                 ctx.add_mem_traffic((local_rows.len() * std::mem::size_of::<u64>()) as u64);
                 // Distributed zero-row filter (collective over all ranks).
                 let filter = dist_row_filter(world, batch_rows, &local_rows)?;
-                (filter.num_nonzero_rows(), apply_filter(&columns, &filter))
+                let right_f = apply_filter(&right_columns, &filter);
+                let left_f = if same_blocks {
+                    right_f.clone()
+                } else {
+                    apply_filter(&left_columns, &filter)
+                };
+                (filter.num_nonzero_rows(), left_f, right_f, Some(filter.fingerprint()))
             } else {
-                (batch_rows, columns)
+                (batch_rows, left_columns, right_columns, None)
             };
-            let packed = BitMatrix::from_columns(nrows, &filtered)?;
-            let chunk = ata.my_chunk(packed.word_rows());
-            let block = packed.select_word_rows(chunk)?;
-            ata.accumulate_batch(&block, &mut acc, &mut card)?;
+            let right = BitMatrix::from_columns(nrows, &right_f)?;
+            let left =
+                if same_blocks { right.clone() } else { BitMatrix::from_columns(nrows, &left_f)? };
+            ata.accumulate_batch_keyed(&left, &right, key, &mut acc, &mut card)?;
             ctx.record_superstep();
             batch_seconds.push(batch_start.elapsed().as_secs_f64());
         }
@@ -249,6 +272,8 @@ pub fn similarity_at_scale_distributed(
         batch_seconds,
         measured_seconds,
         nranks,
+        grid_dims,
+        active_ranks: grid_dims.iter().product(),
     })
 }
 
@@ -323,7 +348,7 @@ mod tests {
     fn distributed_matches_exact_reference_on_various_rank_counts() {
         let c = small_collection();
         let exact = jaccard_exact_pairwise(&c);
-        for nranks in [1usize, 4, 6, 9] {
+        for nranks in [1usize, 4, 6, 8, 9] {
             let summary = similarity_at_scale_distributed(
                 &c,
                 &SimilarityConfig::with_batches(3),
@@ -335,6 +360,9 @@ mod tests {
             assert_eq!(summary.result.cardinalities(), exact.cardinalities());
             assert_eq!(summary.batch_seconds.len(), 3);
             assert_eq!(summary.nranks, nranks);
+            // Rectangular grids never idle ranks.
+            assert_eq!(summary.active_ranks, nranks, "nranks = {nranks}");
+            assert_eq!(summary.grid_dims.iter().product::<usize>(), nranks);
             if nranks > 1 {
                 assert!(summary.aggregate.total_bytes_sent > 0);
             }

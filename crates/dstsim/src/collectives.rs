@@ -563,7 +563,7 @@ mod tests {
         for (rank, (sub_rank, sub_size, sum)) in out.results.iter().enumerate() {
             assert_eq!(*sub_size, 3);
             assert_eq!(*sub_rank, rank / 2);
-            let expected: u64 = if rank % 2 == 0 { 0 + 2 + 4 } else { 1 + 3 + 5 };
+            let expected: u64 = if rank % 2 == 0 { 2 + 4 } else { 1 + 3 + 5 };
             assert_eq!(*sum, expected);
         }
     }

@@ -350,8 +350,7 @@ mod tests {
         assert!(m.validate().is_ok());
         m.alpha = -1.0;
         assert!(m.validate().is_err());
-        let mut m = CostModel::default();
-        m.stream_bw = 0.0;
+        let m = CostModel { stream_bw: 0.0, ..CostModel::default() };
         assert!(m.validate().is_err());
     }
 

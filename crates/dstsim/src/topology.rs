@@ -85,6 +85,41 @@ impl ProcessorGrid {
         Ok(ProcessorGrid { dims: vec![g.dims[0], g.dims[1], 1] })
     }
 
+    /// The most-balanced rectangle `r × q = n` with `r ≤ q`: `r` is the
+    /// largest divisor of `n` not exceeding `√n`. Every rank count has
+    /// such a factorization (worst case `1 × n`), so rectangular grids
+    /// never idle ranks the way square-only grids do.
+    pub fn balanced_rect(n: usize) -> SimResult<(usize, usize)> {
+        if n == 0 {
+            return Err(SimError::InvalidGrid("grid must have at least one rank".to_string()));
+        }
+        let mut r = (n as f64).sqrt().floor() as usize;
+        // Guard against floating-point rounding at perfect squares.
+        while r > 1 && (r * r > n || n % r != 0) {
+            r -= 1;
+        }
+        let r = r.max(1);
+        Ok((r, n / r))
+    }
+
+    /// The rectangular 2.5D grid `r × q × c` with `r · q = p / c`: the
+    /// replication factor is clamped down to the largest divisor of `p`
+    /// not exceeding the request, and each layer is the most-balanced
+    /// rectangle of `p / c` ranks. Unlike [`ProcessorGrid::grid_25d`]
+    /// (which requires square layers), this covers *all* `p` ranks for
+    /// every rank count.
+    pub fn rect_3d(p: usize, c: usize) -> SimResult<Self> {
+        if p == 0 {
+            return Err(SimError::InvalidGrid("grid must have at least one rank".to_string()));
+        }
+        let mut c = c.clamp(1, p);
+        while c > 1 && p % c != 0 {
+            c -= 1;
+        }
+        let (r, q) = Self::balanced_rect(p / c)?;
+        Ok(ProcessorGrid { dims: vec![r, q, c] })
+    }
+
     /// Grid dimensions.
     pub fn dims(&self) -> &[usize] {
         &self.dims
@@ -192,6 +227,37 @@ mod tests {
         let g = ProcessorGrid::grid_25d(24, 1).unwrap();
         assert_eq!(g.size(), 24);
         assert_eq!(g.layers(), 1);
+    }
+
+    #[test]
+    fn balanced_rect_is_the_most_square_factorization() {
+        assert_eq!(ProcessorGrid::balanced_rect(1).unwrap(), (1, 1));
+        assert_eq!(ProcessorGrid::balanced_rect(4).unwrap(), (2, 2));
+        assert_eq!(ProcessorGrid::balanced_rect(6).unwrap(), (2, 3));
+        assert_eq!(ProcessorGrid::balanced_rect(8).unwrap(), (2, 4));
+        assert_eq!(ProcessorGrid::balanced_rect(12).unwrap(), (3, 4));
+        assert_eq!(ProcessorGrid::balanced_rect(16).unwrap(), (4, 4));
+        assert_eq!(ProcessorGrid::balanced_rect(7).unwrap(), (1, 7));
+        assert!(ProcessorGrid::balanced_rect(0).is_err());
+    }
+
+    #[test]
+    fn rect_3d_covers_every_rank() {
+        for p in 1..=32 {
+            for c in 1..=4 {
+                let g = ProcessorGrid::rect_3d(p, c).unwrap();
+                assert_eq!(g.size(), p, "p = {p}, c = {c}: grid {:?}", g.dims());
+                assert!(g.layers() <= c.max(1));
+            }
+        }
+        // The headline cases from the roadmap: non-square rank counts.
+        assert_eq!(ProcessorGrid::rect_3d(8, 1).unwrap().dims(), &[2, 4, 1]);
+        assert_eq!(ProcessorGrid::rect_3d(8, 2).unwrap().dims(), &[2, 2, 2]);
+        assert_eq!(ProcessorGrid::rect_3d(12, 2).unwrap().dims(), &[2, 3, 2]);
+        assert_eq!(ProcessorGrid::rect_3d(6, 1).unwrap().dims(), &[2, 3, 1]);
+        // Replication that does not divide p is clamped down.
+        assert_eq!(ProcessorGrid::rect_3d(7, 2).unwrap().dims(), &[1, 7, 1]);
+        assert!(ProcessorGrid::rect_3d(0, 1).is_err());
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! over `AND`-ed words (Eq. 7). A [`BitMatrix`] is a CSC matrix of `u64`
 //! words: `word_rows = ⌈rows / b⌉` rows, one column per data sample.
 
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use crate::csc::CscMatrix;
@@ -16,6 +17,69 @@ use crate::error::{SparseError, SparseResult};
 
 /// Number of rows packed into one machine word.
 pub const WORD_BITS: usize = 64;
+
+/// Pack row indices into a dense `⌈nrows / 64⌉`-word bitmap: bit `r` is
+/// set iff `r` appears in `rows`. Indices `≥ nrows` are ignored (the same
+/// clipping semantics as [`crate::dist::filter::RowFilter::from_local`]).
+///
+/// Large inputs are packed in parallel: the index list is split into
+/// chunks, each chunk builds a partial bitmap, and the partials are
+/// OR-merged — the shared-memory analogue of the paper's accumulate-write
+/// filter construction over a `(max, ×)` monoid.
+pub fn pack_row_bitmap(nrows: usize, rows: &[usize]) -> Vec<u64> {
+    let nwords = nrows.div_ceil(WORD_BITS);
+    let mut words = vec![0u64; nwords];
+    if rows.is_empty() || nwords == 0 {
+        return words;
+    }
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let chunk_size = rows.len().div_ceil(threads).max(1 << 13);
+    if chunk_size >= rows.len() {
+        for &r in rows {
+            if r < nrows {
+                words[r / WORD_BITS] |= 1u64 << (r % WORD_BITS);
+            }
+        }
+        return words;
+    }
+    let partials: Vec<Vec<u64>> = rows
+        .par_chunks(chunk_size)
+        .map(|chunk| {
+            let mut partial = vec![0u64; nwords];
+            for &r in chunk {
+                if r < nrows {
+                    partial[r / WORD_BITS] |= 1u64 << (r % WORD_BITS);
+                }
+            }
+            partial
+        })
+        .collect();
+    for partial in partials {
+        for (w, p) in words.iter_mut().zip(partial) {
+            *w |= p;
+        }
+    }
+    words
+}
+
+/// The set bits of a packed bitmap as ascending row indices.
+pub fn bitmap_rows(words: &[u64]) -> Vec<usize> {
+    let mut out = Vec::with_capacity(bitmap_count_ones(words) as usize);
+    for (wi, &word) in words.iter().enumerate() {
+        let mut w = word;
+        while w != 0 {
+            let bit = w.trailing_zeros() as usize;
+            out.push(wi * WORD_BITS + bit);
+            w &= w - 1;
+        }
+    }
+    out
+}
+
+/// Number of set bits in a packed bitmap.
+pub fn bitmap_count_ones(words: &[u64]) -> u64 {
+    words.iter().map(|w| w.count_ones() as u64).sum()
+}
 
 /// A boolean matrix with rows packed into 64-bit words, stored per column.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -192,6 +256,37 @@ impl BitMatrix {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn bitmap_round_trips_and_clips() {
+        let rows = vec![0usize, 63, 64, 129, 500];
+        let bm = pack_row_bitmap(130, &rows);
+        assert_eq!(bm.len(), 3);
+        assert_eq!(bitmap_rows(&bm), vec![0, 63, 64, 129]);
+        assert_eq!(bitmap_count_ones(&bm), 4);
+        // Duplicates and arbitrary order collapse into the same bitmap.
+        let shuffled = pack_row_bitmap(130, &[129, 0, 64, 0, 63, 63]);
+        assert_eq!(shuffled, bm);
+        assert!(pack_row_bitmap(0, &rows).is_empty());
+        assert_eq!(bitmap_rows(&pack_row_bitmap(64, &[])), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn large_bitmap_pack_matches_serial_reference() {
+        // Big enough to take the parallel path (chunk floor is 8192).
+        let nrows = 300_000;
+        let rows: Vec<usize> = (0..40_000).map(|i| (i * 131) % nrows).collect();
+        let bm = pack_row_bitmap(nrows, &rows);
+        let mut reference = vec![0u64; nrows.div_ceil(WORD_BITS)];
+        for &r in &rows {
+            reference[r / WORD_BITS] |= 1u64 << (r % WORD_BITS);
+        }
+        assert_eq!(bm, reference);
+        let mut sorted = rows.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(bitmap_rows(&bm), sorted);
+    }
 
     #[test]
     fn packs_rows_into_words() {

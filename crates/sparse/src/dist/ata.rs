@@ -1,21 +1,32 @@
-//! Distributed `B = AᵀA` over a 2.5D processor grid (Section III-C).
+//! Distributed `B = AᵀA` over a rectangular 2.5D processor grid
+//! (Section III-C).
 //!
 //! The paper distributes the batched popcount-AND product over a
-//! `√(p/c) × √(p/c) × c` grid: the samples (columns of `A`) are split
-//! into `√(p/c)` blocks, the packed word rows of each batch are split
-//! into `√(p/c)·c` chunks, and rank `(i, j, k)` holds the local block
-//! `A[chunk(i, k), C_j]` while accumulating the output block
-//! `B[C_i, C_j]`. Each layer `k` contracts its own chunks with a SUMMA
-//! sweep (a column broadcast for the right operand and a
-//! transpose-exchange plus row broadcast for the left operand), and the
-//! `c` layer partials are reduced over the fiber communicators at the
-//! end — the standard communication-avoiding 2.5D schedule.
+//! communication-avoiding processor grid. This implementation uses a
+//! rectangular `r × q × c` grid: the replication factor `c` is clamped to
+//! the largest divisor of `p` not exceeding the request, and each of the
+//! `c` layers is the most-balanced rectangle `r × q = p / c` — so *every*
+//! rank participates for every rank count (a square-only grid would idle
+//! `p − s²·c` ranks, e.g. half of `p = 8, c = 1`).
 //!
-//! When `p` is not of the form `s²·c` the largest square subgrid is used
-//! and the remaining ranks stay idle for the product (they still
-//! participate in world-level collectives such as the distributed filter
-//! and the final gather), mirroring how fixed grids are carved out of
-//! arbitrary allocations in practice.
+//! Rank `(i, j, k)` accumulates the output block `B[R_i, C_j]`, where the
+//! samples are partitioned `r` ways into row blocks `R_i` and `q` ways
+//! into column blocks `C_j`. The packed word rows of each batch are split
+//! into `T · c` chunks with `T = lcm(r, q)` SUMMA steps per layer; layer
+//! `k` contracts chunks `k·T .. (k+1)·T`. At step `t` the right operand
+//! `A[chunk, C_j]` is held by grid row `t mod r` of each column
+//! communicator and the left operand `A[chunk, R_i]` by grid column
+//! `t mod q` of each row communicator, so each step is two broadcasts and
+//! ownership of the chunks is spread evenly over the grid (`T/r` right
+//! and `T/q` left chunks per rank). The `c` layer partials are reduced
+//! over the fiber communicators at the end — the standard
+//! communication-avoiding 2.5D schedule, generalized to rectangles.
+//!
+//! Received blocks arrive in wire (raw CSC) form and must be decoded into
+//! CSC/CSR views before the block kernel runs. [`DistAta`] caches the
+//! decoded blocks per SUMMA step, keyed on the active zero-row filter:
+//! when consecutive batches carry the same filter key and a step's wire
+//! bytes are unchanged, the decode is skipped.
 
 use std::ops::Range;
 
@@ -24,6 +35,7 @@ use gas_dstsim::topology::ProcessorGrid;
 
 use crate::bitmat::BitMatrix;
 use crate::csc::CscMatrix;
+use crate::csr::CsrMatrix;
 use crate::dense::DenseMatrix;
 use crate::error::{SparseError, SparseResult};
 use crate::semiring::PopcountAnd;
@@ -32,7 +44,7 @@ use crate::spgemm::atb_block_dense;
 /// Wire form of a bit-packed block: the raw CSC arrays of the word
 /// matrix. `nbytes` reports what the block would occupy on a real
 /// network, so the cost trackers see SUMMA's true traffic.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 struct WireBlock {
     word_rows: u64,
     ncols: u64,
@@ -77,86 +89,140 @@ fn block_range(total: usize, parts: usize, idx: usize) -> Range<usize> {
     (idx * total / parts)..((idx + 1) * total / parts)
 }
 
+fn gcd(a: usize, b: usize) -> usize {
+    let (mut a, mut b) = (a, b);
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+fn lcm(a: usize, b: usize) -> usize {
+    a / gcd(a, b) * b
+}
+
+/// Per-step cache of decoded SUMMA operand blocks.
+///
+/// Keyed on the zero-row filter of the batch being accumulated: entries
+/// survive from one batch to the next only while the filter key matches,
+/// and a step's decode is reused only when the received wire bytes are
+/// identical to the cached ones (a cheap memcmp against re-running the
+/// CSC validation and the CSC→CSR conversion).
+#[derive(Default)]
+struct BlockCache {
+    key: Option<u64>,
+    left: Vec<Option<(WireBlock, CscMatrix<u64>)>>,
+    right: Vec<Option<(WireBlock, CsrMatrix<u64>)>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl BlockCache {
+    fn begin_batch(&mut self, key: Option<u64>, steps: usize) {
+        if key.is_none() || self.key != key {
+            self.left.clear();
+            self.right.clear();
+        }
+        self.key = key;
+        self.left.resize_with(steps, || None);
+        self.right.resize_with(steps, || None);
+    }
+
+    /// Decoded views of step `t`'s operands, reusing cached decodes when
+    /// the wire content is unchanged.
+    fn blocks(
+        &mut self,
+        t: usize,
+        left_wire: WireBlock,
+        right_wire: WireBlock,
+    ) -> SparseResult<(&CscMatrix<u64>, &CsrMatrix<u64>)> {
+        if matches!(&self.left[t], Some((w, _)) if *w == left_wire) {
+            self.hits += 1;
+        } else {
+            let csc = left_wire.to_csc()?;
+            self.left[t] = Some((left_wire, csc));
+            self.misses += 1;
+        }
+        if matches!(&self.right[t], Some((w, _)) if *w == right_wire) {
+            self.hits += 1;
+        } else {
+            let csr = right_wire.to_csc()?.to_csr();
+            self.right[t] = Some((right_wire, csr));
+            self.misses += 1;
+        }
+        let left = &self.left[t].as_ref().expect("left slot populated above").1;
+        let right = &self.right[t].as_ref().expect("right slot populated above").1;
+        Ok((left, right))
+    }
+}
+
 /// Per-rank handle for the distributed `AᵀA` of one run.
 ///
 /// Constructed inside a rank closure from the world communicator; owns
 /// the grid sub-communicators the SUMMA schedule needs.
 pub struct DistAta {
     grid: ProcessorGrid,
-    /// Side of the square layer grid.
-    s: usize,
-    /// Number of replication layers actually used.
+    /// Rows of the layer grid (sample row-block count).
+    r: usize,
+    /// Columns of the layer grid (sample column-block count).
+    q: usize,
+    /// Number of replication layers in use.
     c: usize,
-    /// Ranks participating in the product (`s² · c`).
-    active: usize,
+    /// SUMMA steps per layer: `lcm(r, q)`.
+    steps: usize,
     /// Number of samples (order of `B`).
     n: usize,
-    /// Grid coordinates of this rank, `None` when idle.
-    coords: Option<[usize; 3]>,
-    row_comm: Option<Communicator>,
-    col_comm: Option<Communicator>,
-    fiber_comm: Option<Communicator>,
-    grid_comm: Option<Communicator>,
+    /// Grid coordinates of this rank.
+    coords: [usize; 3],
+    row_comm: Communicator,
+    col_comm: Communicator,
+    fiber_comm: Communicator,
+    grid_comm: Communicator,
+    cache: BlockCache,
 }
 
 impl DistAta {
-    /// Set up the 2.5D distribution over `world` for an `n`-sample run
-    /// with requested replication factor `replication` (clamped to the
-    /// world size; the largest square subgrid `s²·c ≤ p` is used).
-    pub fn new(world: &Communicator, n: usize, replication: usize) -> SparseResult<DistAta> {
-        let p = world.size();
+    /// The grid [`DistAta::new`] selects for `p` ranks with requested
+    /// replication factor `replication`: deterministic, so drivers can
+    /// report the layout without constructing a runtime.
+    pub fn select_grid(p: usize, replication: usize) -> SparseResult<ProcessorGrid> {
         if replication == 0 {
             return Err(SparseError::InvalidDistribution(
                 "replication must be at least 1".to_string(),
             ));
         }
-        let c = replication.min(p);
-        let layer = p / c;
-        let mut s = (layer as f64).sqrt().floor() as usize;
-        while s * s > layer {
-            s -= 1;
-        }
-        while (s + 1) * (s + 1) <= layer {
-            s += 1;
-        }
-        let s = s.max(1);
-        let active = s * s * c;
-        let grid = ProcessorGrid::explicit(&[s, s, c])?;
+        Ok(ProcessorGrid::rect_3d(p, replication)?)
+    }
+
+    /// Set up the rectangular 2.5D distribution over `world` for an
+    /// `n`-sample run with requested replication factor `replication`
+    /// (clamped to the largest divisor of the world size). Every rank of
+    /// `world` participates in the product.
+    pub fn new(world: &Communicator, n: usize, replication: usize) -> SparseResult<DistAta> {
+        let p = world.size();
+        let grid = Self::select_grid(p, replication)?;
+        let (r, q, c) = (grid.rows(), grid.cols(), grid.layers());
         let me = world.rank();
-        let is_active = me < active;
-        // Collective over the world: actives get the grid communicator
-        // (their local ranks equal their world ranks, matching the grid
-        // numbering), idle ranks get a communicator they never use.
-        let member_comm = world.split(u64::from(!is_active))?;
-        if !is_active {
-            return Ok(DistAta {
-                grid,
-                s,
-                c,
-                active,
-                n,
-                coords: None,
-                row_comm: None,
-                col_comm: None,
-                fiber_comm: None,
-                grid_comm: None,
-            });
-        }
+        // Collective over the world; the grid numbering equals the world
+        // numbering, so the split keeps every rank (color 0).
+        let grid_comm = world.split(0)?;
         let coords = grid.coords_of(me)?;
-        let row_comm = grid.row_comm(&member_comm)?;
-        let col_comm = grid.col_comm(&member_comm)?;
-        let fiber_comm = grid.fiber_comm(&member_comm)?;
+        let row_comm = grid.row_comm(&grid_comm)?;
+        let col_comm = grid.col_comm(&grid_comm)?;
+        let fiber_comm = grid.fiber_comm(&grid_comm)?;
         Ok(DistAta {
             grid,
-            s,
+            r,
+            q,
             c,
-            active,
+            steps: lcm(r, q),
             n,
-            coords: Some(coords),
-            row_comm: Some(row_comm),
-            col_comm: Some(col_comm),
-            fiber_comm: Some(fiber_comm),
-            grid_comm: Some(member_comm),
+            coords,
+            row_comm,
+            col_comm,
+            fiber_comm,
+            grid_comm,
+            cache: BlockCache::default(),
         })
     }
 
@@ -165,50 +231,57 @@ impl DistAta {
         &self.grid
     }
 
-    /// Number of ranks participating in the product.
+    /// Number of ranks participating in the product: with rectangular
+    /// grids this is always the full world size.
     pub fn active_ranks(&self) -> usize {
-        self.active
+        self.r * self.q * self.c
     }
 
-    /// Whether this rank takes part in the product.
+    /// Whether this rank takes part in the product (always true for
+    /// rectangular grids; kept for driver compatibility).
     pub fn is_active(&self) -> bool {
-        self.coords.is_some()
+        true
     }
 
-    /// Whether this rank is the designated reader of its column block:
-    /// exactly one rank per column block contributes row indices to the
-    /// distributed zero-row filter.
-    pub fn is_primary_reader(&self) -> bool {
-        matches!(self.coords, Some([0, _, 0]))
+    /// SUMMA steps per layer (`lcm(r, q)`).
+    pub fn steps_per_layer(&self) -> usize {
+        self.steps
     }
 
-    /// The samples (columns of `A`) this rank reads: block `j` of the
-    /// `s`-way column partition. Idle ranks get an empty range.
+    /// Decoded-block cache hits across all batches so far.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache.hits
+    }
+
+    /// Decoded-block cache misses across all batches so far.
+    pub fn cache_misses(&self) -> u64 {
+        self.cache.misses
+    }
+
+    /// The samples of this rank's output *column* block `C_j` (block `j`
+    /// of the `q`-way partition). The rank reads these columns as the
+    /// right SUMMA operand.
     pub fn my_col_range(&self) -> Range<usize> {
-        match self.coords {
-            Some([_, j, _]) => block_range(self.n, self.s, j),
-            None => 0..0,
-        }
+        block_range(self.n, self.q, self.coords[1])
     }
 
-    /// The word-row chunk of a packed batch with `word_rows` rows this
-    /// rank keeps: chunk `k·s + i` of the `s·c`-way partition.
-    pub fn my_chunk(&self, word_rows: usize) -> Range<usize> {
-        match self.coords {
-            Some([i, _, k]) => block_range(word_rows, self.s * self.c, k * self.s + i),
-            None => 0..0,
-        }
+    /// The samples of this rank's output *row* block `R_i` (block `i` of
+    /// the `r`-way partition). The rank reads these columns as the left
+    /// SUMMA operand.
+    pub fn my_row_range(&self) -> Range<usize> {
+        block_range(self.n, self.r, self.coords[0])
     }
 
-    /// Zeroed accumulator for this rank's output block `B[C_i, C_j]`.
+    /// Word-row chunk contracted at SUMMA step `t` of this rank's layer,
+    /// for a packed batch with `word_rows` rows: chunk `k·T + t` of the
+    /// `T·c`-way partition.
+    pub fn step_chunk(&self, word_rows: usize, t: usize) -> Range<usize> {
+        block_range(word_rows, self.steps * self.c, self.coords[2] * self.steps + t)
+    }
+
+    /// Zeroed accumulator for this rank's output block `B[R_i, C_j]`.
     pub fn new_accumulator(&self) -> DenseMatrix<u64> {
-        match self.coords {
-            Some([i, j, _]) => DenseMatrix::zeros(
-                block_range(self.n, self.s, i).len(),
-                block_range(self.n, self.s, j).len(),
-            ),
-            None => DenseMatrix::zeros(0, 0),
-        }
+        DenseMatrix::zeros(self.my_row_range().len(), self.my_col_range().len())
     }
 
     /// Zeroed per-sample cardinality accumulator (global length `n`).
@@ -216,82 +289,111 @@ impl DistAta {
         vec![0u64; self.n]
     }
 
-    /// Contract one batch: `block` is this rank's word-row chunk of its
-    /// packed column block (`A[chunk(i, k), C_j]`). Runs the SUMMA sweep
-    /// of this layer, accumulating into `acc` and adding the chunk's
-    /// column popcounts into `card`.
+    /// Contract one batch without a filter cache key (every step decodes).
+    /// See [`DistAta::accumulate_batch_keyed`].
     pub fn accumulate_batch(
-        &self,
-        block: &BitMatrix,
+        &mut self,
+        left: &BitMatrix,
+        right: &BitMatrix,
         acc: &mut DenseMatrix<u64>,
         card: &mut [u64],
     ) -> SparseResult<()> {
-        let Some([i, j, k]) = self.coords else {
-            return Ok(());
-        };
-        let row_comm = self.row_comm.as_ref().expect("active rank has a row communicator");
-        let col_comm = self.col_comm.as_ref().expect("active rank has a column communicator");
-        let grid_comm = self.grid_comm.as_ref().expect("active rank has a grid communicator");
+        self.accumulate_batch_keyed(left, right, None, acc, card)
+    }
 
+    /// Contract one batch: `left` is this rank's packed row-block columns
+    /// (`A[:, R_i]`, full word-row extent) and `right` its column-block
+    /// columns (`A[:, C_j]`). Runs the SUMMA sweep of this rank's layer,
+    /// accumulating into `acc` and adding the column popcounts of the
+    /// chunks this rank owns into `card`.
+    ///
+    /// `filter_key` identifies the zero-row filter the batch was prepared
+    /// under (e.g. [`crate::dist::filter::RowFilter::fingerprint`]);
+    /// consecutive batches with the same key reuse cached block decodes
+    /// for every step whose received bytes are unchanged. Pass `None` to
+    /// disable caching.
+    pub fn accumulate_batch_keyed(
+        &mut self,
+        left: &BitMatrix,
+        right: &BitMatrix,
+        filter_key: Option<u64>,
+        acc: &mut DenseMatrix<u64>,
+        card: &mut [u64],
+    ) -> SparseResult<()> {
+        let [i, j, _] = self.coords;
         let cols = self.my_col_range();
-        if block.ncols() != cols.len() {
+        let rows = self.my_row_range();
+        if right.ncols() != cols.len() {
             return Err(SparseError::ShapeMismatch {
                 context: format!(
-                    "batch block has {} columns but this rank owns {} samples",
-                    block.ncols(),
+                    "right batch block has {} columns but this rank owns {} column-block samples",
+                    right.ncols(),
                     cols.len()
                 ),
             });
         }
-        for (offset, count) in block.col_popcounts().into_iter().enumerate() {
-            card[cols.start + offset] += count;
+        if left.ncols() != rows.len() {
+            return Err(SparseError::ShapeMismatch {
+                context: format!(
+                    "left batch block has {} columns but this rank owns {} row-block samples",
+                    left.ncols(),
+                    rows.len()
+                ),
+            });
         }
-
-        let mine = WireBlock::from_bitmat(block);
-        for t in 0..self.s {
-            // Right operand A[chunk(t, k), C_j]: held by grid row t, which
-            // is local rank t of this column communicator.
-            let right = col_comm.bcast(t, (i == t).then(|| mine.clone()))?;
-            // Left operand A[chunk(t, k), C_i]: held by rank (t, i, k).
-            // Transpose-exchange to (i, t, k), then broadcast along the row.
-            if i == t && j != t {
-                let dest = self.grid.rank_of([j, t, k])?;
-                grid_comm.send(dest, t as u64, mine.clone())?;
-            }
-            let left_seed = if j == t {
-                if i == t {
-                    Some(mine.clone())
-                } else {
-                    let src = self.grid.rank_of([t, i, k])?;
-                    Some(grid_comm.recv::<WireBlock>(src, t as u64)?)
+        if left.word_rows() != right.word_rows() {
+            return Err(SparseError::ShapeMismatch {
+                context: format!(
+                    "left and right blocks disagree on word rows: {} vs {}",
+                    left.word_rows(),
+                    right.word_rows()
+                ),
+            });
+        }
+        let word_rows = right.word_rows();
+        self.cache.begin_batch(filter_key, self.steps);
+        for t in 0..self.steps {
+            let chunk = self.step_chunk(word_rows, t);
+            // Right operand A[chunk, C_j]: owned by grid row (t mod r),
+            // which is local rank (t mod r) of this column communicator.
+            let right_owner = t % self.r;
+            let right_seed = if i == right_owner {
+                let blk = right.select_word_rows(chunk.clone())?;
+                // This rank is the unique holder of (chunk, C_j): its
+                // popcounts are this chunk's cardinality contribution.
+                for (offset, count) in blk.col_popcounts().into_iter().enumerate() {
+                    card[cols.start + offset] += count;
                 }
+                Some(WireBlock::from_bitmat(&blk))
             } else {
                 None
             };
-            let left = row_comm.bcast(t, left_seed)?;
-            let left_csc = left.to_csc()?;
-            let right_csr = right.to_csc()?.to_csr();
-            let ops = atb_block_dense::<PopcountAnd>(&left_csc, &right_csr, acc)?;
-            grid_comm.add_flops(ops);
+            let right_wire = self.col_comm.bcast(right_owner, right_seed)?;
+            // Left operand A[chunk, R_i]: owned by grid column (t mod q),
+            // local rank (t mod q) of this row communicator.
+            let left_owner = t % self.q;
+            let left_seed = if j == left_owner {
+                Some(WireBlock::from_bitmat(&left.select_word_rows(chunk)?))
+            } else {
+                None
+            };
+            let left_wire = self.row_comm.bcast(left_owner, left_seed)?;
+            let (left_csc, right_csr) = self.cache.blocks(t, left_wire, right_wire)?;
+            let ops = atb_block_dense::<PopcountAnd>(left_csc, right_csr, acc)?;
+            self.grid_comm.add_flops(ops);
         }
         Ok(())
     }
 
     /// Reduce the layer partials: after the last batch, fiber-allreduce
     /// the accumulators across the `c` layers and allreduce the
-    /// cardinalities so every participating rank holds the global
-    /// per-sample counts.
+    /// cardinalities so every rank holds the global per-sample counts.
     pub fn finalize(&self, acc: &mut DenseMatrix<u64>, card: &mut [u64]) -> SparseResult<()> {
-        if self.coords.is_none() {
-            return Ok(());
-        }
         if self.c > 1 {
-            let fiber = self.fiber_comm.as_ref().expect("active rank has a fiber communicator");
-            let summed = fiber.allreduce_sum(acc.as_slice())?;
+            let summed = self.fiber_comm.allreduce_sum(acc.as_slice())?;
             acc.as_mut_slice().copy_from_slice(&summed);
         }
-        let grid_comm = self.grid_comm.as_ref().expect("active rank has a grid communicator");
-        let full = grid_comm.allreduce_sum(&*card)?;
+        let full = self.grid_comm.allreduce_sum(&*card)?;
         card.copy_from_slice(&full);
         Ok(())
     }
@@ -304,25 +406,20 @@ impl DistAta {
         world: &Communicator,
         acc: &DenseMatrix<u64>,
     ) -> SparseResult<Option<DenseMatrix<u64>>> {
-        let payload: Vec<u64> = match self.coords {
-            Some([_, _, 0]) => acc.as_slice().to_vec(),
-            _ => Vec::new(),
-        };
+        let payload: Vec<u64> =
+            if self.coords[2] == 0 { acc.as_slice().to_vec() } else { Vec::new() };
         let gathered = world.gatherv(0, &payload)?;
         let Some(blocks) = gathered else {
             return Ok(None);
         };
         let mut full = DenseMatrix::<u64>::zeros(self.n, self.n);
         for (rank, data) in blocks.into_iter().enumerate() {
-            if rank >= self.active {
-                continue;
-            }
             let [i, j, k] = self.grid.coords_of(rank)?;
             if k != 0 {
                 continue;
             }
-            let rows = block_range(self.n, self.s, i);
-            let cols = block_range(self.n, self.s, j);
+            let rows = block_range(self.n, self.r, i);
+            let cols = block_range(self.n, self.q, j);
             if data.len() != rows.len() * cols.len() {
                 return Err(SparseError::ShapeMismatch {
                     context: format!(
@@ -346,7 +443,6 @@ impl DistAta {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::csr::CsrMatrix;
     use crate::semiring::PlusTimes;
     use crate::spgemm::ata_dense;
     use gas_dstsim::runtime::Runtime;
@@ -370,6 +466,14 @@ mod tests {
         ata_dense::<PlusTimes<u64>>(&coo.to_csr())
     }
 
+    fn pack_blocks(ata: &DistAta, rows: usize, columns: &[Vec<usize>]) -> (BitMatrix, BitMatrix) {
+        let pack = |range: Range<usize>| {
+            let local: Vec<Vec<usize>> = range.map(|jj| columns[jj].clone()).collect();
+            BitMatrix::from_columns(rows, &local).unwrap()
+        };
+        (pack(ata.my_row_range()), pack(ata.my_col_range()))
+    }
+
     fn run_distributed(
         p: usize,
         replication: usize,
@@ -380,15 +484,11 @@ mod tests {
         let out = Runtime::new(p)
             .run(|ctx| {
                 let world = ctx.world();
-                let ata = DistAta::new(world, n, replication).unwrap();
+                let mut ata = DistAta::new(world, n, replication).unwrap();
                 let mut acc = ata.new_accumulator();
                 let mut card = ata.new_cardinalities();
-                let my_cols: Vec<usize> = ata.my_col_range().collect();
-                let local: Vec<Vec<usize>> =
-                    my_cols.iter().map(|&jj| columns[jj].clone()).collect();
-                let packed = BitMatrix::from_columns(rows, &local).unwrap();
-                let block = packed.select_word_rows(ata.my_chunk(packed.word_rows())).unwrap();
-                ata.accumulate_batch(&block, &mut acc, &mut card).unwrap();
+                let (left, right) = pack_blocks(&ata, rows, columns);
+                ata.accumulate_batch(&left, &right, &mut acc, &mut card).unwrap();
                 ata.finalize(&mut acc, &mut card).unwrap();
                 let full = ata.gather_full(world, &acc).unwrap();
                 (full, card)
@@ -405,10 +505,44 @@ mod tests {
         let columns = columns();
         let expected = reference(200, &columns);
         let expected_card: Vec<u64> = columns.iter().map(|col| col.len() as u64).collect();
-        for (p, c) in [(1, 1), (2, 1), (4, 1), (6, 1), (8, 2), (9, 1), (12, 2)] {
+        for (p, c) in
+            [(1, 1), (2, 1), (4, 1), (5, 1), (6, 1), (6, 2), (8, 1), (8, 2), (9, 1), (12, 2)]
+        {
             let (full, card, _) = run_distributed(p, c, 200, &columns);
             assert_eq!(full, expected, "p = {p}, c = {c}");
             assert_eq!(card, expected_card, "p = {p}, c = {c}");
+        }
+    }
+
+    #[test]
+    fn rectangular_grids_use_every_rank() {
+        // p = 8, c = 1 previously ran on a 2×2 square subgrid (4 active
+        // ranks); the rectangular 2×4 grid must give every rank both an
+        // output block and owned SUMMA chunks.
+        let out = Runtime::new(8)
+            .run(|ctx| {
+                let ata = DistAta::new(ctx.world(), 64, 1).unwrap();
+                let owned_right = (0..ata.steps_per_layer())
+                    .filter(|t| {
+                        t % ata.grid().rows() == ata.grid().coords_of(ctx.rank()).unwrap()[0]
+                    })
+                    .count();
+                (
+                    ata.is_active(),
+                    ata.active_ranks(),
+                    ata.my_col_range().len(),
+                    ata.my_row_range().len(),
+                    owned_right,
+                )
+            })
+            .unwrap();
+        assert_eq!(out.results.len(), 8);
+        for (rank, (active, nactive, ncols, nrows, owned)) in out.results.iter().enumerate() {
+            assert!(*active, "rank {rank} must be active");
+            assert_eq!(*nactive, 8);
+            assert!(*ncols > 0, "rank {rank} owns no output columns");
+            assert!(*nrows > 0, "rank {rank} owns no output rows");
+            assert!(*owned > 0, "rank {rank} owns no SUMMA chunks");
         }
     }
 
@@ -434,21 +568,66 @@ mod tests {
     }
 
     #[test]
-    fn idle_ranks_are_harmless_and_reported() {
-        let out = Runtime::new(5)
+    fn repeated_batches_with_same_key_hit_the_decode_cache() {
+        let columns = columns();
+        let n = columns.len();
+        let out = Runtime::new(4)
             .run(|ctx| {
-                let ata = DistAta::new(ctx.world(), 4, 1).unwrap();
-                (ata.is_active(), ata.active_ranks(), ata.my_col_range().len())
+                let mut ata = DistAta::new(ctx.world(), n, 1).unwrap();
+                let mut acc = ata.new_accumulator();
+                let mut card = ata.new_cardinalities();
+                let (left, right) = pack_blocks(&ata, 200, &columns);
+                // Same data, same filter key: the second pass must reuse
+                // every decoded block.
+                ata.accumulate_batch_keyed(&left, &right, Some(42), &mut acc, &mut card).unwrap();
+                let after_first = (ata.cache_hits(), ata.cache_misses());
+                ata.accumulate_batch_keyed(&left, &right, Some(42), &mut acc, &mut card).unwrap();
+                let after_second = (ata.cache_hits(), ata.cache_misses());
+                // A different key must flush the cache.
+                ata.accumulate_batch_keyed(&left, &right, Some(7), &mut acc, &mut card).unwrap();
+                let after_third = (ata.cache_hits(), ata.cache_misses());
+                ata.finalize(&mut acc, &mut card).unwrap();
+                let full = ata.gather_full(ctx.world(), &acc).unwrap();
+                (after_first, after_second, after_third, full, card)
             })
             .unwrap();
-        // 5 ranks, c = 1 -> 2x2 grid with one idle rank.
-        for (rank, (active, nactive, ncols)) in out.results.iter().enumerate() {
-            assert_eq!(*nactive, 4);
-            assert_eq!(*active, rank < 4);
-            if !active {
-                assert_eq!(*ncols, 0);
+        let columns_ref = reference(200, &columns);
+        let mut tripled = columns_ref.clone();
+        tripled.as_mut_slice().iter_mut().for_each(|v| *v *= 3);
+        for (rank, (first, second, third, full, card)) in out.results.iter().enumerate() {
+            assert_eq!(first.0, 0, "rank {rank}: first pass cannot hit");
+            assert!(first.1 > 0, "rank {rank}: first pass must decode");
+            assert_eq!(
+                second.0 - first.0,
+                first.1,
+                "rank {rank}: second pass must hit once per first-pass decode"
+            );
+            assert_eq!(second.1, first.1, "rank {rank}: second pass must not decode");
+            assert!(third.1 > second.1, "rank {rank}: new key must re-decode");
+            if rank == 0 {
+                assert_eq!(full.as_ref().unwrap(), &tripled, "three identical batches sum");
             }
+            let expected: Vec<u64> = columns.iter().map(|col| 3 * col.len() as u64).collect();
+            assert_eq!(card, &expected);
         }
+    }
+
+    #[test]
+    fn unkeyed_batches_never_hit_the_cache() {
+        let columns = columns();
+        let n = columns.len();
+        let out = Runtime::new(4)
+            .run(|ctx| {
+                let mut ata = DistAta::new(ctx.world(), n, 1).unwrap();
+                let mut acc = ata.new_accumulator();
+                let mut card = ata.new_cardinalities();
+                let (left, right) = pack_blocks(&ata, 200, &columns);
+                ata.accumulate_batch(&left, &right, &mut acc, &mut card).unwrap();
+                ata.accumulate_batch(&left, &right, &mut acc, &mut card).unwrap();
+                ata.cache_hits()
+            })
+            .unwrap();
+        assert!(out.results.iter().all(|&h| h == 0));
     }
 
     #[test]
@@ -465,5 +644,16 @@ mod tests {
     fn zero_replication_is_rejected() {
         let out = Runtime::new(2).run(|ctx| DistAta::new(ctx.world(), 4, 0).is_err()).unwrap();
         assert!(out.results.iter().all(|&e| e));
+    }
+
+    #[test]
+    fn select_grid_is_deterministic_and_total() {
+        for p in 1..=16 {
+            for c in 1..=3 {
+                let g = DistAta::select_grid(p, c).unwrap();
+                assert_eq!(g.size(), p);
+            }
+        }
+        assert!(DistAta::select_grid(4, 0).is_err());
     }
 }

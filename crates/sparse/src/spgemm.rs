@@ -331,7 +331,7 @@ mod tests {
     fn ata_flops_is_sum_of_squared_row_counts() {
         let csr = indicator().to_csr();
         // Row nnz: row0:1, row1:2, row2:2, row3:1, row4:0, row5:1.
-        assert_eq!(ata_flops(&csr), 1 + 4 + 4 + 1 + 0 + 1);
+        assert_eq!(ata_flops(&csr), 11); // 1 + 4 + 4 + 1 + 0 + 1
     }
 
     #[test]

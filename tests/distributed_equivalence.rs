@@ -8,19 +8,34 @@ use genomeatscale::core::algorithm::{similarity_at_scale, similarity_at_scale_di
 use genomeatscale::core::baselines::allreduce_jaccard_distributed;
 use genomeatscale::genomics::datasets::DatasetSpec;
 use genomeatscale::prelude::*;
+use genomeatscale::sparse::dist::DistAta;
 
 fn workload(seed: u64, n: usize) -> SampleCollection {
     let samples = DatasetSpec::explicit(6_000, n, 0.015, seed).generate().unwrap();
     SampleCollection::from_sorted_sets(samples).unwrap()
 }
 
+/// Comma-separated usize list from the environment, falling back to
+/// `default`. The CI `dist-matrix` job sets `GAS_DIST_RANKS` /
+/// `GAS_DIST_REPLICATION` to pin one grid configuration per matrix entry;
+/// local runs cover the full default matrix.
+fn env_usize_list(name: &str, default: &[usize]) -> Vec<usize> {
+    match std::env::var(name) {
+        Ok(v) => v
+            .split(',')
+            .map(|s| s.trim().parse().unwrap_or_else(|_| panic!("{name} must be a usize list")))
+            .collect(),
+        Err(_) => default.to_vec(),
+    }
+}
+
 #[test]
 fn distributed_equals_shared_memory_across_configurations() {
     let collection = workload(1, 14);
     let reference = jaccard_exact_pairwise(&collection);
-    for ranks in [1usize, 2, 5, 8, 12] {
+    for ranks in env_usize_list("GAS_DIST_RANKS", &[1, 2, 5, 8, 12]) {
         for batches in [1usize, 4] {
-            for replication in [1usize, 2] {
+            for replication in env_usize_list("GAS_DIST_REPLICATION", &[1, 2]) {
                 let config = SimilarityConfig::with_batches(batches).with_replication(replication);
                 let shared = similarity_at_scale(&collection, &config).unwrap();
                 let distributed = similarity_at_scale_distributed(
@@ -41,6 +56,46 @@ fn distributed_equals_shared_memory_across_configurations() {
                     "distributed mismatch (ranks={ranks}, batches={batches}, c={replication})"
                 );
                 assert_eq!(distributed.result.cardinalities(), reference.cardinalities());
+                assert_eq!(
+                    distributed.active_ranks, ranks,
+                    "rectangular grids must use every rank (ranks={ranks}, c={replication})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn every_rank_owns_output_and_summa_chunks() {
+    // Non-square rank counts used to idle p − s²·c ranks; the rectangular
+    // grid must hand every rank an output block and owned SUMMA chunks.
+    for p in env_usize_list("GAS_DIST_RANKS", &[4, 6, 8, 12]) {
+        for replication in env_usize_list("GAS_DIST_REPLICATION", &[1, 2]) {
+            let out = Runtime::new(p)
+                .run(|ctx| {
+                    let ata = DistAta::new(ctx.world(), 48, replication).unwrap();
+                    let grid = ata.grid().clone();
+                    let coords = grid.coords_of(ctx.rank()).unwrap();
+                    let owned_right =
+                        (0..ata.steps_per_layer()).filter(|t| t % grid.rows() == coords[0]).count();
+                    let owned_left =
+                        (0..ata.steps_per_layer()).filter(|t| t % grid.cols() == coords[1]).count();
+                    (
+                        ata.active_ranks(),
+                        ata.my_col_range().len(),
+                        ata.my_row_range().len(),
+                        owned_right,
+                        owned_left,
+                    )
+                })
+                .unwrap();
+            for (rank, (active, ncols, nrows, owned_r, owned_l)) in out.results.iter().enumerate() {
+                let ctx = format!("p={p}, c={replication}, rank={rank}");
+                assert_eq!(*active, p, "{ctx}");
+                assert!(*ncols > 0, "{ctx}: no output columns");
+                assert!(*nrows > 0, "{ctx}: no output rows");
+                assert!(*owned_r > 0, "{ctx}: no right SUMMA chunks");
+                assert!(*owned_l > 0, "{ctx}: no left SUMMA chunks");
             }
         }
     }

@@ -1,18 +1,21 @@
 //! Offline stand-in for the parts of `rayon` this workspace uses.
 //!
-//! The kernels only use the pattern
-//! `(0..n).into_par_iter().map(f).collect::<Vec<_>>()`, so this crate
-//! provides exactly that: a parallel index-range map executed on scoped
-//! OS threads, preserving output order. Work is split into contiguous
-//! chunks, one per available core; small ranges run inline to avoid
-//! spawn overhead.
+//! The kernels use two patterns:
+//! `(0..n).into_par_iter().map(f).collect::<Vec<_>>()` and
+//! `slice.par_chunks(size).map(f).collect::<Vec<_>>()`, so this crate
+//! provides exactly those: parallel maps over an index range or over
+//! contiguous slice chunks, executed on scoped OS threads and preserving
+//! output order. Work is split into contiguous chunks, one per available
+//! core; small inputs run inline to avoid spawn overhead.
 
 use std::ops::Range;
 
 pub mod prelude {
     //! Import-everything module mirroring `rayon::prelude`.
 
-    pub use crate::{IntoParallelIterator, ParRangeMap, ParallelRange};
+    pub use crate::{
+        IntoParallelIterator, ParChunks, ParChunksMap, ParRangeMap, ParallelRange, ParallelSlice,
+    };
 }
 
 /// Conversion into a parallel iterator (mirrors rayon's entry point).
@@ -64,6 +67,63 @@ impl<F> ParRangeMap<F> {
     }
 }
 
+/// Parallel operations on slices (mirrors rayon's `ParallelSlice`).
+pub trait ParallelSlice<T: Sync> {
+    /// Split the slice into contiguous chunks of at most `chunk_size`
+    /// elements, processed in parallel on collect.
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParChunks { slice: self, chunk_size }
+    }
+}
+
+/// A parallel iterator over contiguous slice chunks.
+pub struct ParChunks<'a, T> {
+    slice: &'a [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Sync> ParChunks<'a, T> {
+    /// Map each chunk through `f` (executed in parallel on collect).
+    pub fn map<U, F>(self, f: F) -> ParChunksMap<'a, T, F>
+    where
+        F: Fn(&[T]) -> U + Sync,
+        U: Send,
+    {
+        ParChunksMap { slice: self.slice, chunk_size: self.chunk_size, f }
+    }
+}
+
+/// The mapped parallel chunks, ready to collect.
+pub struct ParChunksMap<'a, T, F> {
+    slice: &'a [T],
+    chunk_size: usize,
+    f: F,
+}
+
+impl<T: Sync, F> ParChunksMap<'_, T, F> {
+    /// Execute the map in parallel and collect the per-chunk results in
+    /// chunk order.
+    pub fn collect<C, U>(self) -> C
+    where
+        F: Fn(&[T]) -> U + Sync,
+        U: Send,
+        C: From<Vec<U>>,
+    {
+        let nchunks = self.slice.len().div_ceil(self.chunk_size.max(1));
+        let out = par_map_range(0..nchunks, &|c| {
+            let lo = c * self.chunk_size;
+            let hi = (lo + self.chunk_size).min(self.slice.len());
+            (self.f)(&self.slice[lo..hi])
+        });
+        C::from(out)
+    }
+}
+
 fn par_map_range<T, F>(range: Range<usize>, f: &F) -> Vec<T>
 where
     F: Fn(usize) -> T + Sync,
@@ -99,6 +159,24 @@ mod tests {
     fn parallel_map_preserves_order() {
         let out: Vec<usize> = (0..1000).into_par_iter().map(|i| i * 2).collect();
         assert_eq!(out, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_chunks_matches_serial_chunks() {
+        let data: Vec<u64> = (0..1003).collect();
+        for chunk in [1usize, 7, 64, 1003, 5000] {
+            let par: Vec<u64> = data.par_chunks(chunk).map(|c| c.iter().sum::<u64>()).collect();
+            let serial: Vec<u64> = data.chunks(chunk).map(|c| c.iter().sum::<u64>()).collect();
+            assert_eq!(par, serial, "chunk size {chunk}");
+        }
+        let empty: Vec<usize> = [].par_chunks(4).map(<[i32]>::len).collect();
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn par_chunks_rejects_zero_chunk_size() {
+        let _ = [1u8, 2].par_chunks(0);
     }
 
     #[test]
