@@ -5,7 +5,7 @@
 # facade's integration suites. Always go through `make test` (or pass
 # --workspace yourself) so local coverage matches CI.
 
-.PHONY: build test lint fmt bench-smoke dist-matrix all
+.PHONY: build test lint fmt bench-smoke query-smoke dist-matrix all
 
 all: lint build test
 
@@ -27,10 +27,16 @@ fmt:
 bench-smoke:
 	GAS_COMM_VOLUME_TINY=1 cargo run --release --locked -p gas-bench --bin comm_volume
 
+# The CI query-smoke step: the sketch-index serving benchmark on a tiny
+# synthetic workload (build time, qps, recall@10, sharded equivalence).
+query-smoke:
+	GAS_QUERY_TINY=1 cargo run --release --locked -p gas-bench --bin query_throughput
+
 # One cell of the CI dist-matrix job, e.g.:
 #   make dist-matrix RANKS=8 REPLICATION=2
 RANKS ?= 4,6,8,12
 REPLICATION ?= 1,2
 dist-matrix:
 	GAS_DIST_RANKS=$(RANKS) GAS_DIST_REPLICATION=$(REPLICATION) \
-		cargo test --locked -q --test distributed_equivalence --test filter_properties
+		cargo test --locked -q --test distributed_equivalence --test filter_properties \
+		--test query_serving

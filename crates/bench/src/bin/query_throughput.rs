@@ -1,0 +1,267 @@
+//! Query-serving throughput and recall of the `gas-index` sketch index.
+//!
+//! The ROADMAP's north star is a system that *serves* similarity queries,
+//! so this experiment measures the serving stack end to end on a
+//! synthetic family-structured workload:
+//!
+//! * **build** — seconds to sign the collection and fill the LSH buckets;
+//! * **persist** — container round-trip (write + read back + identity
+//!   check), reporting the file size;
+//! * **scan_qps** — the brute-force exact top-k baseline (merge-join over
+//!   every sample), i.e. what serving costs *without* an index;
+//! * **engine_qps** — the batched LSH engine with exact popcount re-rank;
+//! * **recall@10** — engine answers vs. exact top-k, estimate-only and
+//!   re-ranked (the re-ranked figure must stay ≥ 0.9);
+//! * **dist_ranks_ok** — the sharded distributed path must answer
+//!   bit-identically to the single-rank engine for 4, 6 and 8 ranks.
+//!
+//! Writes `results/query_throughput.{csv,json}` (CI uploads the JSON).
+//! Set `GAS_QUERY_TINY=1` for the seconds-scale CI smoke configuration.
+
+use std::time::Instant;
+
+use gas_bench::report::{format_seconds, Table};
+use gas_core::indicator::SampleCollection;
+use gas_dstsim::runtime::Runtime;
+use gas_index::{
+    dist_query_batch, exact_top_k, IndexConfig, QueryEngine, QueryOptions, SketchIndex,
+};
+use rand::{Rng, SeedableRng, StdRng};
+
+const TOP_K: usize = 10;
+const DIST_RANKS: [usize; 3] = [4, 6, 8];
+
+fn tiny() -> bool {
+    std::env::var("GAS_QUERY_TINY").is_ok_and(|v| v == "1")
+}
+
+struct Workload {
+    name: &'static str,
+    families: usize,
+    per_family: usize,
+    core_size: usize,
+    private_size: usize,
+    queries: usize,
+    signature_len: usize,
+}
+
+impl Workload {
+    fn default_scale() -> Self {
+        Workload {
+            name: "default",
+            families: 12,
+            per_family: 16,
+            core_size: 900,
+            private_size: 120,
+            queries: 48,
+            signature_len: 256,
+        }
+    }
+
+    // Families hold more than TOP_K members so recall@10 is well defined:
+    // every entry of the exact top-10 is a genuine (above-threshold)
+    // neighbor the LSH stage is supposed to surface.
+    fn tiny_scale() -> Self {
+        Workload {
+            name: "tiny",
+            families: 6,
+            per_family: 12,
+            core_size: 240,
+            private_size: 40,
+            queries: 12,
+            signature_len: 128,
+        }
+    }
+
+    fn n(&self) -> usize {
+        self.families * self.per_family
+    }
+
+    /// Family-structured samples: members of a family share a large core
+    /// set, so each sample has clear nearest neighbors, plus enough
+    /// private values that the ranking inside a family is non-trivial.
+    fn collection(&self, seed: u64) -> SampleCollection {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut samples = Vec::with_capacity(self.n());
+        for _ in 0..self.families {
+            let core: Vec<u64> = (0..self.core_size).map(|_| rng.random::<u64>()).collect();
+            for _ in 0..self.per_family {
+                let mut s = core.clone();
+                for _ in 0..self.private_size {
+                    s.push(rng.random::<u64>());
+                }
+                samples.push(s);
+            }
+        }
+        SampleCollection::from_sets(samples).expect("synthetic samples are valid")
+    }
+
+    /// Queries are perturbed copies of random samples: keep ~90% of the
+    /// elements, add ~5% noise. The perturbation source is its own RNG so
+    /// workload and query streams stay independently reproducible.
+    fn queries(&self, collection: &SampleCollection, seed: u64) -> Vec<Vec<u64>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..self.queries)
+            .map(|_| {
+                let id = rng.random_range(0..collection.n());
+                let mut q: Vec<u64> = collection
+                    .sample(id)
+                    .iter()
+                    .copied()
+                    .filter(|_| rng.random_bool(0.9))
+                    .collect();
+                for _ in 0..self.core_size / 20 {
+                    q.push(rng.random::<u64>());
+                }
+                q.sort_unstable();
+                q.dedup();
+                q
+            })
+            .collect()
+    }
+}
+
+fn recall(got: &[Vec<gas_index::Neighbor>], want: &[Vec<gas_index::Neighbor>]) -> f64 {
+    let mut hit = 0usize;
+    let mut total = 0usize;
+    for (g, w) in got.iter().zip(want) {
+        total += w.len();
+        for n in w {
+            if g.iter().any(|m| m.id == n.id) {
+                hit += 1;
+            }
+        }
+    }
+    if total == 0 {
+        return 1.0;
+    }
+    hit as f64 / total as f64
+}
+
+fn main() {
+    let workload = if tiny() { Workload::tiny_scale() } else { Workload::default_scale() };
+    let collection = workload.collection(42);
+    let queries = workload.queries(&collection, 1337);
+    println!(
+        "workload '{}': {} samples ({} families), {} queries, signature length {}",
+        workload.name,
+        collection.n(),
+        workload.families,
+        queries.len(),
+        workload.signature_len
+    );
+
+    // Build.
+    let config =
+        IndexConfig::default().with_signature_len(workload.signature_len).with_threshold(0.4);
+    let t = Instant::now();
+    let index = SketchIndex::build(&collection, &config).expect("build succeeds");
+    let build_s = t.elapsed().as_secs_f64();
+    println!(
+        "built index in {}: {} bands × {} rows (threshold {:.3})",
+        format_seconds(build_s),
+        index.params().bands(),
+        index.params().rows(),
+        index.params().threshold()
+    );
+
+    // Persist: container round-trip must reproduce the index exactly.
+    let t = Instant::now();
+    let bytes = index.to_container_bytes();
+    let container_len = bytes.len();
+    let reread = SketchIndex::from_container_bytes(bytes).expect("container parses");
+    assert_eq!(reread, index, "container round-trip must be lossless");
+    let persist_s = t.elapsed().as_secs_f64();
+    println!("container round-trip: {} bytes in {}", container_len, format_seconds(persist_s));
+
+    // Exact linear-scan baseline (also the recall ground truth).
+    let t = Instant::now();
+    let exact: Vec<Vec<gas_index::Neighbor>> =
+        queries.iter().map(|q| exact_top_k(&collection, q, TOP_K)).collect();
+    let scan_s = t.elapsed().as_secs_f64();
+    let scan_qps = queries.len() as f64 / scan_s.max(1e-9);
+
+    // Engine, estimate-only.
+    let engine = QueryEngine::with_collection(&index, &collection);
+    let est_opts = QueryOptions { top_k: TOP_K, ..Default::default() };
+    let est_answers = engine.query_batch(&queries, &est_opts).expect("estimate query batch");
+    let est_recall = recall(&est_answers, &exact);
+
+    // Engine, exact popcount re-rank (the serving default).
+    let rerank_opts = QueryOptions { top_k: TOP_K, rerank_exact: true, ..Default::default() };
+    let t = Instant::now();
+    let answers = engine.query_batch(&queries, &rerank_opts).expect("reranked query batch");
+    let engine_s = t.elapsed().as_secs_f64();
+    let engine_qps = queries.len() as f64 / engine_s.max(1e-9);
+    let rr_recall = recall(&answers, &exact);
+
+    // Distributed serving: sharded answers must match the single-rank
+    // engine exactly for every CI grid size.
+    let mut dist_ok = true;
+    for ranks in DIST_RANKS {
+        let out = Runtime::new(ranks)
+            .run(|ctx| {
+                let q = if ctx.rank() == 0 { Some(&queries[..]) } else { None };
+                ctx.expect_ok(
+                    "dist_query_batch",
+                    dist_query_batch(ctx.world(), &index, Some(&collection), q, &rerank_opts),
+                )
+            })
+            .expect("distributed query run");
+        for (rank, result) in out.results.iter().enumerate() {
+            assert_eq!(
+                result, &answers,
+                "rank {rank}/{ranks}: sharded answers diverge from the single-rank engine"
+            );
+        }
+        println!(
+            "dist {ranks} ranks: identical answers, {} bytes sent total",
+            out.aggregate().total_bytes_sent
+        );
+        dist_ok &= out.results.iter().all(|r| r == &answers);
+    }
+
+    let mut table = Table::new(
+        "Query serving: LSH sketch index vs exact linear scan",
+        &[
+            "workload",
+            "n",
+            "queries",
+            "build_s",
+            "container_bytes",
+            "scan_qps",
+            "engine_qps",
+            "recall_estimate",
+            "recall_reranked",
+            "dist_ranks_ok",
+        ],
+    );
+    table.push_row(vec![
+        workload.name.to_string(),
+        collection.n().to_string(),
+        queries.len().to_string(),
+        format!("{build_s:.4}"),
+        container_len.to_string(),
+        format!("{scan_qps:.1}"),
+        format!("{engine_qps:.1}"),
+        format!("{est_recall:.4}"),
+        format!("{rr_recall:.4}"),
+        if dist_ok { DIST_RANKS.map(|r| r.to_string()).join("+") } else { "FAIL".into() },
+    ]);
+    table.print();
+
+    let dir = gas_bench::report::results_dir();
+    let csv = table.write_csv(&dir, "query_throughput").expect("write CSV");
+    let json = table.write_json(&dir, "query_throughput").expect("write JSON");
+    println!("Reports written to {} and {}", csv.display(), json.display());
+
+    assert!(
+        rr_recall >= 0.9,
+        "re-ranked recall@{TOP_K} {rr_recall:.4} fell below the 0.9 acceptance floor"
+    );
+    assert!(dist_ok, "distributed serving diverged from the single-rank engine");
+    println!(
+        "OK: recall@{TOP_K} {rr_recall:.3} (estimate-only {est_recall:.3}), engine {:.1} qps vs scan {:.1} qps",
+        engine_qps, scan_qps
+    );
+}

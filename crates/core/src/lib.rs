@@ -54,4 +54,4 @@ pub use config::SimilarityConfig;
 pub use error::{CoreError, CoreResult};
 pub use indicator::SampleCollection;
 pub use jaccard::{jaccard_exact_pairwise, SimilarityResult};
-pub use minhash::{MinHashSketch, MinHasher};
+pub use minhash::{MinHashSignature, MinHashSketch, MinHasher, SignatureScheme};

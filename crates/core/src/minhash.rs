@@ -159,6 +159,139 @@ impl MinHasher {
     }
 }
 
+/// A fixed-length k-mins MinHash signature: position `i` holds the
+/// minimum of the `i`-th hash function over the set.
+///
+/// Unlike the bottom-k [`MinHashSketch`] (whose entries shift when a
+/// single element changes), every position of a k-mins signature is an
+/// independent min-wise hash, so `P[sig_a[i] == sig_b[i]] = J(A, B)`
+/// exactly. That per-position collision statistic is what LSH banding
+/// needs: `gas-index` slices signatures into bands of `r` rows and a
+/// band collides with probability `J^r`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MinHashSignature {
+    mins: Vec<u64>,
+}
+
+/// Sentinel stored at every position of the signature of an empty set
+/// (no value ever hashes to it in practice, and two empty sets compare
+/// equal everywhere, matching the `J(∅, ∅) = 1` convention).
+pub const EMPTY_SET_SENTINEL: u64 = u64::MAX;
+
+impl MinHashSignature {
+    /// Reassemble a signature from its raw position values (used by the
+    /// `gas-index` persistence layer when reading a container back).
+    pub fn from_values(mins: Vec<u64>) -> Self {
+        MinHashSignature { mins }
+    }
+
+    /// The per-position minima.
+    pub fn values(&self) -> &[u64] {
+        &self.mins
+    }
+
+    /// Signature length (number of hash functions).
+    pub fn len(&self) -> usize {
+        self.mins.len()
+    }
+
+    /// Whether the signature has zero positions.
+    pub fn is_empty(&self) -> bool {
+        self.mins.is_empty()
+    }
+
+    /// Number of positions on which the two signatures agree.
+    ///
+    /// Panics if the signatures have different lengths (they must come
+    /// from the same [`SignatureScheme`] to be comparable).
+    pub fn agreement(&self, other: &MinHashSignature) -> usize {
+        assert_eq!(
+            self.mins.len(),
+            other.mins.len(),
+            "signatures from different schemes are not comparable"
+        );
+        self.mins.iter().zip(&other.mins).filter(|(a, b)| a == b).count()
+    }
+
+    /// The k-mins Jaccard estimator: the fraction of agreeing positions.
+    pub fn jaccard_estimate(&self, other: &MinHashSignature) -> f64 {
+        if self.mins.is_empty() {
+            return 0.0;
+        }
+        self.agreement(other) as f64 / self.mins.len() as f64
+    }
+}
+
+/// Builds fixed-length k-mins signatures: `sig[i] = min_v h_i(v)` with
+/// `len` independent splitmix-derived hash functions.
+///
+/// Signing costs `len · |set|` hashes — more than one bottom-k pass —
+/// which is the classical price for per-position exchangeability. The
+/// paper's exact pipeline stays the ground truth; these signatures exist
+/// to feed the LSH index (`gas-index`), which trades that preprocessing
+/// for sublinear candidate generation at query time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SignatureScheme {
+    len: usize,
+    seed: u64,
+}
+
+impl SignatureScheme {
+    /// Create a scheme with `len` hash functions.
+    pub fn new(len: usize) -> CoreResult<Self> {
+        if len == 0 {
+            return Err(CoreError::InvalidConfig("signature length must be positive".to_string()));
+        }
+        Ok(SignatureScheme { len, seed: 0x6C73_685F_6B6D_696E })
+    }
+
+    /// Use a specific hash seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Signature length (number of hash functions).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Always false: a scheme has at least one hash function.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The hash seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Sign one set of values (k-mer codes). Empty sets sign to
+    /// [`EMPTY_SET_SENTINEL`] at every position.
+    pub fn sign(&self, values: &[u64]) -> MinHashSignature {
+        let mut mins = vec![EMPTY_SET_SENTINEL; self.len];
+        for (i, slot) in mins.iter_mut().enumerate() {
+            // Per-position hash function: mix the position into the seed
+            // through the finalizer so functions are pairwise unrelated.
+            let hi = splitmix64(self.seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            for &v in values {
+                let h = splitmix64(v ^ hi);
+                if h < *slot {
+                    *slot = h;
+                }
+            }
+        }
+        MinHashSignature { mins }
+    }
+
+    /// Sign every sample of a collection, one signature per column of the
+    /// indicator matrix, in parallel across samples.
+    pub fn sign_collection(&self, collection: &SampleCollection) -> Vec<MinHashSignature> {
+        use rayon::prelude::*;
+        (0..collection.n()).into_par_iter().map(|i| self.sign(collection.sample(i))).collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -257,6 +390,73 @@ mod tests {
         let max_err = exact.similarity().max_abs_diff(&approx).unwrap();
         assert!(max_err < 0.1, "max error {max_err}");
         assert!(approx.is_symmetric(0.0));
+    }
+
+    #[test]
+    fn signature_estimate_tracks_exact_jaccard() {
+        // True J = 0.5; a 512-position signature estimates it within a
+        // few percentage points (binomial stddev ≈ 0.022).
+        let (a, b) = overlapping_sets(3_000, 2_000);
+        let scheme = SignatureScheme::new(512).unwrap();
+        let (sa, sb) = (scheme.sign(&a), scheme.sign(&b));
+        assert!((sa.jaccard_estimate(&sb) - 0.5).abs() < 0.1);
+        assert_eq!(sa.jaccard_estimate(&sa), 1.0);
+        assert_eq!(sa.len(), 512);
+        assert!(!sa.is_empty());
+    }
+
+    #[test]
+    fn signature_positions_are_independent_min_hashes() {
+        // Disjoint sets agree (essentially) nowhere; identical sets
+        // everywhere; empty sets sign to the sentinel.
+        let scheme = SignatureScheme::new(64).unwrap();
+        let a = scheme.sign(&(0..500u64).collect::<Vec<_>>());
+        let b = scheme.sign(&(10_000..10_500u64).collect::<Vec<_>>());
+        assert_eq!(a.agreement(&b), 0);
+        assert_eq!(a.agreement(&a), 64);
+        let e = scheme.sign(&[]);
+        assert!(e.values().iter().all(|&v| v == EMPTY_SET_SENTINEL));
+        assert_eq!(e.jaccard_estimate(&e), 1.0);
+        assert_eq!(e.agreement(&a), 0);
+    }
+
+    #[test]
+    fn signature_schemes_are_seeded_and_deterministic() {
+        let values: Vec<u64> = (0..800).collect();
+        let s1 = SignatureScheme::new(32).unwrap().with_seed(7);
+        let s2 = SignatureScheme::new(32).unwrap().with_seed(8);
+        assert_eq!(s1.sign(&values), s1.sign(&values));
+        assert_ne!(s1.sign(&values).values(), s2.sign(&values).values());
+        assert_eq!(s1.seed(), 7);
+        assert_eq!(s1.len(), 32);
+        assert!(SignatureScheme::new(0).is_err());
+        let round = MinHashSignature::from_values(s1.sign(&values).values().to_vec());
+        assert_eq!(round, s1.sign(&values));
+    }
+
+    #[test]
+    fn sign_collection_matches_per_sample_signing() {
+        let collection = SampleCollection::from_sorted_sets(vec![
+            (0..300u64).collect(),
+            (150..450u64).collect(),
+            vec![],
+            vec![9_999],
+        ])
+        .unwrap();
+        let scheme = SignatureScheme::new(48).unwrap();
+        let signed = scheme.sign_collection(&collection);
+        assert_eq!(signed.len(), 4);
+        for (i, sig) in signed.iter().enumerate() {
+            assert_eq!(sig, &scheme.sign(collection.sample(i)));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_signature_lengths_panic() {
+        let a = SignatureScheme::new(8).unwrap().sign(&[1, 2]);
+        let b = SignatureScheme::new(16).unwrap().sign(&[1, 2]);
+        let _ = a.agreement(&b);
     }
 
     #[test]

@@ -66,6 +66,23 @@ impl RankCtx {
     pub fn mem_per_rank(&self) -> usize {
         self.machine.mem_per_rank()
     }
+
+    /// Unwrap `result`, panicking with this rank's id, the world size,
+    /// a caller-supplied operation name and the error.
+    ///
+    /// Rank closures that `.unwrap()` surface through
+    /// [`SimError::RankPanicked`] with only the raw panic payload —
+    /// "called `Result::unwrap()` on an `Err` value" tells a CI log
+    /// nothing about *which* collective failed on *which* rank. Tests and
+    /// distributed drivers should unwrap through this helper instead so
+    /// dist-matrix failures are diagnosable from the message alone.
+    #[track_caller]
+    pub fn expect_ok<T, E: std::fmt::Debug>(&self, what: &str, result: Result<T, E>) -> T {
+        match result {
+            Ok(v) => v,
+            Err(e) => panic!("rank {}/{}: {what} failed: {e:?}", self.rank, self.nranks),
+        }
+    }
 }
 
 /// Output of a completed [`Runtime::run`]: the per-rank return values (in
@@ -241,7 +258,10 @@ mod tests {
                 let comm = ctx.world();
                 let right = (ctx.rank() + 1) % ctx.nranks();
                 let left = (ctx.rank() + ctx.nranks() - 1) % ctx.nranks();
-                let recvd: u64 = comm.sendrecv(right, 7, ctx.rank() as u64, left, 7).unwrap();
+                let recvd: u64 = ctx.expect_ok(
+                    "ring sendrecv",
+                    comm.sendrecv(right, 7, ctx.rank() as u64, left, 7),
+                );
                 recvd
             })
             .unwrap();
@@ -295,13 +315,43 @@ mod tests {
     }
 
     #[test]
+    fn expect_ok_panics_with_rank_and_error_context() {
+        // The raw payload of a failed `.unwrap()` says nothing about which
+        // rank died; `expect_ok` must name the rank, the world size, the
+        // operation and the error so dist-matrix logs are diagnosable.
+        let rt = Runtime::new(3);
+        let err = rt
+            .run(|ctx| {
+                let result: Result<(), SimError> = if ctx.rank() == 1 {
+                    Err(SimError::TypeMismatch { src: 0, tag: 9 })
+                } else {
+                    Ok(())
+                };
+                ctx.expect_ok("probe shard buckets", result)
+            })
+            .unwrap_err();
+        match err {
+            SimError::RankPanicked { rank, message } => {
+                assert_eq!(rank, 1);
+                assert!(message.contains("rank 1/3"), "missing rank context: {message}");
+                assert!(
+                    message.contains("probe shard buckets"),
+                    "missing operation name: {message}"
+                );
+                assert!(message.contains("TypeMismatch"), "missing error detail: {message}");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
     fn type_mismatch_on_recv_is_detected() {
         let rt = Runtime::new(2);
         let err = rt
             .run(|ctx| {
                 let comm = ctx.world();
                 if ctx.rank() == 0 {
-                    comm.send(1, 3, 42u64).unwrap();
+                    ctx.expect_ok("send to rank 1", comm.send(1, 3, 42u64));
                     Ok(())
                 } else {
                     // Expect a f32 although a u64 was sent.

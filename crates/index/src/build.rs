@@ -1,0 +1,447 @@
+//! Building the LSH-banded sketch index over genome signatures.
+//!
+//! The index holds one k-mins MinHash signature per data sample plus, for
+//! every band, a bucket table mapping the band's key (a hash of its `r`
+//! signature rows) to the sorted list of sample ids whose signatures
+//! produce that key. Buckets are stored flattened and key-sorted — binary
+//! search at query time, plain little-endian pods at persistence time —
+//! rather than as a hash map, so building, persisting and sharding all
+//! traverse the same deterministic layout.
+
+use std::collections::BTreeMap;
+
+use gas_core::indicator::SampleCollection;
+use gas_core::minhash::{splitmix64, MinHashSignature, SignatureScheme};
+use serde::{Deserialize, Serialize};
+
+use crate::error::{IndexError, IndexResult};
+use crate::params::LshParams;
+
+/// Configuration of an index build: signature size, hash seed and the
+/// target Jaccard threshold the banding is tuned for.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IndexConfig {
+    /// Signature length (number of min-wise hash functions per sample).
+    pub signature_len: usize,
+    /// Hash seed shared by all signatures of the index.
+    pub seed: u64,
+    /// Target Jaccard threshold the band/row split is derived from.
+    pub threshold: f64,
+}
+
+impl Default for IndexConfig {
+    fn default() -> Self {
+        IndexConfig { signature_len: 128, seed: 0x0067_6173_5F69_6478, threshold: 0.5 }
+    }
+}
+
+impl IndexConfig {
+    /// Override the signature length.
+    pub fn with_signature_len(mut self, len: usize) -> Self {
+        self.signature_len = len;
+        self
+    }
+
+    /// Override the hash seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Override the target threshold.
+    pub fn with_threshold(mut self, threshold: f64) -> Self {
+        self.threshold = threshold;
+        self
+    }
+}
+
+/// One band's bucket table in flattened, key-sorted form.
+///
+/// `keys` is sorted and parallel to `offsets`: the ids of bucket
+/// `keys[i]` are `ids[offsets[i] .. offsets[i + 1]]`, each list sorted
+/// ascending. `u32` ids bound an index to 4 billion samples — far beyond
+/// what one shard holds.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BandBuckets {
+    keys: Vec<u64>,
+    offsets: Vec<u32>,
+    ids: Vec<u32>,
+}
+
+impl BandBuckets {
+    /// Assemble from raw flattened parts (the persistence reader path),
+    /// validating the structural invariants.
+    pub fn from_raw_parts(keys: Vec<u64>, offsets: Vec<u32>, ids: Vec<u32>) -> IndexResult<Self> {
+        if offsets.len() != keys.len() + 1 {
+            return Err(IndexError::Corrupt {
+                context: format!("{} offsets for {} bucket keys", offsets.len(), keys.len()),
+            });
+        }
+        if offsets.first() != Some(&0) || *offsets.last().unwrap() as usize != ids.len() {
+            return Err(IndexError::Corrupt {
+                context: "bucket offsets do not span the id array".into(),
+            });
+        }
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err(IndexError::Corrupt { context: "bucket offsets decrease".into() });
+        }
+        if keys.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(IndexError::Corrupt {
+                context: "bucket keys are not strictly increasing".into(),
+            });
+        }
+        Ok(BandBuckets { keys, offsets, ids })
+    }
+
+    fn from_map(map: BTreeMap<u64, Vec<u32>>) -> Self {
+        let mut keys = Vec::with_capacity(map.len());
+        let mut offsets = Vec::with_capacity(map.len() + 1);
+        offsets.push(0u32);
+        let mut ids = Vec::new();
+        for (key, members) in map {
+            keys.push(key);
+            ids.extend_from_slice(&members);
+            offsets.push(ids.len() as u32);
+        }
+        BandBuckets { keys, offsets, ids }
+    }
+
+    /// Number of distinct buckets in this band.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the band has no buckets.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// The sorted bucket keys.
+    pub fn keys(&self) -> &[u64] {
+        &self.keys
+    }
+
+    /// Bucket boundaries into [`Self::ids`].
+    pub fn offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// Concatenated bucket member ids.
+    pub fn ids(&self) -> &[u32] {
+        &self.ids
+    }
+
+    /// The sample ids bucketed under `key` (empty when absent).
+    pub fn get(&self, key: u64) -> &[u32] {
+        match self.keys.binary_search(&key) {
+            Ok(i) => {
+                let lo = self.offsets[i] as usize;
+                let hi = self.offsets[i + 1] as usize;
+                &self.ids[lo..hi]
+            }
+            Err(_) => &[],
+        }
+    }
+}
+
+/// The persistent sketch index: signatures, banding parameters and
+/// per-band bucket tables over one dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SketchIndex {
+    scheme: SignatureScheme,
+    params: LshParams,
+    signatures: Vec<MinHashSignature>,
+    set_sizes: Vec<u64>,
+    names: Vec<String>,
+    bands: Vec<BandBuckets>,
+}
+
+impl SketchIndex {
+    /// Build the index over every sample of `collection`: sign all
+    /// samples in parallel, then bucket each signature under one key per
+    /// band.
+    pub fn build(collection: &SampleCollection, config: &IndexConfig) -> IndexResult<Self> {
+        let params = LshParams::for_threshold(config.signature_len, config.threshold)?;
+        let scheme = SignatureScheme::new(config.signature_len)?.with_seed(config.seed);
+        if collection.n() > u32::MAX as usize {
+            return Err(IndexError::InvalidConfig(format!(
+                "{} samples exceed the u32 id space of one shard",
+                collection.n()
+            )));
+        }
+        let signatures = scheme.sign_collection(collection);
+        let bands = (0..params.bands())
+            .map(|band| {
+                let mut map: BTreeMap<u64, Vec<u32>> = BTreeMap::new();
+                for (id, sig) in signatures.iter().enumerate() {
+                    let key = band_key(&params, band, sig);
+                    map.entry(key).or_default().push(id as u32);
+                }
+                BandBuckets::from_map(map)
+            })
+            .collect();
+        Ok(SketchIndex {
+            scheme,
+            params,
+            signatures,
+            set_sizes: collection.cardinalities(),
+            names: collection.names().to_vec(),
+            bands,
+        })
+    }
+
+    /// Reassemble an index from its parts (the persistence reader path).
+    pub fn from_parts(
+        scheme: SignatureScheme,
+        params: LshParams,
+        signatures: Vec<MinHashSignature>,
+        set_sizes: Vec<u64>,
+        names: Vec<String>,
+        bands: Vec<BandBuckets>,
+    ) -> IndexResult<Self> {
+        if params.signature_len() != scheme.len() {
+            return Err(IndexError::Corrupt {
+                context: format!(
+                    "banding wants {}-long signatures but the scheme produces {}",
+                    params.signature_len(),
+                    scheme.len()
+                ),
+            });
+        }
+        if signatures.iter().any(|s| s.len() != scheme.len()) {
+            return Err(IndexError::Corrupt {
+                context: "stored signature length differs from the scheme".into(),
+            });
+        }
+        let n = signatures.len();
+        if set_sizes.len() != n || names.len() != n {
+            return Err(IndexError::Corrupt {
+                context: format!(
+                    "{n} signatures but {} set sizes and {} names",
+                    set_sizes.len(),
+                    names.len()
+                ),
+            });
+        }
+        if bands.len() != params.bands() {
+            return Err(IndexError::Corrupt {
+                context: format!("{} band tables for {} bands", bands.len(), params.bands()),
+            });
+        }
+        if bands.iter().any(|b| b.ids.iter().any(|&id| id as usize >= n)) {
+            return Err(IndexError::Corrupt { context: "bucket id out of range".into() });
+        }
+        Ok(SketchIndex { scheme, params, signatures, set_sizes, names, bands })
+    }
+
+    /// Number of indexed samples.
+    pub fn n(&self) -> usize {
+        self.signatures.len()
+    }
+
+    /// The signature scheme (length + seed) shared by index and queries.
+    pub fn scheme(&self) -> &SignatureScheme {
+        &self.scheme
+    }
+
+    /// The banding parameters.
+    pub fn params(&self) -> &LshParams {
+        &self.params
+    }
+
+    /// Signature of sample `id`.
+    pub fn signature(&self, id: usize) -> &MinHashSignature {
+        &self.signatures[id]
+    }
+
+    /// All signatures, id-ordered.
+    pub fn signatures(&self) -> &[MinHashSignature] {
+        &self.signatures
+    }
+
+    /// Original set cardinalities, id-ordered.
+    pub fn set_sizes(&self) -> &[u64] {
+        &self.set_sizes
+    }
+
+    /// Sample names, id-ordered.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// The bucket table of `band`.
+    pub fn band(&self, band: usize) -> &BandBuckets {
+        &self.bands[band]
+    }
+
+    /// The bucket key of `sig` in `band`.
+    pub fn band_key(&self, band: usize, sig: &MinHashSignature) -> u64 {
+        band_key(&self.params, band, sig)
+    }
+
+    /// Candidate ids for a query signature, probing only the bands
+    /// `band_filter` admits (the distributed path passes its shard's
+    /// bands; the local path passes `|_| true`). Returned sorted and
+    /// deduplicated so candidate sets are deterministic.
+    pub fn candidates_where<F: Fn(usize) -> bool>(
+        &self,
+        sig: &MinHashSignature,
+        band_filter: F,
+    ) -> Vec<u32> {
+        let mut out = Vec::new();
+        for band in 0..self.params.bands() {
+            if !band_filter(band) {
+                continue;
+            }
+            out.extend_from_slice(self.bands[band].get(band_key(&self.params, band, sig)));
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Candidate ids for a query signature over all bands.
+    pub fn candidates(&self, sig: &MinHashSignature) -> Vec<u32> {
+        self.candidates_where(sig, |_| true)
+    }
+}
+
+/// The bucket key of band `band`: the band index folded with the band's
+/// `r` signature rows through the splitmix finalizer. Including the band
+/// index means identical row values in different bands do not alias to
+/// the same key space.
+pub fn band_key(params: &LshParams, band: usize, sig: &MinHashSignature) -> u64 {
+    debug_assert_eq!(sig.len(), params.signature_len());
+    let lo = band * params.rows();
+    let hi = lo + params.rows();
+    let mut h = splitmix64(0xB16B_00B5 ^ band as u64);
+    for &v in &sig.values()[lo..hi] {
+        h = splitmix64(h ^ v);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn family_collection() -> SampleCollection {
+        // Two families of three near-duplicates plus one loner.
+        let base_a: Vec<u64> = (0..400u64).collect();
+        let base_b: Vec<u64> = (10_000..10_400u64).collect();
+        let mut samples = Vec::new();
+        for i in 0..3u64 {
+            let mut s = base_a.clone();
+            s.extend(5_000 + 10 * i..5_000 + 10 * i + 10);
+            samples.push(s);
+        }
+        for i in 0..3u64 {
+            let mut s = base_b.clone();
+            s.extend(20_000 + 10 * i..20_000 + 10 * i + 10);
+            samples.push(s);
+        }
+        samples.push((90_000..90_400u64).collect());
+        SampleCollection::from_sets(samples).unwrap()
+    }
+
+    #[test]
+    fn build_produces_consistent_tables() {
+        let collection = family_collection();
+        let config = IndexConfig::default().with_signature_len(64).with_threshold(0.5);
+        let index = SketchIndex::build(&collection, &config).unwrap();
+        assert_eq!(index.n(), 7);
+        assert_eq!(index.params().signature_len(), 64);
+        assert_eq!(index.set_sizes(), &collection.cardinalities()[..]);
+        assert_eq!(index.names(), collection.names());
+        // Every sample appears exactly once per band.
+        for band in 0..index.params().bands() {
+            let b = index.band(band);
+            assert_eq!(b.ids().len(), 7);
+            let mut seen: Vec<u32> = b.ids().to_vec();
+            seen.sort_unstable();
+            assert_eq!(seen, (0..7).collect::<Vec<_>>());
+            assert_eq!(b.offsets().len(), b.len() + 1);
+            assert!(!b.is_empty());
+        }
+        // A sample is always a candidate for its own signature.
+        for id in 0..7usize {
+            let cands = index.candidates(index.signature(id));
+            assert!(cands.contains(&(id as u32)), "sample {id} not its own candidate");
+        }
+    }
+
+    #[test]
+    fn near_duplicates_collide_and_strangers_do_not() {
+        let collection = family_collection();
+        let config = IndexConfig::default().with_signature_len(128).with_threshold(0.5);
+        let index = SketchIndex::build(&collection, &config).unwrap();
+        // Family members (J ≈ 0.95) must be candidates of each other.
+        let cands = index.candidates(index.signature(0));
+        assert!(cands.contains(&1) && cands.contains(&2), "family not retrieved: {cands:?}");
+        // The loner shares no bucket with family A (J = 0).
+        assert!(!cands.contains(&6), "disjoint loner retrieved: {cands:?}");
+    }
+
+    #[test]
+    fn band_keys_depend_on_band_and_rows() {
+        let scheme = SignatureScheme::new(8).unwrap();
+        let params = LshParams::new(4, 2).unwrap();
+        let sig = scheme.sign(&(0..100u64).collect::<Vec<_>>());
+        let k0 = band_key(&params, 0, &sig);
+        let k1 = band_key(&params, 1, &sig);
+        assert_ne!(k0, k1, "band index must enter the key");
+        assert_eq!(k0, band_key(&params, 0, &sig), "keys are deterministic");
+    }
+
+    #[test]
+    fn bucket_lookup_and_raw_parts_validation() {
+        let b = BandBuckets::from_raw_parts(vec![10, 20], vec![0, 2, 3], vec![5, 7, 1]).unwrap();
+        assert_eq!(b.get(10), &[5, 7]);
+        assert_eq!(b.get(20), &[1]);
+        assert_eq!(b.get(15), &[] as &[u32]);
+        assert_eq!(b.len(), 2);
+        // Malformed flattenings are rejected.
+        assert!(BandBuckets::from_raw_parts(vec![10], vec![0], vec![]).is_err());
+        assert!(BandBuckets::from_raw_parts(vec![10], vec![0, 2], vec![1]).is_err());
+        assert!(BandBuckets::from_raw_parts(vec![10, 10], vec![0, 1, 2], vec![1, 2]).is_err());
+        assert!(BandBuckets::from_raw_parts(vec![20, 10], vec![0, 1, 2], vec![1, 2]).is_err());
+        assert!(BandBuckets::from_raw_parts(vec![10], vec![1, 1], vec![1]).is_err());
+    }
+
+    #[test]
+    fn from_parts_validates_shapes() {
+        let collection = family_collection();
+        let config = IndexConfig::default().with_signature_len(32);
+        let index = SketchIndex::build(&collection, &config).unwrap();
+        let rebuilt = SketchIndex::from_parts(
+            *index.scheme(),
+            *index.params(),
+            index.signatures().to_vec(),
+            index.set_sizes().to_vec(),
+            index.names().to_vec(),
+            (0..index.params().bands()).map(|b| index.band(b).clone()).collect(),
+        )
+        .unwrap();
+        assert_eq!(rebuilt, index);
+        // Wrong band count.
+        assert!(SketchIndex::from_parts(
+            *index.scheme(),
+            *index.params(),
+            index.signatures().to_vec(),
+            index.set_sizes().to_vec(),
+            index.names().to_vec(),
+            vec![],
+        )
+        .is_err());
+        // Mismatched metadata length.
+        assert!(SketchIndex::from_parts(
+            *index.scheme(),
+            *index.params(),
+            index.signatures().to_vec(),
+            vec![],
+            index.names().to_vec(),
+            (0..index.params().bands()).map(|b| index.band(b).clone()).collect(),
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,263 @@
+//! Distributed query serving: LSH bucket shards across simulated ranks.
+//!
+//! Bands are assigned to ranks round-robin ([`band_shard`]), so each
+//! rank answers queries against `⌈b / p⌉` or `⌊b / p⌋` bucket tables.
+//! One batched query round is three collectives:
+//!
+//! 1. **scatter** — rank 0 signs the query batch and broadcasts the
+//!    signatures (every query must visit every band, so the "scatter by
+//!    band hash" degenerates to a broadcast of signatures while the
+//!    *buckets* stay sharded; raw query values travel only when exact
+//!    re-ranking is requested);
+//! 2. **probe + score** — each rank probes only the bands of its shard,
+//!    scores its candidates in parallel and keeps its local top
+//!    (`oversample × k`) per query;
+//! 3. **allgather + merge** — the per-rank partial top lists are
+//!    allgathered, deduplicated by sample id and merged; every rank then
+//!    finalizes (optional exact re-rank, truncate to `k`) identically.
+//!
+//! Because a candidate surviving to the global top-k necessarily survives
+//! the local top list of whichever rank found it, the merged answer is
+//! bit-identical to the single-rank engine's — the `query_serving`
+//! integration suite pins that for the dist-matrix grid.
+
+use gas_core::indicator::SampleCollection;
+use gas_core::minhash::MinHashSignature;
+use gas_dstsim::comm::Communicator;
+
+use crate::build::SketchIndex;
+use crate::error::{IndexError, IndexResult};
+use crate::query::{finalize, lsh_top, scored_less, Neighbor, QueryOptions};
+
+/// The rank owning `band`'s bucket shard in a world of `nranks`:
+/// round-robin over the band index. Band *keys* are already uniform
+/// splitmix hashes, so round-robin assignment of whole bands is hash
+/// sharding with a perfectly balanced placement — and, unlike hashing
+/// the band index, it guarantees no rank is left without buckets
+/// whenever `bands ≥ nranks` (true for every CI grid: indexes default
+/// to ≥ 16 bands, the dist-matrix tops out at 12 ranks).
+pub fn band_shard(band: usize, nranks: usize) -> usize {
+    band % nranks
+}
+
+/// Encode per-query partial top lists as a flat `u64` stream:
+/// `[len, (id << 32 | agreement), ...]` per query, in query order.
+fn encode_partials(partials: &[Vec<(u32, u32)>]) -> Vec<u64> {
+    let mut out = Vec::with_capacity(partials.iter().map(|p| p.len() + 1).sum());
+    for per_query in partials {
+        out.push(per_query.len() as u64);
+        for &(agreement, id) in per_query {
+            out.push((id as u64) << 32 | agreement as u64);
+        }
+    }
+    out
+}
+
+/// Decode one rank's stream back into per-query `(agreement, id)` lists.
+fn decode_partials(stream: &[u64], nqueries: usize) -> IndexResult<Vec<Vec<(u32, u32)>>> {
+    let mut out = Vec::with_capacity(nqueries);
+    let mut pos = 0usize;
+    for q in 0..nqueries {
+        let len = *stream.get(pos).ok_or_else(|| IndexError::Corrupt {
+            context: format!("partial top-k stream ends before query {q}"),
+        })? as usize;
+        pos += 1;
+        if pos + len > stream.len() {
+            return Err(IndexError::Corrupt {
+                context: format!("partial top-k stream truncated inside query {q}"),
+            });
+        }
+        out.push(
+            stream[pos..pos + len]
+                .iter()
+                .map(|&w| ((w & 0xFFFF_FFFF) as u32, (w >> 32) as u32))
+                .collect(),
+        );
+        pos += len;
+    }
+    if pos != stream.len() {
+        return Err(IndexError::Corrupt {
+            context: format!("{} trailing words in partial top-k stream", stream.len() - pos),
+        });
+    }
+    Ok(out)
+}
+
+/// Serve a batch of top-k queries over the band shards of `world`.
+///
+/// `queries` must be `Some` on rank 0 (the ingress rank) and is ignored
+/// elsewhere. Every rank returns the complete, identical answer batch —
+/// callers that only need the answer once can read it from any rank.
+/// With `opts.rerank_exact` set, `collection` must be provided on every
+/// rank (the simulator shares it by reference; a real deployment would
+/// shard the exact sets alongside the buckets).
+pub fn dist_query_batch(
+    world: &Communicator,
+    index: &SketchIndex,
+    collection: Option<&SampleCollection>,
+    queries: Option<&[Vec<u64>]>,
+    opts: &QueryOptions,
+) -> IndexResult<Vec<Vec<Neighbor>>> {
+    let p = world.size();
+    let me = world.rank();
+
+    // Phase 1: rank 0 validates and signs the query batch. The validity
+    // flag is broadcast *first* so that a misuse on the ingress rank
+    // (no query batch) surfaces as a typed error on every rank instead
+    // of leaving the other ranks blocked in a bcast that never comes.
+    let root_ok = world.bcast(0, if me == 0 { Some(queries.is_some() as u8) } else { None })?;
+    if root_ok == 0 {
+        return Err(IndexError::InvalidQuery("rank 0 must provide the query batch".into()));
+    }
+    let signed: Option<Vec<Vec<u64>>> = if me == 0 {
+        let queries = queries.expect("flag checked above");
+        Some(queries.iter().map(|q| index.scheme().sign(q).values().to_vec()).collect())
+    } else {
+        None
+    };
+    let signatures: Vec<MinHashSignature> =
+        world.bcast(0, signed)?.into_iter().map(MinHashSignature::from_values).collect();
+    let raw_queries: Option<Vec<Vec<u64>>> = if opts.rerank_exact {
+        let mine = if me == 0 { Some(queries.expect("flag checked above").to_vec()) } else { None };
+        Some(world.bcast(0, mine)?)
+    } else {
+        None
+    };
+
+    // Phase 2: probe this rank's band shard and score locally.
+    let keep = opts.keep();
+    let partials: Vec<Vec<(u32, u32)>> = signatures
+        .iter()
+        .map(|sig| {
+            let candidates = index.candidates_where(sig, |band| band_shard(band, p) == me);
+            lsh_top(index, sig, &candidates, keep)
+        })
+        .collect();
+
+    // Phase 3: allgather the partial top lists and merge deterministically.
+    let streams: Vec<Vec<u64>> = world.allgatherv(&encode_partials(&partials))?;
+    let nqueries = signatures.len();
+    let mut merged: Vec<Vec<(u32, u32)>> = vec![Vec::new(); nqueries];
+    for stream in &streams {
+        for (q, partial) in decode_partials(stream, nqueries)?.into_iter().enumerate() {
+            merged[q].extend(partial);
+        }
+    }
+    let mut answers = Vec::with_capacity(nqueries);
+    for (q, mut entries) in merged.into_iter().enumerate() {
+        // A candidate can surface on several ranks (one per colliding
+        // band); its agreement score is identical everywhere, so dedup by
+        // id after sorting with the exact ordering the local engine uses.
+        entries.sort_unstable_by(scored_less);
+        entries.dedup_by_key(|e| e.1);
+        entries.truncate(keep);
+        let query_values: &[u64] = match &raw_queries {
+            Some(qs) => &qs[q],
+            None => &[],
+        };
+        answers.push(finalize(entries, index.scheme().len(), query_values, collection, opts)?);
+    }
+    Ok(answers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::IndexConfig;
+    use crate::query::QueryEngine;
+    use gas_dstsim::runtime::Runtime;
+
+    fn workload() -> SampleCollection {
+        let mut samples = Vec::new();
+        for f in 0..4u64 {
+            let core: Vec<u64> = (f * 50_000..f * 50_000 + 500).collect();
+            for m in 0..5u64 {
+                let mut s = core.clone();
+                s.extend(f * 50_000 + 30_000 + m * 25..f * 50_000 + 30_000 + m * 25 + 25);
+                samples.push(s);
+            }
+        }
+        SampleCollection::from_sets(samples).unwrap()
+    }
+
+    #[test]
+    fn band_shard_is_balanced_whenever_bands_cover_ranks() {
+        // Probing is only distributed if every rank owns some band, and
+        // balanced if ownership counts differ by at most one.
+        for p in [2usize, 4, 6, 8, 12] {
+            for bands in [16usize, 32, 64] {
+                let mut owners = vec![0usize; p];
+                for band in 0..bands {
+                    let s = band_shard(band, p);
+                    assert!(s < p);
+                    owners[s] += 1;
+                }
+                let (lo, hi) = (owners.iter().min().unwrap(), owners.iter().max().unwrap());
+                assert!(*lo > 0, "idle rank for p={p}, bands={bands}: {owners:?}");
+                assert!(hi - lo <= 1, "imbalance for p={p}, bands={bands}: {owners:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn partial_stream_round_trips_and_rejects_garbage() {
+        let partials = vec![vec![(192u32, 3u32), (10, 7)], vec![], vec![(1, 1)]];
+        let stream = encode_partials(&partials);
+        let back = decode_partials(&stream, 3).unwrap();
+        assert_eq!(back, partials);
+        assert!(decode_partials(&stream[..stream.len() - 1], 3).is_err());
+        assert!(decode_partials(&stream, 4).is_err());
+        assert!(decode_partials(&stream, 2).is_err());
+        assert!(decode_partials(&[], 0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn distributed_answers_equal_single_rank_answers() {
+        let collection = workload();
+        let config = IndexConfig::default().with_signature_len(128).with_threshold(0.4);
+        let index = SketchIndex::build(&collection, &config).unwrap();
+        let queries: Vec<Vec<u64>> = (0..6).map(|i| collection.sample(i * 3).to_vec()).collect();
+
+        for rerank in [false, true] {
+            let opts = QueryOptions { top_k: 5, rerank_exact: rerank, ..Default::default() };
+            let engine = QueryEngine::with_collection(&index, &collection);
+            let reference = engine.query_batch(&queries, &opts).unwrap();
+
+            for p in [1usize, 3, 5] {
+                let out = Runtime::new(p)
+                    .run(|ctx| {
+                        let q = if ctx.rank() == 0 { Some(&queries[..]) } else { None };
+                        ctx.expect_ok(
+                            "dist_query_batch",
+                            dist_query_batch(ctx.world(), &index, Some(&collection), q, &opts),
+                        )
+                    })
+                    .unwrap();
+                for (rank, answers) in out.results.iter().enumerate() {
+                    assert_eq!(
+                        answers, &reference,
+                        "p={p}, rank={rank}, rerank={rerank}: distributed answers diverge"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn missing_queries_on_root_errors_on_every_rank_without_hanging() {
+        // Every rank calls the collective; rank 0 has no query batch. The
+        // validity pre-broadcast must turn that into a typed error on all
+        // ranks instead of deadlocking ranks 1..p in the signature bcast.
+        let index = SketchIndex::build(
+            &SampleCollection::from_sorted_sets(vec![vec![1, 2, 3]]).unwrap(),
+            &IndexConfig::default().with_signature_len(16),
+        )
+        .unwrap();
+        let out = Runtime::new(3)
+            .run(|ctx| dist_query_batch(ctx.world(), &index, None, None, &QueryOptions::default()))
+            .unwrap();
+        for result in out.results {
+            assert!(matches!(result, Err(IndexError::InvalidQuery(_))), "expected typed error");
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Error types for the sketch-index subsystem.
+
+use std::fmt;
+
+/// Result alias for index operations.
+pub type IndexResult<T> = Result<T, IndexError>;
+
+/// Errors produced by index construction, persistence and querying.
+#[derive(Debug)]
+pub enum IndexError {
+    /// The index configuration is unusable (zero bands, threshold out of
+    /// range, signature/band mismatch, ...).
+    InvalidConfig(String),
+    /// A query or rerank request is malformed (missing collection, id out
+    /// of range, ...).
+    InvalidQuery(String),
+    /// An I/O error while reading or writing a container file.
+    Io(std::io::Error),
+    /// The file does not start with the container magic.
+    BadMagic,
+    /// The container declares a format version this reader cannot parse.
+    UnsupportedVersion(u32),
+    /// The file is shorter than its header or section table declares.
+    Truncated {
+        /// What was being read when the bytes ran out.
+        context: String,
+    },
+    /// A section's stored checksum does not match its payload.
+    ChecksumMismatch {
+        /// Tag of the failing section (or "header").
+        section: String,
+    },
+    /// A required section is absent from the container.
+    MissingSection(String),
+    /// The bytes parse but violate a structural invariant.
+    Corrupt {
+        /// Which invariant failed.
+        context: String,
+    },
+    /// An error from the core (signature) layer.
+    Core(gas_core::CoreError),
+    /// An error from the sparse (rerank) layer.
+    Sparse(gas_sparse::SparseError),
+    /// An error from the simulated distributed runtime.
+    Sim(gas_dstsim::SimError),
+}
+
+impl fmt::Display for IndexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IndexError::InvalidConfig(msg) => write!(f, "invalid index configuration: {msg}"),
+            IndexError::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
+            IndexError::Io(e) => write!(f, "container I/O error: {e}"),
+            IndexError::BadMagic => write!(f, "not a gas-index container (bad magic)"),
+            IndexError::UnsupportedVersion(v) => {
+                write!(f, "unsupported container version {v}")
+            }
+            IndexError::Truncated { context } => {
+                write!(f, "container truncated while reading {context}")
+            }
+            IndexError::ChecksumMismatch { section } => {
+                write!(f, "checksum mismatch in section {section}")
+            }
+            IndexError::MissingSection(tag) => write!(f, "missing container section {tag}"),
+            IndexError::Corrupt { context } => write!(f, "corrupt container: {context}"),
+            IndexError::Core(e) => write!(f, "core error: {e}"),
+            IndexError::Sparse(e) => write!(f, "sparse algebra error: {e}"),
+            IndexError::Sim(e) => write!(f, "distributed runtime error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IndexError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IndexError::Io(e) => Some(e),
+            IndexError::Core(e) => Some(e),
+            IndexError::Sparse(e) => Some(e),
+            IndexError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for IndexError {
+    fn from(e: std::io::Error) -> Self {
+        IndexError::Io(e)
+    }
+}
+
+impl From<gas_core::CoreError> for IndexError {
+    fn from(e: gas_core::CoreError) -> Self {
+        IndexError::Core(e)
+    }
+}
+
+impl From<gas_sparse::SparseError> for IndexError {
+    fn from(e: gas_sparse::SparseError) -> Self {
+        IndexError::Sparse(e)
+    }
+}
+
+impl From<gas_dstsim::SimError> for IndexError {
+    fn from(e: gas_dstsim::SimError) -> Self {
+        IndexError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        assert!(IndexError::InvalidConfig("zero bands".into()).to_string().contains("zero bands"));
+        assert!(IndexError::BadMagic.to_string().contains("magic"));
+        assert!(IndexError::UnsupportedVersion(9).to_string().contains('9'));
+        assert!(IndexError::Truncated { context: "SIGS".into() }.to_string().contains("SIGS"));
+        assert!(IndexError::ChecksumMismatch { section: "BUCK".into() }
+            .to_string()
+            .contains("BUCK"));
+        assert!(IndexError::MissingSection("META".into()).to_string().contains("META"));
+        let e: IndexError = std::io::Error::other("boom").into();
+        assert!(e.to_string().contains("boom"));
+        let e: IndexError = gas_dstsim::SimError::InvalidWorldSize(0).into();
+        assert!(e.to_string().contains("runtime"));
+        let e: IndexError =
+            gas_core::CoreError::InvalidConfig("sketch size must be positive".into()).into();
+        assert!(e.to_string().contains("sketch size"));
+        let e: IndexError = gas_sparse::SparseError::ShapeMismatch { context: "x".into() }.into();
+        assert!(e.to_string().contains("sparse"));
+    }
+}

@@ -1,0 +1,53 @@
+//! # gas-index — persistent MinHash–LSH sketch index + top-k query engine
+//!
+//! The paper's pipeline answers *all-pairs* similarity; this crate turns
+//! the same sketches into a *served* workload, the Mash/BIGSI-style
+//! sketch-database shape the paper benchmarks against (Table II): build
+//! an index once, persist it, shard it, and answer batched top-k
+//! similarity queries against it. Four layers:
+//!
+//! * [`params`] — LSH banding parameters `(b, r)` derived from a target
+//!   Jaccard threshold (the `1 − (1 − j^r)^b` S-curve);
+//! * [`build`] — the [`build::SketchIndex`]: k-mins MinHash signatures
+//!   from `gas_core::minhash` plus flattened, key-sorted bucket tables
+//!   per band;
+//! * [`container`] — a self-describing, versioned, checksummed binary
+//!   container (magic + section table + little-endian pods) with a
+//!   bounds-checked reader — persistence without serde;
+//! * [`query`] / [`dist`] — the batched top-k engine: probe buckets,
+//!   score candidates in parallel (rayon map + reduce), optionally
+//!   re-rank exactly over the `gas_sparse` popcount-AND kernel; the
+//!   distributed variant shards bands across `gas_dstsim` ranks and
+//!   merges per-rank partial top-k lists into bit-identical answers.
+//!
+//! ```
+//! use gas_core::indicator::SampleCollection;
+//! use gas_index::{IndexConfig, QueryEngine, QueryOptions, SketchIndex};
+//!
+//! let collection = SampleCollection::from_sorted_sets(vec![
+//!     (0..500u64).collect(),
+//!     (50..550u64).collect(),
+//!     (10_000..10_500u64).collect(),
+//! ]).unwrap();
+//! let index = SketchIndex::build(&collection, &IndexConfig::default()).unwrap();
+//! let engine = QueryEngine::with_collection(&index, &collection);
+//! let opts = QueryOptions { top_k: 2, rerank_exact: true, ..Default::default() };
+//! let hits = engine.query(collection.sample(0), &opts).unwrap();
+//! assert_eq!(hits[0].id, 0);          // a sample is its own best match
+//! assert_eq!(hits[1].id, 1);          // its 90%-overlap twin is next
+//! assert!(hits[1].score > 0.8);
+//! ```
+
+pub mod build;
+pub mod container;
+pub mod dist;
+pub mod error;
+pub mod params;
+pub mod query;
+
+pub use build::{BandBuckets, IndexConfig, SketchIndex};
+pub use container::{Container, ContainerWriter};
+pub use dist::dist_query_batch;
+pub use error::{IndexError, IndexResult};
+pub use params::LshParams;
+pub use query::{exact_top_k, Neighbor, QueryEngine, QueryOptions};

@@ -1,0 +1,470 @@
+//! The batched top-k query engine.
+//!
+//! A query is a set of attribute values (k-mer codes). Serving it means:
+//! sign the query with the index's [`SignatureScheme`], probe every LSH
+//! band bucket for candidates, score the candidates by signature
+//! agreement in parallel (rayon map + reduce over candidate chunks,
+//! merging per-chunk top lists), and optionally re-rank the survivors
+//! with *exact* Jaccard computed over the bit-packed popcount-AND path of
+//! `gas_sparse` (Eq. 7 applied per candidate pair instead of as a full
+//! `AᵀA`). Everything is deterministic: candidate sets are sorted, and
+//! ties break toward the smaller sample id.
+
+use gas_core::indicator::SampleCollection;
+use gas_core::minhash::MinHashSignature;
+use gas_sparse::bitmat::BitMatrix;
+use rayon::prelude::*;
+
+use crate::build::SketchIndex;
+use crate::error::{IndexError, IndexResult};
+
+/// One answer of a top-k query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    /// Sample id in the indexed collection.
+    pub id: u32,
+    /// Number of agreeing signature positions (0 for purely exact
+    /// scoring, where no signatures were involved).
+    pub agreement: u32,
+    /// Similarity score: the MinHash estimate `agreement / len`, replaced
+    /// by the exact Jaccard similarity after re-ranking.
+    pub score: f64,
+}
+
+/// Options of one batched query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryOptions {
+    /// Number of neighbors to return per query.
+    pub top_k: usize,
+    /// Keep `oversample × top_k` LSH candidates through the scoring
+    /// stage; re-ranking then picks the final `top_k` from that pool.
+    /// Absorbs estimator noise near the cut-off.
+    pub oversample: usize,
+    /// Re-rank the surviving candidates with exact Jaccard via the
+    /// popcount-AND path (requires the engine to hold the collection).
+    pub rerank_exact: bool,
+}
+
+impl Default for QueryOptions {
+    fn default() -> Self {
+        QueryOptions { top_k: 10, oversample: 3, rerank_exact: false }
+    }
+}
+
+impl QueryOptions {
+    /// Candidates kept through the LSH scoring stage.
+    pub fn keep(&self) -> usize {
+        self.top_k.saturating_mul(self.oversample.max(1)).max(self.top_k)
+    }
+}
+
+/// Entries of the LSH scoring stage: `(agreement, id)` ordered by
+/// agreement descending, then id ascending.
+pub(crate) type Scored = (u32, u32);
+
+/// The one ordering every ranking stage (local scoring, distributed
+/// merge) must share for the single-rank and sharded paths to return
+/// bit-identical answers.
+#[inline]
+pub(crate) fn scored_less(a: &Scored, b: &Scored) -> std::cmp::Ordering {
+    b.0.cmp(&a.0).then(a.1.cmp(&b.1))
+}
+
+/// Query values as the sorted, deduplicated set every scoring path
+/// assumes: borrowed when already canonical, normalized otherwise.
+pub(crate) fn normalized_query(values: &[u64]) -> std::borrow::Cow<'_, [u64]> {
+    if values.windows(2).all(|w| w[0] < w[1]) {
+        return std::borrow::Cow::Borrowed(values);
+    }
+    let mut owned = values.to_vec();
+    owned.sort_unstable();
+    owned.dedup();
+    std::borrow::Cow::Owned(owned)
+}
+
+/// Merge two lists sorted by [`scored_less`], keeping the best `keep`.
+fn merge_scored(a: Vec<Scored>, b: Vec<Scored>, keep: usize) -> Vec<Scored> {
+    if a.is_empty() || b.is_empty() {
+        let mut out = if a.is_empty() { b } else { a };
+        out.truncate(keep);
+        return out;
+    }
+    let mut out = Vec::with_capacity((a.len() + b.len()).min(keep));
+    let (mut i, mut j) = (0usize, 0usize);
+    while out.len() < keep && (i < a.len() || j < b.len()) {
+        let take_a = match (a.get(i), b.get(j)) {
+            (Some(x), Some(y)) => scored_less(x, y) != std::cmp::Ordering::Greater,
+            (Some(_), None) => true,
+            _ => false,
+        };
+        if take_a {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out
+}
+
+/// Score `candidates` against `sig` and keep the best `keep`, in
+/// parallel over candidate chunks (rayon map + reduce).
+pub(crate) fn lsh_top(
+    index: &SketchIndex,
+    sig: &MinHashSignature,
+    candidates: &[u32],
+    keep: usize,
+) -> Vec<Scored> {
+    if candidates.is_empty() || keep == 0 {
+        return Vec::new();
+    }
+    let chunk = 1024usize;
+    candidates
+        .par_chunks(chunk)
+        .map(|ids| {
+            let mut local: Vec<Scored> = ids
+                .iter()
+                .map(|&id| (index.signature(id as usize).agreement(sig) as u32, id))
+                .collect();
+            local.sort_unstable_by(scored_less);
+            local.truncate(keep);
+            local
+        })
+        .reduce(Vec::new, |a, b| merge_scored(a, b, keep))
+}
+
+/// Exact Jaccard similarities between `query` and each of `ids`, through
+/// the bit-packed popcount-AND kernel: the query and candidate sets are
+/// remapped onto their value union (the same zero-row-elimination idea as
+/// the paper's filter step), packed 64 rows per word, and intersected
+/// with [`BitMatrix::and_popcount`].
+pub fn exact_scores_popcount(
+    collection: &SampleCollection,
+    query: &[u64],
+    ids: &[u32],
+) -> IndexResult<Vec<f64>> {
+    let query = &*normalized_query(query);
+    for &id in ids {
+        if id as usize >= collection.n() {
+            return Err(IndexError::InvalidQuery(format!(
+                "candidate id {id} out of range for {} samples",
+                collection.n()
+            )));
+        }
+    }
+    let mut universe: Vec<u64> = query.to_vec();
+    for &id in ids {
+        universe.extend_from_slice(collection.sample(id as usize));
+    }
+    universe.sort_unstable();
+    universe.dedup();
+    let remap = |values: &[u64]| -> Vec<usize> {
+        values
+            .iter()
+            .map(|v| universe.binary_search(v).expect("value drawn from the union"))
+            .collect()
+    };
+    let mut columns = Vec::with_capacity(ids.len() + 1);
+    columns.push(remap(query));
+    for &id in ids {
+        columns.push(remap(collection.sample(id as usize)));
+    }
+    let bm = BitMatrix::from_columns(universe.len().max(1), &columns)?;
+    Ok(ids
+        .iter()
+        .enumerate()
+        .map(|(j, &id)| {
+            let inter = bm.and_popcount(0, j + 1);
+            let union = query.len() as u64 + collection.sample(id as usize).len() as u64 - inter;
+            if union == 0 {
+                1.0 // Both empty: J = 1 by the pipeline's convention.
+            } else {
+                inter as f64 / union as f64
+            }
+        })
+        .collect())
+}
+
+/// Turn scored LSH entries into final neighbors: optionally re-rank with
+/// exact Jaccard, then truncate to `top_k`. Shared by the local and the
+/// distributed query paths so both return bit-identical answers.
+pub(crate) fn finalize(
+    scored: Vec<Scored>,
+    signature_len: usize,
+    query: &[u64],
+    collection: Option<&SampleCollection>,
+    opts: &QueryOptions,
+) -> IndexResult<Vec<Neighbor>> {
+    let mut neighbors: Vec<Neighbor> = scored
+        .into_iter()
+        .map(|(agreement, id)| Neighbor {
+            id,
+            agreement,
+            score: agreement as f64 / signature_len as f64,
+        })
+        .collect();
+    if opts.rerank_exact {
+        let collection = collection.ok_or_else(|| {
+            IndexError::InvalidQuery(
+                "exact re-ranking requires the engine to hold the sample collection".into(),
+            )
+        })?;
+        let ids: Vec<u32> = neighbors.iter().map(|n| n.id).collect();
+        let exact = exact_scores_popcount(collection, query, &ids)?;
+        for (n, score) in neighbors.iter_mut().zip(exact) {
+            n.score = score;
+        }
+        neighbors.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.id.cmp(&b.id)));
+    }
+    neighbors.truncate(opts.top_k);
+    Ok(neighbors)
+}
+
+/// The batched top-k query engine over one [`SketchIndex`].
+#[derive(Debug, Clone, Copy)]
+pub struct QueryEngine<'a> {
+    index: &'a SketchIndex,
+    collection: Option<&'a SampleCollection>,
+}
+
+impl<'a> QueryEngine<'a> {
+    /// An engine that scores with signatures only (no exact re-ranking).
+    pub fn new(index: &'a SketchIndex) -> Self {
+        QueryEngine { index, collection: None }
+    }
+
+    /// An engine that can re-rank exactly against the original sets.
+    pub fn with_collection(index: &'a SketchIndex, collection: &'a SampleCollection) -> Self {
+        QueryEngine { index, collection: Some(collection) }
+    }
+
+    /// The underlying index.
+    pub fn index(&self) -> &SketchIndex {
+        self.index
+    }
+
+    /// Answer one query. `values` is treated as a set: it need not be
+    /// sorted or deduplicated (signing is order-insensitive, and the
+    /// exact re-rank canonicalizes before intersecting).
+    pub fn query(&self, values: &[u64], opts: &QueryOptions) -> IndexResult<Vec<Neighbor>> {
+        let values = &*normalized_query(values);
+        let sig = self.index.scheme().sign(values);
+        let candidates = self.index.candidates(&sig);
+        let scored = lsh_top(self.index, &sig, &candidates, opts.keep());
+        finalize(scored, self.index.scheme().len(), values, self.collection, opts)
+    }
+
+    /// Answer a batch of queries. Each query's candidate scoring runs in
+    /// parallel over candidate chunks; queries are processed in order so
+    /// results line up with the input slice.
+    pub fn query_batch(
+        &self,
+        queries: &[Vec<u64>],
+        opts: &QueryOptions,
+    ) -> IndexResult<Vec<Vec<Neighbor>>> {
+        queries.iter().map(|q| self.query(q, opts)).collect()
+    }
+}
+
+/// Exact top-k by brute force over every sample (merge-join on the sorted
+/// sets) — the ground truth the engine's recall is measured against, and
+/// the "linear scan" baseline of the `query_throughput` experiment.
+pub fn exact_top_k(collection: &SampleCollection, query: &[u64], top_k: usize) -> Vec<Neighbor> {
+    let query = &*normalized_query(query);
+    let mut scored: Vec<Neighbor> = (0..collection.n())
+        .map(|id| {
+            let sample = collection.sample(id);
+            let inter = sorted_intersection_size(query, sample);
+            let union = query.len() as u64 + sample.len() as u64 - inter;
+            let score = if union == 0 { 1.0 } else { inter as f64 / union as f64 };
+            Neighbor { id: id as u32, agreement: 0, score }
+        })
+        .collect();
+    scored.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.id.cmp(&b.id)));
+    scored.truncate(top_k);
+    scored
+}
+
+/// Intersection cardinality of two sorted, deduplicated slices.
+pub fn sorted_intersection_size(a: &[u64], b: &[u64]) -> u64 {
+    let (mut i, mut j, mut count) = (0usize, 0usize, 0u64);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::IndexConfig;
+
+    fn workload() -> SampleCollection {
+        // Three families of four samples; family cores overlap heavily.
+        let mut samples = Vec::new();
+        for f in 0..3u64 {
+            let core: Vec<u64> = (f * 100_000..f * 100_000 + 600).collect();
+            for m in 0..4u64 {
+                let mut s = core.clone();
+                s.extend(f * 100_000 + 50_000 + m * 40..f * 100_000 + 50_000 + m * 40 + 40);
+                samples.push(s);
+            }
+        }
+        SampleCollection::from_sets(samples).unwrap()
+    }
+
+    fn engine_fixture() -> (SampleCollection, SketchIndex) {
+        let collection = workload();
+        let config = IndexConfig::default().with_signature_len(192).with_threshold(0.4);
+        let index = SketchIndex::build(&collection, &config).unwrap();
+        (collection, index)
+    }
+
+    #[test]
+    fn self_query_returns_itself_first() {
+        let (collection, index) = engine_fixture();
+        let engine = QueryEngine::with_collection(&index, &collection);
+        for id in 0..collection.n() {
+            let opts = QueryOptions { top_k: 4, ..QueryOptions::default() };
+            let got = engine.query(collection.sample(id), &opts).unwrap();
+            assert_eq!(got[0].id, id as u32, "sample {id} not its own best match");
+            assert!(got[0].score > 0.99);
+            // The rest of the top-4 is the rest of the family.
+            let family = (id / 4) * 4;
+            for n in &got {
+                assert!(
+                    (family..family + 4).contains(&(n.id as usize)),
+                    "sample {id} matched outside its family: {got:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn estimates_and_exact_rerank_agree_on_ranking_quality() {
+        let (collection, index) = engine_fixture();
+        let query: Vec<u64> = collection.sample(5).iter().copied().step_by(2).collect();
+        let exact = exact_top_k(&collection, &query, 4);
+
+        let estimate_engine = QueryEngine::new(&index);
+        let est = estimate_engine
+            .query(&query, &QueryOptions { top_k: 4, ..Default::default() })
+            .unwrap();
+        assert_eq!(est[0].id, exact[0].id, "estimate misses the top-1");
+
+        let rerank_engine = QueryEngine::with_collection(&index, &collection);
+        let opts = QueryOptions { top_k: 4, rerank_exact: true, ..Default::default() };
+        let rr = rerank_engine.query(&query, &opts).unwrap();
+        for (got, want) in rr.iter().zip(&exact) {
+            assert_eq!(got.id, want.id);
+            assert!((got.score - want.score).abs() < 1e-12, "{got:?} vs {want:?}");
+        }
+    }
+
+    #[test]
+    fn rerank_without_collection_is_an_error() {
+        let (_, index) = engine_fixture();
+        let engine = QueryEngine::new(&index);
+        let opts = QueryOptions { rerank_exact: true, ..Default::default() };
+        assert!(matches!(engine.query(&[1, 2, 3], &opts), Err(IndexError::InvalidQuery(_))));
+    }
+
+    #[test]
+    fn exact_scores_popcount_matches_merge_join() {
+        let collection = workload();
+        let query: Vec<u64> = collection.sample(0).iter().copied().take(400).collect();
+        let ids: Vec<u32> = (0..collection.n() as u32).collect();
+        let pop = exact_scores_popcount(&collection, &query, &ids).unwrap();
+        for (&id, &score) in ids.iter().zip(&pop) {
+            let sample = collection.sample(id as usize);
+            let inter = sorted_intersection_size(&query, sample);
+            let union = query.len() as u64 + sample.len() as u64 - inter;
+            let want = inter as f64 / union as f64;
+            assert!((score - want).abs() < 1e-12, "id {id}: {score} vs {want}");
+        }
+        // Out-of-range candidate ids are rejected.
+        assert!(exact_scores_popcount(&collection, &query, &[999]).is_err());
+    }
+
+    #[test]
+    fn batch_queries_line_up_with_inputs() {
+        let (collection, index) = engine_fixture();
+        let engine = QueryEngine::with_collection(&index, &collection);
+        let queries: Vec<Vec<u64>> = (0..6).map(|i| collection.sample(i * 2).to_vec()).collect();
+        let opts = QueryOptions { top_k: 3, rerank_exact: true, ..Default::default() };
+        let batch = engine.query_batch(&queries, &opts).unwrap();
+        assert_eq!(batch.len(), queries.len());
+        for (i, answers) in batch.iter().enumerate() {
+            assert_eq!(answers[0].id, (i * 2) as u32);
+            assert_eq!(answers, &engine.query(&queries[i], &opts).unwrap());
+        }
+    }
+
+    #[test]
+    fn empty_queries_and_empty_results_behave() {
+        let (collection, index) = engine_fixture();
+        let engine = QueryEngine::with_collection(&index, &collection);
+        // An empty query collides with no indexed sample (none is empty).
+        let got = engine.query(&[], &QueryOptions::default()).unwrap();
+        assert!(got.is_empty());
+        // top_k = 0 returns nothing.
+        let got = engine
+            .query(collection.sample(0), &QueryOptions { top_k: 0, ..Default::default() })
+            .unwrap();
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn unsorted_and_duplicated_queries_are_canonicalized() {
+        // Public entry points treat the query as a set: shuffled or
+        // duplicated values must produce exactly the answers of the
+        // sorted, deduplicated query — including through the exact
+        // popcount re-rank, which would otherwise reject non-increasing
+        // columns or inflate the union term.
+        let (collection, index) = engine_fixture();
+        let engine = QueryEngine::with_collection(&index, &collection);
+        let clean: Vec<u64> = collection.sample(7).to_vec();
+        let mut messy: Vec<u64> = clean.iter().rev().copied().collect();
+        messy.extend_from_slice(&clean[..clean.len() / 3]); // duplicates
+        for rerank in [false, true] {
+            let opts = QueryOptions { top_k: 4, rerank_exact: rerank, ..Default::default() };
+            assert_eq!(
+                engine.query(&messy, &opts).unwrap(),
+                engine.query(&clean, &opts).unwrap(),
+                "rerank={rerank}"
+            );
+        }
+        assert_eq!(exact_top_k(&collection, &messy, 3), exact_top_k(&collection, &clean, 3));
+        let ids = [0u32, 7];
+        assert_eq!(
+            exact_scores_popcount(&collection, &messy, &ids).unwrap(),
+            exact_scores_popcount(&collection, &clean, &ids).unwrap()
+        );
+    }
+
+    #[test]
+    fn merge_scored_keeps_order_and_cap() {
+        let a = vec![(9, 1), (5, 0), (5, 2)];
+        let b = vec![(9, 0), (7, 5), (5, 1)];
+        let m = merge_scored(a.clone(), b.clone(), 4);
+        assert_eq!(m, vec![(9, 0), (9, 1), (7, 5), (5, 0)]);
+        assert_eq!(merge_scored(a.clone(), Vec::new(), 2), a[..2].to_vec());
+        assert_eq!(merge_scored(Vec::new(), b.clone(), 2), b[..2].to_vec());
+    }
+
+    #[test]
+    fn sorted_intersection_size_basics() {
+        assert_eq!(sorted_intersection_size(&[1, 2, 3], &[2, 3, 4]), 2);
+        assert_eq!(sorted_intersection_size(&[], &[1]), 0);
+        assert_eq!(sorted_intersection_size(&[5], &[5]), 1);
+    }
+}

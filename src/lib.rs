@@ -19,6 +19,9 @@
 //!   baselines and the paper's analytic BSP cost model.
 //! * [`cluster`] — downstream applications: hierarchical clustering,
 //!   neighbor-joining guide trees, k-medoids, outlier detection.
+//! * [`index`] — the persistent MinHash–LSH sketch index and its batched
+//!   top-k query engine (build / persist / query / distribute), the
+//!   query-serving counterpart of the all-pairs pipeline.
 //!
 //! ## Quickstart
 //!
@@ -44,6 +47,7 @@ pub use gas_cluster as cluster;
 pub use gas_core as core;
 pub use gas_dstsim as dstsim;
 pub use gas_genomics as genomics;
+pub use gas_index as index;
 pub use gas_sparse as sparse;
 
 /// Commonly used types and entry points for the whole stack.
@@ -61,5 +65,9 @@ pub mod prelude {
     pub use gas_genomics::fasta::FastaReader;
     pub use gas_genomics::kmer::KmerExtractor;
     pub use gas_genomics::sample::KmerSample;
+    pub use gas_index::{
+        dist_query_batch, exact_top_k, IndexConfig, LshParams, Neighbor, QueryEngine, QueryOptions,
+        SketchIndex,
+    };
     pub use gas_sparse::dense::DenseMatrix;
 }

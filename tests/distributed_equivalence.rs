@@ -73,9 +73,12 @@ fn every_rank_owns_output_and_summa_chunks() {
         for replication in env_usize_list("GAS_DIST_REPLICATION", &[1, 2]) {
             let out = Runtime::new(p)
                 .run(|ctx| {
-                    let ata = DistAta::new(ctx.world(), 48, replication).unwrap();
+                    let ata = ctx.expect_ok(
+                        "DistAta grid setup",
+                        DistAta::new(ctx.world(), 48, replication),
+                    );
                     let grid = ata.grid().clone();
-                    let coords = grid.coords_of(ctx.rank()).unwrap();
+                    let coords = ctx.expect_ok("grid coordinates", grid.coords_of(ctx.rank()));
                     let owned_right =
                         (0..ata.steps_per_layer()).filter(|t| t % grid.rows() == coords[0]).count();
                     let owned_left =

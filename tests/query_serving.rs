@@ -1,0 +1,123 @@
+//! Distributed query-serving equivalence: the band-sharded engine must
+//! answer bit-identically to the single-rank engine for every rank count
+//! of the CI dist-matrix grid (`GAS_DIST_RANKS` pins one configuration
+//! per CI job; local runs cover the full default matrix).
+
+use genomeatscale::index::dist::band_shard;
+use genomeatscale::prelude::*;
+
+fn env_usize_list(name: &str, default: &[usize]) -> Vec<usize> {
+    match std::env::var(name) {
+        Ok(v) => v
+            .split(',')
+            .map(|s| s.trim().parse().unwrap_or_else(|_| panic!("{name} must be a usize list")))
+            .collect(),
+        Err(_) => default.to_vec(),
+    }
+}
+
+fn family_workload() -> SampleCollection {
+    let mut samples = Vec::new();
+    for f in 0..5u64 {
+        let core: Vec<u64> = (f * 40_000..f * 40_000 + 400).collect();
+        for m in 0..6u64 {
+            let mut s = core.clone();
+            s.extend(f * 40_000 + 20_000 + m * 30..f * 40_000 + 20_000 + m * 30 + 30);
+            samples.push(s);
+        }
+    }
+    SampleCollection::from_sets(samples).unwrap()
+}
+
+#[test]
+fn sharded_answers_equal_single_rank_answers_across_grid() {
+    let collection = family_workload();
+    let config = IndexConfig::default().with_signature_len(128).with_threshold(0.4);
+    let index = SketchIndex::build(&collection, &config).unwrap();
+    // Queries: every fifth sample verbatim, one perturbation, one empty.
+    let mut queries: Vec<Vec<u64>> =
+        (0..collection.n()).step_by(5).map(|i| collection.sample(i).to_vec()).collect();
+    queries.push(collection.sample(3).iter().copied().step_by(3).collect());
+    queries.push(Vec::new());
+
+    for rerank in [false, true] {
+        let opts = QueryOptions { top_k: 6, rerank_exact: rerank, ..Default::default() };
+        let engine = QueryEngine::with_collection(&index, &collection);
+        let reference = engine.query_batch(&queries, &opts).unwrap();
+
+        for ranks in env_usize_list("GAS_DIST_RANKS", &[1, 2, 4, 6, 8]) {
+            let out = Runtime::new(ranks)
+                .run(|ctx| {
+                    let q = if ctx.rank() == 0 { Some(&queries[..]) } else { None };
+                    ctx.expect_ok(
+                        "dist_query_batch",
+                        dist_query_batch(ctx.world(), &index, Some(&collection), q, &opts),
+                    )
+                })
+                .unwrap();
+            for (rank, answers) in out.results.iter().enumerate() {
+                assert_eq!(
+                    answers, &reference,
+                    "rank {rank}/{ranks} (rerank={rerank}): sharded answers diverge"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn every_rank_owns_bands_of_real_indexes_on_ci_grids() {
+    // Sharded serving only balances if each rank owns part of the bucket
+    // space of an *actual built index* (not a hypothetical band count)
+    // for every grid of the dist-matrix.
+    let collection = family_workload();
+    for threshold in [0.3, 0.4, 0.5] {
+        let config = IndexConfig::default().with_signature_len(128).with_threshold(threshold);
+        let index = SketchIndex::build(&collection, &config).unwrap();
+        let bands = index.params().bands();
+        for ranks in env_usize_list("GAS_DIST_RANKS", &[4, 6, 8, 12]) {
+            assert!(
+                bands >= ranks,
+                "default-sized indexes must have at least one band per rank \
+                 (threshold={threshold}: {bands} bands < {ranks} ranks)"
+            );
+            let mut owned = vec![0usize; ranks];
+            for band in 0..bands {
+                owned[band_shard(band, ranks)] += 1;
+            }
+            assert!(
+                owned.iter().all(|&c| c > 0),
+                "ranks without bands on p={ranks}, threshold={threshold}: {owned:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn persisted_index_serves_identically_to_the_built_one() {
+    // The full serving loop of the README: build → persist → load →
+    // serve, sharded. Answers from the loaded index must match answers
+    // from the freshly built one.
+    let collection = family_workload();
+    let index =
+        SketchIndex::build(&collection, &IndexConfig::default().with_signature_len(64)).unwrap();
+    let loaded = SketchIndex::from_container_bytes(index.to_container_bytes()).unwrap();
+    let queries: Vec<Vec<u64>> = (0..4).map(|i| collection.sample(i * 7).to_vec()).collect();
+    let opts = QueryOptions { top_k: 5, rerank_exact: true, ..Default::default() };
+
+    let built_answers =
+        QueryEngine::with_collection(&index, &collection).query_batch(&queries, &opts).unwrap();
+    let ranks = *env_usize_list("GAS_DIST_RANKS", &[4]).first().unwrap_or(&4);
+    let out = Runtime::new(ranks)
+        .run(|ctx| {
+            let q = if ctx.rank() == 0 { Some(&queries[..]) } else { None };
+            ctx.expect_ok(
+                "dist_query_batch over loaded index",
+                dist_query_batch(ctx.world(), &loaded, Some(&collection), q, &opts),
+            )
+        })
+        .unwrap();
+    for answers in &out.results {
+        assert_eq!(answers, &built_answers);
+    }
+}

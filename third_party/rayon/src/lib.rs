@@ -65,6 +65,22 @@ impl<F> ParRangeMap<F> {
     {
         C::from(par_map_range(self.range, &self.f))
     }
+
+    /// Execute the map in parallel and reduce the results with `op`,
+    /// mirroring rayon's `reduce(identity, op)`: each worker folds its
+    /// contiguous index chunk starting from `identity()`, and the per-chunk
+    /// partials are combined left to right. As in real rayon, `op` must be
+    /// associative and `identity()` a true identity for the result to be
+    /// independent of how the range is split across threads.
+    pub fn reduce<T, ID, OP>(self, identity: ID, op: OP) -> T
+    where
+        F: Fn(usize) -> T + Sync,
+        T: Send,
+        ID: Fn() -> T + Sync,
+        OP: Fn(T, T) -> T + Sync,
+    {
+        par_reduce_range(self.range, &self.f, &identity, &op)
+    }
 }
 
 /// Parallel operations on slices (mirrors rayon's `ParallelSlice`).
@@ -122,6 +138,29 @@ impl<T: Sync, F> ParChunksMap<'_, T, F> {
         });
         C::from(out)
     }
+
+    /// Map each chunk in parallel and reduce the per-chunk results with
+    /// `op` (fold/reduce over chunks). Same contract as
+    /// [`ParRangeMap::reduce`]: `op` associative, `identity()` neutral.
+    pub fn reduce<U, ID, OP>(self, identity: ID, op: OP) -> U
+    where
+        F: Fn(&[T]) -> U + Sync,
+        U: Send,
+        ID: Fn() -> U + Sync,
+        OP: Fn(U, U) -> U + Sync,
+    {
+        let nchunks = self.slice.len().div_ceil(self.chunk_size.max(1));
+        par_reduce_range(
+            0..nchunks,
+            &|c| {
+                let lo = c * self.chunk_size;
+                let hi = (lo + self.chunk_size).min(self.slice.len());
+                (self.f)(&self.slice[lo..hi])
+            },
+            &identity,
+            &op,
+        )
+    }
 }
 
 fn par_map_range<T, F>(range: Range<usize>, f: &F) -> Vec<T>
@@ -151,6 +190,37 @@ where
     out.into_iter().flatten().collect()
 }
 
+fn par_reduce_range<T, F, ID, OP>(range: Range<usize>, f: &F, identity: &ID, op: &OP) -> T
+where
+    F: Fn(usize) -> T + Sync,
+    T: Send,
+    ID: Fn() -> T + Sync,
+    OP: Fn(T, T) -> T + Sync,
+{
+    let len = range.len();
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if len < 2 || threads < 2 {
+        return range.map(f).fold(identity(), op);
+    }
+    let chunks = threads.min(len);
+    let chunk_len = len.div_ceil(chunks);
+    let mut partials: Vec<T> = Vec::with_capacity(chunks);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(chunks);
+        for c in 0..chunks {
+            let lo = range.start + c * chunk_len;
+            let hi = (lo + chunk_len).min(range.end);
+            handles.push(scope.spawn(move || (lo..hi).map(f).fold(identity(), op)));
+        }
+        for h in handles {
+            partials.push(h.join().expect("parallel reduce worker panicked"));
+        }
+    });
+    // Combine per-chunk partials in chunk order so order-sensitive (but
+    // associative) operations like concatenation behave as a left fold.
+    partials.into_iter().fold(identity(), op)
+}
+
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
@@ -171,6 +241,40 @@ mod tests {
         }
         let empty: Vec<usize> = [].par_chunks(4).map(<[i32]>::len).collect();
         assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn map_reduce_over_range_matches_serial_fold() {
+        let sum: u64 = (0..100_000).into_par_iter().map(|i| i as u64).reduce(|| 0, |a, b| a + b);
+        assert_eq!(sum, 100_000u64 * 99_999 / 2);
+        // Order-sensitive associative op: concatenation keeps index order.
+        let cat: Vec<usize> =
+            (0..257).into_par_iter().map(|i| vec![i]).reduce(Vec::new, |mut a, mut b| {
+                a.append(&mut b);
+                a
+            });
+        assert_eq!(cat, (0..257).collect::<Vec<_>>());
+        // Degenerate ranges fall back to the identity.
+        let none: u64 = (9..9).into_par_iter().map(|_| 1u64).reduce(|| 0, |a, b| a + b);
+        assert_eq!(none, 0);
+    }
+
+    #[test]
+    fn map_reduce_over_chunks_matches_serial_fold() {
+        let data: Vec<u64> = (0..5_001).collect();
+        for chunk in [1usize, 13, 512, 5_001, 9_000] {
+            let max = data
+                .par_chunks(chunk)
+                .map(|c| c.iter().copied().max().unwrap_or(0))
+                .reduce(|| 0, u64::max);
+            assert_eq!(max, 5_000, "chunk size {chunk}");
+            let sum: u64 =
+                data.par_chunks(chunk).map(|c| c.iter().sum::<u64>()).reduce(|| 0, |a, b| a + b);
+            assert_eq!(sum, data.iter().sum::<u64>(), "chunk size {chunk}");
+        }
+        let empty: u64 =
+            [].par_chunks(4).map(|c: &[u64]| c.len() as u64).reduce(|| 0, |a, b| a + b);
+        assert_eq!(empty, 0);
     }
 
     #[test]
