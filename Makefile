@@ -28,7 +28,8 @@ bench-smoke:
 	GAS_COMM_VOLUME_TINY=1 cargo run --release --locked -p gas-bench --bin comm_volume
 
 # The CI query-smoke step: the sketch-index serving benchmark on a tiny
-# synthetic workload (build time, qps, recall@10, sharded equivalence).
+# synthetic workload, once per signer (signing time, qps, recall@10,
+# per-rank signature bytes under sharding, sharded equivalence).
 query-smoke:
 	GAS_QUERY_TINY=1 cargo run --release --locked -p gas-bench --bin query_throughput
 

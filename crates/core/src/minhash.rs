@@ -178,6 +178,19 @@ pub struct MinHashSignature {
 /// equal everywhere, matching the `J(∅, ∅) = 1` convention).
 pub const EMPTY_SET_SENTINEL: u64 = u64::MAX;
 
+/// Number of positions on which two raw signature rows agree. The
+/// slice-level form of [`MinHashSignature::agreement`], shared with the
+/// `gas-index` distributed scorer, which compares query signatures
+/// against fetched signature-matrix rows without rebuilding
+/// [`MinHashSignature`] values.
+///
+/// Panics if the rows have different lengths (they must come from the
+/// same [`SignatureScheme`] to be comparable).
+pub fn signature_agreement(a: &[u64], b: &[u64]) -> usize {
+    assert_eq!(a.len(), b.len(), "signatures from different schemes are not comparable");
+    a.iter().zip(b).filter(|(x, y)| x == y).count()
+}
+
 impl MinHashSignature {
     /// Reassemble a signature from its raw position values (used by the
     /// `gas-index` persistence layer when reading a container back).
@@ -205,12 +218,7 @@ impl MinHashSignature {
     /// Panics if the signatures have different lengths (they must come
     /// from the same [`SignatureScheme`] to be comparable).
     pub fn agreement(&self, other: &MinHashSignature) -> usize {
-        assert_eq!(
-            self.mins.len(),
-            other.mins.len(),
-            "signatures from different schemes are not comparable"
-        );
-        self.mins.iter().zip(&other.mins).filter(|(a, b)| a == b).count()
+        signature_agreement(&self.mins, &other.mins)
     }
 
     /// The k-mins Jaccard estimator: the fraction of agreeing positions.
@@ -222,27 +230,76 @@ impl MinHashSignature {
     }
 }
 
-/// Builds fixed-length k-mins signatures: `sig[i] = min_v h_i(v)` with
-/// `len` independent splitmix-derived hash functions.
+/// Which min-wise hashing algorithm a [`SignatureScheme`] runs.
 ///
-/// Signing costs `len · |set|` hashes — more than one bottom-k pass —
-/// which is the classical price for per-position exchangeability. The
-/// paper's exact pipeline stays the ground truth; these signatures exist
-/// to feed the LSH index (`gas-index`), which trades that preprocessing
-/// for sublinear candidate generation at query time.
+/// Both signers produce fixed-length signatures with the per-position
+/// collision statistic `P[sig_a[i] == sig_b[i]] ≈ J(A, B)` that LSH
+/// banding relies on; they differ only in signing cost:
+///
+/// * [`SignerKind::KMins`] evaluates `len` independent hash functions
+///   over the whole set — `O(len · |set|)` hashes, the classical scheme;
+/// * [`SignerKind::Oph`] (one-permutation hashing) hashes every element
+///   once, buckets it into one of `len` bins, keeps the per-bin minimum
+///   and fills empty bins by rotation densification — `O(|set| + len)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SignerKind {
+    /// `len` independent hash functions, one minimum each.
+    KMins,
+    /// One-permutation hashing with rotation densification.
+    Oph,
+}
+
+impl SignerKind {
+    /// Stable wire code of the signer (the `gas-index` container records
+    /// it so persisted indexes stay self-describing).
+    pub fn code(&self) -> u32 {
+        match self {
+            SignerKind::KMins => 0,
+            SignerKind::Oph => 1,
+        }
+    }
+
+    /// Decode a wire code; `None` for codes this build does not know.
+    pub fn from_code(code: u32) -> Option<Self> {
+        match code {
+            0 => Some(SignerKind::KMins),
+            1 => Some(SignerKind::Oph),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for SignerKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SignerKind::KMins => write!(f, "kmins"),
+            SignerKind::Oph => write!(f, "oph"),
+        }
+    }
+}
+
+/// Builds fixed-length min-wise signatures under one of two signers
+/// ([`SignerKind`]): classical k-mins (`sig[i] = min_v h_i(v)`, costing
+/// `len · |set|` hashes) or one-permutation hashing (each element hashed
+/// once, costing `|set| + len`).
+///
+/// The paper's exact pipeline stays the ground truth; these signatures
+/// exist to feed the LSH index (`gas-index`), which trades that
+/// preprocessing for sublinear candidate generation at query time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SignatureScheme {
     len: usize,
     seed: u64,
+    kind: SignerKind,
 }
 
 impl SignatureScheme {
-    /// Create a scheme with `len` hash functions.
+    /// Create a k-mins scheme with `len` hash functions.
     pub fn new(len: usize) -> CoreResult<Self> {
         if len == 0 {
             return Err(CoreError::InvalidConfig("signature length must be positive".to_string()));
         }
-        Ok(SignatureScheme { len, seed: 0x6C73_685F_6B6D_696E })
+        Ok(SignatureScheme { len, seed: 0x6C73_685F_6B6D_696E, kind: SignerKind::KMins })
     }
 
     /// Use a specific hash seed.
@@ -251,12 +308,18 @@ impl SignatureScheme {
         self
     }
 
-    /// Signature length (number of hash functions).
+    /// Use a specific signer.
+    pub fn with_kind(mut self, kind: SignerKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// Signature length (number of positions).
     pub fn len(&self) -> usize {
         self.len
     }
 
-    /// Always false: a scheme has at least one hash function.
+    /// Always false: a scheme has at least one position.
     pub fn is_empty(&self) -> bool {
         false
     }
@@ -266,11 +329,38 @@ impl SignatureScheme {
         self.seed
     }
 
+    /// The signer this scheme runs.
+    pub fn kind(&self) -> SignerKind {
+        self.kind
+    }
+
+    /// Human-readable one-line description (used in mismatch errors).
+    pub fn describe(&self) -> String {
+        format!("{}(len={}, seed={:#018x})", self.kind, self.len, self.seed)
+    }
+
     /// Sign one set of values (k-mer codes). Empty sets sign to
-    /// [`EMPTY_SET_SENTINEL`] at every position.
+    /// [`EMPTY_SET_SENTINEL`] at every position under both signers.
     pub fn sign(&self, values: &[u64]) -> MinHashSignature {
         let mut mins = vec![EMPTY_SET_SENTINEL; self.len];
-        for (i, slot) in mins.iter_mut().enumerate() {
+        self.sign_into(values, &mut mins);
+        MinHashSignature { mins }
+    }
+
+    /// Sign into a pre-initialized row of `len` sentinel slots (the
+    /// flattened signature-matrix path of [`Self::sign_collection`]).
+    fn sign_into(&self, values: &[u64], slots: &mut [u64]) {
+        debug_assert_eq!(slots.len(), self.len);
+        match self.kind {
+            SignerKind::KMins => self.sign_kmins(values, slots),
+            SignerKind::Oph => self.sign_oph(values, slots),
+        }
+    }
+
+    /// K-mins: position `i` holds `min_v h_i(v)` for `len` independent
+    /// splitmix-derived hash functions — `O(len · |set|)` hashes.
+    fn sign_kmins(&self, values: &[u64], slots: &mut [u64]) {
+        for (i, slot) in slots.iter_mut().enumerate() {
             // Per-position hash function: mix the position into the seed
             // through the finalizer so functions are pairwise unrelated.
             let hi = splitmix64(self.seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
@@ -281,14 +371,67 @@ impl SignatureScheme {
                 }
             }
         }
-        MinHashSignature { mins }
+    }
+
+    /// One-permutation hashing: every element is hashed once; the hash's
+    /// high bits pick one of `len` equal bins (multiply-shift, so bins
+    /// partition the hash space evenly without a modulo bias) and the bin
+    /// keeps its minimum hash. Empty bins are then filled by rotation
+    /// densification so every position carries a min-wise value and the
+    /// per-position collision statistic survives — `O(|set| + len)`.
+    fn sign_oph(&self, values: &[u64], slots: &mut [u64]) {
+        let seed = splitmix64(self.seed);
+        let len = self.len as u128;
+        for &v in values {
+            let h = splitmix64(v ^ seed);
+            let bin = ((h as u128 * len) >> 64) as usize;
+            if h < slots[bin] {
+                slots[bin] = h;
+            }
+        }
+        densify_rotation(slots);
     }
 
     /// Sign every sample of a collection, one signature per column of the
-    /// indicator matrix, in parallel across samples.
+    /// indicator matrix, in parallel: the output array is pre-allocated
+    /// and filled in place over contiguous runs of samples
+    /// (`par_chunks_mut`), so the hashing and the densification pass of
+    /// every row run inside the parallel fill and no second copy of the
+    /// signature matrix is ever materialized.
     pub fn sign_collection(&self, collection: &SampleCollection) -> Vec<MinHashSignature> {
         use rayon::prelude::*;
-        (0..collection.n()).into_par_iter().map(|i| self.sign(collection.sample(i))).collect()
+        const RUN: usize = 16;
+        let n = collection.n();
+        let mut signatures = vec![MinHashSignature { mins: Vec::new() }; n];
+        signatures.par_chunks_mut(RUN).enumerate().for_each(|(run, group)| {
+            for (j, sig) in group.iter_mut().enumerate() {
+                let mut mins = vec![EMPTY_SET_SENTINEL; self.len];
+                self.sign_into(collection.sample(run * RUN + j), &mut mins);
+                sig.mins = mins;
+            }
+        });
+        signatures
+    }
+}
+
+/// Rotation densification: every empty bin takes the value of the
+/// nearest filled bin to its right, wrapping circularly (Shrivastava &
+/// Li's densified one-permutation hashing). A signature that is entirely
+/// [`EMPTY_SET_SENTINEL`] (the empty set) is left untouched, preserving
+/// the `J(∅, ∅) = 1` convention.
+fn densify_rotation(slots: &mut [u64]) {
+    let Some(first_filled) = slots.iter().position(|&v| v != EMPTY_SET_SENTINEL) else {
+        return;
+    };
+    // Walk right-to-left carrying the nearest filled value to the right;
+    // bins past the last filled one wrap around to the first filled bin.
+    let mut carry = slots[first_filled];
+    for slot in slots.iter_mut().rev() {
+        if *slot == EMPTY_SET_SENTINEL {
+            *slot = carry;
+        } else {
+            carry = *slot;
+        }
     }
 }
 
@@ -457,6 +600,114 @@ mod tests {
         let a = SignatureScheme::new(8).unwrap().sign(&[1, 2]);
         let b = SignatureScheme::new(16).unwrap().sign(&[1, 2]);
         let _ = a.agreement(&b);
+    }
+
+    #[test]
+    fn oph_estimate_tracks_exact_jaccard() {
+        // True J = 0.5; a 512-bin OPH signature (sets much larger than
+        // the bin count, so nearly every bin is genuinely filled) matches
+        // the k-mins tolerance.
+        let (a, b) = overlapping_sets(3_000, 2_000);
+        let scheme = SignatureScheme::new(512).unwrap().with_kind(SignerKind::Oph);
+        let (sa, sb) = (scheme.sign(&a), scheme.sign(&b));
+        assert!((sa.jaccard_estimate(&sb) - 0.5).abs() < 0.1);
+        assert_eq!(sa.jaccard_estimate(&sa), 1.0);
+        assert_eq!(sa.len(), 512);
+        assert_eq!(scheme.kind(), SignerKind::Oph);
+    }
+
+    #[test]
+    fn oph_signs_in_one_pass_worth_of_hashes() {
+        // Identical sets sign identically; disjoint sets agree nowhere
+        // (whp) — the same per-position statistics as k-mins.
+        let scheme = SignatureScheme::new(64).unwrap().with_kind(SignerKind::Oph);
+        let a = scheme.sign(&(0..2_000u64).collect::<Vec<_>>());
+        let b = scheme.sign(&(100_000..102_000u64).collect::<Vec<_>>());
+        assert_eq!(a.agreement(&a), 64);
+        assert_eq!(a.agreement(&b), 0);
+        // OPH and k-mins are different hash families over the same seed.
+        let kmins = SignatureScheme::new(64).unwrap();
+        assert_ne!(
+            scheme.sign(&(0..2_000u64).collect::<Vec<_>>()).values(),
+            kmins.sign(&(0..2_000u64).collect::<Vec<_>>()).values()
+        );
+    }
+
+    #[test]
+    fn oph_empty_set_signs_to_sentinel_everywhere() {
+        let scheme = SignatureScheme::new(32).unwrap().with_kind(SignerKind::Oph);
+        let e = scheme.sign(&[]);
+        assert!(e.values().iter().all(|&v| v == EMPTY_SET_SENTINEL));
+        assert_eq!(e.jaccard_estimate(&e), 1.0);
+        let f = scheme.sign(&[7]);
+        assert_eq!(e.agreement(&f), 0, "empty vs non-empty must not alias after densification");
+    }
+
+    #[test]
+    fn oph_singleton_densifies_to_a_constant_signature() {
+        // One element fills one bin; rotation densification propagates
+        // that single min-wise value to every other bin.
+        let scheme = SignatureScheme::new(48).unwrap().with_kind(SignerKind::Oph);
+        let s = scheme.sign(&[42]);
+        assert!(s.values().iter().all(|&v| v == s.values()[0]));
+        assert_ne!(s.values()[0], EMPTY_SET_SENTINEL);
+        // Two identical singletons collide everywhere (J = 1); disjoint
+        // singletons collide nowhere (J = 0).
+        assert_eq!(s.jaccard_estimate(&scheme.sign(&[42])), 1.0);
+        assert_eq!(s.jaccard_estimate(&scheme.sign(&[43])), 0.0);
+    }
+
+    #[test]
+    fn densify_rotation_borrows_from_the_nearest_filled_bin_to_the_right() {
+        let e = EMPTY_SET_SENTINEL;
+        let mut slots = [e, 10, e, e, 20, e];
+        densify_rotation(&mut slots);
+        // Bin 0 borrows from bin 1; bins 2 and 3 from bin 4; bin 5 wraps
+        // around to bin 1.
+        assert_eq!(slots, [10, 10, 20, 20, 20, 10]);
+        let mut all_empty = [e, e, e];
+        densify_rotation(&mut all_empty);
+        assert_eq!(all_empty, [e, e, e]);
+        let mut full = [3u64, 2, 1];
+        densify_rotation(&mut full);
+        assert_eq!(full, [3, 2, 1]);
+    }
+
+    #[test]
+    fn oph_sign_collection_matches_per_sample_signing() {
+        let collection = SampleCollection::from_sorted_sets(vec![
+            (0..300u64).collect(),
+            (150..450u64).collect(),
+            vec![],
+            vec![9_999],
+        ])
+        .unwrap();
+        let scheme = SignatureScheme::new(48).unwrap().with_kind(SignerKind::Oph);
+        let signed = scheme.sign_collection(&collection);
+        assert_eq!(signed.len(), 4);
+        for (i, sig) in signed.iter().enumerate() {
+            assert_eq!(sig, &scheme.sign(collection.sample(i)));
+        }
+    }
+
+    #[test]
+    fn signer_kind_codes_round_trip() {
+        for kind in [SignerKind::KMins, SignerKind::Oph] {
+            assert_eq!(SignerKind::from_code(kind.code()), Some(kind));
+        }
+        assert_eq!(SignerKind::from_code(99), None);
+        assert_eq!(SignerKind::KMins.to_string(), "kmins");
+        assert_eq!(SignerKind::Oph.to_string(), "oph");
+        let scheme = SignatureScheme::new(16).unwrap().with_kind(SignerKind::Oph).with_seed(3);
+        assert!(scheme.describe().contains("oph") && scheme.describe().contains("len=16"));
+    }
+
+    #[test]
+    fn signature_agreement_slice_form_matches_method() {
+        let scheme = SignatureScheme::new(32).unwrap();
+        let a = scheme.sign(&(0..500u64).collect::<Vec<_>>());
+        let b = scheme.sign(&(250..750u64).collect::<Vec<_>>());
+        assert_eq!(signature_agreement(a.values(), b.values()), a.agreement(&b));
     }
 
     #[test]

@@ -11,27 +11,36 @@
 use std::collections::BTreeMap;
 
 use gas_core::indicator::SampleCollection;
-use gas_core::minhash::{splitmix64, MinHashSignature, SignatureScheme};
+use gas_core::minhash::{splitmix64, MinHashSignature, SignatureScheme, SignerKind};
 use serde::{Deserialize, Serialize};
 
 use crate::error::{IndexError, IndexResult};
 use crate::params::LshParams;
 
-/// Configuration of an index build: signature size, hash seed and the
-/// target Jaccard threshold the banding is tuned for.
+/// Configuration of an index build: signature size, signer, hash seed
+/// and the target Jaccard threshold the banding is tuned for.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct IndexConfig {
-    /// Signature length (number of min-wise hash functions per sample).
+    /// Signature length (number of min-wise positions per sample).
     pub signature_len: usize,
     /// Hash seed shared by all signatures of the index.
     pub seed: u64,
     /// Target Jaccard threshold the band/row split is derived from.
     pub threshold: f64,
+    /// Which signer produces the signatures: classical k-mins
+    /// (`O(len·|set|)` hashes) or one-permutation hashing
+    /// (`O(|set| + len)`, the build-throughput choice).
+    pub signer: SignerKind,
 }
 
 impl Default for IndexConfig {
     fn default() -> Self {
-        IndexConfig { signature_len: 128, seed: 0x0067_6173_5F69_6478, threshold: 0.5 }
+        IndexConfig {
+            signature_len: 128,
+            seed: 0x0067_6173_5F69_6478,
+            threshold: 0.5,
+            signer: SignerKind::KMins,
+        }
     }
 }
 
@@ -51,6 +60,12 @@ impl IndexConfig {
     /// Override the target threshold.
     pub fn with_threshold(mut self, threshold: f64) -> Self {
         self.threshold = threshold;
+        self
+    }
+
+    /// Override the signer.
+    pub fn with_signer(mut self, signer: SignerKind) -> Self {
+        self.signer = signer;
         self
     }
 }
@@ -162,7 +177,9 @@ impl SketchIndex {
     /// band.
     pub fn build(collection: &SampleCollection, config: &IndexConfig) -> IndexResult<Self> {
         let params = LshParams::for_threshold(config.signature_len, config.threshold)?;
-        let scheme = SignatureScheme::new(config.signature_len)?.with_seed(config.seed);
+        let scheme = SignatureScheme::new(config.signature_len)?
+            .with_seed(config.seed)
+            .with_kind(config.signer);
         if collection.n() > u32::MAX as usize {
             return Err(IndexError::InvalidConfig(format!(
                 "{} samples exceed the u32 id space of one shard",
@@ -239,9 +256,26 @@ impl SketchIndex {
         self.signatures.len()
     }
 
-    /// The signature scheme (length + seed) shared by index and queries.
+    /// The signature scheme (signer kind + length + seed) shared by
+    /// index and queries.
     pub fn scheme(&self) -> &SignatureScheme {
         &self.scheme
+    }
+
+    /// Check that a query-side scheme matches this index's scheme.
+    ///
+    /// Signatures are only comparable position by position when they come
+    /// from the *same* signer, length and seed; a query signed under any
+    /// other scheme would silently score garbage, so mismatches surface
+    /// as a typed [`IndexError::SignerMismatch`].
+    pub fn check_query_scheme(&self, query_scheme: &SignatureScheme) -> IndexResult<()> {
+        if query_scheme != &self.scheme {
+            return Err(IndexError::SignerMismatch {
+                index_scheme: self.scheme.describe(),
+                query_scheme: query_scheme.describe(),
+            });
+        }
+        Ok(())
     }
 
     /// The banding parameters.
@@ -380,6 +414,46 @@ mod tests {
         assert!(cands.contains(&1) && cands.contains(&2), "family not retrieved: {cands:?}");
         // The loner shares no bucket with family A (J = 0).
         assert!(!cands.contains(&6), "disjoint loner retrieved: {cands:?}");
+    }
+
+    #[test]
+    fn oph_indexes_retrieve_near_duplicates_too() {
+        let collection = family_collection();
+        let config = IndexConfig::default()
+            .with_signature_len(128)
+            .with_threshold(0.5)
+            .with_signer(SignerKind::Oph);
+        let index = SketchIndex::build(&collection, &config).unwrap();
+        assert_eq!(index.scheme().kind(), SignerKind::Oph);
+        let cands = index.candidates(index.signature(0));
+        assert!(cands.contains(&1) && cands.contains(&2), "family not retrieved: {cands:?}");
+        assert!(!cands.contains(&6), "disjoint loner retrieved: {cands:?}");
+    }
+
+    #[test]
+    fn check_query_scheme_rejects_any_scheme_drift() {
+        let collection = family_collection();
+        let config = IndexConfig::default().with_signature_len(64).with_signer(SignerKind::Oph);
+        let index = SketchIndex::build(&collection, &config).unwrap();
+        assert!(index.check_query_scheme(index.scheme()).is_ok());
+        let wrong_kind = index.scheme().with_kind(SignerKind::KMins);
+        assert!(matches!(
+            index.check_query_scheme(&wrong_kind),
+            Err(IndexError::SignerMismatch { .. })
+        ));
+        let wrong_seed = index.scheme().with_seed(index.scheme().seed() ^ 1);
+        assert!(matches!(
+            index.check_query_scheme(&wrong_seed),
+            Err(IndexError::SignerMismatch { .. })
+        ));
+        let wrong_len = SignatureScheme::new(32)
+            .unwrap()
+            .with_seed(index.scheme().seed())
+            .with_kind(SignerKind::Oph);
+        assert!(matches!(
+            index.check_query_scheme(&wrong_len),
+            Err(IndexError::SignerMismatch { .. })
+        ));
     }
 
     #[test]

@@ -27,17 +27,21 @@
 
 use std::path::Path;
 
-use gas_core::minhash::{MinHashSignature, SignatureScheme};
+use gas_core::minhash::{MinHashSignature, SignatureScheme, SignerKind};
 
 use crate::build::{BandBuckets, SketchIndex};
 use crate::error::{IndexError, IndexResult};
 use crate::params::LshParams;
 
-/// Container magic: "GASIDX" plus the two-digit format generation.
+/// Container magic: "GASIDX" plus the two-digit format generation (the
+/// file *family*; incompatible layout revisions bump the version field,
+/// not the magic).
 pub const MAGIC: [u8; 8] = *b"GASIDX01";
 
-/// Current container format version.
-pub const VERSION: u32 = 1;
+/// Current container format version. Version 2 added the `SGNR` section
+/// recording which signer produced the signatures; version-1 files (no
+/// `SGNR`) predate one-permutation hashing and decode as k-mins.
+pub const VERSION: u32 = 2;
 
 const HEADER_LEN: usize = 24;
 const TABLE_ENTRY_LEN: usize = 32;
@@ -48,6 +52,14 @@ pub const SECTION_META: [u8; 8] = *b"META\0\0\0\0";
 pub const SECTION_SIGS: [u8; 8] = *b"SIGS\0\0\0\0";
 /// Section holding every band's flattened bucket table.
 pub const SECTION_BUCK: [u8; 8] = *b"BUCK\0\0\0\0";
+/// Section describing the signer (since version 2): section layout
+/// version, signer-kind code, signature length and seed — the last two
+/// repeated from `META` so the signer record is self-contained and
+/// cross-checked on read.
+pub const SECTION_SGNR: [u8; 8] = *b"SGNR\0\0\0\0";
+
+/// Layout version of the `SGNR` section payload.
+const SGNR_LAYOUT: u32 = 1;
 
 /// FNV-1a 64-bit checksum (the container's integrity hash: simple,
 /// dependency-free and byte-order independent).
@@ -116,6 +128,7 @@ impl ContainerWriter {
 #[derive(Debug)]
 pub struct Container {
     bytes: Vec<u8>,
+    version: u32,
     sections: Vec<([u8; 8], std::ops::Range<usize>)>,
 }
 
@@ -134,7 +147,7 @@ impl Container {
             return Err(IndexError::BadMagic);
         }
         let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
-        if version != VERSION {
+        if !(1..=VERSION).contains(&version) {
             return Err(IndexError::UnsupportedVersion(version));
         }
         let section_count = u32::from_le_bytes(bytes[12..16].try_into().unwrap()) as usize;
@@ -172,7 +185,12 @@ impl Container {
             }
             sections.push((tag, offset..end));
         }
-        Ok(Container { bytes, sections })
+        Ok(Container { bytes, version, sections })
+    }
+
+    /// The declared format version of this container.
+    pub fn version(&self) -> u32 {
+        self.version
     }
 
     /// The payload of the section tagged `tag`.
@@ -324,8 +342,15 @@ impl SketchIndex {
             }
         }
 
+        let mut sgnr = Vec::new();
+        push_u32(&mut sgnr, SGNR_LAYOUT);
+        push_u32(&mut sgnr, self.scheme().kind().code());
+        push_u32(&mut sgnr, self.scheme().len() as u32);
+        push_u64(&mut sgnr, self.scheme().seed());
+
         let mut writer = ContainerWriter::new();
         writer.add_section(SECTION_META, meta);
+        writer.add_section(SECTION_SGNR, sgnr);
         writer.add_section(SECTION_SIGS, sigs);
         writer.add_section(SECTION_BUCK, buck);
         writer.to_bytes()
@@ -354,9 +379,39 @@ impl SketchIndex {
         }
         meta.finish()?;
 
+        // Since version 2 the signer is recorded in its own section; a
+        // version-1 file predates OPH and can only hold k-mins signatures.
+        let kind = if container.version() >= 2 {
+            let mut sgnr = PodReader::new(container.section(SECTION_SGNR)?, "SGNR");
+            let layout = sgnr.u32("signer layout version")?;
+            if layout != SGNR_LAYOUT {
+                return Err(IndexError::Corrupt {
+                    context: format!("SGNR: unknown layout version {layout}"),
+                });
+            }
+            let code = sgnr.u32("signer kind code")?;
+            let kind = SignerKind::from_code(code).ok_or_else(|| IndexError::Corrupt {
+                context: format!("SGNR: unknown signer kind code {code}"),
+            })?;
+            let sgnr_len = sgnr.u32("signer signature length")? as usize;
+            let sgnr_seed = sgnr.u64("signer seed")?;
+            sgnr.finish()?;
+            if sgnr_len != sig_len || sgnr_seed != seed {
+                return Err(IndexError::Corrupt {
+                    context: format!(
+                        "SGNR disagrees with META: {sgnr_len}/{sgnr_seed:#x} vs {sig_len}/{seed:#x}"
+                    ),
+                });
+            }
+            kind
+        } else {
+            SignerKind::KMins
+        };
+
         let scheme = SignatureScheme::new(sig_len)
             .map_err(|_| IndexError::Corrupt { context: "META: zero signature length".into() })?
-            .with_seed(seed);
+            .with_seed(seed)
+            .with_kind(kind);
         let params = LshParams::new(bands, rows)
             .map_err(|_| IndexError::Corrupt { context: "META: zero bands or rows".into() })?;
 
@@ -427,6 +482,112 @@ mod tests {
         let back = SketchIndex::read_from(&path).unwrap();
         std::fs::remove_file(&path).ok();
         assert_eq!(back, index);
+    }
+
+    fn small_oph_index() -> SketchIndex {
+        let collection = SampleCollection::from_sorted_sets(vec![
+            (0..300u64).collect(),
+            (100..400u64).collect(),
+        ])
+        .unwrap();
+        let config = IndexConfig::default()
+            .with_signature_len(32)
+            .with_signer(gas_core::minhash::SignerKind::Oph);
+        SketchIndex::build(&collection, &config).unwrap()
+    }
+
+    /// Rewrite the version field of container `bytes` and fix up the
+    /// header/table checksum so the file parses as that version.
+    fn with_version(mut bytes: Vec<u8>, version: u32) -> Vec<u8> {
+        bytes[8..12].copy_from_slice(&version.to_le_bytes());
+        let sections = u32::from_le_bytes(bytes[12..16].try_into().unwrap()) as usize;
+        let table_end = HEADER_LEN + sections * TABLE_ENTRY_LEN;
+        let crc = fnv1a64(&bytes[..table_end]);
+        bytes[table_end..table_end + 8].copy_from_slice(&crc.to_le_bytes());
+        bytes
+    }
+
+    #[test]
+    fn signer_kind_survives_the_round_trip() {
+        use gas_core::minhash::SignerKind;
+        let index = small_oph_index();
+        let bytes = index.to_container_bytes();
+        let container = Container::parse(bytes.clone()).unwrap();
+        assert_eq!(container.version(), VERSION);
+        assert!(container.tags().contains(&"SGNR".to_string()));
+        let back = SketchIndex::from_container_bytes(bytes).unwrap();
+        assert_eq!(back, index);
+        assert_eq!(back.scheme().kind(), SignerKind::Oph);
+    }
+
+    #[test]
+    fn version_one_files_decode_as_kmins() {
+        use gas_core::minhash::SignerKind;
+        // A legacy (version-1) reader/writer pair predates the SGNR
+        // section: a v1 file decodes with the k-mins signer even if an
+        // SGNR section happens to be present, because v1 semantics are
+        // "signatures are k-mins" by definition.
+        let index = small_oph_index();
+        let legacy = with_version(index.to_container_bytes(), 1);
+        let container = Container::parse(legacy.clone()).unwrap();
+        assert_eq!(container.version(), 1);
+        let back = SketchIndex::from_container_bytes(legacy).unwrap();
+        assert_eq!(back.scheme().kind(), SignerKind::KMins);
+        // Raw signature values and buckets are untouched by the fallback.
+        assert_eq!(back.signatures(), index.signatures());
+        // Future versions stay rejected.
+        let future = with_version(index.to_container_bytes(), VERSION + 1);
+        assert!(matches!(
+            Container::parse(future),
+            Err(IndexError::UnsupportedVersion(v)) if v == VERSION + 1
+        ));
+    }
+
+    #[test]
+    fn sgnr_section_inconsistencies_are_rejected() {
+        let index = small_oph_index();
+        let bytes = index.to_container_bytes();
+        let container = Container::parse(bytes).unwrap();
+        let rebuild = |sgnr: Vec<u8>| -> IndexResult<SketchIndex> {
+            let mut writer = ContainerWriter::new();
+            writer.add_section(SECTION_META, container.section(SECTION_META).unwrap().to_vec());
+            writer.add_section(SECTION_SGNR, sgnr);
+            writer.add_section(SECTION_SIGS, container.section(SECTION_SIGS).unwrap().to_vec());
+            writer.add_section(SECTION_BUCK, container.section(SECTION_BUCK).unwrap().to_vec());
+            SketchIndex::from_container_bytes(writer.to_bytes())
+        };
+        let good = container.section(SECTION_SGNR).unwrap().to_vec();
+        assert!(rebuild(good.clone()).is_ok());
+
+        // Unknown signer-kind code.
+        let mut bad = good.clone();
+        bad[4..8].copy_from_slice(&99u32.to_le_bytes());
+        assert!(matches!(rebuild(bad), Err(IndexError::Corrupt { .. })));
+
+        // Unknown SGNR layout version.
+        let mut bad = good.clone();
+        bad[0..4].copy_from_slice(&9u32.to_le_bytes());
+        assert!(matches!(rebuild(bad), Err(IndexError::Corrupt { .. })));
+
+        // Signature length disagreeing with META.
+        let mut bad = good.clone();
+        bad[8..12].copy_from_slice(&7u32.to_le_bytes());
+        assert!(matches!(rebuild(bad), Err(IndexError::Corrupt { .. })));
+
+        // Trailing bytes after the fixed fields.
+        let mut bad = good.clone();
+        bad.push(0);
+        assert!(matches!(rebuild(bad), Err(IndexError::Corrupt { .. })));
+
+        // Missing SGNR section entirely (in a version-2 file).
+        let mut writer = ContainerWriter::new();
+        writer.add_section(SECTION_META, container.section(SECTION_META).unwrap().to_vec());
+        writer.add_section(SECTION_SIGS, container.section(SECTION_SIGS).unwrap().to_vec());
+        writer.add_section(SECTION_BUCK, container.section(SECTION_BUCK).unwrap().to_vec());
+        assert!(matches!(
+            SketchIndex::from_container_bytes(writer.to_bytes()),
+            Err(IndexError::MissingSection(tag)) if tag == "SGNR"
+        ));
     }
 
     #[test]

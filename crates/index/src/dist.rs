@@ -1,33 +1,51 @@
-//! Distributed query serving: LSH bucket shards across simulated ranks.
+//! Distributed query serving: LSH bucket shards *and* signature shards
+//! across simulated ranks.
 //!
-//! Bands are assigned to ranks round-robin ([`band_shard`]), so each
-//! rank answers queries against `⌈b / p⌉` or `⌊b / p⌋` bucket tables.
-//! One batched query round is three collectives:
+//! Two orthogonal shardings keep per-rank state at `~1/p` of the index:
+//!
+//! * **bands** are assigned to ranks round-robin ([`band_shard`]), so
+//!   each rank probes `⌈b / p⌉` or `⌊b / p⌋` bucket tables;
+//! * **signature rows** are assigned to ranks round-robin by sample id
+//!   ([`sample_shard`]), so each rank *stores* `~n/p` rows of the
+//!   signature matrix ([`SignatureShard`]) instead of replicating all
+//!   `n · len · 8` bytes — the dominant memory term of a sketch index.
+//!
+//! One batched query round is five collectives:
 //!
 //! 1. **scatter** — rank 0 signs the query batch and broadcasts the
 //!    signatures (every query must visit every band, so the "scatter by
 //!    band hash" degenerates to a broadcast of signatures while the
 //!    *buckets* stay sharded; raw query values travel only when exact
 //!    re-ranking is requested);
-//! 2. **probe + score** — each rank probes only the bands of its shard,
-//!    scores its candidates in parallel and keeps its local top
-//!    (`oversample × k`) per query;
-//! 3. **allgather + merge** — the per-rank partial top lists are
+//! 2. **probe** — each rank probes only the bands of its shard, which
+//!    yields the candidate ids its scoring pass will touch;
+//! 3. **request** — ranks allgather the candidate ids they need but do
+//!    not own (deduplicated), so every owner learns which of its rows
+//!    are wanted this round;
+//! 4. **fetch** — each owner contributes each requested row *once* to an
+//!    allgather, regardless of how many ranks or queries want it; the
+//!    collective then delivers every contribution to every rank (the
+//!    allgather's fan-out — [`DistQueryStats::received_bytes`] records
+//!    that transient cost honestly), and each rank keeps only the rows
+//!    it asked for; scoring then reads rows from the local shard or the
+//!    fetched set — never from a replicated matrix;
+//! 5. **allgather + merge** — the per-rank partial top lists are
 //!    allgathered, deduplicated by sample id and merged; every rank then
 //!    finalizes (optional exact re-rank, truncate to `k`) identically.
 //!
-//! Because a candidate surviving to the global top-k necessarily survives
-//! the local top list of whichever rank found it, the merged answer is
+//! A candidate surviving to the global top-k necessarily survives the
+//! local top list of whichever rank found it, and every scored row is
+//! byte-identical to the single-rank engine's, so the merged answer is
 //! bit-identical to the single-rank engine's — the `query_serving`
 //! integration suite pins that for the dist-matrix grid.
 
 use gas_core::indicator::SampleCollection;
-use gas_core::minhash::MinHashSignature;
+use gas_core::minhash::{signature_agreement, MinHashSignature};
 use gas_dstsim::comm::Communicator;
 
 use crate::build::SketchIndex;
 use crate::error::{IndexError, IndexResult};
-use crate::query::{finalize, lsh_top, scored_less, Neighbor, QueryOptions};
+use crate::query::{finalize, lsh_top_by, scored_less, Neighbor, QueryOptions};
 
 /// The rank owning `band`'s bucket shard in a world of `nranks`:
 /// round-robin over the band index. Band *keys* are already uniform
@@ -38,6 +56,98 @@ use crate::query::{finalize, lsh_top, scored_less, Neighbor, QueryOptions};
 /// to ≥ 16 bands, the dist-matrix tops out at 12 ranks).
 pub fn band_shard(band: usize, nranks: usize) -> usize {
     band % nranks
+}
+
+/// The rank owning sample `id`'s signature row: round-robin over the
+/// sample id, so every rank stores `⌈n / p⌉` or `⌊n / p⌋` rows and
+/// consecutive ids (which family-structured datasets cluster) spread
+/// across ranks instead of hot-spotting one.
+pub fn sample_shard(id: usize, nranks: usize) -> usize {
+    id % nranks
+}
+
+/// One rank's slice of the signature matrix: the rows of the samples it
+/// owns under [`sample_shard`], flattened `len` words per row in
+/// ascending sample-id order.
+///
+/// In the simulator every rank could reach the whole index by reference;
+/// materializing the shard keeps the memory accounting honest (a real
+/// deployment loads only its shard from the container) and forces the
+/// scoring path through the shard-or-fetched lookup that a real
+/// deployment would use.
+#[derive(Debug, Clone)]
+pub struct SignatureShard {
+    rank: usize,
+    nranks: usize,
+    len: usize,
+    rows: Vec<u64>,
+}
+
+impl SignatureShard {
+    /// Extract rank `rank`'s shard of `index`'s signature matrix.
+    pub fn build(index: &SketchIndex, rank: usize, nranks: usize) -> Self {
+        let len = index.scheme().len();
+        let mut rows = Vec::with_capacity(index.n().div_ceil(nranks.max(1)) * len);
+        let mut id = rank;
+        while id < index.n() {
+            rows.extend_from_slice(index.signature(id).values());
+            id += nranks;
+        }
+        SignatureShard { rank, nranks, len, rows }
+    }
+
+    /// Whether this shard owns sample `id`'s row.
+    pub fn owns(&self, id: u32) -> bool {
+        sample_shard(id as usize, self.nranks) == self.rank
+    }
+
+    /// The signature row of owned sample `id`.
+    ///
+    /// Panics if the shard does not own `id` (callers route non-owned
+    /// ids through the fetched-row set).
+    pub fn row(&self, id: u32) -> &[u64] {
+        assert!(self.owns(id), "rank {} does not own sample {id}", self.rank);
+        let slot = (id as usize - self.rank) / self.nranks;
+        &self.rows[slot * self.len..(slot + 1) * self.len]
+    }
+
+    /// Number of signature rows stored by this shard.
+    pub fn n_rows(&self) -> usize {
+        if self.len == 0 {
+            return 0;
+        }
+        self.rows.len() / self.len
+    }
+
+    /// Bytes of signature data stored by this shard.
+    pub fn bytes(&self) -> usize {
+        self.rows.len() * 8
+    }
+}
+
+/// Memory and traffic accounting of one sharded query round, per rank.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DistQueryStats {
+    /// Signature rows this rank stores (its shard).
+    pub shard_rows: usize,
+    /// Bytes of signature data this rank stores.
+    pub shard_bytes: usize,
+    /// Distinct non-owned rows this rank's probes needed this round.
+    pub fetched_rows: usize,
+    /// Bytes of those fetched rows (transient working set, freed after
+    /// the batch).
+    pub fetched_bytes: usize,
+    /// Rows delivered to this rank by the fetch allgather before
+    /// filtering — the collective fans every owner's contribution out to
+    /// all ranks, so this is the true transient receive-buffer size
+    /// (≥ `fetched_rows`; a point-to-point exchange would shrink it to
+    /// exactly `fetched_rows`).
+    pub received_rows: usize,
+    /// Bytes of those delivered rows, ids included.
+    pub received_bytes: usize,
+    /// What replicating the whole signature matrix on this rank would
+    /// cost — the pre-sharding baseline the shard is measured against.
+    pub replicated_bytes: usize,
 }
 
 /// Encode per-query partial top lists as a flat `u64` stream:
@@ -83,7 +193,105 @@ fn decode_partials(stream: &[u64], nqueries: usize) -> IndexResult<Vec<Vec<(u32,
     Ok(out)
 }
 
-/// Serve a batch of top-k queries over the band shards of `world`.
+/// The signature rows fetched from remote shards for one batch: row ids
+/// (sorted, deduplicated) parallel to `len`-word rows in one flat buffer,
+/// plus the count of rows the allgather delivered before filtering.
+struct FetchedRows {
+    ids: Vec<u32>,
+    rows: Vec<u64>,
+    len: usize,
+    received_rows: usize,
+}
+
+impl FetchedRows {
+    fn row(&self, id: u32) -> Option<&[u64]> {
+        self.ids
+            .binary_search(&id)
+            .ok()
+            .map(|slot| &self.rows[slot * self.len..(slot + 1) * self.len])
+    }
+}
+
+/// Exchange signature rows so this rank can score every candidate its
+/// band shard surfaced: allgather the deduplicated request lists, then
+/// allgather each owner's requested rows. Each owner *contributes* each
+/// requested row once, but the allgather delivers every contribution to
+/// all ranks — `FetchedRows::received_rows` records that fan-out so the
+/// stats never understate the transient receive buffer.
+fn exchange_signature_rows(
+    world: &Communicator,
+    shard: &SignatureShard,
+    wanted: &[u32],
+    n_samples: usize,
+) -> IndexResult<FetchedRows> {
+    let len = shard.len;
+    let requests: Vec<u64> = wanted.iter().map(|&id| id as u64).collect();
+    let all_requests: Vec<Vec<u64>> = world.allgatherv(&requests)?;
+
+    // Rows this rank must ship: the union of everyone's requests that it
+    // owns, deduplicated so a row wanted by several ranks (or several
+    // queries) is still shipped exactly once.
+    let mut to_ship: Vec<u32> =
+        all_requests.iter().flatten().map(|&w| w as u32).filter(|&id| shard.owns(id)).collect();
+    to_ship.sort_unstable();
+    to_ship.dedup();
+
+    let mut payload = Vec::with_capacity(to_ship.len() * (len + 1));
+    for &id in &to_ship {
+        payload.push(id as u64);
+        payload.extend_from_slice(shard.row(id));
+    }
+    let shipped: Vec<Vec<u64>> = world.allgatherv(&payload)?;
+
+    // Keep only the rows this rank asked for (allgather also delivers
+    // rows other ranks requested); owners are disjoint, so ids across
+    // streams never collide.
+    let mut fetched: Vec<(u32, usize, usize)> = Vec::with_capacity(wanted.len());
+    let mut received_rows = 0usize;
+    for (rank, stream) in shipped.iter().enumerate() {
+        if stream.len() % (len + 1) != 0 {
+            return Err(IndexError::Corrupt {
+                context: format!(
+                    "signature-row stream from rank {rank} is {} words, not a multiple of {}",
+                    stream.len(),
+                    len + 1
+                ),
+            });
+        }
+        received_rows += stream.len() / (len + 1);
+        for slot in 0..stream.len() / (len + 1) {
+            let base = slot * (len + 1);
+            let id = stream[base] as u32;
+            if id as usize >= n_samples {
+                return Err(IndexError::Corrupt {
+                    context: format!("fetched signature row id {id} out of range"),
+                });
+            }
+            if wanted.binary_search(&id).is_ok() {
+                fetched.push((id, rank, base + 1));
+            }
+        }
+    }
+    fetched.sort_unstable_by_key(|&(id, _, _)| id);
+    let mut ids = Vec::with_capacity(fetched.len());
+    let mut rows = Vec::with_capacity(fetched.len() * len);
+    for (id, rank, start) in fetched {
+        ids.push(id);
+        rows.extend_from_slice(&shipped[rank][start..start + len]);
+    }
+    let out = FetchedRows { ids, rows, len, received_rows };
+    // Every row this rank requested must have arrived (its unique owner
+    // shipped it); a hole means the shard map diverged across ranks.
+    if let Some(&missing) = wanted.iter().find(|&&id| out.row(id).is_none()) {
+        return Err(IndexError::Corrupt {
+            context: format!("owner never shipped requested signature row {missing}"),
+        });
+    }
+    Ok(out)
+}
+
+/// Serve a batch of top-k queries over the band and signature shards of
+/// `world`, returning each rank's answers plus its sharding stats.
 ///
 /// `queries` must be `Some` on rank 0 (the ingress rank) and is ignored
 /// elsewhere. Every rank returns the complete, identical answer batch —
@@ -91,15 +299,16 @@ fn decode_partials(stream: &[u64], nqueries: usize) -> IndexResult<Vec<Vec<(u32,
 /// With `opts.rerank_exact` set, `collection` must be provided on every
 /// rank (the simulator shares it by reference; a real deployment would
 /// shard the exact sets alongside the buckets).
-pub fn dist_query_batch(
+pub fn dist_query_batch_stats(
     world: &Communicator,
     index: &SketchIndex,
     collection: Option<&SampleCollection>,
     queries: Option<&[Vec<u64>]>,
     opts: &QueryOptions,
-) -> IndexResult<Vec<Vec<Neighbor>>> {
+) -> IndexResult<(Vec<Vec<Neighbor>>, DistQueryStats)> {
     let p = world.size();
     let me = world.rank();
+    let len = index.scheme().len();
 
     // Phase 1: rank 0 validates and signs the query batch. The validity
     // flag is broadcast *first* so that a misuse on the ingress rank
@@ -124,17 +333,41 @@ pub fn dist_query_batch(
         None
     };
 
-    // Phase 2: probe this rank's band shard and score locally.
+    // Phase 2: probe this rank's band shard. The candidates of each
+    // query are exactly the rows the scoring pass will read.
+    let shard = SignatureShard::build(index, me, p);
+    let per_query_candidates: Vec<Vec<u32>> = signatures
+        .iter()
+        .map(|sig| index.candidates_where(sig, |band| band_shard(band, p) == me))
+        .collect();
+
+    // Phases 3 + 4: fetch the non-owned rows those candidates touch.
+    let mut wanted: Vec<u32> =
+        per_query_candidates.iter().flatten().copied().filter(|&id| !shard.owns(id)).collect();
+    wanted.sort_unstable();
+    wanted.dedup();
+    let fetched = exchange_signature_rows(world, &shard, &wanted, index.n())?;
+
+    // Score locally: rows come from the shard or the fetched set, never
+    // from a replicated signature matrix.
     let keep = opts.keep();
     let partials: Vec<Vec<(u32, u32)>> = signatures
         .iter()
-        .map(|sig| {
-            let candidates = index.candidates_where(sig, |band| band_shard(band, p) == me);
-            lsh_top(index, sig, &candidates, keep)
+        .zip(&per_query_candidates)
+        .map(|(sig, candidates)| {
+            let score_of = |id: u32| -> u32 {
+                let row = if shard.owns(id) {
+                    shard.row(id)
+                } else {
+                    fetched.row(id).expect("validated by exchange_signature_rows")
+                };
+                signature_agreement(sig.values(), row) as u32
+            };
+            lsh_top_by(&score_of, candidates, keep)
         })
         .collect();
 
-    // Phase 3: allgather the partial top lists and merge deterministically.
+    // Phase 5: allgather the partial top lists and merge deterministically.
     let streams: Vec<Vec<u64>> = world.allgatherv(&encode_partials(&partials))?;
     let nqueries = signatures.len();
     let mut merged: Vec<Vec<(u32, u32)>> = vec![Vec::new(); nqueries];
@@ -155,9 +388,30 @@ pub fn dist_query_batch(
             Some(qs) => &qs[q],
             None => &[],
         };
-        answers.push(finalize(entries, index.scheme().len(), query_values, collection, opts)?);
+        answers.push(finalize(entries, len, query_values, collection, opts)?);
     }
-    Ok(answers)
+    let stats = DistQueryStats {
+        shard_rows: shard.n_rows(),
+        shard_bytes: shard.bytes(),
+        fetched_rows: fetched.ids.len(),
+        fetched_bytes: fetched.rows.len() * 8,
+        received_rows: fetched.received_rows,
+        received_bytes: fetched.received_rows * (len + 1) * 8,
+        replicated_bytes: index.n() * len * 8,
+    };
+    Ok((answers, stats))
+}
+
+/// Serve a batch of top-k queries over the shards of `world` (the
+/// stats-free form of [`dist_query_batch_stats`]).
+pub fn dist_query_batch(
+    world: &Communicator,
+    index: &SketchIndex,
+    collection: Option<&SampleCollection>,
+    queries: Option<&[Vec<u64>]>,
+    opts: &QueryOptions,
+) -> IndexResult<Vec<Vec<Neighbor>>> {
+    dist_query_batch_stats(world, index, collection, queries, opts).map(|(answers, _)| answers)
 }
 
 #[cfg(test)]
@@ -165,6 +419,7 @@ mod tests {
     use super::*;
     use crate::build::IndexConfig;
     use crate::query::QueryEngine;
+    use gas_core::minhash::SignerKind;
     use gas_dstsim::runtime::Runtime;
 
     fn workload() -> SampleCollection {
@@ -212,32 +467,106 @@ mod tests {
     }
 
     #[test]
+    fn signature_shards_partition_the_matrix() {
+        let collection = workload();
+        let index = SketchIndex::build(&collection, &IndexConfig::default().with_signature_len(64))
+            .unwrap();
+        for p in [1usize, 3, 4, 7] {
+            let shards: Vec<SignatureShard> =
+                (0..p).map(|r| SignatureShard::build(&index, r, p)).collect();
+            // Every row is owned by exactly one shard and round-trips.
+            let total: usize = shards.iter().map(SignatureShard::n_rows).sum();
+            assert_eq!(total, index.n(), "p={p}");
+            for id in 0..index.n() as u32 {
+                let owner = sample_shard(id as usize, p);
+                assert!(shards[owner].owns(id));
+                assert_eq!(shards[owner].row(id), index.signature(id as usize).values());
+                for (r, shard) in shards.iter().enumerate() {
+                    assert_eq!(shard.owns(id), r == owner);
+                }
+            }
+            // Balanced to within one row; bytes match the row count.
+            let (lo, hi) = (
+                shards.iter().map(SignatureShard::n_rows).min().unwrap(),
+                shards.iter().map(SignatureShard::n_rows).max().unwrap(),
+            );
+            assert!(hi - lo <= 1, "p={p}: shard rows {lo}..{hi}");
+            for shard in &shards {
+                assert_eq!(shard.bytes(), shard.n_rows() * 64 * 8);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn signature_shard_row_panics_on_foreign_ids() {
+        let collection = workload();
+        let index = SketchIndex::build(&collection, &IndexConfig::default().with_signature_len(16))
+            .unwrap();
+        let shard = SignatureShard::build(&index, 0, 2);
+        let _ = shard.row(1); // owned by rank 1
+    }
+
+    #[test]
     fn distributed_answers_equal_single_rank_answers() {
         let collection = workload();
-        let config = IndexConfig::default().with_signature_len(128).with_threshold(0.4);
-        let index = SketchIndex::build(&collection, &config).unwrap();
-        let queries: Vec<Vec<u64>> = (0..6).map(|i| collection.sample(i * 3).to_vec()).collect();
+        for signer in [SignerKind::KMins, SignerKind::Oph] {
+            let config = IndexConfig::default()
+                .with_signature_len(128)
+                .with_threshold(0.4)
+                .with_signer(signer);
+            let index = SketchIndex::build(&collection, &config).unwrap();
+            let queries: Vec<Vec<u64>> =
+                (0..6).map(|i| collection.sample(i * 3).to_vec()).collect();
 
-        for rerank in [false, true] {
-            let opts = QueryOptions { top_k: 5, rerank_exact: rerank, ..Default::default() };
-            let engine = QueryEngine::with_collection(&index, &collection);
-            let reference = engine.query_batch(&queries, &opts).unwrap();
+            for rerank in [false, true] {
+                let opts = QueryOptions { top_k: 5, rerank_exact: rerank, ..Default::default() };
+                let engine = QueryEngine::with_collection(&index, &collection);
+                let reference = engine.query_batch(&queries, &opts).unwrap();
 
-            for p in [1usize, 3, 5] {
-                let out = Runtime::new(p)
-                    .run(|ctx| {
-                        let q = if ctx.rank() == 0 { Some(&queries[..]) } else { None };
-                        ctx.expect_ok(
-                            "dist_query_batch",
-                            dist_query_batch(ctx.world(), &index, Some(&collection), q, &opts),
-                        )
-                    })
-                    .unwrap();
-                for (rank, answers) in out.results.iter().enumerate() {
-                    assert_eq!(
-                        answers, &reference,
-                        "p={p}, rank={rank}, rerank={rerank}: distributed answers diverge"
-                    );
+                for p in [1usize, 3, 5] {
+                    let out = Runtime::new(p)
+                        .run(|ctx| {
+                            let q = if ctx.rank() == 0 { Some(&queries[..]) } else { None };
+                            ctx.expect_ok(
+                                "dist_query_batch_stats",
+                                dist_query_batch_stats(
+                                    ctx.world(),
+                                    &index,
+                                    Some(&collection),
+                                    q,
+                                    &opts,
+                                ),
+                            )
+                        })
+                        .unwrap();
+                    for (rank, (answers, stats)) in out.results.iter().enumerate() {
+                        assert_eq!(
+                            answers, &reference,
+                            "p={p}, rank={rank}, rerank={rerank}, signer={signer}: \
+                             distributed answers diverge"
+                        );
+                        // The shard holds ~n/p rows, never the full matrix
+                        // (beyond p = 1), and fetched rows stay within the
+                        // non-owned population.
+                        assert_eq!(stats.replicated_bytes, index.n() * 128 * 8);
+                        assert!(stats.shard_rows <= index.n().div_ceil(p));
+                        assert_eq!(stats.shard_bytes, stats.shard_rows * 128 * 8);
+                        assert!(stats.fetched_rows <= index.n() - stats.shard_rows);
+                        assert_eq!(stats.fetched_bytes, stats.fetched_rows * 128 * 8);
+                        // The allgather fan-out is recorded, not hidden:
+                        // the receive buffer is at least the kept rows.
+                        assert!(stats.received_rows >= stats.fetched_rows);
+                        assert_eq!(stats.received_bytes, stats.received_rows * (128 + 1) * 8);
+                        if p > 1 {
+                            assert!(
+                                stats.shard_bytes * 2 < stats.replicated_bytes,
+                                "p={p}: shard {} vs replicated {}",
+                                stats.shard_bytes,
+                                stats.replicated_bytes
+                            );
+                        }
+                    }
                 }
             }
         }

@@ -37,6 +37,14 @@ pub enum IndexError {
         /// Which invariant failed.
         context: String,
     },
+    /// A query was signed under a different scheme (signer kind, length
+    /// or seed) than the index's — the signatures are not comparable.
+    SignerMismatch {
+        /// The index's scheme, as `SignatureScheme::describe` prints it.
+        index_scheme: String,
+        /// The query's scheme.
+        query_scheme: String,
+    },
     /// An error from the core (signature) layer.
     Core(gas_core::CoreError),
     /// An error from the sparse (rerank) layer.
@@ -63,6 +71,10 @@ impl fmt::Display for IndexError {
             }
             IndexError::MissingSection(tag) => write!(f, "missing container section {tag}"),
             IndexError::Corrupt { context } => write!(f, "corrupt container: {context}"),
+            IndexError::SignerMismatch { index_scheme, query_scheme } => write!(
+                f,
+                "signer mismatch: index signed with {index_scheme}, query with {query_scheme}"
+            ),
             IndexError::Core(e) => write!(f, "core error: {e}"),
             IndexError::Sparse(e) => write!(f, "sparse algebra error: {e}"),
             IndexError::Sim(e) => write!(f, "distributed runtime error: {e}"),
@@ -120,6 +132,11 @@ mod tests {
             .to_string()
             .contains("BUCK"));
         assert!(IndexError::MissingSection("META".into()).to_string().contains("META"));
+        let e = IndexError::SignerMismatch {
+            index_scheme: "oph(len=128)".into(),
+            query_scheme: "kmins(len=128)".into(),
+        };
+        assert!(e.to_string().contains("oph") && e.to_string().contains("kmins"));
         let e: IndexError = std::io::Error::other("boom").into();
         assert!(e.to_string().contains("boom"));
         let e: IndexError = gas_dstsim::SimError::InvalidWorldSize(0).into();

@@ -17,8 +17,15 @@
 //! * [`query`] / [`dist`] — the batched top-k engine: probe buckets,
 //!   score candidates in parallel (rayon map + reduce), optionally
 //!   re-rank exactly over the `gas_sparse` popcount-AND kernel; the
-//!   distributed variant shards bands across `gas_dstsim` ranks and
-//!   merges per-rank partial top-k lists into bit-identical answers.
+//!   distributed variant shards bands *and* the signature matrix across
+//!   `gas_dstsim` ranks (each rank stores `~n/p` signature rows and
+//!   fetches only the rows its probes touch) and merges per-rank
+//!   partial top-k lists into bit-identical answers.
+//!
+//! Signatures come from one of two signers ([`SignerKind`]): classical
+//! k-mins (`O(len·|set|)` hashes) or one-permutation hashing with
+//! rotation densification (`O(|set| + len)`); the container records the
+//! signer so persisted indexes stay self-describing.
 //!
 //! ```
 //! use gas_core::indicator::SampleCollection;
@@ -47,7 +54,8 @@ pub mod query;
 
 pub use build::{BandBuckets, IndexConfig, SketchIndex};
 pub use container::{Container, ContainerWriter};
-pub use dist::dist_query_batch;
+pub use dist::{dist_query_batch, dist_query_batch_stats, DistQueryStats, SignatureShard};
 pub use error::{IndexError, IndexResult};
+pub use gas_core::minhash::SignerKind;
 pub use params::LshParams;
 pub use query::{exact_top_k, Neighbor, QueryEngine, QueryOptions};

@@ -108,11 +108,13 @@ fn merge_scored(a: Vec<Scored>, b: Vec<Scored>, keep: usize) -> Vec<Scored> {
     out
 }
 
-/// Score `candidates` against `sig` and keep the best `keep`, in
-/// parallel over candidate chunks (rayon map + reduce).
-pub(crate) fn lsh_top(
-    index: &SketchIndex,
-    sig: &MinHashSignature,
+/// Score `candidates` with `score_of` and keep the best `keep`, in
+/// parallel over candidate chunks (rayon map + reduce). The scoring
+/// callback abstracts where signature rows live: the local engine reads
+/// them from the index, the distributed engine from its signature shard
+/// plus the rows fetched for this batch.
+pub(crate) fn lsh_top_by<F: Fn(u32) -> u32 + Sync>(
+    score_of: &F,
     candidates: &[u32],
     keep: usize,
 ) -> Vec<Scored> {
@@ -123,15 +125,23 @@ pub(crate) fn lsh_top(
     candidates
         .par_chunks(chunk)
         .map(|ids| {
-            let mut local: Vec<Scored> = ids
-                .iter()
-                .map(|&id| (index.signature(id as usize).agreement(sig) as u32, id))
-                .collect();
+            let mut local: Vec<Scored> = ids.iter().map(|&id| (score_of(id), id)).collect();
             local.sort_unstable_by(scored_less);
             local.truncate(keep);
             local
         })
         .reduce(Vec::new, |a, b| merge_scored(a, b, keep))
+}
+
+/// Score `candidates` against `sig` from the index's own signature
+/// matrix and keep the best `keep`.
+pub(crate) fn lsh_top(
+    index: &SketchIndex,
+    sig: &MinHashSignature,
+    candidates: &[u32],
+    keep: usize,
+) -> Vec<Scored> {
+    lsh_top_by(&|id| index.signature(id as usize).agreement(sig) as u32, candidates, keep)
 }
 
 /// Exact Jaccard similarities between `query` and each of `ids`, through
@@ -255,6 +265,38 @@ impl<'a> QueryEngine<'a> {
         finalize(scored, self.index.scheme().len(), values, self.collection, opts)
     }
 
+    /// Answer one query from a signature signed elsewhere (an ingress
+    /// tier, a peer shard, a client library). `scheme` is the scheme the
+    /// caller signed with; it must match the index's scheme exactly —
+    /// signer kind, length and seed — or the call fails with a typed
+    /// [`IndexError::SignerMismatch`] instead of silently scoring
+    /// incomparable signatures. Exact re-ranking needs the raw query
+    /// values, which a pre-signed call does not carry, so
+    /// `opts.rerank_exact` is rejected here.
+    pub fn query_presigned(
+        &self,
+        scheme: &gas_core::minhash::SignatureScheme,
+        sig: &MinHashSignature,
+        opts: &QueryOptions,
+    ) -> IndexResult<Vec<Neighbor>> {
+        self.index.check_query_scheme(scheme)?;
+        if opts.rerank_exact {
+            return Err(IndexError::InvalidQuery(
+                "exact re-ranking needs the raw query values; use `query` instead".into(),
+            ));
+        }
+        if sig.len() != self.index.scheme().len() {
+            return Err(IndexError::InvalidQuery(format!(
+                "pre-signed signature has {} positions, the index expects {}",
+                sig.len(),
+                self.index.scheme().len()
+            )));
+        }
+        let candidates = self.index.candidates(sig);
+        let scored = lsh_top(self.index, sig, &candidates, opts.keep());
+        finalize(scored, self.index.scheme().len(), &[], None, opts)
+    }
+
     /// Answer a batch of queries. Each query's candidate scoring runs in
     /// parallel over candidate chunks; queries are processed in order so
     /// results line up with the input slice.
@@ -368,6 +410,38 @@ mod tests {
             assert_eq!(got.id, want.id);
             assert!((got.score - want.score).abs() < 1e-12, "{got:?} vs {want:?}");
         }
+    }
+
+    #[test]
+    fn presigned_queries_match_inline_signing_and_reject_mismatches() {
+        use gas_core::minhash::SignerKind;
+        let (collection, index) = engine_fixture();
+        let engine = QueryEngine::new(&index);
+        let opts = QueryOptions { top_k: 4, ..Default::default() };
+        let values = collection.sample(5);
+        let sig = index.scheme().sign(values);
+        let presigned = engine.query_presigned(index.scheme(), &sig, &opts).unwrap();
+        assert_eq!(presigned, engine.query(values, &opts).unwrap());
+
+        // A signature from a different signer kind is rejected, typed.
+        let other_scheme = index.scheme().with_kind(SignerKind::Oph);
+        let other_sig = other_scheme.sign(values);
+        assert!(matches!(
+            engine.query_presigned(&other_scheme, &other_sig, &opts),
+            Err(IndexError::SignerMismatch { .. })
+        ));
+        // Rerank needs raw values — rejected on the presigned path.
+        let rr = QueryOptions { rerank_exact: true, ..opts };
+        assert!(matches!(
+            engine.query_presigned(index.scheme(), &sig, &rr),
+            Err(IndexError::InvalidQuery(_))
+        ));
+        // A signature whose length disagrees with the scheme is rejected.
+        let short = gas_core::minhash::MinHashSignature::from_values(vec![1, 2, 3]);
+        assert!(matches!(
+            engine.query_presigned(index.scheme(), &short, &opts),
+            Err(IndexError::InvalidQuery(_))
+        ));
     }
 
     #[test]

@@ -22,7 +22,13 @@ fn main() {
     println!("collection: {} samples over a {}-value universe", collection.n(), collection.m());
 
     // 1. BUILD — signatures + LSH buckets tuned for a Jaccard threshold.
-    let config = IndexConfig::default().with_signature_len(128).with_threshold(0.5);
+    // The one-permutation-hashing signer hashes each k-mer once
+    // (O(|set| + len) per sample) instead of once per signature position;
+    // the container records the signer, so queries stay compatible.
+    let config = IndexConfig::default()
+        .with_signature_len(128)
+        .with_threshold(0.5)
+        .with_signer(SignerKind::Oph);
     let index = SketchIndex::build(&collection, &config).expect("build succeeds");
     println!(
         "index: {} bands x {} rows, S-curve threshold {:.3}",
@@ -71,23 +77,29 @@ fn main() {
     assert_eq!(hits[0].id, 5, "the source sample is the best match");
     assert!(hits.iter().all(|n| (4..8).contains(&(n.id as usize))), "family 1 members expected");
 
-    // 4. DISTRIBUTE — shard the buckets over 4 simulated ranks; answers
-    // must match the single-rank engine exactly.
+    // 4. DISTRIBUTE — shard the buckets *and* the signature matrix over
+    // 4 simulated ranks; answers must match the single-rank engine
+    // exactly, and each rank stores only ~n/4 signature rows.
     let queries = [query];
     let out = Runtime::new(4)
         .run(|ctx| {
             let q = if ctx.rank() == 0 { Some(&queries[..]) } else { None };
             ctx.expect_ok(
-                "dist_query_batch",
-                dist_query_batch(ctx.world(), &loaded, Some(&collection), q, &opts),
+                "dist_query_batch_stats",
+                dist_query_batch_stats(ctx.world(), &loaded, Some(&collection), q, &opts),
             )
         })
         .expect("distributed run succeeds");
-    for result in &out.results {
+    for (result, stats) in &out.results {
         assert_eq!(result[0], hits, "sharded answers must equal the single-rank answers");
+        assert!(stats.shard_bytes * 2 < stats.replicated_bytes, "signatures must be sharded");
     }
+    let (_, stats) = &out.results[0];
     println!(
-        "\nsharded over 4 ranks: identical answers, {} bytes on the wire",
-        out.aggregate().total_bytes_sent
+        "\nsharded over 4 ranks: identical answers, {} bytes on the wire, \
+         {} signature bytes per rank instead of {} replicated",
+        out.aggregate().total_bytes_sent,
+        stats.shard_bytes,
+        stats.replicated_bytes
     );
 }

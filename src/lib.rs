@@ -66,8 +66,8 @@ pub mod prelude {
     pub use gas_genomics::kmer::KmerExtractor;
     pub use gas_genomics::sample::KmerSample;
     pub use gas_index::{
-        dist_query_batch, exact_top_k, IndexConfig, LshParams, Neighbor, QueryEngine, QueryOptions,
-        SketchIndex,
+        dist_query_batch, dist_query_batch_stats, exact_top_k, DistQueryStats, IndexConfig,
+        LshParams, Neighbor, QueryEngine, QueryOptions, SignerKind, SketchIndex,
     };
     pub use gas_sparse::dense::DenseMatrix;
 }

@@ -3,7 +3,7 @@
 //! of the CI dist-matrix grid (`GAS_DIST_RANKS` pins one configuration
 //! per CI job; local runs cover the full default matrix).
 
-use genomeatscale::index::dist::band_shard;
+use genomeatscale::index::dist::{band_shard, sample_shard, SignatureShard};
 use genomeatscale::prelude::*;
 
 fn env_usize_list(name: &str, default: &[usize]) -> Vec<usize> {
@@ -89,6 +89,75 @@ fn every_rank_owns_bands_of_real_indexes_on_ci_grids() {
                 owned.iter().all(|&c| c > 0),
                 "ranks without bands on p={ranks}, threshold={threshold}: {owned:?}"
             );
+        }
+    }
+}
+
+#[test]
+fn signature_sharding_splits_storage_across_the_grid_for_both_signers() {
+    // Each rank of the dist-matrix grid must store ~n/p signature rows
+    // (never the replicated matrix) while answering bit-identically to
+    // the single-rank engine, under both signers.
+    let collection = family_workload();
+    let queries: Vec<Vec<u64>> =
+        (0..collection.n()).step_by(7).map(|i| collection.sample(i).to_vec()).collect();
+    for signer in [SignerKind::KMins, SignerKind::Oph] {
+        let config =
+            IndexConfig::default().with_signature_len(128).with_threshold(0.4).with_signer(signer);
+        let index = SketchIndex::build(&collection, &config).unwrap();
+        let opts = QueryOptions { top_k: 6, rerank_exact: true, ..Default::default() };
+        let reference =
+            QueryEngine::with_collection(&index, &collection).query_batch(&queries, &opts).unwrap();
+        for ranks in env_usize_list("GAS_DIST_RANKS", &[4, 6, 8]) {
+            let out = Runtime::new(ranks)
+                .run(|ctx| {
+                    let q = if ctx.rank() == 0 { Some(&queries[..]) } else { None };
+                    ctx.expect_ok(
+                        "dist_query_batch_stats",
+                        dist_query_batch_stats(ctx.world(), &index, Some(&collection), q, &opts),
+                    )
+                })
+                .unwrap();
+            let mut total_rows = 0usize;
+            for (rank, (answers, stats)) in out.results.iter().enumerate() {
+                assert_eq!(
+                    answers, &reference,
+                    "rank {rank}/{ranks} ({signer}): sharded answers diverge"
+                );
+                // ~n/p rows per rank, never the whole matrix.
+                assert!(
+                    stats.shard_rows <= index.n().div_ceil(ranks),
+                    "rank {rank}/{ranks}: {} rows exceed the ⌈n/p⌉ shard",
+                    stats.shard_rows
+                );
+                assert_eq!(stats.shard_bytes, stats.shard_rows * 128 * 8);
+                assert_eq!(stats.replicated_bytes, index.n() * 128 * 8);
+                if ranks > 1 {
+                    assert!(
+                        stats.shard_bytes * 2 < stats.replicated_bytes,
+                        "rank {rank}/{ranks}: shard is not a real split"
+                    );
+                }
+                total_rows += stats.shard_rows;
+            }
+            // The shards partition the matrix: rows sum to n exactly.
+            assert_eq!(total_rows, index.n(), "p={ranks} ({signer})");
+        }
+    }
+}
+
+#[test]
+fn signature_shards_cover_every_sample_exactly_once_on_ci_grids() {
+    let collection = family_workload();
+    let index =
+        SketchIndex::build(&collection, &IndexConfig::default().with_signature_len(64)).unwrap();
+    for ranks in env_usize_list("GAS_DIST_RANKS", &[4, 6, 8, 12]) {
+        let shards: Vec<SignatureShard> =
+            (0..ranks).map(|r| SignatureShard::build(&index, r, ranks)).collect();
+        for id in 0..index.n() {
+            let owner = sample_shard(id, ranks);
+            assert_eq!(shards.iter().filter(|s| s.owns(id as u32)).count(), 1);
+            assert_eq!(shards[owner].row(id as u32), index.signature(id).values());
         }
     }
 }

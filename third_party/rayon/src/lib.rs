@@ -14,7 +14,8 @@ pub mod prelude {
     //! Import-everything module mirroring `rayon::prelude`.
 
     pub use crate::{
-        IntoParallelIterator, ParChunks, ParChunksMap, ParRangeMap, ParallelRange, ParallelSlice,
+        EnumeratedParChunksMut, IntoParallelIterator, ParChunks, ParChunksMap, ParChunksMut,
+        ParRangeMap, ParallelRange, ParallelSlice, ParallelSliceMut,
     };
 }
 
@@ -163,6 +164,92 @@ impl<T: Sync, F> ParChunksMap<'_, T, F> {
     }
 }
 
+/// Parallel operations on mutable slices (mirrors rayon's
+/// `ParallelSliceMut`).
+pub trait ParallelSliceMut<T: Send> {
+    /// Split the slice into contiguous mutable chunks of at most
+    /// `chunk_size` elements, processed in parallel on `for_each`.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParChunksMut { slice: self, chunk_size }
+    }
+}
+
+/// A parallel iterator over contiguous mutable slice chunks.
+pub struct ParChunksMut<'a, T> {
+    slice: &'a mut [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Pair every chunk with its index (chunk `i` covers elements
+    /// `i * chunk_size ..`), mirroring rayon's `enumerate()`.
+    pub fn enumerate(self) -> EnumeratedParChunksMut<'a, T> {
+        EnumeratedParChunksMut { slice: self.slice, chunk_size: self.chunk_size }
+    }
+
+    /// Run `f` on every chunk in parallel (in-place fill).
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut [T]) + Sync,
+        T: Sync,
+    {
+        self.enumerate().for_each(|(_, chunk)| f(chunk));
+    }
+}
+
+/// The enumerated mutable chunks, ready to consume with `for_each`.
+pub struct EnumeratedParChunksMut<'a, T> {
+    slice: &'a mut [T],
+    chunk_size: usize,
+}
+
+impl<T: Send> EnumeratedParChunksMut<'_, T> {
+    /// Run `f` on every `(chunk_index, chunk)` pair in parallel. Chunks
+    /// are disjoint sub-slices, so each worker mutates its own region;
+    /// completion of `for_each` makes all writes visible to the caller
+    /// (the scoped-thread joins are the synchronization points).
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut [T])) + Sync,
+        T: Sync,
+    {
+        let chunks: Vec<(usize, &mut [T])> =
+            self.slice.chunks_mut(self.chunk_size).enumerate().collect();
+        let nchunks = chunks.len();
+        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+        if nchunks < 2 || threads < 2 {
+            for chunk in chunks {
+                f(chunk);
+            }
+            return;
+        }
+        let groups = threads.min(nchunks);
+        let group_len = nchunks.div_ceil(groups);
+        let mut remaining = chunks;
+        std::thread::scope(|scope| {
+            let f = &f;
+            let mut handles = Vec::with_capacity(groups);
+            while !remaining.is_empty() {
+                let take = group_len.min(remaining.len());
+                let group: Vec<(usize, &mut [T])> = remaining.drain(..take).collect();
+                handles.push(scope.spawn(move || {
+                    for chunk in group {
+                        f(chunk);
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().expect("parallel mutable-chunk worker panicked");
+            }
+        });
+    }
+}
+
 fn par_map_range<T, F>(range: Range<usize>, f: &F) -> Vec<T>
 where
     F: Fn(usize) -> T + Sync,
@@ -281,6 +368,43 @@ mod tests {
     #[should_panic]
     fn par_chunks_rejects_zero_chunk_size() {
         let _ = [1u8, 2].par_chunks(0);
+    }
+
+    #[test]
+    fn par_chunks_mut_fills_in_place_like_serial_chunks_mut() {
+        for (len, chunk) in [(0usize, 4usize), (1, 4), (1003, 1), (1003, 7), (1003, 64), (50, 90)] {
+            let mut par: Vec<u64> = vec![0; len];
+            par.par_chunks_mut(chunk).for_each(|c| {
+                for (i, v) in c.iter_mut().enumerate() {
+                    *v = i as u64 + 1;
+                }
+            });
+            let mut serial: Vec<u64> = vec![0; len];
+            for c in serial.chunks_mut(chunk) {
+                for (i, v) in c.iter_mut().enumerate() {
+                    *v = i as u64 + 1;
+                }
+            }
+            assert_eq!(par, serial, "len {len}, chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_enumerate_sees_every_chunk_index_once() {
+        let mut data: Vec<u64> = vec![0; 1003];
+        data.par_chunks_mut(10).enumerate().for_each(|(idx, c)| {
+            for v in c.iter_mut() {
+                *v = idx as u64;
+            }
+        });
+        let expected: Vec<u64> = (0..1003).map(|i| (i / 10) as u64).collect();
+        assert_eq!(data, expected);
+    }
+
+    #[test]
+    #[should_panic]
+    fn par_chunks_mut_rejects_zero_chunk_size() {
+        let _ = [1u8, 2].par_chunks_mut(0);
     }
 
     #[test]
