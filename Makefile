@@ -5,7 +5,7 @@
 # facade's integration suites. Always go through `make test` (or pass
 # --workspace yourself) so local coverage matches CI.
 
-.PHONY: build test lint fmt bench-smoke query-smoke dist-matrix all
+.PHONY: build test lint fmt bench-smoke query-smoke dist-matrix index-lifecycle all
 
 all: lint build test
 
@@ -29,9 +29,17 @@ bench-smoke:
 
 # The CI query-smoke step: the sketch-index serving benchmark on a tiny
 # synthetic workload, once per signer (signing time, qps, recall@10,
-# per-rank signature bytes under sharding, sharded equivalence).
+# per-rank signature bytes under sharding, sharded equivalence, and
+# incremental 10%-add throughput vs a full rebuild).
 query-smoke:
 	GAS_QUERY_TINY=1 cargo run --release --locked -p gas-bench --bin query_throughput
+
+# The segmented index lifecycle suites: writer/reader/compactor unit
+# tests, the `incremental add + compact ≡ full rebuild` and crash-safe
+# commit proptests, and the segmented sharded-serving grid equality.
+index-lifecycle:
+	cargo test -p gas-index --locked -q
+	cargo test --locked -q --test index_lifecycle --test query_serving
 
 # One cell of the CI dist-matrix job, e.g.:
 #   make dist-matrix RANKS=8 REPLICATION=2

@@ -9,6 +9,10 @@
 //!   from `O(len·|set|)` into `O(|set| + len)` per sample; the headline
 //!   of this comparison);
 //! * **build** — seconds to sign the collection and fill the LSH buckets;
+//! * **incr_add vs rebuild** — seconds to absorb a 10% delta batch
+//!   through the `IndexWriter` lifecycle (signs and buckets only the
+//!   delta) vs rebuilding the enlarged corpus from scratch; asserted
+//!   ≥ 5× faster (≥ 2× on the tiny CI workload);
 //! * **persist** — container round-trip (write + read back + identity
 //!   check), reporting the file size;
 //! * **scan_qps** — the brute-force exact top-k baseline (merge-join over
@@ -40,8 +44,8 @@ use gas_core::indicator::SampleCollection;
 use gas_core::minhash::SignatureScheme;
 use gas_dstsim::runtime::Runtime;
 use gas_index::{
-    dist_query_batch_stats, exact_top_k, DistQueryStats, IndexConfig, QueryEngine, QueryOptions,
-    SignerKind, SketchIndex,
+    dist_query_batch_stats, exact_top_k, DistQueryStats, IndexConfig, IndexWriter, QueryEngine,
+    QueryOptions, SignerKind, SketchIndex,
 };
 use rand::{Rng, SeedableRng, StdRng};
 
@@ -113,6 +117,24 @@ impl Workload {
         SampleCollection::from_sets(samples).expect("synthetic samples are valid")
     }
 
+    /// A delta batch of brand-new samples, 10% of the corpus size: the
+    /// incremental-ingestion workload (one fresh family whose members
+    /// share a core, like the base corpus).
+    fn extra_samples(&self, seed: u64) -> Vec<Vec<u64>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let count = (self.n() / 10).max(1);
+        let core: Vec<u64> = (0..self.core_size).map(|_| rng.random::<u64>()).collect();
+        (0..count)
+            .map(|_| {
+                let mut s = core.clone();
+                for _ in 0..self.private_size {
+                    s.push(rng.random::<u64>());
+                }
+                s
+            })
+            .collect()
+    }
+
     /// Queries are perturbed copies of random samples: keep ~90% of the
     /// elements, add ~5% noise. The perturbation source is its own RNG so
     /// workload and query streams stay independently reproducible.
@@ -173,12 +195,71 @@ fn time_signing(scheme: &SignatureScheme, collection: &SampleCollection) -> f64 
     }
 }
 
+/// Repetition-averaged seconds per call of `f` (at least ~0.2 s of work
+/// or the rep cap, whichever comes first, so figures are not
+/// thread-spawn noise).
+fn time_averaged<F: FnMut()>(mut f: F) -> f64 {
+    let mut reps = 1usize;
+    loop {
+        let t = Instant::now();
+        for _ in 0..reps {
+            f();
+        }
+        let elapsed = t.elapsed().as_secs_f64();
+        if elapsed >= 0.2 || reps >= 256 {
+            return elapsed / reps as f64;
+        }
+        reps *= 4;
+    }
+}
+
+/// Incremental ingestion vs full rebuild: seconds to absorb a 10% delta
+/// batch through the `IndexWriter` lifecycle (`add` + `commit` signs
+/// and buckets *only the delta*) vs seconds to rebuild the enlarged
+/// corpus monolithically from scratch — the cost the segmented
+/// lifecycle exists to avoid. Base writers are prepared outside the
+/// timed region; returns `(incremental_s, rebuild_s)`.
+fn time_incremental_vs_rebuild(
+    config: &IndexConfig,
+    collection: &SampleCollection,
+    extra: &[Vec<u64>],
+) -> (f64, f64) {
+    let mut enlarged: Vec<Vec<u64>> =
+        (0..collection.n()).map(|i| collection.sample(i).to_vec()).collect();
+    enlarged.extend(extra.iter().cloned());
+    let enlarged = SampleCollection::from_sets(enlarged).expect("valid enlarged corpus");
+    let rebuild_s = time_averaged(|| {
+        std::hint::black_box(SketchIndex::build(&enlarged, config).expect("rebuild succeeds"));
+    });
+
+    // Each rep gets a fresh base writer (prepared untimed, one at a
+    // time) and only the delta `add` + `commit` is on the clock;
+    // accumulating per-rep timings avoids rebuilding discarded writer
+    // fleets on every escalation round.
+    let mut reps = 0usize;
+    let mut total = 0.0f64;
+    while total < 0.2 && reps < 64 {
+        let mut w = IndexWriter::create(config).expect("writer creates");
+        w.commit_collection(collection).expect("base seals");
+        let t = Instant::now();
+        for (j, s) in extra.iter().enumerate() {
+            w.add(format!("delta_{j}"), s.clone()).expect("delta stages");
+        }
+        std::hint::black_box(w.commit().expect("delta seals"));
+        total += t.elapsed().as_secs_f64();
+        reps += 1;
+    }
+    (total / reps as f64, rebuild_s)
+}
+
 /// Everything one signer's serving pipeline produced, ready for a report
 /// row and the cross-signer assertions.
 struct SignerRun {
     signer: SignerKind,
     sign_s: f64,
     build_s: f64,
+    incr_add_s: f64,
+    rebuild_s: f64,
     container_len: usize,
     engine_qps: f64,
     est_recall: f64,
@@ -219,6 +300,18 @@ fn run_signer(
         collection.n(),
         format_seconds(sign_s),
         collection.n() as f64 / sign_s.max(1e-12)
+    );
+
+    // Incremental ingestion: absorbing a 10% delta through the writer
+    // lifecycle vs rebuilding the enlarged corpus from scratch.
+    let extra = workload.extra_samples(4242);
+    let (incr_add_s, rebuild_s) = time_incremental_vs_rebuild(&config, collection, &extra);
+    println!(
+        "[{signer}] incremental add of {} samples (10%): {} vs {} full rebuild ({:.1}× faster)",
+        extra.len(),
+        format_seconds(incr_add_s),
+        format_seconds(rebuild_s),
+        rebuild_s / incr_add_s.max(1e-12)
     );
 
     // Persist: container round-trip must reproduce the index exactly,
@@ -297,6 +390,8 @@ fn run_signer(
         signer,
         sign_s,
         build_s,
+        incr_add_s,
+        rebuild_s,
         container_len,
         engine_qps,
         est_recall,
@@ -341,6 +436,9 @@ fn main() {
             "queries",
             "sign_s",
             "build_s",
+            "incr_add_s",
+            "rebuild_s",
+            "incr_speedup",
             "container_bytes",
             "scan_qps",
             "engine_qps",
@@ -361,6 +459,9 @@ fn main() {
             queries.len().to_string(),
             format!("{:.6}", run.sign_s),
             format!("{:.4}", run.build_s),
+            format!("{:.6}", run.incr_add_s),
+            format!("{:.6}", run.rebuild_s),
+            format!("{:.2}", run.rebuild_s / run.incr_add_s.max(1e-12)),
             run.container_len.to_string(),
             format!("{scan_qps:.1}"),
             format!("{:.1}", run.engine_qps),
@@ -398,6 +499,22 @@ fn main() {
             run.signer,
             run.stats_p4.shard_bytes,
             run.stats_p4.replicated_bytes
+        );
+    }
+    // The lifecycle gate: absorbing a 10% delta batch incrementally must
+    // beat rebuilding the enlarged corpus by ≥ 5× (the delta is 1/11 of
+    // the signing work; a relaxed ≥ 2× floor applies on the tiny CI
+    // workload where both figures sit near timer resolution).
+    let incr_floor = if tiny() { 2.0 } else { 5.0 };
+    for run in &runs {
+        let incr_speedup = run.rebuild_s / run.incr_add_s.max(1e-12);
+        assert!(
+            incr_speedup >= incr_floor,
+            "[{}] incremental 10% add is only {incr_speedup:.1}× faster than a full rebuild \
+             (floor {incr_floor}×: incremental {:.6} s vs rebuild {:.6} s)",
+            run.signer,
+            run.incr_add_s,
+            run.rebuild_s
         );
     }
     let speedup = kmins.sign_s / oph.sign_s.max(1e-12);

@@ -399,14 +399,32 @@ impl SignatureScheme {
     /// every row run inside the parallel fill and no second copy of the
     /// signature matrix is ever materialized.
     pub fn sign_collection(&self, collection: &SampleCollection) -> Vec<MinHashSignature> {
+        self.sign_batch_by(collection.n(), |i| collection.sample(i))
+    }
+
+    /// Sign a *delta batch* of raw sets under this (already fixed)
+    /// scheme: the incremental-indexing path, where newly arriving
+    /// samples must be signed exactly as the existing corpus was (same
+    /// signer kind, length and seed) without rebuilding a
+    /// [`SampleCollection`] around them. Cost is proportional to the
+    /// batch, not the corpus; signatures are bit-identical to signing
+    /// the same sets through [`Self::sign_collection`].
+    pub fn sign_batch(&self, sets: &[&[u64]]) -> Vec<MinHashSignature> {
+        self.sign_batch_by(sets.len(), |i| sets[i])
+    }
+
+    /// Shared parallel fill of `n` signatures drawn through `set_of`.
+    fn sign_batch_by<'a, F>(&self, n: usize, set_of: F) -> Vec<MinHashSignature>
+    where
+        F: Fn(usize) -> &'a [u64] + Sync,
+    {
         use rayon::prelude::*;
         const RUN: usize = 16;
-        let n = collection.n();
         let mut signatures = vec![MinHashSignature { mins: Vec::new() }; n];
         signatures.par_chunks_mut(RUN).enumerate().for_each(|(run, group)| {
             for (j, sig) in group.iter_mut().enumerate() {
                 let mut mins = vec![EMPTY_SET_SENTINEL; self.len];
-                self.sign_into(collection.sample(run * RUN + j), &mut mins);
+                self.sign_into(set_of(run * RUN + j), &mut mins);
                 sig.mins = mins;
             }
         });
@@ -687,6 +705,30 @@ mod tests {
         assert_eq!(signed.len(), 4);
         for (i, sig) in signed.iter().enumerate() {
             assert_eq!(sig, &scheme.sign(collection.sample(i)));
+        }
+    }
+
+    #[test]
+    fn sign_batch_matches_per_sample_signing_for_both_signers() {
+        // The incremental-index path signs delta batches of raw sets; the
+        // result must be bit-identical to signing the same sets one by
+        // one (and hence to a full `sign_collection` over them).
+        let sets: Vec<Vec<u64>> = vec![
+            (0..300u64).collect(),
+            (150..450u64).collect(),
+            Vec::new(),
+            vec![9_999],
+            (7..777u64).step_by(3).collect(),
+        ];
+        let refs: Vec<&[u64]> = sets.iter().map(Vec::as_slice).collect();
+        for kind in [SignerKind::KMins, SignerKind::Oph] {
+            let scheme = SignatureScheme::new(48).unwrap().with_kind(kind).with_seed(11);
+            let batch = scheme.sign_batch(&refs);
+            assert_eq!(batch.len(), sets.len());
+            for (set, sig) in sets.iter().zip(&batch) {
+                assert_eq!(sig, &scheme.sign(set), "signer {kind}");
+            }
+            assert!(scheme.sign_batch(&[]).is_empty());
         }
     }
 

@@ -16,6 +16,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::error::{IndexError, IndexResult};
 use crate::params::LshParams;
+use crate::segment::{Segment, SharedSegment};
 
 /// Configuration of an index build: signature size, signer, hash seed
 /// and the target Jaccard threshold the banding is tuned for.
@@ -108,7 +109,7 @@ impl BandBuckets {
         Ok(BandBuckets { keys, offsets, ids })
     }
 
-    fn from_map(map: BTreeMap<u64, Vec<u32>>) -> Self {
+    pub(crate) fn from_map(map: BTreeMap<u64, Vec<u32>>) -> Self {
         let mut keys = Vec::with_capacity(map.len());
         let mut offsets = Vec::with_capacity(map.len() + 1);
         offsets.push(0u32);
@@ -159,52 +160,61 @@ impl BandBuckets {
     }
 }
 
-/// The persistent sketch index: signatures, banding parameters and
-/// per-band bucket tables over one dataset.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// The monolithic sketch index: one sealed [`Segment`] whose global
+/// sample ids are the dense `0..n` of the built collection.
+///
+/// Since the segmented-lifecycle redesign this is a thin convenience
+/// wrapper — [`SketchIndex::build`] is literally an
+/// [`IndexWriter`](crate::lifecycle::IndexWriter) staging the whole
+/// collection followed by a single `commit()` — kept so one-shot callers
+/// (build → persist → serve a static corpus) keep a direct API, and so
+/// v1/v2 containers still deserialize into a ready-to-serve value.
+/// Long-lived corpora that grow, shrink and compact should hold an
+/// `IndexWriter` and take [`IndexReader`](crate::lifecycle::IndexReader)
+/// snapshots instead.
+#[derive(Debug, Clone)]
 pub struct SketchIndex {
-    scheme: SignatureScheme,
-    params: LshParams,
-    signatures: Vec<MinHashSignature>,
-    set_sizes: Vec<u64>,
-    names: Vec<String>,
-    bands: Vec<BandBuckets>,
+    segment: SharedSegment,
+}
+
+impl PartialEq for SketchIndex {
+    /// Content equality: the segment id is lifecycle bookkeeping the
+    /// v1/v2 container does not record, so it is ignored here (a rebuilt
+    /// and a reloaded index compare equal).
+    fn eq(&self, other: &Self) -> bool {
+        self.segment.same_content(&other.segment)
+    }
 }
 
 impl SketchIndex {
-    /// Build the index over every sample of `collection`: sign all
-    /// samples in parallel, then bucket each signature under one key per
-    /// band.
+    /// Build the index over every sample of `collection`: an
+    /// [`IndexWriter`](crate::lifecycle::IndexWriter) sealing the whole
+    /// collection in one commit (the staging-free `commit_collection`
+    /// path — signatures come straight off the collection's slices, no
+    /// copies of the value sets are made).
     pub fn build(collection: &SampleCollection, config: &IndexConfig) -> IndexResult<Self> {
-        let params = LshParams::for_threshold(config.signature_len, config.threshold)?;
-        let scheme = SignatureScheme::new(config.signature_len)?
-            .with_seed(config.seed)
-            .with_kind(config.signer);
-        if collection.n() > u32::MAX as usize {
-            return Err(IndexError::InvalidConfig(format!(
-                "{} samples exceed the u32 id space of one shard",
-                collection.n()
-            )));
-        }
-        let signatures = scheme.sign_collection(collection);
-        let bands = (0..params.bands())
-            .map(|band| {
-                let mut map: BTreeMap<u64, Vec<u32>> = BTreeMap::new();
-                for (id, sig) in signatures.iter().enumerate() {
-                    let key = band_key(&params, band, sig);
-                    map.entry(key).or_default().push(id as u32);
-                }
-                BandBuckets::from_map(map)
-            })
-            .collect();
-        Ok(SketchIndex {
-            scheme,
-            params,
-            signatures,
-            set_sizes: collection.cardinalities(),
-            names: collection.names().to_vec(),
-            bands,
-        })
+        let mut writer = crate::lifecycle::IndexWriter::create(config)?;
+        writer.commit_collection(collection)?;
+        Ok(writer.reader().to_monolithic().expect("one fresh commit is dense and tombstone-free"))
+    }
+
+    /// Wrap an already-sealed segment (the lifecycle layer's path into
+    /// the monolithic convenience type).
+    pub(crate) fn from_segment(segment: SharedSegment) -> Self {
+        SketchIndex { segment }
+    }
+
+    /// The underlying sealed segment.
+    pub(crate) fn segment(&self) -> &SharedSegment {
+        &self.segment
+    }
+
+    /// A single-segment reader snapshot over this index (no tombstones,
+    /// generation 0) — the bridge from the monolithic convenience API to
+    /// every multi-segment code path (query engine, distributed
+    /// serving).
+    pub fn as_reader(&self) -> crate::lifecycle::IndexReader {
+        crate::lifecycle::IndexReader::from_single(self.segment.clone())
     }
 
     /// Reassemble an index from its parts (the persistence reader path).
@@ -216,50 +226,22 @@ impl SketchIndex {
         names: Vec<String>,
         bands: Vec<BandBuckets>,
     ) -> IndexResult<Self> {
-        if params.signature_len() != scheme.len() {
-            return Err(IndexError::Corrupt {
-                context: format!(
-                    "banding wants {}-long signatures but the scheme produces {}",
-                    params.signature_len(),
-                    scheme.len()
-                ),
-            });
-        }
-        if signatures.iter().any(|s| s.len() != scheme.len()) {
-            return Err(IndexError::Corrupt {
-                context: "stored signature length differs from the scheme".into(),
-            });
-        }
-        let n = signatures.len();
-        if set_sizes.len() != n || names.len() != n {
-            return Err(IndexError::Corrupt {
-                context: format!(
-                    "{n} signatures but {} set sizes and {} names",
-                    set_sizes.len(),
-                    names.len()
-                ),
-            });
-        }
-        if bands.len() != params.bands() {
-            return Err(IndexError::Corrupt {
-                context: format!("{} band tables for {} bands", bands.len(), params.bands()),
-            });
-        }
-        if bands.iter().any(|b| b.ids.iter().any(|&id| id as usize >= n)) {
-            return Err(IndexError::Corrupt { context: "bucket id out of range".into() });
-        }
-        Ok(SketchIndex { scheme, params, signatures, set_sizes, names, bands })
+        let global_ids = (0..signatures.len() as u32).collect();
+        let segment = Segment::from_parts(
+            0, scheme, params, global_ids, signatures, set_sizes, names, bands,
+        )?;
+        Ok(SketchIndex { segment: SharedSegment::new(segment) })
     }
 
     /// Number of indexed samples.
     pub fn n(&self) -> usize {
-        self.signatures.len()
+        self.segment.n_rows()
     }
 
     /// The signature scheme (signer kind + length + seed) shared by
     /// index and queries.
     pub fn scheme(&self) -> &SignatureScheme {
-        &self.scheme
+        self.segment.scheme()
     }
 
     /// Check that a query-side scheme matches this index's scheme.
@@ -269,9 +251,9 @@ impl SketchIndex {
     /// other scheme would silently score garbage, so mismatches surface
     /// as a typed [`IndexError::SignerMismatch`].
     pub fn check_query_scheme(&self, query_scheme: &SignatureScheme) -> IndexResult<()> {
-        if query_scheme != &self.scheme {
+        if query_scheme != self.segment.scheme() {
             return Err(IndexError::SignerMismatch {
-                index_scheme: self.scheme.describe(),
+                index_scheme: self.segment.scheme().describe(),
                 query_scheme: query_scheme.describe(),
             });
         }
@@ -280,37 +262,38 @@ impl SketchIndex {
 
     /// The banding parameters.
     pub fn params(&self) -> &LshParams {
-        &self.params
+        self.segment.params()
     }
 
-    /// Signature of sample `id`.
+    /// Signature of sample `id` (sample ids are the segment's dense
+    /// local rows here).
     pub fn signature(&self, id: usize) -> &MinHashSignature {
-        &self.signatures[id]
+        self.segment.signature(id)
     }
 
     /// All signatures, id-ordered.
     pub fn signatures(&self) -> &[MinHashSignature] {
-        &self.signatures
+        self.segment.signatures()
     }
 
     /// Original set cardinalities, id-ordered.
     pub fn set_sizes(&self) -> &[u64] {
-        &self.set_sizes
+        self.segment.set_sizes()
     }
 
     /// Sample names, id-ordered.
     pub fn names(&self) -> &[String] {
-        &self.names
+        self.segment.names()
     }
 
     /// The bucket table of `band`.
     pub fn band(&self, band: usize) -> &BandBuckets {
-        &self.bands[band]
+        self.segment.band(band)
     }
 
     /// The bucket key of `sig` in `band`.
     pub fn band_key(&self, band: usize, sig: &MinHashSignature) -> u64 {
-        band_key(&self.params, band, sig)
+        band_key(self.segment.params(), band, sig)
     }
 
     /// Candidate ids for a query signature, probing only the bands
@@ -322,16 +305,7 @@ impl SketchIndex {
         sig: &MinHashSignature,
         band_filter: F,
     ) -> Vec<u32> {
-        let mut out = Vec::new();
-        for band in 0..self.params.bands() {
-            if !band_filter(band) {
-                continue;
-            }
-            out.extend_from_slice(self.bands[band].get(band_key(&self.params, band, sig)));
-        }
-        out.sort_unstable();
-        out.dedup();
-        out
+        self.segment.candidates_where(sig, band_filter)
     }
 
     /// Candidate ids for a query signature over all bands.

@@ -38,10 +38,24 @@ use crate::params::LshParams;
 /// not the magic).
 pub const MAGIC: [u8; 8] = *b"GASIDX01";
 
-/// Current container format version. Version 2 added the `SGNR` section
-/// recording which signer produced the signatures; version-1 files (no
-/// `SGNR`) predate one-permutation hashing and decode as k-mins.
+/// Current *single-index* container format version (the section-table
+/// layout this module's `Container`/`ContainerWriter` read and write).
+/// Version 2 added the `SGNR` section recording which signer produced
+/// the signatures; version-1 files (no `SGNR`) predate one-permutation
+/// hashing and decode as k-mins. Version 3 is the *segmented* layout
+/// ([`VERSION_SEGMENTED`]): a block stream, not a section table, read
+/// through the lifecycle openers (`IndexReader::open` /
+/// `IndexWriter::open`) rather than through [`Container::parse`].
 pub const VERSION: u32 = 2;
+
+/// The segmented (multi-segment, append-only) container format version:
+/// a 20-byte checksummed header followed by a stream of checksummed
+/// blocks — immutable segment blocks and generation-numbered manifest
+/// blocks, the manifest of each commit written *last*. Readers take the
+/// newest manifest whose own bytes and every referenced segment check
+/// out; anything after it (a torn commit) is ignored, so a crash or
+/// truncation mid-commit falls back to the previous generation.
+pub const VERSION_SEGMENTED: u32 = 3;
 
 const HEADER_LEN: usize = 24;
 const TABLE_ENTRY_LEN: usize = 32;
@@ -443,6 +457,379 @@ impl SketchIndex {
     pub fn read_from(path: impl AsRef<Path>) -> IndexResult<Self> {
         SketchIndex::from_container_bytes(std::fs::read(path)?)
     }
+}
+
+// ---------------------------------------------------------------------
+// Version 3: the segmented, append-only container.
+//
+// ```text
+// [0..8)    magic        b"GASIDX01"
+// [8..12)   version      u32 LE (3)
+// [12..20)  header_crc   u64 LE — fnv1a64 of bytes [0..12)
+// [20..)    blocks, each:
+//     [0..4)    kind          b"SEG\0" | b"MAN\0"
+//     [4..8)    reserved      u32 LE (0)
+//     [8..16)   payload_len   u64 LE
+//     [16..24)  payload_crc   u64 LE — fnv1a64 of the payload
+//     [24..32)  header_crc    u64 LE — fnv1a64 of bytes [0..24)
+//     [32..)    payload
+// ```
+//
+// Commits append `SEG* MAN` — the manifest strictly last. The scanner
+// walks blocks until the first torn or unknown one and keeps the newest
+// manifest seen; a crash, truncation or flip inside the newest commit
+// therefore falls back to the previous generation, and a file with no
+// surviving manifest is rejected with a typed error.
+// ---------------------------------------------------------------------
+
+/// Byte length of the v3 file header.
+pub(crate) const V3_HEADER_LEN: usize = 20;
+/// Byte length of one v3 block header.
+pub(crate) const V3_BLOCK_HEADER_LEN: usize = 32;
+/// Block kind: one immutable sealed segment.
+pub(crate) const BLOCK_SEGMENT: [u8; 4] = *b"SEG\0";
+/// Block kind: one manifest generation.
+pub(crate) const BLOCK_MANIFEST: [u8; 4] = *b"MAN\0";
+/// Layout version of segment payloads.
+const SEGMENT_LAYOUT: u32 = 1;
+/// Layout version of manifest payloads.
+const MANIFEST_LAYOUT: u32 = 1;
+
+use crate::segment::{Segment, SharedSegment};
+
+/// Sniff the container family and version of a byte buffer without
+/// committing to a layout: shared by every opener so v1/v2 section
+/// tables and v3 block streams dispatch to the right reader.
+pub(crate) fn container_version(bytes: &[u8]) -> IndexResult<u32> {
+    if bytes.len() < 12 {
+        return Err(IndexError::Truncated { context: "container header".into() });
+    }
+    if bytes[0..8] != MAGIC {
+        return Err(IndexError::BadMagic);
+    }
+    Ok(u32::from_le_bytes(bytes[8..12].try_into().unwrap()))
+}
+
+/// The 20-byte v3 file header.
+pub(crate) fn v3_header_bytes() -> Vec<u8> {
+    let mut out = Vec::with_capacity(V3_HEADER_LEN);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&VERSION_SEGMENTED.to_le_bytes());
+    let crc = fnv1a64(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// One framed, checksummed v3 block.
+pub(crate) fn block_bytes(kind: [u8; 4], payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(V3_BLOCK_HEADER_LEN + payload.len());
+    out.extend_from_slice(&kind);
+    out.extend_from_slice(&0u32.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&fnv1a64(payload).to_le_bytes());
+    let header_crc = fnv1a64(&out);
+    out.extend_from_slice(&header_crc.to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+fn push_scheme(out: &mut Vec<u8>, scheme: &SignatureScheme, params: &LshParams) {
+    push_u32(out, scheme.kind().code());
+    push_u32(out, scheme.len() as u32);
+    push_u64(out, scheme.seed());
+    push_u32(out, params.bands() as u32);
+    push_u32(out, params.rows() as u32);
+}
+
+fn read_scheme(r: &mut PodReader<'_>) -> IndexResult<(SignatureScheme, LshParams)> {
+    let code = r.u32("signer kind code")?;
+    let kind = SignerKind::from_code(code).ok_or_else(|| IndexError::Corrupt {
+        context: format!("{}: unknown signer kind code {code}", r.section),
+    })?;
+    let len = r.u32("signature length")? as usize;
+    let seed = r.u64("seed")?;
+    let bands = r.u32("band count")? as usize;
+    let rows = r.u32("rows per band")? as usize;
+    let scheme = SignatureScheme::new(len)
+        .map_err(|_| IndexError::Corrupt { context: "zero signature length".into() })?
+        .with_seed(seed)
+        .with_kind(kind);
+    let params = LshParams::new(bands, rows)
+        .map_err(|_| IndexError::Corrupt { context: "zero bands or rows".into() })?;
+    Ok((scheme, params))
+}
+
+/// Serialize a sealed segment as a v3 block payload.
+pub(crate) fn segment_payload(seg: &Segment) -> Vec<u8> {
+    let mut out = Vec::new();
+    push_u32(&mut out, SEGMENT_LAYOUT);
+    push_u64(&mut out, seg.id());
+    push_scheme(&mut out, seg.scheme(), seg.params());
+    let n = seg.n_rows();
+    push_u32(&mut out, n as u32);
+    for &id in seg.global_ids() {
+        push_u32(&mut out, id);
+    }
+    for &s in seg.set_sizes() {
+        push_u64(&mut out, s);
+    }
+    for name in seg.names() {
+        push_u32(&mut out, name.len() as u32);
+        out.extend_from_slice(name.as_bytes());
+    }
+    for sig in seg.signatures() {
+        for &v in sig.values() {
+            push_u64(&mut out, v);
+        }
+    }
+    for band in 0..seg.params().bands() {
+        let b = seg.band(band);
+        push_u32(&mut out, b.len() as u32);
+        push_u32(&mut out, b.ids().len() as u32);
+        for &k in b.keys() {
+            push_u64(&mut out, k);
+        }
+        for &o in b.offsets() {
+            push_u32(&mut out, o);
+        }
+        for &id in b.ids() {
+            push_u32(&mut out, id);
+        }
+    }
+    out
+}
+
+/// Decode a segment block payload (already checksum-validated).
+pub(crate) fn decode_segment(payload: &[u8]) -> IndexResult<Segment> {
+    let mut r = PodReader::new(payload, "SEG");
+    let layout = r.u32("segment layout version")?;
+    if layout != SEGMENT_LAYOUT {
+        return Err(IndexError::Corrupt {
+            context: format!("SEG: unknown layout version {layout}"),
+        });
+    }
+    let id = r.u64("segment id")?;
+    let (scheme, params) = read_scheme(&mut r)?;
+    let n = r.u32("row count")? as usize;
+    let global_ids = r.u32s(n, "global ids")?;
+    let set_sizes = r.u64s(n, "set sizes")?;
+    let mut names = Vec::with_capacity(n);
+    for i in 0..n {
+        names.push(r.string(&format!("name {i}"))?);
+    }
+    let mut signatures = Vec::with_capacity(n);
+    for i in 0..n {
+        signatures
+            .push(MinHashSignature::from_values(r.u64s(scheme.len(), &format!("signature {i}"))?));
+    }
+    let mut bands = Vec::with_capacity(params.bands());
+    for band in 0..params.bands() {
+        let key_count = r.u32(&format!("band {band} key count"))? as usize;
+        let id_count = r.u32(&format!("band {band} id count"))? as usize;
+        let keys = r.u64s(key_count, &format!("band {band} keys"))?;
+        let offsets = r.u32s(key_count + 1, &format!("band {band} offsets"))?;
+        let ids = r.u32s(id_count, &format!("band {band} ids"))?;
+        bands.push(BandBuckets::from_raw_parts(keys, offsets, ids)?);
+    }
+    r.finish()?;
+    Segment::from_parts(id, scheme, params, global_ids, signatures, set_sizes, names, bands)
+}
+
+/// One manifest entry: which segment, how many rows, and the checksum
+/// its block payload must carry (cross-checked against the scanned
+/// block, so a manifest can never adopt a segment it was not written
+/// with).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct ManifestSegmentRef {
+    pub id: u64,
+    pub rows: u32,
+    pub crc: u64,
+}
+
+/// One manifest generation: the full committed state of the index at
+/// one commit (minus segment payloads, which live in their own blocks).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct ManifestRecord {
+    pub generation: u64,
+    pub scheme: SignatureScheme,
+    pub params: LshParams,
+    pub next_id: u32,
+    pub segments: Vec<ManifestSegmentRef>,
+    pub tombstones: Vec<u32>,
+}
+
+/// Serialize a manifest as a v3 block payload.
+pub(crate) fn manifest_payload(m: &ManifestRecord) -> Vec<u8> {
+    let mut out = Vec::new();
+    push_u32(&mut out, MANIFEST_LAYOUT);
+    push_u64(&mut out, m.generation);
+    push_scheme(&mut out, &m.scheme, &m.params);
+    push_u32(&mut out, m.next_id);
+    push_u32(&mut out, m.segments.len() as u32);
+    for sref in &m.segments {
+        push_u64(&mut out, sref.id);
+        push_u32(&mut out, sref.rows);
+        push_u64(&mut out, sref.crc);
+    }
+    push_u32(&mut out, m.tombstones.len() as u32);
+    for &id in &m.tombstones {
+        push_u32(&mut out, id);
+    }
+    out
+}
+
+/// Decode a manifest block payload (already checksum-validated).
+pub(crate) fn decode_manifest(payload: &[u8]) -> IndexResult<ManifestRecord> {
+    let mut r = PodReader::new(payload, "MAN");
+    let layout = r.u32("manifest layout version")?;
+    if layout != MANIFEST_LAYOUT {
+        return Err(IndexError::Corrupt {
+            context: format!("MAN: unknown layout version {layout}"),
+        });
+    }
+    let generation = r.u64("generation")?;
+    let (scheme, params) = read_scheme(&mut r)?;
+    let next_id = r.u32("next global id")?;
+    let segment_count = r.u32("segment count")? as usize;
+    let mut segments = Vec::with_capacity(segment_count);
+    for i in 0..segment_count {
+        let id = r.u64(&format!("segment ref {i} id"))?;
+        let rows = r.u32(&format!("segment ref {i} rows"))?;
+        let crc = r.u64(&format!("segment ref {i} crc"))?;
+        segments.push(ManifestSegmentRef { id, rows, crc });
+    }
+    let tombstone_count = r.u32("tombstone count")? as usize;
+    let tombstones = r.u32s(tombstone_count, "tombstones")?;
+    if tombstones.windows(2).any(|w| w[0] >= w[1]) {
+        return Err(IndexError::Corrupt {
+            context: "MAN: tombstones are not strictly increasing".into(),
+        });
+    }
+    r.finish()?;
+    Ok(ManifestRecord { generation, scheme, params, next_id, segments, tombstones })
+}
+
+/// Everything a scan of a v3 file recovers.
+#[derive(Debug)]
+pub(crate) struct V3Scan {
+    /// Every intact segment block, by segment id, with its payload crc.
+    pub segments: std::collections::BTreeMap<u64, (SharedSegment, u64)>,
+    /// The newest intact manifest (its referenced segments all resolve).
+    pub manifest: Option<ManifestRecord>,
+    /// Byte length of the prefix ending at the newest intact manifest —
+    /// the resume point for appends; everything after it is a torn tail.
+    pub valid_len: usize,
+    /// Bytes after `valid_len` (torn commit remains).
+    pub torn_bytes: usize,
+    /// Highest segment id seen anywhere in the file (referenced or not),
+    /// so reopened writers never reuse an id a torn tail burned.
+    pub max_segment_id: u64,
+    /// The scan stopped at a checksum-*valid* block of a kind this build
+    /// does not know — bytes written by a newer build, not a torn
+    /// commit. Read-only opens may still fall back to the last
+    /// understood manifest; read-write opens must refuse, because the
+    /// writer's truncate-then-append protocol would destroy the foreign
+    /// blocks.
+    pub foreign_kind: Option<[u8; 4]>,
+}
+
+/// Walk a v3 file front to back. Checksummed blocks are consumed until
+/// the first torn (truncated, flipped or unknown) one; the newest
+/// manifest whose referenced segments all resolved wins. Structural
+/// garbage *inside* a checksum-valid block is a hard typed error — it
+/// cannot come from a crash, only from a writer bug or a forged file.
+pub(crate) fn scan_v3(bytes: &[u8]) -> IndexResult<V3Scan> {
+    if bytes.len() < V3_HEADER_LEN {
+        return Err(IndexError::Truncated { context: "segmented container header".into() });
+    }
+    if bytes[0..8] != MAGIC {
+        return Err(IndexError::BadMagic);
+    }
+    let stored = u64::from_le_bytes(bytes[12..20].try_into().unwrap());
+    if fnv1a64(&bytes[..12]) != stored {
+        return Err(IndexError::ChecksumMismatch { section: "v3 header".into() });
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    if version != VERSION_SEGMENTED {
+        return Err(IndexError::UnsupportedVersion(version));
+    }
+    let mut scan = V3Scan {
+        segments: Default::default(),
+        manifest: None,
+        valid_len: V3_HEADER_LEN,
+        torn_bytes: 0,
+        max_segment_id: 0,
+        foreign_kind: None,
+    };
+    let mut pos = V3_HEADER_LEN;
+    while pos + V3_BLOCK_HEADER_LEN <= bytes.len() {
+        let header = &bytes[pos..pos + V3_BLOCK_HEADER_LEN];
+        let stored = u64::from_le_bytes(header[24..32].try_into().unwrap());
+        if fnv1a64(&header[..24]) != stored {
+            break; // torn or flipped block header
+        }
+        let kind: [u8; 4] = header[0..4].try_into().unwrap();
+        let payload_len = u64::from_le_bytes(header[8..16].try_into().unwrap()) as usize;
+        let Some(end) =
+            pos.checked_add(V3_BLOCK_HEADER_LEN).and_then(|p| p.checked_add(payload_len))
+        else {
+            break;
+        };
+        if end > bytes.len() {
+            break; // truncated payload
+        }
+        let payload = &bytes[pos + V3_BLOCK_HEADER_LEN..end];
+        let payload_crc = u64::from_le_bytes(header[16..24].try_into().unwrap());
+        if fnv1a64(payload) != payload_crc {
+            break; // flipped payload
+        }
+        match kind {
+            BLOCK_SEGMENT => {
+                let segment = decode_segment(payload)?;
+                scan.max_segment_id = scan.max_segment_id.max(segment.id());
+                if scan
+                    .segments
+                    .insert(segment.id(), (SharedSegment::new(segment), payload_crc))
+                    .is_some()
+                {
+                    return Err(IndexError::Corrupt {
+                        context: "duplicate segment id in container".into(),
+                    });
+                }
+            }
+            BLOCK_MANIFEST => {
+                let manifest = decode_manifest(payload)?;
+                for sref in &manifest.segments {
+                    match scan.segments.get(&sref.id) {
+                        Some((seg, crc))
+                            if *crc == sref.crc && seg.n_rows() == sref.rows as usize => {}
+                        _ => {
+                            return Err(IndexError::Corrupt {
+                                context: format!(
+                                    "manifest generation {} references segment {} \
+                                     that is absent or does not match",
+                                    manifest.generation, sref.id
+                                ),
+                            });
+                        }
+                    }
+                }
+                scan.manifest = Some(manifest);
+                scan.valid_len = end;
+            }
+            _ => {
+                // A checksum-valid block of a kind this build does not
+                // know: bytes from a newer build, not corruption. Stop
+                // scanning (we cannot interpret what follows) but record
+                // the fact so writers refuse to truncate it away.
+                scan.foreign_kind = Some(kind);
+                break;
+            }
+        }
+        pos = end;
+    }
+    scan.torn_bytes = bytes.len() - scan.valid_len;
+    Ok(scan)
 }
 
 #[cfg(test)]

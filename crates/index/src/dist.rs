@@ -1,5 +1,7 @@
 //! Distributed query serving: LSH bucket shards *and* signature shards
-//! across simulated ranks.
+//! across simulated ranks, applied **per segment** of a lifecycle
+//! snapshot (a monolithic `SketchIndex` is served as the one-segment
+//! special case).
 //!
 //! Two orthogonal shardings keep per-rank state at `~1/p` of the index:
 //!
@@ -45,7 +47,11 @@ use gas_dstsim::comm::Communicator;
 
 use crate::build::SketchIndex;
 use crate::error::{IndexError, IndexResult};
-use crate::query::{finalize, lsh_top_by, scored_less, Neighbor, QueryOptions};
+use crate::lifecycle::IndexReader;
+use crate::query::{
+    finalize, live_segment_candidates, lsh_top_by, merge_scored_sources, Neighbor, QueryOptions,
+};
+use crate::segment::Segment;
 
 /// The rank owning `band`'s bucket shard in a world of `nranks`:
 /// round-robin over the band index. Band *keys* are already uniform
@@ -66,9 +72,14 @@ pub fn sample_shard(id: usize, nranks: usize) -> usize {
     id % nranks
 }
 
-/// One rank's slice of the signature matrix: the rows of the samples it
-/// owns under [`sample_shard`], flattened `len` words per row in
-/// ascending sample-id order.
+/// One rank's slice of a *segment's* signature matrix: the rows of the
+/// local rows it owns under [`sample_shard`], flattened `len` words per
+/// row in ascending local-row order. Sharding is per segment — every
+/// sealed segment's rows spread round-robin over all ranks
+/// independently, so the balance property holds for each segment (and
+/// therefore for their union) no matter how commits and compactions
+/// sliced the corpus. For a single-segment index local rows *are* the
+/// sample ids, which is exactly the pre-lifecycle behavior.
 ///
 /// In the simulator every rank could reach the whole index by reference;
 /// materializing the shard keeps the memory accounting honest (a real
@@ -84,29 +95,37 @@ pub struct SignatureShard {
 }
 
 impl SignatureShard {
-    /// Extract rank `rank`'s shard of `index`'s signature matrix.
+    /// Extract rank `rank`'s shard of `index`'s signature matrix (the
+    /// single-segment convenience form of [`Self::for_segment`]).
     pub fn build(index: &SketchIndex, rank: usize, nranks: usize) -> Self {
-        let len = index.scheme().len();
-        let mut rows = Vec::with_capacity(index.n().div_ceil(nranks.max(1)) * len);
-        let mut id = rank;
-        while id < index.n() {
-            rows.extend_from_slice(index.signature(id).values());
-            id += nranks;
+        SignatureShard::for_segment(index.segment(), rank, nranks)
+    }
+
+    /// Extract rank `rank`'s shard of one sealed segment's signature
+    /// matrix.
+    pub fn for_segment(segment: &Segment, rank: usize, nranks: usize) -> Self {
+        let len = segment.scheme().len();
+        let n = segment.n_rows();
+        let mut rows = Vec::with_capacity(n.div_ceil(nranks.max(1)) * len);
+        let mut local = rank;
+        while local < n {
+            rows.extend_from_slice(segment.signature(local).values());
+            local += nranks;
         }
         SignatureShard { rank, nranks, len, rows }
     }
 
-    /// Whether this shard owns sample `id`'s row.
+    /// Whether this shard owns local row `id`.
     pub fn owns(&self, id: u32) -> bool {
         sample_shard(id as usize, self.nranks) == self.rank
     }
 
-    /// The signature row of owned sample `id`.
+    /// The signature row of owned local row `id`.
     ///
     /// Panics if the shard does not own `id` (callers route non-owned
-    /// ids through the fetched-row set).
+    /// rows through the fetched-row set).
     pub fn row(&self, id: u32) -> &[u64] {
-        assert!(self.owns(id), "rank {} does not own sample {id}", self.rank);
+        assert!(self.owns(id), "rank {} does not own row {id}", self.rank);
         let slot = (id as usize - self.rank) / self.nranks;
         &self.rows[slot * self.len..(slot + 1) * self.len]
     }
@@ -222,7 +241,7 @@ fn exchange_signature_rows(
     world: &Communicator,
     shard: &SignatureShard,
     wanted: &[u32],
-    n_samples: usize,
+    n_rows: usize,
 ) -> IndexResult<FetchedRows> {
     let len = shard.len;
     let requests: Vec<u64> = wanted.iter().map(|&id| id as u64).collect();
@@ -262,7 +281,7 @@ fn exchange_signature_rows(
         for slot in 0..stream.len() / (len + 1) {
             let base = slot * (len + 1);
             let id = stream[base] as u32;
-            if id as usize >= n_samples {
+            if id as usize >= n_rows {
                 return Err(IndexError::Corrupt {
                     context: format!("fetched signature row id {id} out of range"),
                 });
@@ -290,25 +309,38 @@ fn exchange_signature_rows(
     Ok(out)
 }
 
-/// Serve a batch of top-k queries over the band and signature shards of
-/// `world`, returning each rank's answers plus its sharding stats.
+/// Serve a batch of top-k queries over a lifecycle snapshot, band- and
+/// signature-sharded across the ranks of `world`, returning each rank's
+/// answers plus its sharding stats.
+///
+/// Sharding is **per segment**: every sealed segment's bands and
+/// signature rows are distributed round-robin independently, so each
+/// rank holds `~rows/p` of every segment (and therefore of the whole
+/// snapshot) and the probe → request → fetch → score loop runs once per
+/// segment. Tombstoned rows are filtered at probe time on every rank
+/// identically. The per-rank, per-segment partial top lists are merged
+/// with the same deterministic rule as the local engine
+/// ([`merge_scored_sources`]), so answers are bit-identical to the
+/// single-rank multi-segment reader — and hence to a fresh monolithic
+/// build over the snapshot's live corpus.
 ///
 /// `queries` must be `Some` on rank 0 (the ingress rank) and is ignored
 /// elsewhere. Every rank returns the complete, identical answer batch —
 /// callers that only need the answer once can read it from any rank.
 /// With `opts.rerank_exact` set, `collection` must be provided on every
-/// rank (the simulator shares it by reference; a real deployment would
-/// shard the exact sets alongside the buckets).
-pub fn dist_query_batch_stats(
+/// rank, indexed by global sample id (the simulator shares it by
+/// reference; a real deployment would shard the exact sets alongside
+/// the buckets).
+pub fn dist_query_reader_batch_stats(
     world: &Communicator,
-    index: &SketchIndex,
+    reader: &IndexReader,
     collection: Option<&SampleCollection>,
     queries: Option<&[Vec<u64>]>,
     opts: &QueryOptions,
 ) -> IndexResult<(Vec<Vec<Neighbor>>, DistQueryStats)> {
     let p = world.size();
     let me = world.rank();
-    let len = index.scheme().len();
+    let len = reader.scheme().len();
 
     // Phase 1: rank 0 validates and signs the query batch. The validity
     // flag is broadcast *first* so that a misuse on the ingress rank
@@ -320,7 +352,7 @@ pub fn dist_query_batch_stats(
     }
     let signed: Option<Vec<Vec<u64>>> = if me == 0 {
         let queries = queries.expect("flag checked above");
-        Some(queries.iter().map(|q| index.scheme().sign(q).values().to_vec()).collect())
+        Some(queries.iter().map(|q| reader.scheme().sign(q).values().to_vec()).collect())
     } else {
         None
     };
@@ -333,43 +365,67 @@ pub fn dist_query_batch_stats(
         None
     };
 
-    // Phase 2: probe this rank's band shard. The candidates of each
-    // query are exactly the rows the scoring pass will read.
-    let shard = SignatureShard::build(index, me, p);
-    let per_query_candidates: Vec<Vec<u32>> = signatures
-        .iter()
-        .map(|sig| index.candidates_where(sig, |band| band_shard(band, p) == me))
-        .collect();
-
-    // Phases 3 + 4: fetch the non-owned rows those candidates touch.
-    let mut wanted: Vec<u32> =
-        per_query_candidates.iter().flatten().copied().filter(|&id| !shard.owns(id)).collect();
-    wanted.sort_unstable();
-    wanted.dedup();
-    let fetched = exchange_signature_rows(world, &shard, &wanted, index.n())?;
-
-    // Score locally: rows come from the shard or the fetched set, never
-    // from a replicated signature matrix.
     let keep = opts.keep();
-    let partials: Vec<Vec<(u32, u32)>> = signatures
-        .iter()
-        .zip(&per_query_candidates)
-        .map(|(sig, candidates)| {
-            let score_of = |id: u32| -> u32 {
-                let row = if shard.owns(id) {
-                    shard.row(id)
+    let nqueries = signatures.len();
+    let mut per_query_entries: Vec<Vec<(u32, u32)>> = vec![Vec::new(); nqueries];
+    let mut stats =
+        DistQueryStats { replicated_bytes: reader.n_rows() * len * 8, ..Default::default() };
+
+    // Phases 2–4, once per segment: probe this rank's band shard of the
+    // segment (skipping tombstoned rows), fetch the non-owned signature
+    // rows those candidates touch, and score locally — rows come from
+    // the segment shard or the fetched set, never from a replicated
+    // matrix.
+    for seg in reader.segments() {
+        let shard = SignatureShard::for_segment(seg, me, p);
+        let per_query_candidates: Vec<Vec<u32>> = signatures
+            .iter()
+            .map(|sig| live_segment_candidates(reader, seg, sig, |band| band_shard(band, p) == me))
+            .collect();
+        let mut wanted: Vec<u32> = per_query_candidates
+            .iter()
+            .flatten()
+            .copied()
+            .filter(|&local| !shard.owns(local))
+            .collect();
+        wanted.sort_unstable();
+        wanted.dedup();
+        let fetched = exchange_signature_rows(world, &shard, &wanted, seg.n_rows())?;
+
+        for (q, (sig, candidates)) in signatures.iter().zip(&per_query_candidates).enumerate() {
+            let score_of = |local: u32| -> u32 {
+                let row = if shard.owns(local) {
+                    shard.row(local)
                 } else {
-                    fetched.row(id).expect("validated by exchange_signature_rows")
+                    fetched.row(local).expect("validated by exchange_signature_rows")
                 };
                 signature_agreement(sig.values(), row) as u32
             };
-            lsh_top_by(&score_of, candidates, keep)
-        })
-        .collect();
+            per_query_entries[q].extend(
+                lsh_top_by(&score_of, candidates, keep)
+                    .into_iter()
+                    .map(|(a, local)| (a, seg.global_id(local as usize))),
+            );
+        }
 
-    // Phase 5: allgather the partial top lists and merge deterministically.
+        stats.shard_rows += shard.n_rows();
+        stats.shard_bytes += shard.bytes();
+        stats.fetched_rows += fetched.ids.len();
+        stats.fetched_bytes += fetched.rows.len() * 8;
+        stats.received_rows += fetched.received_rows;
+        stats.received_bytes += fetched.received_rows * (len + 1) * 8;
+    }
+
+    // Local cross-segment merge, so the wire carries at most `keep`
+    // entries per query per rank no matter how many segments exist.
+    let partials: Vec<Vec<(u32, u32)>> =
+        per_query_entries.into_iter().map(|entries| merge_scored_sources(entries, keep)).collect();
+
+    // Phase 5: allgather the partial top lists and merge with the same
+    // deterministic rule the local engine uses — one entry per sample id
+    // (a candidate can surface on several ranks, one per colliding
+    // band), ties ordered by lowest id.
     let streams: Vec<Vec<u64>> = world.allgatherv(&encode_partials(&partials))?;
-    let nqueries = signatures.len();
     let mut merged: Vec<Vec<(u32, u32)>> = vec![Vec::new(); nqueries];
     for stream in &streams {
         for (q, partial) in decode_partials(stream, nqueries)?.into_iter().enumerate() {
@@ -377,29 +433,41 @@ pub fn dist_query_batch_stats(
         }
     }
     let mut answers = Vec::with_capacity(nqueries);
-    for (q, mut entries) in merged.into_iter().enumerate() {
-        // A candidate can surface on several ranks (one per colliding
-        // band); its agreement score is identical everywhere, so dedup by
-        // id after sorting with the exact ordering the local engine uses.
-        entries.sort_unstable_by(scored_less);
-        entries.dedup_by_key(|e| e.1);
-        entries.truncate(keep);
+    for (q, entries) in merged.into_iter().enumerate() {
+        let entries = merge_scored_sources(entries, keep);
         let query_values: &[u64] = match &raw_queries {
             Some(qs) => &qs[q],
             None => &[],
         };
         answers.push(finalize(entries, len, query_values, collection, opts)?);
     }
-    let stats = DistQueryStats {
-        shard_rows: shard.n_rows(),
-        shard_bytes: shard.bytes(),
-        fetched_rows: fetched.ids.len(),
-        fetched_bytes: fetched.rows.len() * 8,
-        received_rows: fetched.received_rows,
-        received_bytes: fetched.received_rows * (len + 1) * 8,
-        replicated_bytes: index.n() * len * 8,
-    };
     Ok((answers, stats))
+}
+
+/// Serve a batch of top-k queries over a lifecycle snapshot (the
+/// stats-free form of [`dist_query_reader_batch_stats`]).
+pub fn dist_query_reader_batch(
+    world: &Communicator,
+    reader: &IndexReader,
+    collection: Option<&SampleCollection>,
+    queries: Option<&[Vec<u64>]>,
+    opts: &QueryOptions,
+) -> IndexResult<Vec<Vec<Neighbor>>> {
+    dist_query_reader_batch_stats(world, reader, collection, queries, opts)
+        .map(|(answers, _)| answers)
+}
+
+/// Serve a batch of top-k queries over the band and signature shards of
+/// `world` for a monolithic index (the single-segment convenience form
+/// of [`dist_query_reader_batch_stats`]).
+pub fn dist_query_batch_stats(
+    world: &Communicator,
+    index: &SketchIndex,
+    collection: Option<&SampleCollection>,
+    queries: Option<&[Vec<u64>]>,
+    opts: &QueryOptions,
+) -> IndexResult<(Vec<Vec<Neighbor>>, DistQueryStats)> {
+    dist_query_reader_batch_stats(world, &index.as_reader(), collection, queries, opts)
 }
 
 /// Serve a batch of top-k queries over the shards of `world` (the

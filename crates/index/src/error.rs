@@ -37,6 +37,27 @@ pub enum IndexError {
         /// Which invariant failed.
         context: String,
     },
+    /// A segmented (v3) container holds no intact manifest generation —
+    /// nothing to fall back to.
+    NoLiveGeneration(String),
+    /// A segmented (v3) container holds checksum-valid blocks of a kind
+    /// this build does not know — bytes from a newer build, not
+    /// corruption. Read-only opens fall back to the newest understood
+    /// manifest; read-write opens refuse, because the writer's
+    /// truncate-then-append protocol would destroy the foreign blocks.
+    ForeignBlocks {
+        /// The unknown block kind tag, printable form.
+        kind: String,
+    },
+    /// A writer operation referenced a global sample id that is not a
+    /// live committed sample (never assigned, still staged, or already
+    /// deleted).
+    UnknownSample {
+        /// The offending global id.
+        id: u32,
+        /// Why the id is not usable.
+        context: String,
+    },
     /// A query was signed under a different scheme (signer kind, length
     /// or seed) than the index's — the signatures are not comparable.
     SignerMismatch {
@@ -71,6 +92,19 @@ impl fmt::Display for IndexError {
             }
             IndexError::MissingSection(tag) => write!(f, "missing container section {tag}"),
             IndexError::Corrupt { context } => write!(f, "corrupt container: {context}"),
+            IndexError::NoLiveGeneration(context) => {
+                write!(f, "no readable manifest generation: {context}")
+            }
+            IndexError::ForeignBlocks { kind } => {
+                write!(
+                    f,
+                    "container holds blocks of unknown kind {kind:?} (a newer format \
+                     revision); open it read-only or upgrade this build"
+                )
+            }
+            IndexError::UnknownSample { id, context } => {
+                write!(f, "sample id {id} is not a live committed sample: {context}")
+            }
             IndexError::SignerMismatch { index_scheme, query_scheme } => write!(
                 f,
                 "signer mismatch: index signed with {index_scheme}, query with {query_scheme}"

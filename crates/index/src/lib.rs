@@ -3,24 +3,35 @@
 //! The paper's pipeline answers *all-pairs* similarity; this crate turns
 //! the same sketches into a *served* workload, the Mash/BIGSI-style
 //! sketch-database shape the paper benchmarks against (Table II): build
-//! an index once, persist it, shard it, and answer batched top-k
-//! similarity queries against it. Four layers:
+//! an index, persist it, shard it, grow and shrink it in place, and
+//! answer batched top-k similarity queries against it. Layers:
 //!
 //! * [`params`] — LSH banding parameters `(b, r)` derived from a target
 //!   Jaccard threshold (the `1 − (1 − j^r)^b` S-curve);
-//! * [`build`] — the [`build::SketchIndex`]: k-mins MinHash signatures
-//!   from `gas_core::minhash` plus flattened, key-sorted bucket tables
-//!   per band;
+//! * [`segment`] / [`lifecycle`] — the segmented index lifecycle:
+//!   immutable sealed [`segment::Segment`]s of signatures + bucket
+//!   tables, written by an [`lifecycle::IndexWriter`] (stage → `commit`
+//!   seals a segment; deletes become tombstones), read through atomic
+//!   [`lifecycle::IndexReader`] snapshots, and rolled up by a
+//!   size-tiered [`lifecycle::Compactor`] that drops tombstoned rows;
+//! * [`build`] — the [`build::SketchIndex`]: the one-shot monolithic
+//!   convenience wrapper (writer + single commit) for static corpora;
 //! * [`container`] — a self-describing, versioned, checksummed binary
-//!   container (magic + section table + little-endian pods) with a
-//!   bounds-checked reader — persistence without serde;
-//! * [`query`] / [`dist`] — the batched top-k engine: probe buckets,
-//!   score candidates in parallel (rayon map + reduce), optionally
-//!   re-rank exactly over the `gas_sparse` popcount-AND kernel; the
-//!   distributed variant shards bands *and* the signature matrix across
-//!   `gas_dstsim` ranks (each rank stores `~n/p` signature rows and
-//!   fetches only the rows its probes touch) and merges per-rank
-//!   partial top-k lists into bit-identical answers.
+//!   container with a bounds-checked reader — persistence without
+//!   serde. Versions 1/2 are single-index section tables; version 3 is
+//!   the segmented append-only block stream whose generation-numbered
+//!   manifest is written last, so a crash mid-commit falls back to the
+//!   previous generation;
+//! * [`query`] / [`dist`] — the batched top-k engine: probe buckets in
+//!   every live segment, score candidates in parallel (rayon map +
+//!   reduce), merge across segments deterministically (tombstones
+//!   honored, score ties keep the lowest sample id), optionally re-rank
+//!   exactly over the `gas_sparse` popcount-AND kernel; the distributed
+//!   variant shards bands *and* signature rows per segment across
+//!   `gas_dstsim` ranks (each rank stores `~rows/p` of every segment
+//!   and fetches only the rows its probes touch) and merges per-rank
+//!   partial top-k lists into answers bit-identical to the single-rank
+//!   multi-segment reader.
 //!
 //! Signatures come from one of two signers ([`SignerKind`]): classical
 //! k-mins (`O(len·|set|)` hashes) or one-permutation hashing with
@@ -44,18 +55,47 @@
 //! assert_eq!(hits[1].id, 1);          // its 90%-overlap twin is next
 //! assert!(hits[1].score > 0.8);
 //! ```
+//!
+//! Growing corpora use the explicit lifecycle instead — commits cost
+//! only the delta, snapshots are atomic, answers stay bit-identical to
+//! a full rebuild:
+//!
+//! ```
+//! use gas_index::{IndexConfig, IndexWriter, QueryEngine, QueryOptions};
+//!
+//! let mut writer = IndexWriter::create(&IndexConfig::default()).unwrap();
+//! writer.add("base", (0..500u64).collect()).unwrap();
+//! writer.commit().unwrap();                       // seals segment 1
+//! writer.add("twin", (50..550u64).collect()).unwrap();
+//! writer.commit().unwrap();                       // seals segment 2
+//! let engine = QueryEngine::for_reader(writer.reader());
+//! let opts = QueryOptions { top_k: 2, ..Default::default() };
+//! let hits = engine.query(&(0..500u64).collect::<Vec<_>>(), &opts).unwrap();
+//! assert_eq!(hits[0].id, 0);
+//! assert_eq!(hits[1].id, 1);
+//! ```
 
 pub mod build;
 pub mod container;
 pub mod dist;
 pub mod error;
+pub mod lifecycle;
 pub mod params;
 pub mod query;
+pub mod segment;
 
 pub use build::{BandBuckets, IndexConfig, SketchIndex};
 pub use container::{Container, ContainerWriter};
-pub use dist::{dist_query_batch, dist_query_batch_stats, DistQueryStats, SignatureShard};
+pub use dist::{
+    dist_query_batch, dist_query_batch_stats, dist_query_reader_batch,
+    dist_query_reader_batch_stats, DistQueryStats, SignatureShard,
+};
 pub use error::{IndexError, IndexResult};
 pub use gas_core::minhash::SignerKind;
+pub use lifecycle::{
+    CommitSummary, CompactionPolicy, CompactionSummary, Compactor, IndexReader, IndexWriter,
+    RecoveryReport,
+};
 pub use params::LshParams;
 pub use query::{exact_top_k, Neighbor, QueryEngine, QueryOptions};
+pub use segment::{Segment, SegmentStats};

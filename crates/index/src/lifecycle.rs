@@ -1,0 +1,1487 @@
+//! The segmented index lifecycle: [`IndexWriter`] → [`IndexReader`] →
+//! [`Compactor`].
+//!
+//! The monolithic `SketchIndex::build` assumes a static corpus; a served
+//! system ingests new genome samples continuously. This module turns the
+//! sketch index into a long-lived, mutable *service* built from
+//! immutable parts, the LSM shape of production similarity-serving
+//! systems:
+//!
+//! * an [`IndexWriter`] **stages** samples and deletes; `commit()` signs
+//!   the staged batch under the index's one fixed
+//!   [`SignatureScheme`](gas_core::minhash::SignatureScheme) (cost
+//!   proportional to the *delta*, not the corpus), seals it into an
+//!   immutable checksummed [`Segment`], records deletes as tombstones,
+//!   and bumps the manifest generation;
+//! * an [`IndexReader`] is an **atomic snapshot** over a set of sealed
+//!   segments plus a tombstone set — cheap to clone (shared `Arc`s),
+//!   never sees half a commit, and serves queries through
+//!   [`QueryEngine`](crate::query::QueryEngine) with answers
+//!   bit-identical to a fresh monolithic build over the same live
+//!   corpus;
+//! * a [`Compactor`] **merges** small segments into one under a
+//!   size-tiered policy, rewriting bucket tables over the merged local
+//!   numbering and physically dropping tombstoned rows (whose ids then
+//!   leave the tombstone set — ids are never reused, so a dropped row
+//!   can never resurface).
+//!
+//! Persistence is the container's version-3 multi-segment file
+//! (`crate::container`): append-only segment and manifest blocks, every
+//! block checksummed, the manifest written *last* so a crash mid-commit
+//! truncates to a torn tail and the file falls back to the previous
+//! manifest generation. v1/v2 files open as a single-segment index and
+//! are rewritten as v3 on their first commit.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use gas_core::indicator::SampleCollection;
+use gas_core::minhash::{MinHashSignature, SignatureScheme};
+
+use crate::build::IndexConfig;
+use crate::container::{
+    self, container_version, fnv1a64, ManifestRecord, ManifestSegmentRef, VERSION_SEGMENTED,
+};
+use crate::error::{IndexError, IndexResult};
+use crate::params::LshParams;
+use crate::segment::{Segment, SegmentRow, SegmentStats, SharedSegment};
+
+/// What one `commit()` did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommitSummary {
+    /// The manifest generation after the commit.
+    pub generation: u64,
+    /// Id of the segment this commit sealed (`None` for a deletes-only
+    /// or empty commit).
+    pub sealed_segment: Option<u64>,
+    /// Rows sealed into the new segment.
+    pub rows_added: usize,
+    /// Staged deletes turned into tombstones.
+    pub deletes_applied: usize,
+}
+
+/// What one compaction pass did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CompactionSummary {
+    /// The manifest generation after the pass (unchanged for a no-op).
+    pub generation: u64,
+    /// Segment groups merged.
+    pub groups_merged: usize,
+    /// Live segments before the pass.
+    pub segments_before: usize,
+    /// Live segments after the pass.
+    pub segments_after: usize,
+    /// Tombstoned rows physically dropped (their ids leave the
+    /// tombstone set).
+    pub tombstones_purged: usize,
+    /// Rows written into merged segments.
+    pub rows_written: usize,
+}
+
+/// How an on-disk index was recovered by `open`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// The manifest generation the file opened at.
+    pub generation: u64,
+    /// Bytes after the last valid manifest (a torn commit tail); they
+    /// are discarded by the next commit.
+    pub torn_bytes: usize,
+    /// The file was a v1/v2 single-index container, opened as one
+    /// segment (rewritten as v3 on the next commit).
+    pub upgraded_legacy: bool,
+}
+
+/// Committed lifecycle state shared by writer and reader loading paths.
+struct LifecycleState {
+    scheme: SignatureScheme,
+    params: LshParams,
+    segments: Vec<SharedSegment>,
+    segment_crcs: Vec<(u64, u64)>,
+    tombstones: Vec<u32>,
+    next_id: u32,
+    next_segment_id: u64,
+    generation: u64,
+    valid_len: u64,
+    needs_rewrite: bool,
+    /// A checksum-valid block of an unknown kind follows the opened
+    /// generation — written by a newer build. Readers may proceed;
+    /// writers must refuse (their truncate-then-append would destroy
+    /// it).
+    foreign_kind: Option<[u8; 4]>,
+}
+
+fn load_state(bytes: Vec<u8>) -> IndexResult<(LifecycleState, RecoveryReport)> {
+    let version = container_version(&bytes)?;
+    match version {
+        1 | 2 => {
+            // A legacy single-index container: open it as one sealed
+            // segment with dense global ids, generation 1, no tombstones.
+            let index = crate::build::SketchIndex::from_container_bytes(bytes)?;
+            let segment = index.segment().clone();
+            let state = LifecycleState {
+                scheme: *segment.scheme(),
+                params: *segment.params(),
+                next_id: segment.n_rows() as u32,
+                next_segment_id: segment.id() + 1,
+                // No v3 blocks exist yet; the upgrade rewrite computes
+                // checksums when it serializes, so none are needed here.
+                segment_crcs: Vec::new(),
+                segments: vec![segment],
+                tombstones: Vec::new(),
+                generation: 1,
+                valid_len: 0,
+                needs_rewrite: true,
+                foreign_kind: None,
+            };
+            let report = RecoveryReport {
+                generation: state.generation,
+                torn_bytes: 0,
+                upgraded_legacy: true,
+            };
+            Ok((state, report))
+        }
+        VERSION_SEGMENTED => {
+            let scan = container::scan_v3(&bytes)?;
+            let manifest = scan.manifest.ok_or_else(|| {
+                IndexError::NoLiveGeneration("no valid manifest block survives in the file".into())
+            })?;
+            let mut segments = Vec::with_capacity(manifest.segments.len());
+            let mut segment_crcs = Vec::with_capacity(manifest.segments.len());
+            for sref in &manifest.segments {
+                let (segment, crc) =
+                    scan.segments.get(&sref.id).ok_or_else(|| IndexError::Corrupt {
+                        context: format!(
+                            "manifest generation {} references missing segment {}",
+                            manifest.generation, sref.id
+                        ),
+                    })?;
+                if *crc != sref.crc || segment.n_rows() != sref.rows as usize {
+                    return Err(IndexError::Corrupt {
+                        context: format!(
+                            "manifest generation {} disagrees with segment {} on disk",
+                            manifest.generation, sref.id
+                        ),
+                    });
+                }
+                if segment.scheme() != &manifest.scheme || segment.params() != &manifest.params {
+                    return Err(IndexError::Corrupt {
+                        context: format!(
+                            "segment {} was sealed under a different scheme than the manifest",
+                            sref.id
+                        ),
+                    });
+                }
+                segment_crcs.push((sref.id, *crc));
+                segments.push(segment.clone());
+            }
+            // Cross-invariants a checksum-valid but buggy/forged manifest
+            // could still violate: global ids must be disjoint across
+            // segments and below the id high-water mark (or `add` would
+            // silently reuse a live id), and every tombstone must point
+            // at a stored row (or live-row accounting would underflow).
+            let mut all_ids: Vec<u32> =
+                segments.iter().flat_map(|s| s.global_ids().iter().copied()).collect();
+            all_ids.sort_unstable();
+            if all_ids.windows(2).any(|w| w[0] == w[1]) {
+                return Err(IndexError::Corrupt {
+                    context: "a global id is stored by two segments".into(),
+                });
+            }
+            if all_ids.last().is_some_and(|&max| max >= manifest.next_id) {
+                return Err(IndexError::Corrupt {
+                    context: format!(
+                        "manifest id high-water mark {} does not cover stored ids",
+                        manifest.next_id
+                    ),
+                });
+            }
+            if let Some(&orphan) =
+                manifest.tombstones.iter().find(|&&t| all_ids.binary_search(&t).is_err())
+            {
+                return Err(IndexError::Corrupt {
+                    context: format!("tombstone {orphan} points at no stored row"),
+                });
+            }
+            let state = LifecycleState {
+                scheme: manifest.scheme,
+                params: manifest.params,
+                segments,
+                segment_crcs,
+                tombstones: manifest.tombstones,
+                next_id: manifest.next_id,
+                next_segment_id: scan.max_segment_id + 1,
+                generation: manifest.generation,
+                valid_len: scan.valid_len as u64,
+                needs_rewrite: false,
+                foreign_kind: scan.foreign_kind,
+            };
+            let report = RecoveryReport {
+                generation: state.generation,
+                torn_bytes: scan.torn_bytes,
+                upgraded_legacy: false,
+            };
+            Ok((state, report))
+        }
+        other => Err(IndexError::UnsupportedVersion(other)),
+    }
+}
+
+/// One staged (not yet committed) sample.
+#[derive(Debug, Clone)]
+struct StagedSample {
+    name: String,
+    values: Vec<u64>,
+}
+
+/// Flush the directory entry of `path` after a rename, so the rename
+/// itself survives a power loss (on platforms where directories can be
+/// fsynced; elsewhere this is a no-op). Best-effort by design: the
+/// rename has already happened, and a failure here only weakens
+/// durability, not consistency.
+fn sync_parent_dir(path: &Path) {
+    #[cfg(unix)]
+    if let Some(parent) = path.parent() {
+        let dir = if parent.as_os_str().is_empty() { Path::new(".") } else { parent };
+        if let Ok(handle) = std::fs::File::open(dir) {
+            let _ = handle.sync_all();
+        }
+    }
+    #[cfg(not(unix))]
+    let _ = path;
+}
+
+/// The mutable half of the lifecycle: stages samples and deletes,
+/// seals immutable segments on `commit()`, and (optionally) keeps a
+/// container-v3 file on disk in sync, crash-safely.
+#[derive(Debug)]
+pub struct IndexWriter {
+    scheme: SignatureScheme,
+    params: LshParams,
+    segments: Vec<SharedSegment>,
+    /// Payload checksum per live segment id (what the manifest records;
+    /// cached so unchanged segments are not re-encoded every commit).
+    segment_crcs: std::collections::BTreeMap<u64, u64>,
+    /// Ids of live segments whose `SEG` blocks are known to sit in the
+    /// valid on-disk prefix. `persist` appends every live segment *not*
+    /// in this set — not just the newest one — so a failed persist (disk
+    /// full, transient I/O error) leaves memory ahead of disk but the
+    /// next successful persist writes the missing blocks before the
+    /// manifest that references them.
+    persisted: BTreeSet<u64>,
+    tombstones: BTreeSet<u32>,
+    staged: Vec<StagedSample>,
+    staged_deletes: BTreeSet<u32>,
+    /// Next global id to assign (staged samples included).
+    next_id: u32,
+    next_segment_id: u64,
+    generation: u64,
+    path: Option<PathBuf>,
+    /// Length of the validated v3 prefix on disk; a torn tail beyond it
+    /// is truncated before the next append.
+    valid_len: u64,
+    /// The file on disk is a legacy v1/v2 container; the next commit
+    /// rewrites it wholesale as v3.
+    needs_rewrite: bool,
+    /// Committed state not yet flushed to disk (a previous persist
+    /// failed). Any later `commit()` — even an otherwise-empty one —
+    /// retries the flush.
+    dirty: bool,
+}
+
+impl IndexWriter {
+    /// A fresh, empty, in-memory writer (no backing file): signature
+    /// scheme and banding parameters are fixed here, for the life of the
+    /// index — every segment ever sealed must be signed identically or
+    /// signatures would not be comparable across segments.
+    pub fn create(config: &IndexConfig) -> IndexResult<Self> {
+        let params = LshParams::for_threshold(config.signature_len, config.threshold)?;
+        let scheme = SignatureScheme::new(config.signature_len)?
+            .with_seed(config.seed)
+            .with_kind(config.signer);
+        Ok(IndexWriter {
+            scheme,
+            params,
+            segments: Vec::new(),
+            segment_crcs: Default::default(),
+            persisted: BTreeSet::new(),
+            tombstones: BTreeSet::new(),
+            staged: Vec::new(),
+            staged_deletes: BTreeSet::new(),
+            next_id: 0,
+            next_segment_id: 1,
+            generation: 0,
+            path: None,
+            valid_len: 0,
+            needs_rewrite: false,
+            dirty: false,
+        })
+    }
+
+    /// A fresh writer backed by a new container-v3 file at `path`
+    /// (created or truncated): the file immediately holds a valid
+    /// generation-0 manifest, so it is openable from the first byte
+    /// flushed.
+    pub fn create_at(path: impl AsRef<Path>, config: &IndexConfig) -> IndexResult<Self> {
+        let mut writer = IndexWriter::create(config)?;
+        writer.path = Some(path.as_ref().to_path_buf());
+        writer.rewrite_file()?;
+        Ok(writer)
+    }
+
+    /// Open an existing index file read-write. v3 files resume at their
+    /// newest intact manifest generation (a torn commit tail is
+    /// discarded); v1/v2 single-index containers open as one segment and
+    /// are rewritten as v3 by the next commit.
+    pub fn open(path: impl AsRef<Path>) -> IndexResult<Self> {
+        IndexWriter::open_with_report(path).map(|(w, _)| w)
+    }
+
+    /// [`Self::open`], also reporting what recovery did.
+    pub fn open_with_report(path: impl AsRef<Path>) -> IndexResult<(Self, RecoveryReport)> {
+        let path = path.as_ref().to_path_buf();
+        let (state, report) = load_state(std::fs::read(&path)?)?;
+        if let Some(kind) = state.foreign_kind {
+            // A newer build wrote blocks after the generation this build
+            // understands. Opening read-write would truncate them on the
+            // next commit — silent destruction of someone else's data —
+            // so only `IndexReader::open` may proceed.
+            return Err(IndexError::ForeignBlocks {
+                kind: String::from_utf8_lossy(&kind).trim_end_matches('\0').to_string(),
+            });
+        }
+        let writer = IndexWriter {
+            scheme: state.scheme,
+            params: state.params,
+            // A legacy (needs_rewrite) open has nothing in v3 form on
+            // disk yet; a v3 open knows every manifest-referenced
+            // segment sits in the valid prefix.
+            persisted: if state.needs_rewrite {
+                BTreeSet::new()
+            } else {
+                state.segment_crcs.iter().map(|&(id, _)| id).collect()
+            },
+            segment_crcs: state.segment_crcs.into_iter().collect(),
+            segments: state.segments,
+            tombstones: state.tombstones.into_iter().collect(),
+            staged: Vec::new(),
+            staged_deletes: BTreeSet::new(),
+            next_id: state.next_id,
+            next_segment_id: state.next_segment_id,
+            generation: state.generation,
+            path: Some(path),
+            valid_len: state.valid_len,
+            needs_rewrite: state.needs_rewrite,
+            dirty: false,
+        };
+        Ok((writer, report))
+    }
+
+    /// The signature scheme every segment of this index signs under.
+    pub fn scheme(&self) -> &SignatureScheme {
+        &self.scheme
+    }
+
+    /// The banding parameters shared by every segment.
+    pub fn params(&self) -> &LshParams {
+        &self.params
+    }
+
+    /// The committed manifest generation.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Samples staged but not yet committed.
+    pub fn staged_samples(&self) -> usize {
+        self.staged.len()
+    }
+
+    /// Deletes staged but not yet committed.
+    pub fn staged_deletes(&self) -> usize {
+        self.staged_deletes.len()
+    }
+
+    /// Committed live samples (tombstoned rows excluded).
+    pub fn live_samples(&self) -> usize {
+        self.segments.iter().map(|s| s.n_rows()).sum::<usize>() - self.tombstones.len()
+    }
+
+    /// First global id not yet assigned.
+    pub fn id_bound(&self) -> u32 {
+        self.next_id
+    }
+
+    fn committed_next_id(&self) -> u32 {
+        self.next_id - self.staged.len() as u32
+    }
+
+    /// Stage one sample; returns its global id (assigned now, stable for
+    /// life, never reused). `values` is treated as a set — it is sorted
+    /// and deduplicated here, exactly as `SampleCollection::from_sets`
+    /// would.
+    pub fn add(&mut self, name: impl Into<String>, mut values: Vec<u64>) -> IndexResult<u32> {
+        if self.next_id == u32::MAX {
+            return Err(IndexError::InvalidConfig(
+                "the u32 global id space of this index is exhausted".into(),
+            ));
+        }
+        if !values.windows(2).all(|w| w[0] < w[1]) {
+            values.sort_unstable();
+            values.dedup();
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.staged.push(StagedSample { name: name.into(), values });
+        Ok(id)
+    }
+
+    /// Stage every sample of a collection; returns the assigned global
+    /// id range.
+    pub fn add_collection(
+        &mut self,
+        collection: &SampleCollection,
+    ) -> IndexResult<std::ops::Range<u32>> {
+        let first = self.next_id;
+        if ((u32::MAX - first) as usize) < collection.n() {
+            return Err(IndexError::InvalidConfig(format!(
+                "{} samples exceed the remaining u32 id space",
+                collection.n()
+            )));
+        }
+        for i in 0..collection.n() {
+            self.add(collection.names()[i].clone(), collection.sample(i).to_vec())?;
+        }
+        Ok(first..self.next_id)
+    }
+
+    /// Stage the delete of a *committed, live* sample. The delete
+    /// becomes a tombstone at the next `commit()`; the row is physically
+    /// dropped by the next compaction that touches its segment.
+    pub fn delete(&mut self, id: u32) -> IndexResult<()> {
+        if id >= self.committed_next_id() {
+            let context = if id < self.next_id {
+                "still staged; commit it before deleting".to_string()
+            } else {
+                "never assigned".to_string()
+            };
+            return Err(IndexError::UnknownSample { id, context });
+        }
+        if self.tombstones.contains(&id) || self.staged_deletes.contains(&id) {
+            return Err(IndexError::UnknownSample { id, context: "already deleted".into() });
+        }
+        if !self.segments.iter().any(|s| s.local_of(id).is_some()) {
+            return Err(IndexError::UnknownSample {
+                id,
+                context: "already deleted and compacted away".into(),
+            });
+        }
+        self.staged_deletes.insert(id);
+        Ok(())
+    }
+
+    /// Seal the staged samples into a new immutable segment, turn staged
+    /// deletes into tombstones, bump the generation, and (when
+    /// file-backed) append the segment and the new manifest to the
+    /// container — manifest last, so a crash anywhere mid-commit leaves
+    /// the previous generation the newest intact one. With nothing
+    /// staged this is a no-op.
+    pub fn commit(&mut self) -> IndexResult<CommitSummary> {
+        if self.staged.is_empty() && self.staged_deletes.is_empty() {
+            if self.dirty {
+                // A previous persist failed mid-commit: memory is ahead
+                // of disk. Retry the flush so an "empty" commit can heal
+                // the divergence once the I/O problem clears.
+                self.persist()?;
+            }
+            return Ok(CommitSummary {
+                generation: self.generation,
+                sealed_segment: None,
+                rows_added: 0,
+                deletes_applied: 0,
+            });
+        }
+        let mut sealed = None;
+        let mut rows_added = 0usize;
+        if !self.staged.is_empty() {
+            let base = self.committed_next_id();
+            let staged = std::mem::take(&mut self.staged);
+            let global_ids: Vec<u32> = (base..self.next_id).collect();
+            let names: Vec<String> = staged.iter().map(|s| s.name.clone()).collect();
+            let sets: Vec<&[u64]> = staged.iter().map(|s| s.values.as_slice()).collect();
+            let segment = Segment::sign_and_build(
+                self.next_segment_id,
+                self.scheme,
+                self.params,
+                global_ids,
+                names,
+                &sets,
+            )?;
+            self.next_segment_id += 1;
+            sealed = Some(segment.id());
+            rows_added = segment.n_rows();
+            self.segments.push(SharedSegment::new(segment));
+        }
+        self.finish_commit(sealed, rows_added)
+    }
+
+    /// Seal every sample of `collection` as one segment in a single
+    /// step — the monolithic-build fast path: signatures are computed
+    /// straight off the collection's sample slices, with no staged
+    /// copies of the value sets. Semantically identical to
+    /// [`Self::add_collection`] followed by [`Self::commit`] (staged
+    /// deletes, if any, are applied alongside, exactly as `commit`
+    /// would). Errors if samples are currently staged, so interleaved
+    /// id assignment stays unambiguous.
+    pub fn commit_collection(
+        &mut self,
+        collection: &SampleCollection,
+    ) -> IndexResult<CommitSummary> {
+        if !self.staged.is_empty() {
+            return Err(IndexError::InvalidConfig(
+                "commit staged samples before a whole-collection commit".into(),
+            ));
+        }
+        if ((u32::MAX - self.next_id) as usize) < collection.n() {
+            return Err(IndexError::InvalidConfig(format!(
+                "{} samples exceed the remaining u32 id space",
+                collection.n()
+            )));
+        }
+        let base = self.next_id;
+        let signatures = self.scheme.sign_collection(collection);
+        let rows: Vec<SegmentRow> = signatures
+            .into_iter()
+            .enumerate()
+            .map(|(i, signature)| SegmentRow {
+                global_id: base + i as u32,
+                signature,
+                set_size: collection.sample(i).len() as u64,
+                name: collection.names()[i].clone(),
+            })
+            .collect();
+        let segment = Segment::from_rows(self.next_segment_id, self.scheme, self.params, rows)?;
+        self.next_segment_id += 1;
+        self.next_id += collection.n() as u32;
+        let sealed = Some(segment.id());
+        let rows_added = segment.n_rows();
+        self.segments.push(SharedSegment::new(segment));
+        self.finish_commit(sealed, rows_added)
+    }
+
+    /// The shared tail of every commit shape: apply staged deletes, bump
+    /// the generation, flush.
+    fn finish_commit(
+        &mut self,
+        sealed: Option<u64>,
+        rows_added: usize,
+    ) -> IndexResult<CommitSummary> {
+        let deletes_applied = self.staged_deletes.len();
+        self.tombstones.append(&mut self.staged_deletes);
+        self.generation += 1;
+        self.dirty = true;
+        self.persist()?;
+        Ok(CommitSummary {
+            generation: self.generation,
+            sealed_segment: sealed,
+            rows_added,
+            deletes_applied,
+        })
+    }
+
+    /// An atomic snapshot of the committed state (staged samples and
+    /// deletes are invisible until committed). Cheap: segments are
+    /// shared, tombstones are copied once into a shared sorted slice.
+    pub fn reader(&self) -> IndexReader {
+        IndexReader {
+            scheme: self.scheme,
+            params: self.params,
+            generation: self.generation,
+            next_id: self.committed_next_id(),
+            segments: Arc::new(self.segments.clone()),
+            tombstones: Arc::new(self.tombstones.iter().copied().collect()),
+        }
+    }
+
+    /// Per-segment stats of the committed state (the compactor's input).
+    pub fn segment_stats(&self) -> Vec<SegmentStats> {
+        segment_stats_with(&self.segments, |id| self.tombstones.contains(&id))
+    }
+
+    /// Merge every live segment into one and drop all tombstoned rows —
+    /// the "compact everything now" convenience (a full [`Compactor`]
+    /// applies a size-tiered policy instead).
+    pub fn compact_all(&mut self) -> IndexResult<CompactionSummary> {
+        let all: Vec<u64> = self.segments.iter().map(|s| s.id()).collect();
+        if all.len() < 2 && self.tombstones.is_empty() {
+            return Ok(CompactionSummary {
+                generation: self.generation,
+                segments_before: all.len(),
+                segments_after: all.len(),
+                ..Default::default()
+            });
+        }
+        self.compact_groups(vec![all])
+    }
+
+    /// Merge each group of segment ids into one new segment, dropping
+    /// tombstoned rows. Groups must be disjoint; ids must be live.
+    pub(crate) fn compact_groups(
+        &mut self,
+        groups: Vec<Vec<u64>>,
+    ) -> IndexResult<CompactionSummary> {
+        if !self.staged.is_empty() || !self.staged_deletes.is_empty() {
+            return Err(IndexError::InvalidConfig(
+                "commit staged samples/deletes before compacting".into(),
+            ));
+        }
+        let groups: Vec<Vec<u64>> = groups.into_iter().filter(|g| !g.is_empty()).collect();
+        let segments_before = self.segments.len();
+        if groups.is_empty() {
+            return Ok(CompactionSummary {
+                generation: self.generation,
+                segments_before,
+                segments_after: segments_before,
+                ..Default::default()
+            });
+        }
+        let mut claimed = BTreeSet::new();
+        for id in groups.iter().flatten() {
+            if !claimed.insert(*id) {
+                return Err(IndexError::InvalidConfig(format!(
+                    "segment {id} appears in two compaction groups"
+                )));
+            }
+            if !self.segments.iter().any(|s| s.id() == *id) {
+                return Err(IndexError::InvalidConfig(format!(
+                    "compaction group references unknown segment {id}"
+                )));
+            }
+        }
+        let mut summary = CompactionSummary {
+            groups_merged: groups.len(),
+            segments_before,
+            ..Default::default()
+        };
+        for group in groups {
+            let mut members = Vec::with_capacity(group.len());
+            self.segments.retain(|seg| {
+                if group.contains(&seg.id()) {
+                    members.push(seg.clone());
+                    false
+                } else {
+                    true
+                }
+            });
+            for seg in &members {
+                self.segment_crcs.remove(&seg.id());
+                self.persisted.remove(&seg.id());
+            }
+            let mut rows: Vec<SegmentRow> = Vec::new();
+            for seg in &members {
+                rows.extend(seg.live_rows(|id| self.tombstones.contains(&id)));
+                // Dropped rows no longer exist anywhere (ids are never
+                // reused), so their tombstones have done their job.
+                for id in seg.global_ids() {
+                    if self.tombstones.remove(id) {
+                        summary.tombstones_purged += 1;
+                    }
+                }
+            }
+            rows.sort_by_key(|r| r.global_id);
+            if rows.is_empty() {
+                continue; // every row was tombstoned — nothing to write
+            }
+            let merged = Segment::from_rows(self.next_segment_id, self.scheme, self.params, rows)?;
+            self.next_segment_id += 1;
+            summary.rows_written += merged.n_rows();
+            self.segments.push(SharedSegment::new(merged));
+        }
+        // Keep segments ordered by their first global id so snapshots
+        // enumerate rows in corpus order regardless of merge history.
+        self.segments.sort_by_key(|s| s.global_ids().first().copied().map_or(u32::MAX, |id| id));
+        self.generation += 1;
+        self.dirty = true;
+        self.persist()?;
+        summary.generation = self.generation;
+        summary.segments_after = self.segments.len();
+        Ok(summary)
+    }
+
+    /// Rewrite the backing file keeping only live segments — reclaims
+    /// the space of compacted-away (unreferenced) segment blocks. State
+    /// and generation are unchanged; a no-op without a backing file.
+    /// Returns the bytes reclaimed.
+    pub fn vacuum(&mut self) -> IndexResult<u64> {
+        if self.path.is_none() {
+            return Ok(0);
+        }
+        let before = self.valid_len;
+        self.rewrite_file()?;
+        Ok(before.saturating_sub(self.valid_len))
+    }
+
+    fn manifest_record(&mut self) -> ManifestRecord {
+        let mut refs = Vec::with_capacity(self.segments.len());
+        for seg in &self.segments {
+            let crc = *self
+                .segment_crcs
+                .entry(seg.id())
+                .or_insert_with(|| fnv1a64(&container::segment_payload(seg)));
+            refs.push(ManifestSegmentRef { id: seg.id(), rows: seg.n_rows() as u32, crc });
+        }
+        ManifestRecord {
+            generation: self.generation,
+            scheme: self.scheme,
+            params: self.params,
+            next_id: self.committed_next_id(),
+            segments: refs,
+            tombstones: self.tombstones.iter().copied().collect(),
+        }
+    }
+
+    /// The whole state as one fresh v3 file (header, live segments in
+    /// order, manifest last).
+    fn full_file_bytes(&mut self) -> Vec<u8> {
+        let mut out = container::v3_header_bytes();
+        for seg in self.segments.clone() {
+            let payload = container::segment_payload(&seg);
+            self.segment_crcs.insert(seg.id(), fnv1a64(&payload));
+            out.extend(container::block_bytes(container::BLOCK_SEGMENT, &payload));
+        }
+        let manifest = self.manifest_record();
+        out.extend(container::block_bytes(
+            container::BLOCK_MANIFEST,
+            &container::manifest_payload(&manifest),
+        ));
+        out
+    }
+
+    /// Replace the backing file wholesale with a fresh v3 image of the
+    /// current state, atomically: the bytes land in a temp file in the
+    /// same directory, are fsynced, and are renamed over the original —
+    /// a crash at any point leaves either the old file or the new one,
+    /// never a torn mix. Used by `create_at`, `vacuum` and the legacy
+    /// v1/v2 upgrade.
+    fn rewrite_file(&mut self) -> IndexResult<()> {
+        let Some(path) = self.path.clone() else { return Ok(()) };
+        let bytes = self.full_file_bytes();
+        // Append to the full file name (never `with_extension`, which
+        // would collapse `data.v1` and `data.v2` onto one temp path).
+        let mut tmp_name = path.file_name().map(|n| n.to_os_string()).unwrap_or_default();
+        tmp_name.push(".tmp");
+        let tmp = path.with_file_name(tmp_name);
+        {
+            use std::io::Write;
+            let mut file = std::fs::File::create(&tmp)?;
+            file.write_all(&bytes)?;
+            file.sync_all()?;
+        }
+        std::fs::rename(&tmp, &path)?;
+        sync_parent_dir(&path);
+        self.valid_len = bytes.len() as u64;
+        self.needs_rewrite = false;
+        self.persisted = self.segments.iter().map(|s| s.id()).collect();
+        self.dirty = false;
+        Ok(())
+    }
+
+    /// Flush the committed state to the backing file: append every live
+    /// segment block not yet on disk, then the manifest block — strictly
+    /// in that order and fsynced, so every crash point leaves the
+    /// previous manifest the last valid one and a returned commit is
+    /// durable. Any torn tail from an earlier crash (or an earlier
+    /// failed persist) is truncated first; a failed persist leaves
+    /// memory ahead of disk, and the next successful one writes the
+    /// missing segment blocks before the manifest that references them.
+    fn persist(&mut self) -> IndexResult<()> {
+        let Some(path) = self.path.clone() else {
+            self.dirty = false; // in-memory writers have nothing to flush
+            return Ok(());
+        };
+        if self.needs_rewrite {
+            // Legacy v1/v2 file: replace it with a fresh v3 container.
+            return self.rewrite_file();
+        }
+        let mut tail = Vec::new();
+        let mut newly_persisted = Vec::new();
+        for seg in self.segments.clone() {
+            if self.persisted.contains(&seg.id()) {
+                continue;
+            }
+            let payload = container::segment_payload(&seg);
+            self.segment_crcs.insert(seg.id(), fnv1a64(&payload));
+            tail.extend(container::block_bytes(container::BLOCK_SEGMENT, &payload));
+            newly_persisted.push(seg.id());
+        }
+        let manifest = self.manifest_record();
+        tail.extend(container::block_bytes(
+            container::BLOCK_MANIFEST,
+            &container::manifest_payload(&manifest),
+        ));
+        use std::io::{Seek, SeekFrom, Write};
+        let mut file = std::fs::OpenOptions::new().write(true).open(&path)?;
+        file.set_len(self.valid_len)?;
+        file.seek(SeekFrom::Start(self.valid_len))?;
+        file.write_all(&tail)?;
+        file.sync_data()?;
+        self.valid_len += tail.len() as u64;
+        self.persisted.extend(newly_persisted);
+        self.dirty = false;
+        Ok(())
+    }
+}
+
+/// The immutable half of the lifecycle: an atomic snapshot over sealed
+/// segments and tombstones. Clones share everything.
+#[derive(Debug, Clone)]
+pub struct IndexReader {
+    scheme: SignatureScheme,
+    params: LshParams,
+    generation: u64,
+    next_id: u32,
+    segments: Arc<Vec<SharedSegment>>,
+    tombstones: Arc<Vec<u32>>,
+}
+
+impl IndexReader {
+    /// Open an index file read-only at its newest intact manifest
+    /// generation (v1/v2 files open as a single segment).
+    pub fn open(path: impl AsRef<Path>) -> IndexResult<Self> {
+        IndexReader::open_with_report(path).map(|(r, _)| r)
+    }
+
+    /// [`Self::open`], also reporting what recovery did.
+    pub fn open_with_report(path: impl AsRef<Path>) -> IndexResult<(Self, RecoveryReport)> {
+        let (state, report) = load_state(std::fs::read(path)?)?;
+        let reader = IndexReader {
+            scheme: state.scheme,
+            params: state.params,
+            generation: state.generation,
+            next_id: state.next_id,
+            segments: Arc::new(state.segments),
+            tombstones: Arc::new(state.tombstones),
+        };
+        Ok((reader, report))
+    }
+
+    /// A snapshot over one sealed segment (the monolithic
+    /// `SketchIndex`'s bridge into the segmented code paths).
+    pub(crate) fn from_single(segment: SharedSegment) -> Self {
+        IndexReader {
+            scheme: *segment.scheme(),
+            params: *segment.params(),
+            generation: 0,
+            next_id: segment.global_ids().last().map_or(0, |&id| id + 1),
+            segments: Arc::new(vec![segment]),
+            tombstones: Arc::new(Vec::new()),
+        }
+    }
+
+    /// The signature scheme shared by all segments.
+    pub fn scheme(&self) -> &SignatureScheme {
+        &self.scheme
+    }
+
+    /// The banding parameters shared by all segments.
+    pub fn params(&self) -> &LshParams {
+        &self.params
+    }
+
+    /// The manifest generation this snapshot observes.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// First global id not assigned when the snapshot was taken.
+    pub fn id_bound(&self) -> u32 {
+        self.next_id
+    }
+
+    /// The live segments, ordered by first global id.
+    pub fn segments(&self) -> &[SharedSegment] {
+        &self.segments
+    }
+
+    /// Rows stored across all segments (tombstoned rows included).
+    pub fn n_rows(&self) -> usize {
+        self.segments.iter().map(|s| s.n_rows()).sum()
+    }
+
+    /// Live samples (stored rows minus tombstones).
+    pub fn n_live(&self) -> usize {
+        self.n_rows() - self.tombstones.len()
+    }
+
+    /// The tombstoned global ids, sorted.
+    pub fn tombstones(&self) -> &[u32] {
+        &self.tombstones
+    }
+
+    /// Whether global id `id` is tombstoned.
+    pub fn is_deleted(&self, id: u32) -> bool {
+        self.tombstones.binary_search(&id).is_ok()
+    }
+
+    /// Whether global id `id` is a live sample of this snapshot.
+    pub fn is_live(&self, id: u32) -> bool {
+        !self.is_deleted(id) && self.locate(id).is_some()
+    }
+
+    /// All live global ids, ascending.
+    pub fn live_ids(&self) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.n_live());
+        for seg in self.segments.iter() {
+            out.extend(seg.global_ids().iter().copied().filter(|&id| !self.is_deleted(id)));
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Which segment (index into [`Self::segments`]) and local row hold
+    /// global id `id`, tombstoned or not.
+    pub fn locate(&self, id: u32) -> Option<(usize, usize)> {
+        self.segments
+            .iter()
+            .enumerate()
+            .find_map(|(s, seg)| seg.local_of(id).map(|local| (s, local)))
+    }
+
+    /// The signature of live global id `id` (`None` when unknown or
+    /// tombstoned).
+    pub fn signature_of(&self, id: u32) -> Option<&MinHashSignature> {
+        if self.is_deleted(id) {
+            return None;
+        }
+        self.locate(id).map(|(s, local)| self.segments[s].signature(local))
+    }
+
+    /// The name of live global id `id`.
+    pub fn name_of(&self, id: u32) -> Option<&str> {
+        if self.is_deleted(id) {
+            return None;
+        }
+        self.locate(id).map(|(s, local)| self.segments[s].names()[local].as_str())
+    }
+
+    /// Check that a query-side scheme matches this index's scheme
+    /// (see `SketchIndex::check_query_scheme`).
+    pub fn check_query_scheme(&self, query_scheme: &SignatureScheme) -> IndexResult<()> {
+        if query_scheme != &self.scheme {
+            return Err(IndexError::SignerMismatch {
+                index_scheme: self.scheme.describe(),
+                query_scheme: query_scheme.describe(),
+            });
+        }
+        Ok(())
+    }
+
+    /// View this snapshot as a monolithic [`SketchIndex`] — possible
+    /// exactly when it is one segment, tombstone-free, with dense global
+    /// ids `0..n` (e.g. a fresh single commit, or any fully compacted
+    /// delete-free lifecycle). Useful for exporting to the v2
+    /// single-index container format.
+    pub fn to_monolithic(&self) -> Option<crate::build::SketchIndex> {
+        if self.segments.len() != 1 || !self.tombstones.is_empty() {
+            return None;
+        }
+        let segment = &self.segments[0];
+        let dense = segment.global_ids().iter().enumerate().all(|(i, &id)| id as usize == i);
+        dense.then(|| crate::build::SketchIndex::from_segment(segment.clone()))
+    }
+
+    /// Per-segment stats under this snapshot's tombstones.
+    pub fn segment_stats(&self) -> Vec<SegmentStats> {
+        segment_stats_with(&self.segments, |id| self.is_deleted(id))
+    }
+}
+
+/// Per-segment row/live counts under one tombstone predicate — shared by
+/// the writer (compactor input) and reader (reporting) so the two views
+/// can never diverge.
+fn segment_stats_with<F: Fn(u32) -> bool>(
+    segments: &[SharedSegment],
+    is_deleted: F,
+) -> Vec<SegmentStats> {
+    segments
+        .iter()
+        .map(|seg| {
+            let dead = seg.global_ids().iter().filter(|&&id| is_deleted(id)).count();
+            SegmentStats {
+                segment_id: seg.id(),
+                rows: seg.n_rows(),
+                live_rows: seg.n_rows() - dead,
+            }
+        })
+        .collect()
+}
+
+/// The size-tiered compaction policy: segments are grouped into tiers by
+/// live-row count (tier `t` holds segments with `factor^t ≤ rows <
+/// factor^(t+1)`); any tier filling up with at least `min_merge`
+/// segments is merged whole. Small commits therefore roll up
+/// geometrically — the write amplification of the classic size-tiered
+/// LSM shape — while large, settled segments are left alone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactionPolicy {
+    /// Merge a tier once it holds at least this many segments (≥ 2).
+    pub min_merge: usize,
+    /// Geometric tier width (≥ 2).
+    pub tier_factor: usize,
+}
+
+impl Default for CompactionPolicy {
+    fn default() -> Self {
+        CompactionPolicy { min_merge: 4, tier_factor: 4 }
+    }
+}
+
+impl CompactionPolicy {
+    /// The tier of a segment with `live_rows` live rows.
+    pub fn tier(&self, live_rows: usize) -> usize {
+        let mut tier = 0usize;
+        let mut x = live_rows.max(1);
+        while x >= self.tier_factor {
+            x /= self.tier_factor;
+            tier += 1;
+        }
+        tier
+    }
+}
+
+/// Merges segments under a [`CompactionPolicy`], dropping tombstoned
+/// rows as it goes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Compactor {
+    policy: CompactionPolicy,
+}
+
+impl Compactor {
+    /// A compactor with the given policy.
+    pub fn new(policy: CompactionPolicy) -> IndexResult<Self> {
+        if policy.min_merge < 2 || policy.tier_factor < 2 {
+            return Err(IndexError::InvalidConfig(format!(
+                "compaction needs min_merge ≥ 2 and tier_factor ≥ 2 (got {} and {})",
+                policy.min_merge, policy.tier_factor
+            )));
+        }
+        Ok(Compactor { policy })
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> &CompactionPolicy {
+        &self.policy
+    }
+
+    /// Which segment groups the policy would merge, given per-segment
+    /// stats: one group per over-full tier, in file order.
+    pub fn plan(&self, stats: &[SegmentStats]) -> Vec<Vec<u64>> {
+        let mut tiers: std::collections::BTreeMap<usize, Vec<u64>> = Default::default();
+        for s in stats {
+            tiers.entry(self.policy.tier(s.live_rows)).or_default().push(s.segment_id);
+        }
+        tiers.into_values().filter(|group| group.len() >= self.policy.min_merge).collect()
+    }
+
+    /// Run one compaction pass over `writer`'s committed segments.
+    pub fn compact(&self, writer: &mut IndexWriter) -> IndexResult<CompactionSummary> {
+        let plan = self.plan(&writer.segment_stats());
+        writer.compact_groups(plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::SketchIndex;
+    use crate::query::{QueryEngine, QueryOptions};
+    use gas_core::minhash::SignerKind;
+
+    fn config() -> IndexConfig {
+        IndexConfig::default().with_signature_len(64).with_threshold(0.5)
+    }
+
+    fn family(base: u64, private: u64) -> Vec<u64> {
+        let mut s: Vec<u64> = (base..base + 300).collect();
+        s.extend(private..private + 30);
+        s
+    }
+
+    fn unique_path(tag: &str) -> PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("gas_lifecycle_{tag}_{}_{n}.gidx", std::process::id()))
+    }
+
+    #[test]
+    fn staged_work_is_invisible_until_commit() {
+        let mut w = IndexWriter::create(&config()).unwrap();
+        let id0 = w.add("a", family(0, 50_000)).unwrap();
+        assert_eq!(id0, 0);
+        assert_eq!(w.staged_samples(), 1);
+        assert_eq!(w.reader().n_live(), 0, "staged rows must not be served");
+        let summary = w.commit().unwrap();
+        assert_eq!(summary.generation, 1);
+        assert_eq!(summary.rows_added, 1);
+        assert!(summary.sealed_segment.is_some());
+        let snapshot = w.reader();
+        assert_eq!(snapshot.n_live(), 1);
+        // The snapshot is atomic: later commits do not leak into it.
+        w.add("b", family(0, 60_000)).unwrap();
+        w.commit().unwrap();
+        assert_eq!(snapshot.n_live(), 1);
+        assert_eq!(w.reader().n_live(), 2);
+        assert_eq!(w.reader().segments().len(), 2);
+        assert_eq!(w.generation(), 2);
+        // An empty commit is a no-op.
+        let noop = w.commit().unwrap();
+        assert_eq!(noop.generation, 2);
+        assert_eq!(noop.sealed_segment, None);
+    }
+
+    #[test]
+    fn incremental_adds_answer_like_a_fresh_build() {
+        // Three commits vs one monolithic build over the same corpus:
+        // identical global ids, identical answers.
+        let sets: Vec<Vec<u64>> = (0..9u64).map(|i| family((i / 3) * 100_000, 7_000 + i)).collect();
+        let collection = gas_core::indicator::SampleCollection::from_sets(sets.clone()).unwrap();
+        let fresh = SketchIndex::build(&collection, &config()).unwrap();
+
+        let mut w = IndexWriter::create(&config()).unwrap();
+        for batch in sets.chunks(4) {
+            for s in batch {
+                w.add(format!("sample_{}", w.id_bound()), s.clone()).unwrap();
+            }
+            w.commit().unwrap();
+        }
+        let reader = w.reader();
+        assert_eq!(reader.segments().len(), 3);
+        assert_eq!(reader.n_live(), 9);
+        let opts = QueryOptions { top_k: 4, ..Default::default() };
+        let fresh_engine = QueryEngine::new(&fresh);
+        let incr_engine = QueryEngine::for_reader(reader.clone());
+        for q in &sets {
+            assert_eq!(incr_engine.query(q, &opts).unwrap(), fresh_engine.query(q, &opts).unwrap());
+        }
+        // Signatures are reachable by global id and match the fresh ones.
+        for id in 0..9u32 {
+            assert_eq!(reader.signature_of(id).unwrap(), fresh.signature(id as usize));
+            assert_eq!(reader.name_of(id).unwrap(), format!("sample_{id}"));
+        }
+        assert!(reader.signature_of(99).is_none());
+    }
+
+    #[test]
+    fn commit_collection_equals_staged_adds_plus_commit() {
+        let sets: Vec<Vec<u64>> = (0..5u64).map(|i| family(0, 800 * i)).collect();
+        let collection = gas_core::indicator::SampleCollection::from_sets(sets.clone())
+            .unwrap()
+            .with_names((0..5).map(|i| format!("n{i}")).collect())
+            .unwrap();
+        let mut fast = IndexWriter::create(&config()).unwrap();
+        let summary = fast.commit_collection(&collection).unwrap();
+        assert_eq!(summary.rows_added, 5);
+        let mut staged = IndexWriter::create(&config()).unwrap();
+        staged.add_collection(&collection).unwrap();
+        staged.commit().unwrap();
+        assert_eq!(fast.reader().segments(), staged.reader().segments());
+        assert_eq!(fast.id_bound(), staged.id_bound());
+        // A second collection appends at the id high-water mark.
+        fast.commit_collection(&collection).unwrap();
+        assert_eq!(fast.id_bound(), 10);
+        assert_eq!(fast.reader().segments()[1].global_ids(), &[5, 6, 7, 8, 9]);
+        // Pending staged samples make the fast path ambiguous: rejected.
+        fast.add("pending", family(0, 77)).unwrap();
+        assert!(fast.commit_collection(&collection).is_err());
+    }
+
+    #[test]
+    fn deletes_tombstone_then_compaction_drops_rows() {
+        let mut w = IndexWriter::create(&config()).unwrap();
+        for i in 0..6u64 {
+            w.add(format!("s{i}"), family(0, 1_000 * i)).unwrap();
+        }
+        w.commit().unwrap();
+        // Delete validation: unknown, staged, double.
+        assert!(matches!(w.delete(99), Err(IndexError::UnknownSample { .. })));
+        w.add("staged", family(0, 90_000)).unwrap();
+        assert!(matches!(w.delete(6), Err(IndexError::UnknownSample { .. })));
+        w.commit().unwrap();
+        w.delete(2).unwrap();
+        assert!(matches!(w.delete(2), Err(IndexError::UnknownSample { .. })));
+        let summary = w.commit().unwrap();
+        assert_eq!(summary.deletes_applied, 1);
+        assert_eq!(summary.sealed_segment, None, "deletes-only commits seal no segment");
+
+        let reader = w.reader();
+        assert_eq!(reader.n_live(), 6);
+        assert!(reader.is_deleted(2));
+        assert!(!reader.is_live(2));
+        assert_eq!(reader.live_ids(), vec![0, 1, 3, 4, 5, 6]);
+        // Tombstoned rows never surface as answers.
+        let engine = QueryEngine::for_reader(reader);
+        let opts = QueryOptions { top_k: 7, ..Default::default() };
+        let hits = engine.query(&family(0, 2_000), &opts).unwrap();
+        assert!(hits.iter().all(|n| n.id != 2), "{hits:?}");
+
+        // Compaction drops the row and purges the tombstone.
+        let summary = w.compact_all().unwrap();
+        assert_eq!(summary.segments_before, 2);
+        assert_eq!(summary.segments_after, 1);
+        assert_eq!(summary.tombstones_purged, 1);
+        assert_eq!(summary.rows_written, 6);
+        let reader = w.reader();
+        assert_eq!(reader.n_rows(), 6, "the dropped row is physically gone");
+        assert!(reader.tombstones().is_empty());
+        assert_eq!(reader.live_ids(), vec![0, 1, 3, 4, 5, 6]);
+        let after = QueryEngine::for_reader(reader).query(&family(0, 2_000), &opts).unwrap();
+        assert_eq!(after, hits, "compaction must not change answers");
+        // Deleting an id that was compacted away stays an error.
+        assert!(matches!(w.delete(2), Err(IndexError::UnknownSample { .. })));
+    }
+
+    #[test]
+    fn size_tiered_policy_merges_full_tiers_only() {
+        let policy = CompactionPolicy { min_merge: 2, tier_factor: 4 };
+        assert_eq!(policy.tier(0), 0);
+        assert_eq!(policy.tier(3), 0);
+        assert_eq!(policy.tier(4), 1);
+        assert_eq!(policy.tier(15), 1);
+        assert_eq!(policy.tier(16), 2);
+        let compactor = Compactor::new(policy).unwrap();
+        let stats =
+            |id: u64, live: usize| SegmentStats { segment_id: id, rows: live, live_rows: live };
+        // Two tier-0 segments merge; the lone tier-2 segment is left alone.
+        let plan = compactor.plan(&[stats(1, 2), stats(2, 3), stats(3, 40)]);
+        assert_eq!(plan, vec![vec![1, 2]]);
+        assert!(compactor.plan(&[stats(1, 2), stats(2, 40)]).is_empty());
+        assert!(Compactor::new(CompactionPolicy { min_merge: 1, tier_factor: 4 }).is_err());
+        assert!(Compactor::new(CompactionPolicy { min_merge: 2, tier_factor: 1 }).is_err());
+    }
+
+    #[test]
+    fn compactor_rolls_small_segments_up_and_answers_survive() {
+        let mut w = IndexWriter::create(&config()).unwrap();
+        // Eight one-sample commits: eight tier-0 segments.
+        for i in 0..8u64 {
+            w.add(format!("s{i}"), family((i / 4) * 100_000, 500 + 40 * i)).unwrap();
+            w.commit().unwrap();
+        }
+        assert_eq!(w.reader().segments().len(), 8);
+        let before = QueryEngine::for_reader(w.reader())
+            .query(&family(0, 520), &QueryOptions { top_k: 4, ..Default::default() })
+            .unwrap();
+        let compactor = Compactor::new(CompactionPolicy { min_merge: 4, tier_factor: 4 }).unwrap();
+        let summary = compactor.compact(&mut w).unwrap();
+        assert_eq!(summary.groups_merged, 1, "all eight singles share tier 0");
+        assert_eq!(summary.segments_after, 1);
+        let after = QueryEngine::for_reader(w.reader())
+            .query(&family(0, 520), &QueryOptions { top_k: 4, ..Default::default() })
+            .unwrap();
+        assert_eq!(after, before);
+        // Compacting with staged work is refused.
+        w.add("pending", family(0, 99_000)).unwrap();
+        assert!(compactor.compact(&mut w).is_err());
+    }
+
+    #[test]
+    fn file_backed_lifecycle_round_trips_and_reports_recovery() {
+        let path = unique_path("roundtrip");
+        let mut w = IndexWriter::create_at(&path, &config()).unwrap();
+        // The freshly created file is already openable (generation 0).
+        let (empty, report) = IndexReader::open_with_report(&path).unwrap();
+        assert_eq!(empty.generation(), 0);
+        assert_eq!(empty.n_live(), 0);
+        assert_eq!(report, RecoveryReport { generation: 0, torn_bytes: 0, upgraded_legacy: false });
+
+        for i in 0..5u64 {
+            w.add(format!("s{i}"), family(0, 700 * (i + 1))).unwrap();
+            w.commit().unwrap();
+        }
+        w.delete(1).unwrap();
+        w.commit().unwrap();
+        let want = QueryEngine::for_reader(w.reader())
+            .query(&family(0, 1_400), &QueryOptions { top_k: 4, ..Default::default() })
+            .unwrap();
+
+        // Reader and writer reopen at the same generation with the same
+        // answers; a writer reopening can keep committing.
+        let reader = IndexReader::open(&path).unwrap();
+        assert_eq!(reader.generation(), 6);
+        assert_eq!(reader.n_live(), 4);
+        assert!(reader.is_deleted(1));
+        let got = QueryEngine::for_reader(reader.clone())
+            .query(&family(0, 1_400), &QueryOptions { top_k: 4, ..Default::default() })
+            .unwrap();
+        assert_eq!(got, want);
+
+        let mut reopened = IndexWriter::open(&path).unwrap();
+        assert_eq!(reopened.generation(), 6);
+        assert_eq!(reopened.id_bound(), 5, "global ids resume where they left off");
+        reopened.add("s5", family(0, 9_999)).unwrap();
+        reopened.commit().unwrap();
+        assert_eq!(IndexReader::open(&path).unwrap().n_live(), 5);
+        let want = QueryEngine::for_reader(reopened.reader())
+            .query(&family(0, 1_400), &QueryOptions { top_k: 4, ..Default::default() })
+            .unwrap();
+
+        // Compaction + vacuum shrink the file without changing answers.
+        let len_before = std::fs::metadata(&path).unwrap().len();
+        reopened.compact_all().unwrap();
+        let reclaimed = reopened.vacuum().unwrap();
+        assert!(reclaimed > 0, "vacuum reclaims compacted-away blocks");
+        let len_after = std::fs::metadata(&path).unwrap().len();
+        assert!(len_after < len_before);
+        let got = QueryEngine::for_reader(IndexReader::open(&path).unwrap())
+            .query(&family(0, 1_400), &QueryOptions { top_k: 4, ..Default::default() })
+            .unwrap();
+        assert_eq!(got, want);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_commit_tails_fall_back_to_the_previous_generation() {
+        let path = unique_path("torn");
+        let mut w = IndexWriter::create_at(&path, &config()).unwrap();
+        w.add("a", family(0, 100)).unwrap();
+        w.commit().unwrap();
+        let good = std::fs::read(&path).unwrap();
+        w.add("b", family(0, 200)).unwrap();
+        w.commit().unwrap();
+        let full = std::fs::read(&path).unwrap();
+        assert!(full.len() > good.len());
+
+        // Truncate inside the second commit: generation 1 survives.
+        let torn = full[..good.len() + (full.len() - good.len()) / 2].to_vec();
+        std::fs::write(&path, &torn).unwrap();
+        let (reader, report) = IndexReader::open_with_report(&path).unwrap();
+        assert_eq!(reader.generation(), 1);
+        assert_eq!(reader.n_live(), 1);
+        assert!(report.torn_bytes > 0);
+
+        // A writer reopening over the torn tail truncates it and commits
+        // cleanly on top.
+        let mut recovered = IndexWriter::open(&path).unwrap();
+        assert_eq!(recovered.generation(), 1);
+        recovered.add("b2", family(0, 300)).unwrap();
+        recovered.commit().unwrap();
+        let healed = IndexReader::open_with_report(&path).unwrap();
+        assert_eq!(healed.0.generation(), 2);
+        assert_eq!(healed.0.n_live(), 2);
+        assert_eq!(healed.1.torn_bytes, 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn a_failed_persist_is_repaired_by_the_next_successful_commit() {
+        // Simulate a transient I/O failure on one commit by swapping the
+        // backing file for a directory, then restoring it. The failed
+        // commit's segment lives only in memory; every later persist must
+        // write it to disk *before* any manifest that references it, or
+        // the whole file would scan as corrupt.
+        let path = unique_path("persistfail");
+        let mut w = IndexWriter::create_at(&path, &config()).unwrap();
+        w.add("a", family(0, 100)).unwrap();
+        w.commit().unwrap();
+        let good = std::fs::read(&path).unwrap();
+
+        std::fs::remove_file(&path).unwrap();
+        std::fs::create_dir(&path).unwrap();
+        w.add("b", family(0, 200)).unwrap();
+        assert!(matches!(w.commit(), Err(IndexError::Io(_))));
+        assert_eq!(w.reader().n_live(), 2, "memory is ahead of disk after the failure");
+
+        // Restore the last good bytes; an otherwise-empty commit retries
+        // the flush and heals the divergence.
+        std::fs::remove_dir(&path).unwrap();
+        std::fs::write(&path, &good).unwrap();
+        w.commit().unwrap();
+        let healed = IndexReader::open(&path).unwrap();
+        assert_eq!(healed.n_live(), 2);
+        assert_eq!(healed.generation(), w.generation());
+
+        // And ordinary commits keep working on top.
+        w.add("c", family(0, 300)).unwrap();
+        w.commit().unwrap();
+        let reopened = IndexReader::open(&path).unwrap();
+        assert_eq!(reopened.n_live(), 3);
+        assert_eq!(reopened.segments().len(), 3);
+        assert_eq!(reopened.generation(), w.generation());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn legacy_containers_open_as_a_single_segment_and_upgrade_on_commit() {
+        let sets: Vec<Vec<u64>> = (0..4u64).map(|i| family(0, 400 * (i + 1))).collect();
+        let collection = gas_core::indicator::SampleCollection::from_sets(sets.clone()).unwrap();
+        let cfg = config().with_signer(SignerKind::Oph);
+        let index = SketchIndex::build(&collection, &cfg).unwrap();
+        let path = unique_path("legacy");
+        index.write_to(&path).unwrap();
+
+        let (reader, report) = IndexReader::open_with_report(&path).unwrap();
+        assert!(report.upgraded_legacy);
+        assert_eq!(reader.segments().len(), 1);
+        assert_eq!(reader.n_live(), 4);
+        assert_eq!(reader.scheme().kind(), SignerKind::Oph);
+        let opts = QueryOptions { top_k: 3, ..Default::default() };
+        assert_eq!(
+            QueryEngine::for_reader(reader).query(&sets[0], &opts).unwrap(),
+            QueryEngine::new(&index).query(&sets[0], &opts).unwrap(),
+        );
+
+        // A writer upgrade: open, add, commit — the file becomes v3.
+        let mut w = IndexWriter::open(&path).unwrap();
+        w.add("extra", family(0, 77_777)).unwrap();
+        w.commit().unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        assert_eq!(container::container_version(&bytes).unwrap(), VERSION_SEGMENTED);
+        let upgraded = IndexReader::open(&path).unwrap();
+        assert_eq!(upgraded.n_live(), 5);
+        assert_eq!(upgraded.segments().len(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn foreign_block_kinds_allow_read_only_opens_but_refuse_writers() {
+        // A checksum-valid block of an unknown kind (a newer build's
+        // data) after the last understood manifest: readers fall back to
+        // that manifest, but a writer must refuse rather than truncate
+        // the foreign bytes away on its next commit.
+        let path = unique_path("foreign");
+        let mut w = IndexWriter::create_at(&path, &config()).unwrap();
+        w.add("a", family(0, 100)).unwrap();
+        w.commit().unwrap();
+        let generation = w.generation();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend(container::block_bytes(*b"FUT\0", b"from the future"));
+        std::fs::write(&path, &bytes).unwrap();
+
+        let (reader, report) = IndexReader::open_with_report(&path).unwrap();
+        assert_eq!(reader.generation(), generation);
+        assert_eq!(reader.n_live(), 1);
+        assert!(report.torn_bytes > 0, "foreign bytes are reported, not hidden");
+        assert!(matches!(IndexWriter::open(&path), Err(IndexError::ForeignBlocks { .. })));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn files_with_no_surviving_manifest_are_typed_errors() {
+        let path = unique_path("nomanifest");
+        // A bare v3 header with no blocks at all.
+        std::fs::write(&path, container::v3_header_bytes()).unwrap();
+        assert!(matches!(IndexReader::open(&path), Err(IndexError::NoLiveGeneration(_))));
+        // Garbage that is not a container at all.
+        std::fs::write(&path, b"not a container").unwrap();
+        assert!(matches!(IndexReader::open(&path), Err(IndexError::BadMagic)));
+        // An unsupported future version.
+        let mut future = container::v3_header_bytes();
+        future[8..12].copy_from_slice(&9u32.to_le_bytes());
+        let crc = fnv1a64(&future[..12]);
+        future[12..20].copy_from_slice(&crc.to_le_bytes());
+        std::fs::write(&path, &future).unwrap();
+        assert!(matches!(IndexReader::open(&path), Err(IndexError::UnsupportedVersion(9))));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -17,6 +17,8 @@ use rayon::prelude::*;
 
 use crate::build::SketchIndex;
 use crate::error::{IndexError, IndexResult};
+use crate::lifecycle::IndexReader;
+use crate::segment::Segment;
 
 /// One answer of a top-k query.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -133,15 +135,67 @@ pub(crate) fn lsh_top_by<F: Fn(u32) -> u32 + Sync>(
         .reduce(Vec::new, |a, b| merge_scored(a, b, keep))
 }
 
-/// Score `candidates` against `sig` from the index's own signature
-/// matrix and keep the best `keep`.
-pub(crate) fn lsh_top(
-    index: &SketchIndex,
+/// Deterministic merge of scored candidates drawn from several sources
+/// — the segments of a reader snapshot, or the per-rank partial lists
+/// of a distributed round. A sample surfacing from more than one probed
+/// bucket across sources is kept exactly once (duplicates are keyed by
+/// sample id; should sources ever disagree on a sample's agreement,
+/// which only a corrupt source can produce, the highest agreement
+/// wins), and the final ordering is the engine-wide ranking order:
+/// agreement descending, then sample id ascending — **score ties keep
+/// the lowest sample id first**, so merged top-k output is stable no
+/// matter how rows are spread over segments or ranks.
+pub(crate) fn merge_scored_sources(mut entries: Vec<Scored>, keep: usize) -> Vec<Scored> {
+    // Group duplicates by id (best agreement first within a group), then
+    // restore the ranking order. Two passes keep the dedup correct even
+    // for non-adjacent duplicates, which a single ranking sort followed
+    // by `dedup_by_key` would miss if agreements disagreed.
+    entries.sort_unstable_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)));
+    entries.dedup_by_key(|e| e.1);
+    entries.sort_unstable_by(scored_less);
+    entries.truncate(keep);
+    entries
+}
+
+/// The candidate *local rows* of `seg` for a query signature, restricted
+/// to bands `band_filter` admits and to rows whose global id is live
+/// under `reader`'s tombstones. Shared by the local engine and the
+/// distributed prober so both surface exactly the same candidates.
+pub(crate) fn live_segment_candidates<F: Fn(usize) -> bool>(
+    reader: &IndexReader,
+    seg: &Segment,
     sig: &MinHashSignature,
-    candidates: &[u32],
+    band_filter: F,
+) -> Vec<u32> {
+    seg.candidates_where(sig, band_filter)
+        .into_iter()
+        .filter(|&local| !reader.is_deleted(seg.global_id(local as usize)))
+        .collect()
+}
+
+/// Score a query signature over every live segment of a reader snapshot
+/// and keep the global best `keep`, as `(agreement, global id)` entries:
+/// per segment, candidates are probed and scored over local rows (the
+/// same parallel map + reduce as the monolithic path), then the
+/// per-segment top lists are merged deterministically. The per-segment
+/// truncation is lossless: an entry of the global top-`keep` necessarily
+/// survives the top-`keep` of whichever segment holds it.
+pub(crate) fn scored_over_reader(
+    reader: &IndexReader,
+    sig: &MinHashSignature,
     keep: usize,
 ) -> Vec<Scored> {
-    lsh_top_by(&|id| index.signature(id as usize).agreement(sig) as u32, candidates, keep)
+    let mut entries: Vec<Scored> = Vec::new();
+    for seg in reader.segments() {
+        let candidates = live_segment_candidates(reader, seg, sig, |_| true);
+        let top = lsh_top_by(
+            &|local| seg.signature(local as usize).agreement(sig) as u32,
+            &candidates,
+            keep,
+        );
+        entries.extend(top.into_iter().map(|(a, local)| (a, seg.global_id(local as usize))));
+    }
+    merge_scored_sources(entries, keep)
 }
 
 /// Exact Jaccard similarities between `query` and each of `ids`, through
@@ -231,27 +285,53 @@ pub(crate) fn finalize(
     Ok(neighbors)
 }
 
-/// The batched top-k query engine over one [`SketchIndex`].
-#[derive(Debug, Clone, Copy)]
+/// The batched top-k query engine over an [`IndexReader`] snapshot.
+///
+/// The engine serves whatever snapshot it was built from — one sealed
+/// segment (the monolithic [`SketchIndex`] constructors) or a whole
+/// segmented lifecycle snapshot with tombstones (the
+/// [`for_reader`](Self::for_reader) constructors). Every query probes
+/// *all* live segments, skips tombstoned rows, and merges the
+/// per-segment top lists deterministically (see
+/// [`merge_scored_sources`]): answers are bit-identical to a fresh
+/// monolithic build over the snapshot's live corpus, modulo the global
+/// ids the snapshot preserves.
+#[derive(Debug, Clone)]
 pub struct QueryEngine<'a> {
-    index: &'a SketchIndex,
+    reader: IndexReader,
     collection: Option<&'a SampleCollection>,
 }
 
 impl<'a> QueryEngine<'a> {
     /// An engine that scores with signatures only (no exact re-ranking).
-    pub fn new(index: &'a SketchIndex) -> Self {
-        QueryEngine { index, collection: None }
+    pub fn new(index: &SketchIndex) -> QueryEngine<'static> {
+        QueryEngine { reader: index.as_reader(), collection: None }
     }
 
     /// An engine that can re-rank exactly against the original sets.
-    pub fn with_collection(index: &'a SketchIndex, collection: &'a SampleCollection) -> Self {
-        QueryEngine { index, collection: Some(collection) }
+    pub fn with_collection(index: &SketchIndex, collection: &'a SampleCollection) -> Self {
+        QueryEngine { reader: index.as_reader(), collection: Some(collection) }
     }
 
-    /// The underlying index.
-    pub fn index(&self) -> &SketchIndex {
-        self.index
+    /// An engine over a lifecycle snapshot (signatures only).
+    pub fn for_reader(reader: IndexReader) -> QueryEngine<'static> {
+        QueryEngine { reader, collection: None }
+    }
+
+    /// An engine over a lifecycle snapshot that can re-rank exactly.
+    /// `collection` must be indexed by *global* sample id (the corpus
+    /// the writer assigned ids over; tombstoned entries are never
+    /// touched).
+    pub fn for_reader_with_collection(
+        reader: IndexReader,
+        collection: &'a SampleCollection,
+    ) -> Self {
+        QueryEngine { reader, collection: Some(collection) }
+    }
+
+    /// The snapshot this engine serves.
+    pub fn reader(&self) -> &IndexReader {
+        &self.reader
     }
 
     /// Answer one query. `values` is treated as a set: it need not be
@@ -259,10 +339,9 @@ impl<'a> QueryEngine<'a> {
     /// exact re-rank canonicalizes before intersecting).
     pub fn query(&self, values: &[u64], opts: &QueryOptions) -> IndexResult<Vec<Neighbor>> {
         let values = &*normalized_query(values);
-        let sig = self.index.scheme().sign(values);
-        let candidates = self.index.candidates(&sig);
-        let scored = lsh_top(self.index, &sig, &candidates, opts.keep());
-        finalize(scored, self.index.scheme().len(), values, self.collection, opts)
+        let sig = self.reader.scheme().sign(values);
+        let scored = scored_over_reader(&self.reader, &sig, opts.keep());
+        finalize(scored, self.reader.scheme().len(), values, self.collection, opts)
     }
 
     /// Answer one query from a signature signed elsewhere (an ingress
@@ -279,22 +358,21 @@ impl<'a> QueryEngine<'a> {
         sig: &MinHashSignature,
         opts: &QueryOptions,
     ) -> IndexResult<Vec<Neighbor>> {
-        self.index.check_query_scheme(scheme)?;
+        self.reader.check_query_scheme(scheme)?;
         if opts.rerank_exact {
             return Err(IndexError::InvalidQuery(
                 "exact re-ranking needs the raw query values; use `query` instead".into(),
             ));
         }
-        if sig.len() != self.index.scheme().len() {
+        if sig.len() != self.reader.scheme().len() {
             return Err(IndexError::InvalidQuery(format!(
                 "pre-signed signature has {} positions, the index expects {}",
                 sig.len(),
-                self.index.scheme().len()
+                self.reader.scheme().len()
             )));
         }
-        let candidates = self.index.candidates(sig);
-        let scored = lsh_top(self.index, sig, &candidates, opts.keep());
-        finalize(scored, self.index.scheme().len(), &[], None, opts)
+        let scored = scored_over_reader(&self.reader, sig, opts.keep());
+        finalize(scored, self.reader.scheme().len(), &[], None, opts)
     }
 
     /// Answer a batch of queries. Each query's candidate scoring runs in
@@ -523,6 +601,20 @@ mod tests {
             exact_scores_popcount(&collection, &messy, &ids).unwrap(),
             exact_scores_popcount(&collection, &clean, &ids).unwrap()
         );
+    }
+
+    #[test]
+    fn merge_scored_sources_dedups_and_breaks_ties_by_lowest_id() {
+        // Duplicates across sources (segments, ranks) collapse to one
+        // entry per id even when non-adjacent; on agreement ties the
+        // lower sample id ranks first; a duplicated id whose sources
+        // disagree keeps the highest agreement.
+        let entries = vec![(5, 9), (7, 3), (5, 2), (7, 3), (6, 9), (5, 4)];
+        let merged = merge_scored_sources(entries, 10);
+        assert_eq!(merged, vec![(7, 3), (6, 9), (5, 2), (5, 4)]);
+        let truncated = merge_scored_sources(vec![(1, 1), (1, 0), (2, 5)], 2);
+        assert_eq!(truncated, vec![(2, 5), (1, 0)]);
+        assert!(merge_scored_sources(Vec::new(), 4).is_empty());
     }
 
     #[test]

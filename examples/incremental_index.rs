@@ -1,0 +1,128 @@
+//! Walkthrough of the segmented index lifecycle: build a base index with
+//! an `IndexWriter`, add a batch of new samples incrementally, delete a
+//! few, query before and after compaction, and inspect segment stats —
+//! all against a crash-safe container-v3 file on disk.
+//!
+//! Run with: `cargo run --release --example incremental_index`
+
+use genomeatscale::prelude::*;
+
+/// A family-structured "genome": a shared core plus a private stretch.
+fn sample(family: u64, member: u64) -> Vec<u64> {
+    let mut s: Vec<u64> = (family * 1_000_000..family * 1_000_000 + 800).collect();
+    let private = family * 1_000_000 + 500_000 + member * 60;
+    s.extend(private..private + 60);
+    s
+}
+
+fn print_stats(label: &str, reader: &IndexReader) {
+    println!(
+        "{label}: generation {}, {} segment(s), {} live / {} stored rows, {} tombstone(s)",
+        reader.generation(),
+        reader.segments().len(),
+        reader.n_live(),
+        reader.n_rows(),
+        reader.tombstones().len()
+    );
+    for s in reader.segment_stats() {
+        println!("    segment {:>3}: {:>3} rows, {:>3} live", s.segment_id, s.rows, s.live_rows);
+    }
+}
+
+fn main() {
+    let path =
+        std::env::temp_dir().join(format!("incremental_index_example_{}.gidx", std::process::id()));
+
+    // 1. BASE BUILD — three families of four members each, staged and
+    // sealed in one commit. The writer fixes the signature scheme for
+    // the life of the index; every later batch signs identically.
+    let config = IndexConfig::default()
+        .with_signature_len(128)
+        .with_threshold(0.5)
+        .with_signer(SignerKind::Oph);
+    let mut writer = IndexWriter::create_at(&path, &config).expect("create index file");
+    for family in 0..3u64 {
+        for member in 0..4u64 {
+            writer
+                .add(format!("f{family}/m{member}"), sample(family, member))
+                .expect("stage sample");
+        }
+    }
+    let commit = writer.commit().expect("seal the base segment");
+    println!(
+        "base commit: sealed segment {:?} with {} rows (generation {})",
+        commit.sealed_segment, commit.rows_added, commit.generation
+    );
+    print_stats("after base build", &writer.reader());
+
+    // 2. INCREMENTAL ADD — a brand-new family arrives. Only the delta is
+    // signed and bucketed; the base segment is untouched (immutable).
+    for member in 0..4u64 {
+        writer.add(format!("f3/m{member}"), sample(3, member)).expect("stage new sample");
+    }
+    writer.commit().expect("seal the delta segment");
+
+    // 3. DELETE — two members of family 1 are retracted. Deletes are
+    // tombstones: recorded in the manifest, honored by every query, and
+    // physically dropped at the next compaction.
+    writer.delete(4).expect("delete f1/m0");
+    writer.delete(5).expect("delete f1/m1");
+    writer.commit().expect("commit the tombstones");
+    print_stats("after add + delete", &writer.reader());
+
+    // 4. QUERY BEFORE COMPACTION — snapshots see all live segments and
+    // skip tombstoned rows.
+    let reader = writer.reader();
+    let engine = QueryEngine::for_reader(reader.clone());
+    let opts = QueryOptions { top_k: 4, ..Default::default() };
+    let probe = sample(1, 2);
+    let before = engine.query(&probe, &opts).expect("query before compaction");
+    println!("\ntop-{} for a family-1 probe (before compaction):", opts.top_k);
+    for n in &before {
+        println!(
+            "  {:>8}  agreement {:>3}/{}  score {:.3}",
+            reader.name_of(n.id).unwrap_or("?"),
+            n.agreement,
+            reader.scheme().len(),
+            n.score
+        );
+    }
+    assert!(
+        before.iter().all(|n| n.id != 4 && n.id != 5),
+        "tombstoned samples must never be answers"
+    );
+
+    // 5. COMPACT — roll the small segments into one, dropping the two
+    // tombstoned rows for good. Answers must not change.
+    let summary = writer.compact_all().expect("compaction succeeds");
+    println!(
+        "\ncompaction: {} -> {} segment(s), {} tombstoned row(s) dropped, generation {}",
+        summary.segments_before,
+        summary.segments_after,
+        summary.tombstones_purged,
+        summary.generation
+    );
+    let reclaimed = writer.vacuum().expect("vacuum succeeds");
+    println!("vacuum reclaimed {reclaimed} bytes of compacted-away segment blocks");
+    print_stats("after compaction", &writer.reader());
+
+    let after = QueryEngine::for_reader(writer.reader())
+        .query(&probe, &opts)
+        .expect("query after compaction");
+    assert_eq!(after, before, "compaction must not change answers");
+    println!("\nanswers before and after compaction are identical ✓");
+
+    // 6. REOPEN — the file on disk holds the whole lifecycle; a fresh
+    // reader (or writer) resumes at the newest manifest generation.
+    let (reopened, report) = IndexReader::open_with_report(&path).expect("reopen the container");
+    assert_eq!(reopened.generation(), writer.reader().generation());
+    assert_eq!(
+        QueryEngine::for_reader(reopened).query(&probe, &opts).expect("query reopened"),
+        before
+    );
+    println!(
+        "reopened from disk at generation {} (torn bytes: {}) with identical answers ✓",
+        report.generation, report.torn_bytes
+    );
+    std::fs::remove_file(&path).ok();
+}

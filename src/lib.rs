@@ -21,7 +21,10 @@
 //!   neighbor-joining guide trees, k-medoids, outlier detection.
 //! * [`index`] — the persistent MinHash–LSH sketch index and its batched
 //!   top-k query engine (build / persist / query / distribute), the
-//!   query-serving counterpart of the all-pairs pipeline.
+//!   query-serving counterpart of the all-pairs pipeline — now a full
+//!   segmented lifecycle (`IndexWriter` → `IndexReader` → `Compactor`)
+//!   with incremental adds, tombstoned deletes, snapshot reads and
+//!   crash-safe multi-segment persistence.
 //!
 //! ## Quickstart
 //!
@@ -66,8 +69,10 @@ pub mod prelude {
     pub use gas_genomics::kmer::KmerExtractor;
     pub use gas_genomics::sample::KmerSample;
     pub use gas_index::{
-        dist_query_batch, dist_query_batch_stats, exact_top_k, DistQueryStats, IndexConfig,
-        LshParams, Neighbor, QueryEngine, QueryOptions, SignerKind, SketchIndex,
+        dist_query_batch, dist_query_batch_stats, dist_query_reader_batch,
+        dist_query_reader_batch_stats, exact_top_k, CommitSummary, CompactionPolicy,
+        CompactionSummary, Compactor, DistQueryStats, IndexConfig, IndexReader, IndexWriter,
+        LshParams, Neighbor, QueryEngine, QueryOptions, SegmentStats, SignerKind, SketchIndex,
     };
     pub use gas_sparse::dense::DenseMatrix;
 }

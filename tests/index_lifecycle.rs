@@ -1,0 +1,306 @@
+//! Lifecycle properties of the segmented index: the incremental path is
+//! *exact* (any split of the corpus into base + added batches, with
+//! deletes, answers bit-identically to a fresh monolithic build over the
+//! final corpus — before and after compaction), and the container-v3
+//! commit protocol is crash-safe (truncating the file anywhere during a
+//! commit leaves the previous manifest generation readable; flipping any
+//! byte is rejected or falls back to an older generation).
+
+use genomeatscale::index::lifecycle::{CompactionPolicy, Compactor};
+use genomeatscale::index::IndexError;
+use genomeatscale::prelude::*;
+use proptest::prelude::*;
+
+fn unique_path(tag: &str) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("gas_lifecycle_it_{tag}_{}_{n}.gidx", std::process::id()))
+}
+
+/// Strategy: a small corpus of samples over a bounded universe,
+/// including possibly-empty sets.
+fn corpora() -> impl Strategy<Value = Vec<Vec<u64>>> {
+    prop::collection::vec(
+        prop::collection::btree_set(0u64..2_048, 0..60)
+            .prop_map(|s| s.into_iter().collect::<Vec<u64>>()),
+        3..12,
+    )
+}
+
+/// Deterministic pseudo-random delete pick: roughly a quarter of the
+/// ids, never all of them (a fresh build needs a non-empty corpus).
+fn pick_deletes(n: usize, seed: u64) -> Vec<u32> {
+    let mut deletes: Vec<u32> = (0..n as u32)
+        .filter(|&id| genomeatscale::core::minhash::splitmix64(id as u64 ^ seed) % 4 == 0)
+        .collect();
+    if deletes.len() == n {
+        deletes.pop();
+    }
+    deletes
+}
+
+/// Translate a fresh build's dense answer ids back to global ids via the
+/// sorted live-id list (the remap is strictly monotone, so ordering and
+/// tie-breaking survive unchanged — that is what makes the comparison a
+/// *bit-identical* one rather than a set comparison).
+fn remap_dense_to_global(live: &[u32], answers: &[Neighbor]) -> Vec<Neighbor> {
+    answers.iter().map(|n| Neighbor { id: live[n.id as usize], ..*n }).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// `incremental adds (+ deletes) + compaction ≡ full rebuild`, for
+    /// every batch split the strategy generates, under both signers,
+    /// estimate-only and exactly re-ranked.
+    #[test]
+    fn incremental_adds_and_deletes_equal_full_rebuild(
+        samples in corpora(),
+        batch_size in 1usize..5,
+        delete_seed in 0u64..1_000,
+        signature_len in 8usize..49,
+    ) {
+        let n = samples.len();
+        let deletes = pick_deletes(n, delete_seed);
+        for signer in [SignerKind::KMins, SignerKind::Oph] {
+            let config = IndexConfig::default()
+                .with_signature_len(signature_len)
+                .with_threshold(0.5)
+                .with_signer(signer);
+
+            // Incremental path: commit in batches, deleting as soon as a
+            // doomed sample is committed.
+            let mut writer = IndexWriter::create(&config).unwrap();
+            let mut pending: Vec<u32> = deletes.clone();
+            for batch in samples.chunks(batch_size) {
+                for s in batch {
+                    writer.add(format!("s{}", writer.id_bound()), s.clone()).unwrap();
+                }
+                writer.commit().unwrap();
+                pending.retain(|&id| {
+                    if id < writer.id_bound() {
+                        writer.delete(id).unwrap();
+                        false
+                    } else {
+                        true
+                    }
+                });
+                writer.commit().unwrap();
+            }
+            prop_assert!(pending.is_empty());
+            let reader = writer.reader();
+            let live = reader.live_ids();
+            prop_assert_eq!(live.len(), n - deletes.len());
+
+            // Fresh monolithic build over the final (live) corpus.
+            let final_sets: Vec<Vec<u64>> =
+                live.iter().map(|&id| samples[id as usize].clone()).collect();
+            let final_collection = SampleCollection::from_sorted_sets(final_sets).unwrap();
+            let fresh = SketchIndex::build(&final_collection, &config).unwrap();
+
+            // Queries: every sample of the *full* corpus (deleted samples
+            // still make valid queries), a perturbation, and empty.
+            let mut queries: Vec<Vec<u64>> = samples.clone();
+            queries.push(samples[0].iter().copied().step_by(2).collect());
+            queries.push(Vec::new());
+
+            // The engines' rerank collections: the reader's is indexed by
+            // global id (the writer's corpus), the fresh one by dense id.
+            let full_collection = SampleCollection::from_sorted_sets(samples.clone()).unwrap();
+
+            for rerank in [false, true] {
+                let opts = QueryOptions { top_k: 5, rerank_exact: rerank, ..Default::default() };
+                let incr_engine =
+                    QueryEngine::for_reader_with_collection(reader.clone(), &full_collection);
+                let fresh_engine = QueryEngine::with_collection(&fresh, &final_collection);
+                for q in &queries {
+                    let got = incr_engine.query(q, &opts).unwrap();
+                    let want = remap_dense_to_global(&live, &fresh_engine.query(q, &opts).unwrap());
+                    prop_assert_eq!(got, want, "signer={}, rerank={}", signer, rerank);
+                }
+            }
+
+            // Compaction (size-tiered pass, then a full roll-up) must not
+            // change a single answer.
+            let opts = QueryOptions { top_k: 5, ..Default::default() };
+            let before: Vec<_> = queries
+                .iter()
+                .map(|q| QueryEngine::for_reader(reader.clone()).query(q, &opts).unwrap())
+                .collect();
+            let compactor =
+                Compactor::new(CompactionPolicy { min_merge: 2, tier_factor: 4 }).unwrap();
+            compactor.compact(&mut writer).unwrap();
+            writer.compact_all().unwrap();
+            let compacted = writer.reader();
+            prop_assert!(compacted.segments().len() <= 1);
+            prop_assert!(compacted.tombstones().is_empty(), "compact_all purges tombstones");
+            prop_assert_eq!(compacted.live_ids(), live.clone());
+            for (q, want) in queries.iter().zip(&before) {
+                let got = QueryEngine::for_reader(compacted.clone()).query(q, &opts).unwrap();
+                prop_assert_eq!(&got, want, "answers changed across compaction ({signer})");
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// Truncating the file anywhere inside a commit's appended bytes
+    /// leaves the previous generation readable with its exact answers.
+    #[test]
+    fn truncation_during_commit_falls_back_to_previous_generation(
+        samples in corpora(),
+        cut in 0usize..100_000,
+    ) {
+        let config = IndexConfig::default().with_signature_len(16).with_threshold(0.5);
+        let path = unique_path("crash");
+        let mut writer = IndexWriter::create_at(&path, &config).unwrap();
+        let split = samples.len() / 2;
+        for s in &samples[..split] {
+            writer.add(format!("s{}", writer.id_bound()), s.clone()).unwrap();
+        }
+        writer.commit().unwrap();
+        let base_bytes = std::fs::read(&path).unwrap();
+        let base_generation = writer.generation();
+        let base_reader = writer.reader();
+        let opts = QueryOptions { top_k: 4, ..Default::default() };
+        let base_answers: Vec<_> = samples
+            .iter()
+            .map(|q| QueryEngine::for_reader(base_reader.clone()).query(q, &opts).unwrap())
+            .collect();
+
+        // The second commit: adds and (when possible) one delete.
+        for s in &samples[split..] {
+            writer.add(format!("s{}", writer.id_bound()), s.clone()).unwrap();
+        }
+        if split > 0 {
+            writer.delete(0).unwrap();
+        }
+        writer.commit().unwrap();
+        let full_bytes = std::fs::read(&path).unwrap();
+        prop_assert!(full_bytes.len() > base_bytes.len());
+        prop_assert_eq!(&full_bytes[..base_bytes.len()], &base_bytes[..], "commits append");
+
+        // Truncate anywhere inside the appended suffix (including cutting
+        // it off entirely) and reopen: the base generation must survive,
+        // with identical answers.
+        let pos = base_bytes.len() + cut % (full_bytes.len() - base_bytes.len());
+        std::fs::write(&path, &full_bytes[..pos]).unwrap();
+        let (reader, report) = IndexReader::open_with_report(&path).unwrap();
+        prop_assert_eq!(reader.generation(), base_generation);
+        prop_assert_eq!(reader.n_live(), split);
+        prop_assert_eq!(report.torn_bytes, pos - base_bytes.len());
+        for (q, want) in samples.iter().zip(&base_answers) {
+            let got = QueryEngine::for_reader(reader.clone()).query(q, &opts).unwrap();
+            prop_assert_eq!(&got, want);
+        }
+
+        // A writer reopening over the torn tail heals it: the next
+        // commit truncates the garbage and appends cleanly.
+        let mut healed = IndexWriter::open(&path).unwrap();
+        prop_assert_eq!(healed.generation(), base_generation);
+        healed.add("replay", samples[split.min(samples.len() - 1)].clone()).unwrap();
+        healed.commit().unwrap();
+        let reopened = IndexReader::open_with_report(&path).unwrap();
+        prop_assert_eq!(reopened.0.generation(), base_generation + 1);
+        prop_assert_eq!(reopened.1.torn_bytes, 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Flipping any single byte of a multi-generation file is either
+    /// rejected with a typed error or falls back to a strictly older
+    /// generation — never served as the newest generation, never a
+    /// panic.
+    #[test]
+    fn single_byte_flips_are_rejected_or_fall_back(
+        byte in 0usize..200_000,
+    ) {
+        let config = IndexConfig::default().with_signature_len(16).with_threshold(0.5);
+        let path = unique_path("flip");
+        let mut writer = IndexWriter::create_at(&path, &config).unwrap();
+        writer.add("a", (0..40u64).collect()).unwrap();
+        writer.add("b", (20..60u64).collect()).unwrap();
+        writer.commit().unwrap();
+        writer.add("c", (100..140u64).collect()).unwrap();
+        writer.delete(0).unwrap();
+        writer.commit().unwrap();
+        let final_generation = writer.generation();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let pos = byte % bytes.len();
+        bytes[pos] ^= 0x5A;
+        std::fs::write(&path, &bytes).unwrap();
+        match IndexReader::open_with_report(&path) {
+            Err(
+                IndexError::BadMagic
+                | IndexError::UnsupportedVersion(_)
+                | IndexError::ChecksumMismatch { .. }
+                | IndexError::Truncated { .. }
+                | IndexError::Corrupt { .. }
+                | IndexError::NoLiveGeneration(_),
+            ) => {}
+            Err(other) => panic!("flip at {pos} produced an unexpected error: {other:?}"),
+            Ok((reader, _)) => prop_assert!(
+                reader.generation() < final_generation,
+                "flip at {} still served the newest generation",
+                pos
+            ),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+/// The v3 container round-trips the whole lifecycle state losslessly:
+/// every segment (id, rows, signatures, names, buckets), the tombstone
+/// set, the generation and the id high-water mark.
+#[test]
+fn container_v3_round_trips_the_full_state() {
+    let config = IndexConfig::default()
+        .with_signature_len(32)
+        .with_threshold(0.4)
+        .with_signer(SignerKind::Oph);
+    let path = unique_path("lossless");
+    let mut writer = IndexWriter::create_at(&path, &config).unwrap();
+    for i in 0..7u64 {
+        writer.add(format!("naïve-{i}-✓"), (i * 30..i * 30 + 50).collect()).unwrap();
+        writer.commit().unwrap();
+    }
+    // Roll the seven single-row segments up (leaves unreferenced garbage
+    // blocks in the file), then add one more segment and two tombstones
+    // on top, so the reloaded state must carry merged + fresh segments
+    // *and* live tombstones.
+    Compactor::new(CompactionPolicy { min_merge: 2, tier_factor: 2 })
+        .unwrap()
+        .compact(&mut writer)
+        .unwrap();
+    writer.add("late", (500..560u64).collect()).unwrap();
+    writer.commit().unwrap();
+    writer.delete(2).unwrap();
+    writer.delete(5).unwrap();
+    writer.commit().unwrap();
+    let in_memory = writer.reader();
+    assert!(in_memory.segments().len() >= 2);
+    assert_eq!(in_memory.tombstones(), &[2, 5]);
+
+    let (reloaded, report) = IndexReader::open_with_report(&path).unwrap();
+    assert_eq!(report.torn_bytes, 0);
+    assert_eq!(reloaded.generation(), in_memory.generation());
+    assert_eq!(reloaded.id_bound(), in_memory.id_bound());
+    assert_eq!(reloaded.tombstones(), in_memory.tombstones());
+    assert_eq!(reloaded.segments().len(), in_memory.segments().len());
+    for (a, b) in reloaded.segments().iter().zip(in_memory.segments()) {
+        assert_eq!(a, b, "segment {} does not round-trip", b.id());
+    }
+    assert_eq!(reloaded.name_of(3), Some("naïve-3-✓"));
+    assert_eq!(reloaded.name_of(2), None, "tombstoned names are not served");
+
+    // And the reloaded snapshot answers identically.
+    let opts = QueryOptions { top_k: 4, ..Default::default() };
+    let probe: Vec<u64> = (30..80).collect();
+    assert_eq!(
+        QueryEngine::for_reader(reloaded).query(&probe, &opts).unwrap(),
+        QueryEngine::for_reader(in_memory).query(&probe, &opts).unwrap()
+    );
+    std::fs::remove_file(&path).ok();
+}

@@ -163,6 +163,107 @@ fn signature_shards_cover_every_sample_exactly_once_on_ci_grids() {
 }
 
 #[test]
+fn segmented_reader_serves_bit_identically_across_the_grid() {
+    // The lifecycle acceptance property, on the CI dist-matrix grid: an
+    // incrementally grown index (three commits, two deletes) must answer
+    // (1) bit-identically between the single-rank multi-segment reader
+    // and the per-segment sharded distributed path on every rank count,
+    // and (2) bit-identically to a fresh monolithic rebuild over the
+    // final live corpus (dense ids remapped through the sorted live-id
+    // list, a strictly monotone bijection) — before and after
+    // compaction, under both signers.
+    let collection = family_workload();
+    let n = collection.n();
+    let deletes: Vec<u32> = vec![3, 17];
+    let mut queries: Vec<Vec<u64>> =
+        (0..n).step_by(6).map(|i| collection.sample(i).to_vec()).collect();
+    queries.push(collection.sample(2).iter().copied().step_by(3).collect());
+    queries.push(Vec::new());
+
+    for signer in [SignerKind::KMins, SignerKind::Oph] {
+        let config =
+            IndexConfig::default().with_signature_len(128).with_threshold(0.4).with_signer(signer);
+        // Grow incrementally: three roughly equal batches, deleting as
+        // soon as the doomed ids are committed.
+        let mut writer = IndexWriter::create(&config).unwrap();
+        for chunk in (0..n).collect::<Vec<_>>().chunks(n.div_ceil(3)) {
+            for &i in chunk {
+                writer.add(collection.names()[i].clone(), collection.sample(i).to_vec()).unwrap();
+            }
+            writer.commit().unwrap();
+            for &id in &deletes {
+                if id < writer.id_bound() && !writer.reader().is_deleted(id) {
+                    writer.delete(id).unwrap();
+                }
+            }
+            writer.commit().unwrap();
+        }
+
+        // The fresh-rebuild reference over the live corpus.
+        let reader = writer.reader();
+        let live = reader.live_ids();
+        let final_collection = SampleCollection::from_sorted_sets(
+            live.iter().map(|&id| collection.sample(id as usize).to_vec()).collect(),
+        )
+        .unwrap();
+        let fresh = SketchIndex::build(&final_collection, &config).unwrap();
+
+        for compacted in [false, true] {
+            if compacted {
+                writer.compact_all().unwrap();
+            }
+            let reader = writer.reader();
+            assert_eq!(reader.segments().len(), if compacted { 1 } else { 3 }, "{signer}");
+            for rerank in [false, true] {
+                let opts = QueryOptions { top_k: 6, rerank_exact: rerank, ..Default::default() };
+                let reference =
+                    QueryEngine::for_reader_with_collection(reader.clone(), &collection)
+                        .query_batch(&queries, &opts)
+                        .unwrap();
+                // (2): single-rank reader ≡ remapped fresh rebuild.
+                let fresh_answers = QueryEngine::with_collection(&fresh, &final_collection)
+                    .query_batch(&queries, &opts)
+                    .unwrap();
+                for (got, dense) in reference.iter().zip(&fresh_answers) {
+                    let want: Vec<Neighbor> =
+                        dense.iter().map(|m| Neighbor { id: live[m.id as usize], ..*m }).collect();
+                    assert_eq!(
+                        got, &want,
+                        "incremental reader diverges from rebuild \
+                         (signer={signer}, rerank={rerank}, compacted={compacted})"
+                    );
+                }
+                // (1): every rank of every grid ≡ the single-rank reader.
+                for ranks in env_usize_list("GAS_DIST_RANKS", &[1, 4, 6, 8, 12]) {
+                    let out = Runtime::new(ranks)
+                        .run(|ctx| {
+                            let q = if ctx.rank() == 0 { Some(&queries[..]) } else { None };
+                            ctx.expect_ok(
+                                "dist_query_reader_batch",
+                                dist_query_reader_batch(
+                                    ctx.world(),
+                                    &reader,
+                                    Some(&collection),
+                                    q,
+                                    &opts,
+                                ),
+                            )
+                        })
+                        .unwrap();
+                    for (rank, answers) in out.results.iter().enumerate() {
+                        assert_eq!(
+                            answers, &reference,
+                            "rank {rank}/{ranks} (signer={signer}, rerank={rerank}, \
+                             compacted={compacted}): segmented sharded answers diverge"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
 fn persisted_index_serves_identically_to_the_built_one() {
     // The full serving loop of the README: build → persist → load →
     // serve, sharded. Answers from the loaded index must match answers
