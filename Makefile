@@ -29,10 +29,14 @@ bench-smoke:
 
 # The CI query-smoke step: the sketch-index serving benchmark on a tiny
 # synthetic workload, once per signer (signing time, qps, recall@10,
-# per-rank signature bytes under sharding, sharded equivalence, and
-# incremental 10%-add throughput vs a full rebuild).
+# per-rank signature bytes under sharding, sharded equivalence, the
+# segment-count sweep pinning constant collectives per batch, and
+# incremental 10%-add throughput vs a full rebuild), then the trend gate
+# against the committed baseline (>2× qps/wire-byte regressions and any
+# collectives-budget growth fail).
 query-smoke:
 	GAS_QUERY_TINY=1 cargo run --release --locked -p gas-bench --bin query_throughput
+	cargo run --release --locked -p gas-bench --bin bench_trend
 
 # The segmented index lifecycle suites: writer/reader/compactor unit
 # tests, the `incremental add + compact ≡ full rebuild` and crash-safe
@@ -42,10 +46,11 @@ index-lifecycle:
 	cargo test --locked -q --test index_lifecycle --test query_serving
 
 # One cell of the CI dist-matrix job, e.g.:
-#   make dist-matrix RANKS=8 REPLICATION=2
+#   make dist-matrix RANKS=8 REPLICATION=2 SEGMENTS=7
 RANKS ?= 4,6,8,12
 REPLICATION ?= 1,2
+SEGMENTS ?= 1,7
 dist-matrix:
-	GAS_DIST_RANKS=$(RANKS) GAS_DIST_REPLICATION=$(REPLICATION) \
+	GAS_DIST_RANKS=$(RANKS) GAS_DIST_REPLICATION=$(REPLICATION) GAS_DIST_SEGMENTS=$(SEGMENTS) \
 		cargo test --locked -q --test distributed_equivalence --test filter_properties \
-		--test query_serving
+		--test query_serving --test index_lifecycle

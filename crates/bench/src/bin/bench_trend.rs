@@ -1,0 +1,153 @@
+//! Bench trend gate: diff a fresh `query_throughput` JSON report against
+//! the committed baseline and fail on a real regression.
+//!
+//! CI's query-smoke job runs the tiny `query_throughput` workload, then
+//! this gate with the freshly written `results/query_throughput.json`
+//! against `bench/baselines/query_throughput.tiny.json` (the committed
+//! trajectory seed). Rows are matched on `(workload, signer)` and three
+//! figures are held:
+//!
+//! * **engine_qps** — may not drop below half the baseline (>2×
+//!   throughput regression fails; timing noise on tiny CI runners stays
+//!   well inside 2×);
+//! * **wire_bytes_p4** — the per-batch collective wire total at p = 4
+//!   may not exceed 2× the baseline (>2× collective-byte regression
+//!   fails);
+//! * **collectives_p4** — the collectives budget: byte volumes wobble
+//!   with workload shape, the *number* of collectives per batch is a
+//!   design property and may not exceed the baseline at all.
+//!
+//! Improvements never fail the gate — refresh the baseline by copying
+//! the new report over `bench/baselines/` when a PR legitimately moves
+//! the numbers.
+//!
+//! Usage: `bench_trend [current.json] [baseline.json]` (defaults:
+//! `results/query_throughput.json`,
+//! `bench/baselines/query_throughput.tiny.json`).
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use gas_bench::report::read_json_rows;
+
+/// The gated figures of one report row.
+#[derive(Debug, Clone, PartialEq)]
+struct TrendRow {
+    engine_qps: f64,
+    wire_bytes_p4: f64,
+    collectives_p4: f64,
+}
+
+/// Index a report's rows by `(workload, signer)`, pulling the gated
+/// columns out of the raw `(header, value)` pairs.
+fn trend_rows(path: &PathBuf) -> Result<BTreeMap<(String, String), TrendRow>, String> {
+    let rows = read_json_rows(path).map_err(|e| e.to_string())?;
+    let mut out = BTreeMap::new();
+    for (i, row) in rows.iter().enumerate() {
+        let field = |name: &str| -> Result<String, String> {
+            row.iter()
+                .find(|(h, _)| h == name)
+                .map(|(_, v)| v.clone())
+                .ok_or_else(|| format!("{}: row {i} has no \"{name}\" column", path.display()))
+        };
+        let number = |name: &str| -> Result<f64, String> {
+            let raw = field(name)?;
+            raw.parse::<f64>().map_err(|_| {
+                format!("{}: row {i} column \"{name}\" is not numeric: {raw:?}", path.display())
+            })
+        };
+        let key = (field("workload")?, field("signer")?);
+        let figures = TrendRow {
+            engine_qps: number("engine_qps")?,
+            wire_bytes_p4: number("wire_bytes_p4")?,
+            collectives_p4: number("collectives_p4")?,
+        };
+        if out.insert(key.clone(), figures).is_some() {
+            return Err(format!("{}: duplicate row for {key:?}", path.display()));
+        }
+    }
+    Ok(out)
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let current =
+        PathBuf::from(args.next().unwrap_or_else(|| "results/query_throughput.json".into()));
+    let baseline = PathBuf::from(
+        args.next().unwrap_or_else(|| "bench/baselines/query_throughput.tiny.json".into()),
+    );
+
+    let (current_rows, baseline_rows) = match (trend_rows(&current), trend_rows(&baseline)) {
+        (Ok(c), Ok(b)) => (c, b),
+        (c, b) => {
+            for err in [c.err(), b.err()].into_iter().flatten() {
+                eprintln!("bench-trend: {err}");
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+    if baseline_rows.is_empty() {
+        eprintln!("bench-trend: baseline {} holds no rows", baseline.display());
+        return ExitCode::FAILURE;
+    }
+
+    // Every baseline row must still exist and hold its figures. Extra
+    // current rows (a new workload or signer) are fine — they become
+    // gated once the baseline is refreshed.
+    let mut failures = Vec::new();
+    for ((workload, signer), base) in &baseline_rows {
+        let Some(now) = current_rows.get(&(workload.clone(), signer.clone())) else {
+            failures.push(format!("row ({workload}, {signer}) vanished from the current report"));
+            continue;
+        };
+        println!(
+            "[{workload}/{signer}] qps {:.1} (baseline {:.1}), wire bytes {:.0} \
+             (baseline {:.0}), collectives {:.0} (baseline {:.0})",
+            now.engine_qps,
+            base.engine_qps,
+            now.wire_bytes_p4,
+            base.wire_bytes_p4,
+            now.collectives_p4,
+            base.collectives_p4
+        );
+        if now.engine_qps * 2.0 < base.engine_qps {
+            failures.push(format!(
+                "({workload}, {signer}) engine_qps regressed >2×: {:.1} vs baseline {:.1}",
+                now.engine_qps, base.engine_qps
+            ));
+        }
+        if now.wire_bytes_p4 > base.wire_bytes_p4 * 2.0 {
+            failures.push(format!(
+                "({workload}, {signer}) wire_bytes_p4 regressed >2×: {:.0} vs baseline {:.0}",
+                now.wire_bytes_p4, base.wire_bytes_p4
+            ));
+        }
+        if now.collectives_p4 > base.collectives_p4 {
+            failures.push(format!(
+                "({workload}, {signer}) collectives_p4 exceeded the budget: {:.0} vs \
+                 baseline {:.0}",
+                now.collectives_p4, base.collectives_p4
+            ));
+        }
+    }
+
+    if failures.is_empty() {
+        println!(
+            "bench-trend OK: {} row(s) within budget of {}",
+            baseline_rows.len(),
+            baseline.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+    for f in &failures {
+        eprintln!("bench-trend FAIL: {f}");
+    }
+    eprintln!(
+        "bench-trend: {} regression(s) vs {} — if intentional, refresh the baseline from {}",
+        failures.len(),
+        baseline.display(),
+        current.display()
+    );
+    ExitCode::FAILURE
+}

@@ -23,8 +23,10 @@
 //! * **sig_bytes_per_rank** — the signature bytes one rank stores under
 //!   signature sharding at the smallest dist grid, vs. the replicated
 //!   baseline (asserted ≤ 0.6× at p = 4), plus the transient working
-//!   set: the rows kept for scoring (fetched) and the full allgather
-//!   delivery they were filtered from (received);
+//!   set: the full keyed-fetch delivery (`fetch_wire`) the kept rows
+//!   were filtered from, the whole batch's wire total (`wire`), and the
+//!   collectives it took (`collectives` — the budget the trend gate
+//!   holds);
 //! * **dist_ranks_ok** — the sharded distributed path must answer
 //!   bit-identically to the single-rank engine for 4, 6 and 8 ranks.
 //!
@@ -33,8 +35,18 @@
 //! relaxed ≥ 2× on the tiny CI workload where timings sit closer to
 //! thread-spawn noise.
 //!
+//! A second experiment sweeps **segment counts** (1, 4 and 16 uncompacted
+//! commits of the same corpus) and serves the same batch through the
+//! keyed cross-segment exchange and through the retained per-segment
+//! reference path: the keyed path must cost the *same* number of
+//! collectives at every segment count (±0) while the reference grows as
+//! `4 + 2·segments`, and both must answer bit-identically to the
+//! single-rank reader. Written as `results/query_segment_sweep.{csv,json}`
+//! and asserted after the report lands.
+//!
 //! Writes `results/query_throughput.{csv,json}` — one row per signer, the
-//! comparative artifact CI uploads as the bench trajectory. Set
+//! comparative artifact CI uploads as the bench trajectory (and the
+//! baseline `gas-bench` `bench_trend` diffs against). Set
 //! `GAS_QUERY_TINY=1` for the seconds-scale CI smoke configuration.
 
 use std::time::Instant;
@@ -44,13 +56,16 @@ use gas_core::indicator::SampleCollection;
 use gas_core::minhash::SignatureScheme;
 use gas_dstsim::runtime::Runtime;
 use gas_index::{
-    dist_query_batch_stats, exact_top_k, DistQueryStats, IndexConfig, IndexWriter, QueryEngine,
-    QueryOptions, SignerKind, SketchIndex,
+    dist_query_batch_stats, dist_query_reader_batch_stats,
+    dist_query_reader_batch_stats_per_segment, exact_top_k, DistQueryStats, IndexConfig,
+    IndexWriter, QueryEngine, QueryOptions, SignerKind, SketchIndex,
 };
 use rand::{Rng, SeedableRng, StdRng};
 
 const TOP_K: usize = 10;
 const DIST_RANKS: [usize; 3] = [4, 6, 8];
+const SWEEP_SEGMENTS: [usize; 3] = [1, 4, 16];
+const SWEEP_RANKS: usize = 4;
 
 fn tiny() -> bool {
     std::env::var("GAS_QUERY_TINY").is_ok_and(|v| v == "1")
@@ -364,14 +379,15 @@ fn run_signer(
             }
         }
         dist_ok &= grid_ok;
-        // Peak transient memory includes the allgather's full delivery
-        // (received_bytes), not just the rows this rank keeps.
+        // Peak transient memory includes the keyed fetch allgather's full
+        // delivery (fetch_bytes), not just the rows this rank keeps.
         let max_resident =
-            out.results.iter().map(|(_, s)| s.shard_bytes + s.received_bytes).max().unwrap_or(0);
+            out.results.iter().map(|(_, s)| s.shard_bytes + s.fetch_bytes).max().unwrap_or(0);
         println!(
-            "[{signer}] dist {ranks} ranks: {}, ≤ {} sig bytes resident per rank \
-             (replicated baseline {})",
+            "[{signer}] dist {ranks} ranks: {}, {} collectives/batch, ≤ {} sig bytes resident \
+             per rank (replicated baseline {})",
             if grid_ok { "identical answers" } else { "DIVERGENT answers" },
+            out.results[0].1.collective_calls,
             max_resident,
             out.results[0].1.replicated_bytes
         );
@@ -380,8 +396,8 @@ fn run_signer(
             stats_p4 = out
                 .results
                 .iter()
-                .map(|(_, s)| *s)
-                .max_by_key(|s| s.shard_bytes + s.received_bytes)
+                .map(|(_, s)| s.clone())
+                .max_by_key(|s| s.shard_bytes + s.fetch_bytes)
                 .unwrap_or_default();
         }
     }
@@ -399,6 +415,111 @@ fn run_signer(
         stats_p4,
         dist_ok,
     }
+}
+
+/// One segment count's figures from the sweep: collective calls and the
+/// most-loaded rank's wire bytes, for both exchange strategies, plus
+/// whether every rank of both answered bit-identically to the
+/// single-rank reader.
+struct SweepRow {
+    segments: usize,
+    keyed_collectives: usize,
+    legacy_collectives: usize,
+    keyed_wire_bytes: usize,
+    legacy_wire_bytes: usize,
+    identical: bool,
+}
+
+/// Serve the same query batch over the same corpus committed as 1, 4 and
+/// 16 uncompacted segments, through the keyed cross-segment exchange and
+/// the retained per-segment reference, at p = [`SWEEP_RANKS`]: the
+/// observable form of "serving cost independent of commit history".
+fn segment_sweep(
+    workload: &Workload,
+    collection: &SampleCollection,
+    queries: &[Vec<u64>],
+) -> Vec<SweepRow> {
+    let config = IndexConfig::default()
+        .with_signature_len(workload.signature_len)
+        .with_threshold(0.4)
+        .with_signer(SignerKind::Oph);
+    let opts = QueryOptions { top_k: TOP_K, rerank_exact: true, ..Default::default() };
+    let n = collection.n();
+    let mut rows = Vec::with_capacity(SWEEP_SEGMENTS.len());
+    for segments in SWEEP_SEGMENTS {
+        // The same corpus, committed as `segments` near-equal batches so
+        // the reader holds exactly that many uncompacted segments.
+        let mut writer = IndexWriter::create(&config).expect("sweep writer creates");
+        let mut start = 0usize;
+        for s in 0..segments {
+            let end = start + (n - start) / (segments - s);
+            for i in start..end {
+                writer.add(format!("s{i}"), collection.sample(i).to_vec()).expect("sweep add");
+            }
+            writer.commit().expect("sweep commit");
+            start = end;
+        }
+        let reader = writer.reader();
+        assert_eq!(reader.segments().len(), segments, "sweep snapshot shape");
+        let reference = QueryEngine::for_reader_with_collection(reader.clone(), collection)
+            .query_batch(queries, &opts)
+            .expect("single-rank sweep reference");
+
+        let run = |label: &str, keyed: bool| {
+            let out = Runtime::new(SWEEP_RANKS)
+                .run(|ctx| {
+                    let q = if ctx.rank() == 0 { Some(queries) } else { None };
+                    let result = if keyed {
+                        dist_query_reader_batch_stats(
+                            ctx.world(),
+                            &reader,
+                            Some(collection),
+                            q,
+                            &opts,
+                        )
+                    } else {
+                        dist_query_reader_batch_stats_per_segment(
+                            ctx.world(),
+                            &reader,
+                            Some(collection),
+                            q,
+                            &opts,
+                        )
+                    };
+                    ctx.expect_ok(label, result)
+                })
+                .expect("sweep distributed run");
+            let mut identical = true;
+            for (rank, (answers, _)) in out.results.iter().enumerate() {
+                if answers != &reference {
+                    eprintln!(
+                        "[sweep] {label}: rank {rank}/{SWEEP_RANKS} DIVERGES at \
+                         {segments} segments"
+                    );
+                    identical = false;
+                }
+            }
+            let collectives = out.results[0].1.collective_calls;
+            let wire = out.results.iter().map(|(_, s)| s.wire_bytes()).max().unwrap_or(0);
+            (collectives, wire, identical)
+        };
+        let (keyed_collectives, keyed_wire_bytes, keyed_ok) = run("keyed sweep", true);
+        let (legacy_collectives, legacy_wire_bytes, legacy_ok) = run("per-segment sweep", false);
+        println!(
+            "[sweep] {segments} segments @ p={SWEEP_RANKS}: keyed {keyed_collectives} \
+             collectives / {keyed_wire_bytes} wire bytes, per-segment {legacy_collectives} \
+             collectives / {legacy_wire_bytes} wire bytes"
+        );
+        rows.push(SweepRow {
+            segments,
+            keyed_collectives,
+            legacy_collectives,
+            keyed_wire_bytes,
+            legacy_wire_bytes,
+            identical: keyed_ok && legacy_ok,
+        });
+    }
+    rows
 }
 
 fn main() {
@@ -427,6 +548,8 @@ fn main() {
         .map(|signer| run_signer(signer, &workload, &collection, &queries, &exact))
         .collect();
 
+    let sweep = segment_sweep(&workload, &collection, &queries);
+
     let mut table = Table::new(
         "Query serving: k-mins vs OPH signers, sharded distributed path",
         &[
@@ -445,8 +568,9 @@ fn main() {
             "recall_estimate",
             "recall_reranked",
             "sig_bytes_per_rank_p4",
-            "sig_fetched_bytes_p4",
-            "sig_received_bytes_p4",
+            "fetch_wire_bytes_p4",
+            "wire_bytes_p4",
+            "collectives_p4",
             "sig_bytes_replicated",
             "dist_ranks_ok",
         ],
@@ -468,21 +592,71 @@ fn main() {
             format!("{:.4}", run.est_recall),
             format!("{:.4}", run.rr_recall),
             run.stats_p4.shard_bytes.to_string(),
-            run.stats_p4.fetched_bytes.to_string(),
-            run.stats_p4.received_bytes.to_string(),
+            run.stats_p4.fetch_bytes.to_string(),
+            run.stats_p4.wire_bytes().to_string(),
+            run.stats_p4.collective_calls.to_string(),
             run.stats_p4.replicated_bytes.to_string(),
             if run.dist_ok { DIST_RANKS.map(|r| r.to_string()).join("+") } else { "FAIL".into() },
         ]);
     }
     table.print();
 
+    let mut sweep_table = Table::new(
+        "Segment sweep: keyed cross-segment exchange vs per-segment reference",
+        &[
+            "workload",
+            "ranks",
+            "segments",
+            "keyed_collectives",
+            "legacy_collectives",
+            "keyed_wire_bytes",
+            "legacy_wire_bytes",
+            "identical",
+        ],
+    );
+    for row in &sweep {
+        sweep_table.push_row(vec![
+            workload.name.to_string(),
+            SWEEP_RANKS.to_string(),
+            row.segments.to_string(),
+            row.keyed_collectives.to_string(),
+            row.legacy_collectives.to_string(),
+            row.keyed_wire_bytes.to_string(),
+            row.legacy_wire_bytes.to_string(),
+            if row.identical { "yes".into() } else { "DIVERGENT".into() },
+        ]);
+    }
+    sweep_table.print();
+
     let dir = gas_bench::report::results_dir();
     let csv = table.write_csv(&dir, "query_throughput").expect("write CSV");
     let json = table.write_json(&dir, "query_throughput").expect("write JSON");
     println!("Reports written to {} and {}", csv.display(), json.display());
+    let sweep_csv = sweep_table.write_csv(&dir, "query_segment_sweep").expect("write sweep CSV");
+    let sweep_json = sweep_table.write_json(&dir, "query_segment_sweep").expect("write sweep JSON");
+    println!("Sweep reports written to {} and {}", sweep_csv.display(), sweep_json.display());
 
     // Acceptance gates. The reports above are already on disk, so a trip
     // here still leaves the diagnostic artifact for CI to upload.
+    //
+    // The collectives budget: the keyed exchange must cost *exactly* the
+    // same number of collectives at every segment count (±0 — six with
+    // exact re-ranking), while the retained per-segment reference pays
+    // 4 + 2·segments; both must answer bit-identically.
+    for row in &sweep {
+        assert!(row.identical, "segment sweep diverged at {} segments", row.segments);
+        assert_eq!(
+            row.keyed_collectives, sweep[0].keyed_collectives,
+            "keyed collectives drifted across segment counts"
+        );
+        assert_eq!(row.keyed_collectives, 6, "keyed exchange must cost 6 collectives re-ranked");
+        assert_eq!(
+            row.legacy_collectives,
+            4 + 2 * row.segments,
+            "per-segment reference collectives off at {} segments",
+            row.segments
+        );
+    }
     let kmins = &runs[0];
     let oph = &runs[1];
     for run in &runs {

@@ -124,6 +124,181 @@ impl Table {
     }
 }
 
+/// Read the rows of a JSON report written by [`Table::write_json`] as
+/// `(header, raw value)` maps, one per row — the inverse the bench-trend
+/// gate needs to diff a fresh report against a committed baseline.
+///
+/// This is deliberately *not* a general JSON parser: it accepts exactly
+/// the shape `write_json` emits (a top-level object with a string
+/// `"title"` and a `"rows"` array of flat objects whose values are
+/// strings or bare scalars) and returns a typed error on anything else,
+/// so a malformed baseline fails the gate loudly instead of reading as
+/// an empty trajectory. Scalar values come back as their raw JSON text
+/// (`"3.5"`, `"6"`); string values are unescaped.
+pub fn read_json_rows(path: impl AsRef<Path>) -> std::io::Result<Vec<Vec<(String, String)>>> {
+    let text = fs::read_to_string(path.as_ref())?;
+    parse_report(&text).map_err(|msg| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("{}: {msg}", path.as_ref().display()),
+        )
+    })
+}
+
+fn parse_report(text: &str) -> Result<Vec<Vec<(String, String)>>, String> {
+    let mut p = JsonCursor { bytes: text.as_bytes(), pos: 0 };
+    p.expect(b'{')?;
+    let title_key = p.string()?;
+    if title_key != "title" {
+        return Err(format!("expected \"title\" first, found \"{title_key}\""));
+    }
+    p.expect(b':')?;
+    p.string()?; // title value, unused
+    p.expect(b',')?;
+    let rows_key = p.string()?;
+    if rows_key != "rows" {
+        return Err(format!("expected \"rows\", found \"{rows_key}\""));
+    }
+    p.expect(b':')?;
+    p.expect(b'[')?;
+    let mut rows = Vec::new();
+    if !p.eat(b']') {
+        loop {
+            rows.push(p.flat_object()?);
+            if !p.eat(b',') {
+                p.expect(b']')?;
+                break;
+            }
+        }
+    }
+    p.expect(b'}')?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err("trailing content after the report object".into());
+    }
+    Ok(rows)
+}
+
+/// Byte cursor over [`Table::write_json`]'s output shape.
+struct JsonCursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl JsonCursor<'_> {
+    fn skip_ws(&mut self) {
+        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, want: u8) -> bool {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&want) {
+            self.pos += 1;
+            return true;
+        }
+        false
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), String> {
+        if self.eat(want) {
+            return Ok(());
+        }
+        Err(format!(
+            "expected '{}' at byte {}, found {:?}",
+            want as char,
+            self.pos,
+            self.bytes.get(self.pos).map(|&b| b as char)
+        ))
+    }
+
+    /// A JSON string literal, unescaped.
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                16,
+                            )
+                            .map_err(|_| "bad \\u escape")?;
+                            out.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("unsupported escape {other:?}")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Strings are UTF-8 and write_json never splits a
+                    // multi-byte character, so copy whole characters.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "invalid UTF-8 in string")?;
+                    let ch = rest.chars().next().expect("non-empty checked above");
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    /// A flat `{header: value, ...}` row object: values are strings or
+    /// bare scalars (returned as raw text).
+    fn flat_object(&mut self) -> Result<Vec<(String, String)>, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.eat(b'}') {
+            return Ok(fields);
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = if self.bytes.get(self.pos) == Some(&b'"') {
+                self.string()?
+            } else {
+                let start = self.pos;
+                while self
+                    .bytes
+                    .get(self.pos)
+                    .is_some_and(|&b| !matches!(b, b',' | b'}') && !b.is_ascii_whitespace())
+                {
+                    self.pos += 1;
+                }
+                if self.pos == start {
+                    return Err(format!("empty scalar for key \"{key}\""));
+                }
+                String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned()
+            };
+            fields.push((key, value));
+            if !self.eat(b',') {
+                self.expect(b'}')?;
+                return Ok(fields);
+            }
+        }
+    }
+}
+
 /// Escape a string as a JSON string literal.
 fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
@@ -217,6 +392,43 @@ mod tests {
         assert!(contents.contains("\"ratio\": \"2.50x\""), "suffixed cells stay strings");
         assert!(contents.contains("\"ratio\": 3.5"), "floats stay numeric");
         assert!(contents.contains("line\\nbreak"));
+    }
+
+    #[test]
+    fn json_reports_round_trip_through_read_json_rows() {
+        let mut t = Table::new("trip \"quoted\"", &["workload", "qps", "ratio", "note"]);
+        t.push_row(vec!["tiny".into(), "6531.3".into(), "2.50x".into(), "line\nbreak".into()]);
+        t.push_row(vec!["default".into(), "42".into(), "3.5".into(), "ok".into()]);
+        let dir = std::env::temp_dir().join("gas_bench_report_roundtrip_test");
+        let path = t.write_json(&dir, "trip").unwrap();
+        let rows = read_json_rows(&path).unwrap();
+        assert_eq!(rows.len(), 2);
+        // Headers and raw values survive, whether emitted as JSON numbers
+        // (qps, bare scalar) or strings (suffixed ratio, escaped note).
+        assert_eq!(rows[0][0], ("workload".into(), "tiny".into()));
+        assert_eq!(rows[0][1], ("qps".into(), "6531.3".into()));
+        assert_eq!(rows[0][2], ("ratio".into(), "2.50x".into()));
+        assert_eq!(rows[0][3], ("note".into(), "line\nbreak".into()));
+        assert_eq!(rows[1][1], ("qps".into(), "42".into()));
+    }
+
+    #[test]
+    fn read_json_rows_rejects_malformed_baselines() {
+        let dir = std::env::temp_dir().join("gas_bench_report_malformed_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        for (name, text) in [
+            ("empty", ""),
+            ("not_report", "{\"rows\": []}"),
+            ("truncated", "{\n  \"title\": \"t\",\n  \"rows\": [\n    {\"a\": 1}"),
+            ("trailing", "{\n  \"title\": \"t\",\n  \"rows\": []\n}\nextra"),
+        ] {
+            let path = dir.join(format!("{name}.json"));
+            std::fs::write(&path, text).unwrap();
+            assert!(read_json_rows(&path).is_err(), "{name} must be rejected");
+        }
+        let ok = dir.join("ok.json");
+        std::fs::write(&ok, "{\n  \"title\": \"t\",\n  \"rows\": []\n}\n").unwrap();
+        assert_eq!(read_json_rows(&ok).unwrap().len(), 0);
     }
 
     #[test]

@@ -1,39 +1,56 @@
 //! Distributed query serving: LSH bucket shards *and* signature shards
-//! across simulated ranks, applied **per segment** of a lifecycle
-//! snapshot (a monolithic `SketchIndex` is served as the one-segment
-//! special case).
+//! across simulated ranks, applied to every segment of a lifecycle
+//! snapshot at once (a monolithic `SketchIndex` is served as the
+//! one-segment special case).
 //!
 //! Two orthogonal shardings keep per-rank state at `~1/p` of the index:
 //!
 //! * **bands** are assigned to ranks round-robin ([`band_shard`]), so
-//!   each rank probes `⌈b / p⌉` or `⌊b / p⌋` bucket tables;
-//! * **signature rows** are assigned to ranks round-robin by sample id
-//!   ([`sample_shard`]), so each rank *stores* `~n/p` rows of the
-//!   signature matrix ([`SignatureShard`]) instead of replicating all
+//!   each rank probes `⌈b / p⌉` or `⌊b / p⌋` bucket tables of every
+//!   segment;
+//! * **signature rows** are assigned to ranks round-robin by local row
+//!   ([`sample_shard`]), per segment, so each rank *stores* `~rows/p`
+//!   of every segment's signature matrix ([`SignatureShard`], grouped
+//!   per snapshot by [`ReaderShards`]) instead of replicating all
 //!   `n · len · 8` bytes — the dominant memory term of a sketch index.
 //!
-//! One batched query round is five collectives:
+//! One batched query round is a **constant number of collectives, no
+//! matter how many segments the snapshot holds** — the
+//! communication-avoidance discipline of the paper applied to the
+//! serving path. Rows are addressed across segments by a single key,
+//! `(seg_idx << 32) | local_row` ([`row_key`]), so all segments share
+//! one request/fetch pair:
 //!
 //! 1. **scatter** — rank 0 signs the query batch and broadcasts the
 //!    signatures (every query must visit every band, so the "scatter by
 //!    band hash" degenerates to a broadcast of signatures while the
 //!    *buckets* stay sharded; raw query values travel only when exact
 //!    re-ranking is requested);
-//! 2. **probe** — each rank probes only the bands of its shard, which
-//!    yields the candidate ids its scoring pass will touch;
-//! 3. **request** — ranks allgather the candidate ids they need but do
-//!    not own (deduplicated), so every owner learns which of its rows
-//!    are wanted this round;
-//! 4. **fetch** — each owner contributes each requested row *once* to an
-//!    allgather, regardless of how many ranks or queries want it; the
-//!    collective then delivers every contribution to every rank (the
-//!    allgather's fan-out — [`DistQueryStats::received_bytes`] records
-//!    that transient cost honestly), and each rank keeps only the rows
-//!    it asked for; scoring then reads rows from the local shard or the
-//!    fetched set — never from a replicated matrix;
-//! 5. **allgather + merge** — the per-rank partial top lists are
-//!    allgathered, deduplicated by sample id and merged; every rank then
-//!    finalizes (optional exact re-rank, truncate to `k`) identically.
+//! 2. **probe** — each rank probes its band shard of *every* segment
+//!    (no communication), which yields the keyed candidate rows its
+//!    scoring pass will touch;
+//! 3. **request** — ranks allgather the keyed rows they need but do not
+//!    own (deduplicated across segments *and* queries), so every owner
+//!    learns which of its rows are wanted this round;
+//! 4. **fetch** — each owner contributes each requested row *once* to
+//!    an allgather, tagged with its key; every rank demultiplexes the
+//!    delivery by key and keeps only the rows it asked for; scoring
+//!    then reads rows from the local shard or the fetched set — never
+//!    from a replicated matrix;
+//! 5. **allgather + merge** — the per-rank partial top lists (already
+//!    merged across segments locally) are allgathered, deduplicated by
+//!    sample id and merged; every rank then finalizes (optional exact
+//!    re-rank, truncate to `k`) identically.
+//!
+//! That is five collectives per batch (six with exact re-ranking) —
+//! [`DistQueryStats::collective_calls`] observes the invariant, the
+//! per-phase byte counters ([`DistQueryStats::wire_bytes`]) account for
+//! every wire byte exactly, and the `query_throughput` bench sweeps
+//! segment counts to pin the constant. The pre-keyed exchange, which
+//! ran the request/fetch pair once per segment (O(#segments)
+//! collectives), is retained as
+//! [`dist_query_reader_batch_stats_per_segment`] — the reference the
+//! equivalence proptests and the bench sweep compare against.
 //!
 //! A candidate surviving to the global top-k necessarily survives the
 //! local top list of whichever rank found it, and every scored row is
@@ -49,7 +66,8 @@ use crate::build::SketchIndex;
 use crate::error::{IndexError, IndexResult};
 use crate::lifecycle::IndexReader;
 use crate::query::{
-    finalize, live_segment_candidates, lsh_top_by, merge_scored_sources, Neighbor, QueryOptions,
+    finalize, live_candidates_by_segment, lsh_top_by, merge_scored_sources, Neighbor, QueryOptions,
+    Scored,
 };
 use crate::segment::Segment;
 
@@ -70,6 +88,21 @@ pub fn band_shard(band: usize, nranks: usize) -> usize {
 /// across ranks instead of hot-spotting one.
 pub fn sample_shard(id: usize, nranks: usize) -> usize {
     id % nranks
+}
+
+/// Address a signature row across every segment of a snapshot with one
+/// 64-bit key: the segment's position in the reader's segment list in
+/// the high half, the local row in the low half. Keys from different
+/// segments never collide, so one deduplicated request list (and one
+/// row-fetch payload) can cover the whole snapshot.
+pub fn row_key(seg_idx: usize, local: u32) -> u64 {
+    debug_assert!(seg_idx <= u32::MAX as usize, "segment index exceeds the key's high half");
+    (seg_idx as u64) << 32 | local as u64
+}
+
+/// Split a [`row_key`] back into `(segment index, local row)`.
+pub fn split_row_key(key: u64) -> (usize, u32) {
+    ((key >> 32) as usize, key as u32)
 }
 
 /// One rank's slice of a *segment's* signature matrix: the rows of the
@@ -108,8 +141,8 @@ impl SignatureShard {
         let n = segment.n_rows();
         let mut rows = Vec::with_capacity(n.div_ceil(nranks.max(1)) * len);
         let mut local = rank;
-        while local < n {
-            rows.extend_from_slice(segment.signature(local).values());
+        while let Some(row) = segment.signature_words(local) {
+            rows.extend_from_slice(row);
             local += nranks;
         }
         SignatureShard { rank, nranks, len, rows }
@@ -144,29 +177,158 @@ impl SignatureShard {
     }
 }
 
-/// Memory and traffic accounting of one sharded query round, per rank.
+/// One rank's signature shards of *every* segment of a reader snapshot,
+/// resolving rows by [`row_key`]: the segment-indexed lookup path of the
+/// keyed cross-segment exchange.
+#[derive(Debug, Clone)]
+pub struct ReaderShards {
+    shards: Vec<SignatureShard>,
+    seg_rows: Vec<usize>,
+    len: usize,
+}
+
+impl ReaderShards {
+    /// Extract rank `rank`'s shard of every segment of `reader`.
+    pub fn build(reader: &IndexReader, rank: usize, nranks: usize) -> Self {
+        let shards: Vec<SignatureShard> = reader
+            .segments()
+            .iter()
+            .map(|seg| SignatureShard::for_segment(seg, rank, nranks))
+            .collect();
+        let seg_rows = reader.segments().iter().map(|seg| seg.n_rows()).collect();
+        ReaderShards { shards, seg_rows, len: reader.scheme().len() }
+    }
+
+    /// The shard of segment `seg_idx` (the reader's segment order).
+    pub fn segment(&self, seg_idx: usize) -> &SignatureShard {
+        &self.shards[seg_idx]
+    }
+
+    /// Number of segments sharded.
+    pub fn n_segments(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Whether this rank owns keyed row `key`, with the key validated
+    /// against the snapshot's segment layout — requests arrive over the
+    /// wire, so an out-of-range key is a typed corruption error, never
+    /// a panic.
+    pub fn owns_key(&self, key: u64) -> IndexResult<bool> {
+        let (seg_idx, local) = split_row_key(key);
+        let rows = *self.seg_rows.get(seg_idx).ok_or_else(|| IndexError::Corrupt {
+            context: format!(
+                "requested row key {key:#x} addresses segment {seg_idx} of {}",
+                self.seg_rows.len()
+            ),
+        })?;
+        if local as usize >= rows {
+            return Err(IndexError::Corrupt {
+                context: format!(
+                    "requested row key {key:#x} addresses row {local} of a {rows}-row segment"
+                ),
+            });
+        }
+        Ok(self.shards[seg_idx].owns(local))
+    }
+
+    /// The signature row of owned keyed row `key` (panics when this
+    /// rank does not own it — callers validate with
+    /// [`Self::owns_key`] first).
+    pub fn row(&self, key: u64) -> &[u64] {
+        let (seg_idx, local) = split_row_key(key);
+        self.shards[seg_idx].row(local)
+    }
+
+    /// Total signature rows stored across all segment shards.
+    pub fn n_rows(&self) -> usize {
+        self.shards.iter().map(SignatureShard::n_rows).sum()
+    }
+
+    /// Total bytes of signature data stored across all segment shards.
+    pub fn bytes(&self) -> usize {
+        self.shards.iter().map(SignatureShard::bytes).sum()
+    }
+}
+
+/// Per-segment slice of one sharded query round, per rank: how many of
+/// the segment's rows this rank stored, probed, resolved locally and
+/// fetched — the breakdown that makes the one-exchange batching
+/// observable segment by segment.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SegmentExchangeStats {
+    /// The sealed segment's id.
+    pub segment_id: u64,
+    /// Signature rows of this segment stored by this rank's shard.
+    pub shard_rows: usize,
+    /// Distinct live candidate rows this rank's band probes surfaced.
+    pub candidate_rows: usize,
+    /// Of those, rows resolved from the local shard.
+    pub owned_rows: usize,
+    /// Of those, rows resolved from the fetched set.
+    pub fetched_rows: usize,
+}
+
+/// Memory and traffic accounting of one sharded query round, per rank.
+///
+/// The four `*_bytes` phase counters record the bytes this rank
+/// **received over the wire** in each phase, exactly: broadcasts
+/// deliver their payload to every non-root rank once (binomial tree),
+/// and an allgatherv's ring delivers every *foreign* block exactly once
+/// (a rank's own contribution never travels to itself). Their sum,
+/// [`Self::wire_bytes`], equals the simulator's per-rank
+/// `CostReport::bytes_received` for the batch — pinned by a unit test,
+/// so the bench's byte columns are trustworthy.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DistQueryStats {
-    /// Signature rows this rank stores (its shard).
+    /// Signature rows this rank stores (its shards, summed over
+    /// segments).
     pub shard_rows: usize,
     /// Bytes of signature data this rank stores.
     pub shard_bytes: usize,
-    /// Distinct non-owned rows this rank's probes needed this round.
+    /// Distinct non-owned rows this rank's probes needed this round,
+    /// summed over segments (each fetched once, keyed).
     pub fetched_rows: usize,
     /// Bytes of those fetched rows (transient working set, freed after
     /// the batch).
     pub fetched_bytes: usize,
-    /// Rows delivered to this rank by the fetch allgather before
-    /// filtering — the collective fans every owner's contribution out to
-    /// all ranks, so this is the true transient receive-buffer size
-    /// (≥ `fetched_rows`; a point-to-point exchange would shrink it to
-    /// exactly `fetched_rows`).
-    pub received_rows: usize,
-    /// Bytes of those delivered rows, ids included.
-    pub received_bytes: usize,
     /// What replicating the whole signature matrix on this rank would
     /// cost — the pre-sharding baseline the shard is measured against.
     pub replicated_bytes: usize,
+    /// Collectives this rank participated in for the batch — constant
+    /// (5, or 6 with exact re-ranking) on the keyed path regardless of
+    /// segment count; `2 · segments` higher on the per-segment
+    /// reference path.
+    pub collective_calls: usize,
+    /// Wire bytes received in the query broadcasts (validity flag,
+    /// signatures, raw values when re-ranking).
+    pub bcast_bytes: usize,
+    /// Wire bytes received in the keyed row-request allgather.
+    pub request_bytes: usize,
+    /// Wire bytes received in the keyed row-fetch allgather — the
+    /// allgather fans every owner's contribution out to all ranks, and
+    /// this counter records that full delivery (≥ the kept
+    /// `fetched_bytes`), so the transient receive buffer is never
+    /// understated.
+    pub fetch_bytes: usize,
+    /// Wire bytes received in the partial-top-list allgather.
+    pub merge_bytes: usize,
+    /// Order-insensitive fingerprint of the fetched row *content*
+    /// (key + row words per fetched row): two exchanges that ship the
+    /// same rows to this rank agree here even if their wire framing
+    /// differs — how the keyed-equals-per-segment property is pinned.
+    pub fetched_fingerprint: u64,
+    /// Per-segment breakdown of storage and row resolution, in the
+    /// reader's segment order.
+    pub per_segment: Vec<SegmentExchangeStats>,
+}
+
+impl DistQueryStats {
+    /// Total wire bytes this rank received for the batch — the sum of
+    /// the four phase counters, equal to the simulator's per-rank
+    /// `bytes_received` for the round.
+    pub fn wire_bytes(&self) -> usize {
+        self.bcast_bytes + self.request_bytes + self.fetch_bytes + self.merge_bytes
+    }
 }
 
 /// Encode per-query partial top lists as a flat `u64` stream:
@@ -212,61 +374,166 @@ fn decode_partials(stream: &[u64], nqueries: usize) -> IndexResult<Vec<Vec<(u32,
     Ok(out)
 }
 
-/// The signature rows fetched from remote shards for one batch: row ids
-/// (sorted, deduplicated) parallel to `len`-word rows in one flat buffer,
-/// plus the count of rows the allgather delivered before filtering.
-struct FetchedRows {
-    ids: Vec<u32>,
-    rows: Vec<u64>,
-    len: usize,
-    received_rows: usize,
+/// The words of an allgatherv result that actually crossed the wire
+/// into rank `me`: every block except its own (the ring forwards each
+/// foreign block to each rank exactly once; the local block never
+/// leaves the rank).
+fn foreign_words(blocks: &[Vec<u64>], me: usize) -> usize {
+    blocks.iter().enumerate().filter(|&(r, _)| r != me).map(|(_, b)| b.len()).sum()
 }
 
-impl FetchedRows {
-    fn row(&self, id: u32) -> Option<&[u64]> {
-        self.ids
-            .binary_search(&id)
+/// FNV-1a over a little-endian word stream — the per-row ingredient of
+/// the order-insensitive fetched-content fingerprint.
+fn fnv1a_words(words: impl IntoIterator<Item = u64>) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for w in words {
+        for b in w.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// The signature rows fetched from remote shards for one batch: sorted,
+/// deduplicated [`row_key`]s parallel to `len`-word rows in one flat
+/// buffer — all segments demultiplex from this single set.
+struct KeyedRows {
+    keys: Vec<u64>,
+    rows: Vec<u64>,
+    len: usize,
+}
+
+impl KeyedRows {
+    fn row(&self, key: u64) -> Option<&[u64]> {
+        self.keys
+            .binary_search(&key)
             .ok()
             .map(|slot| &self.rows[slot * self.len..(slot + 1) * self.len])
     }
+
+    fn n_rows(&self) -> usize {
+        self.keys.len()
+    }
+
+    fn data_bytes(&self) -> usize {
+        self.rows.len() * 8
+    }
+
+    /// Order-insensitive fingerprint of the kept row content: the
+    /// wrapping sum of each row's keyed FNV-1a hash, so two exchanges
+    /// shipping the same rows (in any order, under any framing) agree.
+    fn fingerprint(&self) -> u64 {
+        self.keys
+            .iter()
+            .enumerate()
+            .map(|(slot, &key)| {
+                let row = &self.rows[slot * self.len..(slot + 1) * self.len];
+                fnv1a_words(std::iter::once(key).chain(row.iter().copied()))
+            })
+            .fold(0u64, u64::wrapping_add)
+    }
 }
 
-/// Exchange signature rows so this rank can score every candidate its
-/// band shard surfaced: allgather the deduplicated request lists, then
-/// allgather each owner's requested rows. Each owner *contributes* each
-/// requested row once, but the allgather delivers every contribution to
-/// all ranks — `FetchedRows::received_rows` records that fan-out so the
-/// stats never understate the transient receive buffer.
-fn exchange_signature_rows(
+/// What the query broadcasts deliver to every rank: the signed batch,
+/// plus the raw query values when exact re-ranking needs them.
+type BroadcastBatch = (Vec<MinHashSignature>, Option<Vec<Vec<u64>>>);
+
+/// Phase 1 of a distributed batch: rank 0 validates and signs the query
+/// batch, then broadcasts signatures (and raw values when exact
+/// re-ranking needs them). The validity flag is broadcast *first* so
+/// that a misuse on the ingress rank (no query batch) surfaces as a
+/// typed error on every rank instead of leaving the other ranks blocked
+/// in a bcast that never comes. Two or three collectives, counted and
+/// byte-accounted into `stats`.
+fn broadcast_query_batch(
     world: &Communicator,
-    shard: &SignatureShard,
-    wanted: &[u32],
-    n_rows: usize,
-) -> IndexResult<FetchedRows> {
-    let len = shard.len;
-    let requests: Vec<u64> = wanted.iter().map(|&id| id as u64).collect();
-    let all_requests: Vec<Vec<u64>> = world.allgatherv(&requests)?;
+    reader: &IndexReader,
+    queries: Option<&[Vec<u64>]>,
+    opts: &QueryOptions,
+    stats: &mut DistQueryStats,
+) -> IndexResult<BroadcastBatch> {
+    let me = world.rank();
+    let root_ok = world.bcast(0, if me == 0 { Some(queries.is_some() as u8) } else { None })?;
+    stats.collective_calls += 1;
+    if me != 0 {
+        stats.bcast_bytes += 1;
+    }
+    if root_ok == 0 {
+        return Err(IndexError::InvalidQuery("rank 0 must provide the query batch".into()));
+    }
+    let signed: Option<Vec<Vec<u64>>> = if me == 0 {
+        let queries = queries.expect("flag checked above");
+        Some(queries.iter().map(|q| reader.scheme().sign(q).values().to_vec()).collect())
+    } else {
+        None
+    };
+    let signed_values: Vec<Vec<u64>> = world.bcast(0, signed)?;
+    stats.collective_calls += 1;
+    if me != 0 {
+        stats.bcast_bytes += signed_values.iter().map(|s| s.len() * 8).sum::<usize>();
+    }
+    let signatures: Vec<MinHashSignature> =
+        signed_values.into_iter().map(MinHashSignature::from_values).collect();
+    let raw_queries: Option<Vec<Vec<u64>>> = if opts.rerank_exact {
+        let mine = if me == 0 { Some(queries.expect("flag checked above").to_vec()) } else { None };
+        let raw = world.bcast(0, mine)?;
+        stats.collective_calls += 1;
+        if me != 0 {
+            stats.bcast_bytes += raw.iter().map(|q| q.len() * 8).sum::<usize>();
+        }
+        Some(raw)
+    } else {
+        None
+    };
+    Ok((signatures, raw_queries))
+}
+
+/// Exchange keyed signature rows so this rank can score every candidate
+/// its band shards surfaced, across **all** segments at once: one
+/// allgather of the deduplicated keyed request lists, then one
+/// allgather of each owner's requested rows (`[key, row...]` framing).
+/// Each owner *contributes* each requested row once, but the allgather
+/// delivers every contribution to all ranks —
+/// [`DistQueryStats::fetch_bytes`] records that fan-out exactly.
+fn exchange_keyed_rows(
+    world: &Communicator,
+    shards: &ReaderShards,
+    wanted: &[u64],
+    stats: &mut DistQueryStats,
+) -> IndexResult<KeyedRows> {
+    let me = world.rank();
+    let len = shards.len;
+    let all_requests: Vec<Vec<u64>> = world.allgatherv(wanted)?;
+    stats.collective_calls += 1;
+    stats.request_bytes += foreign_words(&all_requests, me) * 8;
 
     // Rows this rank must ship: the union of everyone's requests that it
     // owns, deduplicated so a row wanted by several ranks (or several
-    // queries) is still shipped exactly once.
-    let mut to_ship: Vec<u32> =
-        all_requests.iter().flatten().map(|&w| w as u32).filter(|&id| shard.owns(id)).collect();
+    // queries, or via several segments' probes) is still shipped exactly
+    // once. Keys are validated here — they arrived over the wire.
+    let mut to_ship: Vec<u64> = Vec::new();
+    for &key in all_requests.iter().flatten() {
+        if shards.owns_key(key)? {
+            to_ship.push(key);
+        }
+    }
     to_ship.sort_unstable();
     to_ship.dedup();
 
     let mut payload = Vec::with_capacity(to_ship.len() * (len + 1));
-    for &id in &to_ship {
-        payload.push(id as u64);
-        payload.extend_from_slice(shard.row(id));
+    for &key in &to_ship {
+        payload.push(key);
+        payload.extend_from_slice(shards.row(key));
     }
     let shipped: Vec<Vec<u64>> = world.allgatherv(&payload)?;
+    stats.collective_calls += 1;
+    stats.fetch_bytes += foreign_words(&shipped, me) * 8;
 
-    // Keep only the rows this rank asked for (allgather also delivers
-    // rows other ranks requested); owners are disjoint, so ids across
-    // streams never collide.
-    let mut fetched: Vec<(u32, usize, usize)> = Vec::with_capacity(wanted.len());
-    let mut received_rows = 0usize;
+    // Demultiplex by key, keeping only the rows this rank asked for
+    // (the allgather also delivers rows other ranks requested); row
+    // ownership is unique, so keys across streams never collide.
+    let mut fetched: Vec<(u64, usize, usize)> = Vec::with_capacity(wanted.len());
     for (rank, stream) in shipped.iter().enumerate() {
         if stream.len() % (len + 1) != 0 {
             return Err(IndexError::Corrupt {
@@ -277,49 +544,146 @@ fn exchange_signature_rows(
                 ),
             });
         }
-        received_rows += stream.len() / (len + 1);
         for slot in 0..stream.len() / (len + 1) {
             let base = slot * (len + 1);
-            let id = stream[base] as u32;
-            if id as usize >= n_rows {
-                return Err(IndexError::Corrupt {
-                    context: format!("fetched signature row id {id} out of range"),
-                });
-            }
-            if wanted.binary_search(&id).is_ok() {
-                fetched.push((id, rank, base + 1));
+            let key = stream[base];
+            shards.owns_key(key)?; // range validation; ownership is the shipper's
+            if wanted.binary_search(&key).is_ok() {
+                fetched.push((key, rank, base + 1));
             }
         }
     }
-    fetched.sort_unstable_by_key(|&(id, _, _)| id);
-    let mut ids = Vec::with_capacity(fetched.len());
+    fetched.sort_unstable_by_key(|&(key, _, _)| key);
+    let mut keys = Vec::with_capacity(fetched.len());
     let mut rows = Vec::with_capacity(fetched.len() * len);
-    for (id, rank, start) in fetched {
-        ids.push(id);
+    for (key, rank, start) in fetched {
+        keys.push(key);
         rows.extend_from_slice(&shipped[rank][start..start + len]);
     }
-    let out = FetchedRows { ids, rows, len, received_rows };
+    let out = KeyedRows { keys, rows, len };
     // Every row this rank requested must have arrived (its unique owner
     // shipped it); a hole means the shard map diverged across ranks.
-    if let Some(&missing) = wanted.iter().find(|&&id| out.row(id).is_none()) {
+    if let Some(&missing) = wanted.iter().find(|&&key| out.row(key).is_none()) {
         return Err(IndexError::Corrupt {
-            context: format!("owner never shipped requested signature row {missing}"),
+            context: format!("owner never shipped requested signature row key {missing:#x}"),
         });
     }
     Ok(out)
+}
+
+/// One segment's scoring context: its position in the reader's segment
+/// order, the sealed segment, and this rank's shard of it.
+struct SegmentView<'a> {
+    idx: usize,
+    seg: &'a Segment,
+    shard: &'a SignatureShard,
+}
+
+/// Score one segment's candidates for every query and extend the
+/// per-query entry lists with `(agreement, global id)` — rows resolve
+/// from the segment's shard or the keyed fetched set, and the scoring
+/// order (parallel map + reduce per query) is the monolithic engine's,
+/// so answers stay bit-identical.
+fn score_segment(
+    view: &SegmentView<'_>,
+    fetched: &KeyedRows,
+    signatures: &[MinHashSignature],
+    per_query_candidates: &[Vec<u32>],
+    keep: usize,
+    per_query_entries: &mut [Vec<Scored>],
+) {
+    for (q, (sig, candidates)) in signatures.iter().zip(per_query_candidates).enumerate() {
+        let score_of = |local: u32| -> u32 {
+            let row = if view.shard.owns(local) {
+                view.shard.row(local)
+            } else {
+                fetched.row(row_key(view.idx, local)).expect("validated by exchange_keyed_rows")
+            };
+            signature_agreement(sig.values(), row) as u32
+        };
+        per_query_entries[q].extend(
+            lsh_top_by(&score_of, candidates, keep)
+                .into_iter()
+                .map(|(a, local)| (a, view.seg.global_id(local as usize))),
+        );
+    }
+}
+
+/// The per-segment resolution breakdown of one round, from the probes'
+/// candidate lists: distinct candidate rows, split into shard-resolved
+/// and fetch-resolved.
+fn segment_exchange_stats(
+    seg: &Segment,
+    shard: &SignatureShard,
+    per_query_candidates: &[Vec<u32>],
+) -> SegmentExchangeStats {
+    let mut distinct: Vec<u32> = per_query_candidates.iter().flatten().copied().collect();
+    distinct.sort_unstable();
+    distinct.dedup();
+    let owned = distinct.iter().filter(|&&local| shard.owns(local)).count();
+    SegmentExchangeStats {
+        segment_id: seg.id(),
+        shard_rows: shard.n_rows(),
+        candidate_rows: distinct.len(),
+        owned_rows: owned,
+        fetched_rows: distinct.len() - owned,
+    }
+}
+
+/// Phase 5 of a distributed batch: allgather the partial top lists and
+/// merge with the same deterministic rule the local engine uses — one
+/// entry per sample id (a candidate can surface on several ranks, one
+/// per colliding band), ties ordered by lowest id — then finalize
+/// identically on every rank.
+fn merge_partials_and_finalize(
+    world: &Communicator,
+    partials: Vec<Vec<Scored>>,
+    raw_queries: &Option<Vec<Vec<u64>>>,
+    collection: Option<&SampleCollection>,
+    opts: &QueryOptions,
+    len: usize,
+    stats: &mut DistQueryStats,
+) -> IndexResult<Vec<Vec<Neighbor>>> {
+    let me = world.rank();
+    let nqueries = partials.len();
+    let keep = opts.keep();
+    let streams: Vec<Vec<u64>> = world.allgatherv(&encode_partials(&partials))?;
+    stats.collective_calls += 1;
+    stats.merge_bytes += foreign_words(&streams, me) * 8;
+    let mut merged: Vec<Vec<(u32, u32)>> = vec![Vec::new(); nqueries];
+    for stream in &streams {
+        for (q, partial) in decode_partials(stream, nqueries)?.into_iter().enumerate() {
+            merged[q].extend(partial);
+        }
+    }
+    let mut answers = Vec::with_capacity(nqueries);
+    for (q, entries) in merged.into_iter().enumerate() {
+        let entries = merge_scored_sources(entries, keep);
+        let query_values: &[u64] = match raw_queries {
+            Some(qs) => &qs[q],
+            None => &[],
+        };
+        answers.push(finalize(entries, len, query_values, collection, opts)?);
+    }
+    Ok(answers)
 }
 
 /// Serve a batch of top-k queries over a lifecycle snapshot, band- and
 /// signature-sharded across the ranks of `world`, returning each rank's
 /// answers plus its sharding stats.
 ///
-/// Sharding is **per segment**: every sealed segment's bands and
-/// signature rows are distributed round-robin independently, so each
-/// rank holds `~rows/p` of every segment (and therefore of the whole
-/// snapshot) and the probe → request → fetch → score loop runs once per
-/// segment. Tombstoned rows are filtered at probe time on every rank
-/// identically. The per-rank, per-segment partial top lists are merged
-/// with the same deterministic rule as the local engine
+/// Sharding is **per segment** (every sealed segment's bands and
+/// signature rows distribute round-robin independently, so each rank
+/// holds `~rows/p` of every segment), but the exchange is **one keyed
+/// round for the whole snapshot**: every rank probes its band shard of
+/// all segments first, then a single deduplicated request allgather and
+/// a single owner-ships-rows allgather move every needed row, addressed
+/// as `(seg_idx << 32) | local_row`. The batch therefore costs five
+/// collectives (six with exact re-ranking) **regardless of segment
+/// count** — serving cost is independent of commit history. Tombstoned
+/// rows are filtered at probe time on every rank identically, and the
+/// per-rank partial top lists (merged across segments locally first)
+/// merge with the same deterministic rule as the local engine
 /// ([`merge_scored_sources`]), so answers are bit-identical to the
 /// single-rank multi-segment reader — and hence to a fresh monolithic
 /// build over the snapshot's live corpus.
@@ -341,106 +705,138 @@ pub fn dist_query_reader_batch_stats(
     let p = world.size();
     let me = world.rank();
     let len = reader.scheme().len();
-
-    // Phase 1: rank 0 validates and signs the query batch. The validity
-    // flag is broadcast *first* so that a misuse on the ingress rank
-    // (no query batch) surfaces as a typed error on every rank instead
-    // of leaving the other ranks blocked in a bcast that never comes.
-    let root_ok = world.bcast(0, if me == 0 { Some(queries.is_some() as u8) } else { None })?;
-    if root_ok == 0 {
-        return Err(IndexError::InvalidQuery("rank 0 must provide the query batch".into()));
-    }
-    let signed: Option<Vec<Vec<u64>>> = if me == 0 {
-        let queries = queries.expect("flag checked above");
-        Some(queries.iter().map(|q| reader.scheme().sign(q).values().to_vec()).collect())
-    } else {
-        None
-    };
-    let signatures: Vec<MinHashSignature> =
-        world.bcast(0, signed)?.into_iter().map(MinHashSignature::from_values).collect();
-    let raw_queries: Option<Vec<Vec<u64>>> = if opts.rerank_exact {
-        let mine = if me == 0 { Some(queries.expect("flag checked above").to_vec()) } else { None };
-        Some(world.bcast(0, mine)?)
-    } else {
-        None
-    };
-
-    let keep = opts.keep();
-    let nqueries = signatures.len();
-    let mut per_query_entries: Vec<Vec<(u32, u32)>> = vec![Vec::new(); nqueries];
     let mut stats =
         DistQueryStats { replicated_bytes: reader.n_rows() * len * 8, ..Default::default() };
 
-    // Phases 2–4, once per segment: probe this rank's band shard of the
-    // segment (skipping tombstoned rows), fetch the non-owned signature
-    // rows those candidates touch, and score locally — rows come from
-    // the segment shard or the fetched set, never from a replicated
-    // matrix.
-    for seg in reader.segments() {
-        let shard = SignatureShard::for_segment(seg, me, p);
-        let per_query_candidates: Vec<Vec<u32>> = signatures
-            .iter()
-            .map(|sig| live_segment_candidates(reader, seg, sig, |band| band_shard(band, p) == me))
-            .collect();
-        let mut wanted: Vec<u32> = per_query_candidates
-            .iter()
-            .flatten()
-            .copied()
-            .filter(|&local| !shard.owns(local))
-            .collect();
-        wanted.sort_unstable();
-        wanted.dedup();
-        let fetched = exchange_signature_rows(world, &shard, &wanted, seg.n_rows())?;
+    let (signatures, raw_queries) =
+        broadcast_query_batch(world, reader, queries, opts, &mut stats)?;
+    let keep = opts.keep();
+    let nqueries = signatures.len();
 
-        for (q, (sig, candidates)) in signatures.iter().zip(&per_query_candidates).enumerate() {
-            let score_of = |local: u32| -> u32 {
-                let row = if shard.owns(local) {
-                    shard.row(local)
-                } else {
-                    fetched.row(local).expect("validated by exchange_signature_rows")
-                };
-                signature_agreement(sig.values(), row) as u32
-            };
-            per_query_entries[q].extend(
-                lsh_top_by(&score_of, candidates, keep)
-                    .into_iter()
-                    .map(|(a, local)| (a, seg.global_id(local as usize))),
+    let shards = ReaderShards::build(reader, me, p);
+    stats.shard_rows = shards.n_rows();
+    stats.shard_bytes = shards.bytes();
+
+    // Phase 2, no communication: probe this rank's band shard of every
+    // segment (skipping tombstoned rows) before any exchange, so the
+    // row requests of all segments batch into one keyed round.
+    let per_segment_candidates =
+        live_candidates_by_segment(reader, &signatures, |band| band_shard(band, p) == me);
+    let mut wanted: Vec<u64> = Vec::new();
+    for (seg_idx, per_query) in per_segment_candidates.iter().enumerate() {
+        let shard = shards.segment(seg_idx);
+        for candidates in per_query {
+            wanted.extend(
+                candidates
+                    .iter()
+                    .filter(|&&local| !shard.owns(local))
+                    .map(|&l| row_key(seg_idx, l)),
             );
         }
+    }
+    wanted.sort_unstable();
+    wanted.dedup();
 
-        stats.shard_rows += shard.n_rows();
-        stats.shard_bytes += shard.bytes();
-        stats.fetched_rows += fetched.ids.len();
-        stats.fetched_bytes += fetched.rows.len() * 8;
-        stats.received_rows += fetched.received_rows;
-        stats.received_bytes += fetched.received_rows * (len + 1) * 8;
+    // Phases 3–4: the one request/fetch pair for the whole snapshot.
+    let fetched = exchange_keyed_rows(world, &shards, &wanted, &mut stats)?;
+    stats.fetched_rows = fetched.n_rows();
+    stats.fetched_bytes = fetched.data_bytes();
+    stats.fetched_fingerprint = fetched.fingerprint();
+
+    // Score every segment locally — rows come from the segment shard or
+    // the keyed fetched set, never from a replicated matrix.
+    let mut per_query_entries: Vec<Vec<Scored>> = vec![Vec::new(); nqueries];
+    for (seg_idx, seg) in reader.segments().iter().enumerate() {
+        let shard = shards.segment(seg_idx);
+        let per_query = &per_segment_candidates[seg_idx];
+        stats.per_segment.push(segment_exchange_stats(seg, shard, per_query));
+        let view = SegmentView { idx: seg_idx, seg, shard };
+        score_segment(&view, &fetched, &signatures, per_query, keep, &mut per_query_entries);
     }
 
     // Local cross-segment merge, so the wire carries at most `keep`
     // entries per query per rank no matter how many segments exist.
-    let partials: Vec<Vec<(u32, u32)>> =
+    let partials: Vec<Vec<Scored>> =
         per_query_entries.into_iter().map(|entries| merge_scored_sources(entries, keep)).collect();
 
-    // Phase 5: allgather the partial top lists and merge with the same
-    // deterministic rule the local engine uses — one entry per sample id
-    // (a candidate can surface on several ranks, one per colliding
-    // band), ties ordered by lowest id.
-    let streams: Vec<Vec<u64>> = world.allgatherv(&encode_partials(&partials))?;
-    let mut merged: Vec<Vec<(u32, u32)>> = vec![Vec::new(); nqueries];
-    for stream in &streams {
-        for (q, partial) in decode_partials(stream, nqueries)?.into_iter().enumerate() {
-            merged[q].extend(partial);
-        }
+    let answers = merge_partials_and_finalize(
+        world,
+        partials,
+        &raw_queries,
+        collection,
+        opts,
+        len,
+        &mut stats,
+    )?;
+    Ok((answers, stats))
+}
+
+/// The pre-keyed exchange, retained as the O(#segments) reference: the
+/// same probe, scoring, and merge as [`dist_query_reader_batch_stats`],
+/// but the request/fetch allgather pair runs **once per segment**, so a
+/// snapshot of `s` segments costs `4 + 2·s` collectives (5 + 2·s with
+/// exact re-ranking... exactly `2·(s − 1)` more than the keyed path).
+/// Answers are bit-identical to the keyed path — the equivalence
+/// proptest pins that, along with identical fetched row content per
+/// rank — and the `query_throughput` segment sweep reports both paths'
+/// collective counts side by side.
+pub fn dist_query_reader_batch_stats_per_segment(
+    world: &Communicator,
+    reader: &IndexReader,
+    collection: Option<&SampleCollection>,
+    queries: Option<&[Vec<u64>]>,
+    opts: &QueryOptions,
+) -> IndexResult<(Vec<Vec<Neighbor>>, DistQueryStats)> {
+    let p = world.size();
+    let me = world.rank();
+    let len = reader.scheme().len();
+    let mut stats =
+        DistQueryStats { replicated_bytes: reader.n_rows() * len * 8, ..Default::default() };
+
+    let (signatures, raw_queries) =
+        broadcast_query_batch(world, reader, queries, opts, &mut stats)?;
+    let keep = opts.keep();
+    let nqueries = signatures.len();
+
+    let shards = ReaderShards::build(reader, me, p);
+    stats.shard_rows = shards.n_rows();
+    stats.shard_bytes = shards.bytes();
+
+    let per_segment_candidates =
+        live_candidates_by_segment(reader, &signatures, |band| band_shard(band, p) == me);
+    let mut per_query_entries: Vec<Vec<Scored>> = vec![Vec::new(); nqueries];
+    for (seg_idx, seg) in reader.segments().iter().enumerate() {
+        let shard = shards.segment(seg_idx);
+        let per_query = &per_segment_candidates[seg_idx];
+        let mut wanted: Vec<u64> = per_query
+            .iter()
+            .flatten()
+            .filter(|&&local| !shard.owns(local))
+            .map(|&local| row_key(seg_idx, local))
+            .collect();
+        wanted.sort_unstable();
+        wanted.dedup();
+        let fetched = exchange_keyed_rows(world, &shards, &wanted, &mut stats)?;
+        stats.fetched_rows += fetched.n_rows();
+        stats.fetched_bytes += fetched.data_bytes();
+        stats.fetched_fingerprint = stats.fetched_fingerprint.wrapping_add(fetched.fingerprint());
+        stats.per_segment.push(segment_exchange_stats(seg, shard, per_query));
+        let view = SegmentView { idx: seg_idx, seg, shard };
+        score_segment(&view, &fetched, &signatures, per_query, keep, &mut per_query_entries);
     }
-    let mut answers = Vec::with_capacity(nqueries);
-    for (q, entries) in merged.into_iter().enumerate() {
-        let entries = merge_scored_sources(entries, keep);
-        let query_values: &[u64] = match &raw_queries {
-            Some(qs) => &qs[q],
-            None => &[],
-        };
-        answers.push(finalize(entries, len, query_values, collection, opts)?);
-    }
+
+    let partials: Vec<Vec<Scored>> =
+        per_query_entries.into_iter().map(|entries| merge_scored_sources(entries, keep)).collect();
+
+    let answers = merge_partials_and_finalize(
+        world,
+        partials,
+        &raw_queries,
+        collection,
+        opts,
+        len,
+        &mut stats,
+    )?;
     Ok((answers, stats))
 }
 
@@ -486,6 +882,7 @@ pub fn dist_query_batch(
 mod tests {
     use super::*;
     use crate::build::IndexConfig;
+    use crate::lifecycle::IndexWriter;
     use crate::query::QueryEngine;
     use gas_core::minhash::SignerKind;
     use gas_dstsim::runtime::Runtime;
@@ -501,6 +898,34 @@ mod tests {
             }
         }
         SampleCollection::from_sets(samples).unwrap()
+    }
+
+    /// A segmented snapshot over `collection`: `segments` commits of
+    /// near-equal size, with `deletes` tombstoned once committed.
+    fn segmented_writer(
+        collection: &SampleCollection,
+        config: &IndexConfig,
+        segments: usize,
+        deletes: &[u32],
+    ) -> IndexWriter {
+        let mut writer = IndexWriter::create(config).unwrap();
+        let n = collection.n();
+        let mut start = 0usize;
+        for s in 0..segments {
+            let end = start + (n - start) / (segments - s);
+            for i in start..end {
+                writer.add(format!("s{i}"), collection.sample(i).to_vec()).unwrap();
+            }
+            writer.commit().unwrap();
+            for &id in deletes {
+                if id < writer.id_bound() && !writer.reader().is_deleted(id) {
+                    writer.delete(id).unwrap();
+                }
+            }
+            writer.commit().unwrap();
+            start = end;
+        }
+        writer
     }
 
     #[test]
@@ -520,6 +945,19 @@ mod tests {
                 assert!(hi - lo <= 1, "imbalance for p={p}, bands={bands}: {owners:?}");
             }
         }
+    }
+
+    #[test]
+    fn row_keys_round_trip_and_order_by_segment_then_row() {
+        for seg in [0usize, 1, 7, 4_000_000_000] {
+            for local in [0u32, 1, 17, u32::MAX] {
+                assert_eq!(split_row_key(row_key(seg, local)), (seg, local));
+            }
+        }
+        // Sorting keyed requests groups by segment, then local row —
+        // the dedup and the owner's ship order rely on it.
+        assert!(row_key(0, u32::MAX) < row_key(1, 0));
+        assert!(row_key(3, 5) < row_key(3, 6));
     }
 
     #[test]
@@ -562,6 +1000,38 @@ mod tests {
             for shard in &shards {
                 assert_eq!(shard.bytes(), shard.n_rows() * 64 * 8);
             }
+        }
+    }
+
+    #[test]
+    fn reader_shards_resolve_keys_and_reject_out_of_range_ones() {
+        let collection = workload();
+        let config = IndexConfig::default().with_signature_len(32);
+        let writer = segmented_writer(&collection, &config, 3, &[]);
+        let reader = writer.reader();
+        for p in [1usize, 2, 5] {
+            let all: Vec<ReaderShards> =
+                (0..p).map(|r| ReaderShards::build(&reader, r, p)).collect();
+            assert_eq!(all[0].n_segments(), 3);
+            // Shards partition every segment's rows; keyed resolution
+            // round-trips byte-identically to the segment's matrix.
+            let total: usize = all.iter().map(ReaderShards::n_rows).sum();
+            assert_eq!(total, reader.n_rows(), "p={p}");
+            for (seg_idx, seg) in reader.segments().iter().enumerate() {
+                for local in 0..seg.n_rows() as u32 {
+                    let key = row_key(seg_idx, local);
+                    let owner = sample_shard(local as usize, p);
+                    for (r, shards) in all.iter().enumerate() {
+                        assert_eq!(shards.owns_key(key).unwrap(), r == owner);
+                    }
+                    assert_eq!(all[owner].row(key), seg.signature(local as usize).values());
+                }
+            }
+            // Out-of-range keys are typed corruption, never a panic.
+            let bad_seg = row_key(3, 0);
+            let bad_row = row_key(0, reader.segments()[0].n_rows() as u32);
+            assert!(matches!(all[0].owns_key(bad_seg), Err(IndexError::Corrupt { .. })));
+            assert!(matches!(all[0].owns_key(bad_row), Err(IndexError::Corrupt { .. })));
         }
     }
 
@@ -622,10 +1092,20 @@ mod tests {
                         assert_eq!(stats.shard_bytes, stats.shard_rows * 128 * 8);
                         assert!(stats.fetched_rows <= index.n() - stats.shard_rows);
                         assert_eq!(stats.fetched_bytes, stats.fetched_rows * 128 * 8);
-                        // The allgather fan-out is recorded, not hidden:
-                        // the receive buffer is at least the kept rows.
-                        assert!(stats.received_rows >= stats.fetched_rows);
-                        assert_eq!(stats.received_bytes, stats.received_rows * (128 + 1) * 8);
+                        // The collectives budget: constant per batch, and
+                        // the allgather fan-out is recorded, not hidden.
+                        assert_eq!(stats.collective_calls, if rerank { 6 } else { 5 });
+                        assert!(
+                            stats.fetch_bytes
+                                >= stats.fetched_bytes.saturating_sub(stats.fetched_rows * 8)
+                        );
+                        // One segment → one breakdown entry covering every
+                        // candidate exactly once.
+                        assert_eq!(stats.per_segment.len(), 1);
+                        let seg = &stats.per_segment[0];
+                        assert_eq!(seg.shard_rows, stats.shard_rows);
+                        assert_eq!(seg.owned_rows + seg.fetched_rows, seg.candidate_rows);
+                        assert_eq!(seg.fetched_rows, stats.fetched_rows);
                         if p > 1 {
                             assert!(
                                 stats.shard_bytes * 2 < stats.replicated_bytes,
@@ -635,6 +1115,133 @@ mod tests {
                             );
                         }
                     }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn per_phase_wire_bytes_sum_to_the_cost_report_exactly() {
+        // The satellite bugfix pin: the phase byte counters must account
+        // for every wire byte the simulator charged this rank — no
+        // per-segment double counting, no missing broadcast bytes. The
+        // collective count must match the tracker's too.
+        let collection = workload();
+        let config = IndexConfig::default().with_signature_len(64).with_threshold(0.4);
+        let writer = segmented_writer(&collection, &config, 4, &[2, 9]);
+        let reader = writer.reader();
+        let queries: Vec<Vec<u64>> = (0..5).map(|i| collection.sample(i * 4).to_vec()).collect();
+        for rerank in [false, true] {
+            let opts = QueryOptions { top_k: 4, rerank_exact: rerank, ..Default::default() };
+            for p in [1usize, 2, 4] {
+                let out = Runtime::new(p)
+                    .run(|ctx| {
+                        let q = if ctx.rank() == 0 { Some(&queries[..]) } else { None };
+                        ctx.expect_ok(
+                            "dist_query_reader_batch_stats",
+                            dist_query_reader_batch_stats(
+                                ctx.world(),
+                                &reader,
+                                Some(&collection),
+                                q,
+                                &opts,
+                            ),
+                        )
+                    })
+                    .unwrap();
+                for (rank, ((_, stats), report)) in out.results.iter().zip(&out.reports).enumerate()
+                {
+                    assert_eq!(
+                        stats.wire_bytes() as u64,
+                        report.bytes_received,
+                        "p={p}, rank={rank}, rerank={rerank}: phase bytes diverge from the wire"
+                    );
+                    assert_eq!(
+                        stats.collective_calls as u64, report.collectives,
+                        "p={p}, rank={rank}, rerank={rerank}: collective count diverges"
+                    );
+                    assert_eq!(
+                        stats.wire_bytes(),
+                        stats.bcast_bytes
+                            + stats.request_bytes
+                            + stats.fetch_bytes
+                            + stats.merge_bytes
+                    );
+                    // Four segments, one breakdown entry each, candidates
+                    // partitioned into owned + fetched.
+                    assert_eq!(stats.per_segment.len(), 4);
+                    for seg in &stats.per_segment {
+                        assert_eq!(seg.owned_rows + seg.fetched_rows, seg.candidate_rows);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn keyed_exchange_matches_the_per_segment_reference() {
+        // Same answers, same fetched row content, constant vs linear
+        // collective counts — the tentpole equivalence on a concrete
+        // multi-segment snapshot with tombstones, both signers.
+        let collection = workload();
+        for signer in [SignerKind::KMins, SignerKind::Oph] {
+            let config = IndexConfig::default()
+                .with_signature_len(64)
+                .with_threshold(0.4)
+                .with_signer(signer);
+            let segments = 5usize;
+            let writer = segmented_writer(&collection, &config, segments, &[1, 7, 13]);
+            let reader = writer.reader();
+            let queries: Vec<Vec<u64>> =
+                (0..6).map(|i| collection.sample(i * 3).to_vec()).collect();
+            let opts = QueryOptions { top_k: 5, rerank_exact: true, ..Default::default() };
+            let reference = QueryEngine::for_reader_with_collection(reader.clone(), &collection)
+                .query_batch(&queries, &opts)
+                .unwrap();
+            for p in [1usize, 3, 4] {
+                let keyed = Runtime::new(p)
+                    .run(|ctx| {
+                        let q = if ctx.rank() == 0 { Some(&queries[..]) } else { None };
+                        ctx.expect_ok(
+                            "keyed",
+                            dist_query_reader_batch_stats(
+                                ctx.world(),
+                                &reader,
+                                Some(&collection),
+                                q,
+                                &opts,
+                            ),
+                        )
+                    })
+                    .unwrap();
+                let legacy = Runtime::new(p)
+                    .run(|ctx| {
+                        let q = if ctx.rank() == 0 { Some(&queries[..]) } else { None };
+                        ctx.expect_ok(
+                            "per-segment",
+                            dist_query_reader_batch_stats_per_segment(
+                                ctx.world(),
+                                &reader,
+                                Some(&collection),
+                                q,
+                                &opts,
+                            ),
+                        )
+                    })
+                    .unwrap();
+                for (rank, ((ka, ks), (la, ls))) in
+                    keyed.results.iter().zip(&legacy.results).enumerate()
+                {
+                    assert_eq!(ka, &reference, "keyed diverges (p={p}, rank={rank}, {signer})");
+                    assert_eq!(la, &reference, "legacy diverges (p={p}, rank={rank}, {signer})");
+                    // Identical shipped row content (framing may differ).
+                    assert_eq!(ks.fetched_rows, ls.fetched_rows);
+                    assert_eq!(ks.fetched_bytes, ls.fetched_bytes);
+                    assert_eq!(ks.fetched_fingerprint, ls.fetched_fingerprint);
+                    assert_eq!(ks.per_segment, ls.per_segment);
+                    // The collectives budget: constant vs O(#segments).
+                    assert_eq!(ks.collective_calls, 6);
+                    assert_eq!(ls.collective_calls, 6 + 2 * (segments - 1));
                 }
             }
         }

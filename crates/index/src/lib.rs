@@ -88,7 +88,8 @@ pub use build::{BandBuckets, IndexConfig, SketchIndex};
 pub use container::{Container, ContainerWriter};
 pub use dist::{
     dist_query_batch, dist_query_batch_stats, dist_query_reader_batch,
-    dist_query_reader_batch_stats, DistQueryStats, SignatureShard,
+    dist_query_reader_batch_stats, dist_query_reader_batch_stats_per_segment, DistQueryStats,
+    ReaderShards, SegmentExchangeStats, SignatureShard,
 };
 pub use error::{IndexError, IndexResult};
 pub use gas_core::minhash::SignerKind;

@@ -173,6 +173,30 @@ pub(crate) fn live_segment_candidates<F: Fn(usize) -> bool>(
         .collect()
 }
 
+/// The live candidate local rows of **every** segment for **every**
+/// query signature, indexed `[segment][query]` in the reader's segment
+/// order: the all-segments-first probe of the keyed cross-segment
+/// exchange, so the distributed path can batch every segment's row
+/// requests into one collective round. Built from
+/// [`live_segment_candidates`], so the candidate sets (and their order)
+/// are exactly the single-rank engine's.
+pub(crate) fn live_candidates_by_segment<F: Fn(usize) -> bool>(
+    reader: &IndexReader,
+    signatures: &[MinHashSignature],
+    band_filter: F,
+) -> Vec<Vec<Vec<u32>>> {
+    reader
+        .segments()
+        .iter()
+        .map(|seg| {
+            signatures
+                .iter()
+                .map(|sig| live_segment_candidates(reader, seg, sig, &band_filter))
+                .collect()
+        })
+        .collect()
+}
+
 /// Score a query signature over every live segment of a reader snapshot
 /// and keep the global best `keep`, as `(agreement, global id)` entries:
 /// per segment, candidates are probed and scored over local rows (the

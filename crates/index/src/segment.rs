@@ -199,6 +199,12 @@ impl Segment {
         &self.signatures
     }
 
+    /// The raw signature words of local row `local`, or `None` past the
+    /// end — the checked form shard extraction strides with.
+    pub fn signature_words(&self, local: usize) -> Option<&[u64]> {
+        self.signatures.get(local).map(|s| s.values())
+    }
+
     /// Original set cardinalities, local-row-ordered.
     pub fn set_sizes(&self) -> &[u64] {
         &self.set_sizes

@@ -11,6 +11,16 @@ use genomeatscale::index::IndexError;
 use genomeatscale::prelude::*;
 use proptest::prelude::*;
 
+fn env_usize_list(name: &str, default: &[usize]) -> Vec<usize> {
+    match std::env::var(name) {
+        Ok(v) => v
+            .split(',')
+            .map(|s| s.trim().parse().unwrap_or_else(|_| panic!("{name} must be a usize list")))
+            .collect(),
+        Err(_) => default.to_vec(),
+    }
+}
+
 fn unique_path(tag: &str) -> std::path::PathBuf {
     use std::sync::atomic::{AtomicU64, Ordering};
     static COUNTER: AtomicU64 = AtomicU64::new(0);
@@ -248,6 +258,88 @@ proptest! {
             ),
         }
         std::fs::remove_file(&path).ok();
+    }
+}
+
+/// Uncompacted multi-segment snapshots serve bit-identically sharded:
+/// for every `GAS_DIST_SEGMENTS` commit count (the dist-matrix threads
+/// one per CI job) and every `GAS_DIST_RANKS` grid size, the keyed
+/// distributed path over a freshly grown, *never compacted* reader must
+/// answer exactly like the single-rank engine on that reader — the
+/// lifecycle counterpart of the query-serving grid, which compaction
+/// must not be needed to pass.
+#[test]
+fn uncompacted_readers_serve_sharded_across_the_segment_grid() {
+    let config = IndexConfig::default()
+        .with_signature_len(64)
+        .with_threshold(0.4)
+        .with_signer(SignerKind::Oph);
+    let samples: Vec<Vec<u64>> = (0..28u64)
+        .map(|i| {
+            let family = i / 7;
+            let mut s: Vec<u64> = (family * 10_000..family * 10_000 + 120).collect();
+            s.extend(family * 10_000 + 5_000 + i * 11..family * 10_000 + 5_000 + i * 11 + 30);
+            s
+        })
+        .collect();
+    let collection = SampleCollection::from_sorted_sets(samples.clone()).unwrap();
+    let n = samples.len();
+    let deletes = pick_deletes(n, 7);
+    let mut queries: Vec<Vec<u64>> = samples.iter().step_by(5).cloned().collect();
+    queries.push(Vec::new());
+    let opts = QueryOptions { top_k: 4, rerank_exact: true, ..Default::default() };
+
+    for segments in env_usize_list("GAS_DIST_SEGMENTS", &[1, 7]) {
+        // `segments` near-equal commits, tombstoning doomed ids as soon
+        // as they are committed; never compacted.
+        let mut writer = IndexWriter::create(&config).unwrap();
+        let mut start = 0usize;
+        for s in 0..segments {
+            let end = start + (n - start) / (segments - s);
+            for (i, sample) in samples.iter().enumerate().take(end).skip(start) {
+                writer.add(format!("s{i}"), sample.clone()).unwrap();
+            }
+            writer.commit().unwrap();
+            for &id in &deletes {
+                if id < writer.id_bound() && !writer.reader().is_deleted(id) {
+                    writer.delete(id).unwrap();
+                }
+            }
+            writer.commit().unwrap();
+            start = end;
+        }
+        let reader = writer.reader();
+        assert_eq!(reader.segments().len(), segments, "snapshot must stay uncompacted");
+        let reference = QueryEngine::for_reader_with_collection(reader.clone(), &collection)
+            .query_batch(&queries, &opts)
+            .unwrap();
+        for ranks in env_usize_list("GAS_DIST_RANKS", &[1, 4, 6]) {
+            let out = Runtime::new(ranks)
+                .run(|ctx| {
+                    let q = if ctx.rank() == 0 { Some(&queries[..]) } else { None };
+                    ctx.expect_ok(
+                        "dist over uncompacted reader",
+                        dist_query_reader_batch_stats(
+                            ctx.world(),
+                            &reader,
+                            Some(&collection),
+                            q,
+                            &opts,
+                        ),
+                    )
+                })
+                .unwrap();
+            for (rank, (answers, stats)) in out.results.iter().enumerate() {
+                assert_eq!(
+                    answers, &reference,
+                    "rank {rank}/{ranks}, {segments} segments: uncompacted sharded \
+                     answers diverge"
+                );
+                // One keyed round regardless of segment count.
+                assert_eq!(stats.collective_calls, 6, "{segments} segments");
+                assert_eq!(stats.per_segment.len(), segments);
+            }
+        }
     }
 }
 

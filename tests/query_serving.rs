@@ -1,10 +1,14 @@
 //! Distributed query-serving equivalence: the band-sharded engine must
 //! answer bit-identically to the single-rank engine for every rank count
 //! of the CI dist-matrix grid (`GAS_DIST_RANKS` pins one configuration
-//! per CI job; local runs cover the full default matrix).
+//! per CI job, `GAS_DIST_SEGMENTS` one uncompacted segment count; local
+//! runs cover the full default matrix), and the keyed cross-segment
+//! exchange must ship exactly the rows the retained per-segment
+//! reference ships.
 
 use genomeatscale::index::dist::{band_shard, sample_shard, SignatureShard};
 use genomeatscale::prelude::*;
+use proptest::prelude::*;
 
 fn env_usize_list(name: &str, default: &[usize]) -> Vec<usize> {
     match std::env::var(name) {
@@ -162,16 +166,46 @@ fn signature_shards_cover_every_sample_exactly_once_on_ci_grids() {
     }
 }
 
+/// Grow `collection` through the writer lifecycle as `segments`
+/// near-equal commits, tombstoning each of `deletes` as soon as it is
+/// committed — the uncompacted multi-segment snapshot the dist-matrix
+/// serves.
+fn grow_segmented(
+    collection: &SampleCollection,
+    config: &IndexConfig,
+    segments: usize,
+    deletes: &[u32],
+) -> IndexWriter {
+    let n = collection.n();
+    let mut writer = IndexWriter::create(config).unwrap();
+    let mut start = 0usize;
+    for s in 0..segments {
+        let end = start + (n - start) / (segments - s);
+        for i in start..end {
+            writer.add(collection.names()[i].clone(), collection.sample(i).to_vec()).unwrap();
+        }
+        writer.commit().unwrap();
+        for &id in deletes {
+            if id < writer.id_bound() && !writer.reader().is_deleted(id) {
+                writer.delete(id).unwrap();
+            }
+        }
+        writer.commit().unwrap();
+        start = end;
+    }
+    writer
+}
+
 #[test]
 fn segmented_reader_serves_bit_identically_across_the_grid() {
     // The lifecycle acceptance property, on the CI dist-matrix grid: an
-    // incrementally grown index (three commits, two deletes) must answer
-    // (1) bit-identically between the single-rank multi-segment reader
-    // and the per-segment sharded distributed path on every rank count,
-    // and (2) bit-identically to a fresh monolithic rebuild over the
-    // final live corpus (dense ids remapped through the sorted live-id
-    // list, a strictly monotone bijection) — before and after
-    // compaction, under both signers.
+    // incrementally grown index (`GAS_DIST_SEGMENTS` commits, two
+    // deletes) must answer (1) bit-identically between the single-rank
+    // multi-segment reader and the keyed sharded distributed path on
+    // every rank count, and (2) bit-identically to a fresh monolithic
+    // rebuild over the final live corpus (dense ids remapped through the
+    // sorted live-id list, a strictly monotone bijection) — before and
+    // after compaction, under both signers.
     let collection = family_workload();
     let n = collection.n();
     let deletes: Vec<u32> = vec![3, 17];
@@ -183,11 +217,112 @@ fn segmented_reader_serves_bit_identically_across_the_grid() {
     for signer in [SignerKind::KMins, SignerKind::Oph] {
         let config =
             IndexConfig::default().with_signature_len(128).with_threshold(0.4).with_signer(signer);
-        // Grow incrementally: three roughly equal batches, deleting as
-        // soon as the doomed ids are committed.
+        for segments in env_usize_list("GAS_DIST_SEGMENTS", &[1, 3, 7]) {
+            let mut writer = grow_segmented(&collection, &config, segments, &deletes);
+
+            // The fresh-rebuild reference over the live corpus.
+            let reader = writer.reader();
+            let live = reader.live_ids();
+            let final_collection = SampleCollection::from_sorted_sets(
+                live.iter().map(|&id| collection.sample(id as usize).to_vec()).collect(),
+            )
+            .unwrap();
+            let fresh = SketchIndex::build(&final_collection, &config).unwrap();
+
+            for compacted in [false, true] {
+                if compacted {
+                    writer.compact_all().unwrap();
+                }
+                let reader = writer.reader();
+                assert_eq!(
+                    reader.segments().len(),
+                    if compacted { 1 } else { segments },
+                    "{signer}"
+                );
+                for rerank in [false, true] {
+                    let opts =
+                        QueryOptions { top_k: 6, rerank_exact: rerank, ..Default::default() };
+                    let reference =
+                        QueryEngine::for_reader_with_collection(reader.clone(), &collection)
+                            .query_batch(&queries, &opts)
+                            .unwrap();
+                    // (2): single-rank reader ≡ remapped fresh rebuild.
+                    let fresh_answers = QueryEngine::with_collection(&fresh, &final_collection)
+                        .query_batch(&queries, &opts)
+                        .unwrap();
+                    for (got, dense) in reference.iter().zip(&fresh_answers) {
+                        let want: Vec<Neighbor> = dense
+                            .iter()
+                            .map(|m| Neighbor { id: live[m.id as usize], ..*m })
+                            .collect();
+                        assert_eq!(
+                            got, &want,
+                            "incremental reader diverges from rebuild \
+                             (signer={signer}, segments={segments}, rerank={rerank}, \
+                             compacted={compacted})"
+                        );
+                    }
+                    // (1): every rank of every grid ≡ the single-rank reader.
+                    for ranks in env_usize_list("GAS_DIST_RANKS", &[1, 4, 6, 8, 12]) {
+                        let out = Runtime::new(ranks)
+                            .run(|ctx| {
+                                let q = if ctx.rank() == 0 { Some(&queries[..]) } else { None };
+                                ctx.expect_ok(
+                                    "dist_query_reader_batch",
+                                    dist_query_reader_batch(
+                                        ctx.world(),
+                                        &reader,
+                                        Some(&collection),
+                                        q,
+                                        &opts,
+                                    ),
+                                )
+                            })
+                            .unwrap();
+                        for (rank, answers) in out.results.iter().enumerate() {
+                            assert_eq!(
+                                answers, &reference,
+                                "rank {rank}/{ranks} (signer={signer}, segments={segments}, \
+                                 rerank={rerank}, compacted={compacted}): segmented sharded \
+                                 answers diverge"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    /// The keyed single-exchange ships exactly what the per-segment
+    /// exchange ships: identical top-k answers on every rank *and*
+    /// identical total shipped row content (count, bytes and an
+    /// order-insensitive content fingerprint — the wire framing is the
+    /// only thing allowed to differ), across random segment layouts,
+    /// random tombstones and both signers.
+    #[test]
+    fn keyed_exchange_equals_per_segment_exchange_on_random_layouts(
+        splits in prop::collection::btree_set(1usize..30, 0..5),
+        doomed in prop::collection::btree_set(0u32..30, 0..6),
+        kmins in any::<bool>(),
+        rerank in any::<bool>(),
+    ) {
+        let collection = family_workload();
+        let n = collection.n();
+        let signer = if kmins { SignerKind::KMins } else { SignerKind::Oph };
+        let config =
+            IndexConfig::default().with_signature_len(64).with_threshold(0.4).with_signer(signer);
+
+        // Commit along the random split points, tombstoning doomed ids as
+        // soon as they are committed (mid-stream, like a live writer).
+        let deletes: Vec<u32> = doomed.into_iter().collect();
         let mut writer = IndexWriter::create(&config).unwrap();
-        for chunk in (0..n).collect::<Vec<_>>().chunks(n.div_ceil(3)) {
-            for &i in chunk {
+        let mut start = 0usize;
+        for end in splits.into_iter().chain(std::iter::once(n)) {
+            for i in start..end {
                 writer.add(collection.names()[i].clone(), collection.sample(i).to_vec()).unwrap();
             }
             writer.commit().unwrap();
@@ -197,67 +332,70 @@ fn segmented_reader_serves_bit_identically_across_the_grid() {
                 }
             }
             writer.commit().unwrap();
+            start = end;
         }
-
-        // The fresh-rebuild reference over the live corpus.
         let reader = writer.reader();
-        let live = reader.live_ids();
-        let final_collection = SampleCollection::from_sorted_sets(
-            live.iter().map(|&id| collection.sample(id as usize).to_vec()).collect(),
-        )
-        .unwrap();
-        let fresh = SketchIndex::build(&final_collection, &config).unwrap();
 
-        for compacted in [false, true] {
-            if compacted {
-                writer.compact_all().unwrap();
-            }
-            let reader = writer.reader();
-            assert_eq!(reader.segments().len(), if compacted { 1 } else { 3 }, "{signer}");
-            for rerank in [false, true] {
-                let opts = QueryOptions { top_k: 6, rerank_exact: rerank, ..Default::default() };
-                let reference =
-                    QueryEngine::for_reader_with_collection(reader.clone(), &collection)
-                        .query_batch(&queries, &opts)
-                        .unwrap();
-                // (2): single-rank reader ≡ remapped fresh rebuild.
-                let fresh_answers = QueryEngine::with_collection(&fresh, &final_collection)
-                    .query_batch(&queries, &opts)
-                    .unwrap();
-                for (got, dense) in reference.iter().zip(&fresh_answers) {
-                    let want: Vec<Neighbor> =
-                        dense.iter().map(|m| Neighbor { id: live[m.id as usize], ..*m }).collect();
-                    assert_eq!(
-                        got, &want,
-                        "incremental reader diverges from rebuild \
-                         (signer={signer}, rerank={rerank}, compacted={compacted})"
-                    );
-                }
-                // (1): every rank of every grid ≡ the single-rank reader.
-                for ranks in env_usize_list("GAS_DIST_RANKS", &[1, 4, 6, 8, 12]) {
-                    let out = Runtime::new(ranks)
-                        .run(|ctx| {
-                            let q = if ctx.rank() == 0 { Some(&queries[..]) } else { None };
-                            ctx.expect_ok(
-                                "dist_query_reader_batch",
-                                dist_query_reader_batch(
-                                    ctx.world(),
-                                    &reader,
-                                    Some(&collection),
-                                    q,
-                                    &opts,
-                                ),
-                            )
-                        })
-                        .unwrap();
-                    for (rank, answers) in out.results.iter().enumerate() {
-                        assert_eq!(
-                            answers, &reference,
-                            "rank {rank}/{ranks} (signer={signer}, rerank={rerank}, \
-                             compacted={compacted}): segmented sharded answers diverge"
-                        );
-                    }
-                }
+        let mut queries: Vec<Vec<u64>> =
+            (0..n).step_by(9).map(|i| collection.sample(i).to_vec()).collect();
+        queries.push(collection.sample(1).iter().copied().step_by(3).collect());
+        queries.push(Vec::new());
+        let opts = QueryOptions { top_k: 5, rerank_exact: rerank, ..Default::default() };
+        let reference = QueryEngine::for_reader_with_collection(reader.clone(), &collection)
+            .query_batch(&queries, &opts)
+            .unwrap();
+
+        for ranks in env_usize_list("GAS_DIST_RANKS", &[1, 4]) {
+            let keyed = Runtime::new(ranks)
+                .run(|ctx| {
+                    let q = if ctx.rank() == 0 { Some(&queries[..]) } else { None };
+                    ctx.expect_ok(
+                        "keyed exchange",
+                        dist_query_reader_batch_stats(
+                            ctx.world(),
+                            &reader,
+                            Some(&collection),
+                            q,
+                            &opts,
+                        ),
+                    )
+                })
+                .unwrap();
+            let legacy = Runtime::new(ranks)
+                .run(|ctx| {
+                    let q = if ctx.rank() == 0 { Some(&queries[..]) } else { None };
+                    ctx.expect_ok(
+                        "per-segment exchange",
+                        dist_query_reader_batch_stats_per_segment(
+                            ctx.world(),
+                            &reader,
+                            Some(&collection),
+                            q,
+                            &opts,
+                        ),
+                    )
+                })
+                .unwrap();
+            let segments = reader.segments().len();
+            for (rank, ((ka, ks), (la, ls))) in
+                keyed.results.iter().zip(&legacy.results).enumerate()
+            {
+                prop_assert_eq!(
+                    ka, &reference,
+                    "keyed diverges (p={}, rank={}, segments={})", ranks, rank, segments
+                );
+                prop_assert_eq!(
+                    la, &reference,
+                    "legacy diverges (p={}, rank={}, segments={})", ranks, rank, segments
+                );
+                prop_assert_eq!(ks.fetched_rows, ls.fetched_rows);
+                prop_assert_eq!(ks.fetched_bytes, ls.fetched_bytes);
+                prop_assert_eq!(ks.fetched_fingerprint, ls.fetched_fingerprint);
+                prop_assert_eq!(&ks.per_segment, &ls.per_segment);
+                // The budget: constant for keyed, linear for per-segment.
+                let base = if rerank { 4 } else { 3 };
+                prop_assert_eq!(ks.collective_calls, base + 2);
+                prop_assert_eq!(ls.collective_calls, base + 2 * segments);
             }
         }
     }
