@@ -5,7 +5,7 @@
 # facade's integration suites. Always go through `make test` (or pass
 # --workspace yourself) so local coverage matches CI.
 
-.PHONY: build test lint fmt bench-smoke query-smoke dist-matrix index-lifecycle all
+.PHONY: build test lint fmt bench-smoke query-smoke serve-smoke dist-matrix index-lifecycle all
 
 all: lint build test
 
@@ -37,6 +37,16 @@ bench-smoke:
 query-smoke:
 	GAS_QUERY_TINY=1 cargo run --release --locked -p gas-bench --bin query_throughput
 	cargo run --release --locked -p gas-bench --bin bench_trend
+
+# The CI serve-smoke step: the IndexService serving frontend end to end
+# (pipelined concurrent commits, background compaction under live
+# readers, paged-query cursor tiling, typed overload shedding, and
+# sharded bit-equality at p ∈ {1, 4}), then the serving trend gate
+# against the committed baseline (queue high-water within the admission
+# bound, collectives budget frozen, dist equality, shedding exercised).
+serve-smoke:
+	GAS_SERVE_TINY=1 cargo run --release --locked --example serve_index
+	cargo run --release --locked -p gas-bench --bin bench_trend -- --serve
 
 # The segmented index lifecycle suites: writer/reader/compactor unit
 # tests, the `incremental add + compact ≡ full rebuild` and crash-safe

@@ -24,6 +24,22 @@
 //! Usage: `bench_trend [current.json] [baseline.json]` (defaults:
 //! `results/query_throughput.json`,
 //! `bench/baselines/query_throughput.tiny.json`).
+//!
+//! `bench_trend --serve [current.json] [baseline.json]` gates the
+//! serving-frontend smoke report instead (defaults:
+//! `results/serve_stats.json`, `bench/baselines/serve_stats.tiny.json`).
+//! Rows are matched on `workload` and four figures are held:
+//!
+//! * **max_commit_queue_depth** — the observed commit-queue high-water
+//!   mark may not exceed the baseline (the committed admission bound):
+//!   admission control shedding at the door is a design property;
+//! * **collectives_p4** — the per-batch collectives budget of the
+//!   sharded path at p = 4 may not grow at all (the keyed exchange
+//!   makes it independent of the commit history);
+//! * **dist_identical** — sharded serving must stay bit-identical to
+//!   single-rank serving;
+//! * **sheds** — the typed-overload path must have been exercised at
+//!   least once (a silent never-sheds run means the demo went dead).
 
 use std::collections::BTreeMap;
 use std::path::PathBuf;
@@ -70,8 +86,133 @@ fn trend_rows(path: &PathBuf) -> Result<BTreeMap<(String, String), TrendRow>, St
     Ok(out)
 }
 
+/// The gated figures of one serving-smoke report row.
+#[derive(Debug, Clone, PartialEq)]
+struct ServeRow {
+    max_commit_queue_depth: f64,
+    collectives_p4: f64,
+    dist_identical: f64,
+    sheds: f64,
+}
+
+/// Index a serving-smoke report's rows by `workload`.
+fn serve_rows(path: &PathBuf) -> Result<BTreeMap<String, ServeRow>, String> {
+    let rows = read_json_rows(path).map_err(|e| e.to_string())?;
+    let mut out = BTreeMap::new();
+    for (i, row) in rows.iter().enumerate() {
+        let field = |name: &str| -> Result<String, String> {
+            row.iter()
+                .find(|(h, _)| h == name)
+                .map(|(_, v)| v.clone())
+                .ok_or_else(|| format!("{}: row {i} has no \"{name}\" column", path.display()))
+        };
+        let number = |name: &str| -> Result<f64, String> {
+            let raw = field(name)?;
+            raw.parse::<f64>().map_err(|_| {
+                format!("{}: row {i} column \"{name}\" is not numeric: {raw:?}", path.display())
+            })
+        };
+        let key = field("workload")?;
+        let figures = ServeRow {
+            max_commit_queue_depth: number("max_commit_queue_depth")?,
+            collectives_p4: number("collectives_p4")?,
+            dist_identical: number("dist_identical")?,
+            sheds: number("sheds")?,
+        };
+        if out.insert(key.clone(), figures).is_some() {
+            return Err(format!("{}: duplicate row for workload {key:?}", path.display()));
+        }
+    }
+    Ok(out)
+}
+
+/// Gate the serving-frontend smoke report against its committed
+/// baseline: queue high-water within the admission bound, collectives
+/// budget not exceeded, sharded equality intact, shedding exercised.
+fn serve_gate(current: &PathBuf, baseline: &PathBuf) -> ExitCode {
+    let (current_rows, baseline_rows) = match (serve_rows(current), serve_rows(baseline)) {
+        (Ok(c), Ok(b)) => (c, b),
+        (c, b) => {
+            for err in [c.err(), b.err()].into_iter().flatten() {
+                eprintln!("bench-trend: {err}");
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+    if baseline_rows.is_empty() {
+        eprintln!("bench-trend: baseline {} holds no rows", baseline.display());
+        return ExitCode::FAILURE;
+    }
+    let mut failures = Vec::new();
+    for (workload, base) in &baseline_rows {
+        let Some(now) = current_rows.get(workload) else {
+            failures.push(format!("workload {workload} vanished from the current report"));
+            continue;
+        };
+        println!(
+            "[serve/{workload}] commit queue high-water {:.0} (bound {:.0}), collectives \
+             {:.0} (budget {:.0}), dist identical {:.0}, sheds {:.0}",
+            now.max_commit_queue_depth,
+            base.max_commit_queue_depth,
+            now.collectives_p4,
+            base.collectives_p4,
+            now.dist_identical,
+            now.sheds
+        );
+        if now.max_commit_queue_depth > base.max_commit_queue_depth {
+            failures.push(format!(
+                "({workload}) commit queue high-water {:.0} exceeded the admission bound {:.0}",
+                now.max_commit_queue_depth, base.max_commit_queue_depth
+            ));
+        }
+        if now.collectives_p4 > base.collectives_p4 {
+            failures.push(format!(
+                "({workload}) collectives_p4 exceeded the budget: {:.0} vs baseline {:.0}",
+                now.collectives_p4, base.collectives_p4
+            ));
+        }
+        if now.dist_identical != 1.0 {
+            failures
+                .push(format!("({workload}) sharded serving diverged from single-rank serving"));
+        }
+        if now.sheds < 1.0 {
+            failures.push(format!(
+                "({workload}) admission control never shed — the overload demo went dead"
+            ));
+        }
+    }
+    if failures.is_empty() {
+        println!(
+            "bench-trend OK: {} serving row(s) within budget of {}",
+            baseline_rows.len(),
+            baseline.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+    for f in &failures {
+        eprintln!("bench-trend FAIL: {f}");
+    }
+    eprintln!(
+        "bench-trend: {} serving regression(s) vs {} — if intentional, refresh the baseline \
+         from {}",
+        failures.len(),
+        baseline.display(),
+        current.display()
+    );
+    ExitCode::FAILURE
+}
+
 fn main() -> ExitCode {
-    let mut args = std::env::args().skip(1);
+    let mut args = std::env::args().skip(1).peekable();
+    if args.peek().map(String::as_str) == Some("--serve") {
+        args.next();
+        let current =
+            PathBuf::from(args.next().unwrap_or_else(|| "results/serve_stats.json".into()));
+        let baseline = PathBuf::from(
+            args.next().unwrap_or_else(|| "bench/baselines/serve_stats.tiny.json".into()),
+        );
+        return serve_gate(&current, &baseline);
+    }
     let current =
         PathBuf::from(args.next().unwrap_or_else(|| "results/query_throughput.json".into()));
     let baseline = PathBuf::from(

@@ -58,11 +58,12 @@ use gas_dstsim::runtime::Runtime;
 use gas_index::{
     dist_query_batch_stats, dist_query_reader_batch_stats,
     dist_query_reader_batch_stats_per_segment, exact_top_k, DistQueryStats, IndexConfig,
-    IndexWriter, QueryEngine, QueryOptions, SignerKind, SketchIndex,
+    IndexOptions, IndexService, QueryEngine, QueryOptions, SignerKind, SketchIndex,
 };
 use rand::{Rng, SeedableRng, StdRng};
 
 const TOP_K: usize = 10;
+const PIPELINE_BATCHES: usize = 8;
 const DIST_RANKS: [usize; 3] = [4, 6, 8];
 const SWEEP_SEGMENTS: [usize; 3] = [1, 4, 16];
 const SWEEP_RANKS: usize = 4;
@@ -244,7 +245,9 @@ fn time_incremental_vs_rebuild(
     enlarged.extend(extra.iter().cloned());
     let enlarged = SampleCollection::from_sets(enlarged).expect("valid enlarged corpus");
     let rebuild_s = time_averaged(|| {
-        std::hint::black_box(SketchIndex::build(&enlarged, config).expect("rebuild succeeds"));
+        std::hint::black_box(
+            IndexOptions::from_config(*config).build_index(&enlarged).expect("rebuild succeeds"),
+        );
     });
 
     // Each rep gets a fresh base writer (prepared untimed, one at a
@@ -254,7 +257,7 @@ fn time_incremental_vs_rebuild(
     let mut reps = 0usize;
     let mut total = 0.0f64;
     while total < 0.2 && reps < 64 {
-        let mut w = IndexWriter::create(config).expect("writer creates");
+        let mut w = IndexOptions::from_config(*config).open_writer().expect("writer creates");
         w.commit_collection(collection).expect("base seals");
         let t = Instant::now();
         for (j, s) in extra.iter().enumerate() {
@@ -267,6 +270,70 @@ fn time_incremental_vs_rebuild(
     (total / reps as f64, rebuild_s)
 }
 
+/// Pipelined commits through the [`IndexService`] vs the serial
+/// `commit()` loop: the same base corpus, then the same
+/// [`PIPELINE_BATCHES`] delta batches — serially (each batch signs and
+/// seals before the next starts) and through the service's commit
+/// pipeline (signer pool + ordered sealer, so batches sign
+/// concurrently while earlier ones seal). Both paths must produce
+/// bit-identical answers; returns `(serial_s, pipelined_s)`.
+fn time_pipelined_vs_serial(
+    config: &IndexConfig,
+    collection: &SampleCollection,
+    batches: &[Vec<(String, Vec<u64>)>],
+    probes: &[Vec<u64>],
+) -> (f64, f64) {
+    let mut writer = IndexOptions::from_config(*config).open_writer().expect("serial writer");
+    writer.commit_collection(collection).expect("serial base seals");
+    let t = Instant::now();
+    for batch in batches {
+        for (name, values) in batch {
+            writer.add(name.clone(), values.clone()).expect("serial add");
+        }
+        writer.commit().expect("serial commit seals");
+    }
+    let serial_s = t.elapsed().as_secs_f64();
+
+    let service = IndexOptions::from_config(*config)
+        .with_auto_compact(false)
+        .serve()
+        .expect("service starts");
+    service
+        .add_batch(
+            (0..collection.n())
+                .map(|i| (format!("base_{i}"), collection.sample(i).to_vec()))
+                .collect(),
+        )
+        .expect("service base stages");
+    service.commit_wait().expect("service base seals");
+    let t = Instant::now();
+    let tickets: Vec<_> = batches
+        .iter()
+        .map(|batch| {
+            service.add_batch(batch.clone()).expect("service add");
+            service.commit().expect("service commit admits")
+        })
+        .collect();
+    for ticket in tickets {
+        ticket.wait().expect("pipelined commit seals");
+    }
+    let pipelined_s = t.elapsed().as_secs_f64();
+
+    // The pipeline reorders nothing observable: the sealed index answers
+    // bit-identically to the serial writer's.
+    let opts = QueryOptions { top_k: TOP_K, ..Default::default() };
+    let serial_answers =
+        QueryEngine::snapshot(writer.reader()).query_batch(probes, &opts).expect("serial probes");
+    let service_answers = QueryEngine::snapshot(service.snapshot())
+        .query_batch(probes, &opts)
+        .expect("service probes");
+    assert_eq!(
+        serial_answers, service_answers,
+        "pipelined commits must answer bit-identically to serial commits"
+    );
+    (serial_s, pipelined_s)
+}
+
 /// Everything one signer's serving pipeline produced, ready for a report
 /// row and the cross-signer assertions.
 struct SignerRun {
@@ -275,6 +342,8 @@ struct SignerRun {
     build_s: f64,
     incr_add_s: f64,
     rebuild_s: f64,
+    serial_commit_s: f64,
+    pipelined_commit_s: f64,
     container_len: usize,
     engine_qps: f64,
     est_recall: f64,
@@ -296,7 +365,7 @@ fn run_signer(
         .with_threshold(0.4)
         .with_signer(signer);
     let t = Instant::now();
-    let index = SketchIndex::build(collection, &config).expect("build succeeds");
+    let index = IndexOptions::from_config(config).build_index(collection).expect("build succeeds");
     let build_s = t.elapsed().as_secs_f64();
     println!(
         "[{signer}] built index in {}: {} bands × {} rows (threshold {:.3})",
@@ -327,6 +396,27 @@ fn run_signer(
         format_seconds(incr_add_s),
         format_seconds(rebuild_s),
         rebuild_s / incr_add_s.max(1e-12)
+    );
+
+    // Pipelined commits: the same delta batches through the service's
+    // stage → sign → seal pipeline vs the serial commit() loop.
+    let batches: Vec<Vec<(String, Vec<u64>)>> = (0..PIPELINE_BATCHES)
+        .map(|b| {
+            workload
+                .extra_samples(9_000 + b as u64)
+                .into_iter()
+                .enumerate()
+                .map(|(i, s)| (format!("pipe_{b}_{i}"), s))
+                .collect()
+        })
+        .collect();
+    let (serial_commit_s, pipelined_commit_s) =
+        time_pipelined_vs_serial(&config, collection, &batches, queries);
+    println!(
+        "[{signer}] {PIPELINE_BATCHES} delta commits: serial {} vs pipelined {} ({:.2}× wall-clock)",
+        format_seconds(serial_commit_s),
+        format_seconds(pipelined_commit_s),
+        pipelined_commit_s / serial_commit_s.max(1e-12)
     );
 
     // Persist: container round-trip must reproduce the index exactly,
@@ -408,6 +498,8 @@ fn run_signer(
         build_s,
         incr_add_s,
         rebuild_s,
+        serial_commit_s,
+        pipelined_commit_s,
         container_len,
         engine_qps,
         est_recall,
@@ -449,7 +541,8 @@ fn segment_sweep(
     for segments in SWEEP_SEGMENTS {
         // The same corpus, committed as `segments` near-equal batches so
         // the reader holds exactly that many uncompacted segments.
-        let mut writer = IndexWriter::create(&config).expect("sweep writer creates");
+        let mut writer =
+            IndexOptions::from_config(config).open_writer().expect("sweep writer creates");
         let mut start = 0usize;
         for s in 0..segments {
             let end = start + (n - start) / (segments - s);
@@ -461,7 +554,7 @@ fn segment_sweep(
         }
         let reader = writer.reader();
         assert_eq!(reader.segments().len(), segments, "sweep snapshot shape");
-        let reference = QueryEngine::for_reader_with_collection(reader.clone(), collection)
+        let reference = QueryEngine::snapshot_with_collection(reader.clone(), collection)
             .query_batch(queries, &opts)
             .expect("single-rank sweep reference");
 
@@ -562,6 +655,9 @@ fn main() {
             "incr_add_s",
             "rebuild_s",
             "incr_speedup",
+            "serial_commit_s",
+            "pipelined_commit_s",
+            "pipeline_speedup",
             "container_bytes",
             "scan_qps",
             "engine_qps",
@@ -586,6 +682,9 @@ fn main() {
             format!("{:.6}", run.incr_add_s),
             format!("{:.6}", run.rebuild_s),
             format!("{:.2}", run.rebuild_s / run.incr_add_s.max(1e-12)),
+            format!("{:.6}", run.serial_commit_s),
+            format!("{:.6}", run.pipelined_commit_s),
+            format!("{:.2}", run.serial_commit_s / run.pipelined_commit_s.max(1e-12)),
             run.container_len.to_string(),
             format!("{scan_qps:.1}"),
             format!("{:.1}", run.engine_qps),
@@ -690,6 +789,32 @@ fn main() {
             run.incr_add_s,
             run.rebuild_s
         );
+    }
+    // The pipeline gate: K delta batches through the service must take
+    // ≤ 0.7× the wall-clock of the serial commit() loop at the default
+    // bench scale. The serial loop leaves cores idle during its
+    // single-threaded stretches (staging, sealing, persisting, and the
+    // per-batch fork/join ramp of batch signing); the pipeline fills
+    // them by signing later batches concurrently — which requires a
+    // second core to exist. On a single-core machine no pipeline can
+    // beat a serial loop at CPU-bound work, so there the gate instead
+    // bounds the pipeline's overhead at ≤ 1.25×. (The tiny CI workload
+    // reports the figure without asserting it — batches there sit near
+    // thread-spawn noise.)
+    if !tiny() {
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let ceiling = if cores >= 2 { 0.7 } else { 1.25 };
+        for run in &runs {
+            let ratio = run.pipelined_commit_s / run.serial_commit_s.max(1e-12);
+            assert!(
+                ratio <= ceiling,
+                "[{}] pipelined commits took {ratio:.2}× the serial loop (gate ≤ {ceiling}× \
+                 on {cores} core(s): pipelined {:.6} s vs serial {:.6} s)",
+                run.signer,
+                run.pipelined_commit_s,
+                run.serial_commit_s
+            );
+        }
     }
     let speedup = kmins.sign_s / oph.sign_s.max(1e-12);
     let floor = if tiny() { 2.0 } else { 5.0 };

@@ -192,8 +192,19 @@ impl SketchIndex {
     /// collection in one commit (the staging-free `commit_collection`
     /// path — signatures come straight off the collection's slices, no
     /// copies of the value sets are made).
+    #[deprecated(since = "0.7.0", note = "construct through `IndexOptions::build_index` instead")]
     pub fn build(collection: &SampleCollection, config: &IndexConfig) -> IndexResult<Self> {
-        let mut writer = crate::lifecycle::IndexWriter::create(config)?;
+        SketchIndex::build_monolithic(collection, config)
+    }
+
+    /// The monolithic build path shared by [`Self::build`] (deprecated
+    /// shim) and [`crate::service::IndexOptions::build_index`] (the
+    /// public entry point).
+    pub(crate) fn build_monolithic(
+        collection: &SampleCollection,
+        config: &IndexConfig,
+    ) -> IndexResult<Self> {
+        let mut writer = crate::lifecycle::IndexWriter::new_in_memory(config)?;
         writer.commit_collection(collection)?;
         Ok(writer.reader().to_monolithic().expect("one fresh commit is dense and tombstone-free"))
     }
@@ -332,6 +343,7 @@ pub fn band_key(params: &LshParams, band: usize, sig: &MinHashSignature) -> u64 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::service::IndexOptions;
 
     fn family_collection() -> SampleCollection {
         // Two families of three near-duplicates plus one loner.
@@ -356,7 +368,7 @@ mod tests {
     fn build_produces_consistent_tables() {
         let collection = family_collection();
         let config = IndexConfig::default().with_signature_len(64).with_threshold(0.5);
-        let index = SketchIndex::build(&collection, &config).unwrap();
+        let index = IndexOptions::from_config(config).build_index(&collection).unwrap();
         assert_eq!(index.n(), 7);
         assert_eq!(index.params().signature_len(), 64);
         assert_eq!(index.set_sizes(), &collection.cardinalities()[..]);
@@ -382,7 +394,7 @@ mod tests {
     fn near_duplicates_collide_and_strangers_do_not() {
         let collection = family_collection();
         let config = IndexConfig::default().with_signature_len(128).with_threshold(0.5);
-        let index = SketchIndex::build(&collection, &config).unwrap();
+        let index = IndexOptions::from_config(config).build_index(&collection).unwrap();
         // Family members (J ≈ 0.95) must be candidates of each other.
         let cands = index.candidates(index.signature(0));
         assert!(cands.contains(&1) && cands.contains(&2), "family not retrieved: {cands:?}");
@@ -397,7 +409,7 @@ mod tests {
             .with_signature_len(128)
             .with_threshold(0.5)
             .with_signer(SignerKind::Oph);
-        let index = SketchIndex::build(&collection, &config).unwrap();
+        let index = IndexOptions::from_config(config).build_index(&collection).unwrap();
         assert_eq!(index.scheme().kind(), SignerKind::Oph);
         let cands = index.candidates(index.signature(0));
         assert!(cands.contains(&1) && cands.contains(&2), "family not retrieved: {cands:?}");
@@ -408,7 +420,7 @@ mod tests {
     fn check_query_scheme_rejects_any_scheme_drift() {
         let collection = family_collection();
         let config = IndexConfig::default().with_signature_len(64).with_signer(SignerKind::Oph);
-        let index = SketchIndex::build(&collection, &config).unwrap();
+        let index = IndexOptions::from_config(config).build_index(&collection).unwrap();
         assert!(index.check_query_scheme(index.scheme()).is_ok());
         let wrong_kind = index.scheme().with_kind(SignerKind::KMins);
         assert!(matches!(
@@ -460,7 +472,7 @@ mod tests {
     fn from_parts_validates_shapes() {
         let collection = family_collection();
         let config = IndexConfig::default().with_signature_len(32);
-        let index = SketchIndex::build(&collection, &config).unwrap();
+        let index = IndexOptions::from_config(config).build_index(&collection).unwrap();
         let rebuilt = SketchIndex::from_parts(
             *index.scheme(),
             *index.params(),

@@ -836,6 +836,7 @@ pub(crate) fn scan_v3(bytes: &[u8]) -> IndexResult<V3Scan> {
 mod tests {
     use super::*;
     use crate::build::IndexConfig;
+    use crate::service::IndexOptions;
     use gas_core::indicator::SampleCollection;
 
     fn small_index() -> SketchIndex {
@@ -848,7 +849,9 @@ mod tests {
         .unwrap()
         .with_names(vec!["a".into(), "b".into(), "naïve-✓".into(), "empty".into()])
         .unwrap();
-        SketchIndex::build(&collection, &IndexConfig::default().with_signature_len(32)).unwrap()
+        IndexOptions::from_config(IndexConfig::default().with_signature_len(32))
+            .build_index(&collection)
+            .unwrap()
     }
 
     #[test]
@@ -880,7 +883,7 @@ mod tests {
         let config = IndexConfig::default()
             .with_signature_len(32)
             .with_signer(gas_core::minhash::SignerKind::Oph);
-        SketchIndex::build(&collection, &config).unwrap()
+        IndexOptions::from_config(config).build_index(&collection).unwrap()
     }
 
     /// Rewrite the version field of container `bytes` and fix up the

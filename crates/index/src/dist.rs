@@ -66,8 +66,8 @@ use crate::build::SketchIndex;
 use crate::error::{IndexError, IndexResult};
 use crate::lifecycle::IndexReader;
 use crate::query::{
-    finalize, live_candidates_by_segment, lsh_top_by, merge_scored_sources, Neighbor, QueryOptions,
-    Scored,
+    finalize, live_candidates_by_segment, lsh_top_by, merge_scored_sources, Neighbor, PageCursor,
+    PageRequest, QueryOptions, QueryPage, Scored,
 };
 use crate::segment::Segment;
 
@@ -853,6 +853,56 @@ pub fn dist_query_reader_batch(
         .map(|(answers, _)| answers)
 }
 
+/// Serve one page per query over the shards of `world` — the
+/// distributed form of [`crate::query::QueryEngine::query_page_batch`].
+///
+/// The full candidate ranking is computed distributedly (the same five
+/// collectives as [`dist_query_reader_batch`], with an unbounded `top_k`
+/// so no pool truncates the scan); the page cut — min-score filter,
+/// cursor offset, next-cursor — is then applied locally and identically
+/// on every rank. Since the full distributed ranking is bit-identical
+/// to the single-rank engine's, every page is bit-identical to the page
+/// [`crate::query::QueryEngine::query_page`] serves from the same
+/// snapshot, and cursors are interchangeable between the two paths.
+pub fn dist_query_reader_page(
+    world: &Communicator,
+    reader: &IndexReader,
+    collection: Option<&SampleCollection>,
+    queries: Option<&[Vec<u64>]>,
+    req: &PageRequest,
+) -> IndexResult<Vec<QueryPage>> {
+    if req.page_size == 0 {
+        return Err(IndexError::InvalidQuery("page_size must be ≥ 1".into()));
+    }
+    let offset = match req.cursor {
+        Some(cursor) => {
+            if cursor.generation() != reader.generation() {
+                return Err(IndexError::StaleCursor {
+                    cursor_generation: cursor.generation(),
+                    snapshot_generation: reader.generation(),
+                });
+            }
+            cursor.offset() as usize
+        }
+        None => 0,
+    };
+    let full = QueryOptions { top_k: usize::MAX, oversample: 1, rerank_exact: req.rerank_exact };
+    let answers = dist_query_reader_batch(world, reader, collection, queries, &full)?;
+    Ok(answers
+        .into_iter()
+        .map(|ranking| {
+            let total_candidates = ranking.len();
+            let ranking: Vec<Neighbor> =
+                ranking.into_iter().filter(|n| n.score >= req.min_score).collect();
+            let start = offset.min(ranking.len());
+            let end = offset.saturating_add(req.page_size).min(ranking.len());
+            let next_cursor =
+                (end < ranking.len()).then(|| PageCursor::new(reader.generation(), end as u64));
+            QueryPage { hits: ranking[start..end].to_vec(), next_cursor, total_candidates }
+        })
+        .collect())
+}
+
 /// Serve a batch of top-k queries over the band and signature shards of
 /// `world` for a monolithic index (the single-segment convenience form
 /// of [`dist_query_reader_batch_stats`]).
@@ -884,6 +934,7 @@ mod tests {
     use crate::build::IndexConfig;
     use crate::lifecycle::IndexWriter;
     use crate::query::QueryEngine;
+    use crate::service::IndexOptions;
     use gas_core::minhash::SignerKind;
     use gas_dstsim::runtime::Runtime;
 
@@ -908,7 +959,7 @@ mod tests {
         segments: usize,
         deletes: &[u32],
     ) -> IndexWriter {
-        let mut writer = IndexWriter::create(config).unwrap();
+        let mut writer = IndexOptions::from_config(*config).open_writer().unwrap();
         let n = collection.n();
         let mut start = 0usize;
         for s in 0..segments {
@@ -975,7 +1026,8 @@ mod tests {
     #[test]
     fn signature_shards_partition_the_matrix() {
         let collection = workload();
-        let index = SketchIndex::build(&collection, &IndexConfig::default().with_signature_len(64))
+        let index = IndexOptions::from_config(IndexConfig::default().with_signature_len(64))
+            .build_index(&collection)
             .unwrap();
         for p in [1usize, 3, 4, 7] {
             let shards: Vec<SignatureShard> =
@@ -1039,7 +1091,8 @@ mod tests {
     #[should_panic]
     fn signature_shard_row_panics_on_foreign_ids() {
         let collection = workload();
-        let index = SketchIndex::build(&collection, &IndexConfig::default().with_signature_len(16))
+        let index = IndexOptions::from_config(IndexConfig::default().with_signature_len(16))
+            .build_index(&collection)
             .unwrap();
         let shard = SignatureShard::build(&index, 0, 2);
         let _ = shard.row(1); // owned by rank 1
@@ -1053,7 +1106,7 @@ mod tests {
                 .with_signature_len(128)
                 .with_threshold(0.4)
                 .with_signer(signer);
-            let index = SketchIndex::build(&collection, &config).unwrap();
+            let index = IndexOptions::from_config(config).build_index(&collection).unwrap();
             let queries: Vec<Vec<u64>> =
                 (0..6).map(|i| collection.sample(i * 3).to_vec()).collect();
 
@@ -1195,7 +1248,7 @@ mod tests {
             let queries: Vec<Vec<u64>> =
                 (0..6).map(|i| collection.sample(i * 3).to_vec()).collect();
             let opts = QueryOptions { top_k: 5, rerank_exact: true, ..Default::default() };
-            let reference = QueryEngine::for_reader_with_collection(reader.clone(), &collection)
+            let reference = QueryEngine::snapshot_with_collection(reader.clone(), &collection)
                 .query_batch(&queries, &opts)
                 .unwrap();
             for p in [1usize, 3, 4] {
@@ -1252,11 +1305,9 @@ mod tests {
         // Every rank calls the collective; rank 0 has no query batch. The
         // validity pre-broadcast must turn that into a typed error on all
         // ranks instead of deadlocking ranks 1..p in the signature bcast.
-        let index = SketchIndex::build(
-            &SampleCollection::from_sorted_sets(vec![vec![1, 2, 3]]).unwrap(),
-            &IndexConfig::default().with_signature_len(16),
-        )
-        .unwrap();
+        let index = IndexOptions::from_config(IndexConfig::default().with_signature_len(16))
+            .build_index(&SampleCollection::from_sorted_sets(vec![vec![1, 2, 3]]).unwrap())
+            .unwrap();
         let out = Runtime::new(3)
             .run(|ctx| dist_query_batch(ctx.world(), &index, None, None, &QueryOptions::default()))
             .unwrap();

@@ -66,6 +66,27 @@ pub enum IndexError {
         /// The query's scheme.
         query_scheme: String,
     },
+    /// The serving frontend shed this request: a bounded queue was full,
+    /// a per-batch deadline expired before the work was picked up, or the
+    /// service is shutting down. Overload shedding is admission control,
+    /// not corruption — the caller may retry once pressure drains.
+    Overloaded {
+        /// Request class that was shed ("commit", "query", "compact").
+        class: String,
+        /// Which limit tripped (queue bound, deadline, shutdown).
+        context: String,
+    },
+    /// A pagination cursor references a snapshot generation the service
+    /// no longer pins (or a different index entirely). The client must
+    /// restart the scan from the first page of a fresh snapshot.
+    StaleCursor {
+        /// Generation encoded in the cursor.
+        cursor_generation: u64,
+        /// Oldest generation still answerable.
+        snapshot_generation: u64,
+    },
+    /// A pagination cursor token failed to parse.
+    InvalidCursor(String),
     /// An error from the core (signature) layer.
     Core(gas_core::CoreError),
     /// An error from the sparse (rerank) layer.
@@ -109,6 +130,17 @@ impl fmt::Display for IndexError {
                 f,
                 "signer mismatch: index signed with {index_scheme}, query with {query_scheme}"
             ),
+            IndexError::Overloaded { class, context } => {
+                write!(f, "service overloaded, {class} request shed: {context}")
+            }
+            IndexError::StaleCursor { cursor_generation, snapshot_generation } => write!(
+                f,
+                "stale page cursor: generation {cursor_generation} is no longer pinned \
+                 (oldest answerable generation is {snapshot_generation}); restart the scan"
+            ),
+            IndexError::InvalidCursor(token) => {
+                write!(f, "malformed page cursor token {token:?}")
+            }
             IndexError::Core(e) => write!(f, "core error: {e}"),
             IndexError::Sparse(e) => write!(f, "sparse algebra error: {e}"),
             IndexError::Sim(e) => write!(f, "distributed runtime error: {e}"),
@@ -171,6 +203,11 @@ mod tests {
             query_scheme: "kmins(len=128)".into(),
         };
         assert!(e.to_string().contains("oph") && e.to_string().contains("kmins"));
+        let e = IndexError::Overloaded { class: "commit".into(), context: "queue full".into() };
+        assert!(e.to_string().contains("commit") && e.to_string().contains("queue full"));
+        let e = IndexError::StaleCursor { cursor_generation: 3, snapshot_generation: 7 };
+        assert!(e.to_string().contains('3') && e.to_string().contains('7'));
+        assert!(IndexError::InvalidCursor("xx".into()).to_string().contains("xx"));
         let e: IndexError = std::io::Error::other("boom").into();
         assert!(e.to_string().contains("boom"));
         let e: IndexError = gas_dstsim::SimError::InvalidWorldSize(0).into();

@@ -38,16 +38,18 @@
 //! rotation densification (`O(|set| + len)`); the container records the
 //! signer so persisted indexes stay self-describing.
 //!
+//! Construction goes through one builder, [`service::IndexOptions`]:
+//!
 //! ```
 //! use gas_core::indicator::SampleCollection;
-//! use gas_index::{IndexConfig, QueryEngine, QueryOptions, SketchIndex};
+//! use gas_index::{IndexOptions, QueryEngine, QueryOptions};
 //!
 //! let collection = SampleCollection::from_sorted_sets(vec![
 //!     (0..500u64).collect(),
 //!     (50..550u64).collect(),
 //!     (10_000..10_500u64).collect(),
 //! ]).unwrap();
-//! let index = SketchIndex::build(&collection, &IndexConfig::default()).unwrap();
+//! let index = IndexOptions::new().build_index(&collection).unwrap();
 //! let engine = QueryEngine::with_collection(&index, &collection);
 //! let opts = QueryOptions { top_k: 2, rerank_exact: true, ..Default::default() };
 //! let hits = engine.query(collection.sample(0), &opts).unwrap();
@@ -61,18 +63,41 @@
 //! a full rebuild:
 //!
 //! ```
-//! use gas_index::{IndexConfig, IndexWriter, QueryEngine, QueryOptions};
+//! use gas_index::{IndexOptions, QueryEngine, QueryOptions};
 //!
-//! let mut writer = IndexWriter::create(&IndexConfig::default()).unwrap();
+//! let mut writer = IndexOptions::new().open_writer().unwrap();
 //! writer.add("base", (0..500u64).collect()).unwrap();
 //! writer.commit().unwrap();                       // seals segment 1
 //! writer.add("twin", (50..550u64).collect()).unwrap();
 //! writer.commit().unwrap();                       // seals segment 2
-//! let engine = QueryEngine::for_reader(writer.reader());
+//! let engine = QueryEngine::snapshot(writer.reader());
 //! let opts = QueryOptions { top_k: 2, ..Default::default() };
 //! let hits = engine.query(&(0..500u64).collect::<Vec<_>>(), &opts).unwrap();
 //! assert_eq!(hits[0].id, 0);
 //! assert_eq!(hits[1].id, 1);
+//! ```
+//!
+//! Served workloads wrap the lifecycle in the [`service`] layer: a
+//! [`service::LocalIndexService`] pipelines commits (stage → sign →
+//! seal overlapped across threads, generations strictly ordered),
+//! compacts in the background under live readers, bounds its queues
+//! with typed [`IndexError::Overloaded`] shedding, and answers
+//! [`query::PageRequest`]-paginated queries with stable cursors:
+//!
+//! ```
+//! use gas_index::{IndexOptions, IndexService, PageRequest};
+//!
+//! let service = IndexOptions::new().serve().unwrap();
+//! service.add_batch(vec![
+//!     ("base".into(), (0..500u64).collect()),
+//!     ("twin".into(), (50..550u64).collect()),
+//! ]).unwrap();
+//! service.commit_wait().unwrap();
+//! let pages = service
+//!     .query_paged(&[(0..500u64).collect()], &PageRequest::new(1))
+//!     .unwrap();
+//! assert_eq!(pages[0].hits[0].id, 0);
+//! assert!(pages[0].next_cursor.is_some());  // the twin is on page 2
 //! ```
 
 pub mod build;
@@ -81,22 +106,31 @@ pub mod dist;
 pub mod error;
 pub mod lifecycle;
 pub mod params;
+pub mod pipeline;
 pub mod query;
 pub mod segment;
+pub mod service;
 
 pub use build::{BandBuckets, IndexConfig, SketchIndex};
 pub use container::{Container, ContainerWriter};
 pub use dist::{
     dist_query_batch, dist_query_batch_stats, dist_query_reader_batch,
-    dist_query_reader_batch_stats, dist_query_reader_batch_stats_per_segment, DistQueryStats,
-    ReaderShards, SegmentExchangeStats, SignatureShard,
+    dist_query_reader_batch_stats, dist_query_reader_batch_stats_per_segment,
+    dist_query_reader_page, DistQueryStats, ReaderShards, SegmentExchangeStats, SignatureShard,
 };
 pub use error::{IndexError, IndexResult};
 pub use gas_core::minhash::SignerKind;
 pub use lifecycle::{
     CommitSummary, CompactionPolicy, CompactionSummary, Compactor, IndexReader, IndexWriter,
-    RecoveryReport,
+    RecoveryReport, VacuumReport,
 };
 pub use params::LshParams;
-pub use query::{exact_top_k, Neighbor, QueryEngine, QueryOptions};
+pub use pipeline::CommitTicket;
+pub use query::{
+    exact_top_k, Neighbor, PageCursor, PageRequest, QueryEngine, QueryOptions, QueryPage,
+};
 pub use segment::{Segment, SegmentStats};
+pub use service::{
+    CompactionStats, IndexOptions, IndexService, LatencyHistogram, LocalIndexService,
+    RequestClassStats, ServiceStats,
+};

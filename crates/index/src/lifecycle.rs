@@ -79,6 +79,19 @@ pub struct CompactionSummary {
     pub rows_written: usize,
 }
 
+/// What one `vacuum()` did. Vacuum reclaims the space of dead blocks
+/// (compacted-away segments, superseded manifests) by rewriting the
+/// backing file; when the file is already a minimal image of the live
+/// state — or there is no file — vacuum is a true no-op: no rewrite, no
+/// mtime churn, no generation bump.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct VacuumReport {
+    /// Bytes the rewrite reclaimed (0 for a no-op).
+    pub bytes_reclaimed: u64,
+    /// Whether the backing file was actually rewritten.
+    pub rewritten: bool,
+}
+
 /// How an on-disk index was recovered by `open`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RecoveryReport {
@@ -227,11 +240,24 @@ fn load_state(bytes: Vec<u8>) -> IndexResult<(LifecycleState, RecoveryReport)> {
     }
 }
 
-/// One staged (not yet committed) sample.
+/// One staged (not yet committed) sample. `pub(crate)` so the commit
+/// pipeline can carry a taken batch to a signer thread.
 #[derive(Debug, Clone)]
-struct StagedSample {
-    name: String,
-    values: Vec<u64>,
+pub(crate) struct StagedSample {
+    pub(crate) name: String,
+    pub(crate) values: Vec<u64>,
+}
+
+/// A staged batch handed off to the commit pipeline by
+/// [`IndexWriter::take_staged`]: the samples keep the global ids they
+/// were assigned at `add` time (`base..base + samples.len()`), and the
+/// staged deletes ride along to be applied by the same commit.
+#[derive(Debug)]
+pub(crate) struct StagedBatch {
+    /// Global id of the first staged sample.
+    pub(crate) base: u32,
+    pub(crate) samples: Vec<StagedSample>,
+    pub(crate) deletes: BTreeSet<u32>,
 }
 
 /// Flush the directory entry of `path` after a rename, so the rename
@@ -272,6 +298,11 @@ pub struct IndexWriter {
     tombstones: BTreeSet<u32>,
     staged: Vec<StagedSample>,
     staged_deletes: BTreeSet<u32>,
+    /// Rows taken by the commit pipeline ([`Self::take_staged`]) but not
+    /// yet sealed by [`Self::commit_signed_rows`]. Like staged rows they
+    /// are invisible to readers and excluded from the committed id
+    /// high-water mark.
+    in_flight: u32,
     /// Next global id to assign (staged samples included).
     next_id: u32,
     next_segment_id: u64,
@@ -287,14 +318,25 @@ pub struct IndexWriter {
     /// failed). Any later `commit()` — even an otherwise-empty one —
     /// retries the flush.
     dirty: bool,
+    /// The backing file is exactly the minimal image of the live state
+    /// (a fresh `rewrite_file` with nothing appended since): vacuum has
+    /// nothing to reclaim and must not churn the file.
+    clean: bool,
 }
 
 impl IndexWriter {
+    /// A fresh, empty, in-memory writer (no backing file).
+    #[deprecated(since = "0.7.0", note = "construct through `IndexOptions::open_writer` instead")]
+    pub fn create(config: &IndexConfig) -> IndexResult<Self> {
+        IndexWriter::new_in_memory(config)
+    }
+
     /// A fresh, empty, in-memory writer (no backing file): signature
     /// scheme and banding parameters are fixed here, for the life of the
     /// index — every segment ever sealed must be signed identically or
-    /// signatures would not be comparable across segments.
-    pub fn create(config: &IndexConfig) -> IndexResult<Self> {
+    /// signatures would not be comparable across segments. The public
+    /// entry point is [`crate::service::IndexOptions::open_writer`].
+    pub(crate) fn new_in_memory(config: &IndexConfig) -> IndexResult<Self> {
         let params = LshParams::for_threshold(config.signature_len, config.threshold)?;
         let scheme = SignatureScheme::new(config.signature_len)?
             .with_seed(config.seed)
@@ -308,6 +350,7 @@ impl IndexWriter {
             tombstones: BTreeSet::new(),
             staged: Vec::new(),
             staged_deletes: BTreeSet::new(),
+            in_flight: 0,
             next_id: 0,
             next_segment_id: 1,
             generation: 0,
@@ -315,15 +358,26 @@ impl IndexWriter {
             valid_len: 0,
             needs_rewrite: false,
             dirty: false,
+            clean: false,
         })
+    }
+
+    /// A fresh writer backed by a new container-v3 file at `path`.
+    #[deprecated(
+        since = "0.7.0",
+        note = "construct through `IndexOptions::create_writer_at` instead"
+    )]
+    pub fn create_at(path: impl AsRef<Path>, config: &IndexConfig) -> IndexResult<Self> {
+        IndexWriter::new_at(path, config)
     }
 
     /// A fresh writer backed by a new container-v3 file at `path`
     /// (created or truncated): the file immediately holds a valid
     /// generation-0 manifest, so it is openable from the first byte
-    /// flushed.
-    pub fn create_at(path: impl AsRef<Path>, config: &IndexConfig) -> IndexResult<Self> {
-        let mut writer = IndexWriter::create(config)?;
+    /// flushed. The public entry point is
+    /// [`crate::service::IndexOptions::create_writer_at`].
+    pub(crate) fn new_at(path: impl AsRef<Path>, config: &IndexConfig) -> IndexResult<Self> {
+        let mut writer = IndexWriter::new_in_memory(config)?;
         writer.path = Some(path.as_ref().to_path_buf());
         writer.rewrite_file()?;
         Ok(writer)
@@ -366,6 +420,7 @@ impl IndexWriter {
             tombstones: state.tombstones.into_iter().collect(),
             staged: Vec::new(),
             staged_deletes: BTreeSet::new(),
+            in_flight: 0,
             next_id: state.next_id,
             next_segment_id: state.next_segment_id,
             generation: state.generation,
@@ -373,6 +428,10 @@ impl IndexWriter {
             valid_len: state.valid_len,
             needs_rewrite: state.needs_rewrite,
             dirty: false,
+            // Conservative: the opened file may or may not carry dead
+            // blocks; the first vacuum after an open rewrites once and
+            // re-establishes cleanliness.
+            clean: false,
         };
         Ok((writer, report))
     }
@@ -413,7 +472,7 @@ impl IndexWriter {
     }
 
     fn committed_next_id(&self) -> u32 {
-        self.next_id - self.staged.len() as u32
+        self.next_id - self.staged.len() as u32 - self.in_flight
     }
 
     /// Stage one sample; returns its global id (assigned now, stable for
@@ -522,7 +581,65 @@ impl IndexWriter {
             rows_added = segment.n_rows();
             self.segments.push(SharedSegment::new(segment));
         }
-        self.finish_commit(sealed, rows_added)
+        let deletes = std::mem::take(&mut self.staged_deletes);
+        self.finish_commit(sealed, rows_added, deletes)
+    }
+
+    /// Hand the staged samples and deletes to the commit pipeline: the
+    /// batch keeps its already-assigned global ids, is signed off-thread,
+    /// and returns through [`Self::commit_signed_rows`]. Until then the
+    /// rows are `in_flight`: invisible to readers, excluded from the
+    /// committed id high-water mark.
+    pub(crate) fn take_staged(&mut self) -> StagedBatch {
+        let samples = std::mem::take(&mut self.staged);
+        let deletes = std::mem::take(&mut self.staged_deletes);
+        let base = self.next_id - samples.len() as u32;
+        self.in_flight += samples.len() as u32;
+        StagedBatch { base, samples, deletes }
+    }
+
+    /// Seal an already-signed batch (the commit pipeline's landing path):
+    /// `rows` must carry the contiguous global ids a matching
+    /// [`Self::take_staged`] reserved, in order. Applies `deletes` as
+    /// tombstones, bumps the generation and flushes — exactly what
+    /// `commit()` would have done for the same batch, minus the signing
+    /// (already performed off-thread).
+    pub(crate) fn commit_signed_rows(
+        &mut self,
+        rows: Vec<SegmentRow>,
+        deletes: BTreeSet<u32>,
+    ) -> IndexResult<CommitSummary> {
+        if rows.is_empty() && deletes.is_empty() {
+            if self.dirty {
+                self.persist()?;
+            }
+            return Ok(CommitSummary {
+                generation: self.generation,
+                sealed_segment: None,
+                rows_added: 0,
+                deletes_applied: 0,
+            });
+        }
+        let mut sealed = None;
+        let mut rows_added = 0usize;
+        if !rows.is_empty() {
+            self.in_flight -= rows.len() as u32;
+            let segment = Segment::from_rows(self.next_segment_id, self.scheme, self.params, rows)?;
+            self.next_segment_id += 1;
+            sealed = Some(segment.id());
+            rows_added = segment.n_rows();
+            self.segments.push(SharedSegment::new(segment));
+        }
+        self.finish_commit(sealed, rows_added, deletes)
+    }
+
+    /// Give up on an in-flight batch (its commit was shed by admission
+    /// control): the reserved global ids leak permanently — ids are
+    /// never reused, so a gap is indistinguishable from a
+    /// deleted-and-compacted row — and the rows never become visible.
+    pub(crate) fn abandon_in_flight(&mut self, rows: usize) {
+        debug_assert!(self.in_flight >= rows as u32);
+        self.in_flight -= (rows as u32).min(self.in_flight);
     }
 
     /// Seal every sample of `collection` as one segment in a single
@@ -566,18 +683,23 @@ impl IndexWriter {
         let sealed = Some(segment.id());
         let rows_added = segment.n_rows();
         self.segments.push(SharedSegment::new(segment));
-        self.finish_commit(sealed, rows_added)
+        let deletes = std::mem::take(&mut self.staged_deletes);
+        self.finish_commit(sealed, rows_added, deletes)
     }
 
-    /// The shared tail of every commit shape: apply staged deletes, bump
-    /// the generation, flush.
+    /// The shared tail of every commit shape: apply this commit's
+    /// deletes, bump the generation, flush. Deletes are passed in (not
+    /// read from `staged_deletes`) so a pipelined commit only applies
+    /// the deletes that were staged when its batch was taken — deletes
+    /// staged later belong to a later commit.
     fn finish_commit(
         &mut self,
         sealed: Option<u64>,
         rows_added: usize,
+        mut deletes: BTreeSet<u32>,
     ) -> IndexResult<CommitSummary> {
-        let deletes_applied = self.staged_deletes.len();
-        self.tombstones.append(&mut self.staged_deletes);
+        let deletes_applied = deletes.len();
+        self.tombstones.append(&mut deletes);
         self.generation += 1;
         self.dirty = true;
         self.persist()?;
@@ -708,17 +830,111 @@ impl IndexWriter {
         Ok(summary)
     }
 
+    /// Start a compaction that will merge off-thread: validates the
+    /// groups against the committed state and captures everything the
+    /// merge needs (member segment handles, a tombstone snapshot,
+    /// reserved ids for the merged segments) so [`Self::apply_compaction`]
+    /// can later swap the result in under the writer lock. Returns
+    /// `None` when the plan is empty. Staged samples and deletes may
+    /// exist: compaction only touches committed state.
+    pub(crate) fn begin_compaction(
+        &mut self,
+        groups: Vec<Vec<u64>>,
+    ) -> IndexResult<Option<CompactionTask>> {
+        let groups: Vec<Vec<u64>> = groups.into_iter().filter(|g| !g.is_empty()).collect();
+        if groups.is_empty() {
+            return Ok(None);
+        }
+        let mut claimed = BTreeSet::new();
+        for id in groups.iter().flatten() {
+            if !claimed.insert(*id) {
+                return Err(IndexError::InvalidConfig(format!(
+                    "segment {id} appears in two compaction groups"
+                )));
+            }
+            if !self.segments.iter().any(|s| s.id() == *id) {
+                return Err(IndexError::InvalidConfig(format!(
+                    "compaction group references unknown segment {id}"
+                )));
+            }
+        }
+        let groups = groups
+            .into_iter()
+            .map(|group| {
+                let members: Vec<SharedSegment> =
+                    self.segments.iter().filter(|s| group.contains(&s.id())).cloned().collect();
+                let merged_id = self.next_segment_id;
+                self.next_segment_id += 1;
+                (merged_id, members)
+            })
+            .collect();
+        Ok(Some(CompactionTask {
+            scheme: self.scheme,
+            params: self.params,
+            groups,
+            tombstones: self.tombstones.iter().copied().collect(),
+        }))
+    }
+
+    /// Swap the result of an off-thread merge into the committed state,
+    /// atomically under the writer's exclusive borrow: members out,
+    /// merged segments in, one generation bump, one persist. Returns
+    /// `Ok(None)` — changing nothing — when the task went stale (a
+    /// member segment is no longer live, e.g. a concurrent
+    /// `compact_all` already merged it). Tombstones that arrived on
+    /// member rows *after* the merge snapshot stay in the tombstone set
+    /// and keep filtering the (still stored) rows, so late deletes are
+    /// never lost.
+    pub(crate) fn apply_compaction(
+        &mut self,
+        built: BuiltCompaction,
+    ) -> IndexResult<Option<CompactionSummary>> {
+        let live = |id: u64| self.segments.iter().any(|s| s.id() == id);
+        if built.merged.iter().any(|m| m.member_ids.iter().any(|&id| !live(id))) {
+            return Ok(None);
+        }
+        let mut summary = CompactionSummary {
+            groups_merged: built.merged.len(),
+            segments_before: self.segments.len(),
+            rows_written: built.rows_written,
+            ..Default::default()
+        };
+        for group in built.merged {
+            self.segments.retain(|seg| !group.member_ids.contains(&seg.id()));
+            for id in &group.member_ids {
+                self.segment_crcs.remove(id);
+                self.persisted.remove(id);
+            }
+            for id in &group.purged {
+                if self.tombstones.remove(id) {
+                    summary.tombstones_purged += 1;
+                }
+            }
+            if let Some(merged) = group.merged {
+                self.segments.push(SharedSegment::new(merged));
+            }
+        }
+        self.segments.sort_by_key(|s| s.global_ids().first().copied().map_or(u32::MAX, |id| id));
+        self.generation += 1;
+        self.dirty = true;
+        self.persist()?;
+        summary.generation = self.generation;
+        summary.segments_after = self.segments.len();
+        Ok(Some(summary))
+    }
+
     /// Rewrite the backing file keeping only live segments — reclaims
-    /// the space of compacted-away (unreferenced) segment blocks. State
-    /// and generation are unchanged; a no-op without a backing file.
-    /// Returns the bytes reclaimed.
-    pub fn vacuum(&mut self) -> IndexResult<u64> {
-        if self.path.is_none() {
-            return Ok(0);
+    /// the space of dead blocks (compacted-away segments, superseded
+    /// manifests). State and generation are unchanged. A true no-op —
+    /// no rewrite, no mtime churn — when there is no backing file or
+    /// the file is already a minimal image of the live state.
+    pub fn vacuum(&mut self) -> IndexResult<VacuumReport> {
+        if self.path.is_none() || self.clean {
+            return Ok(VacuumReport::default());
         }
         let before = self.valid_len;
         self.rewrite_file()?;
-        Ok(before.saturating_sub(self.valid_len))
+        Ok(VacuumReport { bytes_reclaimed: before.saturating_sub(self.valid_len), rewritten: true })
     }
 
     fn manifest_record(&mut self) -> ManifestRecord {
@@ -783,6 +999,7 @@ impl IndexWriter {
         self.needs_rewrite = false;
         self.persisted = self.segments.iter().map(|s| s.id()).collect();
         self.dirty = false;
+        self.clean = true;
         Ok(())
     }
 
@@ -828,7 +1045,75 @@ impl IndexWriter {
         self.valid_len += tail.len() as u64;
         self.persisted.extend(newly_persisted);
         self.dirty = false;
+        // The append superseded the previous manifest block, which is
+        // now dead weight a vacuum could reclaim.
+        self.clean = false;
         Ok(())
+    }
+}
+
+/// A compaction captured by [`IndexWriter::begin_compaction`]: everything
+/// the off-thread merge needs, decoupled from the writer so the writer
+/// lock is free while bucket tables are rebuilt.
+#[derive(Debug)]
+pub(crate) struct CompactionTask {
+    scheme: SignatureScheme,
+    params: LshParams,
+    /// (reserved merged-segment id, member segments) per group.
+    groups: Vec<(u64, Vec<SharedSegment>)>,
+    /// Committed tombstones at capture time, sorted.
+    tombstones: Vec<u32>,
+}
+
+/// One merged group of a [`BuiltCompaction`].
+#[derive(Debug)]
+pub(crate) struct BuiltGroup {
+    /// The merged segment (`None` when every member row was tombstoned).
+    merged: Option<Segment>,
+    /// Ids of the member segments the merge replaces.
+    member_ids: Vec<u64>,
+    /// Tombstones whose rows the merge physically dropped.
+    purged: Vec<u32>,
+}
+
+/// The result of an off-thread merge, ready for
+/// [`IndexWriter::apply_compaction`].
+#[derive(Debug)]
+pub(crate) struct BuiltCompaction {
+    merged: Vec<BuiltGroup>,
+    rows_written: usize,
+}
+
+impl CompactionTask {
+    /// The CPU-heavy half of a compaction — merging live rows and
+    /// rebuilding bucket tables — run *without* the writer lock.
+    pub(crate) fn build(self) -> IndexResult<BuiltCompaction> {
+        let mut out =
+            BuiltCompaction { merged: Vec::with_capacity(self.groups.len()), rows_written: 0 };
+        for (merged_id, members) in self.groups {
+            let member_ids: Vec<u64> = members.iter().map(|s| s.id()).collect();
+            let mut rows: Vec<SegmentRow> = Vec::new();
+            let mut purged = Vec::new();
+            for seg in &members {
+                rows.extend(seg.live_rows(|id| self.tombstones.binary_search(&id).is_ok()));
+                purged.extend(
+                    seg.global_ids()
+                        .iter()
+                        .copied()
+                        .filter(|id| self.tombstones.binary_search(id).is_ok()),
+                );
+            }
+            rows.sort_by_key(|r| r.global_id);
+            let merged = if rows.is_empty() {
+                None
+            } else {
+                let seg = Segment::from_rows(merged_id, self.scheme, self.params, rows)?;
+                out.rows_written += seg.n_rows();
+                Some(seg)
+            };
+            out.merged.push(BuiltGroup { merged, member_ids, purged });
+        }
+        Ok(out)
     }
 }
 
@@ -900,6 +1185,14 @@ impl IndexReader {
 
     /// The live segments, ordered by first global id.
     pub fn segments(&self) -> &[SharedSegment] {
+        &self.segments
+    }
+
+    /// The shared segment-set handle backing this snapshot. The serving
+    /// frontend downgrades it to a `Weak` to learn when the last reader
+    /// pinned to a pre-compaction generation has dropped (which is when
+    /// a deferred vacuum may run).
+    pub(crate) fn segments_handle(&self) -> &Arc<Vec<SharedSegment>> {
         &self.segments
     }
 
@@ -1021,18 +1314,26 @@ fn segment_stats_with<F: Fn(u32) -> bool>(
 /// factor^(t+1)`); any tier filling up with at least `min_merge`
 /// segments is merged whole. Small commits therefore roll up
 /// geometrically — the write amplification of the classic size-tiered
-/// LSM shape — while large, settled segments are left alone.
+/// LSM shape — while large, settled segments are left alone, *except*
+/// when tombstones pile up: a segment whose dead fraction exceeds
+/// `rewrite_dead_pct` is rewritten on its own, so deletes against a
+/// lone settled segment are still reclaimed (pure size tiering would
+/// carry them forever, since a lone segment never fills its tier).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CompactionPolicy {
     /// Merge a tier once it holds at least this many segments (≥ 2).
     pub min_merge: usize,
     /// Geometric tier width (≥ 2).
     pub tier_factor: usize,
+    /// Rewrite a segment on its own once *strictly more* than this
+    /// percentage of its stored rows are tombstoned (≤ 100; 100
+    /// disables the trigger — a segment is never 100% + 1 dead).
+    pub rewrite_dead_pct: u8,
 }
 
 impl Default for CompactionPolicy {
     fn default() -> Self {
-        CompactionPolicy { min_merge: 4, tier_factor: 4 }
+        CompactionPolicy { min_merge: 4, tier_factor: 4, rewrite_dead_pct: 25 }
     }
 }
 
@@ -1065,6 +1366,12 @@ impl Compactor {
                 policy.min_merge, policy.tier_factor
             )));
         }
+        if policy.rewrite_dead_pct > 100 {
+            return Err(IndexError::InvalidConfig(format!(
+                "rewrite_dead_pct is a percentage ≤ 100 (got {})",
+                policy.rewrite_dead_pct
+            )));
+        }
         Ok(Compactor { policy })
     }
 
@@ -1074,13 +1381,27 @@ impl Compactor {
     }
 
     /// Which segment groups the policy would merge, given per-segment
-    /// stats: one group per over-full tier, in file order.
+    /// stats: one group per over-full tier, in file order, plus a
+    /// singleton rewrite for every tombstone-heavy segment (dead
+    /// fraction strictly above `rewrite_dead_pct`) not already claimed
+    /// by a tier merge.
     pub fn plan(&self, stats: &[SegmentStats]) -> Vec<Vec<u64>> {
         let mut tiers: std::collections::BTreeMap<usize, Vec<u64>> = Default::default();
         for s in stats {
             tiers.entry(self.policy.tier(s.live_rows)).or_default().push(s.segment_id);
         }
-        tiers.into_values().filter(|group| group.len() >= self.policy.min_merge).collect()
+        let mut groups: Vec<Vec<u64>> =
+            tiers.into_values().filter(|group| group.len() >= self.policy.min_merge).collect();
+        let claimed: std::collections::BTreeSet<u64> = groups.iter().flatten().copied().collect();
+        for s in stats {
+            let dead = s.rows - s.live_rows;
+            if !claimed.contains(&s.segment_id)
+                && dead * 100 > s.rows * usize::from(self.policy.rewrite_dead_pct)
+            {
+                groups.push(vec![s.segment_id]);
+            }
+        }
+        groups
     }
 
     /// Run one compaction pass over `writer`'s committed segments.
@@ -1093,8 +1414,8 @@ impl Compactor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::build::SketchIndex;
     use crate::query::{QueryEngine, QueryOptions};
+    use crate::service::IndexOptions;
     use gas_core::minhash::SignerKind;
 
     fn config() -> IndexConfig {
@@ -1116,7 +1437,7 @@ mod tests {
 
     #[test]
     fn staged_work_is_invisible_until_commit() {
-        let mut w = IndexWriter::create(&config()).unwrap();
+        let mut w = IndexOptions::from_config(config()).open_writer().unwrap();
         let id0 = w.add("a", family(0, 50_000)).unwrap();
         assert_eq!(id0, 0);
         assert_eq!(w.staged_samples(), 1);
@@ -1146,9 +1467,9 @@ mod tests {
         // identical global ids, identical answers.
         let sets: Vec<Vec<u64>> = (0..9u64).map(|i| family((i / 3) * 100_000, 7_000 + i)).collect();
         let collection = gas_core::indicator::SampleCollection::from_sets(sets.clone()).unwrap();
-        let fresh = SketchIndex::build(&collection, &config()).unwrap();
+        let fresh = IndexOptions::from_config(config()).build_index(&collection).unwrap();
 
-        let mut w = IndexWriter::create(&config()).unwrap();
+        let mut w = IndexOptions::from_config(config()).open_writer().unwrap();
         for batch in sets.chunks(4) {
             for s in batch {
                 w.add(format!("sample_{}", w.id_bound()), s.clone()).unwrap();
@@ -1160,7 +1481,7 @@ mod tests {
         assert_eq!(reader.n_live(), 9);
         let opts = QueryOptions { top_k: 4, ..Default::default() };
         let fresh_engine = QueryEngine::new(&fresh);
-        let incr_engine = QueryEngine::for_reader(reader.clone());
+        let incr_engine = QueryEngine::snapshot(reader.clone());
         for q in &sets {
             assert_eq!(incr_engine.query(q, &opts).unwrap(), fresh_engine.query(q, &opts).unwrap());
         }
@@ -1179,10 +1500,10 @@ mod tests {
             .unwrap()
             .with_names((0..5).map(|i| format!("n{i}")).collect())
             .unwrap();
-        let mut fast = IndexWriter::create(&config()).unwrap();
+        let mut fast = IndexOptions::from_config(config()).open_writer().unwrap();
         let summary = fast.commit_collection(&collection).unwrap();
         assert_eq!(summary.rows_added, 5);
-        let mut staged = IndexWriter::create(&config()).unwrap();
+        let mut staged = IndexOptions::from_config(config()).open_writer().unwrap();
         staged.add_collection(&collection).unwrap();
         staged.commit().unwrap();
         assert_eq!(fast.reader().segments(), staged.reader().segments());
@@ -1198,7 +1519,7 @@ mod tests {
 
     #[test]
     fn deletes_tombstone_then_compaction_drops_rows() {
-        let mut w = IndexWriter::create(&config()).unwrap();
+        let mut w = IndexOptions::from_config(config()).open_writer().unwrap();
         for i in 0..6u64 {
             w.add(format!("s{i}"), family(0, 1_000 * i)).unwrap();
         }
@@ -1220,7 +1541,7 @@ mod tests {
         assert!(!reader.is_live(2));
         assert_eq!(reader.live_ids(), vec![0, 1, 3, 4, 5, 6]);
         // Tombstoned rows never surface as answers.
-        let engine = QueryEngine::for_reader(reader);
+        let engine = QueryEngine::snapshot(reader);
         let opts = QueryOptions { top_k: 7, ..Default::default() };
         let hits = engine.query(&family(0, 2_000), &opts).unwrap();
         assert!(hits.iter().all(|n| n.id != 2), "{hits:?}");
@@ -1235,7 +1556,7 @@ mod tests {
         assert_eq!(reader.n_rows(), 6, "the dropped row is physically gone");
         assert!(reader.tombstones().is_empty());
         assert_eq!(reader.live_ids(), vec![0, 1, 3, 4, 5, 6]);
-        let after = QueryEngine::for_reader(reader).query(&family(0, 2_000), &opts).unwrap();
+        let after = QueryEngine::snapshot(reader).query(&family(0, 2_000), &opts).unwrap();
         assert_eq!(after, hits, "compaction must not change answers");
         // Deleting an id that was compacted away stays an error.
         assert!(matches!(w.delete(2), Err(IndexError::UnknownSample { .. })));
@@ -1243,7 +1564,7 @@ mod tests {
 
     #[test]
     fn size_tiered_policy_merges_full_tiers_only() {
-        let policy = CompactionPolicy { min_merge: 2, tier_factor: 4 };
+        let policy = CompactionPolicy { min_merge: 2, tier_factor: 4, ..Default::default() };
         assert_eq!(policy.tier(0), 0);
         assert_eq!(policy.tier(3), 0);
         assert_eq!(policy.tier(4), 1);
@@ -1256,27 +1577,62 @@ mod tests {
         let plan = compactor.plan(&[stats(1, 2), stats(2, 3), stats(3, 40)]);
         assert_eq!(plan, vec![vec![1, 2]]);
         assert!(compactor.plan(&[stats(1, 2), stats(2, 40)]).is_empty());
-        assert!(Compactor::new(CompactionPolicy { min_merge: 1, tier_factor: 4 }).is_err());
-        assert!(Compactor::new(CompactionPolicy { min_merge: 2, tier_factor: 1 }).is_err());
+        assert!(Compactor::new(CompactionPolicy {
+            min_merge: 1,
+            tier_factor: 4,
+            ..Default::default()
+        })
+        .is_err());
+        assert!(Compactor::new(CompactionPolicy {
+            min_merge: 2,
+            tier_factor: 1,
+            ..Default::default()
+        })
+        .is_err());
+        assert!(Compactor::new(CompactionPolicy { rewrite_dead_pct: 101, ..Default::default() })
+            .is_err());
+    }
+
+    #[test]
+    fn tombstone_heavy_segments_are_rewritten_even_alone() {
+        let compactor = Compactor::new(CompactionPolicy::default()).unwrap();
+        let stats = |id: u64, rows: usize, live: usize| SegmentStats {
+            segment_id: id,
+            rows,
+            live_rows: live,
+        };
+        // A lone settled segment with > 25% of its rows tombstoned is
+        // rewritten on its own; at exactly 25% it is left alone.
+        assert_eq!(compactor.plan(&[stats(7, 100, 74)]), vec![vec![7]]);
+        assert!(compactor.plan(&[stats(7, 100, 75)]).is_empty());
+        // A segment already claimed by a tier merge is not double-planned.
+        let tier0: Vec<SegmentStats> = (1..=4).map(|id| stats(id, 4, 2)).collect(); // 50% dead, but a full tier
+        assert_eq!(compactor.plan(&tier0), vec![vec![1, 2, 3, 4]]);
+        // The trigger can be disabled outright.
+        let off = Compactor::new(CompactionPolicy { rewrite_dead_pct: 100, ..Default::default() })
+            .unwrap();
+        assert!(off.plan(&[stats(7, 100, 1)]).is_empty());
     }
 
     #[test]
     fn compactor_rolls_small_segments_up_and_answers_survive() {
-        let mut w = IndexWriter::create(&config()).unwrap();
+        let mut w = IndexOptions::from_config(config()).open_writer().unwrap();
         // Eight one-sample commits: eight tier-0 segments.
         for i in 0..8u64 {
             w.add(format!("s{i}"), family((i / 4) * 100_000, 500 + 40 * i)).unwrap();
             w.commit().unwrap();
         }
         assert_eq!(w.reader().segments().len(), 8);
-        let before = QueryEngine::for_reader(w.reader())
+        let before = QueryEngine::snapshot(w.reader())
             .query(&family(0, 520), &QueryOptions { top_k: 4, ..Default::default() })
             .unwrap();
-        let compactor = Compactor::new(CompactionPolicy { min_merge: 4, tier_factor: 4 }).unwrap();
+        let compactor =
+            Compactor::new(CompactionPolicy { min_merge: 4, tier_factor: 4, ..Default::default() })
+                .unwrap();
         let summary = compactor.compact(&mut w).unwrap();
         assert_eq!(summary.groups_merged, 1, "all eight singles share tier 0");
         assert_eq!(summary.segments_after, 1);
-        let after = QueryEngine::for_reader(w.reader())
+        let after = QueryEngine::snapshot(w.reader())
             .query(&family(0, 520), &QueryOptions { top_k: 4, ..Default::default() })
             .unwrap();
         assert_eq!(after, before);
@@ -1288,7 +1644,7 @@ mod tests {
     #[test]
     fn file_backed_lifecycle_round_trips_and_reports_recovery() {
         let path = unique_path("roundtrip");
-        let mut w = IndexWriter::create_at(&path, &config()).unwrap();
+        let mut w = IndexOptions::from_config(config()).create_writer_at(&path).unwrap();
         // The freshly created file is already openable (generation 0).
         let (empty, report) = IndexReader::open_with_report(&path).unwrap();
         assert_eq!(empty.generation(), 0);
@@ -1301,7 +1657,7 @@ mod tests {
         }
         w.delete(1).unwrap();
         w.commit().unwrap();
-        let want = QueryEngine::for_reader(w.reader())
+        let want = QueryEngine::snapshot(w.reader())
             .query(&family(0, 1_400), &QueryOptions { top_k: 4, ..Default::default() })
             .unwrap();
 
@@ -1311,7 +1667,7 @@ mod tests {
         assert_eq!(reader.generation(), 6);
         assert_eq!(reader.n_live(), 4);
         assert!(reader.is_deleted(1));
-        let got = QueryEngine::for_reader(reader.clone())
+        let got = QueryEngine::snapshot(reader.clone())
             .query(&family(0, 1_400), &QueryOptions { top_k: 4, ..Default::default() })
             .unwrap();
         assert_eq!(got, want);
@@ -1322,7 +1678,7 @@ mod tests {
         reopened.add("s5", family(0, 9_999)).unwrap();
         reopened.commit().unwrap();
         assert_eq!(IndexReader::open(&path).unwrap().n_live(), 5);
-        let want = QueryEngine::for_reader(reopened.reader())
+        let want = QueryEngine::snapshot(reopened.reader())
             .query(&family(0, 1_400), &QueryOptions { top_k: 4, ..Default::default() })
             .unwrap();
 
@@ -1330,10 +1686,11 @@ mod tests {
         let len_before = std::fs::metadata(&path).unwrap().len();
         reopened.compact_all().unwrap();
         let reclaimed = reopened.vacuum().unwrap();
-        assert!(reclaimed > 0, "vacuum reclaims compacted-away blocks");
+        assert!(reclaimed.rewritten, "post-compaction vacuum rewrites the file");
+        assert!(reclaimed.bytes_reclaimed > 0, "vacuum reclaims compacted-away blocks");
         let len_after = std::fs::metadata(&path).unwrap().len();
         assert!(len_after < len_before);
-        let got = QueryEngine::for_reader(IndexReader::open(&path).unwrap())
+        let got = QueryEngine::snapshot(IndexReader::open(&path).unwrap())
             .query(&family(0, 1_400), &QueryOptions { top_k: 4, ..Default::default() })
             .unwrap();
         assert_eq!(got, want);
@@ -1343,7 +1700,7 @@ mod tests {
     #[test]
     fn torn_commit_tails_fall_back_to_the_previous_generation() {
         let path = unique_path("torn");
-        let mut w = IndexWriter::create_at(&path, &config()).unwrap();
+        let mut w = IndexOptions::from_config(config()).create_writer_at(&path).unwrap();
         w.add("a", family(0, 100)).unwrap();
         w.commit().unwrap();
         let good = std::fs::read(&path).unwrap();
@@ -1381,7 +1738,7 @@ mod tests {
         // write it to disk *before* any manifest that references it, or
         // the whole file would scan as corrupt.
         let path = unique_path("persistfail");
-        let mut w = IndexWriter::create_at(&path, &config()).unwrap();
+        let mut w = IndexOptions::from_config(config()).create_writer_at(&path).unwrap();
         w.add("a", family(0, 100)).unwrap();
         w.commit().unwrap();
         let good = std::fs::read(&path).unwrap();
@@ -1416,7 +1773,7 @@ mod tests {
         let sets: Vec<Vec<u64>> = (0..4u64).map(|i| family(0, 400 * (i + 1))).collect();
         let collection = gas_core::indicator::SampleCollection::from_sets(sets.clone()).unwrap();
         let cfg = config().with_signer(SignerKind::Oph);
-        let index = SketchIndex::build(&collection, &cfg).unwrap();
+        let index = IndexOptions::from_config(cfg).build_index(&collection).unwrap();
         let path = unique_path("legacy");
         index.write_to(&path).unwrap();
 
@@ -1427,7 +1784,7 @@ mod tests {
         assert_eq!(reader.scheme().kind(), SignerKind::Oph);
         let opts = QueryOptions { top_k: 3, ..Default::default() };
         assert_eq!(
-            QueryEngine::for_reader(reader).query(&sets[0], &opts).unwrap(),
+            QueryEngine::snapshot(reader).query(&sets[0], &opts).unwrap(),
             QueryEngine::new(&index).query(&sets[0], &opts).unwrap(),
         );
 
@@ -1450,7 +1807,7 @@ mod tests {
         // that manifest, but a writer must refuse rather than truncate
         // the foreign bytes away on its next commit.
         let path = unique_path("foreign");
-        let mut w = IndexWriter::create_at(&path, &config()).unwrap();
+        let mut w = IndexOptions::from_config(config()).create_writer_at(&path).unwrap();
         w.add("a", family(0, 100)).unwrap();
         w.commit().unwrap();
         let generation = w.generation();

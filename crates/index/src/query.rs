@@ -60,6 +60,103 @@ impl QueryOptions {
     }
 }
 
+/// An opaque pagination cursor: the snapshot generation the scan is
+/// pinned to plus the rank offset of the next hit. Clients treat the
+/// [`token`](Self::token) as an opaque string; the engine validates the
+/// generation on every page, so a cursor can never silently mix the
+/// rankings of two different snapshots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageCursor {
+    generation: u64,
+    offset: u64,
+}
+
+impl PageCursor {
+    pub(crate) fn new(generation: u64, offset: u64) -> Self {
+        PageCursor { generation, offset }
+    }
+
+    /// The snapshot generation this cursor is pinned to.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The rank offset the next page starts at.
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    /// Serialize to an opaque wire token.
+    pub fn token(&self) -> String {
+        format!("{:x}.{:x}", self.generation, self.offset)
+    }
+
+    /// Parse a wire token produced by [`Self::token`].
+    pub fn parse(token: &str) -> IndexResult<Self> {
+        let bad = || IndexError::InvalidCursor(token.to_string());
+        let (gen_hex, off_hex) = token.split_once('.').ok_or_else(bad)?;
+        Ok(PageCursor {
+            generation: u64::from_str_radix(gen_hex, 16).map_err(|_| bad())?,
+            offset: u64::from_str_radix(off_hex, 16).map_err(|_| bad())?,
+        })
+    }
+}
+
+/// One page request of a paginated query scan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PageRequest {
+    /// Resume point (`None` starts the scan). The cursor's generation
+    /// must match the snapshot being queried or the request fails with
+    /// a typed [`IndexError::StaleCursor`].
+    pub cursor: Option<PageCursor>,
+    /// Hits per page (must be ≥ 1).
+    pub page_size: usize,
+    /// Drop hits scoring below this (applied to the exact score when
+    /// re-ranking, the MinHash estimate otherwise).
+    pub min_score: f64,
+    /// Re-rank the full candidate ranking with exact Jaccard before
+    /// paging (requires the engine to hold the collection). Applied to
+    /// the *whole* ranking so page boundaries never change the order.
+    pub rerank_exact: bool,
+}
+
+impl PageRequest {
+    /// A first-page request with no score floor and no re-ranking.
+    pub fn new(page_size: usize) -> Self {
+        PageRequest { cursor: None, page_size, min_score: 0.0, rerank_exact: false }
+    }
+
+    /// Resume from a cursor returned in a previous [`QueryPage`].
+    pub fn with_cursor(mut self, cursor: PageCursor) -> Self {
+        self.cursor = Some(cursor);
+        self
+    }
+
+    /// Set the score floor.
+    pub fn with_min_score(mut self, min_score: f64) -> Self {
+        self.min_score = min_score;
+        self
+    }
+
+    /// Enable exact re-ranking of the full ranking.
+    pub fn with_rerank(mut self, rerank_exact: bool) -> Self {
+        self.rerank_exact = rerank_exact;
+        self
+    }
+}
+
+/// One page of a paginated query scan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryPage {
+    /// The hits of this page, in ranking order.
+    pub hits: Vec<Neighbor>,
+    /// Cursor of the next page (`None` when the scan is exhausted).
+    pub next_cursor: Option<PageCursor>,
+    /// Total LSH candidates the ranking was computed over (constant
+    /// across the pages of one scan).
+    pub total_candidates: usize,
+}
+
 /// Entries of the LSH scoring stage: `(agreement, id)` ordered by
 /// agreement descending, then id ascending.
 pub(crate) type Scored = (u32, u32);
@@ -338,7 +435,24 @@ impl<'a> QueryEngine<'a> {
     }
 
     /// An engine over a lifecycle snapshot (signatures only).
+    #[deprecated(since = "0.7.0", note = "renamed to `QueryEngine::snapshot`")]
     pub fn for_reader(reader: IndexReader) -> QueryEngine<'static> {
+        QueryEngine::snapshot(reader)
+    }
+
+    /// An engine over a lifecycle snapshot that can re-rank exactly.
+    #[deprecated(since = "0.7.0", note = "renamed to `QueryEngine::snapshot_with_collection`")]
+    pub fn for_reader_with_collection(
+        reader: IndexReader,
+        collection: &'a SampleCollection,
+    ) -> Self {
+        QueryEngine::snapshot_with_collection(reader, collection)
+    }
+
+    /// An engine over a lifecycle snapshot (signatures only) — the shape
+    /// the serving frontend hands out: the snapshot stays pinned to its
+    /// generation for the engine's lifetime.
+    pub fn snapshot(reader: IndexReader) -> QueryEngine<'static> {
         QueryEngine { reader, collection: None }
     }
 
@@ -346,10 +460,7 @@ impl<'a> QueryEngine<'a> {
     /// `collection` must be indexed by *global* sample id (the corpus
     /// the writer assigned ids over; tombstoned entries are never
     /// touched).
-    pub fn for_reader_with_collection(
-        reader: IndexReader,
-        collection: &'a SampleCollection,
-    ) -> Self {
+    pub fn snapshot_with_collection(reader: IndexReader, collection: &'a SampleCollection) -> Self {
         QueryEngine { reader, collection: Some(collection) }
     }
 
@@ -358,14 +469,80 @@ impl<'a> QueryEngine<'a> {
         &self.reader
     }
 
-    /// Answer one query. `values` is treated as a set: it need not be
-    /// sorted or deduplicated (signing is order-insensitive, and the
-    /// exact re-rank canonicalizes before intersecting).
-    pub fn query(&self, values: &[u64], opts: &QueryOptions) -> IndexResult<Vec<Neighbor>> {
+    /// The one ranking path every public query shape goes through: keep
+    /// the best `pool` LSH candidates, finalize under `opts` (optional
+    /// exact re-rank, truncate to `opts.top_k`). Also reports how many
+    /// candidates the pool was drawn from, which pagination surfaces as
+    /// `total_candidates`.
+    fn ranked_pool(
+        &self,
+        values: &[u64],
+        pool: usize,
+        opts: &QueryOptions,
+    ) -> IndexResult<(Vec<Neighbor>, usize)> {
         let values = &*normalized_query(values);
         let sig = self.reader.scheme().sign(values);
-        let scored = scored_over_reader(&self.reader, &sig, opts.keep());
-        finalize(scored, self.reader.scheme().len(), values, self.collection, opts)
+        let scored = scored_over_reader(&self.reader, &sig, pool);
+        let total = scored.len();
+        let ranked = finalize(scored, self.reader.scheme().len(), values, self.collection, opts)?;
+        Ok((ranked, total))
+    }
+
+    /// Answer one query. `values` is treated as a set: it need not be
+    /// sorted or deduplicated (signing is order-insensitive, and the
+    /// exact re-rank canonicalizes before intersecting). This is the
+    /// single-page case of the paginated scan: the first `top_k` hits of
+    /// the ranking over the oversampled candidate pool.
+    pub fn query(&self, values: &[u64], opts: &QueryOptions) -> IndexResult<Vec<Neighbor>> {
+        self.ranked_pool(values, opts.keep(), opts).map(|(hits, _)| hits)
+    }
+
+    /// Answer one page of a paginated scan over the **full** candidate
+    /// ranking. Unlike [`Self::query`], no oversampling pool truncates
+    /// the ranking: every LSH candidate is ranked (and optionally exact
+    /// re-ranked) before the page is cut, so for any `page_size` the
+    /// concatenated pages of one scan are exactly the one-shot ranking —
+    /// pages tile, never overlap, never skip. The returned cursor pins
+    /// the snapshot generation; resuming it against a different
+    /// generation fails with a typed [`IndexError::StaleCursor`] rather
+    /// than silently mixing two rankings.
+    pub fn query_page(&self, values: &[u64], req: &PageRequest) -> IndexResult<QueryPage> {
+        if req.page_size == 0 {
+            return Err(IndexError::InvalidQuery("page_size must be ≥ 1".into()));
+        }
+        let offset = match req.cursor {
+            Some(cursor) => {
+                if cursor.generation() != self.reader.generation() {
+                    return Err(IndexError::StaleCursor {
+                        cursor_generation: cursor.generation(),
+                        snapshot_generation: self.reader.generation(),
+                    });
+                }
+                cursor.offset() as usize
+            }
+            None => 0,
+        };
+        let full =
+            QueryOptions { top_k: usize::MAX, oversample: 1, rerank_exact: req.rerank_exact };
+        let (ranked, total_candidates) = self.ranked_pool(values, usize::MAX, &full)?;
+        let ranked: Vec<Neighbor> =
+            ranked.into_iter().filter(|n| n.score >= req.min_score).collect();
+        let start = offset.min(ranked.len());
+        let end = offset.saturating_add(req.page_size).min(ranked.len());
+        let next_cursor =
+            (end < ranked.len()).then(|| PageCursor::new(self.reader.generation(), end as u64));
+        Ok(QueryPage { hits: ranked[start..end].to_vec(), next_cursor, total_candidates })
+    }
+
+    /// [`Self::query_page`] over a batch of queries: one page per query,
+    /// all at the same `req` offset (the scan cursor advances in lock
+    /// step across the batch).
+    pub fn query_page_batch(
+        &self,
+        queries: &[Vec<u64>],
+        req: &PageRequest,
+    ) -> IndexResult<Vec<QueryPage>> {
+        queries.iter().map(|q| self.query_page(q, req)).collect()
     }
 
     /// Answer one query from a signature signed elsewhere (an ingress
@@ -401,7 +578,9 @@ impl<'a> QueryEngine<'a> {
 
     /// Answer a batch of queries. Each query's candidate scoring runs in
     /// parallel over candidate chunks; queries are processed in order so
-    /// results line up with the input slice.
+    /// results line up with the input slice. This is the single-page
+    /// case of [`Self::query_page_batch`]: the first `top_k` hits per
+    /// query, ranked over the oversampled candidate pool.
     pub fn query_batch(
         &self,
         queries: &[Vec<u64>],
@@ -451,6 +630,7 @@ pub fn sorted_intersection_size(a: &[u64], b: &[u64]) -> u64 {
 mod tests {
     use super::*;
     use crate::build::IndexConfig;
+    use crate::service::IndexOptions;
 
     fn workload() -> SampleCollection {
         // Three families of four samples; family cores overlap heavily.
@@ -469,7 +649,7 @@ mod tests {
     fn engine_fixture() -> (SampleCollection, SketchIndex) {
         let collection = workload();
         let config = IndexConfig::default().with_signature_len(192).with_threshold(0.4);
-        let index = SketchIndex::build(&collection, &config).unwrap();
+        let index = IndexOptions::from_config(config).build_index(&collection).unwrap();
         (collection, index)
     }
 
@@ -583,6 +763,74 @@ mod tests {
             assert_eq!(answers[0].id, (i * 2) as u32);
             assert_eq!(answers, &engine.query(&queries[i], &opts).unwrap());
         }
+    }
+
+    #[test]
+    fn pages_tile_the_full_ranking_for_any_page_size() {
+        let (collection, index) = engine_fixture();
+        let engine = QueryEngine::with_collection(&index, &collection);
+        let query = collection.sample(5);
+        for rerank in [false, true] {
+            // One-shot reference: a single page larger than the corpus.
+            let oneshot = engine
+                .query_page(query, &PageRequest::new(collection.n() + 1).with_rerank(rerank))
+                .unwrap();
+            assert!(oneshot.next_cursor.is_none());
+            for page_size in [1usize, 2, 3, 5, 7] {
+                let mut walked = Vec::new();
+                let mut req = PageRequest::new(page_size).with_rerank(rerank);
+                loop {
+                    let page = engine.query_page(query, &req).unwrap();
+                    assert!(page.hits.len() <= page_size);
+                    assert_eq!(page.total_candidates, oneshot.total_candidates);
+                    walked.extend(page.hits);
+                    match page.next_cursor {
+                        Some(cursor) => {
+                            // Cursor round-trips through its wire token.
+                            let token = cursor.token();
+                            req = req.with_cursor(PageCursor::parse(&token).unwrap());
+                        }
+                        None => break,
+                    }
+                }
+                assert_eq!(walked, oneshot.hits, "page_size={page_size} rerank={rerank}");
+            }
+        }
+    }
+
+    #[test]
+    fn page_min_score_filters_before_paging() {
+        let (collection, index) = engine_fixture();
+        let engine = QueryEngine::new(&index);
+        let query = collection.sample(0);
+        let all = engine.query_page(query, &PageRequest::new(64)).unwrap();
+        let floor = all.hits[all.hits.len() / 2].score;
+        let filtered =
+            engine.query_page(query, &PageRequest::new(64).with_min_score(floor)).unwrap();
+        let want: Vec<Neighbor> = all.hits.iter().copied().filter(|n| n.score >= floor).collect();
+        assert_eq!(filtered.hits, want);
+        assert!(filtered.hits.len() < all.hits.len());
+    }
+
+    #[test]
+    fn stale_and_malformed_cursors_are_typed_errors() {
+        let (collection, index) = engine_fixture();
+        let engine = QueryEngine::new(&index);
+        let query = collection.sample(0);
+        // The monolithic snapshot is generation 0; a cursor minted at a
+        // later generation must be refused.
+        let stale = PageRequest::new(4).with_cursor(PageCursor::new(7, 0));
+        assert!(matches!(
+            engine.query_page(query, &stale),
+            Err(IndexError::StaleCursor { cursor_generation: 7, snapshot_generation: 0 })
+        ));
+        assert!(matches!(PageCursor::parse("gibberish"), Err(IndexError::InvalidCursor(_))));
+        assert!(matches!(PageCursor::parse("12"), Err(IndexError::InvalidCursor(_))));
+        // A zero-size page can never make progress: rejected.
+        assert!(matches!(
+            engine.query_page(query, &PageRequest::new(0)),
+            Err(IndexError::InvalidQuery(_))
+        ));
     }
 
     #[test]

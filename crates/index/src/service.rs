@@ -1,0 +1,1160 @@
+//! The serving frontend: one object that owns the write/read/compact
+//! loop of a living index.
+//!
+//! PR 5 gave the index snapshot-safe readers and PR 6 made serving cost
+//! independent of commit history; this module adds the piece that makes
+//! it a *service*: [`LocalIndexService`] implements the [`IndexService`]
+//! trait (`create / add_batch / delete / commit / query_paged / stats`)
+//! over an `IndexWriter` plus `IndexReader` snapshots, with
+//!
+//! * **pipelined commits** — staged batches are signed by a thread pool
+//!   and sealed in submission order (see [`crate::pipeline`]), so
+//!   commit N+1 signs while commit N seals;
+//! * a **background compactor** — a maintenance thread plans merges
+//!   under the size-tiered policy, builds the merged segments *off* the
+//!   writer lock, and swaps the manifest atomically under live readers
+//!   (readers stay pinned to their snapshot generation; the file vacuum
+//!   is deferred until the last reader of a pre-swap generation drops);
+//! * **admission control** — a bounded in-flight commit queue, a
+//!   bounded concurrent-query count and optional per-batch commit
+//!   deadlines, all shedding with typed [`IndexError::Overloaded`]
+//!   instead of queueing without bound;
+//! * a [`ServiceStats`] metrics feed per request class — queue depth,
+//!   shed counts and latency histograms for commits and queries, plus
+//!   compaction and vacuum counters.
+//!
+//! Construction goes through [`IndexOptions`], the one builder that
+//! also replaces the scattered constructors (`SketchIndex::build`,
+//! `IndexWriter::create{,_at}`, `QueryEngine::for_reader{,...}`) — the
+//! old entry points remain as `#[deprecated]` shims.
+
+use std::collections::BTreeMap;
+use std::ops::Range;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, Weak};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use gas_core::indicator::SampleCollection;
+
+use crate::build::{IndexConfig, SketchIndex};
+use crate::error::{IndexError, IndexResult};
+use crate::lifecycle::{
+    CommitSummary, CompactionPolicy, Compactor, IndexReader, IndexWriter, VacuumReport,
+};
+use crate::pipeline::{CommitPipeline, CommitTicket};
+use crate::query::{PageRequest, QueryEngine, QueryPage};
+use crate::segment::SharedSegment;
+
+/// The one construction surface of the index stack: signature scheme,
+/// LSH parameters, compaction policy and serving knobs in one builder.
+///
+/// Every constructor the crate used to scatter — `SketchIndex::build`,
+/// `IndexWriter::create{,_at}`, `QueryEngine::for_reader{,...}` — is
+/// expressible through an `IndexOptions` value; the old entry points
+/// survive as `#[deprecated]` shims over the same internals.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IndexOptions {
+    config: IndexConfig,
+    compaction: CompactionPolicy,
+    commit_deadline: Option<Duration>,
+    max_pending_commits: usize,
+    max_concurrent_queries: usize,
+    signer_threads: usize,
+    auto_compact: bool,
+    compact_interval: Duration,
+    snapshot_retention: usize,
+}
+
+impl Default for IndexOptions {
+    fn default() -> Self {
+        IndexOptions {
+            config: IndexConfig::default(),
+            compaction: CompactionPolicy::default(),
+            commit_deadline: None,
+            max_pending_commits: 64,
+            max_concurrent_queries: 64,
+            signer_threads: 4,
+            auto_compact: true,
+            compact_interval: Duration::from_millis(10),
+            snapshot_retention: 8,
+        }
+    }
+}
+
+impl IndexOptions {
+    /// Options with every knob at its default.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Options wrapping an existing [`IndexConfig`].
+    pub fn from_config(config: IndexConfig) -> Self {
+        IndexOptions { config, ..Self::default() }
+    }
+
+    /// The wrapped index configuration.
+    pub fn config(&self) -> &IndexConfig {
+        &self.config
+    }
+
+    /// Replace the wrapped index configuration wholesale.
+    pub fn with_config(mut self, config: IndexConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Set the signature length (positions per MinHash signature).
+    pub fn with_signature_len(mut self, signature_len: usize) -> Self {
+        self.config = self.config.with_signature_len(signature_len);
+        self
+    }
+
+    /// Set the signing seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.config = self.config.with_seed(seed);
+        self
+    }
+
+    /// Set the LSH target similarity threshold.
+    pub fn with_threshold(mut self, threshold: f64) -> Self {
+        self.config = self.config.with_threshold(threshold);
+        self
+    }
+
+    /// Set the signer kind (k-mins or one-permutation).
+    pub fn with_signer(mut self, signer: gas_core::minhash::SignerKind) -> Self {
+        self.config = self.config.with_signer(signer);
+        self
+    }
+
+    /// Set the size-tiered compaction policy.
+    pub fn with_compaction(mut self, compaction: CompactionPolicy) -> Self {
+        self.compaction = compaction;
+        self
+    }
+
+    /// The compaction policy in force.
+    pub fn compaction(&self) -> &CompactionPolicy {
+        &self.compaction
+    }
+
+    /// Set the per-batch commit deadline: a batch still queued for
+    /// signing past this age is shed with [`IndexError::Overloaded`].
+    pub fn with_commit_deadline(mut self, deadline: Option<Duration>) -> Self {
+        self.commit_deadline = deadline;
+        self
+    }
+
+    /// Bound the in-flight (submitted, not yet sealed) commits; further
+    /// `commit()` calls shed with [`IndexError::Overloaded`].
+    pub fn with_max_pending_commits(mut self, max: usize) -> Self {
+        self.max_pending_commits = max.max(1);
+        self
+    }
+
+    /// Bound the concurrently served `query_paged` calls.
+    pub fn with_max_concurrent_queries(mut self, max: usize) -> Self {
+        self.max_concurrent_queries = max.max(1);
+        self
+    }
+
+    /// Signer pool size of the commit pipeline.
+    pub fn with_signer_threads(mut self, threads: usize) -> Self {
+        self.signer_threads = threads.max(1);
+        self
+    }
+
+    /// Enable or disable the background compaction thread.
+    pub fn with_auto_compact(mut self, auto_compact: bool) -> Self {
+        self.auto_compact = auto_compact;
+        self
+    }
+
+    /// How often the background compactor wakes for a maintenance pass.
+    pub fn with_compact_interval(mut self, interval: Duration) -> Self {
+        self.compact_interval = interval;
+        self
+    }
+
+    /// How many recent snapshot generations the service keeps pinned
+    /// for pagination-cursor resumption.
+    pub fn with_snapshot_retention(mut self, generations: usize) -> Self {
+        self.snapshot_retention = generations.max(1);
+        self
+    }
+
+    /// A fresh, empty, in-memory [`IndexWriter`] under these options.
+    pub fn open_writer(&self) -> IndexResult<IndexWriter> {
+        IndexWriter::new_in_memory(&self.config)
+    }
+
+    /// A fresh [`IndexWriter`] backed by a new container file at `path`.
+    pub fn create_writer_at(&self, path: impl AsRef<Path>) -> IndexResult<IndexWriter> {
+        IndexWriter::new_at(path, &self.config)
+    }
+
+    /// Build a monolithic [`SketchIndex`] over a whole collection.
+    pub fn build_index(&self, collection: &SampleCollection) -> IndexResult<SketchIndex> {
+        SketchIndex::build_monolithic(collection, &self.config)
+    }
+
+    /// A [`Compactor`] under these options' compaction policy.
+    pub fn compactor(&self) -> IndexResult<Compactor> {
+        Compactor::new(self.compaction)
+    }
+
+    /// Start an in-memory [`LocalIndexService`] under these options.
+    pub fn serve(&self) -> IndexResult<LocalIndexService> {
+        LocalIndexService::create(*self)
+    }
+
+    /// Start a [`LocalIndexService`] over a fresh container file.
+    pub fn serve_at(&self, path: impl AsRef<Path>) -> IndexResult<LocalIndexService> {
+        LocalIndexService::from_writer(self.create_writer_at(path)?, *self)
+    }
+
+    /// Start a [`LocalIndexService`] over an existing index file.
+    pub fn serve_open(&self, path: impl AsRef<Path>) -> IndexResult<LocalIndexService> {
+        LocalIndexService::from_writer(IndexWriter::open(path)?, *self)
+    }
+}
+
+/// A compact latency histogram: power-of-two microsecond buckets, cheap
+/// to record into and good enough for p50/p99 feeds.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    /// `buckets[i]` counts samples with `latency < 2^i µs` (and at
+    /// least `2^(i-1) µs` for `i > 0`); the last bucket is open-ended.
+    buckets: [u64; 24],
+    count: u64,
+    total_micros: u64,
+}
+
+impl LatencyHistogram {
+    pub(crate) fn record(&mut self, latency: Duration) {
+        let micros = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        let idx = (64 - micros.leading_zeros() as usize).min(self.buckets.len() - 1);
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.total_micros = self.total_micros.saturating_add(micros);
+    }
+
+    /// Recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency in microseconds (0 with no samples).
+    pub fn mean_micros(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_micros as f64 / self.count as f64
+        }
+    }
+
+    /// An upper bound (bucket boundary) on the `q`-quantile latency in
+    /// microseconds, `q ∈ [0, 1]`.
+    pub fn quantile_micros(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return 1u64 << i;
+            }
+        }
+        1u64 << (self.buckets.len() - 1)
+    }
+
+    /// The raw bucket counts (power-of-two µs boundaries).
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+}
+
+/// Live counters of one request class; `pub(crate)` — the public view
+/// is the [`RequestClassStats`] snapshot.
+#[derive(Debug, Default)]
+pub(crate) struct ClassMetrics {
+    accepted: AtomicU64,
+    shed: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    queue_depth: AtomicUsize,
+    max_queue_depth: AtomicUsize,
+    latency: Mutex<LatencyHistogram>,
+}
+
+impl ClassMetrics {
+    /// Admit a request: it now occupies queue depth until `finish` or
+    /// `shed`.
+    fn accept(&self) {
+        self.accepted.fetch_add(1, Ordering::Relaxed);
+        let depth = self.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+        self.max_queue_depth.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Refuse a request at the door (queue bound): never admitted, no
+    /// depth to release.
+    fn reject(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Finish an admitted request.
+    pub(crate) fn finish(&self, latency: Duration, ok: bool) {
+        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        if ok {
+            self.completed.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.failed.fetch_add(1, Ordering::Relaxed);
+        }
+        self.latency.lock().expect("latency lock poisoned").record(latency);
+    }
+
+    /// Shed an admitted request (deadline expiry after admission).
+    pub(crate) fn shed(&self) {
+        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn depth(&self) -> usize {
+        self.queue_depth.load(Ordering::Relaxed)
+    }
+
+    fn snapshot(&self) -> RequestClassStats {
+        RequestClassStats {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
+            latency: self.latency.lock().expect("latency lock poisoned").clone(),
+        }
+    }
+}
+
+/// A snapshot of one request class's counters.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RequestClassStats {
+    /// Requests admitted past admission control.
+    pub accepted: u64,
+    /// Requests shed (queue bound at the door or deadline afterwards).
+    pub shed: u64,
+    /// Admitted requests that completed successfully.
+    pub completed: u64,
+    /// Admitted requests that failed with an error.
+    pub failed: u64,
+    /// Requests currently in flight.
+    pub queue_depth: usize,
+    /// High-water mark of in-flight requests.
+    pub max_queue_depth: usize,
+    /// Latency histogram of finished requests.
+    pub latency: LatencyHistogram,
+}
+
+/// Counters of the background compaction/vacuum loop.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompactionStats {
+    /// Maintenance passes that applied a merge.
+    pub passes: u64,
+    /// Segment groups merged across all passes.
+    pub groups_merged: u64,
+    /// Segments replaced by merged ones.
+    pub segments_compacted: u64,
+    /// Tombstoned rows physically dropped.
+    pub tombstones_purged: u64,
+    /// Rows written into merged segments.
+    pub rows_written: u64,
+    /// Built merges discarded because the writer state moved underneath
+    /// (another compaction claimed a member segment first).
+    pub stale_passes: u64,
+    /// Merges whose build or apply failed with an error.
+    pub failed_passes: u64,
+    /// Vacuum attempts deferred because a reader was still pinned to a
+    /// pre-swap generation.
+    pub vacuums_deferred: u64,
+    /// Vacuums that rewrote the backing file.
+    pub vacuums_run: u64,
+    /// Bytes those vacuums reclaimed.
+    pub vacuum_bytes_reclaimed: u64,
+}
+
+/// The [`IndexService::stats`] feed: per-class request counters plus
+/// compaction state and the usual index shape figures.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServiceStats {
+    /// Commit pipeline counters.
+    pub commit: RequestClassStats,
+    /// Paged-query counters.
+    pub query: RequestClassStats,
+    /// Background compaction/vacuum counters.
+    pub compact: CompactionStats,
+    /// Committed manifest generation at snapshot time.
+    pub generation: u64,
+    /// Live segments.
+    pub segments: usize,
+    /// Live samples.
+    pub live_samples: usize,
+}
+
+/// The serving API over a living index: stage (`add_batch`/`delete`),
+/// commit through the pipeline, read through pinned snapshots, observe
+/// through `stats`. Implementations are `Sync` — one service value is
+/// shared by writer and query threads.
+pub trait IndexService: Send + Sync {
+    /// Start a service under `options`.
+    fn create(options: IndexOptions) -> IndexResult<Self>
+    where
+        Self: Sized;
+
+    /// Stage a batch of samples; returns the assigned global id range.
+    /// Staged rows are invisible to readers until a commit seals them.
+    fn add_batch(&self, samples: Vec<(String, Vec<u64>)>) -> IndexResult<Range<u32>>;
+
+    /// Stage the delete of a committed, live sample.
+    fn delete(&self, id: u32) -> IndexResult<()>;
+
+    /// Submit everything staged as one commit through the pipeline.
+    /// Returns immediately with a [`CommitTicket`]; sheds with
+    /// [`IndexError::Overloaded`] when the in-flight bound is reached.
+    fn commit(&self) -> IndexResult<CommitTicket>;
+
+    /// [`Self::commit`], blocking until the commit seals.
+    fn commit_wait(&self) -> IndexResult<CommitSummary> {
+        self.commit()?.wait()
+    }
+
+    /// Serve one page per query. A request without a cursor pins the
+    /// current snapshot; a cursor resumes against its pinned generation
+    /// (the service retains a bounded window of recent generations) or
+    /// fails with a typed [`IndexError::StaleCursor`].
+    fn query_paged(&self, queries: &[Vec<u64>], req: &PageRequest) -> IndexResult<Vec<QueryPage>>;
+
+    /// An atomic snapshot of the current committed state, pinned to its
+    /// generation for as long as the caller holds it.
+    fn snapshot(&self) -> IndexReader;
+
+    /// The metrics feed.
+    fn stats(&self) -> ServiceStats;
+}
+
+/// State shared between the service handle, the pipeline's sealer and
+/// the background compactor.
+struct ServiceShared {
+    writer: Arc<Mutex<IndexWriter>>,
+    options: IndexOptions,
+    commit_metrics: Arc<ClassMetrics>,
+    query_metrics: Arc<ClassMetrics>,
+    compact_stats: Mutex<CompactionStats>,
+    /// Recent generations kept pinned for cursor resumption,
+    /// generation → snapshot. Bounded by `options.snapshot_retention`;
+    /// the vacuum step may additionally evict pre-swap generations.
+    pinned: Mutex<BTreeMap<u64, IndexReader>>,
+    /// Every snapshot handed out: (generation, weak segment-set
+    /// handle). A live weak handle of a pre-swap generation defers the
+    /// post-compaction vacuum.
+    issued: Mutex<Vec<(u64, Weak<Vec<SharedSegment>>)>>,
+    /// Post-swap generation whose file vacuum is still owed.
+    pending_vacuum: Mutex<Option<u64>>,
+}
+
+impl ServiceShared {
+    /// Take a snapshot, register it for generation pinning and vacuum
+    /// deferral, and evict pinned generations beyond the retention
+    /// window.
+    fn snapshot(&self) -> IndexReader {
+        let reader = self.writer.lock().expect("writer lock poisoned").reader();
+        let generation = reader.generation();
+        {
+            let mut issued = self.issued.lock().expect("issued lock poisoned");
+            issued.retain(|(_, weak)| weak.strong_count() > 0);
+            issued.push((generation, Arc::downgrade(reader.segments_handle())));
+        }
+        {
+            let mut pinned = self.pinned.lock().expect("pinned lock poisoned");
+            pinned.insert(generation, reader.clone());
+            while pinned.len() > self.options.snapshot_retention {
+                let oldest = *pinned.keys().next().expect("non-empty map");
+                pinned.remove(&oldest);
+            }
+        }
+        reader
+    }
+
+    /// The pinned snapshot of `generation`, or a typed stale-cursor
+    /// error naming the oldest generation still answerable.
+    fn pinned_snapshot(&self, generation: u64) -> IndexResult<IndexReader> {
+        let pinned = self.pinned.lock().expect("pinned lock poisoned");
+        if let Some(reader) = pinned.get(&generation) {
+            return Ok(reader.clone());
+        }
+        let oldest = pinned
+            .keys()
+            .next()
+            .copied()
+            .unwrap_or_else(|| self.writer.lock().expect("writer lock poisoned").generation());
+        Err(IndexError::StaleCursor { cursor_generation: generation, snapshot_generation: oldest })
+    }
+}
+
+/// The in-process [`IndexService`]: a pipelined writer, a background
+/// compactor and bounded admission, behind one `Sync` handle.
+pub struct LocalIndexService {
+    shared: Arc<ServiceShared>,
+    pipeline: Mutex<CommitPipeline>,
+    compactor_stop: Arc<AtomicBool>,
+    compactor_thread: Option<JoinHandle<()>>,
+}
+
+impl LocalIndexService {
+    /// Start a service over an already-constructed writer (how the
+    /// file-backed entry points [`IndexOptions::serve_at`] and
+    /// [`IndexOptions::serve_open`] come in).
+    pub fn from_writer(writer: IndexWriter, options: IndexOptions) -> IndexResult<Self> {
+        // Validate the compaction policy up front: the background
+        // thread has no one to report a bad policy to.
+        Compactor::new(*options.compaction())?;
+        let scheme = *writer.scheme();
+        let writer = Arc::new(Mutex::new(writer));
+        let commit_metrics = Arc::new(ClassMetrics::default());
+        let pipeline = CommitPipeline::start(
+            Arc::clone(&writer),
+            scheme,
+            options.signer_threads,
+            Arc::clone(&commit_metrics),
+        );
+        let shared = Arc::new(ServiceShared {
+            writer,
+            options,
+            commit_metrics,
+            query_metrics: Arc::new(ClassMetrics::default()),
+            compact_stats: Mutex::new(CompactionStats::default()),
+            pinned: Mutex::new(BTreeMap::new()),
+            issued: Mutex::new(Vec::new()),
+            pending_vacuum: Mutex::new(None),
+        });
+        let compactor_stop = Arc::new(AtomicBool::new(false));
+        let compactor_thread = if options.auto_compact {
+            let shared = Arc::clone(&shared);
+            let stop = Arc::clone(&compactor_stop);
+            Some(std::thread::spawn(move || compactor_loop(&shared, &stop)))
+        } else {
+            None
+        };
+        Ok(LocalIndexService {
+            shared,
+            pipeline: Mutex::new(pipeline),
+            compactor_stop,
+            compactor_thread,
+        })
+    }
+
+    /// The options this service was created with.
+    pub fn options(&self) -> &IndexOptions {
+        &self.shared.options
+    }
+
+    /// Run one maintenance pass (plan → off-lock merge → swap →
+    /// deferred vacuum) synchronously on the calling thread — what the
+    /// background thread does every interval. Useful with
+    /// `auto_compact(false)` and in tests that need determinism.
+    pub fn maintain(&self) {
+        maintenance_pass(&self.shared);
+    }
+}
+
+impl Drop for LocalIndexService {
+    fn drop(&mut self) {
+        self.compactor_stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.compactor_thread.take() {
+            let _ = handle.join();
+        }
+        // The pipeline mutex field drops after this, closing the job
+        // channel and joining signer + sealer threads.
+    }
+}
+
+impl IndexService for LocalIndexService {
+    fn create(options: IndexOptions) -> IndexResult<Self> {
+        LocalIndexService::from_writer(options.open_writer()?, options)
+    }
+
+    fn add_batch(&self, samples: Vec<(String, Vec<u64>)>) -> IndexResult<Range<u32>> {
+        let mut writer = self.shared.writer.lock().expect("writer lock poisoned");
+        let first = writer.id_bound();
+        for (name, values) in samples {
+            writer.add(name, values)?;
+        }
+        Ok(first..writer.id_bound())
+    }
+
+    fn delete(&self, id: u32) -> IndexResult<()> {
+        self.shared.writer.lock().expect("writer lock poisoned").delete(id)
+    }
+
+    fn commit(&self) -> IndexResult<CommitTicket> {
+        // The writer lock is held across take + submit so pipeline
+        // sequence order equals id-assignment order — the sealer relies
+        // on it to keep generations and the id high-water mark aligned.
+        let mut writer = self.shared.writer.lock().expect("writer lock poisoned");
+        if writer.staged_samples() == 0 && writer.staged_deletes() == 0 {
+            return Ok(CommitTicket::ready(Ok(CommitSummary {
+                generation: writer.generation(),
+                sealed_segment: None,
+                rows_added: 0,
+                deletes_applied: 0,
+            })));
+        }
+        if self.shared.commit_metrics.depth() >= self.shared.options.max_pending_commits {
+            // Refused at the door: nothing was taken, the staged batch
+            // stays intact for a later commit.
+            self.shared.commit_metrics.reject();
+            return Err(IndexError::Overloaded {
+                class: "commit".into(),
+                context: format!(
+                    "{} commits already in flight (bound {})",
+                    self.shared.commit_metrics.depth(),
+                    self.shared.options.max_pending_commits
+                ),
+            });
+        }
+        let batch = writer.take_staged();
+        self.shared.commit_metrics.accept();
+        let ticket = self
+            .pipeline
+            .lock()
+            .expect("pipeline lock poisoned")
+            .submit(batch, self.shared.options.commit_deadline);
+        Ok(ticket)
+    }
+
+    fn query_paged(&self, queries: &[Vec<u64>], req: &PageRequest) -> IndexResult<Vec<QueryPage>> {
+        let metrics = &self.shared.query_metrics;
+        if metrics.depth() >= self.shared.options.max_concurrent_queries {
+            metrics.reject();
+            return Err(IndexError::Overloaded {
+                class: "query".into(),
+                context: format!(
+                    "{} queries already in flight (bound {})",
+                    metrics.depth(),
+                    self.shared.options.max_concurrent_queries
+                ),
+            });
+        }
+        metrics.accept();
+        let started = Instant::now();
+        let result = (|| {
+            let reader = match req.cursor {
+                Some(cursor) => self.shared.pinned_snapshot(cursor.generation())?,
+                None => self.shared.snapshot(),
+            };
+            QueryEngine::snapshot(reader).query_page_batch(queries, req)
+        })();
+        metrics.finish(started.elapsed(), result.is_ok());
+        result
+    }
+
+    fn snapshot(&self) -> IndexReader {
+        self.shared.snapshot()
+    }
+
+    fn stats(&self) -> ServiceStats {
+        let (generation, segments, live_samples) = {
+            let writer = self.shared.writer.lock().expect("writer lock poisoned");
+            (writer.generation(), writer.segment_stats().len(), writer.live_samples())
+        };
+        ServiceStats {
+            commit: self.shared.commit_metrics.snapshot(),
+            query: self.shared.query_metrics.snapshot(),
+            compact: *self.shared.compact_stats.lock().expect("compact stats lock poisoned"),
+            generation,
+            segments,
+            live_samples,
+        }
+    }
+}
+
+/// The background maintenance thread: one pass per interval until the
+/// service drops.
+fn compactor_loop(shared: &ServiceShared, stop: &AtomicBool) {
+    let interval = shared.options.compact_interval;
+    while !stop.load(Ordering::Relaxed) {
+        maintenance_pass(shared);
+        // Sleep in small slices so a dropping service never waits a
+        // full interval for the join.
+        let mut slept = Duration::ZERO;
+        while slept < interval && !stop.load(Ordering::Relaxed) {
+            let slice = (interval - slept).min(Duration::from_millis(2));
+            std::thread::sleep(slice);
+            slept += slice;
+        }
+    }
+}
+
+/// One maintenance pass: plan and begin a compaction under the writer
+/// lock, build the merged segments *off* the lock (serving continues),
+/// swap atomically, then run — or defer — the file vacuum.
+fn maintenance_pass(shared: &ServiceShared) {
+    let compactor =
+        Compactor::new(*shared.options.compaction()).expect("policy validated at create");
+    let begun = {
+        let mut writer = shared.writer.lock().expect("writer lock poisoned");
+        let plan = compactor.plan(&writer.segment_stats());
+        writer.begin_compaction(plan)
+    };
+    match begun {
+        Ok(None) => {}
+        Err(_) => bump(shared, |s| s.failed_passes += 1),
+        Ok(Some(task)) => match task.build() {
+            Err(_) => bump(shared, |s| s.failed_passes += 1),
+            Ok(built) => {
+                let applied =
+                    shared.writer.lock().expect("writer lock poisoned").apply_compaction(built);
+                match applied {
+                    Err(_) => bump(shared, |s| s.failed_passes += 1),
+                    Ok(None) => bump(shared, |s| s.stale_passes += 1),
+                    Ok(Some(summary)) => {
+                        bump(shared, |s| {
+                            s.passes += 1;
+                            s.groups_merged += summary.groups_merged as u64;
+                            s.segments_compacted += (summary.segments_before
+                                - summary.segments_after.min(summary.segments_before))
+                                as u64;
+                            s.tombstones_purged += summary.tombstones_purged as u64;
+                            s.rows_written += summary.rows_written as u64;
+                        });
+                        *shared.pending_vacuum.lock().expect("vacuum lock poisoned") =
+                            Some(summary.generation);
+                    }
+                }
+            }
+        },
+    }
+    run_or_defer_vacuum(shared);
+}
+
+/// Run the owed post-compaction vacuum if every reader of a pre-swap
+/// generation has dropped; otherwise count a deferral and try again
+/// next pass. The service's own pinned-snapshot cache releases its
+/// pre-swap generations here (their cursors turn stale, typed); only
+/// *external* readers defer the vacuum.
+fn run_or_defer_vacuum(shared: &ServiceShared) {
+    let Some(swap_generation) = *shared.pending_vacuum.lock().expect("vacuum lock poisoned") else {
+        return;
+    };
+    {
+        let mut pinned = shared.pinned.lock().expect("pinned lock poisoned");
+        pinned.retain(|&generation, _| generation >= swap_generation);
+    }
+    let pre_swap_reader_alive = {
+        let mut issued = shared.issued.lock().expect("issued lock poisoned");
+        issued.retain(|(_, weak)| weak.strong_count() > 0);
+        issued.iter().any(|&(generation, _)| generation < swap_generation)
+    };
+    if pre_swap_reader_alive {
+        bump(shared, |s| s.vacuums_deferred += 1);
+        return;
+    }
+    let report: IndexResult<VacuumReport> =
+        shared.writer.lock().expect("writer lock poisoned").vacuum();
+    *shared.pending_vacuum.lock().expect("vacuum lock poisoned") = None;
+    if let Ok(report) = report {
+        if report.rewritten {
+            bump(shared, |s| {
+                s.vacuums_run += 1;
+                s.vacuum_bytes_reclaimed += report.bytes_reclaimed;
+            });
+        }
+    }
+}
+
+fn bump(shared: &ServiceShared, f: impl FnOnce(&mut CompactionStats)) {
+    f(&mut shared.compact_stats.lock().expect("compact stats lock poisoned"));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::QueryOptions;
+
+    fn config() -> IndexConfig {
+        IndexConfig::default().with_signature_len(64).with_threshold(0.5)
+    }
+
+    fn family(start: u64, len: u64) -> Vec<u64> {
+        (start..start + len).collect()
+    }
+
+    /// `count` samples in two overlapping families, as an add_batch
+    /// payload with names unique under `tag`.
+    fn batch(tag: &str, count: usize, salt: u64) -> Vec<(String, Vec<u64>)> {
+        (0..count)
+            .map(|i| {
+                let base = if i % 2 == 0 { 0 } else { 10_000 };
+                (format!("{tag}_{i}"), family(base + salt * 7 + i as u64 * 13, 400))
+            })
+            .collect()
+    }
+
+    fn answers(reader: IndexReader, probe: &[u64]) -> Vec<crate::query::Neighbor> {
+        QueryEngine::snapshot(reader)
+            .query(probe, &QueryOptions { top_k: 8, ..Default::default() })
+            .unwrap()
+    }
+
+    #[test]
+    fn pipelined_commits_match_serial_and_order_generations() {
+        let opts = IndexOptions::from_config(config()).with_auto_compact(false);
+        let mut writer = opts.open_writer().unwrap();
+        let service = opts.serve().unwrap();
+        let base_generation = service.stats().generation;
+
+        let mut tickets = Vec::new();
+        for b in 0..5u64 {
+            for (name, values) in batch("b", 12, b) {
+                writer.add(name.clone(), values.clone()).unwrap();
+                service.add_batch(vec![(name, values)]).unwrap();
+            }
+            writer.commit().unwrap();
+            tickets.push(service.commit().unwrap());
+        }
+        let mut last_generation = base_generation;
+        for ticket in tickets {
+            let summary = ticket.wait().unwrap();
+            assert!(summary.generation > last_generation, "generations strictly ordered");
+            last_generation = summary.generation;
+        }
+
+        let probe = family(0, 400);
+        assert_eq!(
+            answers(service.snapshot(), &probe),
+            answers(writer.reader(), &probe),
+            "pipelined commits must answer bit-identically to serial commits"
+        );
+        let stats = service.stats();
+        assert_eq!(stats.commit.completed, 5);
+        assert_eq!(stats.commit.shed, 0);
+        assert!(stats.commit.latency.count() == 5);
+    }
+
+    #[test]
+    fn empty_commit_resolves_immediately_without_a_generation_bump() {
+        let service = IndexOptions::from_config(config()).serve().unwrap();
+        let before = service.stats().generation;
+        let summary = service.commit_wait().unwrap();
+        assert_eq!(summary.rows_added, 0);
+        assert_eq!(summary.generation, before);
+        assert_eq!(service.stats().commit.accepted, 0, "empty commits never enter the pipeline");
+    }
+
+    #[test]
+    fn zero_deadline_sheds_every_batch_with_a_typed_error() {
+        let service = IndexOptions::from_config(config())
+            .with_commit_deadline(Some(Duration::ZERO))
+            .with_auto_compact(false)
+            .serve()
+            .unwrap();
+        service.add_batch(batch("shed", 6, 0)).unwrap();
+        let err = service.commit().unwrap().wait().unwrap_err();
+        assert!(matches!(err, IndexError::Overloaded { ref class, .. } if class == "commit"));
+        let stats = service.stats();
+        assert_eq!(stats.commit.shed, 1);
+        assert_eq!(stats.commit.queue_depth, 0, "a shed batch releases its queue slot");
+        // The shed batch's ids leak (never reused) and nothing sealed:
+        // the index still serves, empty, and stays consistent.
+        assert_eq!(service.stats().live_samples, 0);
+        assert!(service.query_paged(&[family(0, 400)], &PageRequest::new(4)).unwrap()[0]
+            .hits
+            .is_empty());
+    }
+
+    #[test]
+    fn commit_queue_bound_sheds_at_the_door_and_keeps_the_batch_staged() {
+        // One signer + a signing-heavy first batch keeps the pipeline
+        // busy while the second commit arrives.
+        let service = IndexOptions::from_config(config())
+            .with_signer_threads(1)
+            .with_max_pending_commits(1)
+            .with_auto_compact(false)
+            .serve()
+            .unwrap();
+        service.add_batch(batch("big", 256, 0)).unwrap();
+        let ticket = service.commit().unwrap();
+        service.add_batch(batch("second", 2, 1)).unwrap();
+        let err = service.commit().unwrap_err();
+        assert!(matches!(err, IndexError::Overloaded { ref class, .. } if class == "commit"));
+        ticket.wait().unwrap();
+        // Nothing was lost: the refused batch is still staged and the
+        // next commit seals it.
+        let summary = service.commit_wait().unwrap();
+        assert_eq!(summary.rows_added, 2);
+        assert!(service.stats().commit.shed >= 1);
+    }
+
+    #[test]
+    fn background_compaction_swaps_under_live_readers_and_defers_vacuum() {
+        let dir = std::env::temp_dir().join(format!("gas_svc_compact_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("served.gas");
+        let _ = std::fs::remove_file(&path);
+        // auto_compact off: maintenance passes are driven explicitly so
+        // every phase of the swap is observable deterministically.
+        let service =
+            IndexOptions::from_config(config()).with_auto_compact(false).serve_at(&path).unwrap();
+        for b in 0..5u64 {
+            service.add_batch(batch("seg", 8, b)).unwrap();
+            service.commit_wait().unwrap();
+        }
+        service.delete(1).unwrap();
+        service.delete(9).unwrap();
+        service.commit_wait().unwrap();
+
+        let probe = family(0, 400);
+        let pinned = service.snapshot();
+        let pinned_generation = pinned.generation();
+        let before = answers(pinned.clone(), &probe);
+
+        service.maintain();
+        let stats = service.stats();
+        assert!(stats.compact.passes >= 1, "the size-tiered plan must fire on 5 equal segments");
+        assert!(stats.compact.tombstones_purged >= 2);
+        assert!(stats.compact.vacuums_deferred >= 1, "vacuum must wait for the pre-swap reader");
+        assert_eq!(stats.compact.vacuums_run, 0);
+        assert!(stats.generation > pinned_generation, "the swap bumped the generation");
+
+        // The pre-swap reader still answers from its pinned snapshot,
+        // bit-identically, while new snapshots see the merged shape.
+        assert_eq!(answers(pinned.clone(), &probe), before);
+        assert_eq!(pinned.generation(), pinned_generation);
+        assert_eq!(answers(service.snapshot(), &probe), before, "merges never change answers");
+        assert!(service.stats().segments < 5);
+
+        drop(pinned);
+        let len_before_vacuum = std::fs::metadata(&path).unwrap().len();
+        service.maintain();
+        let stats = service.stats();
+        assert_eq!(stats.compact.vacuums_run, 1, "last pre-swap reader dropped: vacuum runs");
+        assert!(stats.compact.vacuum_bytes_reclaimed > 0);
+        assert!(std::fs::metadata(&path).unwrap().len() < len_before_vacuum);
+        assert_eq!(answers(service.snapshot(), &probe), before);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn idle_vacuum_is_a_true_noop() {
+        let dir = std::env::temp_dir().join(format!("gas_svc_vacuum_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("idle.gas");
+        let _ = std::fs::remove_file(&path);
+        let opts = IndexOptions::from_config(config());
+        let mut writer = opts.create_writer_at(&path).unwrap();
+        for (name, values) in batch("v", 4, 0) {
+            writer.add(name, values).unwrap();
+        }
+        writer.commit().unwrap();
+
+        // First vacuum may rewrite (the pre-commit manifest block is
+        // dead); afterwards the file is a minimal image.
+        writer.vacuum().unwrap();
+        let generation = writer.generation();
+        let bytes = std::fs::read(&path).unwrap();
+        let mtime = std::fs::metadata(&path).unwrap().modified().unwrap();
+
+        let report = writer.vacuum().unwrap();
+        assert_eq!(report, VacuumReport { bytes_reclaimed: 0, rewritten: false });
+        assert_eq!(writer.generation(), generation, "idle vacuum must not bump the generation");
+        assert_eq!(std::fs::read(&path).unwrap(), bytes, "idle vacuum must not touch the file");
+        assert_eq!(
+            std::fs::metadata(&path).unwrap().modified().unwrap(),
+            mtime,
+            "idle vacuum must not churn mtime"
+        );
+
+        // In-memory writers have no file: vacuum is always the no-op.
+        let mut mem = opts.open_writer().unwrap();
+        mem.add("a".to_string(), family(0, 50)).unwrap();
+        mem.commit().unwrap();
+        assert_eq!(mem.vacuum().unwrap(), VacuumReport::default());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn cursors_resume_within_retention_and_go_stale_typed_beyond_it() {
+        let service = IndexOptions::from_config(config())
+            .with_auto_compact(false)
+            .with_snapshot_retention(1)
+            .serve()
+            .unwrap();
+        service.add_batch(batch("page", 12, 0)).unwrap();
+        service.commit_wait().unwrap();
+
+        let probe = family(0, 400);
+        let req = PageRequest::new(3);
+        let first = service.query_paged(std::slice::from_ref(&probe), &req).unwrap();
+        let cursor = first[0].next_cursor.expect("more than one page");
+
+        // Same generation: the cursor resumes and pages tile.
+        let second =
+            service.query_paged(std::slice::from_ref(&probe), &req.with_cursor(cursor)).unwrap();
+        assert!(!second[0].hits.is_empty());
+        assert_eq!(first[0].total_candidates, second[0].total_candidates);
+
+        // Two commits later (retention 1), the pinned generation is
+        // evicted: the cursor fails typed instead of mixing rankings.
+        service.add_batch(batch("later", 4, 1)).unwrap();
+        service.commit_wait().unwrap();
+        service.query_paged(std::slice::from_ref(&probe), &PageRequest::new(3)).unwrap();
+        let err = service
+            .query_paged(std::slice::from_ref(&probe), &req.with_cursor(cursor))
+            .unwrap_err();
+        assert!(matches!(err, IndexError::StaleCursor { .. }));
+        let stats = service.stats();
+        assert!(stats.query.failed >= 1);
+        assert!(stats.query.accepted >= 4);
+    }
+
+    #[test]
+    fn service_pages_tile_the_one_shot_ranking() {
+        let service = IndexOptions::from_config(config()).with_auto_compact(false).serve().unwrap();
+        service.add_batch(batch("tile", 10, 0)).unwrap();
+        service.commit_wait().unwrap();
+        let probe = family(0, 400);
+
+        let all = service
+            .query_paged(std::slice::from_ref(&probe), &PageRequest::new(usize::MAX >> 1))
+            .unwrap();
+        let mut tiled = Vec::new();
+        let mut req = PageRequest::new(2);
+        loop {
+            let page = service.query_paged(std::slice::from_ref(&probe), &req).unwrap();
+            tiled.extend(page[0].hits.clone());
+            match page[0].next_cursor {
+                Some(next) => req = PageRequest::new(2).with_cursor(next),
+                None => break,
+            }
+        }
+        assert_eq!(tiled, all[0].hits, "pages must tile the one-shot ranking exactly");
+    }
+
+    #[test]
+    fn query_concurrency_bound_sheds_typed() {
+        let service = IndexOptions::from_config(config())
+            .with_max_concurrent_queries(1)
+            .with_auto_compact(false)
+            .serve()
+            .unwrap();
+        service.add_batch(batch("q", 4, 0)).unwrap();
+        service.commit_wait().unwrap();
+        // Two threads hammer the one query slot; whichever loses the
+        // race sheds, so the class-level shed counter must move. Every
+        // non-shed answer must still be a real answer.
+        let service = Arc::new(service);
+        let gate = Arc::new(std::sync::Barrier::new(2));
+        let worker = |service: Arc<LocalIndexService>, gate: Arc<std::sync::Barrier>| {
+            std::thread::spawn(move || {
+                gate.wait();
+                for _ in 0..2_000 {
+                    if service.stats().query.shed >= 1 {
+                        break;
+                    }
+                    match service.query_paged(&[family(0, 400)], &PageRequest::new(4)) {
+                        Ok(pages) => assert!(!pages[0].hits.is_empty()),
+                        Err(IndexError::Overloaded { ref class, .. }) => {
+                            assert_eq!(class, "query")
+                        }
+                        Err(other) => panic!("unexpected error under contention: {other}"),
+                    }
+                }
+            })
+        };
+        let a = worker(Arc::clone(&service), Arc::clone(&gate));
+        let b = worker(Arc::clone(&service), Arc::clone(&gate));
+        a.join().unwrap();
+        b.join().unwrap();
+        assert!(
+            service.stats().query.shed >= 1,
+            "two threads racing one query slot must shed at least once"
+        );
+    }
+
+    /// The pre-0.7 constructors still compile and behave identically to
+    /// the `IndexOptions` paths they now shim over.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructor_shims_still_work() {
+        let cfg = config();
+        let sets = vec![family(0, 300), family(50, 300), family(9_000, 100)];
+        let collection =
+            gas_core::indicator::SampleCollection::from_sorted_sets(sets.clone()).unwrap();
+
+        let old = crate::build::SketchIndex::build(&collection, &cfg).unwrap();
+        let new = IndexOptions::from_config(cfg).build_index(&collection).unwrap();
+        assert_eq!(old, new);
+
+        let mut old_writer = IndexWriter::create(&cfg).unwrap();
+        let mut new_writer = IndexOptions::from_config(cfg).open_writer().unwrap();
+        for (i, s) in sets.iter().enumerate() {
+            old_writer.add(format!("s{i}"), s.clone()).unwrap();
+            new_writer.add(format!("s{i}"), s.clone()).unwrap();
+        }
+        old_writer.commit().unwrap();
+        new_writer.commit().unwrap();
+
+        let opts = QueryOptions { top_k: 3, ..Default::default() };
+        assert_eq!(
+            QueryEngine::for_reader(old_writer.reader()).query(&sets[0], &opts).unwrap(),
+            QueryEngine::snapshot(new_writer.reader()).query(&sets[0], &opts).unwrap()
+        );
+        assert_eq!(
+            QueryEngine::for_reader_with_collection(old_writer.reader(), &collection)
+                .query(&sets[0], &opts)
+                .unwrap(),
+            QueryEngine::snapshot_with_collection(new_writer.reader(), &collection)
+                .query(&sets[0], &opts)
+                .unwrap()
+        );
+    }
+
+    #[test]
+    fn auto_compactor_thread_compacts_without_blocking_serving() {
+        let service = IndexOptions::from_config(config())
+            .with_compact_interval(Duration::from_millis(1))
+            .serve()
+            .unwrap();
+        let probe = family(0, 400);
+        let mut reference = None;
+        for b in 0..6u64 {
+            service.add_batch(batch("live", 6, b)).unwrap();
+            service.commit_wait().unwrap();
+            let got =
+                service.query_paged(std::slice::from_ref(&probe), &PageRequest::new(64)).unwrap();
+            if b == 5 {
+                reference = Some(got);
+            }
+        }
+        // Wait (bounded) for the background thread to land a pass.
+        for _ in 0..500 {
+            if service.stats().compact.passes >= 1 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let stats = service.stats();
+        assert!(stats.compact.passes >= 1, "the background compactor never fired");
+        assert!(stats.segments < 6);
+        let after =
+            service.query_paged(std::slice::from_ref(&probe), &PageRequest::new(64)).unwrap();
+        assert_eq!(
+            after[0].hits,
+            reference.unwrap()[0].hits,
+            "background compaction must never change answers"
+        );
+    }
+}

@@ -40,7 +40,8 @@ fn main() {
         .with_signature_len(128)
         .with_threshold(0.5)
         .with_signer(SignerKind::Oph);
-    let mut writer = IndexWriter::create_at(&path, &config).expect("create index file");
+    let mut writer =
+        IndexOptions::from_config(config).create_writer_at(&path).expect("create index file");
     for family in 0..3u64 {
         for member in 0..4u64 {
             writer
@@ -73,7 +74,7 @@ fn main() {
     // 4. QUERY BEFORE COMPACTION — snapshots see all live segments and
     // skip tombstoned rows.
     let reader = writer.reader();
-    let engine = QueryEngine::for_reader(reader.clone());
+    let engine = QueryEngine::snapshot(reader.clone());
     let opts = QueryOptions { top_k: 4, ..Default::default() };
     let probe = sample(1, 2);
     let before = engine.query(&probe, &opts).expect("query before compaction");
@@ -102,11 +103,13 @@ fn main() {
         summary.tombstones_purged,
         summary.generation
     );
-    let reclaimed = writer.vacuum().expect("vacuum succeeds");
-    println!("vacuum reclaimed {reclaimed} bytes of compacted-away segment blocks");
+    let report = writer.vacuum().expect("vacuum succeeds");
+    println!("vacuum reclaimed {} bytes of compacted-away segment blocks", report.bytes_reclaimed);
+    let idle = writer.vacuum().expect("idle vacuum succeeds");
+    assert!(!idle.rewritten, "an idle vacuum is a no-op");
     print_stats("after compaction", &writer.reader());
 
-    let after = QueryEngine::for_reader(writer.reader())
+    let after = QueryEngine::snapshot(writer.reader())
         .query(&probe, &opts)
         .expect("query after compaction");
     assert_eq!(after, before, "compaction must not change answers");
@@ -117,7 +120,7 @@ fn main() {
     let (reopened, report) = IndexReader::open_with_report(&path).expect("reopen the container");
     assert_eq!(reopened.generation(), writer.reader().generation());
     assert_eq!(
-        QueryEngine::for_reader(reopened).query(&probe, &opts).expect("query reopened"),
+        QueryEngine::snapshot(reopened).query(&probe, &opts).expect("query reopened"),
         before
     );
     println!(

@@ -29,7 +29,7 @@ fn main() {
         .with_signature_len(128)
         .with_threshold(0.5)
         .with_signer(SignerKind::Oph);
-    let index = SketchIndex::build(&collection, &config).expect("build succeeds");
+    let index = IndexOptions::from_config(config).build_index(&collection).expect("build succeeds");
     println!(
         "index: {} bands x {} rows, S-curve threshold {:.3}",
         index.params().bands(),

@@ -70,10 +70,12 @@ pub mod prelude {
     pub use gas_genomics::sample::KmerSample;
     pub use gas_index::{
         dist_query_batch, dist_query_batch_stats, dist_query_reader_batch,
-        dist_query_reader_batch_stats, dist_query_reader_batch_stats_per_segment, exact_top_k,
-        CommitSummary, CompactionPolicy, CompactionSummary, Compactor, DistQueryStats, IndexConfig,
-        IndexReader, IndexWriter, LshParams, Neighbor, QueryEngine, QueryOptions, SegmentStats,
-        SignerKind, SketchIndex,
+        dist_query_reader_batch_stats, dist_query_reader_batch_stats_per_segment,
+        dist_query_reader_page, exact_top_k, CommitSummary, CommitTicket, CompactionPolicy,
+        CompactionStats, CompactionSummary, Compactor, DistQueryStats, IndexConfig, IndexOptions,
+        IndexReader, IndexService, IndexWriter, LatencyHistogram, LocalIndexService, LshParams,
+        Neighbor, PageCursor, PageRequest, QueryEngine, QueryOptions, QueryPage, RequestClassStats,
+        SegmentStats, ServiceStats, SignerKind, SketchIndex, VacuumReport,
     };
     pub use gas_sparse::dense::DenseMatrix;
 }

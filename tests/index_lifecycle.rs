@@ -81,7 +81,7 @@ proptest! {
 
             // Incremental path: commit in batches, deleting as soon as a
             // doomed sample is committed.
-            let mut writer = IndexWriter::create(&config).unwrap();
+            let mut writer = IndexOptions::from_config(config).open_writer().unwrap();
             let mut pending: Vec<u32> = deletes.clone();
             for batch in samples.chunks(batch_size) {
                 for s in batch {
@@ -107,7 +107,7 @@ proptest! {
             let final_sets: Vec<Vec<u64>> =
                 live.iter().map(|&id| samples[id as usize].clone()).collect();
             let final_collection = SampleCollection::from_sorted_sets(final_sets).unwrap();
-            let fresh = SketchIndex::build(&final_collection, &config).unwrap();
+            let fresh = IndexOptions::from_config(config).build_index(&final_collection).unwrap();
 
             // Queries: every sample of the *full* corpus (deleted samples
             // still make valid queries), a perturbation, and empty.
@@ -122,7 +122,7 @@ proptest! {
             for rerank in [false, true] {
                 let opts = QueryOptions { top_k: 5, rerank_exact: rerank, ..Default::default() };
                 let incr_engine =
-                    QueryEngine::for_reader_with_collection(reader.clone(), &full_collection);
+                    QueryEngine::snapshot_with_collection(reader.clone(), &full_collection);
                 let fresh_engine = QueryEngine::with_collection(&fresh, &final_collection);
                 for q in &queries {
                     let got = incr_engine.query(q, &opts).unwrap();
@@ -136,10 +136,10 @@ proptest! {
             let opts = QueryOptions { top_k: 5, ..Default::default() };
             let before: Vec<_> = queries
                 .iter()
-                .map(|q| QueryEngine::for_reader(reader.clone()).query(q, &opts).unwrap())
+                .map(|q| QueryEngine::snapshot(reader.clone()).query(q, &opts).unwrap())
                 .collect();
             let compactor =
-                Compactor::new(CompactionPolicy { min_merge: 2, tier_factor: 4 }).unwrap();
+                Compactor::new(CompactionPolicy { min_merge: 2, tier_factor: 4, ..Default::default() }).unwrap();
             compactor.compact(&mut writer).unwrap();
             writer.compact_all().unwrap();
             let compacted = writer.reader();
@@ -147,7 +147,7 @@ proptest! {
             prop_assert!(compacted.tombstones().is_empty(), "compact_all purges tombstones");
             prop_assert_eq!(compacted.live_ids(), live.clone());
             for (q, want) in queries.iter().zip(&before) {
-                let got = QueryEngine::for_reader(compacted.clone()).query(q, &opts).unwrap();
+                let got = QueryEngine::snapshot(compacted.clone()).query(q, &opts).unwrap();
                 prop_assert_eq!(&got, want, "answers changed across compaction ({signer})");
             }
         }
@@ -166,7 +166,7 @@ proptest! {
     ) {
         let config = IndexConfig::default().with_signature_len(16).with_threshold(0.5);
         let path = unique_path("crash");
-        let mut writer = IndexWriter::create_at(&path, &config).unwrap();
+        let mut writer = IndexOptions::from_config(config).create_writer_at(&path).unwrap();
         let split = samples.len() / 2;
         for s in &samples[..split] {
             writer.add(format!("s{}", writer.id_bound()), s.clone()).unwrap();
@@ -178,7 +178,7 @@ proptest! {
         let opts = QueryOptions { top_k: 4, ..Default::default() };
         let base_answers: Vec<_> = samples
             .iter()
-            .map(|q| QueryEngine::for_reader(base_reader.clone()).query(q, &opts).unwrap())
+            .map(|q| QueryEngine::snapshot(base_reader.clone()).query(q, &opts).unwrap())
             .collect();
 
         // The second commit: adds and (when possible) one delete.
@@ -203,7 +203,7 @@ proptest! {
         prop_assert_eq!(reader.n_live(), split);
         prop_assert_eq!(report.torn_bytes, pos - base_bytes.len());
         for (q, want) in samples.iter().zip(&base_answers) {
-            let got = QueryEngine::for_reader(reader.clone()).query(q, &opts).unwrap();
+            let got = QueryEngine::snapshot(reader.clone()).query(q, &opts).unwrap();
             prop_assert_eq!(&got, want);
         }
 
@@ -229,7 +229,7 @@ proptest! {
     ) {
         let config = IndexConfig::default().with_signature_len(16).with_threshold(0.5);
         let path = unique_path("flip");
-        let mut writer = IndexWriter::create_at(&path, &config).unwrap();
+        let mut writer = IndexOptions::from_config(config).create_writer_at(&path).unwrap();
         writer.add("a", (0..40u64).collect()).unwrap();
         writer.add("b", (20..60u64).collect()).unwrap();
         writer.commit().unwrap();
@@ -292,7 +292,7 @@ fn uncompacted_readers_serve_sharded_across_the_segment_grid() {
     for segments in env_usize_list("GAS_DIST_SEGMENTS", &[1, 7]) {
         // `segments` near-equal commits, tombstoning doomed ids as soon
         // as they are committed; never compacted.
-        let mut writer = IndexWriter::create(&config).unwrap();
+        let mut writer = IndexOptions::from_config(config).open_writer().unwrap();
         let mut start = 0usize;
         for s in 0..segments {
             let end = start + (n - start) / (segments - s);
@@ -310,7 +310,7 @@ fn uncompacted_readers_serve_sharded_across_the_segment_grid() {
         }
         let reader = writer.reader();
         assert_eq!(reader.segments().len(), segments, "snapshot must stay uncompacted");
-        let reference = QueryEngine::for_reader_with_collection(reader.clone(), &collection)
+        let reference = QueryEngine::snapshot_with_collection(reader.clone(), &collection)
             .query_batch(&queries, &opts)
             .unwrap();
         for ranks in env_usize_list("GAS_DIST_RANKS", &[1, 4, 6]) {
@@ -353,7 +353,7 @@ fn container_v3_round_trips_the_full_state() {
         .with_threshold(0.4)
         .with_signer(SignerKind::Oph);
     let path = unique_path("lossless");
-    let mut writer = IndexWriter::create_at(&path, &config).unwrap();
+    let mut writer = IndexOptions::from_config(config).create_writer_at(&path).unwrap();
     for i in 0..7u64 {
         writer.add(format!("naïve-{i}-✓"), (i * 30..i * 30 + 50).collect()).unwrap();
         writer.commit().unwrap();
@@ -362,7 +362,7 @@ fn container_v3_round_trips_the_full_state() {
     // blocks in the file), then add one more segment and two tombstones
     // on top, so the reloaded state must carry merged + fresh segments
     // *and* live tombstones.
-    Compactor::new(CompactionPolicy { min_merge: 2, tier_factor: 2 })
+    Compactor::new(CompactionPolicy { min_merge: 2, tier_factor: 2, ..Default::default() })
         .unwrap()
         .compact(&mut writer)
         .unwrap();
@@ -391,8 +391,250 @@ fn container_v3_round_trips_the_full_state() {
     let opts = QueryOptions { top_k: 4, ..Default::default() };
     let probe: Vec<u64> = (30..80).collect();
     assert_eq!(
-        QueryEngine::for_reader(reloaded).query(&probe, &opts).unwrap(),
-        QueryEngine::for_reader(in_memory).query(&probe, &opts).unwrap()
+        QueryEngine::snapshot(reloaded).query(&probe, &opts).unwrap(),
+        QueryEngine::snapshot(in_memory).query(&probe, &opts).unwrap()
     );
     std::fs::remove_file(&path).ok();
+}
+
+// Pagination tiles exactly for *any* page size: the concatenated pages
+// of a cursor walk equal the one-shot full ranking, every page but the
+// last is exactly `page_size` hits, `total_candidates` is constant
+// across the walk, and a `min_score` floor filters before paging (so
+// pages still tile the filtered ranking).
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    #[test]
+    fn paged_scans_tile_for_any_page_size(
+        samples in corpora(),
+        page_size in 1usize..8,
+        rerank in any::<bool>(),
+        min_score_pct in 0usize..60,
+    ) {
+        let config = IndexConfig::default().with_signature_len(24).with_threshold(0.4);
+        let mut writer = IndexOptions::from_config(config).open_writer().unwrap();
+        let split = samples.len() / 2;
+        for (i, s) in samples.iter().enumerate() {
+            writer.add(format!("s{i}"), s.clone()).unwrap();
+            if i + 1 == split {
+                writer.commit().unwrap();
+            }
+        }
+        writer.commit().unwrap();
+        let collection = SampleCollection::from_sorted_sets(samples.clone()).unwrap();
+        let engine = QueryEngine::snapshot_with_collection(writer.reader(), &collection);
+        let min_score = min_score_pct as f64 / 100.0;
+        let probe = &samples[0];
+
+        let one_shot = engine
+            .query_page(
+                probe,
+                &PageRequest::new(usize::MAX >> 1).with_min_score(min_score).with_rerank(rerank),
+            )
+            .unwrap();
+        prop_assert!(one_shot.next_cursor.is_none());
+
+        let mut req = PageRequest::new(page_size).with_min_score(min_score).with_rerank(rerank);
+        let mut tiled = Vec::new();
+        loop {
+            let page = engine.query_page(probe, &req).unwrap();
+            prop_assert_eq!(page.total_candidates, one_shot.total_candidates);
+            match page.next_cursor {
+                Some(next) => {
+                    prop_assert_eq!(page.hits.len(), page_size, "only the last page may be short");
+                    tiled.extend(page.hits);
+                    req = PageRequest::new(page_size)
+                        .with_min_score(min_score)
+                        .with_rerank(rerank)
+                        .with_cursor(next);
+                }
+                None => {
+                    prop_assert!(page.hits.len() <= page_size);
+                    tiled.extend(page.hits);
+                    break;
+                }
+            }
+        }
+        prop_assert_eq!(tiled, one_shot.hits, "pages must tile the one-shot ranking exactly");
+    }
+}
+
+/// Concurrency stress over the serving frontend: one thread drives
+/// pipelined commits and deletes through a [`LocalIndexService`] while
+/// the background compactor merges segments underneath and query
+/// threads page through pinned snapshots. Every sampled snapshot must
+/// answer bit-identically to a *serial* monolithic rebuild of exactly
+/// that snapshot's live corpus, pages must tile its one-shot ranking,
+/// and at the end the sealed index must serve bit-identically through
+/// the sharded distributed path (both batch and paged forms).
+#[test]
+fn service_stress_commits_compactions_and_paged_queries_stay_serializable() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Arc, Mutex};
+
+    let config = IndexConfig::default()
+        .with_signature_len(64)
+        .with_threshold(0.4)
+        .with_signer(SignerKind::Oph);
+    let service = Arc::new(
+        IndexOptions::from_config(config)
+            .with_compact_interval(std::time::Duration::from_millis(1))
+            .with_signer_threads(3)
+            .serve()
+            .unwrap(),
+    );
+    let corpus: Arc<Mutex<Vec<Vec<u64>>>> = Arc::new(Mutex::new(Vec::new()));
+    let probes: Vec<Vec<u64>> =
+        (0..4u64).map(|f| (f * 10_000..f * 10_000 + 140).collect()).collect();
+    let opts = QueryOptions { top_k: 6, ..Default::default() };
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let sampled: Arc<Mutex<Vec<IndexReader>>> = Arc::new(Mutex::new(Vec::new()));
+    let query_threads: Vec<_> = (0..3)
+        .map(|t| {
+            let service = Arc::clone(&service);
+            let stop = Arc::clone(&stop);
+            let sampled = Arc::clone(&sampled);
+            let probes = probes.clone();
+            std::thread::spawn(move || {
+                let mut iter = 0usize;
+                while !stop.load(Ordering::Relaxed) {
+                    // Pin a snapshot; everything below must be answered
+                    // from exactly this generation, no matter what the
+                    // writer and compactor do meanwhile.
+                    let reader = service.snapshot();
+                    let engine = QueryEngine::snapshot(reader.clone());
+                    let probe = &probes[iter % probes.len()];
+                    let one_shot =
+                        engine.query_page(probe, &PageRequest::new(usize::MAX >> 1)).unwrap();
+                    let page_size = 1 + (t + iter) % 3;
+                    let mut req = PageRequest::new(page_size);
+                    let mut tiled = Vec::new();
+                    loop {
+                        let page = engine.query_page(probe, &req).unwrap();
+                        assert_eq!(page.total_candidates, one_shot.total_candidates);
+                        tiled.extend(page.hits);
+                        match page.next_cursor {
+                            Some(next) => req = PageRequest::new(page_size).with_cursor(next),
+                            None => break,
+                        }
+                    }
+                    assert_eq!(
+                        tiled, one_shot.hits,
+                        "pages must tile their pinned snapshot's ranking under concurrency"
+                    );
+                    if iter % 5 == 0 {
+                        sampled.lock().unwrap().push(reader);
+                    }
+                    iter += 1;
+                }
+            })
+        })
+        .collect();
+
+    // The writer side: waves of pipelined commits; tickets are waited
+    // in groups of three so signing overlaps sealing; deletes target
+    // only ids whose commits have provably sealed.
+    let mut tickets = Vec::new();
+    let mut deleted = std::collections::BTreeSet::new();
+    for wave in 0..15u64 {
+        let family = wave % 4;
+        let batch: Vec<(String, Vec<u64>)> = (0..4u64)
+            .map(|i| {
+                let mut s: Vec<u64> = (family * 10_000..family * 10_000 + 140).collect();
+                s.extend(
+                    family * 10_000 + 5_000 + wave * 61 + i * 17
+                        ..family * 10_000 + 5_000 + wave * 61 + i * 17 + 40,
+                );
+                (format!("w{wave}_{i}"), s)
+            })
+            .collect();
+        {
+            let mut corpus = corpus.lock().unwrap();
+            let range = service.add_batch(batch.clone()).unwrap();
+            assert_eq!(range.len(), batch.len());
+            corpus.extend(batch.into_iter().map(|(_, s)| s));
+        }
+        tickets.push(service.commit().unwrap());
+        if tickets.len() == 3 {
+            for ticket in tickets.drain(..) {
+                ticket.wait().unwrap();
+            }
+            let sealed_bound = service.snapshot().id_bound();
+            // Tombstone one sealed id per drained group.
+            let victim = (wave as u32 * 7) % sealed_bound;
+            if deleted.insert(victim) {
+                service.delete(victim).unwrap();
+                tickets.push(service.commit().unwrap());
+            }
+        }
+    }
+    for ticket in tickets {
+        ticket.wait().unwrap();
+    }
+    stop.store(true, Ordering::Relaxed);
+    for t in query_threads {
+        t.join().unwrap();
+    }
+
+    // Post-hoc serializability: each sampled snapshot answers exactly
+    // like a fresh monolithic build over its own live corpus.
+    let corpus = corpus.lock().unwrap();
+    let mut sampled = sampled.lock().unwrap();
+    sampled.push(service.snapshot());
+    let mut checked = std::collections::BTreeSet::new();
+    for reader in sampled.iter() {
+        if !checked.insert(reader.generation()) {
+            continue;
+        }
+        let live = reader.live_ids();
+        if live.is_empty() {
+            continue;
+        }
+        let final_sets: Vec<Vec<u64>> =
+            live.iter().map(|&id| corpus[id as usize].clone()).collect();
+        let fresh = IndexOptions::from_config(config)
+            .build_index(&SampleCollection::from_sorted_sets(final_sets).unwrap())
+            .unwrap();
+        let fresh_engine = QueryEngine::new(&fresh);
+        let engine = QueryEngine::snapshot(reader.clone());
+        for probe in &probes {
+            let got = engine.query(probe, &opts).unwrap();
+            let want = remap_dense_to_global(&live, &fresh_engine.query(probe, &opts).unwrap());
+            assert_eq!(
+                got,
+                want,
+                "generation {} diverged from its serial rebuild",
+                reader.generation()
+            );
+        }
+    }
+
+    // The sealed index serves bit-identically sharded, batch and paged.
+    let reader = service.snapshot();
+    let reference = QueryEngine::snapshot(reader.clone()).query_batch(&probes, &opts).unwrap();
+    let page_req = PageRequest::new(3);
+    let page_reference =
+        QueryEngine::snapshot(reader.clone()).query_page_batch(&probes, &page_req).unwrap();
+    for ranks in env_usize_list("GAS_DIST_RANKS", &[1, 4]) {
+        let out = Runtime::new(ranks)
+            .run(|ctx| {
+                let q = if ctx.rank() == 0 { Some(&probes[..]) } else { None };
+                let batch = ctx.expect_ok(
+                    "service reader dist batch",
+                    dist_query_reader_batch(ctx.world(), &reader, None, q, &opts),
+                );
+                let pages = ctx.expect_ok(
+                    "service reader dist page",
+                    dist_query_reader_page(ctx.world(), &reader, None, q, &page_req),
+                );
+                (batch, pages)
+            })
+            .unwrap();
+        for (rank, (batch, pages)) in out.results.iter().enumerate() {
+            assert_eq!(batch, &reference, "rank {rank}/{ranks}: dist batch diverged");
+            assert_eq!(pages, &page_reference, "rank {rank}/{ranks}: dist pages diverged");
+        }
+    }
 }

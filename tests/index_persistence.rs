@@ -36,7 +36,7 @@ proptest! {
         let config = IndexConfig::default()
             .with_signature_len(signature_len)
             .with_threshold(0.5);
-        let index = SketchIndex::build(&collection, &config).unwrap();
+        let index = IndexOptions::from_config(config).build_index(&collection).unwrap();
 
         let path = unique_path("roundtrip");
         index.write_to(&path).unwrap();
@@ -80,7 +80,7 @@ proptest! {
         ])
         .unwrap();
         let index =
-            SketchIndex::build(&collection, &IndexConfig::default().with_signature_len(16))
+            IndexOptions::from_config(IndexConfig::default().with_signature_len(16)).build_index(&collection)
                 .unwrap();
         let mut bytes = index.to_container_bytes();
         let pos = byte % bytes.len();
@@ -98,8 +98,9 @@ fn corrupted_header_is_rejected() {
     let collection =
         SampleCollection::from_sorted_sets(vec![(0..50u64).collect(), (25..75u64).collect()])
             .unwrap();
-    let index =
-        SketchIndex::build(&collection, &IndexConfig::default().with_signature_len(32)).unwrap();
+    let index = IndexOptions::from_config(IndexConfig::default().with_signature_len(32))
+        .build_index(&collection)
+        .unwrap();
     let bytes = index.to_container_bytes();
 
     // Wrong magic.
@@ -129,8 +130,9 @@ fn truncated_files_are_rejected_at_every_length() {
     let collection =
         SampleCollection::from_sorted_sets(vec![(0..30u64).collect(), (10..40u64).collect()])
             .unwrap();
-    let index =
-        SketchIndex::build(&collection, &IndexConfig::default().with_signature_len(8)).unwrap();
+    let index = IndexOptions::from_config(IndexConfig::default().with_signature_len(8))
+        .build_index(&collection)
+        .unwrap();
     let bytes = index.to_container_bytes();
     // Every proper prefix must fail loudly (drop a tail of 1 byte up to
     // several sections' worth) — a truncated copy is the classic failure
@@ -169,8 +171,9 @@ fn file_level_round_trip_with_magic_constant() {
     let collection =
         SampleCollection::from_sorted_sets(vec![(0..100u64).collect(), (50..150u64).collect()])
             .unwrap();
-    let index =
-        SketchIndex::build(&collection, &IndexConfig::default().with_signature_len(64)).unwrap();
+    let index = IndexOptions::from_config(IndexConfig::default().with_signature_len(64))
+        .build_index(&collection)
+        .unwrap();
     let path = unique_path("file");
     index.write_to(&path).unwrap();
     let raw = std::fs::read(&path).unwrap();

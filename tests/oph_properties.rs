@@ -110,7 +110,7 @@ proptest! {
         let config = IndexConfig::default()
             .with_signature_len(signature_len)
             .with_signer(index_kind);
-        let index = SketchIndex::build(&collection, &config).unwrap();
+        let index = IndexOptions::from_config(config).build_index(&collection).unwrap();
 
         // Round-trip through the container: the signer record survives.
         let loaded = SketchIndex::from_container_bytes(index.to_container_bytes()).unwrap();
@@ -157,7 +157,7 @@ fn signer_choice_changes_signatures_but_not_serving_quality() {
     for kind in [SignerKind::KMins, SignerKind::Oph] {
         let config =
             IndexConfig::default().with_signature_len(128).with_threshold(0.4).with_signer(kind);
-        let index = SketchIndex::build(&collection, &config).unwrap();
+        let index = IndexOptions::from_config(config).build_index(&collection).unwrap();
         let engine = QueryEngine::with_collection(&index, &collection);
         let opts = QueryOptions { top_k: 4, rerank_exact: true, ..Default::default() };
         for id in 0..collection.n() {

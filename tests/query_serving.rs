@@ -37,7 +37,7 @@ fn family_workload() -> SampleCollection {
 fn sharded_answers_equal_single_rank_answers_across_grid() {
     let collection = family_workload();
     let config = IndexConfig::default().with_signature_len(128).with_threshold(0.4);
-    let index = SketchIndex::build(&collection, &config).unwrap();
+    let index = IndexOptions::from_config(config).build_index(&collection).unwrap();
     // Queries: every fifth sample verbatim, one perturbation, one empty.
     let mut queries: Vec<Vec<u64>> =
         (0..collection.n()).step_by(5).map(|i| collection.sample(i).to_vec()).collect();
@@ -77,7 +77,7 @@ fn every_rank_owns_bands_of_real_indexes_on_ci_grids() {
     let collection = family_workload();
     for threshold in [0.3, 0.4, 0.5] {
         let config = IndexConfig::default().with_signature_len(128).with_threshold(threshold);
-        let index = SketchIndex::build(&collection, &config).unwrap();
+        let index = IndexOptions::from_config(config).build_index(&collection).unwrap();
         let bands = index.params().bands();
         for ranks in env_usize_list("GAS_DIST_RANKS", &[4, 6, 8, 12]) {
             assert!(
@@ -108,7 +108,7 @@ fn signature_sharding_splits_storage_across_the_grid_for_both_signers() {
     for signer in [SignerKind::KMins, SignerKind::Oph] {
         let config =
             IndexConfig::default().with_signature_len(128).with_threshold(0.4).with_signer(signer);
-        let index = SketchIndex::build(&collection, &config).unwrap();
+        let index = IndexOptions::from_config(config).build_index(&collection).unwrap();
         let opts = QueryOptions { top_k: 6, rerank_exact: true, ..Default::default() };
         let reference =
             QueryEngine::with_collection(&index, &collection).query_batch(&queries, &opts).unwrap();
@@ -153,8 +153,9 @@ fn signature_sharding_splits_storage_across_the_grid_for_both_signers() {
 #[test]
 fn signature_shards_cover_every_sample_exactly_once_on_ci_grids() {
     let collection = family_workload();
-    let index =
-        SketchIndex::build(&collection, &IndexConfig::default().with_signature_len(64)).unwrap();
+    let index = IndexOptions::from_config(IndexConfig::default().with_signature_len(64))
+        .build_index(&collection)
+        .unwrap();
     for ranks in env_usize_list("GAS_DIST_RANKS", &[4, 6, 8, 12]) {
         let shards: Vec<SignatureShard> =
             (0..ranks).map(|r| SignatureShard::build(&index, r, ranks)).collect();
@@ -177,7 +178,7 @@ fn grow_segmented(
     deletes: &[u32],
 ) -> IndexWriter {
     let n = collection.n();
-    let mut writer = IndexWriter::create(config).unwrap();
+    let mut writer = IndexOptions::from_config(*config).open_writer().unwrap();
     let mut start = 0usize;
     for s in 0..segments {
         let end = start + (n - start) / (segments - s);
@@ -227,7 +228,7 @@ fn segmented_reader_serves_bit_identically_across_the_grid() {
                 live.iter().map(|&id| collection.sample(id as usize).to_vec()).collect(),
             )
             .unwrap();
-            let fresh = SketchIndex::build(&final_collection, &config).unwrap();
+            let fresh = IndexOptions::from_config(config).build_index(&final_collection).unwrap();
 
             for compacted in [false, true] {
                 if compacted {
@@ -243,7 +244,7 @@ fn segmented_reader_serves_bit_identically_across_the_grid() {
                     let opts =
                         QueryOptions { top_k: 6, rerank_exact: rerank, ..Default::default() };
                     let reference =
-                        QueryEngine::for_reader_with_collection(reader.clone(), &collection)
+                        QueryEngine::snapshot_with_collection(reader.clone(), &collection)
                             .query_batch(&queries, &opts)
                             .unwrap();
                     // (2): single-rank reader ≡ remapped fresh rebuild.
@@ -319,7 +320,7 @@ proptest! {
         // Commit along the random split points, tombstoning doomed ids as
         // soon as they are committed (mid-stream, like a live writer).
         let deletes: Vec<u32> = doomed.into_iter().collect();
-        let mut writer = IndexWriter::create(&config).unwrap();
+        let mut writer = IndexOptions::from_config(config).open_writer().unwrap();
         let mut start = 0usize;
         for end in splits.into_iter().chain(std::iter::once(n)) {
             for i in start..end {
@@ -341,7 +342,7 @@ proptest! {
         queries.push(collection.sample(1).iter().copied().step_by(3).collect());
         queries.push(Vec::new());
         let opts = QueryOptions { top_k: 5, rerank_exact: rerank, ..Default::default() };
-        let reference = QueryEngine::for_reader_with_collection(reader.clone(), &collection)
+        let reference = QueryEngine::snapshot_with_collection(reader.clone(), &collection)
             .query_batch(&queries, &opts)
             .unwrap();
 
@@ -407,8 +408,9 @@ fn persisted_index_serves_identically_to_the_built_one() {
     // serve, sharded. Answers from the loaded index must match answers
     // from the freshly built one.
     let collection = family_workload();
-    let index =
-        SketchIndex::build(&collection, &IndexConfig::default().with_signature_len(64)).unwrap();
+    let index = IndexOptions::from_config(IndexConfig::default().with_signature_len(64))
+        .build_index(&collection)
+        .unwrap();
     let loaded = SketchIndex::from_container_bytes(index.to_container_bytes()).unwrap();
     let queries: Vec<Vec<u64>> = (0..4).map(|i| collection.sample(i * 7).to_vec()).collect();
     let opts = QueryOptions { top_k: 5, rerank_exact: true, ..Default::default() };
