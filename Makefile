@@ -5,7 +5,7 @@
 # facade's integration suites. Always go through `make test` (or pass
 # --workspace yourself) so local coverage matches CI.
 
-.PHONY: build test lint fmt bench-smoke query-smoke serve-smoke dist-matrix index-lifecycle all
+.PHONY: build test lint fmt bench-smoke query-smoke serve-smoke obs-smoke dist-matrix index-lifecycle all
 
 all: lint build test
 
@@ -47,6 +47,17 @@ query-smoke:
 serve-smoke:
 	GAS_SERVE_TINY=1 cargo run --release --locked --example serve_index
 	cargo run --release --locked -p gas-bench --bin bench_trend -- --serve
+
+# The CI obs-smoke step: the serving frontend with tracing forced on
+# (GAS_TRACE=1 plus the example's with_tracing), dumping the Prometheus
+# metrics export, the span trace and the folded-stacks flamegraph input
+# under results/, then the tracing-overhead gate (disabled-tracing qps
+# within 5% of the committed baseline, enabled within 2× of disabled —
+# needs the query-smoke step's results/obs_overhead.json).
+obs-smoke:
+	GAS_SERVE_TINY=1 GAS_TRACE=1 cargo run --release --locked --example serve_index
+	GAS_QUERY_TINY=1 cargo run --release --locked -p gas-bench --bin query_throughput
+	cargo run --release --locked -p gas-bench --bin bench_trend -- --obs
 
 # The segmented index lifecycle suites: writer/reader/compactor unit
 # tests, the `incremental add + compact ≡ full rebuild` and crash-safe

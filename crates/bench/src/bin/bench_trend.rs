@@ -40,6 +40,19 @@
 //!   single-rank serving;
 //! * **sheds** — the typed-overload path must have been exercised at
 //!   least once (a silent never-sheds run means the demo went dead).
+//!
+//! `bench_trend --obs [current.json] [baseline.json]` gates the tracing
+//! overhead instead (defaults: `results/obs_overhead.json`,
+//! `bench/baselines/query_throughput.tiny.json`). For each overhead row
+//! matched on `(workload, signer)` against the baseline's `engine_qps`:
+//!
+//! * **qps_disabled** — with tracing disabled (the production default,
+//!   one relaxed atomic load per span site) throughput may regress at
+//!   most 5% against the committed baseline: carrying the
+//!   instrumentation must be free;
+//! * **qps_enabled** — with tracing on, throughput must stay within 2×
+//!   of the disabled figure (a sanity bound, not a budget — tracing is
+//!   a diagnosis mode).
 
 use std::collections::BTreeMap;
 use std::path::PathBuf;
@@ -202,8 +215,118 @@ fn serve_gate(current: &PathBuf, baseline: &PathBuf) -> ExitCode {
     ExitCode::FAILURE
 }
 
+/// The figures of one tracing-overhead report row.
+#[derive(Debug, Clone, PartialEq)]
+struct ObsRow {
+    qps_disabled: f64,
+    qps_enabled: f64,
+}
+
+/// Index a tracing-overhead report's rows by `(workload, signer)`.
+fn obs_rows(path: &PathBuf) -> Result<BTreeMap<(String, String), ObsRow>, String> {
+    let rows = read_json_rows(path).map_err(|e| e.to_string())?;
+    let mut out = BTreeMap::new();
+    for (i, row) in rows.iter().enumerate() {
+        let field = |name: &str| -> Result<String, String> {
+            row.iter()
+                .find(|(h, _)| h == name)
+                .map(|(_, v)| v.clone())
+                .ok_or_else(|| format!("{}: row {i} has no \"{name}\" column", path.display()))
+        };
+        let number = |name: &str| -> Result<f64, String> {
+            let raw = field(name)?;
+            raw.parse::<f64>().map_err(|_| {
+                format!("{}: row {i} column \"{name}\" is not numeric: {raw:?}", path.display())
+            })
+        };
+        let key = (field("workload")?, field("signer")?);
+        let figures =
+            ObsRow { qps_disabled: number("qps_disabled")?, qps_enabled: number("qps_enabled")? };
+        if out.insert(key.clone(), figures).is_some() {
+            return Err(format!("{}: duplicate row for {key:?}", path.display()));
+        }
+    }
+    Ok(out)
+}
+
+/// Gate the tracing-overhead report: disabled tracing must cost ≤ 5% of
+/// the committed baseline throughput, enabled tracing must stay within
+/// 2× of disabled.
+fn obs_gate(current: &PathBuf, baseline: &PathBuf) -> ExitCode {
+    let (current_rows, baseline_rows) = match (obs_rows(current), trend_rows(baseline)) {
+        (Ok(c), Ok(b)) => (c, b),
+        (c, b) => {
+            for err in [c.err(), b.err()].into_iter().flatten() {
+                eprintln!("bench-trend: {err}");
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+    if current_rows.is_empty() {
+        eprintln!("bench-trend: overhead report {} holds no rows", current.display());
+        return ExitCode::FAILURE;
+    }
+    let mut failures = Vec::new();
+    for (key, now) in &current_rows {
+        let (workload, signer) = key;
+        let Some(base) = baseline_rows.get(key) else {
+            failures.push(format!("baseline has no ({workload}, {signer}) row to gate against"));
+            continue;
+        };
+        println!(
+            "[obs/{workload}/{signer}] qps disabled {:.1} (baseline {:.1}), enabled {:.1} \
+             ({:.2}× when tracing)",
+            now.qps_disabled,
+            base.engine_qps,
+            now.qps_enabled,
+            now.qps_disabled / now.qps_enabled.max(1e-9)
+        );
+        if now.qps_disabled < base.engine_qps * 0.95 {
+            failures.push(format!(
+                "({workload}, {signer}) disabled-tracing qps {:.1} regressed >5% vs baseline \
+                 {:.1} — the instrumentation is no longer free when off",
+                now.qps_disabled, base.engine_qps
+            ));
+        }
+        if now.qps_enabled * 2.0 < now.qps_disabled {
+            failures.push(format!(
+                "({workload}, {signer}) enabled-tracing qps {:.1} fell below half the disabled \
+                 figure {:.1}",
+                now.qps_enabled, now.qps_disabled
+            ));
+        }
+    }
+    if failures.is_empty() {
+        println!(
+            "bench-trend OK: {} overhead row(s) within budget of {}",
+            current_rows.len(),
+            baseline.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+    for f in &failures {
+        eprintln!("bench-trend FAIL: {f}");
+    }
+    eprintln!(
+        "bench-trend: {} tracing-overhead regression(s) vs {} — if intentional, refresh the \
+         baseline from the fresh query_throughput report",
+        failures.len(),
+        baseline.display()
+    );
+    ExitCode::FAILURE
+}
+
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1).peekable();
+    if args.peek().map(String::as_str) == Some("--obs") {
+        args.next();
+        let current =
+            PathBuf::from(args.next().unwrap_or_else(|| "results/obs_overhead.json".into()));
+        let baseline = PathBuf::from(
+            args.next().unwrap_or_else(|| "bench/baselines/query_throughput.tiny.json".into()),
+        );
+        return obs_gate(&current, &baseline);
+    }
     if args.peek().map(String::as_str) == Some("--serve") {
         args.next();
         let current =

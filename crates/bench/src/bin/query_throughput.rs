@@ -615,6 +615,39 @@ fn segment_sweep(
     rows
 }
 
+/// Tracing overhead: the same re-ranked query batch through the same
+/// OPH engine with `gas_obs` tracing disabled and enabled. The disabled
+/// figure is what production serving pays for carrying the
+/// instrumentation (a relaxed atomic load per span site); the
+/// `bench_trend --obs` gate holds it against the committed baseline.
+fn measure_obs_overhead(
+    workload: &Workload,
+    collection: &SampleCollection,
+    queries: &[Vec<u64>],
+) -> (f64, f64) {
+    let config = IndexConfig::default()
+        .with_signature_len(workload.signature_len)
+        .with_threshold(0.4)
+        .with_signer(SignerKind::Oph);
+    let index = IndexOptions::from_config(config).build_index(collection).expect("overhead build");
+    let engine = QueryEngine::with_collection(&index, collection);
+    let opts = QueryOptions { top_k: TOP_K, rerank_exact: true, ..Default::default() };
+    let qps = || {
+        let s = time_averaged(|| {
+            std::hint::black_box(engine.query_batch(queries, &opts).expect("overhead batch"));
+        });
+        queries.len() as f64 / s.max(1e-9)
+    };
+    gas_obs::set_enabled(false);
+    let qps_disabled = qps();
+    gas_obs::set_enabled(true);
+    let qps_enabled = qps();
+    gas_obs::set_enabled(false);
+    // Drop the trace events the enabled pass accumulated.
+    drop(gas_obs::take_events());
+    (qps_disabled, qps_enabled)
+}
+
 fn main() {
     let workload = if tiny() { Workload::tiny_scale() } else { Workload::default_scale() };
     let collection = workload.collection(42);
@@ -734,6 +767,28 @@ fn main() {
     let sweep_csv = sweep_table.write_csv(&dir, "query_segment_sweep").expect("write sweep CSV");
     let sweep_json = sweep_table.write_json(&dir, "query_segment_sweep").expect("write sweep JSON");
     println!("Sweep reports written to {} and {}", sweep_csv.display(), sweep_json.display());
+
+    // Tracing overhead: what the query path pays for carrying the
+    // instrumentation, disabled (production default) and enabled.
+    let (qps_disabled, qps_enabled) = measure_obs_overhead(&workload, &collection, &queries);
+    println!(
+        "[obs] tracing overhead: {qps_disabled:.1} qps disabled vs {qps_enabled:.1} qps \
+         enabled ({:.2}× when tracing)",
+        qps_disabled / qps_enabled.max(1e-9)
+    );
+    let mut obs_table = Table::new(
+        "Tracing overhead: re-ranked query batch, gas_obs disabled vs enabled",
+        &["workload", "signer", "queries", "qps_disabled", "qps_enabled"],
+    );
+    obs_table.push_row(vec![
+        workload.name.to_string(),
+        SignerKind::Oph.to_string(),
+        queries.len().to_string(),
+        format!("{qps_disabled:.1}"),
+        format!("{qps_enabled:.1}"),
+    ]);
+    let obs_json = obs_table.write_json(&dir, "obs_overhead").expect("write obs JSON");
+    println!("Tracing-overhead report written to {}", obs_json.display());
 
     // Acceptance gates. The reports above are already on disk, so a trip
     // here still leaves the diagnostic artifact for CI to upload.

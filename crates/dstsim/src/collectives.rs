@@ -18,6 +18,7 @@ impl Communicator {
     /// Synchronize all ranks (dissemination barrier, `⌈log₂ p⌉` rounds).
     pub fn barrier(&self) -> SimResult<()> {
         self.record_collective();
+        let _coll_span = self.collective_span("barrier");
         let p = self.size();
         if p == 1 {
             self.record_superstep();
@@ -45,6 +46,7 @@ impl Communicator {
     /// every rank.
     pub fn bcast<T: Msg + Clone>(&self, root: usize, data: Option<T>) -> SimResult<T> {
         self.record_collective();
+        let _coll_span = self.collective_span("bcast");
         let p = self.size();
         if root >= p {
             return Err(SimError::InvalidRank { rank: root, size: p });
@@ -97,6 +99,7 @@ impl Communicator {
         F: Fn(&T, &T) -> T,
     {
         self.record_collective();
+        let _coll_span = self.collective_span("reduce");
         let p = self.size();
         if root >= p {
             return Err(SimError::InvalidRank { rank: root, size: p });
@@ -175,6 +178,7 @@ impl Communicator {
         data: &[T],
     ) -> SimResult<Option<Vec<Vec<T>>>> {
         self.record_collective();
+        let _coll_span = self.collective_span("gatherv");
         let p = self.size();
         if root >= p {
             return Err(SimError::InvalidRank { rank: root, size: p });
@@ -203,6 +207,7 @@ impl Communicator {
     /// rank order.
     pub fn allgatherv<T: Msg + Clone>(&self, data: &[T]) -> SimResult<Vec<Vec<T>>> {
         self.record_collective();
+        let _coll_span = self.collective_span("allgatherv");
         let p = self.size();
         let me = self.rank();
         let mut blocks: Vec<Option<Vec<T>>> = vec![None; p];
@@ -242,6 +247,7 @@ impl Communicator {
         data: Option<Vec<Vec<T>>>,
     ) -> SimResult<Vec<T>> {
         self.record_collective();
+        let _coll_span = self.collective_span("scatterv");
         let p = self.size();
         if root >= p {
             return Err(SimError::InvalidRank { rank: root, size: p });
@@ -278,6 +284,7 @@ impl Communicator {
     /// rank `i`.
     pub fn alltoallv<T: Msg + Clone>(&self, sendbufs: Vec<Vec<T>>) -> SimResult<Vec<Vec<T>>> {
         self.record_collective();
+        let _coll_span = self.collective_span("alltoallv");
         let p = self.size();
         if sendbufs.len() != p {
             return Err(SimError::CollectiveMismatch(format!(
@@ -312,6 +319,7 @@ impl Communicator {
         T: Msg + Clone + Copy + std::ops::Add<Output = T>,
     {
         self.record_collective();
+        let _coll_span = self.collective_span("scan_sum");
         let p = self.size();
         let me = self.rank();
         let tag = self.next_coll_tag();
@@ -565,6 +573,31 @@ mod tests {
             assert_eq!(*sub_rank, rank / 2);
             let expected: u64 = if rank % 2 == 0 { 2 + 4 } else { 1 + 3 + 5 };
             assert_eq!(*sum, expected);
+        }
+    }
+
+    #[test]
+    fn collective_spans_carry_predicted_cost() {
+        gas_obs::set_enabled(true);
+        Runtime::new(2)
+            .run(|ctx| {
+                ctx.world().allreduce_sum(&vec![1u64; 64]).unwrap();
+            })
+            .unwrap();
+        gas_obs::set_enabled(false);
+        let events = gas_obs::take_events();
+        let colls: Vec<_> = events.iter().filter(|e| e.phase == "collective").collect();
+        // allreduce decomposes into a reduce followed by a bcast.
+        assert!(colls.iter().any(|e| e.name == "reduce"));
+        assert!(colls.iter().any(|e| e.name == "bcast"));
+        for e in &colls {
+            let predicted = e
+                .attrs
+                .iter()
+                .find(|(k, _)| *k == "predicted_us")
+                .map(|(_, v)| *v)
+                .expect("every collective span carries a predicted cost");
+            assert!(predicted > 0.0, "{} predicted {predicted}", e.name);
         }
     }
 

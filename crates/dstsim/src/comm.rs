@@ -19,8 +19,45 @@ use std::sync::Arc;
 
 use crossbeam::channel::{Receiver, Sender};
 
-use crate::cost::CostTracker;
+use crate::cost::{CostModel, CostTracker};
 use crate::error::{SimError, SimResult};
+
+/// RAII guard around one collective call: a `gas_obs` span plus a
+/// snapshot of the rank's cost counters at entry. When the span closes,
+/// the counter deltas are converted through [`CostModel::default`] into
+/// the BSP-predicted time of the collective and attached as a
+/// `predicted_us` attribute — so a trace carries the model's prediction
+/// right next to the measured wall-clock duration of the same call.
+pub(crate) struct CollectiveSpan {
+    span: gas_obs::Span,
+    cost: Rc<RefCell<CostTracker>>,
+    start_supersteps: u64,
+    start_bytes: u64,
+    start_flops: u64,
+}
+
+impl Drop for CollectiveSpan {
+    fn drop(&mut self) {
+        if !self.span.is_recording() {
+            return;
+        }
+        let (supersteps, bytes, flops) = {
+            let c = self.cost.borrow();
+            (
+                c.supersteps() - self.start_supersteps,
+                c.bytes_received() - self.start_bytes,
+                c.flops() - self.start_flops,
+            )
+        };
+        let model = CostModel::default();
+        let predicted_seconds = supersteps as f64 * model.alpha
+            + bytes as f64 * model.beta
+            + flops as f64 * model.gamma;
+        self.span.annotate("predicted_us", predicted_seconds * 1e6);
+        self.span.annotate("supersteps", supersteps as f64);
+        self.span.annotate("bytes", bytes as f64);
+    }
+}
 
 /// Trait for values that can be sent between ranks.
 ///
@@ -212,6 +249,26 @@ impl Communicator {
 
     pub(crate) fn record_collective(&self) {
         self.cost.borrow_mut().record_collective();
+    }
+
+    /// Open a tracing span for the collective `name`, capturing the cost
+    /// counters so the drop can annotate the span with the modeled time.
+    /// When tracing is disabled this is a single relaxed atomic load.
+    pub(crate) fn collective_span(&self, name: &'static str) -> CollectiveSpan {
+        let span = gas_obs::span("collective", name);
+        let (start_supersteps, start_bytes, start_flops) = if span.is_recording() {
+            let c = self.cost.borrow();
+            (c.supersteps(), c.bytes_received(), c.flops())
+        } else {
+            (0, 0, 0)
+        };
+        CollectiveSpan {
+            span,
+            cost: Rc::clone(&self.cost),
+            start_supersteps,
+            start_bytes,
+            start_flops,
+        }
     }
 
     /// Next collective-internal tag; all ranks of a communicator call

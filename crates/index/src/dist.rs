@@ -708,8 +708,10 @@ pub fn dist_query_reader_batch_stats(
     let mut stats =
         DistQueryStats { replicated_bytes: reader.n_rows() * len * 8, ..Default::default() };
 
-    let (signatures, raw_queries) =
-        broadcast_query_batch(world, reader, queries, opts, &mut stats)?;
+    let (signatures, raw_queries) = {
+        let _bcast_span = gas_obs::span("dist", "bcast");
+        broadcast_query_batch(world, reader, queries, opts, &mut stats)?
+    };
     let keep = opts.keep();
     let nqueries = signatures.len();
 
@@ -720,25 +722,33 @@ pub fn dist_query_reader_batch_stats(
     // Phase 2, no communication: probe this rank's band shard of every
     // segment (skipping tombstoned rows) before any exchange, so the
     // row requests of all segments batch into one keyed round.
-    let per_segment_candidates =
-        live_candidates_by_segment(reader, &signatures, |band| band_shard(band, p) == me);
-    let mut wanted: Vec<u64> = Vec::new();
-    for (seg_idx, per_query) in per_segment_candidates.iter().enumerate() {
-        let shard = shards.segment(seg_idx);
-        for candidates in per_query {
-            wanted.extend(
-                candidates
-                    .iter()
-                    .filter(|&&local| !shard.owns(local))
-                    .map(|&l| row_key(seg_idx, l)),
-            );
+    let (per_segment_candidates, wanted) = {
+        let mut probe_span = gas_obs::span("dist", "probe");
+        let per_segment_candidates =
+            live_candidates_by_segment(reader, &signatures, |band| band_shard(band, p) == me);
+        let mut wanted: Vec<u64> = Vec::new();
+        for (seg_idx, per_query) in per_segment_candidates.iter().enumerate() {
+            let shard = shards.segment(seg_idx);
+            for candidates in per_query {
+                wanted.extend(
+                    candidates
+                        .iter()
+                        .filter(|&&local| !shard.owns(local))
+                        .map(|&l| row_key(seg_idx, l)),
+                );
+            }
         }
-    }
-    wanted.sort_unstable();
-    wanted.dedup();
+        wanted.sort_unstable();
+        wanted.dedup();
+        probe_span.annotate("wanted_rows", wanted.len() as f64);
+        (per_segment_candidates, wanted)
+    };
 
     // Phases 3–4: the one request/fetch pair for the whole snapshot.
-    let fetched = exchange_keyed_rows(world, &shards, &wanted, &mut stats)?;
+    let fetched = {
+        let _exchange_span = gas_obs::span("dist", "exchange");
+        exchange_keyed_rows(world, &shards, &wanted, &mut stats)?
+    };
     stats.fetched_rows = fetched.n_rows();
     stats.fetched_bytes = fetched.data_bytes();
     stats.fetched_fingerprint = fetched.fingerprint();
@@ -746,12 +756,15 @@ pub fn dist_query_reader_batch_stats(
     // Score every segment locally — rows come from the segment shard or
     // the keyed fetched set, never from a replicated matrix.
     let mut per_query_entries: Vec<Vec<Scored>> = vec![Vec::new(); nqueries];
-    for (seg_idx, seg) in reader.segments().iter().enumerate() {
-        let shard = shards.segment(seg_idx);
-        let per_query = &per_segment_candidates[seg_idx];
-        stats.per_segment.push(segment_exchange_stats(seg, shard, per_query));
-        let view = SegmentView { idx: seg_idx, seg, shard };
-        score_segment(&view, &fetched, &signatures, per_query, keep, &mut per_query_entries);
+    {
+        let _score_span = gas_obs::span("dist", "score");
+        for (seg_idx, seg) in reader.segments().iter().enumerate() {
+            let shard = shards.segment(seg_idx);
+            let per_query = &per_segment_candidates[seg_idx];
+            stats.per_segment.push(segment_exchange_stats(seg, shard, per_query));
+            let view = SegmentView { idx: seg_idx, seg, shard };
+            score_segment(&view, &fetched, &signatures, per_query, keep, &mut per_query_entries);
+        }
     }
 
     // Local cross-segment merge, so the wire carries at most `keep`
@@ -759,15 +772,30 @@ pub fn dist_query_reader_batch_stats(
     let partials: Vec<Vec<Scored>> =
         per_query_entries.into_iter().map(|entries| merge_scored_sources(entries, keep)).collect();
 
-    let answers = merge_partials_and_finalize(
-        world,
-        partials,
-        &raw_queries,
-        collection,
-        opts,
-        len,
-        &mut stats,
-    )?;
+    let answers = {
+        let _merge_span = gas_obs::span("dist", "merge");
+        merge_partials_and_finalize(
+            world,
+            partials,
+            &raw_queries,
+            collection,
+            opts,
+            len,
+            &mut stats,
+        )?
+    };
+    // Fold the wire accounting into the global registry: byte counters
+    // accumulate over every rank (their sum is the cluster-wide traffic,
+    // the quantity the cost model prices); the per-batch counters move
+    // once per batch, on the ingress rank only.
+    gas_obs::counter("gas_dist_bcast_bytes_total").add(stats.bcast_bytes as u64);
+    gas_obs::counter("gas_dist_request_bytes_total").add(stats.request_bytes as u64);
+    gas_obs::counter("gas_dist_fetch_bytes_total").add(stats.fetch_bytes as u64);
+    gas_obs::counter("gas_dist_merge_bytes_total").add(stats.merge_bytes as u64);
+    if me == 0 {
+        gas_obs::counter("gas_dist_query_batches_total").inc();
+        gas_obs::counter("gas_dist_collectives_total").add(stats.collective_calls as u64);
+    }
     Ok((answers, stats))
 }
 

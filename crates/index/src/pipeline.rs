@@ -190,6 +190,8 @@ fn signer_loop(
                 ticket,
             }
         } else {
+            let sign_started = Instant::now();
+            let mut sign_span = gas_obs::span("commit", "sign");
             let sets: Vec<&[u64]> = batch.samples.iter().map(|s| s.values.as_slice()).collect();
             let signatures = scheme.sign_batch(&sets);
             let rows: Vec<SegmentRow> = batch
@@ -204,6 +206,10 @@ fn signer_loop(
                     name: sample.name.clone(),
                 })
                 .collect();
+            sign_span.annotate("rows", rows.len() as f64);
+            drop(sign_span);
+            gas_obs::histogram("gas_commit_sign_micros")
+                .record_micros(sign_started.elapsed().as_micros() as u64);
             SignedCommit::Signed { rows, deletes: batch.deletes, enqueued, ticket }
         };
         if seal_tx.send(SealMsg { seq, commit }).is_err() {
@@ -224,8 +230,14 @@ fn sealer_loop(seal_rx: &Receiver<SealMsg>, writer: &Mutex<IndexWriter>, metrics
             let mut guard = writer.lock().expect("writer lock poisoned");
             match commit {
                 SignedCommit::Signed { rows, deletes, enqueued, ticket } => {
-                    let result = guard.commit_signed_rows(rows, deletes);
+                    let seal_started = Instant::now();
+                    let result = {
+                        let _seal_span = gas_obs::span("commit", "seal");
+                        guard.commit_signed_rows(rows, deletes)
+                    };
                     drop(guard);
+                    gas_obs::histogram("gas_commit_seal_micros")
+                        .record_micros(seal_started.elapsed().as_micros() as u64);
                     metrics.finish(enqueued.elapsed(), result.is_ok());
                     let _ = ticket.send(result);
                 }

@@ -308,14 +308,23 @@ pub(crate) fn scored_over_reader(
 ) -> Vec<Scored> {
     let mut entries: Vec<Scored> = Vec::new();
     for seg in reader.segments() {
-        let candidates = live_segment_candidates(reader, seg, sig, |_| true);
-        let top = lsh_top_by(
-            &|local| seg.signature(local as usize).agreement(sig) as u32,
-            &candidates,
-            keep,
-        );
+        let candidates = {
+            let mut probe_span = gas_obs::span("serve", "probe");
+            let candidates = live_segment_candidates(reader, seg, sig, |_| true);
+            probe_span.annotate("candidates", candidates.len() as f64);
+            candidates
+        };
+        let top = {
+            let _score_span = gas_obs::span("serve", "score");
+            lsh_top_by(
+                &|local| seg.signature(local as usize).agreement(sig) as u32,
+                &candidates,
+                keep,
+            )
+        };
         entries.extend(top.into_iter().map(|(a, local)| (a, seg.global_id(local as usize))));
     }
+    let _merge_span = gas_obs::span("serve", "merge");
     merge_scored_sources(entries, keep)
 }
 
@@ -390,6 +399,7 @@ pub(crate) fn finalize(
         })
         .collect();
     if opts.rerank_exact {
+        let _rerank_span = gas_obs::span("serve", "rerank");
         let collection = collection.ok_or_else(|| {
             IndexError::InvalidQuery(
                 "exact re-ranking requires the engine to hold the sample collection".into(),
@@ -494,6 +504,7 @@ impl<'a> QueryEngine<'a> {
     /// single-page case of the paginated scan: the first `top_k` hits of
     /// the ranking over the oversampled candidate pool.
     pub fn query(&self, values: &[u64], opts: &QueryOptions) -> IndexResult<Vec<Neighbor>> {
+        let _query_span = gas_obs::span("serve", "query");
         self.ranked_pool(values, opts.keep(), opts).map(|(hits, _)| hits)
     }
 
@@ -507,6 +518,7 @@ impl<'a> QueryEngine<'a> {
     /// generation fails with a typed [`IndexError::StaleCursor`] rather
     /// than silently mixing two rankings.
     pub fn query_page(&self, values: &[u64], req: &PageRequest) -> IndexResult<QueryPage> {
+        let _page_span = gas_obs::span("serve", "query_page");
         if req.page_size == 0 {
             return Err(IndexError::InvalidQuery("page_size must be ≥ 1".into()));
         }

@@ -65,6 +65,7 @@ pub struct IndexOptions {
     auto_compact: bool,
     compact_interval: Duration,
     snapshot_retention: usize,
+    tracing: bool,
 }
 
 impl Default for IndexOptions {
@@ -79,6 +80,7 @@ impl Default for IndexOptions {
             auto_compact: true,
             compact_interval: Duration::from_millis(10),
             snapshot_retention: 8,
+            tracing: false,
         }
     }
 }
@@ -185,6 +187,15 @@ impl IndexOptions {
         self
     }
 
+    /// Enable the `gas-obs` span recorder when the service starts (the
+    /// programmatic equivalent of `GAS_TRACE=1`). `false` leaves the
+    /// recorder as the environment configured it — it never force-
+    /// disables tracing another component turned on.
+    pub fn with_tracing(mut self, tracing: bool) -> Self {
+        self.tracing = tracing;
+        self
+    }
+
     /// A fresh, empty, in-memory [`IndexWriter`] under these options.
     pub fn open_writer(&self) -> IndexResult<IndexWriter> {
         IndexWriter::new_in_memory(&self.config)
@@ -221,62 +232,9 @@ impl IndexOptions {
     }
 }
 
-/// A compact latency histogram: power-of-two microsecond buckets, cheap
-/// to record into and good enough for p50/p99 feeds.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
-pub struct LatencyHistogram {
-    /// `buckets[i]` counts samples with `latency < 2^i µs` (and at
-    /// least `2^(i-1) µs` for `i > 0`); the last bucket is open-ended.
-    buckets: [u64; 24],
-    count: u64,
-    total_micros: u64,
-}
-
-impl LatencyHistogram {
-    pub(crate) fn record(&mut self, latency: Duration) {
-        let micros = latency.as_micros().min(u128::from(u64::MAX)) as u64;
-        let idx = (64 - micros.leading_zeros() as usize).min(self.buckets.len() - 1);
-        self.buckets[idx] += 1;
-        self.count += 1;
-        self.total_micros = self.total_micros.saturating_add(micros);
-    }
-
-    /// Recorded samples.
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// Mean latency in microseconds (0 with no samples).
-    pub fn mean_micros(&self) -> f64 {
-        if self.count == 0 {
-            0.0
-        } else {
-            self.total_micros as f64 / self.count as f64
-        }
-    }
-
-    /// An upper bound (bucket boundary) on the `q`-quantile latency in
-    /// microseconds, `q ∈ [0, 1]`.
-    pub fn quantile_micros(&self, q: f64) -> u64 {
-        if self.count == 0 {
-            return 0;
-        }
-        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
-        let mut seen = 0u64;
-        for (i, &n) in self.buckets.iter().enumerate() {
-            seen += n;
-            if seen >= rank {
-                return 1u64 << i;
-            }
-        }
-        1u64 << (self.buckets.len() - 1)
-    }
-
-    /// The raw bucket counts (power-of-two µs boundaries).
-    pub fn buckets(&self) -> &[u64] {
-        &self.buckets
-    }
-}
+// The latency histogram moved to `gas-obs` (the whole workspace bins
+// latencies identically now); re-exported here for compatibility.
+pub use gas_obs::LatencyHistogram;
 
 /// Live counters of one request class; `pub(crate)` — the public view
 /// is the [`RequestClassStats`] snapshot.
@@ -404,6 +362,41 @@ pub struct ServiceStats {
     pub live_samples: usize,
 }
 
+impl ServiceStats {
+    /// Fold these counters into a metrics snapshot under the shared
+    /// `gas_*` namespace (see the README's observability table).
+    pub fn fold_into(&self, snap: &mut gas_obs::MetricsSnapshot) {
+        for (class, stats) in [("commit", &self.commit), ("query", &self.query)] {
+            snap.set_counter(&format!("gas_serve_{class}_accepted_total"), stats.accepted);
+            snap.set_counter(&format!("gas_serve_{class}_shed_total"), stats.shed);
+            snap.set_counter(&format!("gas_serve_{class}_completed_total"), stats.completed);
+            snap.set_counter(&format!("gas_serve_{class}_failed_total"), stats.failed);
+            snap.set_gauge(&format!("gas_serve_{class}_queue_depth"), stats.queue_depth as i64);
+            snap.set_gauge(
+                &format!("gas_serve_{class}_queue_depth_max"),
+                stats.max_queue_depth as i64,
+            );
+            snap.set_histogram(&format!("gas_serve_{class}_micros"), stats.latency.clone());
+        }
+        snap.set_counter("gas_compact_passes_total", self.compact.passes);
+        snap.set_counter("gas_compact_groups_merged_total", self.compact.groups_merged);
+        snap.set_counter("gas_compact_segments_compacted_total", self.compact.segments_compacted);
+        snap.set_counter("gas_compact_tombstones_purged_total", self.compact.tombstones_purged);
+        snap.set_counter("gas_compact_rows_written_total", self.compact.rows_written);
+        snap.set_counter("gas_compact_stale_passes_total", self.compact.stale_passes);
+        snap.set_counter("gas_compact_failed_passes_total", self.compact.failed_passes);
+        snap.set_counter("gas_compact_vacuums_deferred_total", self.compact.vacuums_deferred);
+        snap.set_counter("gas_compact_vacuums_run_total", self.compact.vacuums_run);
+        snap.set_counter(
+            "gas_compact_vacuum_bytes_reclaimed_total",
+            self.compact.vacuum_bytes_reclaimed,
+        );
+        snap.set_gauge("gas_index_generation", self.generation as i64);
+        snap.set_gauge("gas_index_segments", self.segments as i64);
+        snap.set_gauge("gas_index_live_samples", self.live_samples as i64);
+    }
+}
+
 /// The serving API over a living index: stage (`add_batch`/`delete`),
 /// commit through the pipeline, read through pinned snapshots, observe
 /// through `stats`. Implementations are `Sync` — one service value is
@@ -443,6 +436,17 @@ pub trait IndexService: Send + Sync {
 
     /// The metrics feed.
     fn stats(&self) -> ServiceStats;
+
+    /// The unified observability snapshot: every metric registered in
+    /// the process-global `gas-obs` registry (pipeline stage timings,
+    /// compaction phases, dist byte counters, ...) with this service's
+    /// [`ServiceStats`] folded in under the same `gas_*` namespace.
+    /// Feed it to `gas_obs::to_prometheus` / `gas_obs::metrics_to_json`.
+    fn telemetry(&self) -> gas_obs::MetricsSnapshot {
+        let mut snap = gas_obs::snapshot();
+        self.stats().fold_into(&mut snap);
+        snap
+    }
 }
 
 /// State shared between the service handle, the pipeline's sealer and
@@ -521,6 +525,9 @@ impl LocalIndexService {
         // Validate the compaction policy up front: the background
         // thread has no one to report a bad policy to.
         Compactor::new(*options.compaction())?;
+        if options.tracing {
+            gas_obs::set_enabled(true);
+        }
         let scheme = *writer.scheme();
         let writer = Arc::new(Mutex::new(writer));
         let commit_metrics = Arc::new(ClassMetrics::default());
@@ -705,6 +712,7 @@ fn maintenance_pass(shared: &ServiceShared) {
     let compactor =
         Compactor::new(*shared.options.compaction()).expect("policy validated at create");
     let begun = {
+        let _plan_span = gas_obs::span("compact", "plan");
         let mut writer = shared.writer.lock().expect("writer lock poisoned");
         let plan = compactor.plan(&writer.segment_stats());
         writer.begin_compaction(plan)
@@ -712,30 +720,38 @@ fn maintenance_pass(shared: &ServiceShared) {
     match begun {
         Ok(None) => {}
         Err(_) => bump(shared, |s| s.failed_passes += 1),
-        Ok(Some(task)) => match task.build() {
-            Err(_) => bump(shared, |s| s.failed_passes += 1),
-            Ok(built) => {
-                let applied =
-                    shared.writer.lock().expect("writer lock poisoned").apply_compaction(built);
-                match applied {
-                    Err(_) => bump(shared, |s| s.failed_passes += 1),
-                    Ok(None) => bump(shared, |s| s.stale_passes += 1),
-                    Ok(Some(summary)) => {
-                        bump(shared, |s| {
-                            s.passes += 1;
-                            s.groups_merged += summary.groups_merged as u64;
-                            s.segments_compacted += (summary.segments_before
-                                - summary.segments_after.min(summary.segments_before))
-                                as u64;
-                            s.tombstones_purged += summary.tombstones_purged as u64;
-                            s.rows_written += summary.rows_written as u64;
-                        });
-                        *shared.pending_vacuum.lock().expect("vacuum lock poisoned") =
-                            Some(summary.generation);
+        Ok(Some(task)) => {
+            let built_result = {
+                let _build_span = gas_obs::span("compact", "build");
+                task.build()
+            };
+            match built_result {
+                Err(_) => bump(shared, |s| s.failed_passes += 1),
+                Ok(built) => {
+                    let applied = {
+                        let _swap_span = gas_obs::span("compact", "swap");
+                        shared.writer.lock().expect("writer lock poisoned").apply_compaction(built)
+                    };
+                    match applied {
+                        Err(_) => bump(shared, |s| s.failed_passes += 1),
+                        Ok(None) => bump(shared, |s| s.stale_passes += 1),
+                        Ok(Some(summary)) => {
+                            bump(shared, |s| {
+                                s.passes += 1;
+                                s.groups_merged += summary.groups_merged as u64;
+                                s.segments_compacted += (summary.segments_before
+                                    - summary.segments_after.min(summary.segments_before))
+                                    as u64;
+                                s.tombstones_purged += summary.tombstones_purged as u64;
+                                s.rows_written += summary.rows_written as u64;
+                            });
+                            *shared.pending_vacuum.lock().expect("vacuum lock poisoned") =
+                                Some(summary.generation);
+                        }
                     }
                 }
             }
-        },
+        }
     }
     run_or_defer_vacuum(shared);
 }
@@ -762,8 +778,10 @@ fn run_or_defer_vacuum(shared: &ServiceShared) {
         bump(shared, |s| s.vacuums_deferred += 1);
         return;
     }
-    let report: IndexResult<VacuumReport> =
-        shared.writer.lock().expect("writer lock poisoned").vacuum();
+    let report: IndexResult<VacuumReport> = {
+        let _vacuum_span = gas_obs::span("compact", "vacuum");
+        shared.writer.lock().expect("writer lock poisoned").vacuum()
+    };
     *shared.pending_vacuum.lock().expect("vacuum lock poisoned") = None;
     if let Ok(report) = report {
         if report.rewritten {

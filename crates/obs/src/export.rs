@@ -1,0 +1,451 @@
+//! Exporters: Prometheus text, JSON report rows, folded stacks and the
+//! predicted-vs-measured collectives report.
+//!
+//! The Prometheus writer is paired with a strict parser so exports are
+//! round-trip-testable without a third-party client; the JSON writers
+//! emit exactly the `{"title": ..., "rows": [...]}` shape of
+//! `gas_bench::report::Table::write_json`, so the bench crate's
+//! `read_json_rows` reads them back.
+
+use std::collections::BTreeMap;
+
+use crate::hist::{LatencyHistogram, HISTOGRAM_BUCKETS};
+use crate::metrics::MetricsSnapshot;
+use crate::trace::TraceEvent;
+
+// ---------------------------------------------------------------------------
+// Prometheus text
+// ---------------------------------------------------------------------------
+
+/// Render a snapshot as Prometheus text exposition. Histograms emit the
+/// standard cumulative `_bucket{le=...}` / `_sum` / `_count` series plus
+/// a non-standard `<name>_max` gauge so [`parse_prometheus`] can rebuild
+/// the exact [`LatencyHistogram`] (the open-ended top bucket needs the
+/// observed maximum).
+pub fn to_prometheus(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snap.counters {
+        out.push_str(&format!("# TYPE {name} counter\n{name} {value}\n"));
+    }
+    for (name, value) in &snap.gauges {
+        out.push_str(&format!("# TYPE {name} gauge\n{name} {value}\n"));
+    }
+    for (name, hist) in &snap.histograms {
+        out.push_str(&format!("# TYPE {name} histogram\n"));
+        let mut cum = 0u64;
+        for (i, &n) in hist.buckets().iter().enumerate() {
+            cum += n;
+            if i + 1 == HISTOGRAM_BUCKETS {
+                out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {cum}\n"));
+            } else {
+                let bound = LatencyHistogram::bucket_bound_micros(i);
+                out.push_str(&format!("{name}_bucket{{le=\"{bound}\"}} {cum}\n"));
+            }
+        }
+        out.push_str(&format!("{name}_sum {}\n", hist.total_micros()));
+        out.push_str(&format!("{name}_count {}\n", hist.count()));
+        out.push_str(&format!("{name}_max {}\n", hist.max_micros()));
+    }
+    out
+}
+
+/// Parse text produced by [`to_prometheus`] back into a snapshot.
+///
+/// Deliberately strict (like `read_json_rows`): it accepts exactly the
+/// shape the writer emits and fails loudly on anything else, so a
+/// corrupted scrape is an error rather than an empty snapshot.
+pub fn parse_prometheus(text: &str) -> Result<MetricsSnapshot, String> {
+    let mut snap = MetricsSnapshot::default();
+    let mut lines = text.lines().peekable();
+    while let Some(line) = lines.next() {
+        if line.is_empty() {
+            continue;
+        }
+        let (kind, name) = parse_type_line(line)?;
+        match kind {
+            "counter" => {
+                let (n, v) = parse_sample(lines.next().ok_or("missing counter sample")?)?;
+                if n != name {
+                    return Err(format!("counter sample {n} under # TYPE {name}"));
+                }
+                snap.counters.push((name.to_string(), v.parse().map_err(|e| format!("{e}"))?));
+            }
+            "gauge" => {
+                let (n, v) = parse_sample(lines.next().ok_or("missing gauge sample")?)?;
+                if n != name {
+                    return Err(format!("gauge sample {n} under # TYPE {name}"));
+                }
+                snap.gauges.push((name.to_string(), v.parse().map_err(|e| format!("{e}"))?));
+            }
+            "histogram" => {
+                let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+                let mut prev = 0u64;
+                for (i, slot) in buckets.iter_mut().enumerate() {
+                    let line = lines.next().ok_or("truncated histogram buckets")?;
+                    let (n, v) = parse_sample(line)?;
+                    let want = if i + 1 == HISTOGRAM_BUCKETS {
+                        format!("{name}_bucket{{le=\"+Inf\"}}")
+                    } else {
+                        format!(
+                            "{name}_bucket{{le=\"{}\"}}",
+                            LatencyHistogram::bucket_bound_micros(i)
+                        )
+                    };
+                    if n != want {
+                        return Err(format!("expected series {want}, found {n}"));
+                    }
+                    let cum: u64 = v.parse().map_err(|e| format!("{e}"))?;
+                    *slot = cum.checked_sub(prev).ok_or("non-monotone histogram buckets")?;
+                    prev = cum;
+                }
+                let mut tail = |suffix: &str| -> Result<u64, String> {
+                    let (n, v) = parse_sample(lines.next().ok_or("truncated histogram tail")?)?;
+                    if n != format!("{name}_{suffix}") {
+                        return Err(format!("expected {name}_{suffix}, found {n}"));
+                    }
+                    v.parse().map_err(|e| format!("{e}"))
+                };
+                let sum = tail("sum")?;
+                let count = tail("count")?;
+                let max = tail("max")?;
+                let hist = LatencyHistogram::from_parts(buckets, sum, max);
+                if hist.count() != count {
+                    return Err(format!(
+                        "histogram {name}: bucket sum {} != count {count}",
+                        hist.count()
+                    ));
+                }
+                snap.histograms.push((name.to_string(), hist));
+            }
+            other => return Err(format!("unknown metric type {other}")),
+        }
+    }
+    Ok(snap)
+}
+
+fn parse_type_line(line: &str) -> Result<(&str, &str), String> {
+    let rest = line.strip_prefix("# TYPE ").ok_or_else(|| format!("expected # TYPE: {line}"))?;
+    rest.split_once(' ')
+        .map(|(name, kind)| (kind, name))
+        .ok_or_else(|| format!("malformed # TYPE line: {line}"))
+}
+
+fn parse_sample(line: &str) -> Result<(&str, &str), String> {
+    line.rsplit_once(' ').ok_or_else(|| format!("malformed sample line: {line}"))
+}
+
+// ---------------------------------------------------------------------------
+// JSON report rows (the Table::write_json shape)
+// ---------------------------------------------------------------------------
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_report(title: &str, rows: Vec<Vec<(String, String)>>) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"title\": {},\n", json_string(title)));
+    out.push_str("  \"rows\": [\n");
+    for (ri, row) in rows.iter().enumerate() {
+        let fields: Vec<String> =
+            row.iter().map(|(k, v)| format!("{}: {v}", json_string(k))).collect();
+        let sep = if ri + 1 < rows.len() { "," } else { "" };
+        out.push_str(&format!("    {{{}}}{sep}\n", fields.join(", ")));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Render trace events as a JSON report (`read_json_rows`-compatible):
+/// one row per closed span with `thread`/`phase`/`name`/`stack`/`depth`/
+/// `start_ns`/`dur_ns` columns plus `attrs` as a `key=value` list.
+pub fn trace_to_json(events: &[TraceEvent]) -> String {
+    let rows = events
+        .iter()
+        .map(|e| {
+            let attrs =
+                e.attrs.iter().map(|(k, v)| format!("{k}={v}")).collect::<Vec<_>>().join(";");
+            vec![
+                ("thread".to_string(), e.thread.to_string()),
+                ("phase".to_string(), json_string(e.phase)),
+                ("name".to_string(), json_string(e.name)),
+                ("stack".to_string(), json_string(&e.stack)),
+                ("depth".to_string(), e.depth.to_string()),
+                ("start_ns".to_string(), e.start_ns.to_string()),
+                ("dur_ns".to_string(), e.dur_ns.to_string()),
+                ("attrs".to_string(), json_string(&attrs)),
+            ]
+        })
+        .collect();
+    json_report("trace", rows)
+}
+
+/// Render a metrics snapshot as a JSON report (`read_json_rows`-
+/// compatible): one row per metric with uniform columns — scalars fill
+/// `value`, histograms fill the latency columns.
+pub fn metrics_to_json(snap: &MetricsSnapshot) -> String {
+    let mut rows = Vec::new();
+    let scalar = |kind: &str, name: &str, value: String| {
+        vec![
+            ("kind".to_string(), json_string(kind)),
+            ("name".to_string(), json_string(name)),
+            ("value".to_string(), value),
+            ("count".to_string(), "0".to_string()),
+            ("p50_us".to_string(), "0".to_string()),
+            ("p99_us".to_string(), "0".to_string()),
+            ("max_us".to_string(), "0".to_string()),
+        ]
+    };
+    for (name, value) in &snap.counters {
+        rows.push(scalar("counter", name, value.to_string()));
+    }
+    for (name, value) in &snap.gauges {
+        rows.push(scalar("gauge", name, value.to_string()));
+    }
+    for (name, hist) in &snap.histograms {
+        rows.push(vec![
+            ("kind".to_string(), json_string("histogram")),
+            ("name".to_string(), json_string(name)),
+            ("value".to_string(), hist.total_micros().to_string()),
+            ("count".to_string(), hist.count().to_string()),
+            ("p50_us".to_string(), hist.quantile_micros(0.5).to_string()),
+            ("p99_us".to_string(), hist.quantile_micros(0.99).to_string()),
+            ("max_us".to_string(), hist.max_micros().to_string()),
+        ]);
+    }
+    json_report("metrics", rows)
+}
+
+// ---------------------------------------------------------------------------
+// Folded stacks
+// ---------------------------------------------------------------------------
+
+/// Collapse span events into folded-stacks lines (`stack self_weight`),
+/// the input format of flamegraph renderers. Weights are *self* time in
+/// microseconds: each stack's total minus its direct children's totals
+/// (clamped at zero — concurrent children can transiently oversubscribe
+/// a parent). Stacks from different threads with the same path merge.
+pub fn folded_stacks(events: &[TraceEvent]) -> String {
+    let mut total: BTreeMap<&str, u64> = BTreeMap::new();
+    for e in events {
+        *total.entry(e.stack.as_str()).or_insert(0) += e.dur_ns;
+    }
+    let mut self_ns = total.clone();
+    for (stack, ns) in &total {
+        if let Some(pos) = stack.rfind(';') {
+            if let Some(parent) = self_ns.get_mut(&stack[..pos]) {
+                *parent = parent.saturating_sub(*ns);
+            }
+        }
+    }
+    let mut out = String::new();
+    for (stack, ns) in &self_ns {
+        out.push_str(&format!("{stack} {}\n", ns / 1_000));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Predicted vs measured collectives
+// ---------------------------------------------------------------------------
+
+/// Aggregated cost of one collective phase: how often it ran, how long
+/// it measurably took, and what the simulator's cost model predicted
+/// (summed from the `predicted_us` span annotations).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CollectiveCost {
+    /// Collective name (`"bcast"`, `"allgatherv"`, ...).
+    pub name: &'static str,
+    /// Number of spans aggregated.
+    pub calls: u64,
+    /// Measured wall-clock, microseconds.
+    pub measured_us: f64,
+    /// Cost-model prediction, microseconds.
+    pub predicted_us: f64,
+}
+
+/// Group `phase == "collective"` spans by name, summing measured
+/// wall-clock and the `predicted_us` annotations. Sorted by name.
+pub fn collective_cost_report(events: &[TraceEvent]) -> Vec<CollectiveCost> {
+    let mut by_name: BTreeMap<&'static str, CollectiveCost> = BTreeMap::new();
+    for e in events.iter().filter(|e| e.phase == "collective") {
+        let entry = by_name.entry(e.name).or_insert(CollectiveCost {
+            name: e.name,
+            calls: 0,
+            measured_us: 0.0,
+            predicted_us: 0.0,
+        });
+        entry.calls += 1;
+        entry.measured_us += e.dur_ns as f64 / 1_000.0;
+        for (k, v) in &e.attrs {
+            if *k == "predicted_us" {
+                entry.predicted_us += v;
+            }
+        }
+    }
+    by_name.into_values().collect()
+}
+
+/// Render a [`collective_cost_report`] as an aligned text table.
+pub fn render_collective_costs(report: &[CollectiveCost]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<20} {:>8} {:>14} {:>14} {:>8}\n",
+        "collective", "calls", "measured_us", "predicted_us", "ratio"
+    ));
+    for row in report {
+        let ratio = if row.predicted_us > 0.0 { row.measured_us / row.predicted_us } else { 0.0 };
+        out.push_str(&format!(
+            "{:<20} {:>8} {:>14.1} {:>14.1} {:>8.2}\n",
+            row.name, row.calls, row.measured_us, row.predicted_us, ratio
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn sample_snapshot() -> MetricsSnapshot {
+        let mut hist = LatencyHistogram::new();
+        for micros in [0u64, 1, 3, 900, 5_000_000, 30_000_000] {
+            hist.record(Duration::from_micros(micros));
+        }
+        let mut snap = MetricsSnapshot::default();
+        snap.set_counter("gas_serve_requests_total", 42);
+        snap.set_counter("gas_serve_shed_total", 3);
+        snap.set_gauge("gas_serve_inflight", -1);
+        snap.set_histogram("gas_serve_query_micros", hist);
+        snap
+    }
+
+    #[test]
+    fn prometheus_text_round_trips_exactly() {
+        let snap = sample_snapshot();
+        let text = to_prometheus(&snap);
+        assert!(text.contains("# TYPE gas_serve_requests_total counter"));
+        assert!(text.contains("gas_serve_requests_total 42"));
+        assert!(text.contains("# TYPE gas_serve_query_micros histogram"));
+        assert!(text.contains("gas_serve_query_micros_bucket{le=\"+Inf\"} 6"));
+        assert!(text.contains("gas_serve_query_micros_max 30000000"));
+        let parsed = parse_prometheus(&text).expect("round trip");
+        assert_eq!(parsed, snap);
+    }
+
+    #[test]
+    fn prometheus_parser_rejects_corruption() {
+        let text = to_prometheus(&sample_snapshot());
+        // Flipping any single line must fail loudly, not read as empty.
+        for (i, _) in text.lines().enumerate() {
+            let corrupted: String = text
+                .lines()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .map(|(_, l)| format!("{l}\n"))
+                .collect();
+            assert!(parse_prometheus(&corrupted).is_err(), "dropping line {i} must fail");
+        }
+        assert!(parse_prometheus("gas_x 1\n").is_err(), "sample without # TYPE must fail");
+    }
+
+    #[test]
+    fn trace_json_rows_carry_all_span_fields() {
+        let events = vec![TraceEvent {
+            thread: 1,
+            phase: "serve",
+            name: "probe",
+            stack: "query_page;probe".to_string(),
+            depth: 1,
+            start_ns: 10,
+            dur_ns: 20,
+            attrs: vec![("candidates", 7.0)],
+        }];
+        let json = trace_to_json(&events);
+        assert!(json.contains("\"title\": \"trace\""));
+        assert!(json.contains("\"stack\": \"query_page;probe\""));
+        assert!(json.contains("\"dur_ns\": 20"));
+        assert!(json.contains("\"attrs\": \"candidates=7\""));
+    }
+
+    #[test]
+    fn metrics_json_rows_cover_all_kinds() {
+        let json = metrics_to_json(&sample_snapshot());
+        assert!(json.contains(
+            "\"kind\": \"counter\", \"name\": \"gas_serve_requests_total\", \"value\": 42"
+        ));
+        assert!(
+            json.contains("\"kind\": \"gauge\", \"name\": \"gas_serve_inflight\", \"value\": -1")
+        );
+        assert!(json.contains("\"kind\": \"histogram\", \"name\": \"gas_serve_query_micros\""));
+        assert!(json.contains("\"max_us\": 30000000"));
+    }
+
+    fn ev(stack: &str, dur_ns: u64) -> TraceEvent {
+        let name: &'static str = "x";
+        TraceEvent {
+            thread: 0,
+            phase: "serve",
+            name,
+            stack: stack.to_string(),
+            depth: stack.matches(';').count() as u32,
+            start_ns: 0,
+            dur_ns,
+            attrs: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn folded_stacks_report_self_time() {
+        let events = vec![
+            ev("req", 10_000),
+            ev("req;probe", 3_000),
+            ev("req;score", 4_000),
+            ev("req;score;rerank", 1_000),
+        ];
+        let folded = folded_stacks(&events);
+        let lines: Vec<&str> = folded.lines().collect();
+        // Self time: req = 10 - 3 - 4 = 3 µs; score = 4 - 1 = 3 µs.
+        assert_eq!(lines, vec!["req 3", "req;probe 3", "req;score 3", "req;score;rerank 1"]);
+    }
+
+    #[test]
+    fn collective_report_groups_and_sums_predictions() {
+        let mut a = ev("allgatherv", 5_000);
+        a.phase = "collective";
+        a.name = "allgatherv";
+        a.attrs = vec![("predicted_us", 2.0)];
+        let mut b = a.clone();
+        b.dur_ns = 3_000;
+        b.attrs = vec![("predicted_us", 1.5)];
+        let mut c = ev("bcast", 1_000);
+        c.phase = "collective";
+        c.name = "bcast";
+        let report = collective_cost_report(&[a, b, c, ev("not_collective", 9)]);
+        assert_eq!(report.len(), 2);
+        assert_eq!(report[0].name, "allgatherv");
+        assert_eq!(report[0].calls, 2);
+        assert!((report[0].measured_us - 8.0).abs() < 1e-9);
+        assert!((report[0].predicted_us - 3.5).abs() < 1e-9);
+        assert_eq!(report[1].name, "bcast");
+        let rendered = render_collective_costs(&report);
+        assert!(rendered.contains("allgatherv"));
+        assert!(rendered.contains("predicted_us"));
+    }
+}

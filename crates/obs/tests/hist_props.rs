@@ -1,0 +1,75 @@
+//! Property tests for the shared latency histogram: bucket-boundary
+//! correctness on record and quantile monotonicity in `q`, plus the
+//! Prometheus round-trip on arbitrary contents.
+
+use gas_obs::{parse_prometheus, to_prometheus, LatencyHistogram, MetricsSnapshot};
+use proptest::prelude::*;
+
+/// The bucket a sample of `micros` must land in: 0 for a zero sample,
+/// otherwise the `i` with `2^(i-1) <= micros < 2^i`, saturating at the
+/// open-ended top bucket.
+fn expected_bucket(micros: u64) -> usize {
+    if micros == 0 {
+        return 0;
+    }
+    let mut i = 0usize;
+    while i < 63 && (1u64 << i) <= micros {
+        i += 1;
+    }
+    i.min(gas_obs::HISTOGRAM_BUCKETS - 1)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    #[test]
+    fn every_sample_lands_in_its_power_of_two_bucket(samples in
+        prop::collection::vec(0u64..1 << 40, 1..64)) {
+        for &micros in &samples {
+            let mut h = LatencyHistogram::new();
+            h.record_micros(micros);
+            let idx = expected_bucket(micros);
+            prop_assert_eq!(h.buckets()[idx], 1, "sample {} should land in bucket {}", micros, idx);
+            prop_assert_eq!(h.buckets().iter().sum::<u64>(), 1);
+            // The bucket's nominal bound really is an upper bound except
+            // in the open-ended top bucket.
+            if idx + 1 < gas_obs::HISTOGRAM_BUCKETS {
+                prop_assert!(micros < LatencyHistogram::bucket_bound_micros(idx));
+            }
+        }
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_q_and_bounded_by_max(samples in
+        prop::collection::vec(0u64..1 << 34, 1..80)) {
+        let mut h = LatencyHistogram::new();
+        let mut max = 0u64;
+        for &micros in &samples {
+            h.record_micros(micros);
+            max = max.max(micros);
+        }
+        let mut prev = 0u64;
+        for i in 0..=20u64 {
+            let q = i as f64 / 20.0;
+            let v = h.quantile_micros(q);
+            prop_assert!(v >= prev, "quantile dropped from {} to {} at q={}", prev, v, q);
+            prop_assert!(v <= max.max(1), "quantile {} exceeds observed max {}", v, max);
+            prev = v;
+        }
+        prop_assert_eq!(h.quantile_micros(1.0).max(1), max.max(1));
+        prop_assert_eq!(h.max_micros(), max);
+    }
+
+    #[test]
+    fn prometheus_round_trips_arbitrary_histograms(samples in
+        prop::collection::vec(0u64..1 << 36, 0..64)) {
+        let mut h = LatencyHistogram::new();
+        for &micros in &samples {
+            h.record_micros(micros);
+        }
+        let mut snap = MetricsSnapshot::default();
+        snap.set_histogram("gas_prop_micros", h);
+        let parsed = parse_prometheus(&to_prometheus(&snap)).expect("round trip");
+        prop_assert_eq!(parsed, snap);
+    }
+}

@@ -3,7 +3,12 @@
 //! readers, paged queries with stable cursors, admission-control
 //! shedding, and sharded distributed serving equality at p ∈ {1, 4} —
 //! then write the `ServiceStats` report that CI uploads and gates via
-//! `bench_trend --serve`.
+//! `bench_trend --serve`, plus the observability artifacts — the
+//! unified metrics registry as Prometheus text
+//! (`results/serve_metrics.prom`), the full span trace as JSON rows
+//! (`results/serve_trace.json`), a folded-stacks dump for flamegraphs,
+//! and the predicted-vs-measured collectives report of the distributed
+//! section.
 //!
 //! Run with: `cargo run --release --example serve_index`
 //! (CI sets `GAS_SERVE_TINY=1` for a seconds-scale workload.)
@@ -38,7 +43,8 @@ fn main() {
         .with_signer(SignerKind::Oph);
     let options = IndexOptions::from_config(config)
         .with_signer_threads(3)
-        .with_compact_interval(Duration::from_millis(1));
+        .with_compact_interval(Duration::from_millis(1))
+        .with_tracing(true);
     let service = options.serve_at(&path).expect("open the serving frontend");
 
     // 1. PIPELINED COMMITS — every wave is staged and committed without
@@ -226,5 +232,30 @@ fn main() {
     table.write_csv(&dir, "serve_stats").expect("write CSV report");
     let json = table.write_json(&dir, "serve_stats").expect("write JSON report");
     println!("wrote {}", json.display());
+
+    // 7. OBSERVABILITY — the whole workload above ran with tracing on:
+    // export the unified telemetry (the metrics registry merged with
+    // this service's stats) as Prometheus text, the span trace as JSON
+    // rows and a folded-stacks flamegraph dump, and print the
+    // predicted-vs-measured collectives report of the sharded section.
+    let telemetry = service.telemetry();
+    let prom_path = dir.join("serve_metrics.prom");
+    std::fs::write(&prom_path, to_prometheus(&telemetry)).expect("write Prometheus export");
+    let events = genomeatscale::obs::take_events();
+    assert!(!events.is_empty(), "tracing was enabled: the workload must leave a trace");
+    let trace_path = dir.join("serve_trace.json");
+    std::fs::write(&trace_path, trace_to_json(&events)).expect("write trace export");
+    std::fs::write(dir.join("serve_trace.folded"), folded_stacks(&events))
+        .expect("write folded stacks");
+    let costs = collective_cost_report(&events);
+    assert!(!costs.is_empty(), "the sharded section must produce collective spans");
+    print!("{}", render_collective_costs(&costs));
+    println!(
+        "wrote {} and {} ({} spans, {} collective phases)",
+        prom_path.display(),
+        trace_path.display(),
+        events.len(),
+        costs.len()
+    );
     std::fs::remove_file(&path).ok();
 }

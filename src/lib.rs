@@ -25,6 +25,9 @@
 //!   segmented lifecycle (`IndexWriter` → `IndexReader` → `Compactor`)
 //!   with incremental adds, tombstoned deletes, snapshot reads and
 //!   crash-safe multi-segment persistence.
+//! * [`obs`] — structured tracing spans, the unified metrics registry and
+//!   the Prometheus/JSON/folded-stacks exporters instrumenting the
+//!   serve/commit/compact/dist hot paths (see README § Observability).
 //!
 //! ## Quickstart
 //!
@@ -51,6 +54,7 @@ pub use gas_core as core;
 pub use gas_dstsim as dstsim;
 pub use gas_genomics as genomics;
 pub use gas_index as index;
+pub use gas_obs as obs;
 pub use gas_sparse as sparse;
 
 /// Commonly used types and entry points for the whole stack.
@@ -76,6 +80,10 @@ pub mod prelude {
         IndexReader, IndexService, IndexWriter, LatencyHistogram, LocalIndexService, LshParams,
         Neighbor, PageCursor, PageRequest, QueryEngine, QueryOptions, QueryPage, RequestClassStats,
         SegmentStats, ServiceStats, SignerKind, SketchIndex, VacuumReport,
+    };
+    pub use gas_obs::{
+        collective_cost_report, folded_stacks, render_collective_costs, to_prometheus,
+        trace_to_json, MetricsSnapshot, TraceEvent,
     };
     pub use gas_sparse::dense::DenseMatrix;
 }

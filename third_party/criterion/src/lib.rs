@@ -3,9 +3,11 @@
 //! Provides `Criterion`, benchmark groups, `BenchmarkId`, `Bencher` and
 //! the `criterion_group!` / `criterion_main!` macros. Instead of
 //! criterion's statistical sampling it runs each benchmark closure a
-//! small, configurable number of times and prints the mean wall-clock
-//! time — enough to compare kernels locally and to keep `--all-targets`
-//! builds honest, without the plotting/statistics dependency tree.
+//! small, configurable number of times — timing every sample into a
+//! `gas_obs::LatencyHistogram` (the same bucketing the serving stack
+//! uses) — and prints the mean, p50 and p99 wall-clock times. Enough to
+//! compare kernels locally and to keep `--all-targets` builds honest,
+//! without the plotting/statistics dependency tree.
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};
@@ -72,7 +74,7 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher),
     {
-        let mut bencher = Bencher { samples: self.samples, total: Duration::ZERO, iters: 0 };
+        let mut bencher = Bencher::new(self.samples);
         f(&mut bencher);
         bencher.report(&self.name, &id.to_string());
         self
@@ -83,7 +85,7 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher, &I),
     {
-        let mut bencher = Bencher { samples: self.samples, total: Duration::ZERO, iters: 0 };
+        let mut bencher = Bencher::new(self.samples);
         f(&mut bencher, input);
         bencher.report(&self.name, &id.to_string());
         self
@@ -99,18 +101,26 @@ pub struct Bencher {
     samples: usize,
     total: Duration,
     iters: u64,
+    hist: gas_obs::LatencyHistogram,
 }
 
 impl Bencher {
+    fn new(samples: usize) -> Self {
+        Bencher { samples, total: Duration::ZERO, iters: 0, hist: gas_obs::LatencyHistogram::new() }
+    }
+
     /// Time `f`, running it once for warm-up and `sample_size` times
-    /// measured.
+    /// measured. Each sample is timed individually so the report can
+    /// quote tail latency, not just the mean.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
         black_box(f());
-        let start = Instant::now();
         for _ in 0..self.samples {
+            let start = Instant::now();
             black_box(f());
+            let elapsed = start.elapsed();
+            self.total += elapsed;
+            self.hist.record(elapsed);
         }
-        self.total += start.elapsed();
         self.iters += self.samples as u64;
     }
 
@@ -120,7 +130,13 @@ impl Bencher {
             return;
         }
         let mean = self.total.as_secs_f64() / self.iters as f64;
-        println!("bench {group}/{id}: mean {:.6} s over {} iters", mean, self.iters);
+        println!(
+            "bench {group}/{id}: mean {:.6} s, p50 {:.6} s, p99 {:.6} s over {} iters",
+            mean,
+            self.hist.quantile_micros(0.50) as f64 / 1e6,
+            self.hist.quantile_micros(0.99) as f64 / 1e6,
+            self.iters
+        );
     }
 }
 
@@ -159,6 +175,15 @@ mod tests {
         group.finish();
         // 1 warm-up + 3 samples.
         assert_eq!(count, 4);
+    }
+
+    #[test]
+    fn bencher_records_each_sample_in_the_histogram() {
+        let mut b = Bencher::new(5);
+        b.iter(|| std::thread::sleep(Duration::from_micros(50)));
+        assert_eq!(b.hist.count(), 5);
+        assert!(b.hist.quantile_micros(0.50) <= b.hist.quantile_micros(0.99));
+        assert!(b.hist.quantile_micros(0.99) >= 50);
     }
 
     #[test]
