@@ -5,7 +5,7 @@
 # facade's integration suites. Always go through `make test` (or pass
 # --workspace yourself) so local coverage matches CI.
 
-.PHONY: build test lint fmt bench-smoke query-smoke serve-smoke obs-smoke dist-matrix index-lifecycle all
+.PHONY: build test lint fmt bench-smoke query-smoke serve-smoke obs-smoke chaos-smoke chaos-matrix dist-matrix index-lifecycle all
 
 all: lint build test
 
@@ -58,6 +58,28 @@ obs-smoke:
 	GAS_SERVE_TINY=1 GAS_TRACE=1 cargo run --release --locked --example serve_index
 	GAS_QUERY_TINY=1 cargo run --release --locked -p gas-bench --bin query_throughput
 	cargo run --release --locked -p gas-bench --bin bench_trend -- --obs
+
+# The CI chaos-smoke step: the seeded fault-injection drill across all
+# three layers (storage crash/recover/heal, service retry + typed
+# exhaustion + degraded queries, distributed failover with exact lost
+# accounting), the crash-recovery torture proptest, then the
+# injection-overhead gate (injection-disabled qps within 5% of the
+# committed baseline — needs the fresh results/chaos_overhead.json from
+# query_throughput).
+chaos-smoke:
+	GAS_CHAOS_SEED=$(CHAOS_SEED) GAS_CHAOS_SCENARIO=all \
+		cargo run --release --locked -p gas-bench --bin chaos_drill
+	cargo test --locked -q --test chaos_recovery
+	GAS_QUERY_TINY=1 cargo run --release --locked -p gas-bench --bin query_throughput
+	cargo run --release --locked -p gas-bench --bin bench_trend -- --chaos
+
+# One cell of the CI chaos-matrix job, e.g.:
+#   make chaos-matrix CHAOS_SEED=2 CHAOS_SCENARIO=service
+CHAOS_SEED ?= 1
+CHAOS_SCENARIO ?= all
+chaos-matrix:
+	GAS_CHAOS_SEED=$(CHAOS_SEED) GAS_CHAOS_SCENARIO=$(CHAOS_SCENARIO) \
+		cargo run --release --locked -p gas-bench --bin chaos_drill
 
 # The segmented index lifecycle suites: writer/reader/compactor unit
 # tests, the `incremental add + compact ≡ full rebuild` and crash-safe

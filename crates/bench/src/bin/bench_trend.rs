@@ -53,6 +53,15 @@
 //! * **qps_enabled** — with tracing on, throughput must stay within 2×
 //!   of the disabled figure (a sanity bound, not a budget — tracing is
 //!   a diagnosis mode).
+//!
+//! `bench_trend --chaos [current.json] [baseline.json]` gates the
+//! fault-injection overhead the same way (defaults:
+//! `results/chaos_overhead.json`,
+//! `bench/baselines/query_throughput.tiny.json`): with injection
+//! disabled (the production default — one relaxed atomic load per
+//! storage-operation site, zero sites on the serving path) throughput
+//! may regress at most 5% against the committed baseline, and with an
+//! inert plan armed it must stay within 2× of disabled.
 
 use std::collections::BTreeMap;
 use std::path::PathBuf;
@@ -316,8 +325,86 @@ fn obs_gate(current: &PathBuf, baseline: &PathBuf) -> ExitCode {
     ExitCode::FAILURE
 }
 
+/// Gate the fault-injection overhead report: with the `gas_chaos`
+/// switch off (the production default) throughput must stay within 5%
+/// of the committed baseline — carrying the injection machinery must be
+/// free — and with an inert plan armed it must stay within 2× of
+/// disabled.
+fn chaos_gate(current: &PathBuf, baseline: &PathBuf) -> ExitCode {
+    let (current_rows, baseline_rows) = match (obs_rows(current), trend_rows(baseline)) {
+        (Ok(c), Ok(b)) => (c, b),
+        (c, b) => {
+            for err in [c.err(), b.err()].into_iter().flatten() {
+                eprintln!("bench-trend: {err}");
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+    if current_rows.is_empty() {
+        eprintln!("bench-trend: injection-overhead report {} holds no rows", current.display());
+        return ExitCode::FAILURE;
+    }
+    let mut failures = Vec::new();
+    for (key, now) in &current_rows {
+        let (workload, signer) = key;
+        let Some(base) = baseline_rows.get(key) else {
+            failures.push(format!("baseline has no ({workload}, {signer}) row to gate against"));
+            continue;
+        };
+        println!(
+            "[chaos/{workload}/{signer}] qps disabled {:.1} (baseline {:.1}), enabled {:.1} \
+             ({:.2}× when armed)",
+            now.qps_disabled,
+            base.engine_qps,
+            now.qps_enabled,
+            now.qps_disabled / now.qps_enabled.max(1e-9)
+        );
+        if now.qps_disabled < base.engine_qps * 0.95 {
+            failures.push(format!(
+                "({workload}, {signer}) injection-disabled qps {:.1} regressed >5% vs baseline \
+                 {:.1} — carrying gas_chaos is no longer free when off",
+                now.qps_disabled, base.engine_qps
+            ));
+        }
+        if now.qps_enabled * 2.0 < now.qps_disabled {
+            failures.push(format!(
+                "({workload}, {signer}) armed-injection qps {:.1} fell below half the disabled \
+                 figure {:.1}",
+                now.qps_enabled, now.qps_disabled
+            ));
+        }
+    }
+    if failures.is_empty() {
+        println!(
+            "bench-trend OK: {} injection-overhead row(s) within budget of {}",
+            current_rows.len(),
+            baseline.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+    for f in &failures {
+        eprintln!("bench-trend FAIL: {f}");
+    }
+    eprintln!(
+        "bench-trend: {} injection-overhead regression(s) vs {} — if intentional, refresh the \
+         baseline from the fresh query_throughput report",
+        failures.len(),
+        baseline.display()
+    );
+    ExitCode::FAILURE
+}
+
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1).peekable();
+    if args.peek().map(String::as_str) == Some("--chaos") {
+        args.next();
+        let current =
+            PathBuf::from(args.next().unwrap_or_else(|| "results/chaos_overhead.json".into()));
+        let baseline = PathBuf::from(
+            args.next().unwrap_or_else(|| "bench/baselines/query_throughput.tiny.json".into()),
+        );
+        return chaos_gate(&current, &baseline);
+    }
     if args.peek().map(String::as_str) == Some("--obs") {
         args.next();
         let current =

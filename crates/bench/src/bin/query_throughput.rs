@@ -57,8 +57,9 @@ use gas_core::minhash::SignatureScheme;
 use gas_dstsim::runtime::Runtime;
 use gas_index::{
     dist_query_batch_stats, dist_query_reader_batch_stats,
-    dist_query_reader_batch_stats_per_segment, exact_top_k, DistQueryStats, IndexConfig,
-    IndexOptions, IndexService, QueryEngine, QueryOptions, SignerKind, SketchIndex,
+    dist_query_reader_batch_stats_per_segment, exact_top_k, ChaosStorage, DistQueryStats,
+    FaultPlan, IndexConfig, IndexOptions, IndexService, QueryEngine, QueryOptions, SignerKind,
+    SketchIndex, Storage,
 };
 use rand::{Rng, SeedableRng, StdRng};
 
@@ -648,6 +649,71 @@ fn measure_obs_overhead(
     (qps_disabled, qps_enabled)
 }
 
+/// Fault-injection overhead. Two legs:
+///
+/// * the re-ranked query batch with the global `gas_chaos` switch off
+///   (the production default) and on — serving has no injection sites,
+///   so the two figures bound what merely *linking* the chaos crate
+///   costs the hot path; the `bench_trend --chaos` gate holds the
+///   disabled figure against the committed baseline throughput;
+/// * the same staged commit persisted through plain `RealFs` and
+///   through `ChaosStorage` wrapping it with an inert plan (seeded,
+///   zero fault rate) under an enabled switch — the storage path *does*
+///   carry injection sites, and this is what each one costs when armed
+///   but silent.
+fn measure_chaos_overhead(
+    workload: &Workload,
+    collection: &SampleCollection,
+    queries: &[Vec<u64>],
+) -> (f64, f64, f64, f64) {
+    let config = IndexConfig::default()
+        .with_signature_len(workload.signature_len)
+        .with_threshold(0.4)
+        .with_signer(SignerKind::Oph);
+    let index = IndexOptions::from_config(config).build_index(collection).expect("chaos build");
+    let engine = QueryEngine::with_collection(&index, collection);
+    let opts = QueryOptions { top_k: TOP_K, rerank_exact: true, ..Default::default() };
+    let qps = || {
+        let s = time_averaged(|| {
+            std::hint::black_box(engine.query_batch(queries, &opts).expect("chaos batch"));
+        });
+        queries.len() as f64 / s.max(1e-9)
+    };
+    gas_chaos::set_enabled(false);
+    let qps_disabled = qps();
+    gas_chaos::set_enabled(true);
+    let qps_enabled = qps();
+    gas_chaos::set_enabled(false);
+
+    let n_commit = collection.n().min(256);
+    let commit_s = |storage: Option<std::sync::Arc<dyn Storage>>| {
+        let path = std::env::temp_dir().join(format!(
+            "gas_chaos_bench_{}_{}.gidx",
+            std::process::id(),
+            storage.is_some()
+        ));
+        let mut writer =
+            IndexOptions::from_config(config).create_writer_at(&path).expect("bench writer");
+        if let Some(storage) = storage {
+            writer.set_storage(storage);
+        }
+        for i in 0..n_commit {
+            writer.add(format!("c{i}"), collection.sample(i).to_vec()).expect("stage");
+        }
+        let t = Instant::now();
+        writer.commit().expect("bench commit");
+        let s = t.elapsed().as_secs_f64();
+        std::fs::remove_file(&path).ok();
+        s
+    };
+    let commit_realfs_s = commit_s(None);
+    gas_chaos::set_enabled(true);
+    let commit_chaos_s =
+        commit_s(Some(std::sync::Arc::new(ChaosStorage::over_fs(FaultPlan::seeded(7, 0)))));
+    gas_chaos::set_enabled(false);
+    (qps_disabled, qps_enabled, commit_realfs_s, commit_chaos_s)
+}
+
 fn main() {
     let workload = if tiny() { Workload::tiny_scale() } else { Workload::default_scale() };
     let collection = workload.collection(42);
@@ -789,6 +855,42 @@ fn main() {
     ]);
     let obs_json = obs_table.write_json(&dir, "obs_overhead").expect("write obs JSON");
     println!("Tracing-overhead report written to {}", obs_json.display());
+
+    // Fault-injection overhead: what the serving and commit paths pay
+    // for carrying `gas_chaos`, disabled (production default) and armed
+    // with an inert plan. Gated by `bench_trend --chaos`.
+    let (chaos_qps_disabled, chaos_qps_enabled, commit_realfs_s, commit_chaos_s) =
+        measure_chaos_overhead(&workload, &collection, &queries);
+    println!(
+        "[chaos] injection overhead: {chaos_qps_disabled:.1} qps disabled vs \
+         {chaos_qps_enabled:.1} qps enabled; commit {} RealFs vs {} inert ChaosStorage",
+        format_seconds(commit_realfs_s),
+        format_seconds(commit_chaos_s)
+    );
+    let mut chaos_table = Table::new(
+        "Fault-injection overhead: re-ranked query batch and staged commit, \
+         gas_chaos disabled vs enabled with an inert plan",
+        &[
+            "workload",
+            "signer",
+            "queries",
+            "qps_disabled",
+            "qps_enabled",
+            "commit_realfs_s",
+            "commit_chaos_s",
+        ],
+    );
+    chaos_table.push_row(vec![
+        workload.name.to_string(),
+        SignerKind::Oph.to_string(),
+        queries.len().to_string(),
+        format!("{chaos_qps_disabled:.1}"),
+        format!("{chaos_qps_enabled:.1}"),
+        format!("{commit_realfs_s:.6}"),
+        format!("{commit_chaos_s:.6}"),
+    ]);
+    let chaos_json = chaos_table.write_json(&dir, "chaos_overhead").expect("write chaos JSON");
+    println!("Injection-overhead report written to {}", chaos_json.display());
 
     // Acceptance gates. The reports above are already on disk, so a trip
     // here still leaves the diagnostic artifact for CI to upload.

@@ -17,10 +17,11 @@ use std::hash::{Hash, Hasher};
 use std::rc::Rc;
 use std::sync::Arc;
 
-use crossbeam::channel::{Receiver, Sender};
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 
 use crate::cost::{CostModel, CostTracker};
 use crate::error::{SimError, SimResult};
+use crate::faults::RankFaults;
 
 /// RAII guard around one collective call: a `gas_obs` span plus a
 /// snapshot of the rank's cost counters at entry. When the span closes,
@@ -192,6 +193,10 @@ pub struct Communicator {
     cost: Rc<RefCell<CostTracker>>,
     coll_seq: Rc<Cell<u64>>,
     split_seq: Rc<Cell<u64>>,
+    /// Injected fault spec for the run (empty by default).
+    faults: Arc<RankFaults>,
+    /// Cached `faults.active()` — the per-site gate is one boolean test.
+    faults_active: bool,
 }
 
 impl Communicator {
@@ -201,7 +206,9 @@ impl Communicator {
         fabric: Arc<Fabric>,
         mailbox: Rc<RefCell<Mailbox>>,
         cost: Rc<RefCell<CostTracker>>,
+        faults: Arc<RankFaults>,
     ) -> Self {
+        let faults_active = faults.active();
         Communicator {
             comm_id: WORLD_COMM_ID,
             members: Arc::new((0..world_size).collect()),
@@ -211,6 +218,8 @@ impl Communicator {
             cost,
             coll_seq: Rc::new(Cell::new(0)),
             split_seq: Rc::new(Cell::new(0)),
+            faults,
+            faults_active,
         }
     }
 
@@ -282,11 +291,67 @@ impl Communicator {
         COLLECTIVE_TAG_BIT | (seq << 20)
     }
 
+    /// The injected fault spec this communicator runs under.
+    pub fn faults(&self) -> &RankFaults {
+        &self.faults
+    }
+
+    /// Is this rank itself injected as crashed?
+    pub fn is_crashed(&self) -> bool {
+        self.faults_active && self.faults.is_crashed(self.members[self.my_local])
+    }
+
+    /// World ranks that are not injected as crashed, ascending — the
+    /// membership list survivors pass to [`Communicator::subgroup`].
+    pub fn alive_world_ranks(&self) -> Vec<usize> {
+        self.faults.alive_ranks(self.fabric.senders.len())
+    }
+
+    /// The effective receive timeout: the injected one, else — whenever
+    /// any fault is active — a generous safety net, because a crashed
+    /// peer can make an *alive* rank abort a collective mid-flight and
+    /// leave another alive rank waiting on a message that will never be
+    /// sent. `None` (block forever) only in fault-free runs.
+    fn recv_timeout_micros(&self) -> Option<u64> {
+        if !self.faults_active {
+            return None;
+        }
+        const FAULTED_RUN_SAFETY_NET_US: u64 = 5_000_000;
+        Some(self.faults.recv_timeout_micros().unwrap_or(FAULTED_RUN_SAFETY_NET_US))
+    }
+
+    /// Typed crash check for a communication touching world rank
+    /// `world` (self or peer). `None` when no faults are configured —
+    /// the common case costs one boolean test.
+    fn crash_check(&self, world: usize) -> Option<SimError> {
+        if !self.faults_active {
+            return None;
+        }
+        let me_world = self.members[self.my_local];
+        for rank in [me_world, world] {
+            if self.faults.is_crashed(rank) {
+                gas_obs::counter("gas_chaos_rank_crash_hits_total").inc();
+                return Some(SimError::RankCrashed { rank });
+            }
+        }
+        None
+    }
+
     /// Send `data` to local rank `dest` with `tag`.
     ///
     /// User tags must not set the highest bit (reserved for collectives).
     pub fn send<T: Msg>(&self, dest: usize, tag: u64, data: T) -> SimResult<()> {
         let dest_world = self.world_rank_of(dest)?;
+        if let Some(err) = self.crash_check(dest_world) {
+            return Err(err);
+        }
+        if self.faults_active {
+            let delay = self.faults.slow_micros(self.members[self.my_local]);
+            if delay > 0 {
+                gas_obs::counter("gas_chaos_slow_delays_total").inc();
+                std::thread::sleep(std::time::Duration::from_micros(delay));
+            }
+        }
         let bytes = data.nbytes();
         self.cost.borrow_mut().record_send(bytes);
         let env = Envelope {
@@ -303,10 +368,36 @@ impl Communicator {
     /// matching message arrives.
     pub fn recv<T: Msg>(&self, src: usize, tag: u64) -> SimResult<T> {
         let src_world = self.world_rank_of(src)?;
+        if let Some(err) = self.crash_check(src_world) {
+            return Err(err);
+        }
         let mut mb = self.mailbox.borrow_mut();
         // Check the out-of-order buffer first.
         let env = if let Some(env) = mb.take_matching(src_world, self.comm_id, tag) {
             env
+        } else if let Some(timeout_us) = self.recv_timeout_micros() {
+            // Bounded wait instead of a blocking recv, so a slowed or
+            // silent peer — e.g. an alive rank that aborted a collective
+            // after hitting a crashed peer — surfaces as a typed Timeout
+            // rather than a hung collective.
+            let deadline = std::time::Instant::now() + std::time::Duration::from_micros(timeout_us);
+            loop {
+                let left = deadline.saturating_duration_since(std::time::Instant::now());
+                let env = match mb.rx.recv_timeout(left) {
+                    Ok(env) => env,
+                    Err(RecvTimeoutError::Timeout) => {
+                        gas_obs::counter("gas_chaos_timeouts_total").inc();
+                        return Err(SimError::Timeout { src, waited_micros: timeout_us });
+                    }
+                    Err(RecvTimeoutError::Disconnected) => {
+                        return Err(SimError::Disconnected { src });
+                    }
+                };
+                if env.src_world == src_world && env.comm_id == self.comm_id && env.tag == tag {
+                    break env;
+                }
+                mb.pending.push(env);
+            }
         } else {
             loop {
                 let env = mb.rx.recv().map_err(|_| SimError::Disconnected { src })?;
@@ -366,6 +457,59 @@ impl Communicator {
             cost: Rc::clone(&self.cost),
             coll_seq: Rc::new(Cell::new(0)),
             split_seq: Rc::new(Cell::new(0)),
+            faults: Arc::clone(&self.faults),
+            faults_active: self.faults_active,
+        })
+    }
+
+    /// Form a sub-communicator over `members` (world ranks, strictly
+    /// ascending) **without a collective**: unlike [`split`], no message
+    /// exchange happens, so ranks outside `members` — crashed ones in
+    /// particular — need not participate. Every member must call
+    /// `subgroup` with the *same* list (the communicator id is derived
+    /// from it), which is how survivors of an injected crash regroup:
+    /// the fault spec is common knowledge, standing in for a membership
+    /// service.
+    ///
+    /// [`split`]: Communicator::split
+    pub fn subgroup(&self, members: &[usize]) -> SimResult<Communicator> {
+        if members.is_empty() {
+            return Err(SimError::InvalidWorldSize(0));
+        }
+        let world_size = self.fabric.senders.len();
+        for pair in members.windows(2) {
+            if pair[0] >= pair[1] {
+                return Err(SimError::CollectiveMismatch(
+                    "subgroup members must be strictly ascending".into(),
+                ));
+            }
+        }
+        if let Some(&last) = members.last() {
+            if last >= world_size {
+                return Err(SimError::InvalidRank { rank: last, size: world_size });
+            }
+        }
+        let my_world = self.members[self.my_local];
+        let Some(my_local) = members.iter().position(|&w| w == my_world) else {
+            return Err(SimError::InvalidRank { rank: my_world, size: members.len() });
+        };
+        // Deterministic id from the member list itself: every member
+        // computes the same id with no exchange. The "color" slot hashes
+        // the list; the split_seq slot is a fixed salt distinguishing
+        // subgroup ids from split ids of the same parent.
+        let mut h = DefaultHasher::new();
+        members.hash(&mut h);
+        Ok(Communicator {
+            comm_id: derive_comm_id(self.comm_id, u64::MAX, h.finish()),
+            members: Arc::new(members.to_vec()),
+            my_local,
+            fabric: Arc::clone(&self.fabric),
+            mailbox: Rc::clone(&self.mailbox),
+            cost: Rc::clone(&self.cost),
+            coll_seq: Rc::new(Cell::new(0)),
+            split_seq: Rc::new(Cell::new(0)),
+            faults: Arc::clone(&self.faults),
+            faults_active: self.faults_active,
         })
     }
 }

@@ -44,6 +44,20 @@ pub enum SimError {
     },
     /// Generic configuration error (bad machine/cost-model parameters).
     InvalidConfig(String),
+    /// A communication op touched a rank injected as crashed (fault
+    /// injection): the sender/receiver itself, or the peer it addressed.
+    RankCrashed {
+        /// The crashed rank (world numbering).
+        rank: usize,
+    },
+    /// A receive waited longer than the injected timeout without the
+    /// matching message arriving.
+    Timeout {
+        /// Local rank the receive was waiting on.
+        src: usize,
+        /// The configured timeout that elapsed, in microseconds.
+        waited_micros: u64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -65,6 +79,12 @@ impl fmt::Display for SimError {
                 write!(f, "rank {rank} panicked: {message}")
             }
             SimError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            SimError::RankCrashed { rank } => {
+                write!(f, "rank {rank} is crashed (injected fault)")
+            }
+            SimError::Timeout { src, waited_micros } => {
+                write!(f, "receive from rank {src} timed out after {waited_micros} us")
+            }
         }
     }
 }
@@ -93,6 +113,10 @@ mod tests {
         assert!(e.to_string().contains("boom"));
         let e = SimError::InvalidConfig("alpha < 0".into());
         assert!(e.to_string().contains("alpha"));
+        let e = SimError::RankCrashed { rank: 5 };
+        assert!(e.to_string().contains("rank 5"));
+        let e = SimError::Timeout { src: 2, waited_micros: 1500 };
+        assert!(e.to_string().contains("1500"));
     }
 
     #[test]

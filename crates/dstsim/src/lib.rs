@@ -47,6 +47,7 @@ pub mod collectives;
 pub mod comm;
 pub mod cost;
 pub mod error;
+pub mod faults;
 pub mod machine;
 pub mod runtime;
 pub mod topology;
@@ -54,6 +55,7 @@ pub mod topology;
 pub use comm::Communicator;
 pub use cost::{CostModel, CostReport, CostTracker};
 pub use error::{SimError, SimResult};
+pub use faults::RankFaults;
 pub use machine::Machine;
 pub use runtime::{RankCtx, RunOutput, Runtime};
 pub use topology::ProcessorGrid;

@@ -11,6 +11,7 @@ use crossbeam::channel::unbounded;
 use crate::comm::{Communicator, Fabric, Mailbox};
 use crate::cost::{AggregateCost, CostModel, CostReport, CostTracker};
 use crate::error::{SimError, SimResult};
+use crate::faults::RankFaults;
 use crate::machine::Machine;
 
 /// Per-rank execution context handed to the user closure by
@@ -24,6 +25,7 @@ pub struct RankCtx {
     world: Communicator,
     machine: Machine,
     cost: Rc<RefCell<CostTracker>>,
+    faults: Arc<RankFaults>,
 }
 
 impl RankCtx {
@@ -65,6 +67,24 @@ impl RankCtx {
     /// Memory budget available to this rank (bytes), from the machine.
     pub fn mem_per_rank(&self) -> usize {
         self.machine.mem_per_rank()
+    }
+
+    /// The injected fault spec for this run (empty by default).
+    pub fn faults(&self) -> &RankFaults {
+        &self.faults
+    }
+
+    /// Is this rank injected as crashed? Crashed ranks should return
+    /// early from their closure; any communication they attempt fails
+    /// with [`SimError::RankCrashed`].
+    pub fn is_crashed(&self) -> bool {
+        self.faults.is_crashed(self.rank)
+    }
+
+    /// Ranks not injected as crashed, ascending — the membership list a
+    /// survivor passes to `Communicator::subgroup` to regroup.
+    pub fn alive_ranks(&self) -> Vec<usize> {
+        self.faults.alive_ranks(self.nranks)
     }
 
     /// Unwrap `result`, panicking with this rank's id, the world size,
@@ -121,19 +141,28 @@ impl<R> RunOutput<R> {
 pub struct Runtime {
     nranks: usize,
     machine: Machine,
+    faults: Arc<RankFaults>,
 }
 
 impl Runtime {
     /// Create a runtime with `nranks` simulated ranks and the default
     /// (Stampede2-like) machine model.
     pub fn new(nranks: usize) -> Self {
-        Runtime { nranks, machine: Machine::default() }
+        Runtime { nranks, machine: Machine::default(), faults: Arc::new(RankFaults::none()) }
     }
 
     /// Use a specific machine description for memory budgets and cost
     /// projection.
     pub fn with_machine(mut self, machine: Machine) -> Self {
         self.machine = machine;
+        self
+    }
+
+    /// Inject a fault spec: crashed/slowed ranks and receive timeouts.
+    /// The spec is fixed for the whole run, so the failure schedule is
+    /// deterministic.
+    pub fn with_faults(mut self, faults: RankFaults) -> Self {
+        self.faults = Arc::new(faults);
         self
     }
 
@@ -183,16 +212,25 @@ impl Runtime {
             for (rank, rx) in receivers.iter_mut().enumerate() {
                 let rx = rx.take().expect("receiver taken once");
                 let fabric = Arc::clone(&fabric);
+                let faults = Arc::clone(&self.faults);
                 handles.push(scope.spawn(move || {
                     let cost = Rc::new(RefCell::new(CostTracker::new()));
                     let mailbox = Rc::new(RefCell::new(Mailbox { rx, pending: Vec::new() }));
-                    let world = Communicator::world(rank, p, fabric, mailbox, Rc::clone(&cost));
+                    let world = Communicator::world(
+                        rank,
+                        p,
+                        fabric,
+                        mailbox,
+                        Rc::clone(&cost),
+                        Arc::clone(&faults),
+                    );
                     let mut ctx = RankCtx {
                         rank,
                         nranks: p,
                         world,
                         machine: machine.clone(),
                         cost: Rc::clone(&cost),
+                        faults,
                     };
                     let start = Instant::now();
                     let result = f(&mut ctx);
@@ -363,6 +401,101 @@ mod tests {
             })
             .unwrap();
         assert_eq!(err.results[1], Err(SimError::TypeMismatch { src: 0, tag: 3 }));
+    }
+
+    #[test]
+    fn crashed_rank_surfaces_as_typed_errors_not_hangs() {
+        // A crashed rank fails its own ops; peers addressing it fail
+        // too — immediately and deterministically, no timers involved.
+        let rt = Runtime::new(3).with_faults(RankFaults::none().crash(1));
+        let out = rt
+            .run(|ctx| {
+                let comm = ctx.world();
+                if ctx.is_crashed() {
+                    return comm.send(0, 5, 1u64).map(|_| 0);
+                }
+                if ctx.rank() == 0 {
+                    comm.recv::<u64>(1, 5).map(|v| v as usize)
+                } else {
+                    Ok(ctx.rank())
+                }
+            })
+            .unwrap();
+        assert_eq!(out.results[0], Err(SimError::RankCrashed { rank: 1 }));
+        assert_eq!(out.results[1], Err(SimError::RankCrashed { rank: 1 }));
+        assert_eq!(out.results[2], Ok(2));
+    }
+
+    #[test]
+    fn collective_with_a_crashed_rank_errors_instead_of_poisoning_the_run() {
+        // The satellite pin: a failed collective must surface as a typed
+        // error on every alive rank, never as a panic/hang. An alive
+        // rank either hits the crashed peer directly (RankCrashed) or
+        // waits on another alive rank that already aborted (Timeout).
+        let faults = RankFaults::none().crash(2).with_recv_timeout(50_000);
+        let rt = Runtime::new(4).with_faults(faults);
+        let out = rt
+            .run(|ctx| {
+                if ctx.is_crashed() {
+                    return Err(SimError::RankCrashed { rank: ctx.rank() });
+                }
+                ctx.world().allreduce_sum(&[ctx.rank() as u64]).map(|v| v[0])
+            })
+            .unwrap();
+        for (rank, result) in out.results.iter().enumerate() {
+            assert!(
+                matches!(result, Err(SimError::RankCrashed { .. }) | Err(SimError::Timeout { .. })),
+                "rank {rank} should see the crash as a typed error, got {result:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn survivors_regroup_with_subgroup_and_finish_the_collective() {
+        let faults = RankFaults::none().crash(1);
+        let rt = Runtime::new(4).with_faults(faults);
+        let out = rt
+            .run(|ctx| {
+                if ctx.is_crashed() {
+                    return Ok(0);
+                }
+                let alive = ctx.alive_ranks();
+                let sub = ctx.world().subgroup(&alive)?;
+                sub.allreduce_sum(&[ctx.rank() as u64]).map(|v| v[0])
+            })
+            .unwrap();
+        assert_eq!(out.results, vec![Ok(2 + 3), Ok(0), Ok(5), Ok(5)]);
+    }
+
+    #[test]
+    fn silent_peer_with_recv_timeout_yields_typed_timeout() {
+        let rt = Runtime::new(2).with_faults(RankFaults::none().with_recv_timeout(5_000));
+        let out = rt
+            .run(|ctx| {
+                if ctx.rank() == 0 {
+                    // Rank 1 never sends: the receive must time out.
+                    ctx.world().recv::<u64>(1, 9).err()
+                } else {
+                    None
+                }
+            })
+            .unwrap();
+        assert_eq!(out.results[0], Some(SimError::Timeout { src: 1, waited_micros: 5_000 }));
+    }
+
+    #[test]
+    fn subgroup_rejects_bad_member_lists() {
+        let rt = Runtime::new(3);
+        rt.run(|ctx| {
+            let w = ctx.world();
+            assert!(w.subgroup(&[]).is_err());
+            assert!(w.subgroup(&[0, 0, 1]).is_err(), "duplicates must be rejected");
+            assert!(w.subgroup(&[0, 9]).is_err(), "out-of-world rank must be rejected");
+            if ctx.rank() == 2 {
+                assert!(w.subgroup(&[0, 1]).is_err(), "caller must be a member");
+            }
+        })
+        .unwrap();
     }
 
     #[test]

@@ -132,7 +132,17 @@ impl ContainerWriter {
 
     /// Write the container to `path`.
     pub fn write_to(&self, path: impl AsRef<Path>) -> IndexResult<()> {
-        std::fs::write(path, self.to_bytes())?;
+        self.write_to_with(&gas_chaos::RealFs, path)
+    }
+
+    /// [`Self::write_to`] through an explicit [`gas_chaos::Storage`]
+    /// (fault-injection drills).
+    pub fn write_to_with(
+        &self,
+        storage: &dyn gas_chaos::Storage,
+        path: impl AsRef<Path>,
+    ) -> IndexResult<()> {
+        storage.write(path.as_ref(), &self.to_bytes())?;
         Ok(())
     }
 }
@@ -149,7 +159,16 @@ pub struct Container {
 impl Container {
     /// Read and validate a container file.
     pub fn open(path: impl AsRef<Path>) -> IndexResult<Self> {
-        Container::parse(std::fs::read(path)?)
+        Container::open_with(&gas_chaos::RealFs, path)
+    }
+
+    /// [`Self::open`] through an explicit [`gas_chaos::Storage`]
+    /// (fault-injection drills).
+    pub fn open_with(
+        storage: &dyn gas_chaos::Storage,
+        path: impl AsRef<Path>,
+    ) -> IndexResult<Self> {
+        Container::parse(storage.read(path.as_ref())?)
     }
 
     /// Validate a container from an in-memory byte buffer.
@@ -372,7 +391,17 @@ impl SketchIndex {
 
     /// Write this index as a container file at `path`.
     pub fn write_to(&self, path: impl AsRef<Path>) -> IndexResult<()> {
-        std::fs::write(path, self.to_container_bytes())?;
+        self.write_to_with(&gas_chaos::RealFs, path)
+    }
+
+    /// [`Self::write_to`] through an explicit [`gas_chaos::Storage`]
+    /// (fault-injection drills).
+    pub fn write_to_with(
+        &self,
+        storage: &dyn gas_chaos::Storage,
+        path: impl AsRef<Path>,
+    ) -> IndexResult<()> {
+        storage.write(path.as_ref(), &self.to_container_bytes())?;
         Ok(())
     }
 
@@ -455,7 +484,10 @@ impl SketchIndex {
 
     /// Read an index container from `path`.
     pub fn read_from(path: impl AsRef<Path>) -> IndexResult<Self> {
-        SketchIndex::from_container_bytes(std::fs::read(path)?)
+        SketchIndex::from_container_bytes(gas_chaos::Storage::read(
+            &gas_chaos::RealFs,
+            path.as_ref(),
+        )?)
     }
 }
 

@@ -931,6 +931,362 @@ pub fn dist_query_reader_page(
         .collect())
 }
 
+/// What one replicated, fault-tolerant query round lost — the exact
+/// accounting of degraded serving. `degraded == false` guarantees the
+/// answers are bit-identical to a fault-free round (every band and
+/// every requested row was served by a surviving replica).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DegradedReport {
+    /// Any band or signature row lost all its replicas this round.
+    pub degraded: bool,
+    /// World ranks injected as crashed (did not participate).
+    pub failed_ranks: Vec<usize>,
+    /// Band indices with no surviving replica: their bucket tables were
+    /// probed by nobody, so candidates only they would surface are
+    /// missing from the answers.
+    pub lost_bands: Vec<usize>,
+    /// Distinct candidate signature rows (across all segments and all
+    /// ranks) whose every replica is crashed — surfaced by a probe but
+    /// unscorable, dropped from the ranking.
+    pub lost_rows: usize,
+}
+
+/// This rank's replica copies under `replication`-way slot replication,
+/// plus the serving table the whole world agrees on.
+///
+/// Replication raises both shardings at once: slot `j` owns bands
+/// `b ≡ j (mod p)` *and* signature rows `local ≡ j (mod p)`, and slot
+/// `j`'s replicas live on ranks `(j + k) % p` for `k < replication` —
+/// so one slot→rank table covers band probing and row shipping. The
+/// **first alive replica** of a slot serves it; a slot with every
+/// replica crashed is *lost*, and the fault spec (common knowledge in
+/// the simulator, a membership service in a real deployment) makes
+/// every survivor compute the identical table.
+struct ReplicaShards {
+    me: usize,
+    nranks: usize,
+    /// slot → serving world rank; `None` = every replica crashed.
+    serving: Vec<Option<usize>>,
+    /// home slot → this rank's copy of that slot's shards.
+    replicas: std::collections::BTreeMap<usize, ReaderShards>,
+}
+
+impl ReplicaShards {
+    fn build(
+        reader: &IndexReader,
+        me: usize,
+        nranks: usize,
+        replication: usize,
+        serving: &[Option<usize>],
+    ) -> Self {
+        let mut replicas = std::collections::BTreeMap::new();
+        for k in 0..replication {
+            let home = (me + nranks - (k % nranks)) % nranks;
+            replicas.entry(home).or_insert_with(|| ReaderShards::build(reader, home, nranks));
+        }
+        ReplicaShards { me, nranks, serving: serving.to_vec(), replicas }
+    }
+
+    fn len(&self) -> usize {
+        self.replicas.values().next().expect("k=0 home always present").len
+    }
+
+    /// Does this rank serve `key`'s slot this round (it is the first
+    /// alive replica)?
+    fn serves_key(&self, key: u64) -> bool {
+        let (_, local) = split_row_key(key);
+        self.serving[sample_shard(local as usize, self.nranks)] == Some(self.me)
+    }
+
+    /// The signature row of a key this rank serves.
+    fn row(&self, key: u64) -> &[u64] {
+        let (_, local) = split_row_key(key);
+        let slot = sample_shard(local as usize, self.nranks);
+        self.replicas[&slot].row(key)
+    }
+
+    /// Range-validate a key that arrived over the wire.
+    fn validate_key(&self, key: u64) -> IndexResult<()> {
+        self.replicas.values().next().expect("k=0 home always present").owns_key(key).map(|_| ())
+    }
+
+    fn n_rows(&self) -> usize {
+        self.replicas.values().map(ReaderShards::n_rows).sum()
+    }
+
+    fn bytes(&self) -> usize {
+        self.replicas.values().map(ReaderShards::bytes).sum()
+    }
+}
+
+/// [`exchange_keyed_rows`] under replication: the ship rule is "I am
+/// the first alive replica of the key's slot" instead of plain
+/// ownership, so every requested row still arrives exactly once no
+/// matter which replicas crashed.
+fn exchange_replicated_rows(
+    world: &Communicator,
+    replicas: &ReplicaShards,
+    wanted: &[u64],
+    stats: &mut DistQueryStats,
+) -> IndexResult<KeyedRows> {
+    let me = world.rank();
+    let len = replicas.len();
+    let all_requests: Vec<Vec<u64>> = world.allgatherv(wanted)?;
+    stats.collective_calls += 1;
+    stats.request_bytes += foreign_words(&all_requests, me) * 8;
+
+    let mut to_ship: Vec<u64> = Vec::new();
+    for &key in all_requests.iter().flatten() {
+        replicas.validate_key(key)?;
+        if replicas.serves_key(key) {
+            to_ship.push(key);
+        }
+    }
+    to_ship.sort_unstable();
+    to_ship.dedup();
+
+    let mut payload = Vec::with_capacity(to_ship.len() * (len + 1));
+    for &key in &to_ship {
+        payload.push(key);
+        payload.extend_from_slice(replicas.row(key));
+    }
+    let shipped: Vec<Vec<u64>> = world.allgatherv(&payload)?;
+    stats.collective_calls += 1;
+    stats.fetch_bytes += foreign_words(&shipped, me) * 8;
+
+    let mut fetched: Vec<(u64, usize, usize)> = Vec::with_capacity(wanted.len());
+    for (rank, stream) in shipped.iter().enumerate() {
+        if stream.len() % (len + 1) != 0 {
+            return Err(IndexError::Corrupt {
+                context: format!(
+                    "signature-row stream from subgroup rank {rank} is {} words, not a \
+                     multiple of {}",
+                    stream.len(),
+                    len + 1
+                ),
+            });
+        }
+        for slot in 0..stream.len() / (len + 1) {
+            let base = slot * (len + 1);
+            let key = stream[base];
+            replicas.validate_key(key)?;
+            if wanted.binary_search(&key).is_ok() {
+                fetched.push((key, rank, base + 1));
+            }
+        }
+    }
+    fetched.sort_unstable_by_key(|&(key, _, _)| key);
+    let mut keys = Vec::with_capacity(fetched.len());
+    let mut rows = Vec::with_capacity(fetched.len() * len);
+    for (key, rank, start) in fetched {
+        keys.push(key);
+        rows.extend_from_slice(&shipped[rank][start..start + len]);
+    }
+    let out = KeyedRows { keys, rows, len };
+    // Lost-slot keys were dropped before requesting, so every wanted
+    // key has a live server: a hole still means divergence, not a
+    // crash.
+    if let Some(&missing) = wanted.iter().find(|&&key| out.row(key).is_none()) {
+        return Err(IndexError::Corrupt {
+            context: format!("no surviving replica shipped requested row key {missing:#x}"),
+        });
+    }
+    Ok(out)
+}
+
+/// [`score_segment`] under replication: local resolution is "my served
+/// slots" instead of plain ownership.
+#[allow(clippy::too_many_arguments)]
+fn score_segment_replicated(
+    seg_idx: usize,
+    seg: &Segment,
+    replicas: &ReplicaShards,
+    fetched: &KeyedRows,
+    signatures: &[MinHashSignature],
+    per_query_candidates: &[Vec<u32>],
+    keep: usize,
+    per_query_entries: &mut [Vec<Scored>],
+) {
+    for (q, (sig, candidates)) in signatures.iter().zip(per_query_candidates).enumerate() {
+        let score_of = |local: u32| -> u32 {
+            let key = row_key(seg_idx, local);
+            let row = if replicas.serves_key(key) {
+                replicas.row(key)
+            } else {
+                fetched.row(key).expect("validated by exchange_replicated_rows")
+            };
+            signature_agreement(sig.values(), row) as u32
+        };
+        per_query_entries[q].extend(
+            lsh_top_by(&score_of, candidates, keep)
+                .into_iter()
+                .map(|(a, local)| (a, seg.global_id(local as usize))),
+        );
+    }
+}
+
+/// [`dist_query_reader_batch_stats`] with `replication`-way band/row
+/// replication and crash failover: every slot's bands and rows are
+/// stored on `replication` consecutive ranks, survivors regroup in a
+/// deterministic subgroup (crashed ranks cannot participate in a
+/// collective constructor), and each slot is served by its **first
+/// alive replica** — the identical code path fault-free and faulted.
+///
+/// * Full coverage (every slot has a surviving replica): answers are
+///   **bit-identical** to the fault-free round and
+///   [`DegradedReport::degraded`] is `false`.
+/// * Lost coverage: the round still completes with a typed, exactly
+///   accounted [`DegradedReport`] — `lost_bands` names every unprobed
+///   band, `lost_rows` counts every dropped candidate row, and the
+///   `gas_dist_degraded_*` counters move. Never a panic in the serving
+///   path.
+/// * A crashed rank returns the typed error
+///   [`gas_dstsim::SimError::RankCrashed`] instead of answers.
+///
+/// `queries` must be `Some` on the **lowest alive rank** (the ingress
+/// seat fails over with everything else). `replication` is clamped to
+/// `1..=p`; `replication == 1` is the unreplicated sharding, where any
+/// crash degrades.
+pub fn dist_query_reader_batch_replicated(
+    world: &Communicator,
+    reader: &IndexReader,
+    collection: Option<&SampleCollection>,
+    queries: Option<&[Vec<u64>]>,
+    opts: &QueryOptions,
+    replication: usize,
+) -> IndexResult<(Vec<Vec<Neighbor>>, DegradedReport, DistQueryStats)> {
+    let p = world.size();
+    let me = world.rank();
+    if world.is_crashed() {
+        return Err(gas_dstsim::SimError::RankCrashed { rank: me }.into());
+    }
+    let alive = world.alive_world_ranks();
+    let sub = world.subgroup(&alive)?;
+    let replication = replication.clamp(1, p);
+    let serving: Vec<Option<usize>> = (0..p)
+        .map(|j| (0..replication).map(|k| (j + k) % p).find(|r| alive.binary_search(r).is_ok()))
+        .collect();
+    let failed_ranks: Vec<usize> = (0..p).filter(|r| alive.binary_search(r).is_err()).collect();
+
+    let len = reader.scheme().len();
+    let mut stats =
+        DistQueryStats { replicated_bytes: reader.n_rows() * len * 8, ..Default::default() };
+
+    let (signatures, raw_queries) = {
+        let _bcast_span = gas_obs::span("dist", "bcast");
+        broadcast_query_batch(&sub, reader, queries, opts, &mut stats)?
+    };
+    let keep = opts.keep();
+    let nqueries = signatures.len();
+
+    let replicas = ReplicaShards::build(reader, me, p, replication, &serving);
+    stats.shard_rows = replicas.n_rows();
+    stats.shard_bytes = replicas.bytes();
+
+    // Probe the bands whose slot this rank serves; then split the
+    // candidates into scorable rows and lost ones (row slot has no
+    // surviving replica) — the latter are dropped, not guessed at.
+    let (per_segment_candidates, wanted, dropped) = {
+        let mut probe_span = gas_obs::span("dist", "probe");
+        let mut per_segment_candidates = live_candidates_by_segment(reader, &signatures, |band| {
+            serving[band_shard(band, p)] == Some(me)
+        });
+        let mut dropped: Vec<u64> = Vec::new();
+        let mut wanted: Vec<u64> = Vec::new();
+        for (seg_idx, per_query) in per_segment_candidates.iter_mut().enumerate() {
+            for candidates in per_query.iter_mut() {
+                candidates.retain(|&local| {
+                    let key = row_key(seg_idx, local);
+                    match serving[sample_shard(local as usize, p)] {
+                        None => {
+                            dropped.push(key);
+                            false
+                        }
+                        Some(server) => {
+                            if server != me {
+                                wanted.push(key);
+                            }
+                            true
+                        }
+                    }
+                });
+            }
+        }
+        wanted.sort_unstable();
+        wanted.dedup();
+        dropped.sort_unstable();
+        dropped.dedup();
+        probe_span.annotate("wanted_rows", wanted.len() as f64);
+        probe_span.annotate("dropped_rows", dropped.len() as f64);
+        (per_segment_candidates, wanted, dropped)
+    };
+
+    // Exact global accounting of lost rows: one allgather so every
+    // survivor reports the identical union (a row several ranks'
+    // probes surfaced is lost once, not once per rank).
+    let all_dropped: Vec<Vec<u64>> = sub.allgatherv(&dropped)?;
+    stats.collective_calls += 1;
+    let mut lost_keys: Vec<u64> = all_dropped.into_iter().flatten().collect();
+    lost_keys.sort_unstable();
+    lost_keys.dedup();
+
+    let fetched = {
+        let _exchange_span = gas_obs::span("dist", "exchange");
+        exchange_replicated_rows(&sub, &replicas, &wanted, &mut stats)?
+    };
+    stats.fetched_rows = fetched.n_rows();
+    stats.fetched_bytes = fetched.data_bytes();
+    stats.fetched_fingerprint = fetched.fingerprint();
+
+    let mut per_query_entries: Vec<Vec<Scored>> = vec![Vec::new(); nqueries];
+    {
+        let _score_span = gas_obs::span("dist", "score");
+        for (seg_idx, seg) in reader.segments().iter().enumerate() {
+            score_segment_replicated(
+                seg_idx,
+                seg,
+                &replicas,
+                &fetched,
+                &signatures,
+                &per_segment_candidates[seg_idx],
+                keep,
+                &mut per_query_entries,
+            );
+        }
+    }
+    let partials: Vec<Vec<Scored>> =
+        per_query_entries.into_iter().map(|entries| merge_scored_sources(entries, keep)).collect();
+
+    let answers = {
+        let _merge_span = gas_obs::span("dist", "merge");
+        merge_partials_and_finalize(
+            &sub,
+            partials,
+            &raw_queries,
+            collection,
+            opts,
+            len,
+            &mut stats,
+        )?
+    };
+
+    let lost_bands: Vec<usize> =
+        (0..reader.params().bands()).filter(|&b| serving[band_shard(b, p)].is_none()).collect();
+    let lost_rows = lost_keys.len();
+    let degraded = !lost_bands.is_empty() || lost_rows > 0;
+    if sub.rank() == 0 {
+        if degraded {
+            gas_obs::counter("gas_dist_degraded_batches_total").inc();
+            gas_obs::counter("gas_dist_lost_bands_total").add(lost_bands.len() as u64);
+            gas_obs::counter("gas_dist_lost_rows_total").add(lost_rows as u64);
+        }
+        if !failed_ranks.is_empty() {
+            gas_obs::counter("gas_dist_failover_batches_total").inc();
+        }
+    }
+    Ok((answers, DegradedReport { degraded, failed_ranks, lost_bands, lost_rows }, stats))
+}
+
 /// Serve a batch of top-k queries over the band and signature shards of
 /// `world` for a monolithic index (the single-segment convenience form
 /// of [`dist_query_reader_batch_stats`]).
@@ -1341,6 +1697,197 @@ mod tests {
             .unwrap();
         for result in out.results {
             assert!(matches!(result, Err(IndexError::InvalidQuery(_))), "expected typed error");
+        }
+    }
+
+    // ---- chaos drills: crash failover and degraded accounting ----
+
+    #[test]
+    fn replicated_path_is_bit_identical_fault_free() {
+        // With no faults the replicated path must be a transparent
+        // superset of the plain keyed path: same answers, degraded
+        // false, nothing lost.
+        let collection = workload();
+        let config = IndexConfig::default().with_signature_len(64).with_threshold(0.4);
+        let writer = segmented_writer(&collection, &config, 3, &[2, 9]);
+        let reader = writer.reader();
+        let queries: Vec<Vec<u64>> = (0..4).map(|i| collection.sample(i * 5).to_vec()).collect();
+        let opts = QueryOptions { top_k: 5, ..Default::default() };
+
+        for p in [1usize, 3, 4] {
+            let reference = Runtime::new(p)
+                .run(|ctx| {
+                    let q = if ctx.rank() == 0 { Some(&queries[..]) } else { None };
+                    ctx.expect_ok(
+                        "plain",
+                        dist_query_reader_batch(ctx.world(), &reader, None, q, &opts),
+                    )
+                })
+                .unwrap()
+                .results;
+            for replication in [1usize, 2] {
+                let out = Runtime::new(p)
+                    .run(|ctx| {
+                        let q = if ctx.rank() == 0 { Some(&queries[..]) } else { None };
+                        ctx.expect_ok(
+                            "replicated",
+                            dist_query_reader_batch_replicated(
+                                ctx.world(),
+                                &reader,
+                                None,
+                                q,
+                                &opts,
+                                replication,
+                            ),
+                        )
+                    })
+                    .unwrap();
+                for (rank, (answers, report, _)) in out.results.iter().enumerate() {
+                    assert_eq!(answers, &reference[0], "p={p}, c={replication}, rank={rank}");
+                    assert!(!report.degraded);
+                    assert!(report.failed_ranks.is_empty());
+                    assert!(report.lost_bands.is_empty());
+                    assert_eq!(report.lost_rows, 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn crashed_rank_with_surviving_replicas_answers_bit_identically() {
+        // The acceptance pin: one crashed rank, replication 2 — every
+        // band and row still has a surviving replica, so the survivors'
+        // answers equal the fault-free run exactly, degraded stays
+        // false, and the crashed rank errors typed.
+        use gas_dstsim::{RankFaults, SimError};
+        let collection = workload();
+        let config = IndexConfig::default().with_signature_len(64).with_threshold(0.4);
+        let writer = segmented_writer(&collection, &config, 2, &[3]);
+        let reader = writer.reader();
+        let queries: Vec<Vec<u64>> = (0..4).map(|i| collection.sample(i * 5).to_vec()).collect();
+        let opts = QueryOptions { top_k: 5, ..Default::default() };
+        let p = 4;
+
+        let reference = Runtime::new(p)
+            .run(|ctx| {
+                let q = if ctx.rank() == 0 { Some(&queries[..]) } else { None };
+                ctx.expect_ok(
+                    "fault-free",
+                    dist_query_reader_batch_replicated(ctx.world(), &reader, None, q, &opts, 2),
+                )
+            })
+            .unwrap()
+            .results;
+
+        for crashed in [1usize, 3] {
+            let out = Runtime::new(p)
+                .with_faults(RankFaults::none().crash(crashed))
+                .run(|ctx| {
+                    let q = if ctx.world().alive_world_ranks().first() == Some(&ctx.rank()) {
+                        Some(&queries[..])
+                    } else {
+                        None
+                    };
+                    dist_query_reader_batch_replicated(ctx.world(), &reader, None, q, &opts, 2)
+                })
+                .unwrap();
+            for (rank, result) in out.results.iter().enumerate() {
+                if rank == crashed {
+                    assert!(
+                        matches!(
+                            result,
+                            Err(IndexError::Sim(SimError::RankCrashed { rank: r })) if *r == rank
+                        ),
+                        "crashed rank must error typed, got {result:?}"
+                    );
+                    continue;
+                }
+                let (answers, report, _) = result.as_ref().expect("survivor must answer");
+                assert_eq!(
+                    answers, &reference[0].0,
+                    "crashed={crashed}, rank={rank}: failover answers diverge"
+                );
+                assert!(!report.degraded, "full replica coverage is not degraded");
+                assert_eq!(report.failed_ranks, vec![crashed]);
+                assert!(report.lost_bands.is_empty());
+                assert_eq!(report.lost_rows, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn crash_without_replicas_degrades_typed_with_exact_accounting() {
+        // replication 1: the crashed rank's slot is lost. The round
+        // must still complete — no panic, no hang — with the lost bands
+        // named exactly and the flag raised on every survivor.
+        use gas_dstsim::RankFaults;
+        let collection = workload();
+        let config = IndexConfig::default().with_signature_len(64).with_threshold(0.4);
+        let writer = segmented_writer(&collection, &config, 2, &[]);
+        let reader = writer.reader();
+        let queries: Vec<Vec<u64>> = (0..4).map(|i| collection.sample(i * 5).to_vec()).collect();
+        let opts = QueryOptions { top_k: 5, ..Default::default() };
+        let (p, crashed) = (4usize, 2usize);
+
+        let out = Runtime::new(p)
+            .with_faults(RankFaults::none().crash(crashed))
+            .run(|ctx| {
+                let q = if ctx.world().alive_world_ranks().first() == Some(&ctx.rank()) {
+                    Some(&queries[..])
+                } else {
+                    None
+                };
+                dist_query_reader_batch_replicated(ctx.world(), &reader, None, q, &opts, 1)
+            })
+            .unwrap();
+        let bands = reader.params().bands();
+        let expected_lost: Vec<usize> = (0..bands).filter(|b| b % p == crashed).collect();
+        assert!(!expected_lost.is_empty(), "the grid must actually lose bands");
+        let mut survivor_answers = Vec::new();
+        for (rank, result) in out.results.iter().enumerate() {
+            if rank == crashed {
+                assert!(result.is_err());
+                continue;
+            }
+            let (answers, report, _) = result.as_ref().expect("survivor must answer degraded");
+            assert!(report.degraded, "lost coverage must raise the flag");
+            assert_eq!(report.failed_ranks, vec![crashed]);
+            assert_eq!(report.lost_bands, expected_lost);
+            survivor_answers.push(answers.clone());
+        }
+        // Survivors agree on the (partial) answers: the degraded round
+        // is still deterministic.
+        for answers in &survivor_answers[1..] {
+            assert_eq!(answers, &survivor_answers[0]);
+        }
+    }
+
+    #[test]
+    fn plain_dist_path_with_a_crashed_rank_errors_typed_everywhere() {
+        // The satellite pin at the index level: a failed collective in
+        // the unreplicated serving path becomes a typed IndexError on
+        // every rank — never a panic, never a poisoned process.
+        use gas_dstsim::RankFaults;
+        let collection = workload();
+        let config = IndexConfig::default().with_signature_len(32);
+        let writer = segmented_writer(&collection, &config, 2, &[]);
+        let reader = writer.reader();
+        let queries: Vec<Vec<u64>> = (0..2).map(|i| collection.sample(i).to_vec()).collect();
+        let opts = QueryOptions { top_k: 3, ..Default::default() };
+
+        let out = Runtime::new(4)
+            .with_faults(RankFaults::none().crash(1).with_recv_timeout(50_000))
+            .run(|ctx| {
+                let q = if ctx.rank() == 0 { Some(&queries[..]) } else { None };
+                dist_query_reader_batch(ctx.world(), &reader, None, q, &opts)
+            })
+            .unwrap();
+        for (rank, result) in out.results.iter().enumerate() {
+            assert!(
+                matches!(result, Err(IndexError::Sim(_))),
+                "rank {rank} must fail typed, got ok={}",
+                result.is_ok()
+            );
         }
     }
 }

@@ -87,6 +87,15 @@ pub enum IndexError {
     },
     /// A pagination cursor token failed to parse.
     InvalidCursor(String),
+    /// A retried operation kept failing until its retry budget ran out.
+    /// `last` formats the final error; every attempt's failure was
+    /// transient (storage fault or overload), never corruption.
+    RetryExhausted {
+        /// Attempts performed (first try included).
+        attempts: u32,
+        /// Display of the error the final attempt produced.
+        last: String,
+    },
     /// An error from the core (signature) layer.
     Core(gas_core::CoreError),
     /// An error from the sparse (rerank) layer.
@@ -140,6 +149,9 @@ impl fmt::Display for IndexError {
             ),
             IndexError::InvalidCursor(token) => {
                 write!(f, "malformed page cursor token {token:?}")
+            }
+            IndexError::RetryExhausted { attempts, last } => {
+                write!(f, "retries exhausted after {attempts} attempts; last error: {last}")
             }
             IndexError::Core(e) => write!(f, "core error: {e}"),
             IndexError::Sparse(e) => write!(f, "sparse algebra error: {e}"),
@@ -208,6 +220,8 @@ mod tests {
         let e = IndexError::StaleCursor { cursor_generation: 3, snapshot_generation: 7 };
         assert!(e.to_string().contains('3') && e.to_string().contains('7'));
         assert!(IndexError::InvalidCursor("xx".into()).to_string().contains("xx"));
+        let e = IndexError::RetryExhausted { attempts: 4, last: "disk sneezed".into() };
+        assert!(e.to_string().contains('4') && e.to_string().contains("disk sneezed"));
         let e: IndexError = std::io::Error::other("boom").into();
         assert!(e.to_string().contains("boom"));
         let e: IndexError = gas_dstsim::SimError::InvalidWorldSize(0).into();

@@ -36,6 +36,7 @@ use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
+use gas_chaos::{RealFs, Storage};
 use gas_core::indicator::SampleCollection;
 use gas_core::minhash::{MinHashSignature, SignatureScheme};
 
@@ -260,23 +261,6 @@ pub(crate) struct StagedBatch {
     pub(crate) deletes: BTreeSet<u32>,
 }
 
-/// Flush the directory entry of `path` after a rename, so the rename
-/// itself survives a power loss (on platforms where directories can be
-/// fsynced; elsewhere this is a no-op). Best-effort by design: the
-/// rename has already happened, and a failure here only weakens
-/// durability, not consistency.
-fn sync_parent_dir(path: &Path) {
-    #[cfg(unix)]
-    if let Some(parent) = path.parent() {
-        let dir = if parent.as_os_str().is_empty() { Path::new(".") } else { parent };
-        if let Ok(handle) = std::fs::File::open(dir) {
-            let _ = handle.sync_all();
-        }
-    }
-    #[cfg(not(unix))]
-    let _ = path;
-}
-
 /// The mutable half of the lifecycle: stages samples and deletes,
 /// seals immutable segments on `commit()`, and (optionally) keeps a
 /// container-v3 file on disk in sync, crash-safely.
@@ -322,6 +306,11 @@ pub struct IndexWriter {
     /// (a fresh `rewrite_file` with nothing appended since): vacuum has
     /// nothing to reclaim and must not churn the file.
     clean: bool,
+    /// Every byte this writer moves to or from disk goes through here.
+    /// [`RealFs`] by default; chaos drills swap in a
+    /// [`gas_chaos::ChaosStorage`] to inject short/torn writes,
+    /// transient errors and fsync loss at every I/O site.
+    storage: Arc<dyn Storage>,
 }
 
 impl IndexWriter {
@@ -359,6 +348,7 @@ impl IndexWriter {
             needs_rewrite: false,
             dirty: false,
             clean: false,
+            storage: Arc::new(RealFs),
         })
     }
 
@@ -393,8 +383,18 @@ impl IndexWriter {
 
     /// [`Self::open`], also reporting what recovery did.
     pub fn open_with_report(path: impl AsRef<Path>) -> IndexResult<(Self, RecoveryReport)> {
+        IndexWriter::open_with_storage(path, Arc::new(RealFs))
+    }
+
+    /// [`Self::open_with_report`] through an explicit [`Storage`] —
+    /// chaos drills open through a fault-injecting storage so even the
+    /// recovery read can fail transiently.
+    pub fn open_with_storage(
+        path: impl AsRef<Path>,
+        storage: Arc<dyn Storage>,
+    ) -> IndexResult<(Self, RecoveryReport)> {
         let path = path.as_ref().to_path_buf();
-        let (state, report) = load_state(std::fs::read(&path)?)?;
+        let (state, report) = load_state(storage.read(&path)?)?;
         if let Some(kind) = state.foreign_kind {
             // A newer build wrote blocks after the generation this build
             // understands. Opening read-write would truncate them on the
@@ -432,8 +432,16 @@ impl IndexWriter {
             // blocks; the first vacuum after an open rewrites once and
             // re-establishes cleanliness.
             clean: false,
+            storage,
         };
         Ok((writer, report))
+    }
+
+    /// Swap the storage implementation every subsequent I/O goes
+    /// through. Chaos drills install a [`gas_chaos::ChaosStorage`] here;
+    /// production never calls this and stays on [`RealFs`].
+    pub fn set_storage(&mut self, storage: Arc<dyn Storage>) {
+        self.storage = storage;
     }
 
     /// The signature scheme every segment of this index signs under.
@@ -459,6 +467,13 @@ impl IndexWriter {
     /// Deletes staged but not yet committed.
     pub fn staged_deletes(&self) -> usize {
         self.staged_deletes.len()
+    }
+
+    /// Committed state is ahead of the backing file (a previous persist
+    /// failed mid-commit). The next `commit()` — even an otherwise
+    /// empty one — retries the flush.
+    pub fn needs_persist(&self) -> bool {
+        self.dirty
     }
 
     /// Committed live samples (tombstoned rows excluded).
@@ -982,19 +997,7 @@ impl IndexWriter {
     fn rewrite_file(&mut self) -> IndexResult<()> {
         let Some(path) = self.path.clone() else { return Ok(()) };
         let bytes = self.full_file_bytes();
-        // Append to the full file name (never `with_extension`, which
-        // would collapse `data.v1` and `data.v2` onto one temp path).
-        let mut tmp_name = path.file_name().map(|n| n.to_os_string()).unwrap_or_default();
-        tmp_name.push(".tmp");
-        let tmp = path.with_file_name(tmp_name);
-        {
-            use std::io::Write;
-            let mut file = std::fs::File::create(&tmp)?;
-            file.write_all(&bytes)?;
-            file.sync_all()?;
-        }
-        std::fs::rename(&tmp, &path)?;
-        sync_parent_dir(&path);
+        self.storage.replace(&path, &bytes)?;
         self.valid_len = bytes.len() as u64;
         self.needs_rewrite = false;
         self.persisted = self.segments.iter().map(|s| s.id()).collect();
@@ -1036,12 +1039,7 @@ impl IndexWriter {
             container::BLOCK_MANIFEST,
             &container::manifest_payload(&manifest),
         ));
-        use std::io::{Seek, SeekFrom, Write};
-        let mut file = std::fs::OpenOptions::new().write(true).open(&path)?;
-        file.set_len(self.valid_len)?;
-        file.seek(SeekFrom::Start(self.valid_len))?;
-        file.write_all(&tail)?;
-        file.sync_data()?;
+        self.storage.append_tail(&path, self.valid_len, &tail)?;
         self.valid_len += tail.len() as u64;
         self.persisted.extend(newly_persisted);
         self.dirty = false;
@@ -1839,6 +1837,149 @@ mod tests {
         future[12..20].copy_from_slice(&crc.to_le_bytes());
         std::fs::write(&path, &future).unwrap();
         assert!(matches!(IndexReader::open(&path), Err(IndexError::UnsupportedVersion(9))));
+        std::fs::remove_file(&path).ok();
+    }
+
+    // ---- chaos drills: every fault leaves a servable generation ----
+
+    fn top1(path: &Path, probe: &[u64]) -> Vec<crate::query::Neighbor> {
+        QueryEngine::snapshot(IndexReader::open(path).unwrap())
+            .query(probe, &QueryOptions { top_k: 3, ..Default::default() })
+            .unwrap()
+    }
+
+    #[test]
+    fn vacuum_faults_leave_the_prior_generation_intact() {
+        // The satellite pin: vacuum is write-temp-then-rename, so any
+        // injected fault during the rewrite must leave the original file
+        // byte-identical and servable, and a clean retry must succeed.
+        let _chaos = crate::chaos_testing::chaos_on();
+        use gas_chaos::{ChaosStorage, FaultKind, FaultPlan};
+        let path = unique_path("chaosvac");
+        let mut w = IndexOptions::from_config(config()).create_writer_at(&path).unwrap();
+        for i in 0..4u64 {
+            w.add(format!("s{i}"), family(0, 900 * (i + 1))).unwrap();
+            w.commit().unwrap();
+        }
+        w.delete(2).unwrap();
+        w.commit().unwrap();
+        w.compact_all().unwrap();
+        let probe = family(0, 1_800);
+        let want = top1(&path, &probe);
+        let good_bytes = std::fs::read(&path).unwrap();
+
+        for (i, kind) in
+            [FaultKind::IoError, FaultKind::ShortWrite, FaultKind::TornWrite, FaultKind::FsyncLoss]
+                .into_iter()
+                .enumerate()
+        {
+            let chaos = Arc::new(ChaosStorage::over_fs(
+                FaultPlan::seeded(100 + i as u64, 0).script(0, kind),
+            ));
+            w.set_storage(chaos.clone());
+            let err = w.vacuum().expect_err("scripted fault must surface");
+            assert!(matches!(err, IndexError::Io(_)), "fault {kind:?} surfaced as {err:?}");
+            assert!(chaos.ops_seen() > 0, "the fault site was exercised");
+            // The original file is untouched: bit-identical, still
+            // servable, same answers.
+            assert_eq!(std::fs::read(&path).unwrap(), good_bytes, "fault {kind:?} mutated file");
+            assert_eq!(top1(&path, &probe), want);
+        }
+
+        // With faults cleared the same vacuum completes and answers hold.
+        w.set_storage(Arc::new(RealFs));
+        let report = w.vacuum().unwrap();
+        assert!(report.rewritten);
+        assert_eq!(top1(&path, &probe), want);
+        std::fs::remove_file(&path).ok();
+        // ShortWrite/TornWrite leave a decoy torn temp file behind by
+        // design (the crash image); sweep it.
+        if let Some(dir) = path.parent() {
+            for entry in std::fs::read_dir(dir).unwrap().flatten() {
+                if entry.path().extension().is_some_and(|e| e == "chaos-torn") {
+                    std::fs::remove_file(entry.path()).ok();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn a_chaos_torn_commit_falls_back_and_the_next_commit_heals() {
+        // Tentpole requirement: a torn append mid-commit errors, the
+        // reopened file serves the newest intact prior generation, and
+        // the next successful commit heals the tail.
+        let _chaos = crate::chaos_testing::chaos_on();
+        use gas_chaos::{ChaosStorage, FaultKind, FaultPlan};
+        let path = unique_path("chaostorn");
+        let mut w = IndexOptions::from_config(config()).create_writer_at(&path).unwrap();
+        w.add("a", family(0, 100)).unwrap();
+        w.commit().unwrap();
+        let probe = family(0, 100);
+        let want = top1(&path, &probe);
+
+        let chaos = Arc::new(ChaosStorage::over_fs(
+            FaultPlan::seeded(7, 0).script(0, FaultKind::TornWrite),
+        ));
+        w.set_storage(chaos);
+        w.add("b", family(0, 200)).unwrap();
+        assert!(matches!(w.commit(), Err(IndexError::Io(_))));
+
+        // The torn tail is recoverable: generation 1 still answers.
+        let (reader, report) = IndexReader::open_with_report(&path).unwrap();
+        assert_eq!(reader.generation(), 1);
+        assert!(report.torn_bytes > 0, "the torn prefix is visible to recovery");
+        assert_eq!(top1(&path, &probe), want);
+
+        // Clearing the fault and committing again persists everything
+        // the writer holds in memory, torn tail truncated.
+        w.set_storage(Arc::new(RealFs));
+        w.add("c", family(0, 300)).unwrap();
+        w.commit().unwrap();
+        let (healed, report) = IndexReader::open_with_report(&path).unwrap();
+        assert_eq!(report.torn_bytes, 0);
+        assert_eq!(healed.n_live(), 3);
+        assert_eq!(healed.generation(), w.generation());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fsync_loss_is_silent_until_reopen_and_vacuum_heals() {
+        // FsyncLoss is the lying-sync drill: the commit reports Ok but
+        // only a prefix of the tail is durable. The writer's memory is
+        // ahead of the disk; reopen falls back to the newest intact
+        // generation, and a vacuum (full rewrite) re-syncs disk with
+        // memory.
+        let _chaos = crate::chaos_testing::chaos_on();
+        use gas_chaos::{ChaosStorage, FaultKind, FaultPlan};
+        let path = unique_path("chaosfsync");
+        let mut w = IndexOptions::from_config(config()).create_writer_at(&path).unwrap();
+        w.add("a", family(0, 100)).unwrap();
+        w.commit().unwrap();
+        let probe = family(0, 100);
+        let want = top1(&path, &probe);
+
+        let chaos = Arc::new(ChaosStorage::over_fs(
+            FaultPlan::seeded(9, 0).script(0, FaultKind::FsyncLoss),
+        ));
+        w.set_storage(chaos);
+        w.add("b", family(0, 200)).unwrap();
+        w.commit().expect("a lying fsync reports success");
+        assert_eq!(w.generation(), 2, "the writer believes the commit landed");
+
+        // On disk only a prefix landed: reopen falls back to gen 1.
+        let (reader, report) = IndexReader::open_with_report(&path).unwrap();
+        assert_eq!(reader.generation(), 1);
+        assert!(report.torn_bytes > 0);
+        assert_eq!(top1(&path, &probe), want);
+
+        // The writer still holds the full state; a vacuum rewrites the
+        // file wholesale and disk catches back up.
+        w.set_storage(Arc::new(RealFs));
+        w.vacuum().unwrap();
+        let (healed, report) = IndexReader::open_with_report(&path).unwrap();
+        assert_eq!(report.torn_bytes, 0);
+        assert_eq!(healed.generation(), 2);
+        assert_eq!(healed.n_live(), 2);
         std::fs::remove_file(&path).ok();
     }
 }

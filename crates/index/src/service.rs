@@ -36,6 +36,7 @@ use std::sync::{Arc, Mutex, Weak};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use gas_chaos::{RetryPolicy, Storage};
 use gas_core::indicator::SampleCollection;
 
 use crate::build::{IndexConfig, SketchIndex};
@@ -66,6 +67,8 @@ pub struct IndexOptions {
     compact_interval: Duration,
     snapshot_retention: usize,
     tracing: bool,
+    retry: RetryPolicy,
+    compact_pause_depth: usize,
 }
 
 impl Default for IndexOptions {
@@ -81,6 +84,8 @@ impl Default for IndexOptions {
             compact_interval: Duration::from_millis(10),
             snapshot_retention: 8,
             tracing: false,
+            retry: RetryPolicy::default(),
+            compact_pause_depth: 64,
         }
     }
 }
@@ -193,6 +198,29 @@ impl IndexOptions {
     /// disables tracing another component turned on.
     pub fn with_tracing(mut self, tracing: bool) -> Self {
         self.tracing = tracing;
+        self
+    }
+
+    /// Set the retry policy [`LocalIndexService::commit_wait_retry`]
+    /// uses for transient faults (storage errors, overload sheds):
+    /// bounded attempts, exponential backoff, deterministic jitter.
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// The retry policy in force.
+    pub fn retry_policy(&self) -> &RetryPolicy {
+        &self.retry
+    }
+
+    /// Pause background compaction while this many (or more) commits
+    /// are in flight — under commit pressure the maintenance thread
+    /// yields the writer lock to the serving path instead of competing
+    /// for it. Paused passes are counted in
+    /// [`CompactionStats::paused_passes`].
+    pub fn with_compact_pause_depth(mut self, depth: usize) -> Self {
+        self.compact_pause_depth = depth.max(1);
         self
     }
 
@@ -335,6 +363,9 @@ pub struct CompactionStats {
     pub stale_passes: u64,
     /// Merges whose build or apply failed with an error.
     pub failed_passes: u64,
+    /// Maintenance passes skipped because commit pressure was at or
+    /// above the configured pause depth (degraded mode: serving wins).
+    pub paused_passes: u64,
     /// Vacuum attempts deferred because a reader was still pinned to a
     /// pre-swap generation.
     pub vacuums_deferred: u64,
@@ -385,6 +416,7 @@ impl ServiceStats {
         snap.set_counter("gas_compact_rows_written_total", self.compact.rows_written);
         snap.set_counter("gas_compact_stale_passes_total", self.compact.stale_passes);
         snap.set_counter("gas_compact_failed_passes_total", self.compact.failed_passes);
+        snap.set_counter("gas_compact_paused_passes_total", self.compact.paused_passes);
         snap.set_counter("gas_compact_vacuums_deferred_total", self.compact.vacuums_deferred);
         snap.set_counter("gas_compact_vacuums_run_total", self.compact.vacuums_run);
         snap.set_counter(
@@ -395,6 +427,41 @@ impl ServiceStats {
         snap.set_gauge("gas_index_segments", self.segments as i64);
         snap.set_gauge("gas_index_live_samples", self.live_samples as i64);
     }
+}
+
+/// Per-cause counters of what a degraded query survived: each field is
+/// how many times that transient condition was absorbed instead of
+/// surfaced as an error.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DegradedCauses {
+    /// Admission control shed the query; an empty page set stands in.
+    pub overloaded: u64,
+    /// The pagination cursor's generation was no longer pinned; the
+    /// scan restarted from the first page of a fresh snapshot.
+    pub stale_cursor: u64,
+    /// A transient storage fault interrupted the query.
+    pub storage: u64,
+}
+
+impl DegradedCauses {
+    fn any(&self) -> bool {
+        self.overloaded + self.stale_cursor + self.storage > 0
+    }
+}
+
+/// The answer of [`LocalIndexService::query_paged_degraded`]: best-
+/// effort pages plus an explicit flag saying whether they are the full
+/// answer. `degraded == false` means the pages are exactly what
+/// [`IndexService::query_paged`] would have returned.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradedBatch {
+    /// One page per query — possibly empty when the service absorbed a
+    /// shed, never silently partial without `degraded` saying so.
+    pub pages: Vec<QueryPage>,
+    /// True when any transient condition was absorbed.
+    pub degraded: bool,
+    /// Which conditions were absorbed, per cause.
+    pub causes: DegradedCauses,
 }
 
 /// The serving API over a living index: stage (`add_batch`/`delete`),
@@ -575,6 +642,131 @@ impl LocalIndexService {
     pub fn maintain(&self) {
         maintenance_pass(&self.shared);
     }
+
+    /// Swap the writer's storage backend. The default is the real
+    /// filesystem; chaos drills install a
+    /// [`gas_chaos::ChaosStorage`] here to inject faults under a live
+    /// service.
+    pub fn set_storage(&self, storage: Arc<dyn Storage>) {
+        self.shared.writer.lock().expect("writer lock poisoned").set_storage(storage);
+    }
+
+    /// [`IndexService::commit_wait`] with the options' [`RetryPolicy`]:
+    /// transient failures — overload sheds and storage I/O faults — are
+    /// retried under bounded exponential backoff with deterministic
+    /// jitter; anything else returns immediately. When the budget runs
+    /// out the last transient error is wrapped in
+    /// [`IndexError::RetryExhausted`].
+    ///
+    /// Safe to retry by construction: a door shed leaves the staged
+    /// batch untouched, and a failed persist leaves the commit applied
+    /// in memory with the file marked dirty — the writer-level commit
+    /// issued before each retry re-persists that state (an empty commit
+    /// heals, it never re-stages).
+    pub fn commit_wait_retry(&self) -> IndexResult<CommitSummary> {
+        let policy = self.shared.options.retry;
+        let attempts = policy.max_attempts.max(1);
+        let mut last: Option<IndexError> = None;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                let delay = policy.delay(attempt - 1);
+                gas_obs::counter("gas_retry_backoff_micros_total").add(delay.as_micros() as u64);
+                std::thread::sleep(delay);
+            }
+            gas_obs::counter("gas_retry_attempts_total").inc();
+            // A dirty writer with nothing staged means a previous
+            // persist failed mid-commit; heal directly at the writer —
+            // the service's empty-commit fast path would skip the
+            // re-persist. Checked and committed under one lock hold so
+            // a concurrent add_batch can't slip a batch past the
+            // pipeline's ordering.
+            let healed = {
+                let mut writer = self.shared.writer.lock().expect("writer lock poisoned");
+                if writer.staged_samples() == 0
+                    && writer.staged_deletes() == 0
+                    && writer.needs_persist()
+                {
+                    Some(writer.commit())
+                } else {
+                    None
+                }
+            };
+            let result = match healed {
+                Some(result) => result,
+                None => self.commit().and_then(|ticket| ticket.wait()),
+            };
+            match result {
+                Ok(summary) => {
+                    if attempt > 0 {
+                        gas_obs::counter("gas_retry_success_total").inc();
+                    }
+                    return Ok(summary);
+                }
+                Err(e @ (IndexError::Io(_) | IndexError::Overloaded { .. })) => last = Some(e),
+                Err(e) => return Err(e),
+            }
+        }
+        gas_obs::counter("gas_retry_exhausted_total").inc();
+        Err(IndexError::RetryExhausted {
+            attempts,
+            last: last.map(|e| e.to_string()).unwrap_or_else(|| "no error recorded".into()),
+        })
+    }
+
+    /// [`IndexService::query_paged`] that degrades instead of failing
+    /// on transient conditions: an overload shed yields an empty page
+    /// set, a stale cursor restarts the scan from the first page of a
+    /// fresh snapshot, a transient storage fault yields empty pages —
+    /// each flagged in [`DegradedBatch::causes`] and counted under
+    /// `gas_degraded_*`. Caller mistakes (malformed queries, signer
+    /// mismatches) still surface as errors.
+    pub fn query_paged_degraded(
+        &self,
+        queries: &[Vec<u64>],
+        req: &PageRequest,
+    ) -> IndexResult<DegradedBatch> {
+        let mut causes = DegradedCauses::default();
+        let pages = match self.query_paged(queries, req) {
+            Ok(pages) => pages,
+            Err(IndexError::StaleCursor { .. }) => {
+                causes.stale_cursor += 1;
+                gas_obs::counter("gas_degraded_stale_cursor_total").inc();
+                // Restart against a fresh snapshot; a failure of the
+                // restarted scan degrades like a first-try failure.
+                let restarted = PageRequest { cursor: None, ..*req };
+                match self.query_paged(queries, &restarted) {
+                    Ok(pages) => pages,
+                    Err(IndexError::Overloaded { .. }) => {
+                        causes.overloaded += 1;
+                        gas_obs::counter("gas_degraded_overloaded_total").inc();
+                        Vec::new()
+                    }
+                    Err(IndexError::Io(_)) => {
+                        causes.storage += 1;
+                        gas_obs::counter("gas_degraded_storage_total").inc();
+                        Vec::new()
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            Err(IndexError::Overloaded { .. }) => {
+                causes.overloaded += 1;
+                gas_obs::counter("gas_degraded_overloaded_total").inc();
+                Vec::new()
+            }
+            Err(IndexError::Io(_)) => {
+                causes.storage += 1;
+                gas_obs::counter("gas_degraded_storage_total").inc();
+                Vec::new()
+            }
+            Err(e) => return Err(e),
+        };
+        let degraded = causes.any();
+        if degraded {
+            gas_obs::counter("gas_degraded_queries_total").inc();
+        }
+        Ok(DegradedBatch { pages, degraded, causes })
+    }
 }
 
 impl Drop for LocalIndexService {
@@ -709,6 +901,14 @@ fn compactor_loop(shared: &ServiceShared, stop: &AtomicBool) {
 /// lock, build the merged segments *off* the lock (serving continues),
 /// swap atomically, then run — or defer — the file vacuum.
 fn maintenance_pass(shared: &ServiceShared) {
+    // Degraded mode: under commit pressure the maintenance thread backs
+    // off entirely — no compaction, no vacuum — so the serving path
+    // never queues behind a merge for the writer lock.
+    if shared.commit_metrics.depth() >= shared.options.compact_pause_depth {
+        bump(shared, |s| s.paused_passes += 1);
+        gas_obs::counter("gas_compact_paused_passes_total").inc();
+        return;
+    }
     let compactor =
         Compactor::new(*shared.options.compaction()).expect("policy validated at create");
     let begun = {
@@ -1174,5 +1374,164 @@ mod tests {
             reference.unwrap()[0].hits,
             "background compaction must never change answers"
         );
+    }
+
+    // ---- chaos drills: retry, degraded serving, compaction pause ----
+
+    fn service_path(tag: &str) -> std::path::PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("gas_service_{tag}_{}_{n}.gidx", std::process::id()))
+    }
+
+    fn fast_retry(attempts: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: attempts,
+            base_delay: Duration::from_micros(50),
+            max_delay: Duration::from_micros(400),
+            jitter_seed: 11,
+        }
+    }
+
+    #[test]
+    fn commit_wait_retry_heals_a_one_shot_storage_fault() {
+        let _chaos = crate::chaos_testing::chaos_on();
+        use gas_chaos::{ChaosStorage, FaultKind, FaultPlan};
+        let path = service_path("retryheal");
+        let service = IndexOptions::from_config(config())
+            .with_auto_compact(false)
+            .with_retry_policy(fast_retry(3))
+            .serve_at(&path)
+            .unwrap();
+        service.add_batch(batch("a", 6, 0)).unwrap();
+        service.set_storage(Arc::new(ChaosStorage::over_fs(
+            FaultPlan::seeded(3, 0).script(0, FaultKind::TornWrite),
+        )));
+        // Attempt 1 tears the persist; the retry's writer-level commit
+        // re-persists the in-memory state (the scripted fault is spent).
+        let summary = service.commit_wait_retry().expect("one torn write is survivable");
+        assert!(summary.generation >= 1);
+        assert_eq!(service.stats().live_samples, 6);
+        drop(service);
+        // The healed file reopens at the full state.
+        let reader = IndexReader::open(&path).unwrap();
+        assert_eq!(reader.n_live(), 6);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn commit_wait_retry_exhausts_typed_under_persistent_faults() {
+        let _chaos = crate::chaos_testing::chaos_on();
+        use gas_chaos::{ChaosStorage, FaultKind, FaultPlan};
+        let path = service_path("retryout");
+        let service = IndexOptions::from_config(config())
+            .with_auto_compact(false)
+            .with_retry_policy(fast_retry(3))
+            .serve_at(&path)
+            .unwrap();
+        service.add_batch(batch("b", 4, 0)).unwrap();
+        // Every storage op faults: the budget must run out, typed.
+        service.set_storage(Arc::new(ChaosStorage::over_fs(
+            FaultPlan::seeded(5, 1000).with_kinds(&[FaultKind::IoError]),
+        )));
+        let err = service.commit_wait_retry().unwrap_err();
+        match err {
+            IndexError::RetryExhausted { attempts, last } => {
+                assert_eq!(attempts, 3);
+                assert!(!last.is_empty());
+            }
+            other => panic!("expected RetryExhausted, got {other}"),
+        }
+        // Clearing the fault heals: the commit is already applied in
+        // memory, the next retry loop persists it.
+        service.set_storage(Arc::new(gas_chaos::RealFs));
+        let summary = service.commit_wait_retry().unwrap();
+        assert_eq!(summary.deletes_applied, 0);
+        assert_eq!(service.stats().live_samples, 4);
+        drop(service);
+        assert_eq!(IndexReader::open(&path).unwrap().n_live(), 4);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn degraded_queries_absorb_overload_with_an_explicit_flag() {
+        let service = IndexOptions::from_config(config())
+            .with_auto_compact(false)
+            .with_max_concurrent_queries(1)
+            .serve()
+            .unwrap();
+        service.add_batch(batch("d", 4, 0)).unwrap();
+        service.commit_wait().unwrap();
+        let probe = family(0, 400);
+
+        // Unpressured: the degraded wrapper is a transparent pass-through.
+        let calm = service
+            .query_paged_degraded(std::slice::from_ref(&probe), &PageRequest::new(4))
+            .unwrap();
+        assert!(!calm.degraded);
+        assert!(!calm.pages[0].hits.is_empty());
+
+        // Occupy the one query slot: the next query sheds, and the
+        // degraded wrapper turns that into empty pages + the flag.
+        service.shared.query_metrics.accept();
+        let shed = service
+            .query_paged_degraded(std::slice::from_ref(&probe), &PageRequest::new(4))
+            .unwrap();
+        assert!(shed.degraded);
+        assert_eq!(shed.causes.overloaded, 1);
+        assert!(shed.pages.is_empty());
+        service.shared.query_metrics.finish(Duration::ZERO, true);
+
+        // Caller mistakes still surface as errors, not degradation.
+        let err = service
+            .query_paged_degraded(std::slice::from_ref(&probe), &PageRequest::new(0))
+            .unwrap_err();
+        assert!(matches!(err, IndexError::InvalidQuery(_)));
+    }
+
+    #[test]
+    fn degraded_queries_restart_stale_cursors_from_a_fresh_snapshot() {
+        let service = IndexOptions::from_config(config())
+            .with_auto_compact(false)
+            .with_snapshot_retention(1)
+            .serve()
+            .unwrap();
+        service.add_batch(batch("s", 12, 0)).unwrap();
+        service.commit_wait().unwrap();
+        let probe = family(0, 400);
+        let req = PageRequest::new(3);
+        let first = service.query_paged(std::slice::from_ref(&probe), &req).unwrap();
+        let cursor = first[0].next_cursor.expect("more than one page");
+
+        // Evict the pinned generation (retention 1, two commits later).
+        service.add_batch(batch("t", 4, 1)).unwrap();
+        service.commit_wait().unwrap();
+        service.query_paged(std::slice::from_ref(&probe), &PageRequest::new(3)).unwrap();
+
+        let resumed = service
+            .query_paged_degraded(std::slice::from_ref(&probe), &req.with_cursor(cursor))
+            .unwrap();
+        assert!(resumed.degraded, "a restarted scan is not the page the cursor asked for");
+        assert_eq!(resumed.causes.stale_cursor, 1);
+        assert!(!resumed.pages[0].hits.is_empty(), "the restart answers from a fresh snapshot");
+        assert!(resumed.pages[0].next_cursor.is_none() || resumed.pages[0].hits.len() == 3);
+    }
+
+    #[test]
+    fn compaction_pauses_under_commit_pressure_and_resumes() {
+        let service = IndexOptions::from_config(config())
+            .with_auto_compact(false)
+            .with_compact_pause_depth(1)
+            .serve()
+            .unwrap();
+        // Simulate one in-flight commit occupying the queue slot.
+        service.shared.commit_metrics.accept();
+        service.maintain();
+        assert_eq!(service.stats().compact.paused_passes, 1, "pressure pauses the pass");
+        assert_eq!(service.stats().compact.passes, 0);
+        service.shared.commit_metrics.finish(Duration::ZERO, true);
+        service.maintain();
+        assert_eq!(service.stats().compact.paused_passes, 1, "pressure gone, passes resume");
     }
 }

@@ -49,6 +49,7 @@
 //! assert_eq!(s.get(2, 2), 1.0);
 //! ```
 
+pub use gas_chaos as chaos;
 pub use gas_cluster as cluster;
 pub use gas_core as core;
 pub use gas_dstsim as dstsim;
@@ -74,11 +75,13 @@ pub mod prelude {
     pub use gas_genomics::sample::KmerSample;
     pub use gas_index::{
         dist_query_batch, dist_query_batch_stats, dist_query_reader_batch,
-        dist_query_reader_batch_stats, dist_query_reader_batch_stats_per_segment,
-        dist_query_reader_page, exact_top_k, CommitSummary, CommitTicket, CompactionPolicy,
-        CompactionStats, CompactionSummary, Compactor, DistQueryStats, IndexConfig, IndexOptions,
-        IndexReader, IndexService, IndexWriter, LatencyHistogram, LocalIndexService, LshParams,
-        Neighbor, PageCursor, PageRequest, QueryEngine, QueryOptions, QueryPage, RequestClassStats,
+        dist_query_reader_batch_replicated, dist_query_reader_batch_stats,
+        dist_query_reader_batch_stats_per_segment, dist_query_reader_page, exact_top_k,
+        ChaosStorage, CommitSummary, CommitTicket, CompactionPolicy, CompactionStats,
+        CompactionSummary, Compactor, DegradedBatch, DegradedCauses, DegradedReport,
+        DistQueryStats, FaultKind, FaultPlan, IndexConfig, IndexOptions, IndexReader, IndexService,
+        IndexWriter, LatencyHistogram, LocalIndexService, LshParams, Neighbor, PageCursor,
+        PageRequest, QueryEngine, QueryOptions, QueryPage, RequestClassStats, RetryPolicy,
         SegmentStats, ServiceStats, SignerKind, SketchIndex, VacuumReport,
     };
     pub use gas_obs::{

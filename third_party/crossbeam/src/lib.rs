@@ -9,7 +9,7 @@
 pub mod channel {
     //! MPSC channels with the `crossbeam::channel` construction API.
 
-    pub use std::sync::mpsc::{Receiver, RecvError, SendError, Sender};
+    pub use std::sync::mpsc::{Receiver, RecvError, RecvTimeoutError, SendError, Sender};
 
     /// Create an unbounded channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
