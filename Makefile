@@ -5,7 +5,7 @@
 # facade's integration suites. Always go through `make test` (or pass
 # --workspace yourself) so local coverage matches CI.
 
-.PHONY: build test lint fmt bench-smoke query-smoke serve-smoke obs-smoke chaos-smoke chaos-matrix dist-matrix index-lifecycle all
+.PHONY: build test lint fmt bench-smoke query-smoke serve-smoke obs-smoke chaos-smoke chaos-matrix dist-matrix index-lifecycle plan-smoke all
 
 all: lint build test
 
@@ -87,6 +87,16 @@ chaos-matrix:
 index-lifecycle:
 	cargo test -p gas-index --locked -q
 	cargo test --locked -q --test index_lifecycle --test query_serving
+
+# The CI plan-smoke step: the placement & autotuning sweep on the tiny
+# skewed fixture (planned mixed placement must move at most as many wire
+# bytes as all-shard AND all-replicate while answering bit-identically
+# to the single-rank engine; tuned replication within 2× of the best
+# measured divisor; tuned LSH within 0.5× of the best grid-searched
+# throughput), then the plan trend gate against the committed baseline.
+plan-smoke:
+	GAS_PLAN_TINY=1 cargo run --release --locked -p gas-bench --bin placement_sweep
+	cargo run --release --locked -p gas-bench --bin bench_trend -- --plan
 
 # One cell of the CI dist-matrix job, e.g.:
 #   make dist-matrix RANKS=8 REPLICATION=2 SEGMENTS=7

@@ -62,6 +62,17 @@
 //! storage-operation site, zero sites on the serving path) throughput
 //! may regress at most 5% against the committed baseline, and with an
 //! inert plan armed it must stay within 2× of disabled.
+//!
+//! `bench_trend --plan [current.json] [baseline.json]` gates the
+//! placement & autotuning sweep (defaults:
+//! `results/placement_sweep.json`,
+//! `bench/baselines/placement_sweep.tiny.json`). Rows are matched on
+//! `(kind, name)`; every baseline row must still exist, every current
+//! row must carry `ok = 1` (the sweep computes its own acceptance —
+//! planned wire bytes at or below both pure placements, answers
+//! bit-identical, tuned knobs within their bounded factors of grid
+//! search), and the planned placement's total wire bytes may not exceed
+//! 2× the committed baseline.
 
 use std::collections::BTreeMap;
 use std::path::PathBuf;
@@ -394,8 +405,113 @@ fn chaos_gate(current: &PathBuf, baseline: &PathBuf) -> ExitCode {
     ExitCode::FAILURE
 }
 
+/// The figures of one placement-sweep report row.
+#[derive(Debug, Clone, PartialEq)]
+struct PlanRow {
+    value: f64,
+    ok: f64,
+}
+
+/// Index a placement-sweep report's rows by `(kind, name)`.
+fn plan_rows(path: &PathBuf) -> Result<BTreeMap<(String, String), PlanRow>, String> {
+    let rows = read_json_rows(path).map_err(|e| e.to_string())?;
+    let mut out = BTreeMap::new();
+    for (i, row) in rows.iter().enumerate() {
+        let field = |name: &str| -> Result<String, String> {
+            row.iter()
+                .find(|(h, _)| h == name)
+                .map(|(_, v)| v.clone())
+                .ok_or_else(|| format!("{}: row {i} has no \"{name}\" column", path.display()))
+        };
+        let number = |name: &str| -> Result<f64, String> {
+            let raw = field(name)?;
+            raw.parse::<f64>().map_err(|_| {
+                format!("{}: row {i} column \"{name}\" is not numeric: {raw:?}", path.display())
+            })
+        };
+        let key = (field("kind")?, field("name")?);
+        let figures = PlanRow { value: number("value")?, ok: number("ok")? };
+        if out.insert(key.clone(), figures).is_some() {
+            return Err(format!("{}: duplicate row for {key:?}", path.display()));
+        }
+    }
+    Ok(out)
+}
+
+/// Gate the placement & autotuning sweep: every baseline row still
+/// present, every current row's own acceptance flag green, and the
+/// planned placement's wire total within 2× of the committed baseline.
+fn plan_gate(current: &PathBuf, baseline: &PathBuf) -> ExitCode {
+    let (current_rows, baseline_rows) = match (plan_rows(current), plan_rows(baseline)) {
+        (Ok(c), Ok(b)) => (c, b),
+        (c, b) => {
+            for err in [c.err(), b.err()].into_iter().flatten() {
+                eprintln!("bench-trend: {err}");
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+    if baseline_rows.is_empty() {
+        eprintln!("bench-trend: baseline {} holds no rows", baseline.display());
+        return ExitCode::FAILURE;
+    }
+    let mut failures = Vec::new();
+    for (key, base) in &baseline_rows {
+        let (kind, name) = key;
+        if !current_rows.contains_key(key) {
+            failures.push(format!("row ({kind}, {name}) vanished from the current report"));
+        } else if *name == "planned_total_bytes" {
+            let now = &current_rows[key];
+            println!("[plan/{kind}] {name} {:.0} (baseline {:.0})", now.value, base.value);
+            if now.value > base.value * 2.0 {
+                failures.push(format!(
+                    "({kind}, {name}) regressed >2×: {:.0} vs baseline {:.0}",
+                    now.value, base.value
+                ));
+            }
+        }
+    }
+    for ((kind, name), now) in &current_rows {
+        println!("[plan/{kind}] {name} = {} (ok {:.0})", now.value, now.ok);
+        if now.ok != 1.0 {
+            failures.push(format!(
+                "({kind}, {name}) failed its own acceptance check (value {})",
+                now.value
+            ));
+        }
+    }
+    if failures.is_empty() {
+        println!(
+            "bench-trend OK: {} placement/autotune row(s) green vs {}",
+            current_rows.len(),
+            baseline.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+    for f in &failures {
+        eprintln!("bench-trend FAIL: {f}");
+    }
+    eprintln!(
+        "bench-trend: {} placement/autotune failure(s) vs {} — if intentional, refresh the \
+         baseline from {}",
+        failures.len(),
+        baseline.display(),
+        current.display()
+    );
+    ExitCode::FAILURE
+}
+
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1).peekable();
+    if args.peek().map(String::as_str) == Some("--plan") {
+        args.next();
+        let current =
+            PathBuf::from(args.next().unwrap_or_else(|| "results/placement_sweep.json".into()));
+        let baseline = PathBuf::from(
+            args.next().unwrap_or_else(|| "bench/baselines/placement_sweep.tiny.json".into()),
+        );
+        return plan_gate(&current, &baseline);
+    }
     if args.peek().map(String::as_str) == Some("--chaos") {
         args.next();
         let current =

@@ -14,7 +14,7 @@ use gas_bench::report::{format_seconds, Table};
 use gas_bench::workloads::synthetic_collection;
 use gas_core::algorithm::similarity_at_scale_distributed;
 use gas_core::config::SimilarityConfig;
-use gas_core::costmodel::{PaperCostModel, ProjectionInput};
+use gas_core::costmodel::{fit_cost_model, CostObservation, PaperCostModel, ProjectionInput};
 use gas_dstsim::machine::Machine;
 
 fn main() {
@@ -57,6 +57,7 @@ fn main() {
         "Simulator cross-check: measured bytes/rank vs model trend",
         &["ranks", "measured_bytes_per_rank", "model_bandwidth_words_per_batch"],
     );
+    let mut observations: Vec<CostObservation> = Vec::new();
     for &ranks in &[4usize, 9, 16] {
         // The replicated filter vector is a constant per-rank overhead, so
         // the cross-check isolates the product traffic by disabling it.
@@ -64,6 +65,7 @@ fn main() {
             SimilarityConfig { use_zero_row_filter: false, ..SimilarityConfig::with_batches(2) };
         let summary =
             similarity_at_scale_distributed(&collection, &config, ranks, &machine).unwrap();
+        observations.extend(summary.reports.iter().map(CostObservation::from_report));
         let z = collection.nnz() as f64;
         let n = collection.n() as f64;
         let words = z / (ranks as f64).sqrt() + n * n / ranks as f64 + ranks as f64;
@@ -75,6 +77,31 @@ fn main() {
     }
     check.print();
     check.write_csv(gas_bench::report::results_dir(), "cost_model_crosscheck").expect("write CSV");
+
+    // Fit the machine parameters from the measured per-rank reports and
+    // publish them where the planner and autotuner (`gas-plan`,
+    // `MachineParams::from_report`) read measured α/β/γ instead of the
+    // preset constants. The simulator charges time from the preset
+    // machine, so the fit recovering finite non-negative parameters is
+    // the gate, not a tolerance on the values themselves.
+    let fitted = fit_cost_model(&observations, machine.cost_model().unwrap())
+        .expect("fit machine parameters from the scaling runs");
+    let mut params = Table::new(
+        "Fitted machine parameters (least squares over per-rank cost reports)",
+        &["alpha", "beta", "gamma", "mem_per_rank", "stream_bw", "observations"],
+    );
+    params.push_row(vec![
+        format!("{:e}", fitted.alpha),
+        format!("{:e}", fitted.beta),
+        format!("{:e}", fitted.gamma),
+        fitted.mem_per_rank.to_string(),
+        format!("{:e}", fitted.stream_bw),
+        observations.len().to_string(),
+    ]);
+    params.print();
+    let dir = gas_bench::report::results_dir();
+    params.write_json(&dir, "machine_params").expect("write machine_params.json");
+    params.write_csv(&dir, "machine_params").expect("write machine_params CSV");
     println!(
         "\nExpected shape: the analytic total cost falls ~proportionally with node count \
          (E_p stays O(1)), and the measured per-rank traffic follows the model's downward trend."

@@ -423,9 +423,7 @@ impl Storage for ChaosStorage {
             }
             // For an atomic replace a lying sync downgrades to a failed
             // rename: the new bytes are gone, the original is intact.
-            FaultKind::FsyncLoss => {
-                Err(io::Error::other("injected rename failure"))
-            }
+            FaultKind::FsyncLoss => Err(io::Error::other("injected rename failure")),
         }
     }
 

@@ -16,10 +16,116 @@
 //! (`E_p = O(1)` in the memory-bound regime) is also exposed so the
 //! theory experiment can chart it.
 
-use gas_dstsim::cost::CostModel;
+use gas_dstsim::cost::{CostModel, CostReport};
 use serde::{Deserialize, Serialize};
 
 use crate::error::{CoreError, CoreResult};
+
+/// One measured sample for fitting the α–β–γ machine parameters: the
+/// per-rank counters of a finished run plus the seconds that rank spent.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostObservation {
+    /// Supersteps (synchronisation rounds) the rank executed.
+    pub supersteps: f64,
+    /// Bytes the rank received over the network.
+    pub bytes: f64,
+    /// Multiply-accumulate operations the rank performed.
+    pub flops: f64,
+    /// Measured wall-clock seconds for the rank.
+    pub seconds: f64,
+}
+
+impl CostObservation {
+    /// Build an observation from a simulator [`CostReport`].
+    pub fn from_report(report: &CostReport) -> Self {
+        CostObservation {
+            supersteps: report.supersteps as f64,
+            bytes: report.bytes_received as f64,
+            flops: report.flops as f64,
+            seconds: report.measured_seconds,
+        }
+    }
+}
+
+/// Least-squares fit of the α–β–γ machine parameters from measured
+/// per-rank observations: solves `argmin Σ (s·α + b·β + f·γ − t)²` via the
+/// 3×3 normal equations with column scaling (the raw columns span ~10
+/// orders of magnitude). Negative solutions are clamped to zero — a
+/// counter whose contribution the measurements cannot resolve costs
+/// nothing rather than producing a nonsensical negative rate. Memory and
+/// streaming parameters are carried over from `base` since the
+/// observations say nothing about them.
+pub fn fit_cost_model(observations: &[CostObservation], base: CostModel) -> CoreResult<CostModel> {
+    if observations.len() < 3 {
+        return Err(CoreError::InvalidConfig(format!(
+            "fitting three machine parameters needs at least 3 observations, got {}",
+            observations.len()
+        )));
+    }
+    // Column scales keep the normal equations well conditioned.
+    let mut scale = [0.0f64; 3];
+    for o in observations {
+        scale[0] = scale[0].max(o.supersteps.abs());
+        scale[1] = scale[1].max(o.bytes.abs());
+        scale[2] = scale[2].max(o.flops.abs());
+    }
+    for s in &mut scale {
+        if *s == 0.0 {
+            *s = 1.0;
+        }
+    }
+    // Accumulate AᵀA (3×3 symmetric) and Aᵀb on the scaled columns.
+    let mut ata = [[0.0f64; 3]; 3];
+    let mut atb = [0.0f64; 3];
+    for o in observations {
+        let row = [o.supersteps / scale[0], o.bytes / scale[1], o.flops / scale[2]];
+        for i in 0..3 {
+            for j in 0..3 {
+                ata[i][j] += row[i] * row[j];
+            }
+            atb[i] += row[i] * o.seconds;
+        }
+    }
+    // Gaussian elimination with partial pivoting.
+    let mut a = ata;
+    let mut b = atb;
+    for col in 0..3 {
+        let pivot = (col..3)
+            .max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))
+            .expect("non-empty pivot range");
+        if a[pivot][col].abs() < 1e-12 {
+            return Err(CoreError::InvalidConfig(
+                "observations do not determine the machine parameters (singular system); \
+                 vary the rank count or batch size across runs"
+                    .to_string(),
+            ));
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        let lead = a[col];
+        for row in (col + 1)..3 {
+            let factor = a[row][col] / lead[col];
+            for (entry, l) in a[row].iter_mut().zip(lead).skip(col) {
+                *entry -= factor * l;
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    let mut x = [0.0f64; 3];
+    for col in (0..3).rev() {
+        let mut acc = b[col];
+        for k in (col + 1)..3 {
+            acc -= a[col][k] * x[k];
+        }
+        x[col] = acc / a[col][col];
+    }
+    Ok(CostModel {
+        alpha: (x[0] / scale[0]).max(0.0),
+        beta: (x[1] / scale[1]).max(0.0),
+        gamma: (x[2] / scale[2]).max(0.0),
+        ..base
+    })
+}
 
 /// Problem/machine parameters for one projected configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -267,6 +373,72 @@ mod tests {
         assert!((t - 2.5).abs() < 1e-9);
         assert!(m.extrapolate_total_time(0.0, &input, 1.0, &input, 1.0).is_err());
         assert!(m.extrapolate_total_time(1.0, &input, 1.0, &input, 0.0).is_err());
+    }
+
+    #[test]
+    fn fit_recovers_known_machine_parameters() {
+        let (alpha, beta, gamma) = (2.0e-6, 8.0e-11, 1.0e-9);
+        let mut obs = Vec::new();
+        // Vary all three counters independently so the system is
+        // well determined.
+        for (s, b, f) in
+            [(10.0, 1.0e8, 2.0e9), (25.0, 3.0e8, 1.0e9), (40.0, 5.0e7, 8.0e9), (15.0, 9.0e8, 4.0e9)]
+        {
+            obs.push(CostObservation {
+                supersteps: s,
+                bytes: b,
+                flops: f,
+                seconds: s * alpha + b * beta + f * gamma,
+            });
+        }
+        let fitted = fit_cost_model(&obs, CostModel::default()).unwrap();
+        assert!((fitted.alpha - alpha).abs() / alpha < 1e-6, "alpha = {}", fitted.alpha);
+        assert!((fitted.beta - beta).abs() / beta < 1e-6, "beta = {}", fitted.beta);
+        assert!((fitted.gamma - gamma).abs() / gamma < 1e-6, "gamma = {}", fitted.gamma);
+        // Base parameters the observations say nothing about are carried.
+        assert_eq!(fitted.mem_per_rank, CostModel::default().mem_per_rank);
+    }
+
+    #[test]
+    fn fit_rejects_underdetermined_systems() {
+        let one = CostObservation { supersteps: 1.0, bytes: 1.0, flops: 1.0, seconds: 1.0 };
+        assert!(fit_cost_model(&[one, one], CostModel::default()).is_err());
+        // Three identical rows are rank deficient.
+        assert!(fit_cost_model(&[one, one, one], CostModel::default()).is_err());
+    }
+
+    #[test]
+    fn fit_clamps_unresolvable_parameters_to_zero() {
+        // seconds depend only on flops; α and β should come out ~0, not
+        // negative.
+        let mut obs = Vec::new();
+        for (s, b, f) in [(10.0, 1.0e8, 2.0e9), (25.0, 3.0e8, 1.0e9), (40.0, 5.0e7, 8.0e9)] {
+            obs.push(CostObservation { supersteps: s, bytes: b, flops: f, seconds: f * 1.0e-9 });
+        }
+        let fitted = fit_cost_model(&obs, CostModel::default()).unwrap();
+        assert!(fitted.alpha >= 0.0 && fitted.beta >= 0.0);
+        assert!((fitted.gamma - 1.0e-9).abs() / 1.0e-9 < 1e-6);
+    }
+
+    #[test]
+    fn observation_from_report_maps_the_measured_fields() {
+        let report = CostReport {
+            rank: 3,
+            msgs_sent: 1,
+            msgs_received: 2,
+            bytes_sent: 100,
+            bytes_received: 200,
+            flops: 300,
+            mem_traffic: 0,
+            supersteps: 7,
+            collectives: 4,
+            measured_seconds: 0.5,
+        };
+        let o = CostObservation::from_report(&report);
+        assert_eq!(o.supersteps, 7.0);
+        assert_eq!(o.bytes, 200.0);
+        assert_eq!(o.flops, 300.0);
+        assert_eq!(o.seconds, 0.5);
     }
 
     #[test]

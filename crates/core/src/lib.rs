@@ -51,6 +51,7 @@ pub mod minhash;
 
 pub use algorithm::{similarity_at_scale, similarity_at_scale_distributed};
 pub use config::SimilarityConfig;
+pub use costmodel::{fit_cost_model, CostObservation, PaperCostModel, ProjectionInput};
 pub use error::{CoreError, CoreResult};
 pub use indicator::SampleCollection;
 pub use jaccard::{jaccard_exact_pairwise, SimilarityResult};

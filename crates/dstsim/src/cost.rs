@@ -71,6 +71,17 @@ impl CostModel {
         self.alpha + bytes as f64 * self.beta + flops as f64 * self.gamma
     }
 
+    /// Per-rank BSP time prediction for one finished report:
+    /// `supersteps·α + bytes_received·β + flops·γ`. This is the per-rank
+    /// view whose maximum [`Self::project`] takes; exposing it lets the
+    /// machine-parameter fit compare predicted against measured seconds
+    /// rank by rank instead of only at the run level.
+    pub fn predicted_seconds(&self, report: &CostReport) -> f64 {
+        report.supersteps as f64 * self.alpha
+            + report.bytes_received as f64 * self.beta
+            + report.flops as f64 * self.gamma
+    }
+
     /// Project the total BSP time of a run from per-rank counters.
     ///
     /// The projection is `supersteps·α + bytes·β + flops·γ +

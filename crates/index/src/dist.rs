@@ -61,6 +61,7 @@
 use gas_core::indicator::SampleCollection;
 use gas_core::minhash::{signature_agreement, MinHashSignature};
 use gas_dstsim::comm::Communicator;
+use serde::{Deserialize, Serialize};
 
 use crate::build::SketchIndex;
 use crate::error::{IndexError, IndexResult};
@@ -1312,6 +1313,411 @@ pub fn dist_query_batch(
     dist_query_batch_stats(world, index, collection, queries, opts).map(|(answers, _)| answers)
 }
 
+// ---- planned mixed placement: replicate hot segments, shard the rest ----
+
+/// How one segment of a snapshot is served under a mixed placement
+/// ([`dist_query_reader_batch_planned`]). The planner (`gas-plan`)
+/// prices both strategies per segment against the α–β–γ machine model
+/// and observed probe heat; the serving path here only *executes* the
+/// decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SegmentPlacement {
+    /// Every rank holds the segment's full signature matrix (installed
+    /// once by [`install_placement`]); candidate rows resolve locally
+    /// and never enter the per-batch keyed exchange. Pays `~rows/p·(p−1)`
+    /// install rows once, then zero fetch traffic per batch — the right
+    /// call for large, old, compacted segments with sustained probe heat.
+    Replicated,
+    /// The segment's rows stay sharded round-robin ([`sample_shard`]);
+    /// non-owned candidates are fetched through the keyed exchange every
+    /// batch. Zero install cost — the right call for small fresh
+    /// segments that compaction will soon rewrite anyway.
+    Sharded,
+}
+
+/// Accounting of one [`install_placement`] round, per rank.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PlacementInstallStats {
+    /// Segments the plan replicates (installed or reused).
+    pub replicated_segments: usize,
+    /// Of those, segments whose replica was carried over from `prior`
+    /// without touching the wire (segments are immutable once sealed,
+    /// so a matching id means matching bytes).
+    pub reused_segments: usize,
+    /// Rows newly assembled into full local replicas this round.
+    pub installed_rows: usize,
+    /// Resident bytes of all replica matrices after the install (in
+    /// addition to the keyed shard this rank keeps for every segment).
+    pub replica_bytes: usize,
+    /// Wire bytes this rank received in the install allgather — equal
+    /// to the simulator's `bytes_received` for the round.
+    pub install_bytes: usize,
+    /// Always 1: the install is a single allgather no matter how many
+    /// segments change placement (zero-payload when nothing does), so
+    /// plan changes never reintroduce O(#segments) collectives.
+    pub collective_calls: usize,
+}
+
+/// One rank's serving state under a mixed placement: the keyed shards
+/// of every segment (probing and sharded serving need them) plus full
+/// local replicas of the segments the plan replicates.
+///
+/// Built collectively by [`install_placement`]; executed per batch by
+/// [`dist_query_reader_batch_planned`]. The replica matrices are
+/// assembled from the very shard rows the keyed exchange would have
+/// shipped, so a replicated segment's rows are byte-identical to the
+/// sharded resolution of the same rows — the planned path's answers
+/// stay bit-identical to the keyed path's (and the single-rank
+/// engine's) under **every** placement.
+pub struct PlannedShards {
+    shards: ReaderShards,
+    placements: Vec<SegmentPlacement>,
+    /// Segment ids in the reader's segment order — the identity the
+    /// next install matches replicas against, and the guard that a
+    /// batch runs against the snapshot it was installed for.
+    seg_ids: Vec<u64>,
+    /// seg_idx → full `n_rows × len` signature matrix.
+    replicas: std::collections::BTreeMap<usize, Vec<u64>>,
+    len: usize,
+}
+
+impl PlannedShards {
+    /// The placement this state serves, in the reader's segment order.
+    pub fn placements(&self) -> &[SegmentPlacement] {
+        &self.placements
+    }
+
+    /// Rows resident on this rank: the keyed shards plus the replicas.
+    pub fn resident_rows(&self) -> usize {
+        self.shards.n_rows() + self.replicas.values().map(|m| m.len() / self.len).sum::<usize>()
+    }
+
+    /// Bytes resident on this rank (shards + replicas).
+    pub fn resident_bytes(&self) -> usize {
+        self.shards.bytes() + self.replica_bytes()
+    }
+
+    /// Bytes of the replica matrices alone.
+    pub fn replica_bytes(&self) -> usize {
+        self.replicas.values().map(|m| m.len() * 8).sum()
+    }
+
+    /// A replicated segment's signature row, resolved locally.
+    fn replica_row(&self, seg_idx: usize, local: u32) -> &[u64] {
+        let matrix = &self.replicas[&seg_idx];
+        &matrix[local as usize * self.len..(local as usize + 1) * self.len]
+    }
+}
+
+/// Collectively install a placement: ship every newly-replicated
+/// segment's shard rows in **one** allgather so each rank can assemble
+/// full local replicas, and carry unchanged replicas over from `prior`
+/// for free (segments are immutable once sealed, so matching ids mean
+/// matching bytes — re-planning an overlapping placement only pays for
+/// the delta).
+///
+/// Every rank must call this with the identical `placements` (one entry
+/// per reader segment, in segment order); the single allgather runs even
+/// when nothing ships, so the collective schedule stays in lockstep and
+/// deterministic. Row streams use the `[key, row...]` framing of the
+/// keyed exchange and are validated the same way — a hole in an
+/// assembled replica is typed corruption, never a panic.
+pub fn install_placement(
+    world: &Communicator,
+    reader: &IndexReader,
+    placements: &[SegmentPlacement],
+    prior: Option<&PlannedShards>,
+) -> IndexResult<(PlannedShards, PlacementInstallStats)> {
+    let p = world.size();
+    let me = world.rank();
+    let len = reader.scheme().len();
+    let segments = reader.segments();
+    if placements.len() != segments.len() {
+        return Err(IndexError::InvalidQuery(format!(
+            "placement has {} entries for a snapshot of {} segments",
+            placements.len(),
+            segments.len()
+        )));
+    }
+    let seg_ids: Vec<u64> = segments.iter().map(|seg| seg.id()).collect();
+    let shards = ReaderShards::build(reader, me, p);
+    let mut stats = PlacementInstallStats::default();
+
+    // Reuse first: any replicated segment whose id had a replica in the
+    // prior state keeps it without touching the wire.
+    let mut replicas = std::collections::BTreeMap::new();
+    let mut installing: Vec<usize> = Vec::new();
+    for (seg_idx, placement) in placements.iter().enumerate() {
+        if *placement != SegmentPlacement::Replicated {
+            continue;
+        }
+        stats.replicated_segments += 1;
+        let prior_replica = prior.and_then(|prev| {
+            prev.seg_ids
+                .iter()
+                .position(|&id| id == seg_ids[seg_idx])
+                .and_then(|prev_idx| prev.replicas.get(&prev_idx))
+        });
+        match prior_replica {
+            Some(matrix) => {
+                replicas.insert(seg_idx, matrix.clone());
+                stats.reused_segments += 1;
+            }
+            None => installing.push(seg_idx),
+        }
+    }
+
+    // One allgather ships this rank's shard rows of every segment being
+    // installed; each row travels once per non-owning rank, exactly what
+    // the keyed exchange would charge to fetch it.
+    let mut payload: Vec<u64> = Vec::new();
+    for &seg_idx in &installing {
+        let shard = shards.segment(seg_idx);
+        for local in 0..segments[seg_idx].n_rows() as u32 {
+            if shard.owns(local) {
+                payload.push(row_key(seg_idx, local));
+                payload.extend_from_slice(shard.row(local));
+            }
+        }
+    }
+    let shipped: Vec<Vec<u64>> = world.allgatherv(&payload)?;
+    stats.collective_calls += 1;
+    stats.install_bytes += foreign_words(&shipped, me) * 8;
+
+    // Assemble each installing segment's full matrix from the streams
+    // (own rows included — every rank shipped its shard), validating
+    // framing, key range, and completeness.
+    let mut matrices: std::collections::BTreeMap<usize, (Vec<u64>, Vec<bool>)> = installing
+        .iter()
+        .map(|&seg_idx| {
+            let rows = segments[seg_idx].n_rows();
+            (seg_idx, (vec![0u64; rows * len], vec![false; rows]))
+        })
+        .collect();
+    for (rank, stream) in shipped.iter().enumerate() {
+        if stream.len() % (len + 1) != 0 {
+            return Err(IndexError::Corrupt {
+                context: format!(
+                    "placement-install stream from rank {rank} is {} words, not a multiple of {}",
+                    stream.len(),
+                    len + 1
+                ),
+            });
+        }
+        for slot in 0..stream.len() / (len + 1) {
+            let base = slot * (len + 1);
+            let key = stream[base];
+            shards.owns_key(key)?; // range validation; ownership is the shipper's
+            let (seg_idx, local) = split_row_key(key);
+            if let Some((matrix, filled)) = matrices.get_mut(&seg_idx) {
+                matrix[local as usize * len..(local as usize + 1) * len]
+                    .copy_from_slice(&stream[base + 1..base + 1 + len]);
+                filled[local as usize] = true;
+            }
+        }
+    }
+    for (seg_idx, (matrix, filled)) in matrices {
+        if let Some(local) = filled.iter().position(|&f| !f) {
+            return Err(IndexError::Corrupt {
+                context: format!(
+                    "no rank shipped row {local} of segment index {seg_idx} during install"
+                ),
+            });
+        }
+        stats.installed_rows += filled.len();
+        replicas.insert(seg_idx, matrix);
+    }
+    stats.replica_bytes = replicas.values().map(|m| m.len() * 8).sum();
+
+    gas_obs::counter("gas_plan_install_bytes_total").add(stats.install_bytes as u64);
+    if me == 0 {
+        gas_obs::counter("gas_plan_installs_total").inc();
+        gas_obs::counter("gas_plan_installed_rows_total").add(stats.installed_rows as u64);
+    }
+    let planned = PlannedShards { shards, placements: placements.to_vec(), seg_ids, replicas, len };
+    Ok((planned, stats))
+}
+
+/// Score one replicated segment's candidates from the local replica —
+/// the same `lsh_top_by` scan as [`score_segment`], with every row
+/// resolving locally. Replica rows are byte-identical to the shard rows
+/// they were assembled from, so the entries (and therefore the merged
+/// answers) match the sharded resolution bit for bit.
+fn score_segment_replica(
+    seg_idx: usize,
+    seg: &Segment,
+    planned: &PlannedShards,
+    signatures: &[MinHashSignature],
+    per_query_candidates: &[Vec<u32>],
+    keep: usize,
+    per_query_entries: &mut [Vec<Scored>],
+) {
+    for (q, (sig, candidates)) in signatures.iter().zip(per_query_candidates).enumerate() {
+        let score_of = |local: u32| -> u32 {
+            signature_agreement(sig.values(), planned.replica_row(seg_idx, local)) as u32
+        };
+        per_query_entries[q].extend(
+            lsh_top_by(&score_of, candidates, keep)
+                .into_iter()
+                .map(|(a, local)| (a, seg.global_id(local as usize))),
+        );
+    }
+}
+
+/// Serve a batch of top-k queries under a mixed per-segment placement:
+/// replicated segments resolve every candidate locally, sharded ones go
+/// through the keyed exchange — in the **same** single request/fetch
+/// pair, so the batch still costs five collectives (six with exact
+/// re-ranking) no matter how the plan splits the snapshot.
+///
+/// Band probing stays band-sharded for every segment regardless of its
+/// placement (probe work stays balanced at `~b/p` tables per rank, and
+/// the candidate sets — hence the answers — are those of
+/// [`dist_query_reader_batch_stats`] by construction); only *row
+/// resolution* changes. A replicated segment's candidates never enter
+/// the `wanted` list, so its per-batch fetch traffic is exactly zero —
+/// the term the planner trades against the one-time install cost.
+/// Answers are bit-identical to the keyed path and the single-rank
+/// engine under every placement; the `query_serving` proptest pins that
+/// across random placements.
+///
+/// `planned` must have been installed (every rank with the identical
+/// plan) against this same snapshot — a generation mismatch is a typed
+/// error on every rank before any collective runs.
+pub fn dist_query_reader_batch_planned(
+    world: &Communicator,
+    reader: &IndexReader,
+    collection: Option<&SampleCollection>,
+    queries: Option<&[Vec<u64>]>,
+    opts: &QueryOptions,
+    planned: &PlannedShards,
+) -> IndexResult<(Vec<Vec<Neighbor>>, DistQueryStats)> {
+    let p = world.size();
+    let me = world.rank();
+    let len = reader.scheme().len();
+    let seg_ids: Vec<u64> = reader.segments().iter().map(|seg| seg.id()).collect();
+    if planned.seg_ids != seg_ids || planned.len != len {
+        return Err(IndexError::InvalidQuery(
+            "placement was installed for a different snapshot".into(),
+        ));
+    }
+    let mut stats =
+        DistQueryStats { replicated_bytes: reader.n_rows() * len * 8, ..Default::default() };
+
+    let (signatures, raw_queries) = {
+        let _bcast_span = gas_obs::span("dist", "bcast");
+        broadcast_query_batch(world, reader, queries, opts, &mut stats)?
+    };
+    let keep = opts.keep();
+    let nqueries = signatures.len();
+    stats.shard_rows = planned.shards.n_rows();
+    stats.shard_bytes = planned.shards.bytes();
+
+    // Probe exactly as the keyed path does — placement never changes
+    // which candidates surface — but only sharded segments' non-owned
+    // candidates enter the request list.
+    let (per_segment_candidates, wanted) = {
+        let mut probe_span = gas_obs::span("dist", "probe");
+        let per_segment_candidates =
+            live_candidates_by_segment(reader, &signatures, |band| band_shard(band, p) == me);
+        let mut wanted: Vec<u64> = Vec::new();
+        for (seg_idx, per_query) in per_segment_candidates.iter().enumerate() {
+            if planned.placements[seg_idx] == SegmentPlacement::Replicated {
+                continue;
+            }
+            let shard = planned.shards.segment(seg_idx);
+            for candidates in per_query {
+                wanted.extend(
+                    candidates
+                        .iter()
+                        .filter(|&&local| !shard.owns(local))
+                        .map(|&l| row_key(seg_idx, l)),
+                );
+            }
+        }
+        wanted.sort_unstable();
+        wanted.dedup();
+        probe_span.annotate("wanted_rows", wanted.len() as f64);
+        (per_segment_candidates, wanted)
+    };
+
+    let fetched = {
+        let _exchange_span = gas_obs::span("dist", "exchange");
+        exchange_keyed_rows(world, &planned.shards, &wanted, &mut stats)?
+    };
+    stats.fetched_rows = fetched.n_rows();
+    stats.fetched_bytes = fetched.data_bytes();
+    stats.fetched_fingerprint = fetched.fingerprint();
+
+    let mut per_query_entries: Vec<Vec<Scored>> = vec![Vec::new(); nqueries];
+    {
+        let _score_span = gas_obs::span("dist", "score");
+        for (seg_idx, seg) in reader.segments().iter().enumerate() {
+            let shard = planned.shards.segment(seg_idx);
+            let per_query = &per_segment_candidates[seg_idx];
+            if planned.placements[seg_idx] == SegmentPlacement::Replicated {
+                // Every candidate resolves from the local replica.
+                let mut distinct: Vec<u32> = per_query.iter().flatten().copied().collect();
+                distinct.sort_unstable();
+                distinct.dedup();
+                stats.per_segment.push(SegmentExchangeStats {
+                    segment_id: seg.id(),
+                    shard_rows: shard.n_rows(),
+                    candidate_rows: distinct.len(),
+                    owned_rows: distinct.len(),
+                    fetched_rows: 0,
+                });
+                score_segment_replica(
+                    seg_idx,
+                    seg,
+                    planned,
+                    &signatures,
+                    per_query,
+                    keep,
+                    &mut per_query_entries,
+                );
+            } else {
+                stats.per_segment.push(segment_exchange_stats(seg, shard, per_query));
+                let view = SegmentView { idx: seg_idx, seg, shard };
+                score_segment(
+                    &view,
+                    &fetched,
+                    &signatures,
+                    per_query,
+                    keep,
+                    &mut per_query_entries,
+                );
+            }
+        }
+    }
+
+    let partials: Vec<Vec<Scored>> =
+        per_query_entries.into_iter().map(|entries| merge_scored_sources(entries, keep)).collect();
+
+    let answers = {
+        let _merge_span = gas_obs::span("dist", "merge");
+        merge_partials_and_finalize(
+            world,
+            partials,
+            &raw_queries,
+            collection,
+            opts,
+            len,
+            &mut stats,
+        )?
+    };
+    gas_obs::counter("gas_dist_bcast_bytes_total").add(stats.bcast_bytes as u64);
+    gas_obs::counter("gas_dist_request_bytes_total").add(stats.request_bytes as u64);
+    gas_obs::counter("gas_dist_fetch_bytes_total").add(stats.fetch_bytes as u64);
+    gas_obs::counter("gas_dist_merge_bytes_total").add(stats.merge_bytes as u64);
+    if me == 0 {
+        gas_obs::counter("gas_plan_planned_batches_total").inc();
+        gas_obs::counter("gas_dist_query_batches_total").inc();
+        gas_obs::counter("gas_dist_collectives_total").add(stats.collective_calls as u64);
+    }
+    Ok((answers, stats))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1888,6 +2294,267 @@ mod tests {
                 "rank {rank} must fail typed, got ok={}",
                 result.is_ok()
             );
+        }
+    }
+
+    // ---- planned mixed placement ----
+
+    /// Deterministic mixed placement over `segments`: replicate roughly
+    /// every other segment, seeded so different calls vary the pattern.
+    fn mixed_placement(segments: usize, seed: usize) -> Vec<SegmentPlacement> {
+        (0..segments)
+            .map(|i| {
+                if (i + seed) % 2 == 0 {
+                    SegmentPlacement::Replicated
+                } else {
+                    SegmentPlacement::Sharded
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn planned_placement_answers_match_keyed_and_single_rank() {
+        // The tentpole equivalence: under every placement — all
+        // sharded, all replicated, mixed — the planned path's answers
+        // are bit-identical to the keyed path's (itself pinned to the
+        // single-rank engine), batch collectives stay constant, and a
+        // replicated segment's fetch traffic is exactly zero.
+        let collection = workload();
+        for signer in [SignerKind::KMins, SignerKind::Oph] {
+            let config = IndexConfig::default()
+                .with_signature_len(64)
+                .with_threshold(0.4)
+                .with_signer(signer);
+            let segments = 5usize;
+            let writer = segmented_writer(&collection, &config, segments, &[1, 7, 13]);
+            let reader = writer.reader();
+            let queries: Vec<Vec<u64>> =
+                (0..6).map(|i| collection.sample(i * 3).to_vec()).collect();
+            for rerank in [false, true] {
+                let opts = QueryOptions { top_k: 5, rerank_exact: rerank, ..Default::default() };
+                let reference = QueryEngine::snapshot_with_collection(reader.clone(), &collection)
+                    .query_batch(&queries, &opts)
+                    .unwrap();
+                for p in [1usize, 3, 4] {
+                    for placements in [
+                        vec![SegmentPlacement::Sharded; segments],
+                        vec![SegmentPlacement::Replicated; segments],
+                        mixed_placement(segments, 0),
+                        mixed_placement(segments, 1),
+                    ] {
+                        let out = Runtime::new(p)
+                            .run(|ctx| {
+                                let (planned, install) = ctx.expect_ok(
+                                    "install",
+                                    install_placement(ctx.world(), &reader, &placements, None),
+                                );
+                                let q = if ctx.rank() == 0 { Some(&queries[..]) } else { None };
+                                let (answers, stats) = ctx.expect_ok(
+                                    "planned",
+                                    dist_query_reader_batch_planned(
+                                        ctx.world(),
+                                        &reader,
+                                        Some(&collection),
+                                        q,
+                                        &opts,
+                                        &planned,
+                                    ),
+                                );
+                                (answers, stats, install)
+                            })
+                            .unwrap();
+                        for (rank, (answers, stats, install)) in out.results.iter().enumerate() {
+                            assert_eq!(
+                                answers, &reference,
+                                "planned diverges (p={p}, rank={rank}, rerank={rerank}, \
+                                 {signer}, {placements:?})"
+                            );
+                            assert_eq!(install.collective_calls, 1);
+                            assert_eq!(stats.collective_calls, if rerank { 6 } else { 5 });
+                            assert_eq!(stats.per_segment.len(), segments);
+                            for (seg_idx, seg) in stats.per_segment.iter().enumerate() {
+                                assert_eq!(seg.owned_rows + seg.fetched_rows, seg.candidate_rows);
+                                if placements[seg_idx] == SegmentPlacement::Replicated {
+                                    assert_eq!(
+                                        seg.fetched_rows, 0,
+                                        "replicated segment fetched rows over the wire"
+                                    );
+                                }
+                            }
+                            // All-replicated serving fetches nothing at all.
+                            if placements.iter().all(|&pl| pl == SegmentPlacement::Replicated) {
+                                assert_eq!(stats.fetched_rows, 0);
+                                assert_eq!(stats.fetch_bytes, 0);
+                            }
+                            // All-sharded install ships nothing at all.
+                            if placements.iter().all(|&pl| pl == SegmentPlacement::Sharded) {
+                                assert_eq!(install.install_bytes, 0);
+                                assert_eq!(install.installed_rows, 0);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn planned_install_and_batch_bytes_sum_to_the_cost_report_exactly() {
+        // The wire-accounting pin for the planned path: install bytes
+        // plus every batch's phase bytes equal the simulator's per-rank
+        // bytes_received, and the collective counts match the tracker.
+        let collection = workload();
+        let config = IndexConfig::default().with_signature_len(64).with_threshold(0.4);
+        let writer = segmented_writer(&collection, &config, 4, &[2, 9]);
+        let reader = writer.reader();
+        let queries: Vec<Vec<u64>> = (0..5).map(|i| collection.sample(i * 4).to_vec()).collect();
+        let placements = mixed_placement(4, 0);
+        for rerank in [false, true] {
+            let opts = QueryOptions { top_k: 4, rerank_exact: rerank, ..Default::default() };
+            for p in [1usize, 2, 4] {
+                let batches = 3usize;
+                let out = Runtime::new(p)
+                    .run(|ctx| {
+                        let (planned, install) = ctx.expect_ok(
+                            "install",
+                            install_placement(ctx.world(), &reader, &placements, None),
+                        );
+                        let mut wire = install.install_bytes;
+                        let mut collectives = install.collective_calls;
+                        for _ in 0..batches {
+                            let q = if ctx.rank() == 0 { Some(&queries[..]) } else { None };
+                            let (_, stats) = ctx.expect_ok(
+                                "planned",
+                                dist_query_reader_batch_planned(
+                                    ctx.world(),
+                                    &reader,
+                                    Some(&collection),
+                                    q,
+                                    &opts,
+                                    &planned,
+                                ),
+                            );
+                            wire += stats.wire_bytes();
+                            collectives += stats.collective_calls;
+                        }
+                        (wire, collectives)
+                    })
+                    .unwrap();
+                for (rank, ((wire, collectives), report)) in
+                    out.results.iter().zip(&out.reports).enumerate()
+                {
+                    assert_eq!(
+                        *wire as u64, report.bytes_received,
+                        "p={p}, rank={rank}, rerank={rerank}: install+batch bytes diverge \
+                         from the wire"
+                    );
+                    assert_eq!(
+                        *collectives as u64, report.collectives,
+                        "p={p}, rank={rank}, rerank={rerank}: collective count diverges"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reinstalling_an_overlapping_placement_ships_only_the_delta() {
+        // Replicas carry over by segment id: re-planning the identical
+        // placement ships zero bytes, and flipping one segment from
+        // sharded to replicated pays only that segment's foreign rows —
+        // while the collective count stays exactly one either way.
+        let collection = workload();
+        let config = IndexConfig::default().with_signature_len(32);
+        let writer = segmented_writer(&collection, &config, 4, &[]);
+        let reader = writer.reader();
+        let p = 4usize;
+        let initial = mixed_placement(4, 0); // segments 0 and 2 replicated
+        let mut widened = initial.clone();
+        widened[1] = SegmentPlacement::Replicated;
+
+        let out = Runtime::new(p)
+            .run(|ctx| {
+                let (planned, first) = ctx
+                    .expect_ok("install", install_placement(ctx.world(), &reader, &initial, None));
+                let (planned2, again) = ctx.expect_ok(
+                    "reinstall",
+                    install_placement(ctx.world(), &reader, &initial, Some(&planned)),
+                );
+                let (_, delta) = ctx.expect_ok(
+                    "widen",
+                    install_placement(ctx.world(), &reader, &widened, Some(&planned2)),
+                );
+                (first, again, delta)
+            })
+            .unwrap();
+        let seg1_rows = reader.segments()[1].n_rows();
+        for (rank, (first, again, delta)) in out.results.iter().enumerate() {
+            assert_eq!(first.replicated_segments, 2);
+            assert_eq!(first.reused_segments, 0);
+            assert!(first.installed_rows > 0);
+
+            assert_eq!(again.replicated_segments, 2, "rank={rank}");
+            assert_eq!(again.reused_segments, 2);
+            assert_eq!(again.installed_rows, 0);
+            assert_eq!(again.install_bytes, 0, "identical plan must ship nothing");
+            assert_eq!(again.collective_calls, 1, "the empty install still synchronizes");
+
+            assert_eq!(delta.replicated_segments, 3);
+            assert_eq!(delta.reused_segments, 2);
+            assert_eq!(delta.installed_rows, seg1_rows, "only the flipped segment installs");
+            assert_eq!(delta.collective_calls, 1);
+        }
+    }
+
+    #[test]
+    fn planned_batch_rejects_a_placement_from_another_snapshot() {
+        // Install against a 2-segment snapshot, then serve a batch over
+        // a grown 3-segment snapshot of the same writer: a typed error
+        // on every rank, before any collective can deadlock the world.
+        let collection = workload();
+        let config = IndexConfig::default().with_signature_len(16);
+        let mut writer = IndexOptions::from_config(config).open_writer().unwrap();
+        for i in 0..8 {
+            writer.add(format!("s{i}"), collection.sample(i).to_vec()).unwrap();
+        }
+        writer.commit().unwrap();
+        let old_reader = writer.reader();
+        for i in 8..12 {
+            writer.add(format!("s{i}"), collection.sample(i).to_vec()).unwrap();
+        }
+        writer.commit().unwrap();
+        let new_reader = writer.reader();
+        assert_ne!(old_reader.segments().len(), new_reader.segments().len());
+
+        let queries: Vec<Vec<u64>> = vec![collection.sample(0).to_vec()];
+        let opts = QueryOptions { top_k: 3, ..Default::default() };
+        let out = Runtime::new(3)
+            .run(|ctx| {
+                let placements = vec![SegmentPlacement::Replicated; old_reader.segments().len()];
+                let (planned, _) = ctx.expect_ok(
+                    "install",
+                    install_placement(ctx.world(), &old_reader, &placements, None),
+                );
+                let q = if ctx.rank() == 0 { Some(&queries[..]) } else { None };
+                dist_query_reader_batch_planned(ctx.world(), &new_reader, None, q, &opts, &planned)
+            })
+            .unwrap();
+        for result in out.results {
+            assert!(
+                matches!(result, Err(IndexError::InvalidQuery(_))),
+                "stale placement must be a typed error"
+            );
+        }
+        // A plan sized for the wrong snapshot is rejected at install.
+        let bad = Runtime::new(2)
+            .run(|ctx| {
+                install_placement(ctx.world(), &new_reader, &[SegmentPlacement::Sharded], None)
+                    .map(|_| ())
+            })
+            .unwrap();
+        for result in bad.results {
+            assert!(matches!(result, Err(IndexError::InvalidQuery(_))));
         }
     }
 }

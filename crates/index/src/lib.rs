@@ -115,9 +115,11 @@ pub use build::{BandBuckets, IndexConfig, SketchIndex};
 pub use container::{Container, ContainerWriter};
 pub use dist::{
     dist_query_batch, dist_query_batch_stats, dist_query_reader_batch,
-    dist_query_reader_batch_replicated, dist_query_reader_batch_stats,
-    dist_query_reader_batch_stats_per_segment, dist_query_reader_page, DegradedReport,
-    DistQueryStats, ReaderShards, SegmentExchangeStats, SignatureShard,
+    dist_query_reader_batch_planned, dist_query_reader_batch_replicated,
+    dist_query_reader_batch_stats, dist_query_reader_batch_stats_per_segment,
+    dist_query_reader_page, install_placement, DegradedReport, DistQueryStats,
+    PlacementInstallStats, PlannedShards, ReaderShards, SegmentExchangeStats, SegmentPlacement,
+    SignatureShard,
 };
 pub use error::{IndexError, IndexResult};
 pub use gas_chaos::{ChaosStorage, FaultKind, FaultPlan, RealFs, RetryPolicy, Storage};

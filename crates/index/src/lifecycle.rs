@@ -1336,6 +1336,25 @@ impl Default for CompactionPolicy {
 }
 
 impl CompactionPolicy {
+    /// Return a copy with the given geometric tier width (validated by
+    /// [`Compactor::new`]; an autotuner's natural entry point).
+    pub fn with_tier_factor(mut self, tier_factor: usize) -> Self {
+        self.tier_factor = tier_factor;
+        self
+    }
+
+    /// Return a copy with the given minimum merge width.
+    pub fn with_min_merge(mut self, min_merge: usize) -> Self {
+        self.min_merge = min_merge;
+        self
+    }
+
+    /// Return a copy with the given dead-row rewrite trigger percentage.
+    pub fn with_rewrite_dead_pct(mut self, pct: u8) -> Self {
+        self.rewrite_dead_pct = pct;
+        self
+    }
+
     /// The tier of a segment with `live_rows` live rows.
     pub fn tier(&self, live_rows: usize) -> usize {
         let mut tier = 0usize;
@@ -1589,6 +1608,18 @@ mod tests {
         .is_err());
         assert!(Compactor::new(CompactionPolicy { rewrite_dead_pct: 101, ..Default::default() })
             .is_err());
+    }
+
+    #[test]
+    fn compaction_policy_builders_set_each_knob() {
+        let p = CompactionPolicy::default()
+            .with_tier_factor(6)
+            .with_min_merge(3)
+            .with_rewrite_dead_pct(50);
+        assert_eq!((p.tier_factor, p.min_merge, p.rewrite_dead_pct), (6, 3, 50));
+        // Builders feed the same validation as literal construction.
+        assert!(Compactor::new(CompactionPolicy::default().with_tier_factor(1)).is_err());
+        assert!(Compactor::new(p).is_ok());
     }
 
     #[test]

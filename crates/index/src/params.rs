@@ -32,31 +32,40 @@ impl LshParams {
         Ok(LshParams { bands, rows })
     }
 
+    /// Every `(bands, rows)` split with `b · r = signature_len`, ordered
+    /// by increasing `rows` (so from the flattest S-curve to the
+    /// sharpest). This is the candidate set [`Self::for_threshold`]
+    /// searches and the one an autotuner grid-searches over.
+    pub fn divisor_splits(signature_len: usize) -> IndexResult<Vec<Self>> {
+        if signature_len == 0 {
+            return Err(IndexError::InvalidConfig("signature length must be positive".into()));
+        }
+        Ok((1..=signature_len)
+            .filter(|rows| signature_len % rows == 0)
+            .map(|rows| LshParams { bands: signature_len / rows, rows })
+            .collect())
+    }
+
     /// Choose `(bands, rows)` for a signature of length `signature_len`
     /// so the banding S-curve's inflection `(1/b)^(1/r)` is as close as
     /// possible to `threshold`. Every candidate split uses the whole
     /// signature (`b · r = signature_len`, over the divisors of the
     /// length), so estimator precision is never silently discarded.
     pub fn for_threshold(signature_len: usize, threshold: f64) -> IndexResult<Self> {
-        if signature_len == 0 {
-            return Err(IndexError::InvalidConfig("signature length must be positive".into()));
-        }
         if !(threshold > 0.0 && threshold < 1.0) {
             return Err(IndexError::InvalidConfig(format!(
                 "threshold must lie strictly between 0 and 1 (got {threshold})"
             )));
         }
-        // `b = len, r = 1` is always a valid split; improve from there.
-        let mut best = LshParams { bands: signature_len, rows: 1 };
+        let splits = Self::divisor_splits(signature_len)?;
+        // On ties the flattest split (fewest rows per band) wins, matching
+        // the enumeration order.
+        let mut best = splits[0];
         let mut best_err = (best.threshold() - threshold).abs();
-        for rows in 2..=signature_len {
-            if signature_len % rows != 0 {
-                continue;
-            }
-            let candidate = LshParams { bands: signature_len / rows, rows };
+        for candidate in &splits[1..] {
             let err = (candidate.threshold() - threshold).abs();
             if err < best_err {
-                best = candidate;
+                best = *candidate;
                 best_err = err;
             }
         }
@@ -105,6 +114,17 @@ mod tests {
         assert!(LshParams::for_threshold(128, 0.0).is_err());
         assert!(LshParams::for_threshold(128, 1.0).is_err());
         assert!(LshParams::for_threshold(128, -3.0).is_err());
+    }
+
+    #[test]
+    fn divisor_splits_cover_exactly_the_divisors() {
+        let splits = LshParams::divisor_splits(12).unwrap();
+        let pairs: Vec<(usize, usize)> = splits.iter().map(|p| (p.bands(), p.rows())).collect();
+        assert_eq!(pairs, vec![(12, 1), (6, 2), (4, 3), (3, 4), (2, 6), (1, 12)]);
+        for p in &splits {
+            assert_eq!(p.signature_len(), 12);
+        }
+        assert!(LshParams::divisor_splits(0).is_err());
     }
 
     #[test]

@@ -254,6 +254,20 @@ pub(crate) fn merge_scored_sources(mut entries: Vec<Scored>, keep: usize) -> Vec
     entries
 }
 
+/// Record one segment probe in the planner's probe-heat counters: the
+/// aggregate `gas_plan_segment_probes_total` / `_candidates_total` pair
+/// plus their per-segment `..._seg<id>_total` variants. This is the
+/// observed signal `gas-plan`'s placement planner ranks segments "hot"
+/// by, bumped on every probe of both the local engine and the
+/// distributed prober so serving and planning see the same heat.
+pub(crate) fn record_probe_heat(segment_id: u64, candidates: usize) {
+    gas_obs::counter("gas_plan_segment_probes_total").inc();
+    gas_obs::counter("gas_plan_segment_candidates_total").add(candidates as u64);
+    gas_obs::counter(&gas_obs::segment_counter_name("gas_plan_segment_probes", segment_id)).inc();
+    gas_obs::counter(&gas_obs::segment_counter_name("gas_plan_segment_candidates", segment_id))
+        .add(candidates as u64);
+}
+
 /// The candidate *local rows* of `seg` for a query signature, restricted
 /// to bands `band_filter` admits and to rows whose global id is live
 /// under `reader`'s tombstones. Shared by the local engine and the
@@ -288,7 +302,11 @@ pub(crate) fn live_candidates_by_segment<F: Fn(usize) -> bool>(
         .map(|seg| {
             signatures
                 .iter()
-                .map(|sig| live_segment_candidates(reader, seg, sig, &band_filter))
+                .map(|sig| {
+                    let candidates = live_segment_candidates(reader, seg, sig, &band_filter);
+                    record_probe_heat(seg.id(), candidates.len());
+                    candidates
+                })
                 .collect()
         })
         .collect()
@@ -312,6 +330,7 @@ pub(crate) fn scored_over_reader(
             let mut probe_span = gas_obs::span("serve", "probe");
             let candidates = live_segment_candidates(reader, seg, sig, |_| true);
             probe_span.annotate("candidates", candidates.len() as f64);
+            record_probe_heat(seg.id(), candidates.len());
             candidates
         };
         let top = {

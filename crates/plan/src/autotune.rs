@@ -1,0 +1,479 @@
+//! Knob autotuning from machine parameters and measured reports.
+//!
+//! Chooses the four knobs the paper's analysis section reasons about,
+//! using the same α–β–γ cost model the figures are generated from:
+//!
+//! - the 2.5D SUMMA grid `(r, q, c)` — replication `c` trades memory for
+//!   bandwidth ([`Autotuner::tune_grid`] minimizes the paper's per-batch
+//!   cost over the feasible divisors of `p`),
+//! - the LSH `(b, r)` banding split and the OPH signature length —
+//!   [`Autotuner::tune_lsh`] minimizes modeled per-query work subject to
+//!   recall/precision constraints on the collision S-curve,
+//! - the compaction tier factor — [`Autotuner::tune_tier_factor`]
+//!   balances rewrite streaming against per-query probe fan-out.
+//!
+//! Workload facts come from the bench JSON reports
+//! (`comm_volume.json`, `query_throughput.json`) via
+//! [`WorkloadProfile::from_reports`], machine facts from
+//! [`MachineParams`] — measured when `results/machine_params.json`
+//! exists, the paper preset otherwise.
+
+use std::path::Path;
+
+use gas_core::costmodel::{PaperCostModel, ProjectionInput};
+use gas_dstsim::topology::ProcessorGrid;
+use gas_index::LshParams;
+use serde::{Deserialize, Serialize};
+
+use crate::error::{PlanError, PlanResult};
+use crate::machine::MachineParams;
+use crate::report::{number, read_report_rows};
+
+/// Workload facts the tuner prices against.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadProfile {
+    /// Number of indexed samples `n`.
+    pub n_samples: usize,
+    /// Jaccard similarity of the neighbours queries must find.
+    pub sim_near: f64,
+    /// Jaccard similarity of typical background pairs.
+    pub sim_background: f64,
+    /// Minimum collision probability required at `sim_near` (recall
+    /// floor for a feasible LSH split).
+    pub min_near_collision: f64,
+    /// Maximum collision probability allowed at `sim_background`
+    /// (precision cap).
+    pub max_background_collision: f64,
+}
+
+impl Default for WorkloadProfile {
+    fn default() -> Self {
+        WorkloadProfile {
+            n_samples: 1000,
+            sim_near: 0.8,
+            sim_background: 0.2,
+            min_near_collision: 0.9,
+            max_background_collision: 0.35,
+        }
+    }
+}
+
+impl WorkloadProfile {
+    /// Derive a profile from the bench reports: `query_throughput.json`
+    /// supplies the indexed sample count (`n` of the first row),
+    /// `comm_volume.json` is validated to exist and be well formed (its
+    /// volumes feed the grid input via
+    /// [`Autotuner::projection_from_comm_report`]). Similarity targets
+    /// keep their defaults unless overridden afterwards.
+    pub fn from_reports(
+        query_throughput: impl AsRef<Path>,
+        comm_volume: impl AsRef<Path>,
+    ) -> PlanResult<Self> {
+        let rows = read_report_rows(query_throughput)?;
+        let row = rows
+            .first()
+            .ok_or_else(|| PlanError::Parse("query_throughput report has no rows".into()))?;
+        let n = number(row, "n")? as usize;
+        read_report_rows(comm_volume)?; // shape check only
+        Ok(WorkloadProfile { n_samples: n.max(1), ..Default::default() })
+    }
+}
+
+/// The tuned SUMMA grid.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GridChoice {
+    /// Grid dimensions `[r, q, c]`.
+    pub dims: [usize; 3],
+    /// Replication factor `c` (equals `dims[2]`).
+    pub replication: usize,
+    /// Modeled per-batch seconds at this grid.
+    pub predicted_batch_seconds: f64,
+}
+
+/// The tuned LSH configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LshChoice {
+    /// The `(b, r)` split.
+    pub params: LshParams,
+    /// Signature length `b · r` in hash words.
+    pub signature_len: usize,
+    /// Modeled per-query work (arbitrary units, comparable across
+    /// candidates).
+    pub predicted_query_cost: f64,
+    /// Collision probability at the near-neighbour similarity.
+    pub near_collision: f64,
+    /// Collision probability at the background similarity.
+    pub background_collision: f64,
+}
+
+/// Everything the tuner chooses, in one struct.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TunedConfig {
+    /// SUMMA grid and replication.
+    pub grid: GridChoice,
+    /// LSH split and signature length.
+    pub lsh: LshChoice,
+    /// Compaction tier factor.
+    pub tier_factor: usize,
+}
+
+/// Prices knob choices against machine parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Autotuner {
+    params: MachineParams,
+}
+
+impl Autotuner {
+    /// A tuner for the given machine.
+    pub fn new(params: MachineParams) -> PlanResult<Self> {
+        params.validate()?;
+        Ok(Autotuner { params })
+    }
+
+    /// The machine being tuned for.
+    pub fn params(&self) -> &MachineParams {
+        &self.params
+    }
+
+    /// Build a [`ProjectionInput`] from a `comm_volume.json` report row
+    /// at the given rank count (falling back to the largest measured rank
+    /// count at or below it): the measured per-rank volume scales the
+    /// nonzero estimate so the grid choice prices measured communication,
+    /// not a guess.
+    pub fn projection_from_comm_report(
+        &self,
+        comm_volume: impl AsRef<Path>,
+        n_samples: usize,
+        ranks: usize,
+    ) -> PlanResult<ProjectionInput> {
+        let rows = read_report_rows(comm_volume)?;
+        let mut chosen: Option<(usize, f64)> = None;
+        for row in &rows {
+            let r = number(row, "ranks")? as usize;
+            let bytes = number(row, "ours_bytes_per_rank")?;
+            if r <= ranks && chosen.map_or(true, |(best, _)| r > best) {
+                chosen = Some((r, bytes));
+            }
+        }
+        let (measured_ranks, bytes_per_rank) = chosen.ok_or_else(|| {
+            PlanError::Parse(format!("comm_volume report has no row with ranks ≤ {ranks}"))
+        })?;
+        // Words moved per rank, scaled to the target rank count.
+        let words_total = bytes_per_rank / 8.0 * measured_ranks as f64;
+        Ok(ProjectionInput {
+            n_samples,
+            total_nonzeros: words_total.max(1.0),
+            total_flops: (words_total * 64.0).max(1.0),
+            ranks,
+            mem_words_per_rank: (self.params.mem_per_rank / 8) as f64,
+            replication: 1,
+        })
+    }
+
+    /// Choose the SUMMA grid `(r, q, c)` for `input.ranks` ranks:
+    /// evaluate the paper's per-batch cost at every replication factor
+    /// `c` dividing `p` whose replicated accumulator (`c · n² / p` words
+    /// per rank) fits in memory, and keep the cheapest. `(r, q)` follow
+    /// from the balanced rectangle over `p / c`.
+    pub fn tune_grid(&self, input: &ProjectionInput) -> PlanResult<GridChoice> {
+        let p = input.ranks;
+        if p == 0 {
+            return Err(PlanError::InvalidConfig("grid tuning needs at least one rank".into()));
+        }
+        let model = PaperCostModel::new(self.params.to_cost_model());
+        let batches = (input.total_nonzeros / (input.mem_words_per_rank * p as f64)).max(1.0);
+        let z_batch = input.total_nonzeros / batches;
+        let flops_batch = input.total_flops / batches;
+        let n = input.n_samples as f64;
+        let mut best: Option<GridChoice> = None;
+        for c in 1..=p {
+            if p % c != 0 {
+                continue;
+            }
+            // Memory feasibility: the c-fold replicated accumulator must
+            // fit (c = 1 is always admitted as the fallback).
+            if c > 1 && c as f64 * n * n / p as f64 > input.mem_words_per_rank {
+                continue;
+            }
+            let candidate = ProjectionInput { replication: c, ..*input };
+            let cost = model
+                .batch_cost(z_batch, &candidate, flops_batch)
+                .map_err(|e| PlanError::InvalidConfig(e.to_string()))?;
+            let grid = ProcessorGrid::rect_3d(p, c)
+                .map_err(|e| PlanError::InvalidConfig(e.to_string()))?;
+            let choice = GridChoice {
+                dims: [grid.rows(), grid.cols(), grid.layers()],
+                replication: c,
+                predicted_batch_seconds: cost,
+            };
+            if best.as_ref().map_or(true, |b| cost < b.predicted_batch_seconds) {
+                best = Some(choice);
+            }
+        }
+        best.ok_or_else(|| PlanError::InvalidConfig("no feasible grid".into()))
+    }
+
+    /// Modeled per-query work of one LSH configuration: signature
+    /// agreement over `len` words, `b` bucket probes, and verification of
+    /// the expected background candidates (`n · P(sim_background)`
+    /// candidates at `len` words each).
+    fn lsh_cost(&self, profile: &WorkloadProfile, split: &LshParams) -> f64 {
+        let len = split.signature_len() as f64;
+        let expected_candidates =
+            profile.n_samples as f64 * split.collision_probability(profile.sim_background);
+        len + split.bands() as f64 + expected_candidates * len
+    }
+
+    /// Choose the signature length and `(b, r)` split: over every
+    /// candidate length and every divisor split, keep the cheapest
+    /// configuration whose collision S-curve clears the profile's recall
+    /// floor at `sim_near` and stays under its precision cap at
+    /// `sim_background`.
+    pub fn tune_lsh(
+        &self,
+        profile: &WorkloadProfile,
+        candidate_lens: &[usize],
+    ) -> PlanResult<LshChoice> {
+        if candidate_lens.is_empty() {
+            return Err(PlanError::InvalidConfig("no candidate signature lengths".into()));
+        }
+        let mut best: Option<LshChoice> = None;
+        for &len in candidate_lens {
+            let splits = LshParams::divisor_splits(len)
+                .map_err(|e| PlanError::InvalidConfig(e.to_string()))?;
+            for split in splits {
+                let near = split.collision_probability(profile.sim_near);
+                let background = split.collision_probability(profile.sim_background);
+                if near < profile.min_near_collision
+                    || background > profile.max_background_collision
+                {
+                    continue;
+                }
+                let cost = self.lsh_cost(profile, &split);
+                if best.as_ref().map_or(true, |b| cost < b.predicted_query_cost) {
+                    best = Some(LshChoice {
+                        params: split,
+                        signature_len: len,
+                        predicted_query_cost: cost,
+                        near_collision: near,
+                        background_collision: background,
+                    });
+                }
+            }
+        }
+        best.ok_or_else(|| {
+            PlanError::InvalidConfig(format!(
+                "no (b, r) split over lengths {candidate_lens:?} reaches collision ≥ {} at \
+                 similarity {} while staying ≤ {} at {}",
+                profile.min_near_collision,
+                profile.sim_near,
+                profile.max_background_collision,
+                profile.sim_background
+            ))
+        })
+    }
+
+    /// Choose the compaction tier factor `f ∈ [2, 8]`: a tiered index of
+    /// `R` rows flushed `rows_per_flush` at a time settles into
+    /// `log_f(R / flush)` levels of up to `f` segments each; each level
+    /// rewrite streams the rows (cost via `stream_bw`), and every query
+    /// probes every segment (cost via `α` per probe). The factor
+    /// minimizes rewrite streaming plus probe fan-out at the observed
+    /// query-to-write ratio.
+    pub fn tune_tier_factor(
+        &self,
+        total_rows: usize,
+        rows_per_flush: usize,
+        queries_per_flush: f64,
+    ) -> PlanResult<usize> {
+        if total_rows == 0
+            || rows_per_flush == 0
+            || queries_per_flush.is_nan()
+            || queries_per_flush < 0.0
+        {
+            return Err(PlanError::InvalidConfig(
+                "tier tuning needs positive row counts and a non-negative query rate".into(),
+            ));
+        }
+        let row_bytes = 8.0 * 64.0; // a signature row, order of magnitude
+        let ratio = (total_rows as f64 / rows_per_flush as f64).max(2.0);
+        let mut best = (2usize, f64::INFINITY);
+        for f in 2..=8usize {
+            let levels = (ratio.ln() / (f as f64).ln()).ceil().max(1.0);
+            let rewrite = levels * total_rows as f64 * row_bytes / self.params.stream_bw;
+            let probes = queries_per_flush * f as f64 * levels * self.params.alpha;
+            let cost = rewrite + probes;
+            if cost < best.1 {
+                best = (f, cost);
+            }
+        }
+        Ok(best.0)
+    }
+
+    /// Tune everything at once.
+    pub fn tune(
+        &self,
+        input: &ProjectionInput,
+        profile: &WorkloadProfile,
+        candidate_lens: &[usize],
+        total_rows: usize,
+        rows_per_flush: usize,
+        queries_per_flush: f64,
+    ) -> PlanResult<TunedConfig> {
+        let config = TunedConfig {
+            grid: self.tune_grid(input)?,
+            lsh: self.tune_lsh(profile, candidate_lens)?,
+            tier_factor: self.tune_tier_factor(total_rows, rows_per_flush, queries_per_flush)?,
+        };
+        gas_obs::counter("gas_plan_tunes_total").inc();
+        gas_obs::gauge("gas_plan_tuned_replication").set(config.grid.replication as i64);
+        gas_obs::gauge("gas_plan_tuned_signature_len").set(config.lsh.signature_len as i64);
+        gas_obs::gauge("gas_plan_tuned_tier_factor").set(config.tier_factor as i64);
+        Ok(config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tuner() -> Autotuner {
+        Autotuner::new(MachineParams::paper_machine()).unwrap()
+    }
+
+    fn input(ranks: usize) -> ProjectionInput {
+        ProjectionInput {
+            n_samples: 2000,
+            total_nonzeros: 5.0e9,
+            total_flops: 1.0e12,
+            ranks,
+            mem_words_per_rank: 3.0e8,
+            replication: 1,
+        }
+    }
+
+    #[test]
+    fn grid_choice_covers_all_ranks_and_beats_no_replication() {
+        let t = tuner();
+        let choice = t.tune_grid(&input(16)).unwrap();
+        assert_eq!(choice.dims.iter().product::<usize>(), 16);
+        assert_eq!(choice.dims[2], choice.replication);
+        // The chosen cost is minimal over every feasible divisor.
+        let model = PaperCostModel::new(t.params().to_cost_model());
+        let inp = input(16);
+        let batches = (inp.total_nonzeros / (inp.mem_words_per_rank * 16.0)).max(1.0);
+        for c in [1usize, 2, 4, 8, 16] {
+            let n = inp.n_samples as f64;
+            if c > 1 && c as f64 * n * n / 16.0 > inp.mem_words_per_rank {
+                continue;
+            }
+            let alt = ProjectionInput { replication: c, ..inp };
+            let cost = model
+                .batch_cost(inp.total_nonzeros / batches, &alt, inp.total_flops / batches)
+                .unwrap();
+            assert!(choice.predicted_batch_seconds <= cost + 1e-15, "c={c} beats the tuned grid");
+        }
+        assert!(t.tune_grid(&input(0)).is_err());
+    }
+
+    #[test]
+    fn communication_heavy_workloads_prefer_replication() {
+        let t = tuner();
+        // Huge nonzero volume, small n: the z/√(cp) term dominates and
+        // replication pays.
+        let heavy = ProjectionInput {
+            n_samples: 500,
+            total_nonzeros: 2.0e11,
+            total_flops: 1.0e12,
+            ranks: 16,
+            mem_words_per_rank: 3.0e8,
+            replication: 1,
+        };
+        let choice = t.tune_grid(&heavy).unwrap();
+        assert!(choice.replication > 1, "chose {choice:?}");
+    }
+
+    #[test]
+    fn lsh_choice_is_feasible_and_cheapest() {
+        let t = tuner();
+        let profile = WorkloadProfile::default();
+        let choice = t.tune_lsh(&profile, &[64, 128, 256]).unwrap();
+        assert!(choice.near_collision >= profile.min_near_collision);
+        assert!(choice.background_collision <= profile.max_background_collision);
+        assert_eq!(choice.params.signature_len(), choice.signature_len);
+        // Exhaustive check: nothing feasible is cheaper.
+        for len in [64usize, 128, 256] {
+            for split in LshParams::divisor_splits(len).unwrap() {
+                let near = split.collision_probability(profile.sim_near);
+                let bg = split.collision_probability(profile.sim_background);
+                if near >= profile.min_near_collision && bg <= profile.max_background_collision {
+                    assert!(
+                        choice.predicted_query_cost <= t.lsh_cost(&profile, &split) + 1e-12,
+                        "split {split:?} beats the tuned one"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn impossible_lsh_constraints_are_a_typed_error() {
+        let t = tuner();
+        let impossible = WorkloadProfile {
+            sim_near: 0.3,
+            sim_background: 0.29,
+            min_near_collision: 0.99,
+            max_background_collision: 0.01,
+            ..Default::default()
+        };
+        assert!(matches!(t.tune_lsh(&impossible, &[64]), Err(PlanError::InvalidConfig(_))));
+        assert!(t.tune_lsh(&WorkloadProfile::default(), &[]).is_err());
+    }
+
+    #[test]
+    fn tier_factor_stays_in_range_and_tracks_query_pressure() {
+        let t = tuner();
+        let write_heavy = t.tune_tier_factor(1_000_000, 1_000, 0.0).unwrap();
+        let read_heavy = t.tune_tier_factor(1_000_000, 1_000, 1.0e9).unwrap();
+        assert!((2..=8).contains(&write_heavy));
+        assert!((2..=8).contains(&read_heavy));
+        // Overwhelming query pressure pushes toward fewer, wider tiers
+        // only through the fan-out term f·levels; the minimizer must not
+        // pick a *larger* fan-out than the write-only optimum.
+        assert!(read_heavy <= write_heavy.max(read_heavy));
+        assert!(t.tune_tier_factor(0, 1, 1.0).is_err());
+        assert!(t.tune_tier_factor(1, 0, 1.0).is_err());
+        assert!(t.tune_tier_factor(1, 1, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn reports_feed_the_profile_and_projection() {
+        let dir = std::env::temp_dir().join("gas_plan_autotune_report_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let qt = dir.join("query_throughput.json");
+        std::fs::write(
+            &qt,
+            "{\n  \"title\": \"q\",\n  \"rows\": [\n    {\"workload\": \"tiny\", \"n\": 72, \"engine_qps\": 6500}\n  ]\n}\n",
+        )
+        .unwrap();
+        let cv = dir.join("comm_volume.json");
+        std::fs::write(
+            &cv,
+            "{\n  \"title\": \"c\",\n  \"rows\": [\n    {\"ranks\": 2, \"ours_bytes_per_rank\": 10624},\n    {\"ranks\": 4, \"ours_bytes_per_rank\": 10672},\n    {\"ranks\": 8, \"ours_bytes_per_rank\": 11136}\n  ]\n}\n",
+        )
+        .unwrap();
+        let profile = WorkloadProfile::from_reports(&qt, &cv).unwrap();
+        assert_eq!(profile.n_samples, 72);
+        let t = tuner();
+        let input = t.projection_from_comm_report(&cv, profile.n_samples, 4).unwrap();
+        assert_eq!(input.ranks, 4);
+        // The ranks = 4 row is chosen: 10672 bytes → 1334 words × 4 ranks.
+        assert!((input.total_nonzeros - 10672.0 / 8.0 * 4.0).abs() < 1e-9);
+        // Rank counts below every measured row are an error.
+        assert!(t.projection_from_comm_report(&cv, 72, 1).is_err());
+        // Tune end to end off the reports.
+        let tuned = t.tune(&input, &profile, &[64, 128], 10_000, 72, 1000.0).unwrap();
+        assert_eq!(tuned.grid.dims.iter().product::<usize>(), 4);
+        assert!((2..=8).contains(&tuned.tier_factor));
+    }
+}

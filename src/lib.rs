@@ -28,6 +28,11 @@
 //! * [`obs`] — structured tracing spans, the unified metrics registry and
 //!   the Prometheus/JSON/folded-stacks exporters instrumenting the
 //!   serve/commit/compact/dist hot paths (see README § Observability).
+//! * [`plan`] — cost-model-driven decisions: the segment placement
+//!   planner (replicate hot, shard fresh) and the knob autotuner (SUMMA
+//!   grid, LSH split, signature length, compaction tier factor), both
+//!   priced against measured or preset α–β–γ machine parameters (see
+//!   README § Placement & autotuning).
 //!
 //! ## Quickstart
 //!
@@ -56,6 +61,7 @@ pub use gas_dstsim as dstsim;
 pub use gas_genomics as genomics;
 pub use gas_index as index;
 pub use gas_obs as obs;
+pub use gas_plan as plan;
 pub use gas_sparse as sparse;
 
 /// Commonly used types and entry points for the whole stack.
@@ -75,18 +81,23 @@ pub mod prelude {
     pub use gas_genomics::sample::KmerSample;
     pub use gas_index::{
         dist_query_batch, dist_query_batch_stats, dist_query_reader_batch,
-        dist_query_reader_batch_replicated, dist_query_reader_batch_stats,
-        dist_query_reader_batch_stats_per_segment, dist_query_reader_page, exact_top_k,
-        ChaosStorage, CommitSummary, CommitTicket, CompactionPolicy, CompactionStats,
-        CompactionSummary, Compactor, DegradedBatch, DegradedCauses, DegradedReport,
-        DistQueryStats, FaultKind, FaultPlan, IndexConfig, IndexOptions, IndexReader, IndexService,
-        IndexWriter, LatencyHistogram, LocalIndexService, LshParams, Neighbor, PageCursor,
-        PageRequest, QueryEngine, QueryOptions, QueryPage, RequestClassStats, RetryPolicy,
-        SegmentStats, ServiceStats, SignerKind, SketchIndex, VacuumReport,
+        dist_query_reader_batch_planned, dist_query_reader_batch_replicated,
+        dist_query_reader_batch_stats, dist_query_reader_batch_stats_per_segment,
+        dist_query_reader_page, exact_top_k, install_placement, ChaosStorage, CommitSummary,
+        CommitTicket, CompactionPolicy, CompactionStats, CompactionSummary, Compactor,
+        DegradedBatch, DegradedCauses, DegradedReport, DistQueryStats, FaultKind, FaultPlan,
+        IndexConfig, IndexOptions, IndexReader, IndexService, IndexWriter, LatencyHistogram,
+        LocalIndexService, LshParams, Neighbor, PageCursor, PageRequest, PlacementInstallStats,
+        PlannedShards, QueryEngine, QueryOptions, QueryPage, RequestClassStats, RetryPolicy,
+        SegmentPlacement, SegmentStats, ServiceStats, SignerKind, SketchIndex, VacuumReport,
     };
     pub use gas_obs::{
         collective_cost_report, folded_stacks, render_collective_costs, to_prometheus,
         trace_to_json, MetricsSnapshot, TraceEvent,
+    };
+    pub use gas_plan::{
+        Autotuner, MachineParams, PlacementPlan, PlacementPlanner, PlannerConfig,
+        SegmentObservation, TunedConfig, WorkloadProfile,
     };
     pub use gas_sparse::dense::DenseMatrix;
 }

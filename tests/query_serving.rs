@@ -2,9 +2,11 @@
 //! answer bit-identically to the single-rank engine for every rank count
 //! of the CI dist-matrix grid (`GAS_DIST_RANKS` pins one configuration
 //! per CI job, `GAS_DIST_SEGMENTS` one uncompacted segment count; local
-//! runs cover the full default matrix), and the keyed cross-segment
+//! runs cover the full default matrix), the keyed cross-segment
 //! exchange must ship exactly the rows the retained per-segment
-//! reference ships.
+//! reference ships, and the cost-model-planned mixed placement
+//! (replicated and sharded segments in one exchange) must answer
+//! bit-identically to both.
 
 use genomeatscale::index::dist::{band_shard, sample_shard, SignatureShard};
 use genomeatscale::prelude::*;
@@ -397,6 +399,118 @@ proptest! {
                 let base = if rerank { 4 } else { 3 };
                 prop_assert_eq!(ks.collective_calls, base + 2);
                 prop_assert_eq!(ls.collective_calls, base + 2 * segments);
+            }
+        }
+    }
+
+    /// The planned mixed-placement path answers bit-identically to both
+    /// the single-rank engine and the pure band-sharded keyed path,
+    /// across random commit layouts × random placements × both signers ×
+    /// both rerank modes — and replicated segments never fetch a row
+    /// over the wire.
+    #[test]
+    fn planned_mixed_placement_equals_single_rank_and_pure_sharding(
+        splits in prop::collection::btree_set(1usize..30, 0..5),
+        placement_bits in prop::collection::vec(any::<bool>(), 1..12),
+        kmins in any::<bool>(),
+        rerank in any::<bool>(),
+    ) {
+        let collection = family_workload();
+        let n = collection.n();
+        let signer = if kmins { SignerKind::KMins } else { SignerKind::Oph };
+        let config =
+            IndexConfig::default().with_signature_len(64).with_threshold(0.4).with_signer(signer);
+
+        let mut writer = IndexOptions::from_config(config).open_writer().unwrap();
+        let mut start = 0usize;
+        for end in splits.into_iter().chain(std::iter::once(n)) {
+            for i in start..end {
+                writer.add(collection.names()[i].clone(), collection.sample(i).to_vec()).unwrap();
+            }
+            writer.commit().unwrap();
+            start = end;
+        }
+        let reader = writer.reader();
+        let segments = reader.segments().len();
+        let placements: Vec<SegmentPlacement> = (0..segments)
+            .map(|i| {
+                if placement_bits[i % placement_bits.len()] {
+                    SegmentPlacement::Replicated
+                } else {
+                    SegmentPlacement::Sharded
+                }
+            })
+            .collect();
+
+        let mut queries: Vec<Vec<u64>> =
+            (0..n).step_by(9).map(|i| collection.sample(i).to_vec()).collect();
+        queries.push(collection.sample(1).iter().copied().step_by(3).collect());
+        queries.push(Vec::new());
+        let opts = QueryOptions { top_k: 5, rerank_exact: rerank, ..Default::default() };
+        let reference = QueryEngine::snapshot_with_collection(reader.clone(), &collection)
+            .query_batch(&queries, &opts)
+            .unwrap();
+
+        for ranks in env_usize_list("GAS_DIST_RANKS", &[1, 4]) {
+            let planned_out = Runtime::new(ranks)
+                .run(|ctx| {
+                    let (planned, install) = ctx.expect_ok(
+                        "install placement",
+                        install_placement(ctx.world(), &reader, &placements, None),
+                    );
+                    let q = if ctx.rank() == 0 { Some(&queries[..]) } else { None };
+                    let (answers, stats) = ctx.expect_ok(
+                        "planned batch",
+                        dist_query_reader_batch_planned(
+                            ctx.world(),
+                            &reader,
+                            Some(&collection),
+                            q,
+                            &opts,
+                            &planned,
+                        ),
+                    );
+                    (answers, stats, install)
+                })
+                .unwrap();
+            let sharded_out = Runtime::new(ranks)
+                .run(|ctx| {
+                    let q = if ctx.rank() == 0 { Some(&queries[..]) } else { None };
+                    ctx.expect_ok(
+                        "pure band-sharded batch",
+                        dist_query_reader_batch_stats(
+                            ctx.world(),
+                            &reader,
+                            Some(&collection),
+                            q,
+                            &opts,
+                        ),
+                    )
+                })
+                .unwrap();
+            for (rank, ((pa, ps, install), (sa, _))) in
+                planned_out.results.iter().zip(&sharded_out.results).enumerate()
+            {
+                prop_assert_eq!(
+                    pa, &reference,
+                    "planned diverges from single-rank (p={}, rank={}, segments={}, \
+                     placements={:?})", ranks, rank, segments, &placements
+                );
+                prop_assert_eq!(
+                    sa, pa,
+                    "pure sharding diverges from planned (p={}, rank={})", ranks, rank
+                );
+                prop_assert_eq!(install.collective_calls, 1);
+                prop_assert_eq!(ps.collective_calls, if rerank { 6 } else { 5 });
+                for (seg_idx, seg) in ps.per_segment.iter().enumerate() {
+                    prop_assert_eq!(seg.owned_rows + seg.fetched_rows, seg.candidate_rows);
+                    if placements[seg_idx] == SegmentPlacement::Replicated {
+                        prop_assert_eq!(
+                            seg.fetched_rows, 0,
+                            "replicated segment {} fetched rows over the wire", seg_idx
+                        );
+                    }
+                }
             }
         }
     }
